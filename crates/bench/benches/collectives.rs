@@ -1,0 +1,66 @@
+//! Collective-algorithm benchmarks: direct (chunk-parallel) vs ring
+//! all-reduce across rank counts and message sizes — the ablation behind
+//! choosing the direct algorithm as the engine default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geofm_bench::quick_criterion;
+use geofm_collectives::{Algorithm, Group};
+use std::hint::black_box;
+
+fn run_all_reduce(ranks: usize, elems: usize, algorithm: Algorithm) {
+    let handles = Group::create(ranks);
+    std::thread::scope(|s| {
+        for h in handles {
+            s.spawn(move || {
+                let h = h.with_algorithm(algorithm);
+                let mut buf = vec![h.rank() as f32; elems];
+                h.all_reduce(&mut buf);
+                black_box(buf[0]);
+            });
+        }
+    });
+}
+
+fn bench_all_reduce_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce");
+    for &ranks in &[2usize, 4] {
+        for &elems in &[1024usize, 65_536] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("direct_r{}", ranks), elems),
+                &elems,
+                |b, &e| b.iter(|| run_all_reduce(ranks, e, Algorithm::Direct)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ring_r{}", ranks), elems),
+                &elems,
+                |b, &e| b.iter(|| run_all_reduce(ranks, e, Algorithm::Ring)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_all_gather(c: &mut Criterion) {
+    c.bench_function("all_gather_4r_16k", |b| {
+        b.iter(|| {
+            let handles = Group::create(4);
+            std::thread::scope(|s| {
+                for h in handles {
+                    s.spawn(move || {
+                        let local = vec![h.rank() as f32; 16_384];
+                        let mut out = Vec::new();
+                        h.all_gather(&local, &mut out);
+                        black_box(out.len());
+                    });
+                }
+            });
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_all_reduce_algorithms, bench_all_gather
+}
+criterion_main!(benches);

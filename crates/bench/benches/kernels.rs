@@ -1,0 +1,69 @@
+//! Dense-kernel benchmarks: the matmul variants and attention block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geofm_bench::quick_criterion;
+use geofm_nn::{MultiHeadAttention, TransformerBlock};
+use geofm_tensor::{bmm, matmul, matmul_a_bt, matmul_at_b, TensorRng};
+use std::hint::black_box;
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = TensorRng::seed_from(1);
+    for &n in &[32usize, 96, 192] {
+        let a = rng.randn(&[n, n], 1.0);
+        let b = rng.randn(&[n, n], 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_at_b(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_a_bt(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let a = rng.randn(&[16, 64, 12], 1.0);
+    let b = rng.randn(&[16, 12, 64], 1.0);
+    c.bench_function("bmm_16x64x12", |bch| bch.iter(|| black_box(bmm(&a, &b))));
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(3);
+    let x = rng.randn(&[8, 64, 96], 1.0);
+    let dy = rng.randn(&[8, 64, 96], 1.0);
+    let mut attn = MultiHeadAttention::new(96, 8, &mut rng, "b");
+    c.bench_function("attention_fwd", |bch| {
+        bch.iter(|| black_box(attn.forward_inference(&x)))
+    });
+    c.bench_function("attention_fwd_bwd", |bch| {
+        bch.iter(|| {
+            let _ = attn.forward(&x);
+            black_box(attn.backward(&dy))
+        })
+    });
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(4);
+    let x = rng.randn(&[8, 64, 96], 1.0);
+    let dy = rng.randn(&[8, 64, 96], 1.0);
+    let mut blk = TransformerBlock::new(96, 384, 8, &mut rng, "b");
+    c.bench_function("transformer_block_step", |bch| {
+        bch.iter(|| {
+            let _ = blk.forward(&x);
+            black_box(blk.backward(&dy))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_matmul_variants, bench_bmm, bench_attention, bench_block
+}
+criterion_main!(benches);

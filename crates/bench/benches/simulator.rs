@@ -1,0 +1,47 @@
+//! DES throughput benchmarks: one simulated step of the paper's largest
+//! configurations (the simulator itself must stay cheap — the figure
+//! binaries run hundreds of configurations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geofm_bench::quick_criterion;
+use geofm_frontier::{simulate, FrontierMachine, MaeWorkload, SimConfig, VitWorkload};
+use geofm_fsdp::ShardingStrategy;
+use geofm_vit::{VitConfig, VitVariant};
+use std::hint::black_box;
+
+fn bench_simulate_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_step");
+    for v in [VitVariant::Base, VitVariant::B3, VitVariant::B15] {
+        let wl = VitWorkload::build(&VitConfig::table1(v), 32, 224);
+        group.bench_with_input(BenchmarkId::new("full_shard_64n", format!("{:?}", v)), &v, |b, _| {
+            b.iter(|| {
+                black_box(simulate(&SimConfig::tuned(
+                    FrontierMachine::new(64),
+                    ShardingStrategy::FullShard,
+                    wl.clone(),
+                )))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate_mae(c: &mut Criterion) {
+    let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 0.75);
+    c.bench_function("simulate_mae3b_64n", |b| {
+        b.iter(|| {
+            black_box(simulate(&SimConfig::tuned(
+                FrontierMachine::new(64),
+                ShardingStrategy::NoShard,
+                wl.clone(),
+            )))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_simulate_models, bench_simulate_mae
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! A reusable sense-reversing barrier built from atomics.
+//!
+//! `std::sync::Barrier` would work, but the sense-reversing construction is
+//! the standard HPC pattern (one shared counter + a phase flag, no mutex,
+//! no condvar on the fast path) and gives us spin-then-yield waiting which
+//! is what a busy rank thread wants.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A counter-based sense-reversing barrier for a fixed number of parties.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SenseBarrier {
+    /// New barrier for `parties` threads.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Self { parties, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all parties arrive. The last arriver flips the sense and
+    /// releases everyone; the barrier is immediately reusable.
+    pub fn wait(&self) {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            // last one in: reset the counter, then flip the sense (Release
+            // publishes all writes made by every party before the barrier).
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    fn synchronises_phases() {
+        // Each thread increments a phase counter; after a barrier, every
+        // thread must observe the full increment of the previous phase.
+        let parties = 8;
+        let barrier = Arc::new(SenseBarrier::new(parties));
+        let counter = Arc::new(AtomicU64::new(0));
+        let phases = 50;
+        let handles: Vec<_> = (0..parties)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for phase in 0..phases {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= ((phase + 1) * parties) as u64,
+                            "phase {}: saw {}",
+                            phase,
+                            seen
+                        );
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), (parties * phases) as u64);
+    }
+
+    #[test]
+    fn reusable_many_times_two_threads() {
+        let barrier = Arc::new(SenseBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let t = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                b2.wait();
+            }
+        });
+        for _ in 0..10_000 {
+            barrier.wait();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Process groups and the direct (chunk-parallel) collectives.
+
+use crate::barrier::SenseBarrier;
+use crate::ring;
+use crate::traffic::{CollectiveKind, TrafficCounter};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Which collective algorithm a handle uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Chunk-parallel shared-memory algorithm (default, work-optimal here).
+    #[default]
+    Direct,
+    /// Classical 2(n−1)-step ring (matches RCCL's data movement).
+    Ring,
+}
+
+/// Shared state of one process group.
+#[derive(Debug)]
+pub struct Group {
+    size: usize,
+    /// Per-rank contribution slots.
+    mailboxes: Vec<RwLock<Vec<f32>>>,
+    /// Per-chunk reduction results (chunk owner = rank index).
+    chunk_results: Vec<RwLock<Vec<f32>>>,
+    barrier: SenseBarrier,
+    traffic: Arc<TrafficCounter>,
+}
+
+/// One rank's handle to a [`Group`]. Collectives must be called by **every**
+/// rank of the group, in the same order (standard SPMD contract).
+#[derive(Debug, Clone)]
+pub struct RankHandle {
+    rank: usize,
+    algorithm: Algorithm,
+    group: Arc<Group>,
+}
+
+/// `[start, end)` of the chunk owned by `rank` when `len` elements are split
+/// across `n` ranks (remainder spread over the first ranks).
+pub fn chunk_bounds(len: usize, n: usize, rank: usize) -> (usize, usize) {
+    let base = len / n;
+    let rem = len % n;
+    let start = rank * base + rank.min(rem);
+    let extra = usize::from(rank < rem);
+    (start, start + base + extra)
+}
+
+impl Group {
+    /// Create a group of `size` ranks sharing a fresh traffic counter.
+    pub fn create(size: usize) -> Vec<RankHandle> {
+        Self::create_with_traffic(size, Arc::new(TrafficCounter::new()))
+    }
+
+    /// Create a group whose collectives record into `traffic`.
+    pub fn create_with_traffic(size: usize, traffic: Arc<TrafficCounter>) -> Vec<RankHandle> {
+        assert!(size > 0, "group must have at least one rank");
+        let group = Arc::new(Group {
+            size,
+            mailboxes: (0..size).map(|_| RwLock::new(Vec::new())).collect(),
+            chunk_results: (0..size).map(|_| RwLock::new(Vec::new())).collect(),
+            barrier: SenseBarrier::new(size),
+            traffic,
+        });
+        (0..size)
+            .map(|rank| RankHandle { rank, algorithm: Algorithm::Direct, group: Arc::clone(&group) })
+            .collect()
+    }
+
+    /// Traffic counter shared by this group.
+    pub fn traffic(&self) -> &Arc<TrafficCounter> {
+        &self.traffic
+    }
+}
+
+impl RankHandle {
+    /// This rank's index within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.group.size
+    }
+
+    /// Switch the collective algorithm (returns self for chaining).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The group's traffic counter.
+    pub fn traffic(&self) -> Arc<TrafficCounter> {
+        Arc::clone(&self.group.traffic)
+    }
+
+    /// Synchronise all ranks of the group.
+    pub fn barrier(&self) {
+        self.group.barrier.wait();
+    }
+
+    fn record(&self, kind: CollectiveKind, elems: usize) {
+        let bytes = kind.ring_bytes_per_rank(elems as u64 * 4, self.group.size);
+        self.group.traffic.record(kind, bytes);
+    }
+
+    /// Sum-reduce `buf` across all ranks; every rank ends with the total.
+    pub fn all_reduce(&self, buf: &mut [f32]) {
+        self.record(CollectiveKind::AllReduce, buf.len());
+        if self.group.size == 1 {
+            return;
+        }
+        match self.algorithm {
+            Algorithm::Direct => self.all_reduce_direct(buf),
+            Algorithm::Ring => ring::all_reduce_ring(self, buf),
+        }
+    }
+
+    fn all_reduce_direct(&self, buf: &mut [f32]) {
+        let g = &*self.group;
+        let n = g.size;
+        // 1. publish
+        *g.mailboxes[self.rank].write() = buf.to_vec();
+        self.barrier();
+        // 2. reduce own chunk across all mailboxes
+        let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
+        {
+            let mut acc = vec![0.0f32; hi - lo];
+            for m in &g.mailboxes {
+                let mb = m.read();
+                debug_assert_eq!(mb.len(), buf.len(), "all ranks must pass equal-length buffers");
+                for (a, &v) in acc.iter_mut().zip(&mb[lo..hi]) {
+                    *a += v;
+                }
+            }
+            *g.chunk_results[self.rank].write() = acc;
+        }
+        self.barrier();
+        // 3. gather all reduced chunks
+        for r in 0..n {
+            let (clo, chi) = chunk_bounds(buf.len(), n, r);
+            let res = g.chunk_results[r].read();
+            buf[clo..chi].copy_from_slice(&res);
+        }
+        self.barrier();
+    }
+
+    /// Gather equal-length shards from every rank; `out` is resized to
+    /// `size · local.len()` and filled in rank order.
+    pub fn all_gather(&self, local: &[f32], out: &mut Vec<f32>) {
+        let n = self.group.size;
+        out.resize(n * local.len(), 0.0);
+        self.record(CollectiveKind::AllGather, out.len());
+        if n == 1 {
+            out.copy_from_slice(local);
+            return;
+        }
+        let g = &*self.group;
+        *g.mailboxes[self.rank].write() = local.to_vec();
+        self.barrier();
+        for r in 0..n {
+            let mb = g.mailboxes[r].read();
+            debug_assert_eq!(mb.len(), local.len(), "all-gather shards must be equal length");
+            out[r * local.len()..(r + 1) * local.len()].copy_from_slice(&mb);
+        }
+        self.barrier();
+    }
+
+    /// Sum-reduce `buf` and leave this rank with its owned chunk
+    /// (`chunk_bounds(buf.len(), size, rank)`), written into `out`.
+    pub fn reduce_scatter(&self, buf: &[f32], out: &mut Vec<f32>) {
+        let n = self.group.size;
+        self.record(CollectiveKind::ReduceScatter, buf.len());
+        let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
+        out.resize(hi - lo, 0.0);
+        if n == 1 {
+            out.copy_from_slice(buf);
+            return;
+        }
+        let g = &*self.group;
+        *g.mailboxes[self.rank].write() = buf.to_vec();
+        self.barrier();
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for m in &g.mailboxes {
+            let mb = m.read();
+            debug_assert_eq!(mb.len(), buf.len(), "reduce-scatter buffers must be equal length");
+            for (o, &v) in out.iter_mut().zip(&mb[lo..hi]) {
+                *o += v;
+            }
+        }
+        self.barrier();
+    }
+
+    /// Copy `root`'s buffer to every rank.
+    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        assert!(root < self.group.size, "broadcast root out of range");
+        self.record(CollectiveKind::Broadcast, buf.len());
+        if self.group.size == 1 {
+            return;
+        }
+        let g = &*self.group;
+        if self.rank == root {
+            *g.mailboxes[root].write() = buf.to_vec();
+        }
+        self.barrier();
+        if self.rank != root {
+            let mb = g.mailboxes[root].read();
+            debug_assert_eq!(mb.len(), buf.len(), "broadcast buffers must be equal length");
+            buf.copy_from_slice(&mb);
+        }
+        self.barrier();
+    }
+
+    pub(crate) fn mailbox_write(&self, rank: usize, data: &[f32]) {
+        *self.group.mailboxes[rank].write() = data.to_vec();
+    }
+
+    pub(crate) fn mailbox_read(&self, rank: usize, out: &mut Vec<f32>) {
+        let mb = self.group.mailboxes[rank].read();
+        out.clear();
+        out.extend_from_slice(&mb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_group<F>(size: usize, f: F)
+    where
+        F: Fn(RankHandle) + Sync,
+    {
+        let handles = Group::create(size);
+        std::thread::scope(|s| {
+            for h in handles {
+                let f = &f;
+                s.spawn(move || f(h));
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for len in [0usize, 1, 7, 16, 33] {
+            for n in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for r in 0..n {
+                    let (lo, hi) = chunk_bounds(len, n, r);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        run_group(4, |h| {
+            let mut buf = vec![(h.rank() + 1) as f32; 10];
+            h.all_reduce(&mut buf);
+            assert!(buf.iter().all(|&v| v == 10.0), "rank {}: {:?}", h.rank(), buf);
+        });
+    }
+
+    #[test]
+    fn all_reduce_uneven_length() {
+        run_group(3, |h| {
+            let mut buf: Vec<f32> = (0..7).map(|i| (i * (h.rank() + 1)) as f32).collect();
+            h.all_reduce(&mut buf);
+            for (i, &v) in buf.iter().enumerate() {
+                assert_eq!(v, (i * 6) as f32);
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_all_reduce_is_stable() {
+        run_group(4, |h| {
+            for round in 0..50 {
+                let mut buf = vec![h.rank() as f32 + round as f32; 5];
+                h.all_reduce(&mut buf);
+                let expect = (0..4).map(|r| r as f32 + round as f32).sum::<f32>();
+                assert!(buf.iter().all(|&v| (v - expect).abs() < 1e-5));
+            }
+        });
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        run_group(3, |h| {
+            let local = vec![h.rank() as f32; 2];
+            let mut out = Vec::new();
+            h.all_gather(&local, &mut out);
+            assert_eq!(out, vec![0., 0., 1., 1., 2., 2.]);
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_gives_owned_chunk() {
+        run_group(2, |h| {
+            let buf: Vec<f32> = (0..6).map(|i| i as f32 * (h.rank() + 1) as f32).collect();
+            let mut out = Vec::new();
+            h.reduce_scatter(&buf, &mut out);
+            // sum over ranks: element i = i*1 + i*2 = 3i; rank0 owns [0,3), rank1 [3,6)
+            let expect: Vec<f32> = if h.rank() == 0 {
+                vec![0., 3., 6.]
+            } else {
+                vec![9., 12., 15.]
+            };
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        run_group(4, |h| {
+            let base: Vec<f32> = (0..8).map(|i| (i + h.rank() * 8) as f32).collect();
+            let mut via_ar = base.clone();
+            h.all_reduce(&mut via_ar);
+            let mut shard = Vec::new();
+            h.reduce_scatter(&base, &mut shard);
+            let mut gathered = Vec::new();
+            h.all_gather(&shard, &mut gathered);
+            assert_eq!(gathered, via_ar);
+        });
+    }
+
+    #[test]
+    fn broadcast_copies_root() {
+        run_group(4, |h| {
+            let mut buf = if h.rank() == 2 { vec![7.0; 5] } else { vec![0.0; 5] };
+            h.broadcast(&mut buf, 2);
+            assert!(buf.iter().all(|&v| v == 7.0));
+        });
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        run_group(1, |h| {
+            let mut buf = vec![3.0, 4.0];
+            h.all_reduce(&mut buf);
+            assert_eq!(buf, vec![3.0, 4.0]);
+            let mut out = Vec::new();
+            h.all_gather(&[1.0, 2.0], &mut out);
+            assert_eq!(out, vec![1.0, 2.0]);
+            let mut rs = Vec::new();
+            h.reduce_scatter(&[5.0, 6.0], &mut rs);
+            assert_eq!(rs, vec![5.0, 6.0]);
+        });
+    }
+
+    #[test]
+    fn traffic_is_recorded() {
+        let handles = Group::create(2);
+        let traffic = handles[0].traffic();
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let mut buf = vec![0.0f32; 100];
+                    h.all_reduce(&mut buf);
+                });
+            }
+        });
+        let snap = traffic.snapshot();
+        assert_eq!(snap.calls, 2);
+        // per-rank ring bytes: 2 * (1/2) * 400 = 400; two ranks → 800
+        assert_eq!(snap.all_reduce, 800);
+    }
+
+    #[test]
+    fn mixed_collective_sequences_do_not_interfere() {
+        run_group(4, |h| {
+            for _ in 0..20 {
+                let mut a = vec![1.0f32; 9];
+                h.all_reduce(&mut a);
+                assert!(a.iter().all(|&v| v == 4.0));
+                let mut g = Vec::new();
+                h.all_gather(&[h.rank() as f32], &mut g);
+                assert_eq!(g, vec![0., 1., 2., 3.]);
+                let mut rs = Vec::new();
+                h.reduce_scatter(&vec![2.0f32; 4], &mut rs);
+                assert_eq!(rs, vec![8.0]);
+                let mut b = vec![h.rank() as f32; 3];
+                h.broadcast(&mut b, 0);
+                assert!(b.iter().all(|&v| v == 0.0));
+            }
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! Group hierarchies for HYBRID_SHARD: a *shard group* (model sharded across
+//! its ranks, all-gather/reduce-scatter inside) and a *replica group*
+//! (model replicated across groups, all-reduce between them) — §III-C of the
+//! paper.
+
+use crate::group::{Group, RankHandle};
+use crate::traffic::TrafficCounter;
+use std::sync::Arc;
+
+/// Shape of a two-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyLayout {
+    /// Total ranks.
+    pub world: usize,
+    /// Ranks per shard group (the paper's "sharding-group" size).
+    pub shard_size: usize,
+}
+
+impl HierarchyLayout {
+    /// Number of shard groups (= replica-group size).
+    pub fn num_shard_groups(&self) -> usize {
+        self.world / self.shard_size
+    }
+}
+
+/// One rank's handles to all three groups.
+#[derive(Debug, Clone)]
+pub struct RankGroups {
+    /// Global rank.
+    pub rank: usize,
+    /// The full world group.
+    pub world: RankHandle,
+    /// This rank's shard group (contiguous ranks; size = `shard_size`).
+    pub shard: RankHandle,
+    /// This rank's replica group (same shard position across shard groups).
+    pub replica: RankHandle,
+}
+
+/// Factory for group hierarchies.
+pub struct ProcessGroups;
+
+impl ProcessGroups {
+    /// Build the HYBRID hierarchy: contiguous shard groups of `shard_size`,
+    /// replica groups across them. All groups share one traffic counter.
+    ///
+    /// # Panics
+    /// Panics unless `shard_size` divides `world`.
+    pub fn hierarchy(layout: HierarchyLayout) -> Vec<RankGroups> {
+        let HierarchyLayout { world, shard_size } = layout;
+        assert!(world > 0 && shard_size > 0, "sizes must be positive");
+        assert_eq!(world % shard_size, 0, "shard size {} must divide world {}", shard_size, world);
+        let traffic = Arc::new(TrafficCounter::new());
+        let world_handles = Group::create_with_traffic(world, Arc::clone(&traffic));
+
+        let groups = world / shard_size;
+        // shard groups: one per contiguous block
+        let mut shard_handles: Vec<Vec<RankHandle>> = (0..groups)
+            .map(|_| Group::create_with_traffic(shard_size, Arc::clone(&traffic)))
+            .collect();
+        // replica groups: one per shard position
+        let mut replica_handles: Vec<Vec<RankHandle>> = (0..shard_size)
+            .map(|_| Group::create_with_traffic(groups, Arc::clone(&traffic)))
+            .collect();
+
+        world_handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, world_h)| {
+                let g = rank / shard_size;
+                let p = rank % shard_size;
+                // within shard group g, this rank sits at position p;
+                // within replica group p, it sits at position g.
+                let shard = shard_handles[g][p].clone();
+                let replica = replica_handles[p][g].clone();
+                // mark slots consumed (handles are clones sharing group state;
+                // the position-indexing above is what assigns rank ids)
+                let _ = (&mut shard_handles, &mut replica_handles);
+                RankGroups { rank, world: world_h, shard, replica }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_counts() {
+        let l = HierarchyLayout { world: 16, shard_size: 4 };
+        assert_eq!(l.num_shard_groups(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_indivisible() {
+        let _ = ProcessGroups::hierarchy(HierarchyLayout { world: 6, shard_size: 4 });
+    }
+
+    #[test]
+    fn ranks_and_sizes_are_consistent() {
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world: 8, shard_size: 2 });
+        assert_eq!(groups.len(), 8);
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.rank, i);
+            assert_eq!(g.world.size(), 8);
+            assert_eq!(g.world.rank(), i);
+            assert_eq!(g.shard.size(), 2);
+            assert_eq!(g.shard.rank(), i % 2);
+            assert_eq!(g.replica.size(), 4);
+            assert_eq!(g.replica.rank(), i / 2);
+        }
+    }
+
+    #[test]
+    fn hierarchical_all_reduce_equals_flat() {
+        // reduce-scatter in shard group + all-reduce of shards in replica
+        // group + all-gather in shard group ≡ world all-reduce.
+        let layout = HierarchyLayout { world: 8, shard_size: 4 };
+        let groups = ProcessGroups::hierarchy(layout);
+        std::thread::scope(|s| {
+            for g in groups {
+                s.spawn(move || {
+                    let base: Vec<f32> = (0..12).map(|i| (i + g.rank * 12) as f32).collect();
+                    let expect: Vec<f32> = (0..12)
+                        .map(|i| (0..8).map(|r| (i + r * 12) as f32).sum())
+                        .collect();
+
+                    // flat
+                    let mut flat = base.clone();
+                    g.world.all_reduce(&mut flat);
+                    assert_eq!(flat, expect);
+
+                    // hierarchical
+                    let mut shard = Vec::new();
+                    g.shard.reduce_scatter(&base, &mut shard);
+                    g.replica.all_reduce(&mut shard);
+                    let mut full = Vec::new();
+                    g.shard.all_gather(&shard, &mut full);
+                    assert_eq!(full, expect);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn shard_groups_are_isolated() {
+        // an all-reduce within shard groups must not mix data across groups
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world: 4, shard_size: 2 });
+        std::thread::scope(|s| {
+            for g in groups {
+                s.spawn(move || {
+                    let mut buf = vec![g.rank as f32];
+                    g.shard.all_reduce(&mut buf);
+                    let expect = if g.rank < 2 { 1.0 } else { 5.0 }; // 0+1 / 2+3
+                    assert_eq!(buf[0], expect);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn shared_traffic_counter_aggregates() {
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world: 4, shard_size: 2 });
+        let traffic = groups[0].world.traffic();
+        std::thread::scope(|s| {
+            for g in groups {
+                s.spawn(move || {
+                    let mut buf = vec![1.0f32; 10];
+                    g.shard.all_reduce(&mut buf);
+                    g.replica.all_reduce(&mut buf);
+                });
+            }
+        });
+        let snap = traffic.snapshot();
+        assert_eq!(snap.calls, 8);
+        assert!(snap.all_reduce > 0);
+    }
+}

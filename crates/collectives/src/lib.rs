@@ -1,0 +1,32 @@
+//! # geofm-collectives
+//!
+//! Shared-memory process groups and collective operations — the transport
+//! substrate under `geofm-fsdp`, playing the role RCCL-over-Slingshot plays
+//! on Frontier.
+//!
+//! A *rank* is an OS thread; a *group* is a set of ranks that synchronise
+//! through a custom sense-reversing barrier (built from atomics, per the
+//! "Rust Atomics and Locks" playbook) and exchange data through per-rank
+//! mailboxes. Two algorithm families are provided:
+//!
+//! * **direct** — chunk-parallel: every collective is decomposed into a
+//!   reduce-scatter-like phase (each rank owns a chunk) and a gather phase.
+//!   This is the default; it is work-optimal in shared memory.
+//! * **ring** — the classical 2(n−1)-step ring, implemented for fidelity to
+//!   what RCCL actually runs and for the collective benchmarks.
+//!
+//! Every operation updates a [`TrafficCounter`] with the *logical network
+//! bytes* the same collective would move on a real interconnect (ring-
+//! algorithm accounting). `geofm-frontier` prices those same byte counts,
+//! and an integration test cross-validates the two.
+
+pub mod barrier;
+pub mod group;
+pub mod hierarchy;
+pub mod ring;
+pub mod traffic;
+
+pub use barrier::SenseBarrier;
+pub use group::{Algorithm, Group, RankHandle};
+pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};
+pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};

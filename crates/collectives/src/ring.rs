@@ -1,0 +1,109 @@
+//! The classical ring all-reduce (reduce-scatter ring + all-gather ring).
+//!
+//! Functionally identical to the direct algorithm; implemented because it is
+//! what RCCL actually executes on Frontier and because the collective
+//! benchmarks compare the two movement patterns. Only all-reduce has a ring
+//! variant here; the other collectives always use the direct algorithm.
+
+use crate::group::{chunk_bounds, RankHandle};
+
+/// Ring all-reduce over the handle's group. Called from
+/// [`RankHandle::all_reduce`] when the algorithm is `Ring`.
+pub(crate) fn all_reduce_ring(h: &RankHandle, buf: &mut [f32]) {
+    let n = h.size();
+    let r = h.rank();
+    debug_assert!(n > 1);
+    let mut incoming = Vec::new();
+    let len = buf.len();
+    let chunk = move |c: usize| chunk_bounds(len, n, c);
+
+    // Phase 1: reduce-scatter ring. After step s, the chunk each rank just
+    // received has been accumulated s+2 times. After n-1 steps, rank r holds
+    // the fully reduced chunk (r+1) mod n.
+    for s in 0..n - 1 {
+        let send_c = (r + n - s) % n;
+        let recv_c = (r + n - s - 1) % n;
+        let (slo, shi) = chunk(send_c);
+        h.mailbox_write(r, &buf[slo..shi]);
+        h.barrier();
+        h.mailbox_read((r + n - 1) % n, &mut incoming);
+        let (rlo, rhi) = chunk(recv_c);
+        debug_assert_eq!(incoming.len(), rhi - rlo);
+        for (dst, &src) in buf[rlo..rhi].iter_mut().zip(&incoming) {
+            *dst += src;
+        }
+        h.barrier();
+    }
+
+    // Phase 2: all-gather ring circulating the reduced chunks.
+    for s in 0..n - 1 {
+        let send_c = (r + 1 + n - s) % n;
+        let recv_c = (r + n - s) % n;
+        let (slo, shi) = chunk(send_c);
+        h.mailbox_write(r, &buf[slo..shi]);
+        h.barrier();
+        h.mailbox_read((r + n - 1) % n, &mut incoming);
+        let (rlo, rhi) = chunk(recv_c);
+        debug_assert_eq!(incoming.len(), rhi - rlo);
+        buf[rlo..rhi].copy_from_slice(&incoming);
+        h.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::group::{Algorithm, Group};
+
+    fn run_ring(size: usize, len: usize) {
+        let handles = Group::create(size);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let h = h.with_algorithm(Algorithm::Ring);
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| (i + h.rank() * len) as f32 * 0.5).collect();
+                    let expect: Vec<f32> = (0..len)
+                        .map(|i| (0..size).map(|r| (i + r * len) as f32 * 0.5).sum())
+                        .collect();
+                    h.all_reduce(&mut buf);
+                    for (a, e) in buf.iter().zip(&expect) {
+                        assert!((a - e).abs() < 1e-3, "rank {}: {:?} vs {:?}", h.rank(), buf, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn ring_matches_reference_various_sizes() {
+        run_ring(2, 8);
+        run_ring(3, 9);
+        run_ring(4, 16);
+        run_ring(5, 7); // uneven chunks
+        run_ring(8, 64);
+    }
+
+    #[test]
+    fn ring_repeated_rounds() {
+        let handles = Group::create(4);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let h = h.with_algorithm(Algorithm::Ring);
+                    for round in 0..10 {
+                        let mut buf = vec![(h.rank() + round) as f32; 12];
+                        h.all_reduce(&mut buf);
+                        let expect: f32 = (0..4).map(|r| (r + round) as f32).sum();
+                        assert!(buf.iter().all(|&v| (v - expect).abs() < 1e-4));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn ring_len_smaller_than_ranks() {
+        // chunks may be empty; algorithm must still terminate correctly
+        run_ring(6, 3);
+    }
+}

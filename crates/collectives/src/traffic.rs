@@ -1,0 +1,153 @@
+//! Logical communication-volume accounting.
+//!
+//! Every collective records the bytes the *ring algorithm* for that
+//! collective would move per rank on a real network. These counters are the
+//! bridge between the real threaded engine (`geofm-fsdp`) and the Frontier
+//! cost model (`geofm-frontier`): both speak "bytes per rank per collective
+//! kind", and an integration test asserts they agree.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The collective operations used by the sharding strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Sum-reduce to all ranks.
+    AllReduce,
+    /// Concatenate per-rank shards to all ranks.
+    AllGather,
+    /// Sum-reduce, leaving each rank with one shard.
+    ReduceScatter,
+    /// One root's buffer to all ranks.
+    Broadcast,
+}
+
+impl CollectiveKind {
+    /// All kinds (for iteration in reports).
+    pub const ALL: [CollectiveKind; 4] =
+        [Self::AllReduce, Self::AllGather, Self::ReduceScatter, Self::Broadcast];
+
+    /// Ring-algorithm bytes moved **per rank** for a collective over
+    /// `total_bytes` of payload among `n` ranks.
+    ///
+    /// * all-gather / reduce-scatter: `(n-1)/n · total`
+    /// * all-reduce: `2(n-1)/n · total` (reduce-scatter + all-gather)
+    /// * broadcast: `(n-1)/n · total` (pipelined ring)
+    pub fn ring_bytes_per_rank(&self, total_bytes: u64, n: usize) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let frac = |b: u64| b * (n as u64 - 1) / n as u64;
+        match self {
+            Self::AllReduce => 2 * frac(total_bytes),
+            Self::AllGather | Self::ReduceScatter | Self::Broadcast => frac(total_bytes),
+        }
+    }
+}
+
+/// Thread-safe accumulated traffic per collective kind.
+#[derive(Debug, Default)]
+pub struct TrafficCounter {
+    all_reduce: AtomicU64,
+    all_gather: AtomicU64,
+    reduce_scatter: AtomicU64,
+    broadcast: AtomicU64,
+    calls: AtomicU64,
+}
+
+/// An immutable snapshot of a [`TrafficCounter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    /// Bytes attributed to all-reduce.
+    pub all_reduce: u64,
+    /// Bytes attributed to all-gather.
+    pub all_gather: u64,
+    /// Bytes attributed to reduce-scatter.
+    pub reduce_scatter: u64,
+    /// Bytes attributed to broadcast.
+    pub broadcast: u64,
+    /// Number of collective calls.
+    pub calls: u64,
+}
+
+impl TrafficSnapshot {
+    /// Total bytes across all kinds.
+    pub fn total(&self) -> u64 {
+        self.all_reduce + self.all_gather + self.reduce_scatter + self.broadcast
+    }
+}
+
+impl TrafficCounter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one collective of `kind` moving `bytes` (per-rank logical).
+    pub fn record(&self, kind: CollectiveKind, bytes: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            CollectiveKind::AllReduce => self.all_reduce.fetch_add(bytes, Ordering::Relaxed),
+            CollectiveKind::AllGather => self.all_gather.fetch_add(bytes, Ordering::Relaxed),
+            CollectiveKind::ReduceScatter => {
+                self.reduce_scatter.fetch_add(bytes, Ordering::Relaxed)
+            }
+            CollectiveKind::Broadcast => self.broadcast.fetch_add(bytes, Ordering::Relaxed),
+        };
+    }
+
+    /// Snapshot current totals.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            all_reduce: self.all_reduce.load(Ordering::Relaxed),
+            all_gather: self.all_gather.load(Ordering::Relaxed),
+            reduce_scatter: self.reduce_scatter.load(Ordering::Relaxed),
+            broadcast: self.broadcast.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.all_reduce.store(0, Ordering::Relaxed);
+        self.all_gather.store(0, Ordering::Relaxed);
+        self.reduce_scatter.store(0, Ordering::Relaxed);
+        self.broadcast.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_accounting_formulas() {
+        // 8 ranks, 800 bytes total
+        assert_eq!(CollectiveKind::AllGather.ring_bytes_per_rank(800, 8), 700);
+        assert_eq!(CollectiveKind::ReduceScatter.ring_bytes_per_rank(800, 8), 700);
+        assert_eq!(CollectiveKind::AllReduce.ring_bytes_per_rank(800, 8), 1400);
+        assert_eq!(CollectiveKind::Broadcast.ring_bytes_per_rank(800, 8), 700);
+    }
+
+    #[test]
+    fn single_rank_moves_nothing() {
+        for k in CollectiveKind::ALL {
+            assert_eq!(k.ring_bytes_per_rank(1000, 1), 0);
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = TrafficCounter::new();
+        c.record(CollectiveKind::AllReduce, 100);
+        c.record(CollectiveKind::AllGather, 50);
+        c.record(CollectiveKind::AllReduce, 10);
+        let s = c.snapshot();
+        assert_eq!(s.all_reduce, 110);
+        assert_eq!(s.all_gather, 50);
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.total(), 160);
+        c.reset();
+        assert_eq!(c.snapshot().total(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Encoder checkpointing: save/load pretrained weights so the experiment
+//! binaries (fig5 / fig6 / table3) share one pretraining run.
+//!
+//! Format (version 1, little-endian):
+//! `GEOFMCK1 | u64 key-hash | u64 n_params | n_params × f32 |
+//!  u64 n_loss | n_loss × (u64 step, f32 loss) | u64 n_eval | …`
+
+use crate::pipeline::PretrainOutcome;
+use crate::recipe::RecipeConfig;
+use geofm_nn::Module;
+use geofm_tensor::TensorRng;
+use geofm_vit::{VitConfig, VitModel};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+const MAGIC: &[u8; 8] = b"GEOFMCK1";
+
+/// A stable hash of everything that determines a pretraining run.
+fn run_key(cfg: &VitConfig, rc: &RecipeConfig) -> u64 {
+    // FNV-1a over the significant fields
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(cfg.name.as_bytes());
+    for v in [cfg.width, cfg.depth, cfg.mlp, cfg.heads, cfg.patch, cfg.img, cfg.channels] {
+        eat(&(v as u64).to_le_bytes());
+    }
+    for v in [rc.pretrain_images, rc.pretrain_epochs, rc.batch, rc.loader_workers] {
+        eat(&(v as u64).to_le_bytes());
+    }
+    eat(&rc.pretrain_lr.to_le_bytes());
+    eat(&rc.seed.to_le_bytes());
+    h
+}
+
+/// Directory for checkpoints (under the results dir).
+fn checkpoint_dir() -> PathBuf {
+    let base = std::env::var("GEOFM_RESULTS").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(base).join("checkpoints");
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+fn checkpoint_path(cfg: &VitConfig, rc: &RecipeConfig) -> PathBuf {
+    checkpoint_dir().join(format!("{}-{:016x}.ckpt", cfg.name, run_key(cfg, rc)))
+}
+
+/// Save a pretraining outcome.
+pub fn save(cfg: &VitConfig, rc: &RecipeConfig, out: &mut PretrainOutcome) -> std::io::Result<()> {
+    let path = checkpoint_path(cfg, rc);
+    let mut flat = Vec::new();
+    out.encoder.pack_values(&mut flat);
+    let mut buf: Vec<u8> =
+        Vec::with_capacity(16 + flat.len() * 4 + out.loss_curve.len() * 12);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&run_key(cfg, rc).to_le_bytes());
+    buf.extend_from_slice(&(flat.len() as u64).to_le_bytes());
+    for v in &flat {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let write_curve = |buf: &mut Vec<u8>, curve: &[(usize, f32)]| {
+        buf.extend_from_slice(&(curve.len() as u64).to_le_bytes());
+        for &(s, l) in curve {
+            buf.extend_from_slice(&(s as u64).to_le_bytes());
+            buf.extend_from_slice(&l.to_le_bytes());
+        }
+    };
+    write_curve(&mut buf, &out.loss_curve);
+    write_curve(&mut buf, &out.eval_curve);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&buf)
+}
+
+/// Try to load a cached pretraining outcome matching `(cfg, rc)`.
+pub fn load(cfg: &VitConfig, rc: &RecipeConfig) -> Option<PretrainOutcome> {
+    let path = checkpoint_path(cfg, rc);
+    let mut bytes = Vec::new();
+    std::fs::File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
+        if *off + n > bytes.len() {
+            return None;
+        }
+        let s = &bytes[*off..*off + n];
+        *off += n;
+        Some(s)
+    };
+    if take(&mut off, 8)? != MAGIC {
+        return None;
+    }
+    let key = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
+    if key != run_key(cfg, rc) {
+        return None;
+    }
+    let n = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?) as usize;
+    let mut rng = TensorRng::seed_from(rc.seed);
+    let mut encoder = VitModel::new(cfg, &mut rng);
+    if encoder.num_params() != n {
+        return None;
+    }
+    let mut flat = Vec::with_capacity(n);
+    for _ in 0..n {
+        flat.push(f32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?));
+    }
+    encoder.unpack_values(&flat);
+    let read_curve = |off: &mut usize| -> Option<Vec<(usize, f32)>> {
+        let len = u64::from_le_bytes(take(off, 8)?.try_into().ok()?) as usize;
+        let mut curve = Vec::with_capacity(len);
+        for _ in 0..len {
+            let s = u64::from_le_bytes(take(off, 8)?.try_into().ok()?) as usize;
+            let l = f32::from_le_bytes(take(off, 4)?.try_into().ok()?);
+            curve.push((s, l));
+        }
+        Some(curve)
+    };
+    let loss_curve = read_curve(&mut off)?;
+    let eval_curve = read_curve(&mut off)?;
+    Some(PretrainOutcome { encoder, loss_curve, eval_curve })
+}
+
+/// [`crate::pipeline::pretrain`] with a disk cache: loads a checkpoint when
+/// one exists for exactly this `(config, recipe)` pair, otherwise trains
+/// and saves. Disable with `GEOFM_NO_CACHE=1`.
+pub fn pretrain_cached(cfg: &VitConfig, rc: &RecipeConfig) -> PretrainOutcome {
+    let cache_enabled = std::env::var("GEOFM_NO_CACHE").is_err();
+    if cache_enabled {
+        if let Some(out) = load(cfg, rc) {
+            eprintln!("  (loaded cached checkpoint for {})", cfg.name);
+            return out;
+        }
+    }
+    let mut out = crate::pipeline::pretrain(cfg, rc);
+    if cache_enabled {
+        if let Err(e) = save(cfg, rc, &mut out) {
+            eprintln!("  (checkpoint save failed: {})", e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_rc() -> RecipeConfig {
+        RecipeConfig {
+            pretrain_images: 64,
+            pretrain_epochs: 1,
+            batch: 16,
+            ..RecipeConfig::default()
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-ckpt-test");
+        let cfg = &VitConfig::tiny_family()[0];
+        let rc = quick_rc();
+        let mut out = crate::pipeline::pretrain(cfg, &rc);
+        save(cfg, &rc, &mut out).unwrap();
+        let loaded = load(cfg, &rc).expect("checkpoint must load");
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut enc1 = out.encoder;
+        let mut enc2 = loaded.encoder;
+        enc1.pack_values(&mut a);
+        enc2.pack_values(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(out.loss_curve, loaded.loss_curve);
+        assert_eq!(out.eval_curve, loaded.eval_curve);
+        std::env::remove_var("GEOFM_RESULTS");
+    }
+
+    #[test]
+    fn key_differs_when_recipe_changes() {
+        let cfg = &VitConfig::tiny_family()[0];
+        let rc1 = quick_rc();
+        let mut rc2 = quick_rc();
+        rc2.pretrain_epochs = 2;
+        assert_ne!(run_key(cfg, &rc1), run_key(cfg, &rc2));
+        let fam = VitConfig::tiny_family();
+        assert_ne!(run_key(&fam[0], &rc1), run_key(&fam[1], &rc1));
+    }
+
+    #[test]
+    fn load_missing_returns_none() {
+        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-ckpt-none");
+        let cfg = &VitConfig::tiny_family()[1];
+        let mut rc = quick_rc();
+        rc.seed = 987654; // never trained
+        assert!(load(cfg, &rc).is_none());
+        std::env::remove_var("GEOFM_RESULTS");
+    }
+}

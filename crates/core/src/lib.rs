@@ -1,0 +1,21 @@
+//! # geofm-core
+//!
+//! The paper's end-to-end recipe (§V): MAE-pretrain a family of ViT
+//! encoders on (synthetic) MillionAID, then linear-probe each one on the
+//! four scene-classification benchmarks and report top-1/top-5 accuracy as
+//! a function of model scale.
+//!
+//! Everything is scaled down proportionally from the paper's setup (the
+//! hardware here is a single CPU core, not 64 Frontier nodes); the
+//! hyper-parameter *structure* is preserved: AdamW + cosine + warmup +
+//! 75 % masking for pretraining, frozen encoder + LARS + cosine for
+//! probing. The scale knobs live in [`RecipeConfig`] and are env-tunable
+//! (`GEOFM_SCALE`) so the reproduction can be run at different budgets.
+
+pub mod checkpoint;
+pub mod pipeline;
+pub mod recipe;
+
+pub use checkpoint::pretrain_cached;
+pub use pipeline::{pretrain, probe_dataset, DatasetProbe, PretrainOutcome, ProbePoint};
+pub use recipe::RecipeConfig;

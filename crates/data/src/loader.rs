@@ -1,0 +1,183 @@
+//! Multi-worker batch loader.
+//!
+//! Mirrors the structure of the PyTorch `DataLoader` used in the paper
+//! (4 workers per GPU rank): worker threads assemble batches in the
+//! background and hand them over a bounded crossbeam channel, so the
+//! training loop overlaps "IO" (here: gather + copy) with compute.
+
+use crate::datasets::SceneDataset;
+use crossbeam::channel::{bounded, Receiver};
+use geofm_tensor::{Tensor, TensorRng};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A prefetching loader over an in-memory [`SceneDataset`].
+///
+/// Iterating yields `(images, labels)` batches covering one epoch in a
+/// deterministic shuffled order. Batch *content* is independent of the
+/// worker count; only the assembly parallelism changes.
+pub struct DataLoader {
+    rx: Receiver<(usize, Tensor, Vec<usize>)>,
+    workers: Vec<JoinHandle<()>>,
+    /// Reorder buffer so batches arrive in deterministic order.
+    pending: Vec<Option<(Tensor, Vec<usize>)>>,
+    next: usize,
+    batches: usize,
+}
+
+impl DataLoader {
+    /// Start an epoch over `dataset` with the given batch size, worker
+    /// count and shuffle seed. Drops the last partial batch (as the paper's
+    /// fixed local-batch protocol does).
+    pub fn new(dataset: Arc<SceneDataset>, batch_size: usize, num_workers: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        assert!(num_workers > 0, "need at least one worker");
+        let n = dataset.len();
+        let mut rng = TensorRng::seed_from(seed);
+        let order = rng.permutation(n);
+        let batches = n / batch_size;
+        let (tx, rx) = bounded(2 * num_workers);
+        let order = Arc::new(order);
+        let mut workers = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let tx = tx.clone();
+            let dataset = Arc::clone(&dataset);
+            let order = Arc::clone(&order);
+            workers.push(std::thread::spawn(move || {
+                // round-robin batch assignment: worker w handles batches w, w+W, ...
+                let mut b = w;
+                while b < batches {
+                    let idx = &order[b * batch_size..(b + 1) * batch_size];
+                    let (images, labels) = dataset.batch(idx);
+                    if tx.send((b, images, labels)).is_err() {
+                        return; // loader dropped early
+                    }
+                    b += num_workers;
+                }
+            }));
+        }
+        Self { rx, workers, pending: (0..batches).map(|_| None).collect(), next: 0, batches }
+    }
+
+    /// Number of batches this epoch.
+    pub fn len(&self) -> usize {
+        self.batches
+    }
+
+    /// True if the epoch has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches == 0
+    }
+}
+
+impl Iterator for DataLoader {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.batches {
+            return None;
+        }
+        // receive until the next in-order batch is available
+        while self.pending[self.next].is_none() {
+            let (b, images, labels) = self
+                .rx
+                .recv()
+                .expect("loader worker died before producing all batches");
+            self.pending[b] = Some((images, labels));
+        }
+        let item = self.pending[self.next].take();
+        self.next += 1;
+        item
+    }
+}
+
+impl Drop for DataLoader {
+    fn drop(&mut self) {
+        // drain the channel so senders unblock, then join
+        while self.rx.try_recv().is_ok() {}
+        drop(std::mem::replace(&mut self.rx, bounded(1).1));
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+
+    fn dataset(n: usize) -> Arc<SceneDataset> {
+        Arc::new(SceneDataset::generate(DatasetKind::Ucm, n, 8, 1, 0, 3))
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let ds = dataset(40);
+        let loader = DataLoader::new(Arc::clone(&ds), 8, 3, 42);
+        assert_eq!(loader.len(), 5);
+        let mut seen_labels = Vec::new();
+        let mut batches = 0;
+        for (imgs, labels) in loader {
+            assert_eq!(imgs.shape(), &[8, 64]);
+            assert_eq!(labels.len(), 8);
+            seen_labels.extend(labels);
+            batches += 1;
+        }
+        assert_eq!(batches, 5);
+        // 40 samples, batch 8 → all 40 seen
+        let mut expected = ds.labels.clone();
+        expected.sort_unstable();
+        seen_labels.sort_unstable();
+        assert_eq!(seen_labels, expected);
+    }
+
+    #[test]
+    fn batch_content_independent_of_worker_count() {
+        let ds = dataset(32);
+        let collect = |workers: usize| -> Vec<Vec<usize>> {
+            DataLoader::new(Arc::clone(&ds), 4, workers, 7).map(|(_, l)| l).collect()
+        };
+        assert_eq!(collect(1), collect(4));
+    }
+
+    #[test]
+    fn shuffle_depends_on_seed() {
+        let ds = dataset(32);
+        let labels = |seed: u64| -> Vec<usize> {
+            DataLoader::new(Arc::clone(&ds), 4, 2, seed).flat_map(|(_, l)| l).collect()
+        };
+        assert_ne!(labels(1), labels(2));
+        assert_eq!(labels(3), labels(3));
+    }
+
+    #[test]
+    fn partial_batches_are_dropped() {
+        let ds = dataset(30);
+        let loader = DataLoader::new(ds, 8, 2, 1);
+        assert_eq!(loader.len(), 3);
+        assert_eq!(loader.count(), 3);
+    }
+
+    #[test]
+    fn early_drop_does_not_hang() {
+        let ds = dataset(64);
+        let mut loader = DataLoader::new(ds, 4, 4, 1);
+        let _ = loader.next();
+        drop(loader); // must not deadlock on full channel
+    }
+
+    #[test]
+    fn images_match_dataset_rows() {
+        let ds = dataset(16);
+        let mut rng = TensorRng::seed_from(5);
+        let order = rng.permutation(16);
+        let loader = DataLoader::new(Arc::clone(&ds), 4, 2, 5);
+        for (b, (imgs, labels)) in loader.enumerate() {
+            for (i, &src) in order[b * 4..(b + 1) * 4].iter().enumerate() {
+                assert_eq!(imgs.row(i), ds.images.row(src));
+                assert_eq!(labels[i], ds.labels[src]);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The data-loading (IO) throughput model — Figure 1's `io` curve.
+//!
+//! The paper runs the PyTorch dataloader in isolation with 4 workers per
+//! rank against MillionAID on Frontier's Lustre ("Orion") filesystem. Three
+//! ceilings apply: per-worker decode CPU time, per-node filesystem
+//! bandwidth, and the aggregate Lustre bandwidth (which never binds at
+//! ≤ 64 nodes — Orion delivers multiple TB/s).
+
+use crate::machine::FrontierMachine;
+
+/// Data-loader model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IoModel {
+    /// Loader workers per rank (paper: 4).
+    pub workers_per_rank: usize,
+    /// CPU time to read + decode + augment one 512² image (s).
+    pub decode_s: f64,
+    /// Achievable per-node filesystem bandwidth (B/s).
+    pub node_fs_bw: f64,
+    /// Aggregate Lustre bandwidth (B/s).
+    pub lustre_bw: f64,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        Self {
+            workers_per_rank: 4,
+            decode_s: 0.10,
+            node_fs_bw: 5e9,
+            lustre_bw: 5e12,
+        }
+    }
+}
+
+impl IoModel {
+    /// Aggregate loader throughput in images/s for a job on `machine`
+    /// reading images of `image_bytes` each.
+    pub fn io_ips(&self, machine: &FrontierMachine, image_bytes: u64) -> f64 {
+        let cpu_bound =
+            machine.world() as f64 * self.workers_per_rank as f64 / self.decode_s;
+        let node_bound = machine.nodes as f64 * self.node_fs_bw / image_bytes as f64;
+        let lustre_bound = self.lustre_bw / image_bytes as f64;
+        cpu_bound.min(node_bound).min(lustre_bound)
+    }
+
+    /// Per-step non-overlapped loader overhead added to the "real"
+    /// application time: the fraction of host-side work (collation, H2D)
+    /// the prefetching pipeline cannot hide.
+    pub fn exposed_overhead(&self, step_time_syn: f64) -> f64 {
+        0.04 * step_time_syn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_scales_linearly_while_cpu_bound() {
+        let io = IoModel::default();
+        let img = 3 * 512 * 512;
+        let one = io.io_ips(&FrontierMachine::new(1), img);
+        let four = io.io_ips(&FrontierMachine::new(4), img);
+        assert!((four / one - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lustre_caps_extreme_scale() {
+        let mut io = IoModel::default();
+        io.lustre_bw = 1e10; // artificially small aggregate
+        let img = 3 * 512 * 512;
+        let small = io.io_ips(&FrontierMachine::new(1), img);
+        let big = io.io_ips(&FrontierMachine::new(512), img);
+        assert!(big < small * 512.0, "aggregate cap must bind");
+        assert!((big - io.lustre_bw / img as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_io_exceeds_typical_compute_rates() {
+        // Figure 1: io is faster than syn even at one node (MAE-3B runs at
+        // tens of ips per node; the loader sustains hundreds).
+        let io = IoModel::default();
+        let ips = io.io_ips(&FrontierMachine::new(1), 3 * 512 * 512);
+        assert!(ips > 100.0, "io ips {}", ips);
+    }
+
+    #[test]
+    fn overhead_is_small_fraction() {
+        let io = IoModel::default();
+        assert!(io.exposed_overhead(1.0) < 0.1);
+    }
+}

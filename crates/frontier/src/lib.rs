@@ -1,0 +1,48 @@
+//! # geofm-frontier
+//!
+//! A calibrated performance model of the Frontier supercomputer for
+//! FSDP-style ViT training — the substrate that regenerates the paper's
+//! Figures 1–4 without the actual machine.
+//!
+//! Components:
+//!
+//! * [`machine`] — hardware description (§III-B: 8 GCDs/node with 64 GB HBM
+//!   each, Infinity-Fabric intra-node links, Slingshot-11 inter-node) and
+//!   α–β ring cost models for collectives over that topology.
+//! * [`workload`] — per-unit compute/communication workload derived from
+//!   `geofm-vit`'s analytic FLOPs and parameter counts (ViT and MAE).
+//! * [`schedule`] — builds the per-step task DAG for every sharding
+//!   strategy and prefetch policy (gather → compute → re-gather →
+//!   reduce-scatter/all-reduce), mirroring `geofm-fsdp`'s real engine.
+//! * [`engine`] — a discrete-event simulator with two resource streams per
+//!   rank (GPU compute, NIC communication); overlap emerges from the DAG.
+//! * [`memory`] — per-GPU memory footprint per strategy (Figures 3–4 memory
+//!   panels).
+//! * [`power`] — rocm-smi-style power/utilisation traces from the DES
+//!   timeline (Figure 4 bottom panel).
+//! * [`io`] — the Lustre/data-loader throughput model (Figure 1 `io` curve).
+//! * [`sim`] — the top-level [`sim::simulate`] entry point.
+//! * [`analytic`] — a closed-form estimate used to cross-check the DES.
+//!
+//! ## Calibration
+//!
+//! Absolute throughput is calibrated against the only two ips values the
+//! paper prints (1509 vs 1307 ips for ViT-5B on 32 nodes, §IV-D); every
+//! other claim reproduced is about *shape*: who wins, where curves flatten,
+//! relative memory footprints. Calibration constants are collected in
+//! [`machine::Calibration`] with documentation for each choice.
+
+pub mod analytic;
+pub mod engine;
+pub mod io;
+pub mod machine;
+pub mod memory;
+pub mod power;
+pub mod schedule;
+pub mod sim;
+pub mod workload;
+
+pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
+pub use memory::MemoryModel;
+pub use sim::{simulate, SimConfig, SimResult};
+pub use workload::{MaeWorkload, StepWorkload, VitWorkload};

@@ -1,0 +1,357 @@
+//! Frontier hardware description and collective cost models.
+
+/// Collective operations priced by the machine model (mirrors
+/// `geofm_collectives::CollectiveKind`, duplicated to keep this crate free
+/// of the threaded transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommOp {
+    /// Sum to all ranks.
+    AllReduce,
+    /// Concatenate shards to all ranks.
+    AllGather,
+    /// Sum, leaving each rank one shard.
+    ReduceScatter,
+}
+
+/// Where a process group's ranks physically sit, which decides its
+/// bottleneck link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupSpan {
+    /// Both ranks are GCDs of one MI250X package (Infinity Fabric die pair).
+    SamePair,
+    /// All ranks within one node (Infinity Fabric GPU–GPU mesh).
+    SameNode,
+    /// Ranks on multiple nodes (Slingshot-11).
+    CrossNode,
+}
+
+/// Physical geometry of one process group on the machine: member count,
+/// span, how many sibling groups share each node's NIC, and how many nodes
+/// the group touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupGeom {
+    /// Group size (ranks).
+    pub m: usize,
+    /// Bottleneck link class.
+    pub span: GroupSpan,
+    /// Concurrent sibling groups whose boundary flows share a node NIC.
+    pub flows_per_node: usize,
+    /// Nodes the group has members on.
+    pub nodes_spanned: usize,
+}
+
+/// Calibration constants for the performance model.
+///
+/// Bandwidths are *achievable* (not peak) figures; the two throughput
+/// targets from §IV-D (1509/1307 ips) anchor the compute-efficiency curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Achievable matmul throughput ceiling per GCD (mixed precision),
+    /// FLOP/s. MI250X peak is ~191 TF/GCD (bf16); large trainings reach a
+    /// fraction of it.
+    pub peak_flops: f64,
+    /// Asymptotic fraction of `peak_flops` reached by very wide layers.
+    pub eff_max: f64,
+    /// Width at which efficiency reaches half of `eff_max` (roofline knee).
+    pub eff_whalf: f64,
+    /// Achievable bandwidth between the two GCDs of one MI250X (B/s).
+    pub bw_pair: f64,
+    /// Achievable Infinity-Fabric bandwidth within a node (B/s).
+    pub bw_node: f64,
+    /// Achieved node-aggregate RCCL bus bandwidth across nodes (B/s).
+    ///
+    /// The key structural fact: a ring that is node-contiguous crosses each
+    /// node boundary once, so the *node NIC* is the shared bottleneck and a
+    /// global gradient reduction moves ~2·P bytes per node **regardless of
+    /// the sharding-group size k** (k replica groups each move P/k through
+    /// k boundary flows). Calibrated so the MAE-3B communication share
+    /// reaches ≈22 % at 64 nodes (§IV-A) — measured RCCL busbw on
+    /// Slingshot-11 at this era was far below the 100 GB/s NIC peak.
+    pub bw_node_nic: f64,
+    /// Straggler/jitter inflation per log2 of group size: large collectives
+    /// are slowed by OS noise and arrival skew, `×(1 + jitter·log2(m))`.
+    pub jitter_per_log2: f64,
+    /// Fixed CPU issue/synchronization overhead per sharded unit pass (s):
+    /// flat-param views must be rebuilt and streams synchronized each time
+    /// a unit's parameters are materialised or its gradients flattened.
+    pub shard_unit_overhead: f64,
+    /// Flat-parameter copy-in/copy-out bandwidth (B/s): sharded strategies
+    /// unflatten gathered parameters before compute and flatten gradients
+    /// after, on the compute stream (the paper's "synchronization overhead
+    /// for model sharding", §IV-C).
+    pub shard_copy_bw: f64,
+    /// Software launch overhead per collective call (s).
+    pub alpha_call: f64,
+    /// Per-ring-step latency within a node (s).
+    pub alpha_step_intra: f64,
+    /// Per-ring-step latency across nodes (s).
+    pub alpha_step_inter: f64,
+    /// Kernel-launch + bookkeeping overhead per unit per pass (s).
+    pub kernel_overhead: f64,
+    /// Extra per-call overhead multiplier for the NO_SHARD code path
+    /// (§IV-C observes HYBRID_1GPU > NO_SHARD despite identical algebra —
+    /// the implementations differ).
+    pub no_shard_call_penalty: f64,
+    /// Duration multiplier applied to all-gathers issued while more than
+    /// two are already in flight and `limit_all_gathers` is off (allocator
+    /// and cache thrash, §IV-B).
+    pub unthrottled_gather_penalty: f64,
+    /// GPU power draw at full compute utilisation (W per GCD).
+    pub power_compute: f64,
+    /// GPU power draw while communicating (W per GCD).
+    pub power_comm: f64,
+    /// GPU idle power (W per GCD).
+    pub power_idle: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            peak_flops: 191e12,
+            eff_max: 0.32,
+            eff_whalf: 670.0,
+            bw_pair: 150e9,
+            bw_node: 40e9,
+            bw_node_nic: 16e9,
+            jitter_per_log2: 0.15,
+            shard_unit_overhead: 0.3e-3,
+            shard_copy_bw: 40e9,
+            alpha_call: 30e-6,
+            alpha_step_intra: 1e-6,
+            alpha_step_inter: 8e-6,
+            kernel_overhead: 100e-6,
+            no_shard_call_penalty: 1.6,
+            unthrottled_gather_penalty: 1.22,
+            power_compute: 250.0,
+            power_comm: 150.0,
+            power_idle: 90.0,
+        }
+    }
+}
+
+/// The Frontier machine (§III-B).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierMachine {
+    /// Nodes allocated to the job.
+    pub nodes: usize,
+    /// GCDs per node (the paper treats each GCD as a GPU).
+    pub gpus_per_node: usize,
+    /// HBM per GCD in bytes.
+    pub hbm_per_gpu: u64,
+    /// Calibration constants.
+    pub cal: Calibration,
+}
+
+impl FrontierMachine {
+    /// A Frontier allocation of `nodes` nodes with default calibration.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(nodes <= 9408, "Frontier has 9408 nodes");
+        Self { nodes, gpus_per_node: 8, hbm_per_gpu: 64 * (1 << 30), cal: Calibration::default() }
+    }
+
+    /// Total GPUs (GCDs) in the allocation.
+    pub fn world(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Physical span of a group of `group_size` **contiguous** ranks.
+    pub fn contiguous_span(&self, group_size: usize) -> GroupSpan {
+        if group_size <= 2 {
+            GroupSpan::SamePair
+        } else if group_size <= self.gpus_per_node {
+            GroupSpan::SameNode
+        } else {
+            GroupSpan::CrossNode
+        }
+    }
+
+    /// Geometry of a sharding group of `k` contiguous ranks.
+    pub fn shard_geom(&self, k: usize) -> GroupGeom {
+        let k = k.min(self.world());
+        GroupGeom {
+            m: k,
+            span: self.contiguous_span(k),
+            flows_per_node: 1,
+            nodes_spanned: k.div_ceil(self.gpus_per_node),
+        }
+    }
+
+    /// Geometry of a replica group when the shard groups have `k` ranks:
+    /// `world/k` members strided `k` apart. For `k ≤ 8` there are `k`
+    /// concurrent replica rings whose boundary flows share each node's NIC;
+    /// for `k > 8` a node's eight GCDs belong to eight distinct replica
+    /// groups.
+    pub fn replica_geom(&self, k: usize) -> GroupGeom {
+        let world = self.world();
+        let k = k.min(world).max(1);
+        let m = world / k;
+        if m <= 1 {
+            return GroupGeom { m: 1, span: GroupSpan::SamePair, flows_per_node: 1, nodes_spanned: 1 };
+        }
+        let g = self.gpus_per_node;
+        let span = if self.nodes == 1 {
+            let extent = (m - 1) * k + 1;
+            if extent <= 2 { GroupSpan::SamePair } else { GroupSpan::SameNode }
+        } else {
+            GroupSpan::CrossNode
+        };
+        GroupGeom { m, span, flows_per_node: k.min(g), nodes_spanned: self.nodes.min(m) }
+    }
+
+    /// Geometry of the full world group.
+    pub fn world_geom(&self) -> GroupGeom {
+        self.shard_geom(self.world())
+    }
+
+    /// Achievable bottleneck bandwidth for a group (per boundary flow).
+    pub fn geom_bandwidth(&self, geom: &GroupGeom) -> f64 {
+        match geom.span {
+            GroupSpan::SamePair => self.cal.bw_pair,
+            GroupSpan::SameNode => self.cal.bw_node,
+            GroupSpan::CrossNode => self.cal.bw_node_nic / geom.flows_per_node as f64,
+        }
+    }
+
+    /// Time for one collective of `op` over `bytes` of payload on a group
+    /// with geometry `geom`.
+    ///
+    /// Node-contiguous rings cross each node boundary once, so the moved
+    /// volume per bottleneck link is `c_op · bytes · (m−1)/m` at the
+    /// geometry's bottleneck bandwidth, inflated by straggler jitter
+    /// (`× (1 + jitter · log2 m)`), plus per-call launch overhead and ring
+    /// latency.
+    pub fn collective_time(&self, op: CommOp, bytes: u64, geom: &GroupGeom) -> f64 {
+        if geom.m <= 1 {
+            return 0.0;
+        }
+        let m = geom.m as f64;
+        let c = match op {
+            CommOp::AllGather | CommOp::ReduceScatter => 1.0,
+            CommOp::AllReduce => 2.0,
+        };
+        let volume = c * bytes as f64 * (m - 1.0) / m;
+        let bw = self.geom_bandwidth(geom);
+        let jitter = 1.0 + self.cal.jitter_per_log2 * m.log2();
+        let latency = match geom.span {
+            GroupSpan::CrossNode => {
+                geom.nodes_spanned as f64 * self.cal.alpha_step_inter
+                    + (geom.m.saturating_sub(geom.nodes_spanned)) as f64 * self.cal.alpha_step_intra
+            }
+            _ => geom.m as f64 * self.cal.alpha_step_intra,
+        };
+        self.cal.alpha_call + volume * jitter / bw + c * latency
+    }
+
+    /// Compute time for `flops` of matmul-dominated work at layer width
+    /// `width` (roofline-style efficiency ramp + kernel overhead).
+    pub fn compute_time(&self, flops: f64, width: usize) -> f64 {
+        let eff = self.cal.eff_max * width as f64 / (width as f64 + self.cal.eff_whalf);
+        self.cal.kernel_overhead + flops / (self.cal.peak_flops * eff)
+    }
+
+    /// Flat-parameter copy (unflatten/flatten) time for `bytes` — charged
+    /// to the compute stream by sharded strategies.
+    pub fn shard_copy_time(&self, bytes: u64) -> f64 {
+        self.cal.shard_unit_overhead + bytes as f64 / self.cal.shard_copy_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_counts_gcds() {
+        assert_eq!(FrontierMachine::new(1).world(), 8);
+        assert_eq!(FrontierMachine::new(64).world(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "9408")]
+    fn cannot_exceed_frontier() {
+        let _ = FrontierMachine::new(10_000);
+    }
+
+    #[test]
+    fn span_classification_contiguous() {
+        let m = FrontierMachine::new(4);
+        assert_eq!(m.contiguous_span(2), GroupSpan::SamePair);
+        assert_eq!(m.contiguous_span(4), GroupSpan::SameNode);
+        assert_eq!(m.contiguous_span(8), GroupSpan::SameNode);
+        assert_eq!(m.contiguous_span(16), GroupSpan::CrossNode);
+    }
+
+    #[test]
+    fn replica_geometry_flows() {
+        let m = FrontierMachine::new(4); // 32 GCDs
+        let g2 = m.replica_geom(2);
+        assert_eq!(g2.m, 16);
+        assert_eq!(g2.flows_per_node, 2);
+        assert_eq!(g2.span, GroupSpan::CrossNode);
+        let g16 = m.replica_geom(16);
+        assert_eq!(g16.m, 2);
+        assert_eq!(g16.flows_per_node, 8);
+        let g32 = m.replica_geom(32);
+        assert_eq!(g32.m, 1); // no replication
+    }
+
+    #[test]
+    fn replica_all_reduce_time_is_nearly_k_invariant() {
+        // The conserved-NIC property: k replica groups each move P/k through
+        // k flows → time independent of k (up to jitter/latency terms).
+        let machine = FrontierMachine::new(64);
+        let p: u64 = 12 * (1 << 30);
+        let t = |k: usize| {
+            machine.collective_time(CommOp::AllReduce, p / k as u64, &machine.replica_geom(k))
+        };
+        let t1 = machine.collective_time(CommOp::AllReduce, p, &machine.world_geom());
+        let t2 = t(2);
+        let t8 = t(8);
+        assert!((t2 - t1).abs() / t1 < 0.2, "t1 {} vs t2 {}", t1, t2);
+        assert!((t8 - t1).abs() / t1 < 0.3, "t1 {} vs t8 {}", t1, t8);
+        // larger groups carry more jitter → k=1 (largest m) is the slowest
+        assert!(t1 >= t8, "jitter should penalise the biggest ring");
+    }
+
+    #[test]
+    fn bandwidth_ordering() {
+        let m = FrontierMachine::new(2);
+        let pair = m.geom_bandwidth(&m.shard_geom(2));
+        let node = m.geom_bandwidth(&m.shard_geom(8));
+        let inter = m.geom_bandwidth(&m.shard_geom(16));
+        assert!(pair > node && node > inter);
+    }
+
+    #[test]
+    fn all_reduce_costs_double_gather() {
+        let m = FrontierMachine::new(2);
+        let geom = m.shard_geom(16);
+        let ag = m.collective_time(CommOp::AllGather, 1 << 30, &geom);
+        let ar = m.collective_time(CommOp::AllReduce, 1 << 30, &geom);
+        assert!(ar > 1.7 * ag && ar < 2.3 * ag, "ar {} vs ag {}", ar, ag);
+    }
+
+    #[test]
+    fn single_rank_groups_are_free() {
+        let m = FrontierMachine::new(1);
+        assert_eq!(m.collective_time(CommOp::AllReduce, 1 << 20, &m.replica_geom(8)), 0.0);
+    }
+
+    #[test]
+    fn compute_efficiency_grows_with_width() {
+        let m = FrontierMachine::new(1);
+        let flops = 1e12;
+        assert!(m.compute_time(flops, 768) > m.compute_time(flops, 5040));
+    }
+
+    #[test]
+    fn shard_copy_time_is_affine_in_bytes() {
+        let m = FrontierMachine::new(1);
+        let t0 = m.shard_copy_time(0);
+        let t1 = m.shard_copy_time(1 << 30);
+        let t2 = m.shard_copy_time(2 << 30);
+        assert!(t0 > 0.0, "fixed issue overhead");
+        assert!(((t2 - t0) / (t1 - t0) - 2.0).abs() < 1e-9);
+    }
+}

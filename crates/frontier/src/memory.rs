@@ -1,0 +1,176 @@
+//! Per-GPU memory footprint model (Figures 3–4 memory panels).
+//!
+//! Components, in bytes, for a model with `P` parameter bytes (f32):
+//!
+//! * **state** — parameters + gradients + AdamW moments = `4P`, divided by
+//!   the sharding factor of each component per strategy;
+//! * **transient** — either a full-size flat temp (`P`, unsharded-parameter
+//!   strategies: the reduce/optimizer staging buffer) or two gathered unit
+//!   buffers (sharded strategies, FSDP's default two-units-in-flight);
+//! * **activations** — strategy-independent (from the workload);
+//! * **fixed** — runtime + workspace overhead.
+
+use crate::workload::StepWorkload;
+use geofm_fsdp::ShardingStrategy;
+
+/// Fixed runtime overhead (ROCm runtime, RCCL buffers, fragmentation).
+const FIXED_BYTES: u64 = 300 * (1 << 20);
+
+/// A memory estimate broken into components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Persistent training state (params/grads/moments, after sharding).
+    pub state_bytes: u64,
+    /// Transient buffers (gather targets or flat temps).
+    pub transient_bytes: u64,
+    /// Activations.
+    pub act_bytes: u64,
+    /// Fixed overhead.
+    pub fixed_bytes: u64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.state_bytes + self.transient_bytes + self.act_bytes + self.fixed_bytes
+    }
+
+    /// Total in GiB.
+    pub fn total_gib(&self) -> f64 {
+        self.total() as f64 / (1u64 << 30) as f64
+    }
+}
+
+/// The memory model.
+pub struct MemoryModel;
+
+impl MemoryModel {
+    /// Estimate the per-GPU footprint of training `workload` under
+    /// `strategy` on a world of `world` GPUs.
+    pub fn estimate(
+        workload: &StepWorkload,
+        strategy: ShardingStrategy,
+        world: usize,
+    ) -> MemoryEstimate {
+        let p = workload.param_bytes();
+        let k = strategy.shard_group_size(world).min(world) as u64;
+        // unsharded-parameter strategies stage a full flat temp plus
+        // reduction buffers (calibrated: 1.3·P reproduces §IV-C's ">60 GB")
+        let unsharded_transient = p + 3 * p / 10;
+        let (state, transient) = match strategy {
+            ShardingStrategy::NoShard | ShardingStrategy::Ddp { .. } => (4 * p, unsharded_transient),
+            ShardingStrategy::Hybrid { .. } if k == 1 => (4 * p, unsharded_transient),
+            ShardingStrategy::FullShard | ShardingStrategy::Hybrid { .. } => {
+                (4 * p / k, 2 * workload.max_unit_bytes())
+            }
+            ShardingStrategy::ShardGradOp => {
+                // params resident in full during compute; grads+moments sharded
+                (p + 3 * p / k, 2 * workload.max_unit_bytes())
+            }
+        };
+        MemoryEstimate {
+            state_bytes: state,
+            transient_bytes: transient,
+            act_bytes: workload.act_bytes,
+            fixed_bytes: FIXED_BYTES,
+        }
+    }
+
+    /// Whether the strategy fits in `hbm_per_gpu` bytes.
+    pub fn fits(workload: &StepWorkload, strategy: ShardingStrategy, world: usize, hbm: u64) -> bool {
+        Self::estimate(workload, strategy, world).total() <= hbm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::VitWorkload;
+    use geofm_vit::{VitConfig, VitVariant};
+
+    const HBM: u64 = 64 * (1 << 30);
+
+    fn wl(v: VitVariant) -> StepWorkload {
+        VitWorkload::build(&VitConfig::table1(v), 32, 224)
+    }
+
+    #[test]
+    fn vit3b_unsharded_uses_over_60_gb_but_fits() {
+        // §IV-C: "the ViT-3B model uses more than 60 GB of memory per GPU"
+        let est = MemoryModel::estimate(&wl(VitVariant::B3), ShardingStrategy::NoShard, 8);
+        let gib = est.total_gib();
+        assert!(gib > 60.0, "3B NO_SHARD = {:.1} GiB", gib);
+        assert!(est.total() <= HBM, "3B must fit on one GPU ({:.1} GiB)", gib);
+    }
+
+    #[test]
+    fn hybrid2_halves_the_footprint() {
+        // §IV-C: "when the model is sharded on two GPUs ... memory usage is
+        // dropped in half"
+        let one = MemoryModel::estimate(&wl(VitVariant::B3), ShardingStrategy::Hybrid { shard_size: 1 }, 16)
+            .total_gib();
+        let two = MemoryModel::estimate(&wl(VitVariant::B3), ShardingStrategy::Hybrid { shard_size: 2 }, 16)
+            .total_gib();
+        let ratio = two / one;
+        assert!(ratio > 0.35 && ratio < 0.6, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn full_shard_3b_drops_to_a_few_gb_at_64_nodes() {
+        // §IV-C: FULL_SHARD memory falls with world size, "up to 4 GB"
+        let est = MemoryModel::estimate(&wl(VitVariant::B3), ShardingStrategy::FullShard, 512);
+        let gib = est.total_gib();
+        assert!(gib < 6.0, "FULL_SHARD @512 = {:.1} GiB", gib);
+    }
+
+    #[test]
+    fn full_shard_memory_decreases_with_world() {
+        let w = wl(VitVariant::B3);
+        let g8 = MemoryModel::estimate(&w, ShardingStrategy::FullShard, 8).total();
+        let g64 = MemoryModel::estimate(&w, ShardingStrategy::FullShard, 64).total();
+        let g512 = MemoryModel::estimate(&w, ShardingStrategy::FullShard, 512).total();
+        assert!(g8 > g64 && g64 > g512);
+    }
+
+    #[test]
+    fn no_shard_memory_constant_in_world() {
+        let w = wl(VitVariant::Huge);
+        let a = MemoryModel::estimate(&w, ShardingStrategy::NoShard, 8).total();
+        let b = MemoryModel::estimate(&w, ShardingStrategy::NoShard, 512).total();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vit5b_needs_two_gpus() {
+        // §IV-D: 5B does not fit on one GPU; fits with HYBRID_2GPUs
+        let w = wl(VitVariant::B5);
+        assert!(!MemoryModel::fits(&w, ShardingStrategy::NoShard, 16, HBM));
+        assert!(!MemoryModel::fits(&w, ShardingStrategy::Hybrid { shard_size: 1 }, 16, HBM));
+        assert!(MemoryModel::fits(&w, ShardingStrategy::Hybrid { shard_size: 2 }, 16, HBM));
+    }
+
+    #[test]
+    fn vit15b_needs_four_gpus() {
+        // §IV-D: 15B fits on four GPUs at minimum
+        let w = wl(VitVariant::B15);
+        assert!(!MemoryModel::fits(&w, ShardingStrategy::Hybrid { shard_size: 2 }, 32, HBM));
+        assert!(MemoryModel::fits(&w, ShardingStrategy::Hybrid { shard_size: 4 }, 32, HBM));
+    }
+
+    #[test]
+    fn shard_grad_op_uses_more_than_full_shard() {
+        // §IV-D: SHARD_GRAD_OP's footprint is much larger than FULL_SHARD's
+        let w = wl(VitVariant::B15);
+        let sgo = MemoryModel::estimate(&w, ShardingStrategy::ShardGradOp, 256).total();
+        let fs = MemoryModel::estimate(&w, ShardingStrategy::FullShard, 256).total();
+        assert!(sgo > 2 * fs, "sgo {} vs fs {}", sgo, fs);
+    }
+
+    #[test]
+    fn smaller_models_use_less_memory() {
+        let strategies = ShardingStrategy::NoShard;
+        let base = MemoryModel::estimate(&wl(VitVariant::Base), strategies, 8).total();
+        let huge = MemoryModel::estimate(&wl(VitVariant::Huge), strategies, 8).total();
+        assert!(base < huge);
+    }
+}

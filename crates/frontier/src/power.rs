@@ -1,0 +1,122 @@
+//! rocm-smi-style GPU telemetry traces derived from the DES timeline
+//! (Figure 4, bottom panel: power / memory / utilisation).
+
+use crate::engine::{Stream, Timeline};
+use crate::machine::Calibration;
+
+/// A sampled telemetry trace for one GPU over one (repeated) step.
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    /// Sample times (s).
+    pub t: Vec<f64>,
+    /// Power draw (W).
+    pub power: Vec<f64>,
+    /// GPU utilisation (%).
+    pub util: Vec<f64>,
+    /// Memory used (GiB), constant per strategy.
+    pub mem_gib: f64,
+}
+
+impl PowerTrace {
+    /// Mean power over the trace.
+    pub fn mean_power(&self) -> f64 {
+        if self.power.is_empty() {
+            0.0
+        } else {
+            self.power.iter().sum::<f64>() / self.power.len() as f64
+        }
+    }
+
+    /// Mean utilisation over the trace.
+    pub fn mean_util(&self) -> f64 {
+        if self.util.is_empty() {
+            0.0
+        } else {
+            self.util.iter().sum::<f64>() / self.util.len() as f64
+        }
+    }
+}
+
+/// Sample a step timeline into a telemetry trace with `samples` points.
+/// Compute activity dominates the reading when both streams are busy
+/// (the GPU is the hotter device).
+pub fn sample_trace(
+    timeline: &Timeline,
+    cal: &Calibration,
+    mem_gib: f64,
+    samples: usize,
+) -> PowerTrace {
+    let dt = timeline.makespan / samples.max(1) as f64;
+    let mut t = Vec::with_capacity(samples);
+    let mut power = Vec::with_capacity(samples);
+    let mut util = Vec::with_capacity(samples);
+    for s in 0..samples {
+        let time = (s as f64 + 0.5) * dt;
+        let mut compute = false;
+        let mut comm = false;
+        for &(start, end, stream) in &timeline.spans {
+            if time >= start && time < end {
+                match stream {
+                    Stream::Compute => compute = true,
+                    Stream::Comm => comm = true,
+                }
+            }
+        }
+        let (p, u) = if compute {
+            (cal.power_compute, 100.0)
+        } else if comm {
+            (cal.power_comm, 100.0) // rocm-smi reports busy during collectives
+        } else {
+            (cal.power_idle, 0.0)
+        };
+        t.push(time);
+        power.push(p);
+        util.push(u);
+    }
+    PowerTrace { t, power, util, mem_gib }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute, Task};
+
+    fn cal() -> Calibration {
+        Calibration::default()
+    }
+
+    #[test]
+    fn all_compute_draws_compute_power() {
+        let tl = execute(&[Task { dur: 1.0, stream: Stream::Compute, deps: vec![], label: "c".into() }]);
+        let tr = sample_trace(&tl, &cal(), 10.0, 50);
+        assert!((tr.mean_power() - cal().power_compute).abs() < 1e-6);
+        assert!((tr.mean_util() - 100.0).abs() < 1e-6);
+        assert_eq!(tr.mem_gib, 10.0);
+    }
+
+    #[test]
+    fn comm_only_draws_less_power() {
+        let tl = execute(&[
+            Task { dur: 1.0, stream: Stream::Compute, deps: vec![], label: "c".into() },
+            Task { dur: 1.0, stream: Stream::Comm, deps: vec![0], label: "m".into() },
+        ]);
+        let tr = sample_trace(&tl, &cal(), 1.0, 100);
+        // first half compute power, second half comm power
+        let mid = tr.power.len() / 2;
+        assert!(tr.power[mid / 2] > tr.power[mid + mid / 2]);
+        let expect = (cal().power_compute + cal().power_comm) / 2.0;
+        assert!((tr.mean_power() - expect).abs() < 10.0);
+    }
+
+    #[test]
+    fn higher_compute_share_means_higher_mean_power() {
+        let busy = execute(&[Task { dur: 2.0, stream: Stream::Compute, deps: vec![], label: String::new() }]);
+        let mixed = execute(&[
+            Task { dur: 1.0, stream: Stream::Compute, deps: vec![], label: String::new() },
+            Task { dur: 1.0, stream: Stream::Comm, deps: vec![0], label: String::new() },
+        ]);
+        let pb = sample_trace(&busy, &cal(), 1.0, 64).mean_power();
+        let pm = sample_trace(&mixed, &cal(), 1.0, 64).mean_power();
+        assert!(pb > pm);
+    }
+}

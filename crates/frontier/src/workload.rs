@@ -1,0 +1,259 @@
+//! Per-unit compute/communication workloads for the simulator, derived from
+//! the analytic FLOPs and parameter counts in `geofm-vit`.
+
+use geofm_vit::config::VitConfig;
+use geofm_vit::flops::encoder_flops;
+
+/// One FSDP unit's share of the step.
+#[derive(Debug, Clone)]
+pub struct UnitWork {
+    /// Display name.
+    pub name: String,
+    /// Parameter bytes (f32).
+    pub param_bytes: u64,
+    /// Forward FLOPs for the local batch.
+    pub fwd_flops: f64,
+    /// Backward FLOPs for the local batch (≈ 2× forward).
+    pub bwd_flops: f64,
+    /// Representative layer width (drives the efficiency model).
+    pub width: usize,
+}
+
+/// The full per-rank step workload.
+#[derive(Debug, Clone)]
+pub struct StepWorkload {
+    /// Human-readable name (e.g. "ViT-3B" or "MAE-ViT-3B").
+    pub name: String,
+    /// FSDP units in forward order.
+    pub units: Vec<UnitWork>,
+    /// Local (per-GPU) batch size.
+    pub local_batch: usize,
+    /// Bytes of one raw input image (for the IO model).
+    pub image_bytes: u64,
+    /// Activation memory per GPU in bytes (strategy-independent).
+    pub act_bytes: u64,
+}
+
+impl StepWorkload {
+    /// Total parameter bytes.
+    pub fn param_bytes(&self) -> u64 {
+        self.units.iter().map(|u| u.param_bytes).sum()
+    }
+
+    /// Largest unit's parameter bytes (transient gather buffer sizing).
+    pub fn max_unit_bytes(&self) -> u64 {
+        self.units.iter().map(|u| u.param_bytes).max().unwrap_or(0)
+    }
+
+    /// Total forward+backward FLOPs per step.
+    pub fn total_flops(&self) -> f64 {
+        self.units.iter().map(|u| u.fwd_flops + u.bwd_flops).sum()
+    }
+}
+
+/// Activation-memory calibration: bytes ≈ K · batch · tokens · width · depth · 4.
+/// K < 1 models activation rematerialisation (required to make the paper's
+/// own memory statements mutually consistent — see EXPERIMENTS.md).
+const ACT_FACTOR: f64 = 0.25;
+
+fn act_bytes(batch: usize, tokens: usize, width: usize, depth: usize) -> u64 {
+    (ACT_FACTOR * batch as f64 * tokens as f64 * width as f64 * depth as f64 * 4.0) as u64
+}
+
+/// Builder for the plain-ViT performance workload (Figures 2–4).
+#[derive(Debug, Clone)]
+pub struct VitWorkload;
+
+impl VitWorkload {
+    /// Build the per-step workload for `cfg` at `local_batch`, using
+    /// `img` pixels for the performance geometry (the paper's performance
+    /// sections do not state the image size; 224 px makes its §IV-C/IV-D
+    /// memory statements consistent — see EXPERIMENTS.md).
+    pub fn build(cfg: &VitConfig, local_batch: usize, img: usize) -> StepWorkload {
+        let mut perf_cfg = cfg.clone();
+        perf_cfg.img = img;
+        let tokens = perf_cfg.tokens();
+        let b = local_batch as f64;
+
+        let block_fwd =
+            b * encoder_flops(&perf_cfg, tokens, false) / perf_cfg.depth as f64;
+        let embed_fwd = b * tokens as f64 * 2.0 * (perf_cfg.patch_dim() as f64)
+            * perf_cfg.width as f64;
+
+        let w = perf_cfg.width as u64;
+        let embed_params =
+            (perf_cfg.patch_dim() as u64) * w + w + (tokens as u64) * w;
+        let mut units = vec![UnitWork {
+            name: "embed".into(),
+            param_bytes: embed_params * 4,
+            fwd_flops: embed_fwd,
+            bwd_flops: 2.0 * embed_fwd,
+            width: perf_cfg.width,
+        }];
+        for i in 0..perf_cfg.depth {
+            units.push(UnitWork {
+                name: format!("block{}", i),
+                param_bytes: perf_cfg.block_params() * 4,
+                fwd_flops: block_fwd,
+                bwd_flops: 2.0 * block_fwd,
+                width: perf_cfg.width,
+            });
+        }
+        units.push(UnitWork {
+            name: "final_ln".into(),
+            param_bytes: 2 * w * 4,
+            fwd_flops: b * (tokens as f64) * 8.0 * perf_cfg.width as f64,
+            bwd_flops: 2.0 * b * (tokens as f64) * 8.0 * perf_cfg.width as f64,
+            width: perf_cfg.width,
+        });
+
+        StepWorkload {
+            name: cfg.name.clone(),
+            units,
+            local_batch,
+            image_bytes: (3 * img * img) as u64, // ~1 byte/px/channel compressed
+            act_bytes: act_bytes(local_batch, tokens, perf_cfg.width, perf_cfg.depth),
+        }
+    }
+}
+
+/// Builder for the MAE pretraining workload (Figure 1): encoder on visible
+/// tokens at the paper's 512 px geometry + the 8×512 decoder on all tokens.
+#[derive(Debug, Clone)]
+pub struct MaeWorkload;
+
+impl MaeWorkload {
+    /// Build the MAE step workload for encoder `cfg` at `local_batch` and
+    /// `mask_ratio` (paper: 0.75, 512 px inputs).
+    pub fn build(cfg: &VitConfig, local_batch: usize, mask_ratio: f64) -> StepWorkload {
+        let tokens = cfg.tokens();
+        let visible = ((tokens as f64) * (1.0 - mask_ratio)).round().max(1.0) as usize;
+        let b = local_batch as f64;
+
+        // encoder units on visible tokens
+        let enc_block_fwd = b * encoder_flops(cfg, visible, false) / cfg.depth as f64;
+        let embed_fwd = b * visible as f64 * 2.0 * (cfg.patch_dim() as f64) * cfg.width as f64;
+        let w = cfg.width as u64;
+        let embed_params = (cfg.patch_dim() as u64) * w + w + (tokens as u64) * w;
+
+        let mut units = vec![UnitWork {
+            name: "embed".into(),
+            param_bytes: embed_params * 4,
+            fwd_flops: embed_fwd,
+            bwd_flops: 2.0 * embed_fwd,
+            width: cfg.width,
+        }];
+        for i in 0..cfg.depth {
+            units.push(UnitWork {
+                name: format!("enc{}", i),
+                param_bytes: cfg.block_params() * 4,
+                fwd_flops: enc_block_fwd,
+                bwd_flops: 2.0 * enc_block_fwd,
+                width: cfg.width,
+            });
+        }
+
+        // decoder: paper default 8 blocks × 512 wide on the full grid
+        let dec = VitConfig {
+            name: format!("{}-dec", cfg.name),
+            width: 512,
+            depth: 8,
+            mlp: 2048,
+            heads: 16,
+            ..cfg.clone()
+        };
+        let dec_block_fwd = b * encoder_flops(&dec, tokens, false) / dec.depth as f64;
+        for i in 0..dec.depth {
+            units.push(UnitWork {
+                name: format!("dec{}", i),
+                param_bytes: dec.block_params() * 4,
+                fwd_flops: dec_block_fwd,
+                bwd_flops: 2.0 * dec_block_fwd,
+                width: dec.width,
+            });
+        }
+        // prediction head
+        let pd = cfg.patch_dim() as f64;
+        let pred_fwd = b * tokens as f64 * 2.0 * 512.0 * pd;
+        units.push(UnitWork {
+            name: "pred".into(),
+            param_bytes: (512 * cfg.patch_dim() as u64 + cfg.patch_dim() as u64) * 4,
+            fwd_flops: pred_fwd,
+            bwd_flops: 2.0 * pred_fwd,
+            width: 512,
+        });
+
+        let act = act_bytes(local_batch, visible, cfg.width, cfg.depth)
+            + act_bytes(local_batch, tokens, 512, 8);
+
+        StepWorkload {
+            name: format!("MAE-{}", cfg.name),
+            units,
+            local_batch,
+            image_bytes: (3 * cfg.img * cfg.img) as u64,
+            act_bytes: act,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_vit::config::VitVariant;
+
+    #[test]
+    fn vit_workload_param_bytes_match_analytic() {
+        let cfg = VitConfig::table1(VitVariant::B3);
+        let w = VitWorkload::build(&cfg, 32, 224);
+        // the workload re-derives pos-embed size at 224px, so compare blocks
+        let block_bytes: u64 = w.units[1..1 + cfg.depth].iter().map(|u| u.param_bytes).sum();
+        assert_eq!(block_bytes, cfg.depth as u64 * cfg.block_params() * 4);
+        assert_eq!(w.units.len(), cfg.depth + 2);
+    }
+
+    #[test]
+    fn vit_flops_scale_with_batch() {
+        let cfg = VitConfig::table1(VitVariant::Base);
+        let w32 = VitWorkload::build(&cfg, 32, 224);
+        let w64 = VitWorkload::build(&cfg, 64, 224);
+        let r = w64.total_flops() / w32.total_flops();
+        assert!((r - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bigger_models_have_more_flops_and_bytes() {
+        let base = VitWorkload::build(&VitConfig::table1(VitVariant::Base), 32, 224);
+        let b3 = VitWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 224);
+        assert!(b3.total_flops() > 10.0 * base.total_flops());
+        assert!(b3.param_bytes() > 30 * base.param_bytes());
+    }
+
+    #[test]
+    fn mae_encoder_runs_on_quarter_tokens() {
+        let cfg = VitConfig::table1(VitVariant::B3);
+        let mae = MaeWorkload::build(&cfg, 32, 0.75);
+        let full = VitWorkload::build(&cfg, 32, 512);
+        // encoder part of MAE ≈ 25% of full-grid encoder flops
+        let mae_enc: f64 = mae.units[..cfg.depth + 1].iter().map(|u| u.fwd_flops).sum();
+        let full_enc: f64 = full.units.iter().map(|u| u.fwd_flops).sum();
+        let share = mae_enc / full_enc;
+        assert!(share > 0.1 && share < 0.35, "share {}", share);
+    }
+
+    #[test]
+    fn mae_has_decoder_units() {
+        let cfg = VitConfig::table1(VitVariant::B3);
+        let mae = MaeWorkload::build(&cfg, 32, 0.75);
+        assert_eq!(mae.units.len(), 1 + cfg.depth + 8 + 1);
+        assert!(mae.units.iter().any(|u| u.name == "dec0"));
+    }
+
+    #[test]
+    fn memory_relevant_quantities_positive() {
+        let cfg = VitConfig::table1(VitVariant::B5);
+        let w = VitWorkload::build(&cfg, 32, 224);
+        assert!(w.act_bytes > 0);
+        assert!(w.max_unit_bytes() > 0);
+        assert!(w.param_bytes() > 15_000_000_000); // ~3.8B params × 4
+    }
+}

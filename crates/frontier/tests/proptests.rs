@@ -1,0 +1,87 @@
+//! Property tests for the Frontier simulator: physical sanity invariants
+//! that must hold for every configuration.
+
+use geofm_frontier::{simulate, FrontierMachine, MemoryModel, SimConfig, VitWorkload};
+use geofm_fsdp::ShardingStrategy;
+use geofm_vit::{VitConfig, VitVariant};
+use proptest::prelude::*;
+
+fn variants() -> impl Strategy<Value = VitVariant> {
+    prop_oneof![
+        Just(VitVariant::Base),
+        Just(VitVariant::Huge),
+        Just(VitVariant::B1),
+        Just(VitVariant::B3),
+        Just(VitVariant::B5),
+    ]
+}
+
+fn strategies() -> impl Strategy<Value = ShardingStrategy> {
+    prop_oneof![
+        Just(ShardingStrategy::NoShard),
+        Just(ShardingStrategy::ddp_default()),
+        Just(ShardingStrategy::FullShard),
+        Just(ShardingStrategy::ShardGradOp),
+        Just(ShardingStrategy::Hybrid { shard_size: 1 }),
+        Just(ShardingStrategy::Hybrid { shard_size: 2 }),
+        Just(ShardingStrategy::Hybrid { shard_size: 8 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Aggregate throughput never decreases when nodes are added, and never
+    /// exceeds ideal linear scaling from one node.
+    #[test]
+    fn weak_scaling_is_sublinear_but_monotone(
+        v in variants(),
+        s in strategies(),
+        nodes_exp in 1u32..6,
+    ) {
+        let nodes = 1usize << nodes_exp;
+        let wl = VitWorkload::build(&VitConfig::table1(v), 32, 224);
+        let r_small = simulate(&SimConfig::tuned(FrontierMachine::new(nodes / 2 + (nodes == 1) as usize), s, wl.clone()));
+        let r = simulate(&SimConfig::tuned(FrontierMachine::new(nodes), s, wl));
+        prop_assert!(r.ips_syn >= r_small.ips_syn * 0.999,
+            "{:?}/{}: {} nodes {} ips < {} nodes {} ips",
+            v, s.name(), nodes, r.ips_syn, nodes / 2, r_small.ips_syn);
+        prop_assert!(r.ips_syn <= r.ips_ideal * 1.001, "cannot beat ideal");
+    }
+
+    /// The comm share is a valid fraction and zero-comm ips dominates.
+    #[test]
+    fn comm_share_is_sane(v in variants(), s in strategies(), nodes_exp in 0u32..7) {
+        let nodes = 1usize << nodes_exp;
+        let wl = VitWorkload::build(&VitConfig::table1(v), 32, 224);
+        let r = simulate(&SimConfig::tuned(FrontierMachine::new(nodes), s, wl));
+        prop_assert!((0.0..1.0).contains(&r.comm_share()), "share {}", r.comm_share());
+        prop_assert!(r.ips_no_comm >= r.ips_syn * 0.999);
+        prop_assert!(r.step_time_real > r.step_time_syn * 0.999);
+    }
+
+    /// Memory estimates shrink (weakly) as the hybrid shard group grows.
+    #[test]
+    fn memory_monotone_in_shard_size(v in variants()) {
+        let wl = VitWorkload::build(&VitConfig::table1(v), 32, 224);
+        let world = 64;
+        let mut last = u64::MAX;
+        for k in [1usize, 2, 4, 8] {
+            let m = MemoryModel::estimate(&wl, ShardingStrategy::Hybrid { shard_size: k }, world)
+                .total();
+            prop_assert!(m <= last, "k={} grew memory: {} > {}", k, m, last);
+            last = m;
+        }
+    }
+
+    /// Throughput scales (weakly) with local batch at fixed hardware.
+    #[test]
+    fn bigger_batches_amortise_overheads(v in variants()) {
+        let m = FrontierMachine::new(4);
+        let ips = |b: usize| {
+            let wl = VitWorkload::build(&VitConfig::table1(v), b, 224);
+            simulate(&SimConfig::tuned(m, ShardingStrategy::NoShard, wl)).ips_syn
+        };
+        prop_assert!(ips(64) >= ips(32) * 0.999);
+    }
+}

@@ -1,0 +1,173 @@
+//! Flat-parameter layout: units, padding, and shard ranges.
+//!
+//! FSDP wraps a model into *units* (here: one per transformer block plus the
+//! embedding and head units — see `VitModel::unit_param_counts`). Each
+//! unit's parameters are flattened; for sharding, the flat buffer is padded
+//! to a multiple of the shard-group size so all-gathered shards are equal
+//! length (exactly as PyTorch FSDP pads its `FlatParameter`s).
+
+use std::ops::Range;
+
+/// The flat layout of a model for a given shard-group size.
+#[derive(Debug, Clone)]
+pub struct FlatLayout {
+    /// Unpadded element ranges of each unit within the model's flat buffer.
+    pub unit_ranges: Vec<Range<usize>>,
+    /// Padded length of each unit (multiple of `shard_n`).
+    pub padded_lens: Vec<usize>,
+    /// Shard-group size.
+    pub shard_n: usize,
+}
+
+impl FlatLayout {
+    /// Build a layout from per-unit parameter counts.
+    ///
+    /// # Panics
+    /// Panics if `shard_n == 0` or `unit_sizes` is empty.
+    pub fn new(unit_sizes: &[usize], shard_n: usize) -> Self {
+        assert!(shard_n > 0, "shard group must be non-empty");
+        assert!(!unit_sizes.is_empty(), "model must have at least one unit");
+        let mut unit_ranges = Vec::with_capacity(unit_sizes.len());
+        let mut padded_lens = Vec::with_capacity(unit_sizes.len());
+        let mut off = 0usize;
+        for &len in unit_sizes {
+            unit_ranges.push(off..off + len);
+            padded_lens.push(len.div_ceil(shard_n) * shard_n);
+            off += len;
+        }
+        Self { unit_ranges, padded_lens, shard_n }
+    }
+
+    /// Number of units.
+    pub fn num_units(&self) -> usize {
+        self.unit_ranges.len()
+    }
+
+    /// Total unpadded elements.
+    pub fn total_len(&self) -> usize {
+        self.unit_ranges.last().map(|r| r.end).unwrap_or(0)
+    }
+
+    /// Shard length of unit `u` (equal across ranks by construction).
+    pub fn shard_len(&self, u: usize) -> usize {
+        self.padded_lens[u] / self.shard_n
+    }
+
+    /// Total owned elements per rank across all units.
+    pub fn total_shard_len(&self) -> usize {
+        (0..self.num_units()).map(|u| self.shard_len(u)).sum()
+    }
+
+    /// The (padded) range of unit `u` owned by `shard_rank`, expressed
+    /// relative to the unit's padded buffer.
+    pub fn shard_range(&self, u: usize, shard_rank: usize) -> Range<usize> {
+        assert!(shard_rank < self.shard_n, "shard rank out of range");
+        let s = self.shard_len(u);
+        shard_rank * s..(shard_rank + 1) * s
+    }
+
+    /// Extract rank `shard_rank`'s shard of unit `u` from the model's flat
+    /// buffer, zero-padding past the unit's real end.
+    pub fn extract_shard(&self, flat: &[f32], u: usize, shard_rank: usize) -> Vec<f32> {
+        let unit = &self.unit_ranges[u];
+        let r = self.shard_range(u, shard_rank);
+        let mut out = vec![0.0f32; self.shard_len(u)];
+        for (i, o) in out.iter_mut().enumerate() {
+            let idx = r.start + i;
+            if idx < unit.len() {
+                *o = flat[unit.start + idx];
+            }
+        }
+        out
+    }
+
+    /// Write a fully gathered padded unit buffer back into the model's flat
+    /// buffer (dropping padding).
+    pub fn write_gathered(&self, flat: &mut [f32], u: usize, gathered: &[f32]) {
+        let unit = &self.unit_ranges[u];
+        assert_eq!(gathered.len(), self.padded_lens[u], "gathered length mismatch");
+        flat[unit.clone()].copy_from_slice(&gathered[..unit.len()]);
+    }
+
+    /// Copy unit `u` of the flat buffer into a padded scratch buffer
+    /// (zero padding), e.g. gradients before reduce-scatter.
+    pub fn padded_unit(&self, flat: &[f32], u: usize, scratch: &mut Vec<f32>) {
+        let unit = &self.unit_ranges[u];
+        scratch.clear();
+        scratch.resize(self.padded_lens[u], 0.0);
+        scratch[..unit.len()].copy_from_slice(&flat[unit.clone()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_basics() {
+        let l = FlatLayout::new(&[10, 7, 4], 4);
+        assert_eq!(l.num_units(), 3);
+        assert_eq!(l.total_len(), 21);
+        assert_eq!(l.padded_lens, vec![12, 8, 4]);
+        assert_eq!(l.shard_len(0), 3);
+        assert_eq!(l.shard_len(1), 2);
+        assert_eq!(l.shard_len(2), 1);
+        assert_eq!(l.total_shard_len(), 6);
+        assert_eq!(l.unit_ranges[1], 10..17);
+    }
+
+    #[test]
+    fn shard_extract_and_regather_roundtrip() {
+        let flat: Vec<f32> = (0..21).map(|i| i as f32).collect();
+        let l = FlatLayout::new(&[10, 7, 4], 4);
+        for u in 0..3 {
+            // simulate all-gather: concatenate the 4 shards
+            let mut gathered = Vec::new();
+            for r in 0..4 {
+                gathered.extend(l.extract_shard(&flat, u, r));
+            }
+            assert_eq!(gathered.len(), l.padded_lens[u]);
+            let mut rebuilt = flat.clone();
+            // clobber then restore
+            for v in &mut rebuilt[l.unit_ranges[u].clone()] {
+                *v = -1.0;
+            }
+            l.write_gathered(&mut rebuilt, u, &gathered);
+            assert_eq!(rebuilt, flat);
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let flat: Vec<f32> = (0..10).map(|i| i as f32 + 1.0).collect();
+        let l = FlatLayout::new(&[10], 4);
+        let last = l.extract_shard(&flat, 0, 3);
+        // unit 10 elems, padded 12, shard 3 owns [9,12) → [9th elem, 0, 0]
+        assert_eq!(last, vec![10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn padded_unit_copies_and_pads() {
+        let flat: Vec<f32> = (0..5).map(|i| i as f32).collect();
+        let l = FlatLayout::new(&[5], 2);
+        let mut scratch = Vec::new();
+        l.padded_unit(&flat, 0, &mut scratch);
+        assert_eq!(scratch, vec![0., 1., 2., 3., 4., 0.]);
+    }
+
+    #[test]
+    fn shard_n_one_is_identity() {
+        let l = FlatLayout::new(&[6, 3], 1);
+        assert_eq!(l.padded_lens, vec![6, 3]);
+        assert_eq!(l.total_shard_len(), 9);
+        let flat: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        assert_eq!(l.extract_shard(&flat, 1, 0), vec![6., 7., 8.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard rank out of range")]
+    fn rejects_bad_shard_rank() {
+        let l = FlatLayout::new(&[8], 2);
+        let _ = l.shard_range(0, 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # geofm-fsdp
+//!
+//! A real (threaded, shared-memory) implementation of PyTorch-FSDP-style
+//! fully sharded data parallelism — the paper's §III-C machinery, built on
+//! `geofm-collectives`.
+//!
+//! Every sharding strategy of the paper is implemented with its exact
+//! communication schedule:
+//!
+//! | strategy        | params            | grads           | optimizer state |
+//! |-----------------|-------------------|-----------------|-----------------|
+//! | `NO_SHARD`      | replicated        | all-reduce      | replicated      |
+//! | `DDP` (baseline)| replicated        | all-reduce (fixed-size buckets) | replicated |
+//! | `FULL_SHARD`    | sharded; gathered per unit in fwd **and** bwd | reduce-scatter | sharded |
+//! | `SHARD_GRAD_OP` | sharded; gathered once per step | reduce-scatter | sharded |
+//! | `HYBRID(k)`     | sharded in groups of k; replicated across groups | reduce-scatter + all-reduce | sharded in group |
+//!
+//! The engine is **numerically equivalent** across strategies: training the
+//! same model with the same global batch under any strategy and world size
+//! produces the same weights as single-rank training (verified by the test
+//! suite to ~1e-3 in f32). What differs — and what the Frontier simulator
+//! prices — is the communication volume and schedule, which the engine
+//! meters through the shared [`geofm_collectives::TrafficCounter`].
+
+pub mod flat;
+pub mod rank;
+pub mod strategy;
+pub mod trainer;
+
+pub use flat::FlatLayout;
+pub use rank::{FsdpRank, StepReport};
+pub use strategy::{FsdpConfig, PrefetchPolicy, ShardingStrategy};
+pub use trainer::{run_data_parallel, DistReport};

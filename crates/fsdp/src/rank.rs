@@ -1,0 +1,526 @@
+//! The per-rank FSDP engine: parameter gathering, gradient reduction,
+//! sharded optimizer steps.
+
+use crate::flat::FlatLayout;
+use crate::strategy::{FsdpConfig, ShardingStrategy};
+use geofm_collectives::RankGroups;
+use geofm_nn::{AdamW, Module, Optimizer};
+
+/// Statistics from one distributed step (local to this rank).
+#[derive(Debug, Clone, Copy)]
+pub struct StepReport {
+    /// This rank's local loss.
+    pub loss: f32,
+    /// Global gradient norm (identical on every rank), post-averaging.
+    pub grad_norm: f32,
+    /// Learning rate applied.
+    pub lr: f32,
+}
+
+/// One rank of an FSDP training job.
+///
+/// Construction contract (mirrors `torch.distributed` + FSDP wrapping):
+///
+/// * every rank builds the model **identically** (same seed);
+/// * `groups` comes from [`geofm_collectives::ProcessGroups::hierarchy`]
+///   with `shard_size = config.strategy.shard_group_size(world)`;
+/// * all ranks call [`FsdpRank::step`] collectively, in lockstep.
+pub struct FsdpRank<M: Module> {
+    /// The wrapped model (parameters authoritative only after
+    /// [`FsdpRank::materialize`] or at the top of each step).
+    pub model: M,
+    config: FsdpConfig,
+    groups: RankGroups,
+    layout: FlatLayout,
+    world: usize,
+    shard_rank: usize,
+    /// Owned parameter shards, concatenated across units.
+    owned_params: Vec<f32>,
+    /// Offsets of each unit's shard within `owned_params`.
+    shard_offsets: Vec<usize>,
+    optimizer: AdamW,
+    grad_clip: Option<f32>,
+    // scratch buffers reused across steps
+    flat: Vec<f32>,
+    grads: Vec<f32>,
+    gathered: Vec<f32>,
+    padded: Vec<f32>,
+    rs_out: Vec<f32>,
+    owned_grads: Vec<f32>,
+}
+
+impl<M: Module> FsdpRank<M> {
+    /// Wrap `model` for distributed training.
+    pub fn new(
+        mut model: M,
+        unit_sizes: &[usize],
+        config: FsdpConfig,
+        groups: RankGroups,
+        weight_decay: f32,
+    ) -> Self {
+        let world = groups.world.size();
+        let shard_n = config.strategy.shard_group_size(world);
+        assert_eq!(
+            groups.shard.size(),
+            shard_n,
+            "group hierarchy shard size {} must match strategy {}",
+            groups.shard.size(),
+            config.strategy.name()
+        );
+        let layout = FlatLayout::new(unit_sizes, shard_n);
+        assert_eq!(layout.total_len(), model.num_params(), "unit sizes must cover the model");
+        let shard_rank = groups.shard.rank();
+
+        let mut flat = Vec::new();
+        model.pack_values(&mut flat);
+
+        // carve out this rank's parameter shards
+        let mut owned_params = Vec::with_capacity(layout.total_shard_len());
+        let mut shard_offsets = Vec::with_capacity(layout.num_units());
+        for u in 0..layout.num_units() {
+            shard_offsets.push(owned_params.len());
+            owned_params.extend(layout.extract_shard(&flat, u, shard_rank));
+        }
+
+        // sharded weight-decay mask aligned to the owned layout
+        let full_mask = model.decay_mask();
+        let mask_f32: Vec<f32> = full_mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mut owned_mask = Vec::with_capacity(owned_params.len());
+        for u in 0..layout.num_units() {
+            owned_mask.extend(layout.extract_shard(&mask_f32, u, shard_rank));
+        }
+        let optimizer = AdamW::new(owned_params.len(), weight_decay)
+            .with_decay_mask(owned_mask.iter().map(|&v| v > 0.5).collect());
+
+        Self {
+            model,
+            config,
+            groups,
+            layout,
+            world,
+            shard_rank,
+            owned_params,
+            shard_offsets,
+            optimizer,
+            grad_clip: None,
+            flat,
+            grads: Vec::new(),
+            gathered: Vec::new(),
+            padded: Vec::new(),
+            rs_out: Vec::new(),
+            owned_grads: Vec::new(),
+        }
+    }
+
+    /// Enable global gradient-norm clipping (same semantics on every
+    /// strategy — the norm is computed globally, so clipping preserves
+    /// cross-strategy equivalence).
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        self.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// This rank's global index.
+    pub fn rank(&self) -> usize {
+        self.groups.rank
+    }
+
+    /// This rank's index within its shard group.
+    pub fn shard_rank(&self) -> usize {
+        self.shard_rank
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FsdpConfig {
+        &self.config
+    }
+
+    /// Per-rank parameter memory actually held by this strategy (elements):
+    /// owned shards + the transiently materialised full model.
+    pub fn owned_param_elems(&self) -> usize {
+        self.owned_params.len()
+    }
+
+    fn owned_range(&self, u: usize) -> std::ops::Range<usize> {
+        let s = self.shard_offsets[u];
+        s..s + self.layout.shard_len(u)
+    }
+
+    /// All-gather every unit's parameters into the model.
+    fn gather_params(&mut self) {
+        for u in 0..self.layout.num_units() {
+            let r = self.owned_range(u);
+            self.groups.shard.all_gather(&self.owned_params[r], &mut self.gathered);
+            self.layout.write_gathered(&mut self.flat, u, &self.gathered);
+        }
+        self.model.unpack_values(&self.flat);
+    }
+
+    /// Re-issue the gathers for the backward pass (FULL_SHARD/HYBRID
+    /// semantics). Numerically a no-op here — parameters are unchanged —
+    /// but it reproduces the strategy's communication volume exactly.
+    fn regather_for_backward(&mut self) {
+        for u in 0..self.layout.num_units() {
+            let r = self.owned_range(u);
+            self.groups.shard.all_gather(&self.owned_params[r], &mut self.gathered);
+        }
+    }
+
+    /// Run one collective training step. `compute` must zero grads, run
+    /// forward + backward on this rank's microbatch, and return the local
+    /// loss; the engine handles everything else.
+    pub fn step(&mut self, lr: f32, compute: impl FnOnce(&mut M) -> f32) -> StepReport {
+        // 1. materialise parameters
+        self.gather_params();
+
+        // 2. local compute
+        let loss = compute(&mut self.model);
+
+        // 3. backward re-gather (strategy-dependent communication)
+        if self.config.strategy.regathers_in_backward() && self.layout.shard_n > 1 {
+            self.regather_for_backward();
+        }
+
+        // 4. reduce gradients
+        self.model.pack_grads(&mut self.grads);
+        self.owned_grads.clear();
+        match self.config.strategy {
+            ShardingStrategy::Ddp { bucket_bytes } => {
+                // fixed-size buckets over the whole flat gradient
+                let bucket_elems = (bucket_bytes / 4).max(1);
+                let mut start = 0;
+                while start < self.grads.len() {
+                    let end = (start + bucket_elems).min(self.grads.len());
+                    self.groups.replica.all_reduce(&mut self.grads[start..end]);
+                    start = end;
+                }
+                self.owned_grads.extend_from_slice(&self.grads);
+            }
+            ShardingStrategy::NoShard => {
+                // per-unit all-reduce (FSDP's NO_SHARD message sizing)
+                for u in 0..self.layout.num_units() {
+                    let r = self.layout.unit_ranges[u].clone();
+                    self.groups.replica.all_reduce(&mut self.grads[r]);
+                }
+                self.owned_grads.extend_from_slice(&self.grads);
+            }
+            ShardingStrategy::FullShard
+            | ShardingStrategy::ShardGradOp
+            | ShardingStrategy::Hybrid { .. } => {
+                for u in 0..self.layout.num_units() {
+                    self.layout.padded_unit(&self.grads, u, &mut self.padded);
+                    self.groups.shard.reduce_scatter(&self.padded, &mut self.rs_out);
+                    if self.groups.replica.size() > 1 {
+                        self.groups.replica.all_reduce(&mut self.rs_out);
+                    }
+                    self.owned_grads.extend_from_slice(&self.rs_out);
+                }
+            }
+        }
+
+        // 5. average over the data-parallel degree
+        let inv = 1.0 / self.world as f32;
+        for g in &mut self.owned_grads {
+            *g *= inv;
+        }
+
+        // 6. global grad norm (sum of owned squares; shard group partitions
+        // the parameters, replica members hold identical copies)
+        let mut sumsq = [self
+            .owned_grads
+            .iter()
+            .map(|g| (*g as f64) * (*g as f64))
+            .sum::<f64>() as f32];
+        if self.layout.shard_n > 1 {
+            self.groups.shard.all_reduce(&mut sumsq);
+        }
+        let grad_norm = sumsq[0].sqrt();
+
+        if let Some(max) = self.grad_clip {
+            if grad_norm > max && grad_norm > 0.0 {
+                let scale = max / grad_norm;
+                for g in &mut self.owned_grads {
+                    *g *= scale;
+                }
+            }
+        }
+
+        // 7. sharded optimizer step
+        self.optimizer.step(&mut self.owned_params, &self.owned_grads, lr);
+
+        StepReport { loss, grad_norm, lr }
+    }
+
+    /// Gather the final parameters into the model (collective call).
+    pub fn materialize(&mut self) {
+        self.gather_params();
+    }
+
+    /// Pack the (materialised) model parameters; call after
+    /// [`FsdpRank::materialize`].
+    pub fn packed_params(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.model.pack_values(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::PrefetchPolicy;
+    use geofm_collectives::{HierarchyLayout, ProcessGroups};
+    use geofm_nn::{Linear, ParamVisitor};
+    use geofm_tensor::{Tensor, TensorRng};
+
+    /// A 2-unit toy model: two independent linear layers summed.
+    struct Toy {
+        a: Linear,
+        b: Linear,
+    }
+
+    impl Module for Toy {
+        fn visit_params(&mut self, f: &mut ParamVisitor) {
+            self.a.visit_params(f);
+            self.b.visit_params(f);
+        }
+    }
+
+    impl Toy {
+        fn new(seed: u64) -> (Self, Vec<usize>) {
+            let mut rng = TensorRng::seed_from(seed);
+            let mut a = Linear::new(3, 2, &mut rng, "a");
+            let mut b = Linear::new(3, 2, &mut rng, "b");
+            let units = vec![a.num_params(), b.num_params()];
+            (Self { a, b }, units)
+        }
+
+        /// loss = mean over batch of ‖(A+B)x − y‖²
+        fn compute(&mut self, x: &Tensor, y: &Tensor) -> f32 {
+            self.zero_grad();
+            let ya = self.a.forward(x);
+            let yb = self.b.forward(x);
+            let out = ya.add(&yb);
+            let diff = out.sub(y);
+            let n = diff.numel() as f32;
+            let loss = diff.sum_sq() / n;
+            let dy = diff.scale(2.0 / n);
+            let _ = self.a.backward(&dy);
+            let _ = self.b.backward(&dy);
+            loss
+        }
+    }
+
+    fn global_batch(step: usize) -> (Tensor, Tensor) {
+        let mut rng = TensorRng::seed_from(1000 + step as u64);
+        (rng.randn(&[8, 3], 1.0), rng.randn(&[8, 2], 1.0))
+    }
+
+    fn train(strategy: ShardingStrategy, world: usize, steps: usize) -> Vec<f32> {
+        let shard_size = strategy.shard_group_size(world);
+        let groups =
+            ProcessGroups::hierarchy(HierarchyLayout { world, shard_size });
+        let config =
+            FsdpConfig { strategy, prefetch: PrefetchPolicy::BackwardPre, limit_all_gathers: true };
+        let results: Vec<std::sync::Mutex<Option<Vec<f32>>>> =
+            (0..world).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for g in groups {
+                let results = &results;
+                s.spawn(move || {
+                    let rank = g.rank;
+                    let (model, units) = Toy::new(42);
+                    let mut fr = FsdpRank::new(model, &units, config, g, 0.0);
+                    let per = 8 / world;
+                    for step in 0..steps {
+                        let (x, y) = global_batch(step);
+                        let xl = x.rows(rank * per, (rank + 1) * per);
+                        let yl = y.rows(rank * per, (rank + 1) * per);
+                        fr.step(0.01, |m| m.compute(&xl, &yl));
+                    }
+                    fr.materialize();
+                    *results[rank].lock().unwrap() = Some(fr.packed_params());
+                });
+            }
+        });
+        let out = results[0].lock().unwrap().take().unwrap();
+        out
+    }
+
+    #[test]
+    fn all_strategies_match_single_rank() {
+        let baseline = train(ShardingStrategy::NoShard, 1, 4);
+        for strategy in [
+            ShardingStrategy::NoShard,
+            ShardingStrategy::Ddp { bucket_bytes: 16 },
+            ShardingStrategy::FullShard,
+            ShardingStrategy::ShardGradOp,
+            ShardingStrategy::Hybrid { shard_size: 2 },
+            ShardingStrategy::Hybrid { shard_size: 1 },
+            ShardingStrategy::Hybrid { shard_size: 4 },
+        ] {
+            let result = train(strategy, 4, 4);
+            let max_diff = baseline
+                .iter()
+                .zip(&result)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                max_diff < 1e-4,
+                "{} diverges from single-rank: max diff {}",
+                strategy.name(),
+                max_diff
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_agree_after_materialize() {
+        let world = 4;
+        let strategy = ShardingStrategy::FullShard;
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world, shard_size: world });
+        let config = FsdpConfig::tuned(strategy);
+        let results: Vec<std::sync::Mutex<Option<Vec<f32>>>> =
+            (0..world).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for g in groups {
+                let results = &results;
+                s.spawn(move || {
+                    let rank = g.rank;
+                    let (model, units) = Toy::new(7);
+                    let mut fr = FsdpRank::new(model, &units, config, g, 0.01);
+                    for step in 0..3 {
+                        let (x, y) = global_batch(step);
+                        let xl = x.rows(rank * 2, rank * 2 + 2);
+                        let yl = y.rows(rank * 2, rank * 2 + 2);
+                        fr.step(0.01, |m| m.compute(&xl, &yl));
+                    }
+                    fr.materialize();
+                    *results[rank].lock().unwrap() = Some(fr.packed_params());
+                });
+            }
+        });
+        let first = results[0].lock().unwrap().take().unwrap();
+        for r in 1..world {
+            let other = results[r].lock().unwrap().take().unwrap();
+            assert_eq!(first, other, "rank {} differs after materialize", r);
+        }
+    }
+
+    #[test]
+    fn full_shard_owns_fraction_of_params() {
+        let world = 4;
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world, shard_size: world });
+        let config = FsdpConfig::tuned(ShardingStrategy::FullShard);
+        std::thread::scope(|s| {
+            for g in groups {
+                s.spawn(move || {
+                    let (mut model, units) = Toy::new(7);
+                    let total = model.num_params();
+                    let fr = FsdpRank::new(model, &units, config, g, 0.0);
+                    // padded shares: each rank owns ~1/4 of the params
+                    assert!(fr.owned_param_elems() <= total / 2);
+                    assert!(fr.owned_param_elems() >= total / 8);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn traffic_profile_distinguishes_strategies() {
+        // FULL_SHARD must move ~2× the all-gather bytes of SHARD_GRAD_OP
+        // (backward re-gather), and NO_SHARD must move zero gather bytes.
+        let volume = |strategy: ShardingStrategy| {
+            let world = 4;
+            let shard_size = strategy.shard_group_size(world);
+            let groups = ProcessGroups::hierarchy(HierarchyLayout { world, shard_size });
+            let traffic = groups[0].world.traffic();
+            let config = FsdpConfig::tuned(strategy);
+            std::thread::scope(|s| {
+                for g in groups {
+                    s.spawn(move || {
+                        let rank = g.rank;
+                        let (model, units) = Toy::new(3);
+                        let mut fr = FsdpRank::new(model, &units, config, g, 0.0);
+                        let (x, y) = global_batch(0);
+                        let xl = x.rows(rank * 2, rank * 2 + 2);
+                        let yl = y.rows(rank * 2, rank * 2 + 2);
+                        fr.step(0.01, |m| m.compute(&xl, &yl));
+                    });
+                }
+            });
+            traffic.snapshot()
+        };
+        let full = volume(ShardingStrategy::FullShard);
+        let sgo = volume(ShardingStrategy::ShardGradOp);
+        let noshard = volume(ShardingStrategy::NoShard);
+        assert!(full.all_gather > (sgo.all_gather as f64 * 1.8) as u64,
+            "FULL_SHARD gathers {} vs SHARD_GRAD_OP {}", full.all_gather, sgo.all_gather);
+        assert_eq!(noshard.all_gather, 0, "NO_SHARD must not all-gather");
+        assert!(noshard.all_reduce > 0);
+        // FULL_SHARD's only all-reduce is the scalar grad-norm exchange
+        assert!(
+            full.all_reduce < 64,
+            "FULL_SHARD reduces grads via reduce-scatter, not all-reduce (got {})",
+            full.all_reduce
+        );
+        assert!(full.reduce_scatter > 0 && sgo.reduce_scatter > 0);
+    }
+
+    #[test]
+    fn hybrid_uses_both_reduction_kinds() {
+        let world = 4;
+        let strategy = ShardingStrategy::Hybrid { shard_size: 2 };
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world, shard_size: 2 });
+        let traffic = groups[0].world.traffic();
+        let config = FsdpConfig::tuned(strategy);
+        std::thread::scope(|s| {
+            for g in groups {
+                s.spawn(move || {
+                    let rank = g.rank;
+                    let (model, units) = Toy::new(3);
+                    let mut fr = FsdpRank::new(model, &units, config, g, 0.0);
+                    let (x, y) = global_batch(0);
+                    let xl = x.rows(rank * 2, rank * 2 + 2);
+                    let yl = y.rows(rank * 2, rank * 2 + 2);
+                    fr.step(0.01, |m| m.compute(&xl, &yl));
+                });
+            }
+        });
+        let snap = traffic.snapshot();
+        assert!(snap.all_gather > 0, "hybrid gathers in shard group");
+        assert!(snap.reduce_scatter > 0, "hybrid reduce-scatters in shard group");
+        assert!(snap.all_reduce > 0, "hybrid all-reduces across replicas");
+    }
+
+    #[test]
+    fn ddp_bucket_count_scales_with_bucket_size() {
+        let calls = |bucket_bytes: usize| {
+            let world = 2;
+            let groups = ProcessGroups::hierarchy(HierarchyLayout { world, shard_size: 1 });
+            let traffic = groups[0].world.traffic();
+            let config = FsdpConfig::tuned(ShardingStrategy::Ddp { bucket_bytes });
+            std::thread::scope(|s| {
+                for g in groups {
+                    s.spawn(move || {
+                        let rank = g.rank;
+                        let (model, units) = Toy::new(3);
+                        let mut fr = FsdpRank::new(model, &units, config, g, 0.0);
+                        let (x, y) = global_batch(0);
+                        let xl = x.rows(rank * 4, rank * 4 + 4);
+                        let yl = y.rows(rank * 4, rank * 4 + 4);
+                        fr.step(0.01, |m| m.compute(&xl, &yl));
+                    });
+                }
+            });
+            traffic.snapshot().calls
+        };
+        // Toy has 16 params → 64 bytes of grads; 8-byte buckets → many calls
+        assert!(calls(8) > calls(1024), "smaller buckets must issue more collectives");
+    }
+}

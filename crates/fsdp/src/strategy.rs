@@ -1,0 +1,148 @@
+//! Sharding strategies and FSDP configuration knobs.
+
+/// The distributed strategies studied in the paper (§III-C, Figures 2–4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardingStrategy {
+    /// FSDP `NO_SHARD`: pure data parallelism, per-unit all-reduce.
+    NoShard,
+    /// PyTorch DDP baseline: data parallelism with **fixed-size** gradient
+    /// buckets (default 25 MB), the behaviour §IV-C contrasts with FSDP's
+    /// per-module message sizing.
+    Ddp {
+        /// Bucket size in bytes.
+        bucket_bytes: usize,
+    },
+    /// FSDP `FULL_SHARD`: parameters, gradients and optimizer state sharded
+    /// across the whole world; parameters are gathered per unit in the
+    /// forward pass and **again** in the backward pass.
+    FullShard,
+    /// FSDP `SHARD_GRAD_OP`: gradients and optimizer state sharded, but
+    /// parameters are gathered once per step and kept through backward.
+    ShardGradOp,
+    /// FSDP `HYBRID_SHARD` with a sharding group of `shard_size` ranks:
+    /// FULL_SHARD semantics inside the group, replication + all-reduce
+    /// across groups. `shard_size = 1` is the paper's `HYBRID_1GPU`.
+    Hybrid {
+        /// Ranks per sharding group.
+        shard_size: usize,
+    },
+}
+
+impl ShardingStrategy {
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            Self::NoShard => "NO_SHARD".into(),
+            Self::Ddp { .. } => "DDP".into(),
+            Self::FullShard => "FULL_SHARD".into(),
+            Self::ShardGradOp => "SHARD_GRAD_OP".into(),
+            Self::Hybrid { shard_size } => format!("HYBRID_{}GPUs", shard_size),
+        }
+    }
+
+    /// Size of the group across which parameters are sharded, given the
+    /// world size (1 ⇒ no parameter sharding).
+    pub fn shard_group_size(&self, world: usize) -> usize {
+        match self {
+            Self::NoShard | Self::Ddp { .. } => 1,
+            Self::FullShard | Self::ShardGradOp => world,
+            Self::Hybrid { shard_size } => *shard_size,
+        }
+    }
+
+    /// Whether parameters are re-gathered for the backward pass
+    /// (FULL_SHARD semantics) as opposed to kept resident.
+    pub fn regathers_in_backward(&self) -> bool {
+        matches!(self, Self::FullShard | Self::Hybrid { .. })
+    }
+
+    /// DDP with PyTorch's default 25 MB bucket.
+    pub fn ddp_default() -> Self {
+        Self::Ddp { bucket_bytes: 25 * 1024 * 1024 }
+    }
+}
+
+/// Backward-prefetch policy (§IV-B). In the real threaded engine this only
+/// changes issue order (numerics are identical); the Frontier simulator
+/// prices the overlap differences (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchPolicy {
+    /// Request next unit's parameters only after the current unit's
+    /// communication completes.
+    None,
+    /// Request before the current unit drops its parameters, after its
+    /// communication is issued.
+    BackwardPost,
+    /// Request before the current unit's communication calls — maximum
+    /// compute/communication overlap (the paper's best setting).
+    #[default]
+    BackwardPre,
+}
+
+impl PrefetchPolicy {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::None => "None",
+            Self::BackwardPost => "BACKWARD_POST",
+            Self::BackwardPre => "BACKWARD_PRE",
+        }
+    }
+}
+
+/// Full FSDP configuration for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsdpConfig {
+    /// Sharding strategy.
+    pub strategy: ShardingStrategy,
+    /// Backward prefetch policy.
+    pub prefetch: PrefetchPolicy,
+    /// Rate-limit in-flight all-gathers (§IV-B `limit_all_gathers`).
+    pub limit_all_gathers: bool,
+}
+
+impl FsdpConfig {
+    /// The paper's best-performing knob settings for a given strategy.
+    pub fn tuned(strategy: ShardingStrategy) -> Self {
+        Self { strategy, prefetch: PrefetchPolicy::BackwardPre, limit_all_gathers: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_vocabulary() {
+        assert_eq!(ShardingStrategy::NoShard.name(), "NO_SHARD");
+        assert_eq!(ShardingStrategy::FullShard.name(), "FULL_SHARD");
+        assert_eq!(ShardingStrategy::ShardGradOp.name(), "SHARD_GRAD_OP");
+        assert_eq!(ShardingStrategy::Hybrid { shard_size: 2 }.name(), "HYBRID_2GPUs");
+        assert_eq!(ShardingStrategy::ddp_default().name(), "DDP");
+        assert_eq!(PrefetchPolicy::BackwardPre.name(), "BACKWARD_PRE");
+    }
+
+    #[test]
+    fn shard_group_sizes() {
+        let w = 16;
+        assert_eq!(ShardingStrategy::NoShard.shard_group_size(w), 1);
+        assert_eq!(ShardingStrategy::FullShard.shard_group_size(w), 16);
+        assert_eq!(ShardingStrategy::ShardGradOp.shard_group_size(w), 16);
+        assert_eq!(ShardingStrategy::Hybrid { shard_size: 4 }.shard_group_size(w), 4);
+    }
+
+    #[test]
+    fn backward_regather_semantics() {
+        assert!(ShardingStrategy::FullShard.regathers_in_backward());
+        assert!(ShardingStrategy::Hybrid { shard_size: 2 }.regathers_in_backward());
+        assert!(!ShardingStrategy::ShardGradOp.regathers_in_backward());
+        assert!(!ShardingStrategy::NoShard.regathers_in_backward());
+    }
+
+    #[test]
+    fn tuned_config_uses_paper_best() {
+        let c = FsdpConfig::tuned(ShardingStrategy::FullShard);
+        assert_eq!(c.prefetch, PrefetchPolicy::BackwardPre);
+        assert!(c.limit_all_gathers);
+    }
+}

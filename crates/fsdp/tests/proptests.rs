@@ -1,0 +1,69 @@
+//! Property tests for the flat-parameter layout and the distributed engine.
+
+use geofm_fsdp::FlatLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concatenating every rank's extracted shard reconstructs each unit
+    /// (plus zero padding), for arbitrary unit sizes and shard counts.
+    #[test]
+    fn shards_partition_every_unit(
+        unit_sizes in proptest::collection::vec(1usize..50, 1..6),
+        shard_n in 1usize..7,
+    ) {
+        let layout = FlatLayout::new(&unit_sizes, shard_n);
+        let total: usize = unit_sizes.iter().sum();
+        let flat: Vec<f32> = (0..total).map(|i| i as f32 + 1.0).collect();
+        for u in 0..layout.num_units() {
+            let mut gathered = Vec::new();
+            for r in 0..shard_n {
+                gathered.extend(layout.extract_shard(&flat, u, r));
+            }
+            prop_assert_eq!(gathered.len(), layout.padded_lens[u]);
+            let unit = &layout.unit_ranges[u];
+            // real elements match, padding is zero
+            prop_assert_eq!(&gathered[..unit.len()], &flat[unit.clone()]);
+            prop_assert!(gathered[unit.len()..].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    /// Shard lengths are equal across ranks and sum to the padded length.
+    #[test]
+    fn shard_lengths_are_uniform(
+        unit_sizes in proptest::collection::vec(1usize..100, 1..5),
+        shard_n in 1usize..9,
+    ) {
+        let layout = FlatLayout::new(&unit_sizes, shard_n);
+        for u in 0..layout.num_units() {
+            prop_assert_eq!(layout.shard_len(u) * shard_n, layout.padded_lens[u]);
+            prop_assert!(layout.padded_lens[u] >= unit_sizes[u]);
+            prop_assert!(layout.padded_lens[u] - unit_sizes[u] < shard_n);
+        }
+        let owned: usize = (0..layout.num_units()).map(|u| layout.shard_len(u)).sum();
+        prop_assert_eq!(owned, layout.total_shard_len());
+    }
+
+    /// write_gathered is the inverse of per-rank extraction.
+    #[test]
+    fn gather_write_roundtrip(
+        unit_sizes in proptest::collection::vec(1usize..40, 1..4),
+        shard_n in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let layout = FlatLayout::new(&unit_sizes, shard_n);
+        let total: usize = unit_sizes.iter().sum();
+        let flat: Vec<f32> =
+            (0..total).map(|i| ((seed as usize + i * 17) % 101) as f32).collect();
+        let mut rebuilt = vec![-1.0f32; total];
+        for u in 0..layout.num_units() {
+            let mut gathered = Vec::new();
+            for r in 0..shard_n {
+                gathered.extend(layout.extract_shard(&flat, u, r));
+            }
+            layout.write_gathered(&mut rebuilt, u, &gathered);
+        }
+        prop_assert_eq!(rebuilt, flat);
+    }
+}

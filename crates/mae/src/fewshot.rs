@@ -1,0 +1,167 @@
+//! Few-shot evaluation (the paper's §VI envisioned next step: "few-shot
+//! learning to unveil potential properties emerging as we scale").
+//!
+//! Protocol: sample `k` labelled examples per class ("k-shot"), classify
+//! the query set by nearest class-mean in the frozen feature space
+//! (the standard prototypical-network evaluation for frozen encoders),
+//! averaged over episodes.
+
+use geofm_tensor::{Tensor, TensorRng};
+
+/// Result of a few-shot evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct FewShotResult {
+    /// Shots per class.
+    pub k: usize,
+    /// Mean top-1 accuracy over episodes, in [0, 1].
+    pub accuracy: f32,
+    /// Number of episodes evaluated.
+    pub episodes: usize,
+}
+
+/// Run `episodes` k-shot episodes over pre-extracted `features`/`labels`.
+///
+/// Each episode samples `k` support examples per class (classes with fewer
+/// than `k + 1` examples are skipped) and classifies every remaining
+/// example of the participating classes by nearest class-mean (cosine
+/// distance on standardized features works similarly; we use Euclidean on
+/// the caller's feature space).
+pub fn few_shot_eval(
+    features: &Tensor,
+    labels: &[usize],
+    classes: usize,
+    k: usize,
+    episodes: usize,
+    rng: &mut TensorRng,
+) -> FewShotResult {
+    assert_eq!(features.dim(0), labels.len(), "feature/label count mismatch");
+    assert!(k >= 1, "need at least one shot");
+    let d = features.dim(1);
+
+    // index examples by class
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &c) in labels.iter().enumerate() {
+        by_class[c].push(i);
+    }
+
+    let mut total_correct = 0usize;
+    let mut total_queries = 0usize;
+    for _ in 0..episodes {
+        // sample support sets
+        let mut prototypes: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut support: Vec<Vec<usize>> = vec![Vec::new(); classes];
+        for (c, idxs) in by_class.iter().enumerate() {
+            if idxs.len() < k + 1 {
+                continue;
+            }
+            let mut pool = idxs.clone();
+            rng.shuffle(&mut pool);
+            let chosen = &pool[..k];
+            support[c] = chosen.to_vec();
+            let mut proto = vec![0.0f32; d];
+            for &i in chosen {
+                for (p, &v) in proto.iter_mut().zip(features.row(i)) {
+                    *p += v;
+                }
+            }
+            for p in &mut proto {
+                *p /= k as f32;
+            }
+            prototypes.push((c, proto));
+        }
+        if prototypes.len() < 2 {
+            continue; // not enough classes for a meaningful episode
+        }
+        // classify queries (all non-support examples of participating classes)
+        for (c, idxs) in by_class.iter().enumerate() {
+            if support[c].is_empty() {
+                continue;
+            }
+            for &i in idxs {
+                if support[c].contains(&i) {
+                    continue;
+                }
+                let row = features.row(i);
+                let mut best = (f32::INFINITY, usize::MAX);
+                for (pc, proto) in &prototypes {
+                    let dist: f32 =
+                        row.iter().zip(proto).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if dist < best.0 {
+                        best = (dist, *pc);
+                    }
+                }
+                if best.1 == c {
+                    total_correct += 1;
+                }
+                total_queries += 1;
+            }
+        }
+    }
+    FewShotResult {
+        k,
+        accuracy: if total_queries == 0 {
+            0.0
+        } else {
+            total_correct as f32 / total_queries as f32
+        },
+        episodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per_class: usize, classes: usize, spread: f32, rng: &mut TensorRng) -> (Tensor, Vec<usize>) {
+        let d = 6;
+        let n = n_per_class * classes;
+        let mut feats = Tensor::zeros(&[n, d]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            labels.push(c);
+            for j in 0..d {
+                let center = if j == c { 3.0 } else { 0.0 };
+                feats.set(&[i, j], center + rng.normal() * spread);
+            }
+        }
+        (feats, labels)
+    }
+
+    #[test]
+    fn separable_blobs_are_easy_even_one_shot() {
+        let mut rng = TensorRng::seed_from(1);
+        let (feats, labels) = blobs(20, 4, 0.3, &mut rng);
+        let r = few_shot_eval(&feats, &labels, 4, 1, 10, &mut rng);
+        assert!(r.accuracy > 0.9, "1-shot accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn more_shots_help_on_noisy_blobs() {
+        let mut rng = TensorRng::seed_from(2);
+        let (feats, labels) = blobs(40, 4, 2.0, &mut rng);
+        let r1 = few_shot_eval(&feats, &labels, 4, 1, 30, &mut rng).accuracy;
+        let r10 = few_shot_eval(&feats, &labels, 4, 10, 30, &mut rng).accuracy;
+        assert!(r10 >= r1, "10-shot {} vs 1-shot {}", r10, r1);
+        let _ = r1;
+    }
+
+    #[test]
+    fn random_features_are_at_chance() {
+        let mut rng = TensorRng::seed_from(3);
+        let feats = rng.randn(&[120, 6], 1.0);
+        let labels: Vec<usize> = (0..120).map(|i| i % 4).collect();
+        let r = few_shot_eval(&feats, &labels, 4, 5, 20, &mut rng);
+        assert!((r.accuracy - 0.25).abs() < 0.12, "accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn classes_with_too_few_examples_are_skipped() {
+        let mut rng = TensorRng::seed_from(4);
+        let feats = rng.randn(&[5, 3], 1.0);
+        let labels = vec![0, 0, 0, 1, 2]; // classes 1,2 have < k+1 examples for k=2
+        let r = few_shot_eval(&feats, &labels, 3, 2, 5, &mut rng);
+        // only class 0 qualifies → fewer than 2 prototypes → no episodes
+        assert_eq!(r.accuracy, 0.0);
+    }
+}

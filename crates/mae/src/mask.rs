@@ -1,0 +1,148 @@
+//! Per-sample random masking for MAE pretraining.
+
+use geofm_tensor::TensorRng;
+
+/// The mask for one batch: which token goes where, per sample.
+#[derive(Debug, Clone)]
+pub struct MaskPlan {
+    /// Tokens per image.
+    pub tokens: usize,
+    /// Visible tokens per image (identical across the batch so tensors stay
+    /// rectangular, as in the reference MAE implementation).
+    pub visible: usize,
+    /// For each sample, the visible token indices (ascending).
+    pub visible_idx: Vec<Vec<usize>>,
+    /// For each sample, the masked token indices (ascending).
+    pub masked_idx: Vec<Vec<usize>>,
+}
+
+impl MaskPlan {
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.visible_idx.len()
+    }
+
+    /// Global row indices (into a `[b·tokens, ·]` buffer) of visible tokens.
+    pub fn global_visible(&self) -> Vec<usize> {
+        self.global(&self.visible_idx)
+    }
+
+    /// Global row indices of masked tokens.
+    pub fn global_masked(&self) -> Vec<usize> {
+        self.global(&self.masked_idx)
+    }
+
+    fn global(&self, per_sample: &[Vec<usize>]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(per_sample.iter().map(Vec::len).sum());
+        for (bi, idxs) in per_sample.iter().enumerate() {
+            out.extend(idxs.iter().map(|&t| bi * self.tokens + t));
+        }
+        out
+    }
+}
+
+/// Samples [`MaskPlan`]s at a fixed mask ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskSampler {
+    tokens: usize,
+    mask_ratio: f32,
+}
+
+impl MaskSampler {
+    /// New sampler for `tokens` tokens at `mask_ratio` (e.g. 0.75).
+    ///
+    /// # Panics
+    /// Panics unless `0 < mask_ratio < 1` leaves at least one visible and
+    /// one masked token.
+    pub fn new(tokens: usize, mask_ratio: f32) -> Self {
+        assert!(tokens >= 2, "need at least 2 tokens to mask");
+        assert!((0.0..1.0).contains(&mask_ratio), "mask ratio must be in [0,1)");
+        let visible = Self::visible_count(tokens, mask_ratio);
+        assert!(visible >= 1 && visible < tokens, "mask ratio leaves no work");
+        Self { tokens, mask_ratio }
+    }
+
+    fn visible_count(tokens: usize, mask_ratio: f32) -> usize {
+        (((tokens as f32) * (1.0 - mask_ratio)).round() as usize).clamp(1, tokens - 1)
+    }
+
+    /// Visible tokens per image under this sampler.
+    pub fn visible(&self) -> usize {
+        Self::visible_count(self.tokens, self.mask_ratio)
+    }
+
+    /// Sample a fresh plan for a batch.
+    pub fn sample(&self, batch: usize, rng: &mut TensorRng) -> MaskPlan {
+        let visible = self.visible();
+        let mut visible_idx = Vec::with_capacity(batch);
+        let mut masked_idx = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let perm = rng.permutation(self.tokens);
+            let mut vis: Vec<usize> = perm[..visible].to_vec();
+            let mut msk: Vec<usize> = perm[visible..].to_vec();
+            vis.sort_unstable();
+            msk.sort_unstable();
+            visible_idx.push(vis);
+            masked_idx.push(msk);
+        }
+        MaskPlan { tokens: self.tokens, visible, visible_idx, masked_idx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_partition_is_exact() {
+        let s = MaskSampler::new(16, 0.75);
+        let mut rng = TensorRng::seed_from(1);
+        let plan = s.sample(3, &mut rng);
+        assert_eq!(plan.visible, 4);
+        for bi in 0..3 {
+            let mut all: Vec<usize> =
+                plan.visible_idx[bi].iter().chain(plan.masked_idx[bi].iter()).cloned().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn masks_differ_across_samples() {
+        let s = MaskSampler::new(64, 0.75);
+        let mut rng = TensorRng::seed_from(2);
+        let plan = s.sample(2, &mut rng);
+        assert_ne!(plan.visible_idx[0], plan.visible_idx[1]);
+    }
+
+    #[test]
+    fn global_indices_offset_by_sample() {
+        let s = MaskSampler::new(4, 0.5);
+        let mut rng = TensorRng::seed_from(3);
+        let plan = s.sample(2, &mut rng);
+        let gv = plan.global_visible();
+        assert_eq!(gv.len(), 4);
+        assert!(gv[..2].iter().all(|&i| i < 4));
+        assert!(gv[2..].iter().all(|&i| (4..8).contains(&i)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = MaskSampler::new(16, 0.75);
+        let mut r1 = TensorRng::seed_from(9);
+        let mut r2 = TensorRng::seed_from(9);
+        assert_eq!(s.sample(2, &mut r1).visible_idx, s.sample(2, &mut r2).visible_idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask ratio")]
+    fn rejects_ratio_one() {
+        let _ = MaskSampler::new(16, 1.0);
+    }
+
+    #[test]
+    fn visible_count_rounds() {
+        assert_eq!(MaskSampler::new(64, 0.75).visible(), 16);
+        assert_eq!(MaskSampler::new(10, 0.75).visible(), 3); // 2.5 → 3... round(2.5)=3? banker's: 2.5_f32.round()=3
+    }
+}

@@ -1,0 +1,413 @@
+//! The MAE architecture: ViT encoder on visible tokens + lightweight
+//! transformer decoder reconstructing masked patches.
+
+use crate::mask::MaskPlan;
+use geofm_nn::{mse_masked, LayerNorm, Linear, Module, Param, ParamVisitor, TransformerBlock};
+use geofm_tensor::{Tensor, TensorRng};
+use geofm_vit::{VitConfig, VitModel};
+
+/// MAE configuration: encoder config + decoder geometry + mask ratio.
+#[derive(Debug, Clone)]
+pub struct MaeConfig {
+    /// Encoder architecture.
+    pub encoder: VitConfig,
+    /// Decoder width.
+    pub dec_width: usize,
+    /// Decoder depth (transformer blocks).
+    pub dec_depth: usize,
+    /// Decoder heads.
+    pub dec_heads: usize,
+    /// Fraction of tokens masked (paper: 0.75).
+    pub mask_ratio: f32,
+}
+
+impl MaeConfig {
+    /// The paper's default decoder (8 blocks, width 512, 16 heads) — used
+    /// analytically for the big models.
+    pub fn paper(encoder: VitConfig) -> Self {
+        Self { encoder, dec_width: 512, dec_depth: 8, dec_heads: 16, mask_ratio: 0.75 }
+    }
+
+    /// A proportionally scaled decoder for the trainable tiny family:
+    /// half the encoder width, two blocks — preserving the "lightweight
+    /// decoder" property of the MAE design.
+    pub fn tiny(encoder: VitConfig) -> Self {
+        let dec_width = (encoder.width / 2).max(16);
+        let dec_heads = (encoder.heads / 2).max(2);
+        Self { encoder, dec_width, dec_depth: 2, dec_heads, mask_ratio: 0.75 }
+    }
+
+    /// Analytic decoder parameter count (embed + mask token + pos + blocks +
+    /// final LN + prediction head).
+    pub fn decoder_param_count(&self) -> u64 {
+        let w = self.encoder.width as u64;
+        let dw = self.dec_width as u64;
+        let dm = 4 * dw;
+        let pd = self.encoder.patch_dim() as u64;
+        let t = self.encoder.tokens() as u64;
+        let embed = w * dw + dw;
+        let mask_tok = dw;
+        let pos = t * dw;
+        let attn = dw * 3 * dw + 3 * dw + dw * dw + dw;
+        let mlp = dw * dm + dm + dm * dw + dw;
+        let norms = 2 * (2 * dw);
+        let blocks = (self.dec_depth as u64) * (attn + mlp + norms);
+        let final_ln = 2 * dw;
+        let pred = dw * pd + pd;
+        embed + mask_tok + pos + blocks + final_ln + pred
+    }
+
+    /// Total MAE parameters (encoder + decoder).
+    pub fn param_count(&self) -> u64 {
+        self.encoder.param_count() + self.decoder_param_count()
+    }
+}
+
+/// Cache of one MAE forward pass, consumed by `backward`.
+#[derive(Debug)]
+struct MaeCache {
+    plan: MaskPlan,
+    batch: usize,
+}
+
+/// The trainable MAE model.
+#[derive(Debug)]
+pub struct MaeModel {
+    /// Configuration.
+    pub config: MaeConfig,
+    /// ViT encoder.
+    pub encoder: VitModel,
+    /// Projection from encoder width to decoder width.
+    pub decoder_embed: Linear,
+    /// Learned token standing in for masked patches.
+    pub mask_token: Param,
+    /// Decoder positional embedding, `[tokens, dec_width]`.
+    pub decoder_pos: Param,
+    /// Decoder transformer blocks.
+    pub decoder_blocks: Vec<TransformerBlock>,
+    /// Decoder final LayerNorm.
+    pub decoder_ln: LayerNorm,
+    /// Prediction head: decoder width → patch pixels.
+    pub pred: Linear,
+    cache: Option<MaeCache>,
+}
+
+impl MaeModel {
+    /// Build with standard init.
+    pub fn new(config: &MaeConfig, rng: &mut TensorRng) -> Self {
+        let enc_cfg = &config.encoder;
+        let encoder = VitModel::new(enc_cfg, rng);
+        let name = &enc_cfg.name;
+        let decoder_embed =
+            Linear::new(enc_cfg.width, config.dec_width, rng, &format!("{name}.dec_embed"));
+        let mask_token = Param::new(
+            rng.trunc_normal(&[config.dec_width], 0.02),
+            false,
+            format!("{name}.mask_token"),
+        );
+        let decoder_pos = Param::new(
+            rng.trunc_normal(&[enc_cfg.tokens(), config.dec_width], 0.02),
+            false,
+            format!("{name}.dec_pos"),
+        );
+        let decoder_blocks = (0..config.dec_depth)
+            .map(|i| {
+                TransformerBlock::new(
+                    config.dec_width,
+                    4 * config.dec_width,
+                    config.dec_heads,
+                    rng,
+                    &format!("{name}.dec_block{i}"),
+                )
+            })
+            .collect();
+        let decoder_ln = LayerNorm::new(config.dec_width, &format!("{name}.dec_ln"));
+        let pred = Linear::new(config.dec_width, enc_cfg.patch_dim(), rng, &format!("{name}.pred"));
+        Self {
+            config: config.clone(),
+            encoder,
+            decoder_embed,
+            mask_token,
+            decoder_pos,
+            decoder_blocks,
+            decoder_ln,
+            pred,
+            cache: None,
+        }
+    }
+
+    /// One full forward pass: embeds images, drops masked tokens, encodes,
+    /// decodes with mask tokens, predicts patches, and evaluates the masked
+    /// MSE. Returns `(loss, dpred)` where `dpred` is the loss gradient
+    /// w.r.t. the predictions — pass it to [`MaeModel::backward`].
+    /// Caches everything backward needs.
+    pub fn forward(&mut self, images: &Tensor, plan: &MaskPlan) -> (f32, Tensor) {
+        let enc_cfg = &self.config.encoder;
+        let b = images.dim(0);
+        assert_eq!(plan.batch(), b, "mask plan batch mismatch");
+        let t = enc_cfg.tokens();
+        let w = enc_cfg.width;
+        let dw = self.config.dec_width;
+
+        // targets
+        let patches = self.encoder.embed.patchify(images); // [b·t, pd]
+
+        // embed + select visible
+        let tokens = self.encoder.embed_images(images); // [b, t, w]
+        let flat_tokens = tokens.reshape(&[b * t, w]);
+        let vis_global = plan.global_visible();
+        let visible = flat_tokens.gather_rows(&vis_global); // [b·v, w]
+        let v = plan.visible;
+        let visible3 = visible.reshape(&[b, v, w]);
+
+        // encode
+        let enc_out = self.encoder.encode_tokens(&visible3); // [b, v, w]
+
+        // decoder embed visible tokens
+        let dec_vis = self.decoder_embed.forward(&enc_out.reshape(&[b * v, w])); // [b·v, dw]
+
+        // scatter into full sequence with mask tokens
+        let mut dec_tokens = Tensor::zeros(&[b * t, dw]);
+        {
+            let mt = self.mask_token.value.data();
+            let data = dec_tokens.data_mut();
+            for row in data.chunks_mut(dw) {
+                row.copy_from_slice(mt);
+            }
+        }
+        for (i, &g) in vis_global.iter().enumerate() {
+            let src = &dec_vis.data()[i * dw..(i + 1) * dw];
+            dec_tokens.data_mut()[g * dw..(g + 1) * dw].copy_from_slice(src);
+        }
+        // add decoder positional embedding
+        {
+            let pos = self.decoder_pos.value.data();
+            let data = dec_tokens.data_mut();
+            for bi in 0..b {
+                for ti in 0..t {
+                    let row = &mut data[(bi * t + ti) * dw..(bi * t + ti + 1) * dw];
+                    for (x, &p) in row.iter_mut().zip(&pos[ti * dw..(ti + 1) * dw]) {
+                        *x += p;
+                    }
+                }
+            }
+        }
+
+        // decode
+        let mut x = dec_tokens.reshape(&[b, t, dw]);
+        for blk in &mut self.decoder_blocks {
+            x = blk.forward(&x);
+        }
+        let flat = x.reshape(&[b * t, dw]);
+        let normed = self.decoder_ln.forward(&flat);
+        let predicted = self.pred.forward(&normed); // [b·t, pd]
+
+        // loss over masked patches only
+        let masked_global = plan.global_masked();
+        let (loss, dpred) = mse_masked(&predicted, &patches, &masked_global);
+
+        self.cache = Some(MaeCache { plan: plan.clone(), batch: b });
+        (loss, dpred)
+    }
+
+    /// Backward from the loss gradient returned by `forward`.
+    pub fn backward(&mut self, dpred: &Tensor) {
+        let cache = self.cache.take().expect("MaeModel::backward before forward");
+        let plan = &cache.plan;
+        let b = cache.batch;
+        let enc_cfg = &self.config.encoder;
+        let t = enc_cfg.tokens();
+        let w = enc_cfg.width;
+        let dw = self.config.dec_width;
+        let v = plan.visible;
+
+        // prediction head & decoder stack
+        let dnormed = self.pred.backward(dpred);
+        let dflat = self.decoder_ln.backward(&dnormed);
+        let mut dx = dflat.reshape(&[b, t, dw]);
+        for blk in self.decoder_blocks.iter_mut().rev() {
+            dx = blk.backward(&dx);
+        }
+        let ddec_tokens = dx.reshape(&[b * t, dw]);
+
+        // decoder positional grad: sum over batch
+        {
+            let pg = self.decoder_pos.grad.data_mut();
+            let src = ddec_tokens.data();
+            for bi in 0..b {
+                for ti in 0..t {
+                    let row = &src[(bi * t + ti) * dw..(bi * t + ti + 1) * dw];
+                    for (g, &vv) in pg[ti * dw..(ti + 1) * dw].iter_mut().zip(row) {
+                        *g += vv;
+                    }
+                }
+            }
+        }
+
+        // mask-token grad: sum over masked positions
+        let masked_global = plan.global_masked();
+        {
+            let mg = self.mask_token.grad.data_mut();
+            for &gidx in &masked_global {
+                let row = &ddec_tokens.data()[gidx * dw..(gidx + 1) * dw];
+                for (g, &vv) in mg.iter_mut().zip(row) {
+                    *g += vv;
+                }
+            }
+        }
+
+        // visible-token gradients flow into the decoder embed + encoder
+        let vis_global = plan.global_visible();
+        let dvis = ddec_tokens.gather_rows(&vis_global); // [b·v, dw]
+        let denc_out = self.decoder_embed.backward(&dvis); // [b·v, w]
+        let dvisible = self.encoder.backward_tokens(&denc_out.reshape(&[b, v, w]));
+
+        // scatter visible-token grads back into the full token grid
+        let mut dtokens = Tensor::zeros(&[b * t, w]);
+        dtokens.scatter_add_rows(&vis_global, &dvisible.reshape(&[b * v, w]));
+        self.encoder.embed.backward(&dtokens.reshape(&[b, t, w]));
+    }
+}
+
+impl Module for MaeModel {
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        self.encoder.visit_params(f);
+        self.decoder_embed.visit_params(f);
+        f(&mut self.mask_token);
+        f(&mut self.decoder_pos);
+        for blk in &mut self.decoder_blocks {
+            blk.visit_params(f);
+        }
+        self.decoder_ln.visit_params(f);
+        self.pred.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::MaskSampler;
+
+    fn tiny_mae() -> MaeConfig {
+        let enc = VitConfig {
+            name: "tst".into(),
+            width: 16,
+            depth: 2,
+            mlp: 32,
+            heads: 4,
+            patch: 4,
+            img: 8,
+            channels: 3,
+        };
+        MaeConfig { encoder: enc, dec_width: 8, dec_depth: 1, dec_heads: 2, mask_ratio: 0.5 }
+    }
+
+    #[test]
+    fn instantiated_params_match_analytic() {
+        let cfg = tiny_mae();
+        let mut rng = TensorRng::seed_from(1);
+        let mut model = MaeModel::new(&cfg, &mut rng);
+        assert_eq!(model.num_params() as u64, cfg.param_count());
+    }
+
+    #[test]
+    fn forward_produces_finite_loss() {
+        let cfg = tiny_mae();
+        let mut rng = TensorRng::seed_from(2);
+        let mut model = MaeModel::new(&cfg, &mut rng);
+        let sampler = MaskSampler::new(cfg.encoder.tokens(), cfg.mask_ratio);
+        let plan = sampler.sample(2, &mut rng);
+        let imgs = rng.randn(&[2, cfg.encoder.channels * 64], 1.0);
+        let (loss, dpred) = model.forward(&imgs, &plan);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(!dpred.has_non_finite());
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        let cfg = tiny_mae();
+        let mut rng = TensorRng::seed_from(3);
+        let mut model = MaeModel::new(&cfg, &mut rng);
+        let sampler = MaskSampler::new(cfg.encoder.tokens(), cfg.mask_ratio);
+        let plan = sampler.sample(4, &mut rng);
+        let imgs = rng.randn(&[4, cfg.encoder.channels * 64], 1.0);
+
+        model.zero_grad();
+        let (l0, dpred) = model.forward(&imgs, &plan);
+        model.backward(&dpred);
+        let mut flat = Vec::new();
+        model.pack_values(&mut flat);
+        let mut grads = Vec::new();
+        model.pack_grads(&mut grads);
+        assert!(grads.iter().any(|&g| g.abs() > 0.0));
+        for (p, g) in flat.iter_mut().zip(&grads) {
+            *p -= 0.05 * g;
+        }
+        model.unpack_values(&flat);
+        let (l1, _) = model.forward(&imgs, &plan);
+        assert!(l1 < l0, "loss should drop: {} -> {}", l0, l1);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_components() {
+        let cfg = tiny_mae();
+        let mut rng = TensorRng::seed_from(4);
+        let mut model = MaeModel::new(&cfg, &mut rng);
+        let sampler = MaskSampler::new(cfg.encoder.tokens(), cfg.mask_ratio);
+        let plan = sampler.sample(2, &mut rng);
+        let imgs = rng.randn(&[2, cfg.encoder.channels * 64], 1.0);
+        model.zero_grad();
+        let (_, dpred) = model.forward(&imgs, &plan);
+        model.backward(&dpred);
+        assert!(model.mask_token.grad.l2_norm() > 0.0, "mask token grad");
+        assert!(model.decoder_pos.grad.l2_norm() > 0.0, "decoder pos grad");
+        assert!(model.pred.weight.grad.l2_norm() > 0.0, "pred grad");
+        assert!(model.decoder_embed.weight.grad.l2_norm() > 0.0, "dec embed grad");
+        assert!(model.encoder.embed.proj.weight.grad.l2_norm() > 0.0, "patch embed grad");
+        assert!(
+            model.encoder.blocks[0].attn.qkv.weight.grad.l2_norm() > 0.0,
+            "encoder block grad"
+        );
+    }
+
+    #[test]
+    fn whole_model_gradcheck_on_flat_params() {
+        // Finite-difference check of d loss / d θ through the ENTIRE MAE
+        // (encoder + masking + decoder + masked loss) at a few coordinates.
+        let cfg = tiny_mae();
+        let mut rng = TensorRng::seed_from(5);
+        let mut model = MaeModel::new(&cfg, &mut rng);
+        let sampler = MaskSampler::new(cfg.encoder.tokens(), cfg.mask_ratio);
+        let plan = sampler.sample(2, &mut rng);
+        let imgs = rng.randn(&[2, cfg.encoder.channels * 64], 1.0);
+
+        model.zero_grad();
+        let (_, dpred) = model.forward(&imgs, &plan);
+        model.backward(&dpred);
+        let mut grads = Vec::new();
+        model.pack_grads(&mut grads);
+        let mut flat = Vec::new();
+        model.pack_values(&mut flat);
+
+        let eps = 1e-2f32;
+        let n = flat.len();
+        for &i in &[0usize, n / 5, n / 2, 3 * n / 4, n - 1] {
+            let mut fp = flat.clone();
+            fp[i] += eps;
+            model.unpack_values(&fp);
+            let (lp, _) = model.forward(&imgs, &plan);
+            let mut fm = flat.clone();
+            fm[i] -= eps;
+            model.unpack_values(&fm);
+            let (lm, _) = model.forward(&imgs, &plan);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads[i]).abs() < 5e-2_f32.max(0.2 * fd.abs()),
+                "θ[{}]: fd {} vs analytic {}",
+                i,
+                fd,
+                grads[i]
+            );
+        }
+    }
+}

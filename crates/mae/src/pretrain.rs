@@ -1,0 +1,269 @@
+//! The MAE pretraining loop (paper §V-B: AdamW, base lr 1.5e-4, wd 0.05,
+//! cosine schedule with warmup, 75 % masking).
+
+use crate::mask::MaskSampler;
+use crate::model::{MaeConfig, MaeModel};
+use geofm_nn::{clip_grad_norm, AdamW, CosineSchedule, Module, Optimizer};
+use geofm_tensor::{Tensor, TensorRng};
+
+/// Statistics from one pretraining step.
+#[derive(Debug, Clone, Copy)]
+pub struct PretrainStats {
+    /// Step index (0-based).
+    pub step: usize,
+    /// Masked-MSE loss.
+    pub loss: f32,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Pre-clip gradient norm.
+    pub grad_norm: f32,
+}
+
+/// Single-process MAE pretrainer. The distributed (FSDP) pretrainer lives in
+/// `geofm-fsdp` and shares the numerical core through the same model type.
+pub struct MaePretrainer {
+    /// The model being trained.
+    pub model: MaeModel,
+    sampler: MaskSampler,
+    optimizer: AdamW,
+    schedule: CosineSchedule,
+    step: usize,
+    grad_clip: f32,
+    flat: Vec<f32>,
+    grads: Vec<f32>,
+}
+
+impl MaePretrainer {
+    /// Build a pretrainer with the paper's hyper-parameter *ratios*:
+    /// AdamW(wd 0.05), cosine schedule with 5 % warmup to `base_lr`.
+    pub fn new(config: &MaeConfig, base_lr: f32, total_steps: usize, rng: &mut TensorRng) -> Self {
+        let mut model = MaeModel::new(config, rng);
+        let n = model.num_params();
+        let mask = model.decay_mask();
+        let optimizer = AdamW::new(n, 0.05).with_decay_mask(mask);
+        let warmup = (total_steps / 20).max(1).min(total_steps);
+        let schedule = CosineSchedule::new(base_lr, base_lr * 0.01, warmup, total_steps);
+        let sampler = MaskSampler::new(config.encoder.tokens(), config.mask_ratio);
+        Self {
+            model,
+            sampler,
+            optimizer,
+            schedule,
+            step: 0,
+            grad_clip: 5.0,
+            flat: Vec::with_capacity(n),
+            grads: Vec::with_capacity(n),
+        }
+    }
+
+    /// Current optimizer step count.
+    pub fn step_count(&self) -> usize {
+        self.step
+    }
+
+    /// Run one optimization step on a batch of images `[b, C·H·W]`.
+    pub fn step(&mut self, images: &Tensor, rng: &mut TensorRng) -> PretrainStats {
+        let plan = self.sampler.sample(images.dim(0), rng);
+        self.model.zero_grad();
+        let (loss, dpred) = self.model.forward(images, &plan);
+        self.model.backward(&dpred);
+
+        self.model.pack_grads(&mut self.grads);
+        let grad_norm = clip_grad_norm(&mut self.grads, self.grad_clip);
+        let lr = self.schedule.lr(self.step);
+        self.model.pack_values(&mut self.flat);
+        self.optimizer.step(&mut self.flat, &self.grads, lr);
+        self.model.unpack_values(&self.flat);
+
+        let stats = PretrainStats { step: self.step, loss, lr, grad_norm };
+        self.step += 1;
+        stats
+    }
+
+    /// One optimization step over several micro-batches with gradient
+    /// accumulation — how the paper reaches its global batch of 2048 from
+    /// local batches of 32 when the data-parallel width is insufficient.
+    /// Gradients are averaged across micro-batches (each micro-batch's loss
+    /// is already a mean, so the accumulated gradient is scaled by
+    /// `1/num_micro_batches`), producing the same update as one large batch.
+    pub fn step_accumulate(
+        &mut self,
+        micro_batches: &[Tensor],
+        rng: &mut TensorRng,
+    ) -> PretrainStats {
+        assert!(!micro_batches.is_empty(), "need at least one micro-batch");
+        self.model.zero_grad();
+        let mut loss_sum = 0.0f64;
+        for images in micro_batches {
+            let plan = self.sampler.sample(images.dim(0), rng);
+            let (loss, dpred) = self.model.forward(images, &plan);
+            self.model.backward(&dpred);
+            loss_sum += loss as f64;
+        }
+        let inv = 1.0 / micro_batches.len() as f32;
+        self.model.pack_grads(&mut self.grads);
+        for g in &mut self.grads {
+            *g *= inv;
+        }
+        let grad_norm = clip_grad_norm(&mut self.grads, self.grad_clip);
+        let lr = self.schedule.lr(self.step);
+        self.model.pack_values(&mut self.flat);
+        self.optimizer.step(&mut self.flat, &self.grads, lr);
+        self.model.unpack_values(&self.flat);
+        let stats = PretrainStats {
+            step: self.step,
+            loss: (loss_sum / micro_batches.len() as f64) as f32,
+            lr,
+            grad_norm,
+        };
+        self.step += 1;
+        stats
+    }
+
+    /// Evaluate the masked loss on a batch without updating (fixed seed so
+    /// eval curves are comparable across models).
+    pub fn eval_loss(&mut self, images: &Tensor, seed: u64) -> f32 {
+        let mut rng = TensorRng::seed_from(seed);
+        let plan = self.sampler.sample(images.dim(0), &mut rng);
+        let (loss, _) = self.model.forward(images, &plan);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_vit::VitConfig;
+
+    fn tiny_cfg() -> MaeConfig {
+        let enc = VitConfig {
+            name: "pt".into(),
+            width: 16,
+            depth: 2,
+            mlp: 32,
+            heads: 4,
+            patch: 4,
+            img: 8,
+            channels: 1,
+        };
+        MaeConfig { encoder: enc, dec_width: 8, dec_depth: 1, dec_heads: 2, mask_ratio: 0.5 }
+    }
+
+    /// Structured images (low-rank) should be learnable: the loss must drop
+    /// substantially over a short training run.
+    #[test]
+    fn loss_decreases_on_structured_data() {
+        let cfg = tiny_cfg();
+        let mut rng = TensorRng::seed_from(1);
+        let mut trainer = MaePretrainer::new(&cfg, 3e-3, 60, &mut rng);
+        // simple structured dataset: vertical gradients with random amplitude
+        let mut data_rng = TensorRng::seed_from(2);
+        let make_batch = |rng: &mut TensorRng| -> Tensor {
+            let mut imgs = Tensor::zeros(&[8, 64]);
+            for bi in 0..8 {
+                let amp = rng.uniform_in(0.5, 2.0);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        imgs.set(&[bi, y * 8 + x], amp * (y as f32 / 7.0 - 0.5));
+                    }
+                }
+            }
+            imgs
+        };
+        let eval_imgs = make_batch(&mut data_rng);
+        let first = trainer.eval_loss(&eval_imgs, 99);
+        for _ in 0..60 {
+            let batch = make_batch(&mut data_rng);
+            let s = trainer.step(&batch, &mut data_rng);
+            assert!(s.loss.is_finite());
+        }
+        let last = trainer.eval_loss(&eval_imgs, 99);
+        assert!(
+            last < first * 0.8,
+            "pretraining loss should drop ≥20%: {} -> {}",
+            first,
+            last
+        );
+    }
+
+    #[test]
+    fn stats_report_schedule() {
+        let cfg = tiny_cfg();
+        let mut rng = TensorRng::seed_from(3);
+        let mut trainer = MaePretrainer::new(&cfg, 1e-3, 100, &mut rng);
+        let imgs = rng.randn(&[2, 64], 1.0);
+        let s0 = trainer.step(&imgs, &mut rng);
+        assert_eq!(s0.step, 0);
+        assert!(s0.lr > 0.0 && s0.lr <= 1e-3);
+        assert!(s0.grad_norm > 0.0);
+        let s1 = trainer.step(&imgs, &mut rng);
+        assert_eq!(s1.step, 1);
+        assert!(s1.lr >= s0.lr, "warmup should increase lr");
+    }
+
+    /// Accumulating K micro-batches must produce (nearly) the same update
+    /// as one K-times-larger batch when masking randomness is aligned:
+    /// here we verify the weaker but exact property that accumulation over
+    /// identical micro-batches equals a single step on one of them.
+    #[test]
+    fn accumulation_over_identical_micro_batches_matches_single_step() {
+        let cfg = tiny_cfg();
+        let imgs = {
+            let mut rng = TensorRng::seed_from(21);
+            rng.randn(&[4, 64], 1.0)
+        };
+        let run = |accumulate: bool| -> Vec<f32> {
+            let mut rng = TensorRng::seed_from(9);
+            let mut tr = MaePretrainer::new(&cfg, 1e-3, 10, &mut rng);
+            let mut drng = TensorRng::seed_from(10);
+            let stats = if accumulate {
+                tr.step_accumulate(std::slice::from_ref(&imgs), &mut drng)
+            } else {
+                tr.step(&imgs, &mut drng)
+            };
+            assert!(stats.loss.is_finite());
+            let mut flat = Vec::new();
+            tr.model.pack_values(&mut flat);
+            flat
+        };
+        let single = run(false);
+        let accum = run(true);
+        let max = single
+            .iter()
+            .zip(&accum)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max < 1e-6, "single-micro-batch accumulation must equal step: {}", max);
+    }
+
+    #[test]
+    fn accumulation_averages_losses_and_updates_once() {
+        let cfg = tiny_cfg();
+        let mut rng = TensorRng::seed_from(31);
+        let mut tr = MaePretrainer::new(&cfg, 1e-3, 10, &mut rng);
+        let mut drng = TensorRng::seed_from(32);
+        let a = drng.randn(&[4, 64], 1.0);
+        let b = drng.randn(&[4, 64], 1.0);
+        let before = tr.step_count();
+        let stats = tr.step_accumulate(&[a, b], &mut drng);
+        assert_eq!(tr.step_count(), before + 1, "one optimizer step");
+        assert!(stats.loss.is_finite() && stats.grad_norm > 0.0);
+    }
+
+    #[test]
+    fn deterministic_training_given_seeds() {
+        let cfg = tiny_cfg();
+        let run = || {
+            let mut rng = TensorRng::seed_from(7);
+            let mut tr = MaePretrainer::new(&cfg, 1e-3, 10, &mut rng);
+            let mut drng = TensorRng::seed_from(8);
+            let imgs = drng.randn(&[4, 64], 1.0);
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                losses.push(tr.step(&imgs, &mut drng).loss);
+            }
+            losses
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,270 @@
+//! Semantic-segmentation probing (the paper's §VI other envisioned
+//! downstream task).
+//!
+//! Protocol mirrors linear probing at patch granularity: freeze the
+//! encoder, train a linear classifier on **per-token** features to predict
+//! each patch's majority semantic label, and report pixel accuracy + mIoU.
+//! Ground-truth masks come from the scene generator
+//! (`SceneRenderer::render_class_segmented`).
+
+use geofm_nn::{cross_entropy, segments_of, CosineSchedule, Lars, Linear, Module, Optimizer};
+use geofm_tensor::{Tensor, TensorRng};
+use geofm_vit::VitModel;
+
+/// Segmentation evaluation metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct SegMetrics {
+    /// Patch-level accuracy in [0, 1].
+    pub pixel_acc: f32,
+    /// Mean intersection-over-union across classes present in the data.
+    pub miou: f32,
+}
+
+/// Reduce per-pixel masks to per-patch majority labels aligned with the
+/// encoder's token grid.
+pub fn patch_labels(mask: &[u8], img: usize, patch: usize, num_classes: usize) -> Vec<usize> {
+    assert_eq!(mask.len(), img * img, "mask size mismatch");
+    let grid = img / patch;
+    let mut out = Vec::with_capacity(grid * grid);
+    for gy in 0..grid {
+        for gx in 0..grid {
+            let mut counts = vec![0usize; num_classes];
+            for py in 0..patch {
+                for px in 0..patch {
+                    let v = mask[(gy * patch + py) * img + gx * patch + px] as usize;
+                    counts[v.min(num_classes - 1)] += 1;
+                }
+            }
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            out.push(best);
+        }
+    }
+    out
+}
+
+/// A linear per-token segmentation head over a frozen encoder.
+pub struct SegProbe {
+    head: Linear,
+    optimizer: Lars,
+    schedule: CosineSchedule,
+    num_classes: usize,
+    epoch: usize,
+    flat: Vec<f32>,
+    grads: Vec<f32>,
+}
+
+impl SegProbe {
+    /// New probe over `width`-dimensional token features and
+    /// `num_classes` semantic classes.
+    pub fn new(
+        width: usize,
+        num_classes: usize,
+        base_lr: f32,
+        total_epochs: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let mut head = Linear::new(width, num_classes, rng, "seg.head");
+        let segments = segments_of(&mut head);
+        let optimizer = Lars::new(segments, 0.0);
+        let schedule =
+            CosineSchedule::new(base_lr, 0.0, (total_epochs / 10).max(1), total_epochs.max(1));
+        Self { head, optimizer, schedule, num_classes, epoch: 0, flat: Vec::new(), grads: Vec::new() }
+    }
+
+    /// Extract frozen per-token features: `[n, C·H·W]` → `[n·T, width]`.
+    pub fn token_features(encoder: &VitModel, images: &Tensor) -> Tensor {
+        let tokens = encoder.embed_images_inference(images);
+        let enc = encoder.encode_tokens_inference(&tokens);
+        let (b, t, w) = (enc.dim(0), enc.dim(1), enc.dim(2));
+        enc.reshape(&[b * t, w])
+    }
+
+    /// One training epoch over token features + flat per-token labels.
+    pub fn train_epoch(
+        &mut self,
+        feats: &Tensor,
+        labels: &[usize],
+        batch: usize,
+        rng: &mut TensorRng,
+    ) -> f32 {
+        let n = feats.dim(0);
+        assert_eq!(labels.len(), n, "token label count mismatch");
+        let order = rng.permutation(n);
+        let lr = self.schedule.lr(self.epoch);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let idx = &order[start..end];
+            let x = feats.gather_rows(idx);
+            let y: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            self.head.zero_grad();
+            let logits = self.head.forward(&x);
+            let out = cross_entropy(&logits, &y);
+            let _ = self.head.backward(&out.dlogits);
+            self.head.pack_grads(&mut self.grads);
+            self.head.pack_values(&mut self.flat);
+            self.optimizer.step(&mut self.flat, &self.grads, lr);
+            self.head.unpack_values(&self.flat);
+            total += out.loss as f64;
+            batches += 1;
+            start = end;
+        }
+        self.epoch += 1;
+        (total / batches.max(1) as f64) as f32
+    }
+
+    /// Evaluate pixel accuracy and mIoU over token features + labels.
+    pub fn evaluate(&self, feats: &Tensor, labels: &[usize]) -> SegMetrics {
+        let logits = self.head.forward_inference(feats);
+        let preds = logits.argmax_rows();
+        let c = self.num_classes;
+        let mut intersection = vec![0usize; c];
+        let mut union = vec![0usize; c];
+        let mut correct = 0usize;
+        for (&p, &t) in preds.iter().zip(labels) {
+            if p == t {
+                correct += 1;
+                intersection[t] += 1;
+                union[t] += 1;
+            } else {
+                union[t] += 1;
+                union[p] += 1;
+            }
+        }
+        let mut iou_sum = 0.0f32;
+        let mut present = 0usize;
+        for k in 0..c {
+            if union[k] > 0 {
+                iou_sum += intersection[k] as f32 / union[k] as f32;
+                present += 1;
+            }
+        }
+        SegMetrics {
+            pixel_acc: correct as f32 / labels.len().max(1) as f32,
+            miou: if present == 0 { 0.0 } else { iou_sum / present as f32 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_data::SceneRenderer;
+    use geofm_vit::VitConfig;
+
+    #[test]
+    fn patch_labels_majority_vote() {
+        // 4×4 image, 2×2 patches: top-left patch has 3 pixels of class 1
+        let mut mask = vec![0u8; 16];
+        mask[0] = 1;
+        mask[1] = 1;
+        mask[4] = 1;
+        let labels = patch_labels(&mask, 4, 2, 3);
+        assert_eq!(labels, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn generator_masks_align_with_layouts() {
+        let r = SceneRenderer::new(24, 3, 7);
+        let (imgs, masks) = r.render_class_segmented(0, 2, 0);
+        assert_eq!(imgs.shape(), &[2, 3 * 24 * 24]);
+        assert_eq!(masks.len(), 2);
+        assert_eq!(masks[0].len(), 24 * 24);
+        // foreground and background both present, labels within range
+        let distinct: std::collections::HashSet<u8> = masks[0].iter().cloned().collect();
+        assert!(distinct.len() >= 2, "mask must have structure: {:?}", distinct);
+        assert!(masks[0].iter().all(|&v| v <= 5));
+    }
+
+    /// End-to-end: segment synthetic scenes with a frozen random encoder —
+    /// the probe must beat the majority-class baseline.
+    #[test]
+    fn seg_probe_beats_majority_baseline() {
+        let cfg = VitConfig {
+            name: "seg".into(),
+            width: 32,
+            depth: 2,
+            mlp: 64,
+            heads: 4,
+            patch: 6,
+            img: 24,
+            channels: 3,
+        };
+        let mut rng = TensorRng::seed_from(1);
+        let encoder = VitModel::new(&cfg, &mut rng);
+        let r = SceneRenderer::new(cfg.img, cfg.channels, 7);
+        let num_classes = 6;
+
+        let collect = |offset: u64, per_class: usize| {
+            let mut feats: Option<Tensor> = None;
+            let mut labels: Vec<usize> = Vec::new();
+            for class in 0..4 {
+                let (imgs, masks) = r.render_class_segmented(class, per_class, offset);
+                let f = SegProbe::token_features(&encoder, &imgs);
+                feats = Some(match feats.take() {
+                    None => f,
+                    Some(prev) => {
+                        let mut data = prev.into_vec();
+                        data.extend_from_slice(f.data());
+                        let rows = data.len() / cfg.width;
+                        Tensor::from_vec(&[rows, cfg.width], data)
+                    }
+                });
+                for m in &masks {
+                    labels.extend(patch_labels(m, cfg.img, cfg.patch, num_classes));
+                }
+            }
+            (feats.unwrap(), labels)
+        };
+        let (mut train_f, train_l) = collect(0, 8);
+        let (mut test_f, test_l) = collect(10_000, 4);
+        // standardize token features (same affine-free BN as classification probing)
+        let (mean, std) = crate::probe::LinearProbe::feature_stats(&train_f);
+        crate::probe::LinearProbe::standardize(&mut train_f, &mean, &std);
+        crate::probe::LinearProbe::standardize(&mut test_f, &mean, &std);
+
+        // majority baseline
+        let mut counts = vec![0usize; num_classes];
+        for &l in &train_l {
+            counts[l] += 1;
+        }
+        let majority = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        let baseline =
+            test_l.iter().filter(|&&l| l == majority).count() as f32 / test_l.len() as f32;
+
+        let mut probe = SegProbe::new(cfg.width, num_classes, 6.0, 30, &mut rng);
+        for _ in 0..30 {
+            probe.train_epoch(&train_f, &train_l, 64, &mut rng);
+        }
+        let m = probe.evaluate(&test_f, &test_l);
+        assert!(
+            m.pixel_acc > baseline + 0.05,
+            "probe {:.3} must beat majority {:.3}",
+            m.pixel_acc,
+            baseline
+        );
+        assert!(m.miou > 0.0 && m.miou <= 1.0);
+    }
+
+    #[test]
+    fn perfect_predictions_have_unit_metrics() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut probe = SegProbe::new(4, 3, 1.0, 5, &mut rng);
+        // craft a head that classifies one-hot features perfectly
+        probe.head.weight.value = Tensor::from_vec(
+            &[3, 4],
+            vec![10., 0., 0., 0., 0., 10., 0., 0., 0., 0., 10., 0.],
+        );
+        let feats = Tensor::from_vec(&[3, 4], vec![1., 0., 0., 0., 0., 1., 0., 0., 0., 0., 1., 0.]);
+        let m = probe.evaluate(&feats, &[0, 1, 2]);
+        assert_eq!(m.pixel_acc, 1.0);
+        assert_eq!(m.miou, 1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! GELU activation (tanh approximation) with explicit backward.
+
+use geofm_tensor::Tensor;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+#[inline]
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+#[inline]
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x)
+}
+
+/// Stateless-weights GELU layer; caches its input for the backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cache_x: Option<Tensor>,
+}
+
+impl Gelu {
+    /// New GELU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; caches the input.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        x.map(gelu_scalar)
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        x.map(gelu_scalar)
+    }
+
+    /// Backward pass: `dx = dy ⊙ gelu'(x)`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("Gelu::backward before forward");
+        assert_eq!(x.shape(), dy.shape(), "Gelu::backward shape mismatch");
+        let mut dx = x.map(gelu_grad_scalar);
+        dx.mul_assign(dy);
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_tensor::TensorRng;
+
+    #[test]
+    fn known_values() {
+        assert!((gelu_scalar(0.0)).abs() < 1e-7);
+        // gelu(x) → x for large positive x, → 0 for large negative x
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_scalar(-10.0).abs() < 1e-4);
+        // gelu(1) ≈ 0.8412 (tanh approximation)
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(5);
+        let x = rng.randn(&[40], 1.5);
+        let eps = 1e-3f32;
+        for i in 0..40 {
+            let xi = x.data()[i];
+            let fd = (gelu_scalar(xi + eps) - gelu_scalar(xi - eps)) / (2.0 * eps);
+            let an = gelu_grad_scalar(xi);
+            assert!((fd - an).abs() < 1e-3, "x={}: fd {} vs analytic {}", xi, fd, an);
+        }
+    }
+
+    #[test]
+    fn layer_backward_chains_upstream() {
+        let mut rng = TensorRng::seed_from(6);
+        let x = rng.randn(&[3, 4], 1.0);
+        let dy = rng.randn(&[3, 4], 1.0);
+        let mut g = Gelu::new();
+        g.forward(&x);
+        let dx = g.backward(&dy);
+        for i in 0..12 {
+            let expect = gelu_grad_scalar(x.data()[i]) * dy.data()[i];
+            assert!((dx.data()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn monotone_for_positive_inputs() {
+        let mut last = gelu_scalar(0.0);
+        for i in 1..100 {
+            let v = gelu_scalar(i as f32 * 0.1);
+            assert!(v > last);
+            last = v;
+        }
+    }
+}

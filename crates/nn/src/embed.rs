@@ -1,0 +1,264 @@
+//! Patch embedding: image → token sequence via a linear projection of
+//! flattened non-overlapping patches (the ViT stem).
+
+use crate::linear::Linear;
+use crate::param::{Module, Param, ParamVisitor};
+use geofm_tensor::{Tensor, TensorRng};
+
+/// Non-overlapping patchification + linear projection + learned positional
+/// embedding.
+///
+/// Input images are `[b, channels·img·img]` flattened row-major
+/// (channel-major: all of channel 0, then channel 1, ...). Output is
+/// `[b, tokens, width]` with `tokens = (img/patch)²`.
+#[derive(Debug, Clone)]
+pub struct PatchEmbed {
+    /// Linear projection `patch²·channels → width`.
+    pub proj: Linear,
+    /// Learned positional embedding, `[tokens, width]`.
+    pub pos: Param,
+    img: usize,
+    patch: usize,
+    channels: usize,
+    width: usize,
+    cache_b: usize,
+}
+
+impl PatchEmbed {
+    /// New patch embedding.
+    ///
+    /// # Panics
+    /// Panics unless `img % patch == 0`.
+    pub fn new(
+        img: usize,
+        patch: usize,
+        channels: usize,
+        width: usize,
+        rng: &mut TensorRng,
+        name: &str,
+    ) -> Self {
+        assert_eq!(img % patch, 0, "image size {} not divisible by patch {}", img, patch);
+        let tokens = (img / patch) * (img / patch);
+        let proj = Linear::new(patch * patch * channels, width, rng, &format!("{name}.proj"));
+        let pos = Param::new(rng.trunc_normal(&[tokens, width], 0.02), false, format!("{name}.pos"));
+        Self { proj, pos, img, patch, channels, width, cache_b: 0 }
+    }
+
+    /// Tokens per image.
+    pub fn tokens(&self) -> usize {
+        (self.img / self.patch) * (self.img / self.patch)
+    }
+
+    /// Patch pixel dimension.
+    pub fn patch(&self) -> usize {
+        self.patch
+    }
+
+    /// Flattened patch length (`patch²·channels`).
+    pub fn patch_dim(&self) -> usize {
+        self.patch * self.patch * self.channels
+    }
+
+    /// Extract flattened patches: `[b, C·H·W]` → `[b·tokens, patch²·C]`.
+    ///
+    /// Patch pixel order is `(channel, py, px)` row-major, matching
+    /// [`PatchEmbed::patchify`]'s inverse [`PatchEmbed::unpatchify`].
+    pub fn patchify(&self, images: &Tensor) -> Tensor {
+        let b = images.dim(0);
+        let (img, p, c) = (self.img, self.patch, self.channels);
+        assert_eq!(images.dim(1), c * img * img, "image buffer size mismatch");
+        let grid = img / p;
+        let pd = self.patch_dim();
+        let mut out = Tensor::zeros(&[b * grid * grid, pd]);
+        let src = images.data();
+        let dst = out.data_mut();
+        for bi in 0..b {
+            let ibase = bi * c * img * img;
+            for gy in 0..grid {
+                for gx in 0..grid {
+                    let tok = bi * grid * grid + gy * grid + gx;
+                    let trow = &mut dst[tok * pd..(tok + 1) * pd];
+                    for ch in 0..c {
+                        for py in 0..p {
+                            let src_off = ibase + ch * img * img + (gy * p + py) * img + gx * p;
+                            let dst_off = ch * p * p + py * p;
+                            trow[dst_off..dst_off + p].copy_from_slice(&src[src_off..src_off + p]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`PatchEmbed::patchify`]: `[b·tokens, patch²·C]` → `[b, C·H·W]`.
+    pub fn unpatchify(&self, patches: &Tensor, b: usize) -> Tensor {
+        let (img, p, c) = (self.img, self.patch, self.channels);
+        let grid = img / p;
+        let pd = self.patch_dim();
+        assert_eq!(patches.dim(0), b * grid * grid, "patch count mismatch");
+        assert_eq!(patches.dim(1), pd, "patch width mismatch");
+        let mut out = Tensor::zeros(&[b, c * img * img]);
+        let src = patches.data();
+        let dst = out.data_mut();
+        for bi in 0..b {
+            let ibase = bi * c * img * img;
+            for gy in 0..grid {
+                for gx in 0..grid {
+                    let tok = bi * grid * grid + gy * grid + gx;
+                    let trow = &src[tok * pd..(tok + 1) * pd];
+                    for ch in 0..c {
+                        for py in 0..p {
+                            let dst_off = ibase + ch * img * img + (gy * p + py) * img + gx * p;
+                            let src_off = ch * p * p + py * p;
+                            dst[dst_off..dst_off + p].copy_from_slice(&trow[src_off..src_off + p]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward: `[b, C·H·W]` images → `[b, tokens, width]` tokens (cached).
+    pub fn forward(&mut self, images: &Tensor) -> Tensor {
+        let b = images.dim(0);
+        let patches = self.patchify(images);
+        let mut tok = self.proj.forward(&patches); // [b·tokens, width]
+        self.add_pos(&mut tok, b);
+        self.cache_b = b;
+        tok.reshape(&[b, self.tokens(), self.width])
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, images: &Tensor) -> Tensor {
+        let b = images.dim(0);
+        let patches = self.patchify(images);
+        let mut tok = self.proj.forward_inference(&patches);
+        self.add_pos(&mut tok, b);
+        tok.reshape(&[b, self.tokens(), self.width])
+    }
+
+    fn add_pos(&self, tok: &mut Tensor, b: usize) {
+        let t = self.tokens();
+        let w = self.width;
+        let pos = self.pos.value.data();
+        let data = tok.data_mut();
+        for bi in 0..b {
+            for ti in 0..t {
+                let row = &mut data[(bi * t + ti) * w..(bi * t + ti + 1) * w];
+                for (v, &pv) in row.iter_mut().zip(&pos[ti * w..(ti + 1) * w]) {
+                    *v += pv;
+                }
+            }
+        }
+    }
+
+    /// Backward from `dy: [b, tokens, width]`; accumulates projection and
+    /// positional-embedding grads. (Input gradients are not needed — images
+    /// are leaves.)
+    pub fn backward(&mut self, dy: &Tensor) {
+        let (b, t, w) = (dy.dim(0), dy.dim(1), dy.dim(2));
+        assert_eq!(b, self.cache_b, "PatchEmbed::backward batch mismatch");
+        assert_eq!(t, self.tokens(), "PatchEmbed::backward token mismatch");
+        // positional grad: sum over batch
+        {
+            let pg = self.pos.grad.data_mut();
+            let src = dy.data();
+            for bi in 0..b {
+                for ti in 0..t {
+                    let row = &src[(bi * t + ti) * w..(bi * t + ti + 1) * w];
+                    for (g, &v) in pg[ti * w..(ti + 1) * w].iter_mut().zip(row) {
+                        *g += v;
+                    }
+                }
+            }
+        }
+        let flat = dy.clone().reshape(&[b * t, w]);
+        let _ = self.proj.backward(&flat);
+    }
+}
+
+impl Module for PatchEmbed {
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        self.proj.visit_params(f);
+        f(&mut self.pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patchify_unpatchify_roundtrip() {
+        let mut rng = TensorRng::seed_from(1);
+        let pe = PatchEmbed::new(8, 4, 3, 16, &mut rng, "t");
+        let imgs = rng.randn(&[2, 3 * 8 * 8], 1.0);
+        let patches = pe.patchify(&imgs);
+        assert_eq!(patches.shape(), &[2 * 4, 4 * 4 * 3]);
+        let back = pe.unpatchify(&patches, 2);
+        assert!(back.max_abs_diff(&imgs) < 1e-7);
+    }
+
+    #[test]
+    fn patchify_places_pixels() {
+        // 1 channel, 4x4 image, 2x2 patches: top-left patch holds pixels (0,1,4,5)
+        let mut rng = TensorRng::seed_from(2);
+        let pe = PatchEmbed::new(4, 2, 1, 8, &mut rng, "t");
+        let imgs = Tensor::from_vec(&[1, 16], (0..16).map(|v| v as f32).collect());
+        let patches = pe.patchify(&imgs);
+        assert_eq!(patches.row(0), &[0., 1., 4., 5.]);
+        assert_eq!(patches.row(1), &[2., 3., 6., 7.]);
+        assert_eq!(patches.row(3), &[10., 11., 14., 15.]);
+    }
+
+    #[test]
+    fn forward_shape_and_positional_effect() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut pe = PatchEmbed::new(8, 4, 3, 16, &mut rng, "t");
+        let imgs = rng.randn(&[2, 3 * 8 * 8], 1.0);
+        let y = pe.forward(&imgs);
+        assert_eq!(y.shape(), &[2, 4, 16]);
+        // zero positional embedding changes the output
+        let mut pe2 = pe.clone();
+        pe2.pos.value = Tensor::zeros(pe2.pos.value.shape());
+        let y2 = pe2.forward_inference(&imgs);
+        assert!(y.max_abs_diff(&y2) > 1e-4);
+    }
+
+    #[test]
+    fn pos_grad_accumulates_over_batch() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut pe = PatchEmbed::new(4, 2, 1, 4, &mut rng, "t");
+        let imgs = rng.randn(&[3, 16], 1.0);
+        pe.forward(&imgs);
+        let dy = Tensor::ones(&[3, 4, 4]);
+        pe.backward(&dy);
+        // each pos element receives gradient 1 from each of the 3 batch items
+        assert!(pe.pos.grad.data().iter().all(|&g| (g - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn proj_grad_via_finite_difference() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut pe = PatchEmbed::new(4, 2, 1, 3, &mut rng, "t");
+        let imgs = rng.randn(&[2, 16], 1.0);
+        let dy = rng.randn(&[2, 4, 3], 1.0);
+        pe.forward(&imgs);
+        pe.backward(&dy);
+        let loss = |p: &PatchEmbed| -> f32 {
+            p.forward_inference(&imgs).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        for i in [0usize, 3, 7] {
+            let mut pp = pe.clone();
+            pp.proj.weight.value.data_mut()[i] += eps;
+            let mut pm = pe.clone();
+            pm.proj.weight.value.data_mut()[i] -= eps;
+            let fd = (loss(&pp) - loss(&pm)) / (2.0 * eps);
+            let an = pe.proj.weight.grad.data()[i];
+            assert!((fd - an).abs() < 3e-2, "dWproj[{}]: fd {} vs {}", i, fd, an);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Loss functions: softmax cross-entropy for classification and the MAE
+//! masked, per-patch-normalised MSE.
+
+use geofm_tensor::Tensor;
+
+/// Output of [`cross_entropy`]: mean loss plus the gradient w.r.t. logits.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// `d loss / d logits`, shape `[n, classes]` (already divided by `n`).
+    pub dlogits: Tensor,
+    /// Softmax probabilities (useful for metrics).
+    pub probs: Tensor,
+}
+
+/// Softmax cross-entropy for `logits: [n, classes]` and integer `labels`.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> CrossEntropyOutput {
+    assert_eq!(logits.ndim(), 2, "cross_entropy expects [n, classes]");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "cross_entropy: {} labels for {} rows", labels.len(), n);
+    let mut probs = logits.clone();
+    probs.softmax_rows_inplace();
+    let mut loss = 0.0f64;
+    let mut dlogits = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {} out of range ({} classes)", label, c);
+        let p = probs.at(&[i, label]).max(1e-12);
+        loss -= (p as f64).ln();
+        let row = dlogits.row_mut(i);
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    CrossEntropyOutput { loss: (loss / n as f64) as f32, dlogits, probs }
+}
+
+/// MAE reconstruction loss: MSE between predicted and target patches,
+/// averaged **only over masked patches**, with per-patch pixel normalisation
+/// of the target (as in the MAE paper, §"simple implementation").
+///
+/// * `pred`   — `[num_patches, patch_dim]` decoder outputs (all patches).
+/// * `target` — `[num_patches, patch_dim]` raw patch pixels.
+/// * `masked` — indices (into rows) of masked patches.
+///
+/// Returns `(loss, dpred)`; `dpred` is zero on visible patches.
+pub fn mse_masked(pred: &Tensor, target: &Tensor, masked: &[usize]) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse_masked: shape mismatch");
+    assert_eq!(pred.ndim(), 2, "mse_masked expects 2-D patch tensors");
+    let d = pred.dim(1);
+    let mut dpred = Tensor::zeros(pred.shape());
+    if masked.is_empty() {
+        return (0.0, dpred);
+    }
+    let mut loss = 0.0f64;
+    let denom = (masked.len() * d) as f32;
+    for &m in masked {
+        let trow = target.row(m);
+        // per-patch normalisation of the target
+        let mean = trow.iter().sum::<f32>() / d as f32;
+        let var = trow.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let rstd = 1.0 / (var + 1e-6).sqrt();
+        let prow = pred.row(m);
+        let start = m * d;
+        for j in 0..d {
+            let t_norm = (trow[j] - mean) * rstd;
+            let diff = prow[j] - t_norm;
+            loss += (diff as f64) * (diff as f64);
+            dpred.data_mut()[start + j] = 2.0 * diff / denom;
+        }
+    }
+    ((loss / denom as f64) as f32, dpred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_tensor::TensorRng;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(&[2, 3], vec![100., 0., 0., 0., 100., 0.]);
+        let out = cross_entropy(&logits, &[0, 1]);
+        assert!(out.loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[4, 8]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - (8.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(1);
+        let logits = rng.randn(&[3, 4], 1.0);
+        let labels = [2usize, 0, 3];
+        let out = cross_entropy(&logits, &labels);
+        let eps = 1e-2f32;
+        for i in 0..12 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fd = (cross_entropy(&lp, &labels).loss - cross_entropy(&lm, &labels).loss)
+                / (2.0 * eps);
+            let an = out.dlogits.data()[i];
+            assert!((fd - an).abs() < 1e-3, "dlogits[{}]: fd {} vs {}", i, fd, an);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let mut rng = TensorRng::seed_from(2);
+        let logits = rng.randn(&[5, 7], 2.0);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3, 4]);
+        for r in 0..5 {
+            let s: f32 = out.dlogits.row(r).iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mse_masked_ignores_visible_patches() {
+        let mut rng = TensorRng::seed_from(3);
+        let pred = rng.randn(&[4, 6], 1.0);
+        let target = rng.randn(&[4, 6], 1.0);
+        let (_, dpred) = mse_masked(&pred, &target, &[1, 3]);
+        assert!(dpred.row(0).iter().all(|&v| v == 0.0));
+        assert!(dpred.row(2).iter().all(|&v| v == 0.0));
+        assert!(dpred.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn mse_masked_zero_when_pred_equals_normalised_target() {
+        let mut rng = TensorRng::seed_from(4);
+        let target = rng.randn(&[3, 8], 2.0);
+        // construct pred = normalised target
+        let mut pred = Tensor::zeros(&[3, 8]);
+        for r in 0..3 {
+            let trow = target.row(r);
+            let mean = trow.iter().sum::<f32>() / 8.0;
+            let var = trow.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let rstd = 1.0 / (var + 1e-6).sqrt();
+            for j in 0..8 {
+                pred.set(&[r, j], (trow[j] - mean) * rstd);
+            }
+        }
+        let (loss, _) = mse_masked(&pred, &target, &[0, 1, 2]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn mse_masked_gradient_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(5);
+        let pred = rng.randn(&[3, 4], 1.0);
+        let target = rng.randn(&[3, 4], 1.0);
+        let masked = [0usize, 2];
+        let (_, dpred) = mse_masked(&pred, &target, &masked);
+        let eps = 1e-2f32;
+        for i in 0..12 {
+            let mut pp = pred.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[i] -= eps;
+            let fd = (mse_masked(&pp, &target, &masked).0 - mse_masked(&pm, &target, &masked).0)
+                / (2.0 * eps);
+            let an = dpred.data()[i];
+            assert!((fd - an).abs() < 1e-3, "dpred[{}]: fd {} vs {}", i, fd, an);
+        }
+    }
+
+    #[test]
+    fn mse_masked_empty_mask_is_zero() {
+        let pred = Tensor::ones(&[2, 3]);
+        let target = Tensor::zeros(&[2, 3]);
+        let (loss, dpred) = mse_masked(&pred, &target, &[]);
+        assert_eq!(loss, 0.0);
+        assert!(dpred.data().iter().all(|&v| v == 0.0));
+    }
+}

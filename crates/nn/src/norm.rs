@@ -1,0 +1,228 @@
+//! Layer normalisation with affine transform and explicit backward.
+
+use crate::param::{Module, Param, ParamVisitor};
+use geofm_tensor::Tensor;
+use rayon::prelude::*;
+
+/// LayerNorm over the last dimension of a `[n, d]` input, with learned
+/// scale `γ` and offset `β`.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale, `[d]`, initialised to 1.
+    pub gamma: Param,
+    /// Offset, `[d]`, initialised to 0.
+    pub beta: Param,
+    dim: usize,
+    eps: f32,
+    /// Cached normalised input `x̂` and per-row reciprocal std from `forward`.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// New LayerNorm over width `dim` (ε = 1e-6, the ViT default).
+    pub fn new(dim: usize, name: &str) -> Self {
+        Self {
+            gamma: Param::new(Tensor::ones(&[dim]), false, format!("{name}.gamma")),
+            beta: Param::new(Tensor::zeros(&[dim]), false, format!("{name}.beta")),
+            dim,
+            eps: 1e-6,
+            cache: None,
+        }
+    }
+
+    /// Normalised width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn normalize(&self, x: &Tensor) -> (Tensor, Vec<f32>) {
+        assert_eq!(x.ndim(), 2, "LayerNorm expects 2-D input");
+        assert_eq!(x.dim(1), self.dim, "LayerNorm width mismatch");
+        let d = self.dim;
+        let n = x.dim(0);
+        let mut xhat = Tensor::zeros(&[n, d]);
+        let mut rstd = vec![0.0f32; n];
+        let eps = self.eps;
+        xhat.data_mut()
+            .par_chunks_mut(d)
+            .zip(x.data().par_chunks(d))
+            .zip(rstd.par_iter_mut())
+            .for_each(|((out, row), rs)| {
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let r = 1.0 / (var + eps).sqrt();
+                *rs = r;
+                for (o, &v) in out.iter_mut().zip(row) {
+                    *o = (v - mean) * r;
+                }
+            });
+        (xhat, rstd)
+    }
+
+    fn affine(&self, xhat: &Tensor) -> Tensor {
+        let d = self.dim;
+        let mut y = xhat.clone();
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        y.data_mut().par_chunks_mut(d).for_each(|row| {
+            for ((v, &gv), &bv) in row.iter_mut().zip(g).zip(b) {
+                *v = *v * gv + bv;
+            }
+        });
+        y
+    }
+
+    /// Forward pass with caching for backward.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (xhat, rstd) = self.normalize(x);
+        let y = self.affine(&xhat);
+        self.cache = Some((xhat, rstd));
+        y
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let (xhat, _) = self.normalize(x);
+        self.affine(&xhat)
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (xhat, rstd) = self.cache.take().expect("LayerNorm::backward before forward");
+        let d = self.dim;
+        let n = dy.dim(0);
+        assert_eq!(dy.shape(), xhat.shape(), "LayerNorm::backward shape mismatch");
+
+        // Parameter gradients: dγ = Σ_rows dy ⊙ x̂ ; dβ = Σ_rows dy.
+        {
+            let dg = self.gamma.grad.data_mut();
+            for (dyr, xr) in dy.data().chunks(d).zip(xhat.data().chunks(d)) {
+                for ((g, &dv), &xv) in dg.iter_mut().zip(dyr).zip(xr) {
+                    *g += dv * xv;
+                }
+            }
+            let db = self.beta.grad.data_mut();
+            for dyr in dy.data().chunks(d) {
+                for (b, &dv) in db.iter_mut().zip(dyr) {
+                    *b += dv;
+                }
+            }
+        }
+
+        // Input gradient (standard LayerNorm backward):
+        // dx = rstd/d * ( d·g⊙dy − Σ(g⊙dy) − x̂·Σ(g⊙dy⊙x̂) )
+        let mut dx = Tensor::zeros(&[n, d]);
+        let g = self.gamma.value.data();
+        dx.data_mut()
+            .par_chunks_mut(d)
+            .zip(dy.data().par_chunks(d))
+            .zip(xhat.data().par_chunks(d))
+            .zip(rstd.par_iter())
+            .for_each(|(((dxr, dyr), xr), &rs)| {
+                let mut sum_gdy = 0.0f32;
+                let mut sum_gdyx = 0.0f32;
+                for ((&dv, &gv), &xv) in dyr.iter().zip(g).zip(xr) {
+                    let gd = gv * dv;
+                    sum_gdy += gd;
+                    sum_gdyx += gd * xv;
+                }
+                let inv_d = 1.0 / d as f32;
+                for (((dxv, &dv), &gv), &xv) in dxr.iter_mut().zip(dyr).zip(g).zip(xr) {
+                    let gd = gv * dv;
+                    *dxv = rs * (gd - inv_d * sum_gdy - xv * inv_d * sum_gdyx);
+                }
+            });
+        dx
+    }
+}
+
+impl Module for LayerNorm {
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_tensor::TensorRng;
+
+    #[test]
+    fn output_rows_are_normalised_when_identity_affine() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut ln = LayerNorm::new(16, "t");
+        let x = rng.randn(&[4, 16], 3.0);
+        let y = ln.forward(&x);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "row {} mean {}", r, mean);
+            assert!((var - 1.0).abs() < 1e-3, "row {} var {}", r, var);
+        }
+    }
+
+    #[test]
+    fn affine_applies_gamma_beta() {
+        let mut ln = LayerNorm::new(2, "t");
+        ln.gamma.value = Tensor::from_vec(&[2], vec![2.0, 3.0]);
+        ln.beta.value = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        let y = ln.forward(&Tensor::from_vec(&[1, 2], vec![-1.0, 1.0]));
+        // x̂ = [-1, 1] (up to eps), so y ≈ [10-2, 20+3]
+        assert!((y.data()[0] - 8.0).abs() < 1e-2);
+        assert!((y.data()[1] - 23.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = TensorRng::seed_from(7);
+        let mut ln = LayerNorm::new(6, "t");
+        ln.gamma.value = rng.rand_uniform(&[6], 0.5, 1.5);
+        ln.beta.value = rng.randn(&[6], 0.2);
+        let x = rng.randn(&[3, 6], 1.0);
+        let dy = rng.randn(&[3, 6], 1.0);
+
+        ln.forward(&x);
+        let dx = ln.backward(&dy);
+
+        let loss = |l: &LayerNorm, xin: &Tensor| -> f32 {
+            let y = l.forward_inference(xin);
+            y.data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        for i in [0usize, 5, 11, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&ln, &xp) - loss(&ln, &xm)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 3e-2, "dx[{}]: fd {} vs {}", i, fd, dx.data()[i]);
+        }
+        for i in 0..6 {
+            let mut lp = ln.clone();
+            lp.gamma.value.data_mut()[i] += eps;
+            let mut lm = ln.clone();
+            lm.gamma.value.data_mut()[i] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            let an = ln.gamma.grad.data()[i];
+            assert!((fd - an).abs() < 3e-2, "dγ[{}]: fd {} vs {}", i, fd, an);
+        }
+        for i in 0..6 {
+            let mut lp = ln.clone();
+            lp.beta.value.data_mut()[i] += eps;
+            let mut lm = ln.clone();
+            lm.beta.value.data_mut()[i] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            let an = ln.beta.grad.data()[i];
+            assert!((fd - an).abs() < 3e-2, "dβ[{}]: fd {} vs {}", i, fd, an);
+        }
+    }
+
+    #[test]
+    fn constant_rows_do_not_blow_up() {
+        let mut ln = LayerNorm::new(4, "t");
+        let y = ln.forward(&Tensor::full(&[2, 4], 5.0));
+        assert!(!y.has_non_finite());
+    }
+}

@@ -1,0 +1,352 @@
+//! Optimizers operating on **flat parameter buffers**.
+//!
+//! Working on flat `&mut [f32]` slices (rather than per-layer tensors) is
+//! what lets `geofm-fsdp` shard optimizer state: a rank that owns elements
+//! `[lo, hi)` of a unit's flat parameter simply constructs its optimizer
+//! over that range. Per-parameter metadata (weight-decay eligibility, layer
+//! boundaries for LARS trust ratios) is carried as index masks/segments with
+//! the same flat layout.
+
+use crate::param::Module;
+
+/// A contiguous run of the flat buffer belonging to one parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Start offset in the flat buffer.
+    pub start: usize,
+    /// Length in elements.
+    pub len: usize,
+    /// Whether weight decay applies to this tensor.
+    pub decay: bool,
+}
+
+/// Compute the flat [`Segment`] layout of a module (deterministic order).
+pub fn segments_of(module: &mut dyn Module) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let mut off = 0;
+    module.visit_params(&mut |p| {
+        segs.push(Segment { start: off, len: p.numel(), decay: p.decay });
+        off += p.numel();
+    });
+    segs
+}
+
+/// Common interface: apply one update step to a flat parameter buffer.
+pub trait Optimizer {
+    /// `params[i] ← update(params[i], grads[i])` at learning rate `lr`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32);
+}
+
+/// Plain SGD with optional momentum (reference optimizer for tests).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// New SGD over a buffer of `len` elements.
+    pub fn new(len: usize, momentum: f32) -> Self {
+        Self { momentum, velocity: vec![0.0; len] }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.velocity.len(), "Sgd: buffer length changed");
+        assert_eq!(params.len(), grads.len(), "Sgd: grads length mismatch");
+        if self.momentum == 0.0 {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= lr * g;
+            }
+        } else {
+            for ((p, &g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+                *v = self.momentum * *v + g;
+                *p -= lr * *v;
+            }
+        }
+    }
+}
+
+/// AdamW (decoupled weight decay), the paper's pretraining optimizer
+/// (base lr 1.5e-4, β = (0.9, 0.95) as in MAE, wd 0.05).
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    /// Per-element decay eligibility (None ⇒ decay everything).
+    decay_mask: Option<Vec<bool>>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl AdamW {
+    /// New AdamW over a buffer of `len` elements with MAE-style betas.
+    pub fn new(len: usize, weight_decay: f32) -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay,
+            decay_mask: None,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// Restrict weight decay to elements where the mask is `true`
+    /// (weights yes; biases/norms/embeddings no).
+    pub fn with_decay_mask(mut self, mask: Vec<bool>) -> Self {
+        assert_eq!(mask.len(), self.m.len(), "AdamW: mask length mismatch");
+        self.decay_mask = Some(mask);
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.m.len(), "AdamW: buffer length changed");
+        assert_eq!(params.len(), grads.len(), "AdamW: grads length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            let decay = match &self.decay_mask {
+                Some(mask) => mask[i],
+                None => true,
+            };
+            if decay && self.weight_decay > 0.0 {
+                params[i] -= lr * self.weight_decay * params[i];
+            }
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// LARS (You et al., 2017): layer-wise adaptive rate scaling with momentum —
+/// the paper's linear-probing optimizer (base lr 0.1, no weight decay).
+///
+/// The trust ratio is computed per [`Segment`], i.e. per parameter tensor.
+#[derive(Debug, Clone)]
+pub struct Lars {
+    momentum: f32,
+    weight_decay: f32,
+    trust_coefficient: f32,
+    segments: Vec<Segment>,
+    velocity: Vec<f32>,
+}
+
+impl Lars {
+    /// New LARS over a flat buffer described by `segments`.
+    ///
+    /// # Panics
+    /// Panics if segments are not contiguous from zero.
+    pub fn new(segments: Vec<Segment>, weight_decay: f32) -> Self {
+        let mut expect = 0;
+        for s in &segments {
+            assert_eq!(s.start, expect, "Lars: segments must be contiguous");
+            expect += s.len;
+        }
+        Self {
+            momentum: 0.9,
+            weight_decay,
+            trust_coefficient: 0.001,
+            velocity: vec![0.0; expect],
+            segments,
+        }
+    }
+}
+
+impl Optimizer for Lars {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.velocity.len(), "Lars: buffer length changed");
+        assert_eq!(params.len(), grads.len(), "Lars: grads length mismatch");
+        for seg in &self.segments {
+            let r = seg.start..seg.start + seg.len;
+            let p = &mut params[r.clone()];
+            let g = &grads[r.clone()];
+            let v = &mut self.velocity[r];
+            let p_norm = p.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt() as f32;
+            let g_norm = g.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt() as f32;
+            let wd = if seg.decay { self.weight_decay } else { 0.0 };
+            let denom = g_norm + wd * p_norm;
+            let trust = if p_norm > 0.0 && denom > 0.0 {
+                self.trust_coefficient * p_norm / denom
+            } else {
+                1.0
+            };
+            let local_lr = lr * trust;
+            for i in 0..p.len() {
+                let update = g[i] + wd * p[i];
+                v[i] = self.momentum * v[i] + local_lr * update;
+                p[i] -= v[i];
+            }
+        }
+    }
+}
+
+/// Scale `grad` in place so its global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm. This is the standard pre-optimizer clip.
+pub fn clip_grad_norm(grad: &mut [f32], max_norm: f32) -> f32 {
+    let norm = grad.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // minimise f(p) = 0.5 p², grad = p
+        let mut p = vec![10.0f32];
+        let mut opt = Sgd::new(1, 0.0);
+        for _ in 0..100 {
+            let g = vec![p[0]];
+            opt.step(&mut p, &g, 0.1);
+        }
+        assert!(p[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |mom: f32| {
+            let mut p = vec![10.0f32];
+            let mut opt = Sgd::new(1, mom);
+            for _ in 0..30 {
+                let g = vec![p[0]];
+                opt.step(&mut p, &g, 0.01);
+            }
+            p[0]
+        };
+        assert!(run(0.9).abs() < run(0.0).abs());
+    }
+
+    #[test]
+    fn adamw_descends_quadratic() {
+        let mut p = vec![5.0f32, -3.0];
+        let mut opt = AdamW::new(2, 0.0);
+        for _ in 0..600 {
+            let g = vec![p[0], p[1]];
+            opt.step(&mut p, &g, 0.05);
+        }
+        assert!(p[0].abs() < 1e-2 && p[1].abs() < 1e-2, "p = {:?}", p);
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_params_without_grad() {
+        let mut p = vec![1.0f32];
+        let mut opt = AdamW::new(1, 0.1);
+        for _ in 0..10 {
+            opt.step(&mut p, &[0.0], 0.1);
+        }
+        assert!(p[0] < 1.0 && p[0] > 0.8, "p = {:?}", p);
+    }
+
+    #[test]
+    fn adamw_decay_mask_protects_elements() {
+        let mut p = vec![1.0f32, 1.0];
+        let mut opt = AdamW::new(2, 0.1).with_decay_mask(vec![true, false]);
+        for _ in 0..10 {
+            opt.step(&mut p, &[0.0, 0.0], 0.1);
+        }
+        assert!(p[0] < 1.0);
+        assert_eq!(p[1], 1.0);
+    }
+
+    #[test]
+    fn adamw_step_size_is_bounded_by_lr() {
+        // Adam's |update| ≤ lr / (1-β1) roughly; for one step it's ≈ lr.
+        let mut p = vec![0.0f32];
+        let mut opt = AdamW::new(1, 0.0);
+        opt.step(&mut p, &[1000.0], 0.01);
+        assert!(p[0].abs() < 0.05, "p = {:?}", p);
+    }
+
+    #[test]
+    fn lars_descends_quadratic() {
+        let segs = vec![Segment { start: 0, len: 2, decay: true }];
+        let mut p = vec![4.0f32, -2.0];
+        let mut opt = Lars::new(segs, 0.0);
+        for _ in 0..3000 {
+            let g = vec![p[0], p[1]];
+            opt.step(&mut p, &g, 1.0);
+        }
+        assert!(p[0].abs() < 0.1 && p[1].abs() < 0.1, "p = {:?}", p);
+    }
+
+    #[test]
+    fn lars_trust_ratio_scales_with_param_norm() {
+        // two segments with the same gradient but different param norms:
+        // the bigger-norm segment takes a bigger absolute step.
+        let segs = vec![
+            Segment { start: 0, len: 1, decay: false },
+            Segment { start: 1, len: 1, decay: false },
+        ];
+        let mut p = vec![10.0f32, 0.1];
+        let before = p.clone();
+        let mut opt = Lars::new(segs, 0.0);
+        opt.step(&mut p, &[1.0, 1.0], 1.0);
+        let step0 = (before[0] - p[0]).abs();
+        let step1 = (before[1] - p[1]).abs();
+        assert!(step0 > step1, "steps: {} vs {}", step0, step1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn lars_rejects_gappy_segments() {
+        let _ = Lars::new(vec![Segment { start: 1, len: 2, decay: true }], 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_norm() {
+        let mut g = vec![3.0f32, 4.0]; // norm 5
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let post = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_below_threshold() {
+        let mut g = vec![0.3f32, 0.4];
+        clip_grad_norm(&mut g, 1.0);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn segments_of_matches_module_layout() {
+        use crate::linear::Linear;
+        use geofm_tensor::TensorRng;
+        let mut rng = TensorRng::seed_from(1);
+        let mut layer = Linear::new(3, 2, &mut rng, "t");
+        let segs = segments_of(&mut layer);
+        assert_eq!(
+            segs,
+            vec![
+                Segment { start: 0, len: 6, decay: true },
+                Segment { start: 6, len: 2, decay: false }
+            ]
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Trainable parameters and the module-visitation protocol used by the
+//! optimizers and by `geofm-fsdp`'s flat-parameter packing.
+
+use geofm_tensor::Tensor;
+
+/// A trainable parameter: value tensor + accumulated gradient + metadata.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether weight decay applies (true for weights, false for biases,
+    /// norm scales/offsets and embeddings, following common ViT practice).
+    pub decay: bool,
+    /// Stable name for debugging and checkpointing.
+    pub name: String,
+}
+
+impl Param {
+    /// Wrap a value tensor as a parameter with a zeroed gradient.
+    pub fn new(value: Tensor, decay: bool, name: impl Into<String>) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad, decay, name: name.into() }
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Closure alias for walking a module's parameters in a stable order.
+pub type ParamVisitor<'a> = dyn FnMut(&mut Param) + 'a;
+
+/// Anything that owns parameters.
+///
+/// The **visitation order must be deterministic** — it defines the layout of
+/// the flat buffer `geofm-fsdp` shards, so every rank must see the same
+/// order.
+pub trait Module {
+    /// Visit every parameter exactly once, in a stable order.
+    fn visit_params(&mut self, f: &mut ParamVisitor);
+
+    /// Total number of trainable scalars.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zero all gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Copy all parameter values into a flat buffer (FSDP pack).
+    fn pack_values(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+    }
+
+    /// Copy all gradients into a flat buffer.
+    fn pack_grads(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+    }
+
+    /// Load all parameter values from a flat buffer (FSDP unpack).
+    ///
+    /// # Panics
+    /// Panics if `src` is shorter than the module's parameter count.
+    fn unpack_values(&mut self, src: &[f32]) {
+        let mut off = 0;
+        self.visit_params(&mut |p| {
+            let n = p.numel();
+            p.value.data_mut().copy_from_slice(&src[off..off + n]);
+            off += n;
+        });
+    }
+
+    /// Per-element weight-decay mask aligned with the flat layout.
+    fn decay_mask(&mut self) -> Vec<bool> {
+        let mut mask = Vec::new();
+        self.visit_params(&mut |p| {
+            mask.extend(std::iter::repeat(p.decay).take(p.numel()));
+        });
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+
+    impl Module for Toy {
+        fn visit_params(&mut self, f: &mut ParamVisitor) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            a: Param::new(Tensor::from_vec(&[2], vec![1., 2.]), true, "a"),
+            b: Param::new(Tensor::from_vec(&[3], vec![3., 4., 5.]), false, "b"),
+        }
+    }
+
+    #[test]
+    fn num_params_counts_all() {
+        assert_eq!(toy().num_params(), 5);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut m = toy();
+        let mut buf = Vec::new();
+        m.pack_values(&mut buf);
+        assert_eq!(buf, vec![1., 2., 3., 4., 5.]);
+        let newvals = vec![9., 8., 7., 6., 5.];
+        m.unpack_values(&newvals);
+        let mut buf2 = Vec::new();
+        m.pack_values(&mut buf2);
+        assert_eq!(buf2, newvals);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut m = toy();
+        m.a.grad.data_mut()[0] = 3.0;
+        m.zero_grad();
+        let mut g = Vec::new();
+        m.pack_grads(&mut g);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn decay_mask_layout() {
+        let mut m = toy();
+        assert_eq!(m.decay_mask(), vec![true, true, false, false, false]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Learning-rate schedules: linear warmup followed by cosine decay, the
+//! schedule used for both MAE pretraining and linear probing in the paper.
+
+/// Cosine-decay schedule with linear warmup.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineSchedule {
+    base_lr: f32,
+    min_lr: f32,
+    warmup_steps: usize,
+    total_steps: usize,
+}
+
+impl CosineSchedule {
+    /// New schedule.
+    ///
+    /// # Panics
+    /// Panics if `warmup_steps > total_steps` or `total_steps == 0`.
+    pub fn new(base_lr: f32, min_lr: f32, warmup_steps: usize, total_steps: usize) -> Self {
+        assert!(total_steps > 0, "total_steps must be positive");
+        assert!(warmup_steps <= total_steps, "warmup longer than schedule");
+        Self { base_lr, min_lr, warmup_steps, total_steps }
+    }
+
+    /// Learning rate at `step` (0-based). Steps beyond `total_steps` hold
+    /// at `min_lr`.
+    pub fn lr(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step as f32 + 1.0) / self.warmup_steps as f32;
+        }
+        if step >= self.total_steps {
+            return self.min_lr;
+        }
+        let progress = (step - self.warmup_steps) as f32
+            / (self.total_steps - self.warmup_steps).max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+
+    /// The configured peak learning rate.
+    pub fn base_lr(&self) -> f32 {
+        self.base_lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = CosineSchedule::new(1.0, 0.0, 10, 100);
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_at_end_of_warmup_then_decays() {
+        let s = CosineSchedule::new(1.0, 0.0, 10, 110);
+        let peak = s.lr(10);
+        assert!((peak - 1.0).abs() < 1e-5);
+        assert!(s.lr(60) < peak);
+        assert!(s.lr(100) < s.lr(60));
+    }
+
+    #[test]
+    fn ends_at_min_lr() {
+        let s = CosineSchedule::new(1.0, 0.05, 0, 50);
+        assert!((s.lr(50) - 0.05).abs() < 1e-6);
+        assert!((s.lr(500) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = CosineSchedule::new(0.1, 0.0, 5, 60);
+        let mut last = s.lr(5);
+        for step in 6..60 {
+            let cur = s.lr(step);
+            assert!(cur <= last + 1e-9, "not monotone at {}", step);
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn no_warmup_starts_at_base() {
+        let s = CosineSchedule::new(0.2, 0.0, 0, 10);
+        assert!((s.lr(0) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup longer")]
+    fn rejects_bad_warmup() {
+        let _ = CosineSchedule::new(1.0, 0.0, 20, 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for layers and optimizers: randomized finite-difference
+//! gradient checks and optimizer convergence on random convex problems.
+
+use geofm_nn::{AdamW, CosineSchedule, Linear, Optimizer, Sgd};
+use geofm_tensor::TensorRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear-layer weight gradients match central finite differences at a
+    /// random coordinate, for random shapes and inputs.
+    #[test]
+    fn linear_gradcheck_random(
+        n_in in 1usize..6,
+        n_out in 1usize..6,
+        batch in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut layer = Linear::new(n_in, n_out, &mut rng, "p");
+        let x = rng.randn(&[batch, n_in], 1.0);
+        let dy = rng.randn(&[batch, n_out], 1.0);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&dy);
+
+        let coord = (seed as usize) % (n_in * n_out);
+        let loss = |l: &Linear| -> f32 {
+            l.forward_inference(&x).data().iter().zip(dy.data()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        let mut lp = layer.clone();
+        lp.weight.value.data_mut()[coord] += eps;
+        let mut lm = layer.clone();
+        lm.weight.value.data_mut()[coord] -= eps;
+        let fd = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+        let an = layer.weight.grad.data()[coord];
+        prop_assert!((fd - an).abs() < 5e-2, "fd {} vs analytic {}", fd, an);
+    }
+
+    /// AdamW minimises random positive-definite diagonal quadratics.
+    #[test]
+    fn adamw_minimises_random_quadratics(
+        dim in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let scales: Vec<f32> = (0..dim).map(|_| rng.uniform_in(0.2, 3.0)).collect();
+        let mut p: Vec<f32> = (0..dim).map(|_| rng.uniform_in(-4.0, 4.0)).collect();
+        let start_norm: f32 = p.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let mut opt = AdamW::new(dim, 0.0);
+        for _ in 0..800 {
+            let g: Vec<f32> = p.iter().zip(&scales).map(|(v, s)| s * v).collect();
+            opt.step(&mut p, &g, 0.03);
+        }
+        let end_norm: f32 = p.iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!(end_norm < 0.15 * start_norm + 0.05,
+            "‖p‖ {} -> {}", start_norm, end_norm);
+    }
+
+    /// SGD with momentum also converges on the same family.
+    #[test]
+    fn sgd_minimises_random_quadratics(dim in 1usize..8, seed in 0u64..10_000) {
+        let mut rng = TensorRng::seed_from(seed);
+        let scales: Vec<f32> = (0..dim).map(|_| rng.uniform_in(0.2, 2.0)).collect();
+        let mut p: Vec<f32> = (0..dim).map(|_| rng.uniform_in(-3.0, 3.0)).collect();
+        let start: f32 = p.iter().map(|v| v * v).sum();
+        let mut opt = Sgd::new(dim, 0.9);
+        for _ in 0..400 {
+            let g: Vec<f32> = p.iter().zip(&scales).map(|(v, s)| s * v).collect();
+            opt.step(&mut p, &g, 0.02);
+        }
+        let end: f32 = p.iter().map(|v| v * v).sum();
+        prop_assert!(end < 0.1 * start + 1e-3, "{} -> {}", start, end);
+    }
+
+    /// Cosine schedules stay within [min_lr, base_lr] everywhere.
+    #[test]
+    fn schedule_is_bounded(
+        base in 1e-5f32..1.0,
+        frac_min in 0.0f32..0.99,
+        warmup in 0usize..50,
+        total_extra in 1usize..200,
+        probe in 0usize..400,
+    ) {
+        let min_lr = base * frac_min;
+        let total = warmup + total_extra;
+        let s = CosineSchedule::new(base, min_lr, warmup, total);
+        let lr = s.lr(probe);
+        prop_assert!(lr <= base * 1.0001, "lr {} > base {}", lr, base);
+        prop_assert!(lr >= 0.0);
+        if probe >= total {
+            prop_assert!((lr - min_lr).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Calibration dashboard: prints every paper-shape target the simulator
+//! must hit, so the constants in `machine::Calibration` can be tuned.
+
+use geofm_frontier::{simulate, FrontierMachine, MaeWorkload, SimConfig, VitWorkload};
+use geofm_fsdp::ShardingStrategy;
+use geofm_vit::{VitConfig, VitVariant};
+
+fn ips(nodes: usize, v: VitVariant, s: ShardingStrategy) -> f64 {
+    let wl = VitWorkload::build(&VitConfig::table1(v), 32, 224);
+    simulate(&SimConfig::tuned(FrontierMachine::new(nodes), s, wl)).ips_syn
+}
+
+fn main() {
+    use ShardingStrategy as S;
+    println!("== Fig 1 targets (MAE-3B NO_SHARD) ==");
+    for nodes in [1, 8, 64] {
+        let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 0.75);
+        let r = simulate(&SimConfig::tuned(FrontierMachine::new(nodes), S::NoShard, wl));
+        println!(
+            "  {:>2} nodes: syn {:>8.1} ips, comm share {:>5.1}% (target 64n ≈ 22%), io/syn {:.1}x",
+            nodes,
+            r.ips_syn,
+            r.comm_share() * 100.0,
+            r.ips_io / r.ips_syn
+        );
+    }
+
+    println!("== Fig 3 orderings (want H1 >= H2 >= NO_SHARD > DDP; FULL_SHARD worst at scale) ==");
+    for v in [VitVariant::Base, VitVariant::B3] {
+        for nodes in [4, 16, 64] {
+            let h1 = ips(nodes, v, S::Hybrid { shard_size: 1 });
+            let h2 = ips(nodes, v, S::Hybrid { shard_size: 2 });
+            let ns = ips(nodes, v, S::NoShard);
+            let ddp = ips(nodes, v, S::ddp_default());
+            let fs = ips(nodes, v, S::FullShard);
+            println!(
+                "  {:?}@{:>2}n: H1 {:>8.0} H2 {:>8.0} NS {:>8.0} DDP {:>8.0} FS {:>8.0}  [{}{}{}{}]",
+                v, nodes, h1, h2, ns, ddp, fs,
+                if h1 >= h2 { "ok " } else { "H1<H2! " },
+                if h2 >= ns * 0.95 { "ok " } else { "H2<NS! " },
+                if ns > ddp { "ok " } else { "NS<DDP! " },
+                if nodes == 64 && fs < ns { "ok" } else if nodes == 64 { "FS>NS!" } else { "-" },
+            );
+        }
+    }
+
+    println!("== Fig 4: ViT-5B (targets: SGO@32n≈1509, FS@32n≈1307; H8/H16 beat H2/H4 at 64n) ==");
+    for nodes in [8, 32, 64] {
+        let h2 = ips(nodes, VitVariant::B5, S::Hybrid { shard_size: 2 });
+        let h4 = ips(nodes, VitVariant::B5, S::Hybrid { shard_size: 4 });
+        let h8 = ips(nodes, VitVariant::B5, S::Hybrid { shard_size: 8 });
+        let h16 = ips(nodes, VitVariant::B5, S::Hybrid { shard_size: 16 });
+        let fs = ips(nodes, VitVariant::B5, S::FullShard);
+        let sgo = ips(nodes, VitVariant::B5, S::ShardGradOp);
+        println!(
+            "  {:>2}n: H2 {:>7.0} H4 {:>7.0} H8 {:>7.0} H16 {:>7.0} FS {:>7.0} SGO {:>7.0}",
+            nodes, h2, h4, h8, h16, fs, sgo
+        );
+    }
+
+    println!("== Fig 4: ViT-15B (target: SGO scales best) ==");
+    for nodes in [8, 32, 64] {
+        let h4 = ips(nodes, VitVariant::B15, S::Hybrid { shard_size: 4 });
+        let h8 = ips(nodes, VitVariant::B15, S::Hybrid { shard_size: 8 });
+        let h16 = ips(nodes, VitVariant::B15, S::Hybrid { shard_size: 16 });
+        let fs = ips(nodes, VitVariant::B15, S::FullShard);
+        let sgo = ips(nodes, VitVariant::B15, S::ShardGradOp);
+        println!(
+            "  {:>2}n: H4 {:>7.0} H8 {:>7.0} H16 {:>7.0} FS {:>7.0} SGO {:>7.0}",
+            nodes, h4, h8, h16, fs, sgo
+        );
+    }
+}

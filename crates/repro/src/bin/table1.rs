@@ -1,0 +1,37 @@
+//! Table I: ViT model architectures and parameter counts.
+
+use geofm_repro::write_csv;
+use geofm_vit::{VitConfig, VitVariant};
+
+fn main() {
+    println!("TABLE I — Vision Transformer model architectures");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>12} {:>12} {:>8}",
+        "Model", "Width", "Depth", "MLP", "Heads", "Params[M]", "Paper[M]", "RelErr"
+    );
+    let mut rows = Vec::new();
+    for v in VitVariant::all() {
+        let cfg = VitConfig::table1(v);
+        let ours = cfg.params_m();
+        let paper = v.paper_params_m();
+        let err = VitConfig::paper_count_rel_err(v);
+        let flag = if err > 0.02 { " (paper row inconsistent — see EXPERIMENTS.md)" } else { "" };
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>6} {:>12} {:>12} {:>7.1}%{}",
+            cfg.name,
+            cfg.width,
+            cfg.depth,
+            cfg.mlp,
+            cfg.heads,
+            ours,
+            paper,
+            err * 100.0,
+            flag
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{:.4}",
+            cfg.name, cfg.width, cfg.depth, cfg.mlp, cfg.heads, ours, paper, err
+        ));
+    }
+    write_csv("table1.csv", "model,width,depth,mlp,heads,params_m,paper_params_m,rel_err", &rows);
+}

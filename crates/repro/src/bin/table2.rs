@@ -1,0 +1,57 @@
+//! Table II: datasets used for pretraining and linear probing.
+
+use geofm_core::RecipeConfig;
+use geofm_data::DatasetKind;
+use geofm_repro::write_csv;
+
+fn main() {
+    let rc = RecipeConfig::from_env();
+    println!("TABLE II — datasets (paper sizes and this reproduction's scaled sizes)");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "Dataset", "Classes", "Paper train", "Paper test", "Repro train", "Repro test"
+    );
+    let mut rows = Vec::new();
+    // pretraining corpus row
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}   (pretraining corpus)",
+        "MillionAID",
+        DatasetKind::MillionAid.classes(),
+        DatasetKind::MillionAid.paper_pretrain_size().unwrap(),
+        "-",
+        rc.pretrain_images,
+        "-"
+    );
+    rows.push(format!(
+        "MillionAID-pretrain,{},{},,{},",
+        DatasetKind::MillionAid.classes(),
+        DatasetKind::MillionAid.paper_pretrain_size().unwrap(),
+        rc.pretrain_images
+    ));
+    for kind in DatasetKind::all() {
+        let split = kind.paper_split();
+        let rt = ((split.train as f64 * rc.probe_scale).round() as usize).max(kind.classes());
+        let te =
+            (((split.test as f64 * rc.probe_scale).round() as usize).max(kind.classes())).min(rc.max_test);
+        println!(
+            "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}   (TR={:.0}%)",
+            kind.name(),
+            kind.classes(),
+            split.train,
+            split.test,
+            rt,
+            te,
+            kind.train_ratio() * 100.0
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{}",
+            kind.name(),
+            kind.classes(),
+            split.train,
+            split.test,
+            rt,
+            te
+        ));
+    }
+    write_csv("table2.csv", "dataset,classes,paper_train,paper_test,repro_train,repro_test", &rows);
+}

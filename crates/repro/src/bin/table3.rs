@@ -1,0 +1,47 @@
+//! Table III: final linear-probing top-1 accuracy across the four datasets
+//! as the model is scaled (the paper's headline +30-point result).
+//!
+//! This runs the same pretrain→probe pipeline as `fig6` but reports only
+//! the final-epoch numbers; `fig6` additionally writes the full curves.
+
+use geofm_core::{pretrain_cached, probe_dataset, RecipeConfig};
+use geofm_data::DatasetKind;
+use geofm_repro::write_csv;
+use geofm_vit::VitConfig;
+
+fn main() {
+    let rc = RecipeConfig::from_env();
+    println!("TABLE III — linear probing top-1 accuracy vs model scale");
+    println!("(pretrain {} imgs × {} epochs; probe {} epochs; splits scaled from Table II)",
+        rc.pretrain_images, rc.pretrain_epochs, rc.probe_epochs);
+
+    let mut rows = Vec::new();
+    print!("{:<10}{:>10}", "Model", "Params");
+    for kind in DatasetKind::all() {
+        print!("{:>12}", kind.name());
+    }
+    println!();
+
+    let mut per_model: Vec<Vec<f32>> = Vec::new();
+    for cfg in VitConfig::tiny_family() {
+        let out = pretrain_cached(&cfg, &rc);
+        print!("{:<10}{:>10}", cfg.name, cfg.param_count());
+        let mut accs = Vec::new();
+        for kind in DatasetKind::all() {
+            let probe = probe_dataset(&out.encoder, kind, &rc);
+            print!("{:>11.1}%", probe.final_top1 * 100.0);
+            rows.push(format!("{},{},{:.4}", cfg.name, kind.name(), probe.final_top1));
+            accs.push(probe.final_top1);
+        }
+        println!();
+        per_model.push(accs);
+    }
+    write_csv("table3_top1.csv", "model,dataset,top1", &rows);
+
+    let first = per_model.first().unwrap();
+    let last = per_model.last().unwrap();
+    println!("\nGain largest vs smallest (top-1 points):");
+    for (i, kind) in DatasetKind::all().iter().enumerate() {
+        println!("  {:<10} {:+.1}", kind.name(), (last[i] - first[i]) * 100.0);
+    }
+}

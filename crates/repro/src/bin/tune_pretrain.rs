@@ -1,0 +1,30 @@
+//! Development tool: sweep pretraining hyper-parameters for one tiny model
+//! to find settings where the capacity ordering (Fig 5) emerges within the
+//! CPU budget. Not part of the paper reproduction itself.
+
+use geofm_core::{pretrain, RecipeConfig};
+use geofm_vit::VitConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_idx: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(3);
+    let lr: f32 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2e-3);
+    let epochs: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(15);
+    let images: usize = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(768);
+
+    let cfg = &VitConfig::tiny_family()[model_idx];
+    let rc = RecipeConfig {
+        pretrain_images: images,
+        pretrain_epochs: epochs,
+        pretrain_lr: lr,
+        ..RecipeConfig::default()
+    };
+    println!("{} lr={} epochs={} imgs={}", cfg.name, lr, epochs, images);
+    let t0 = std::time::Instant::now();
+    let out = pretrain(cfg, &rc);
+    print!("eval: ");
+    for &(_, l) in &out.eval_curve {
+        print!("{:.3} ", l);
+    }
+    println!("\n[{:.0?}]", t0.elapsed());
+}

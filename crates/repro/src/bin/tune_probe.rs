@@ -1,0 +1,38 @@
+//! Development tool: diagnose probe accuracy vs pretraining budget,
+//! including a random-encoder baseline. Not part of the reproduction.
+
+use geofm_core::{pretrain, probe_dataset, RecipeConfig};
+use geofm_data::DatasetKind;
+use geofm_tensor::TensorRng;
+use geofm_vit::{VitConfig, VitModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_idx: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(3);
+    let epochs: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(12);
+    let lr: f32 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(2e-3);
+    let imgs: usize = args.get(4).and_then(|v| v.parse().ok()).unwrap_or(768);
+    let cfg = &VitConfig::tiny_family()[model_idx];
+    let rc = RecipeConfig {
+        pretrain_images: imgs,
+        pretrain_lr: lr,
+        pretrain_epochs: epochs,
+        probe_epochs: 30,
+        probe_scale: 0.1,
+        max_test: 600,
+        ..RecipeConfig::default()
+    };
+
+    // random baseline
+    let mut rng = TensorRng::seed_from(42);
+    let random_encoder = VitModel::new(cfg, &mut rng);
+    let pr = probe_dataset(&random_encoder, DatasetKind::Ucm, &rc);
+    println!("{} RANDOM encoder: UCM top1 {:.1}%", cfg.name, pr.final_top1 * 100.0);
+
+    let out = pretrain(cfg, &rc);
+    println!("eval: {:?}", out.eval_curve.iter().map(|&(_,l)| (l*1000.0).round()/1000.0).collect::<Vec<_>>());
+    for kind in [DatasetKind::Ucm, DatasetKind::Aid] {
+        let p = probe_dataset(&out.encoder, kind, &rc);
+        println!("{} pretrained({} ep): {} top1 {:.1}%", cfg.name, epochs, kind.name(), p.final_top1 * 100.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! # geofm-repro
+//!
+//! One binary per table/figure of the paper. Each binary prints the
+//! reproduced rows/series to stdout (with simple ASCII charts where the
+//! paper has a plot) and writes machine-readable CSV/JSON under
+//! `results/`, which `EXPERIMENTS.md` references.
+//!
+//! | binary  | reproduces |
+//! |---------|------------|
+//! | `table1`| Table I — ViT variants and parameter counts |
+//! | `table2`| Table II — dataset splits |
+//! | `table3`| Table III — linear-probing top-1 accuracy vs model scale |
+//! | `fig1`  | Fig. 1 — MAE ViT-3B weak scaling (real/syn/no-comm/io/ideal) |
+//! | `fig2`  | Fig. 2 — ViT-5B sharding × prefetch × limit_all_gathers |
+//! | `fig3`  | Fig. 3 — weak scaling ViT-B/H/1B/3B + memory panels |
+//! | `fig4`  | Fig. 4 — ViT-5B/15B sharding at scale + memory + power trace |
+//! | `fig5`  | Fig. 5 — MAE pretraining loss for the (scaled) model family |
+//! | `fig6`  | Fig. 6 — probe accuracy vs epoch per dataset and model |
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where result artifacts are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("GEOFM_RESULTS").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("cannot create results dir");
+    p
+}
+
+/// Write a CSV file under the results dir.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    fs::write(&path, body).expect("cannot write csv");
+    println!("  -> wrote {}", path.display());
+    path
+}
+
+/// Render a set of named series as a log-x ASCII chart.
+///
+/// `xs` are shared x positions (e.g. node counts); each series is
+/// `(name, values)` with `values.len() == xs.len()` (NaN = missing).
+pub fn ascii_chart(title: &str, xs: &[usize], series: &[(String, Vec<f64>)], width: usize) {
+    println!("\n  {}", title);
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .cloned()
+        .filter(|v| v.is_finite())
+        .fold(f64::MIN, f64::max);
+    if !max.is_finite() || max <= 0.0 {
+        println!("  (no data)");
+        return;
+    }
+    for (name, vals) in series {
+        print!("  {:>16} |", name);
+        for v in vals {
+            if v.is_finite() {
+                let bar = ((v / max) * width as f64).round() as usize;
+                print!("{:>width$}", "*".repeat(bar.max(1)), width = width + 1);
+            } else {
+                print!("{:>width$}", "-", width = width + 1);
+            }
+        }
+        println!();
+    }
+    print!("  {:>16} |", "x (nodes)");
+    for x in xs {
+        print!("{:>width$}", x, width = width + 1);
+    }
+    println!();
+}
+
+/// Format an images-per-second value compactly.
+pub fn fmt_ips(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v >= 100.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// The standard weak-scaling node ladder used by the paper's figures.
+pub fn node_ladder(max: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8, 16, 32, 64].into_iter().filter(|&n| n <= max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ladder_caps() {
+        assert_eq!(node_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(node_ladder(64).len(), 7);
+    }
+
+    #[test]
+    fn fmt_ips_ranges() {
+        assert_eq!(fmt_ips(1234.6), "1235"); // note: {:.0} rounds half-to-even
+        assert_eq!(fmt_ips(123.45), "123.5");
+        assert_eq!(fmt_ips(12.345), "12.35");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-test-results");
+        let p = write_csv("t.csv", "a,b", &["1,2".into()]);
+        let s = std::fs::read_to_string(p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+        std::env::remove_var("GEOFM_RESULTS");
+    }
+}

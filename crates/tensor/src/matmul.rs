@@ -1,0 +1,375 @@
+//! Blocked, rayon-parallel matrix multiplication kernels.
+//!
+//! All kernels use the `i-k-j` loop order: the innermost loop is an AXPY over
+//! a contiguous row of the right operand, which auto-vectorises well. Work is
+//! distributed over output rows with `par_chunks_mut`, so the kernels scale
+//! with cores without any unsafe code.
+//!
+//! Three layout variants cover everything the backward passes need without
+//! ever materialising a transpose:
+//!
+//! * [`matmul`]      — `C = A · B`       with `A: [m,k]`, `B: [k,n]`
+//! * [`matmul_at_b`] — `C = Aᵀ · B`      with `A: [k,m]`, `B: [k,n]` (weight grads)
+//! * [`matmul_a_bt`] — `C = A · Bᵀ`      with `A: [m,k]`, `B: [n,k]` (input grads)
+//!
+//! Batched versions ([`bmm`], [`bmm_at_b`], [`bmm_a_bt`]) operate on 3-D
+//! tensors `[batch, ·, ·]` and parallelise over the batch dimension, which is
+//! the natural grain for multi-head attention.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Below this many output elements the kernels run sequentially; the rayon
+/// fork/join overhead would dominate otherwise.
+const PAR_THRESHOLD: usize = 32 * 32;
+
+#[inline]
+fn axpy(acc: &mut [f32], x: f32, row: &[f32]) {
+    debug_assert_eq!(acc.len(), row.len());
+    for (a, &r) in acc.iter_mut().zip(row.iter()) {
+        *a += x * r;
+    }
+}
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree or either operand is not 2-D.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul: A must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul: B must be 2-D");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (kb, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "matmul: inner dims {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// Raw-slice core of [`matmul`]; also used by the batched variant.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let row_body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                axpy(crow, av, &b[kk * n..(kk + 1) * n]);
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| row_body(i, crow));
+    } else {
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            row_body(i, crow);
+        }
+    }
+}
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` → `C: [m,n]`.
+///
+/// This is the weight-gradient shape `dW = Xᵀ · dY` without materialising
+/// `Xᵀ`. Parallelises over output rows; each output row `i` accumulates
+/// `sum_k A[k,i] * B[k,:]`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_at_b: A must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_at_b: B must be 2-D");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (kb, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "matmul_at_b: inner dims {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_at_b_into(a.data(), b.data(), out.data_mut(), k, m, n);
+    out
+}
+
+/// Raw-slice core of [`matmul_at_b`].
+pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let row_body = |i: usize, crow: &mut [f32]| {
+        for kk in 0..k {
+            let av = a[kk * m + i];
+            if av != 0.0 {
+                axpy(crow, av, &b[kk * n..(kk + 1) * n]);
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| row_body(i, crow));
+    } else {
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            row_body(i, crow);
+        }
+    }
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` → `C: [m,n]`.
+///
+/// This is the input-gradient shape `dX = dY · Wᵀ` (with `W: [n,k]` stored
+/// row-major as out×in) and also the attention-score shape `Q · Kᵀ`.
+/// Each output element is a dot product of two contiguous rows.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_a_bt: A must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_a_bt: B must be 2-D");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, kb) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "matmul_a_bt: inner dims {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_a_bt_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    // Four partial sums give the optimiser independent accumulation chains.
+    let mut s0 = 0.0f32;
+    let mut s1 = 0.0f32;
+    let mut s2 = 0.0f32;
+    let mut s3 = 0.0f32;
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xv, yv) in (&mut xc).zip(&mut yc) {
+        s0 += xv[0] * yv[0];
+        s1 += xv[1] * yv[1];
+        s2 += xv[2] * yv[2];
+        s3 += xv[3] * yv[3];
+    }
+    let mut tail = 0.0f32;
+    for (xv, yv) in xc.remainder().iter().zip(yc.remainder().iter()) {
+        tail += xv * yv;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Raw-slice core of [`matmul_a_bt`].
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let row_body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv = dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| row_body(i, crow));
+    } else {
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            row_body(i, crow);
+        }
+    }
+}
+
+fn batch_dims3(t: &Tensor, what: &str) -> (usize, usize, usize) {
+    assert_eq!(t.ndim(), 3, "{what}: expected a 3-D tensor, got {:?}", t.shape());
+    (t.dim(0), t.dim(1), t.dim(2))
+}
+
+/// Batched `C[b] = A[b] · B[b]` for `A: [bs,m,k]`, `B: [bs,k,n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (bs, m, k) = batch_dims3(a, "bmm A");
+    let (bs2, kb, n) = batch_dims3(b, "bmm B");
+    assert_eq!(bs, bs2, "bmm: batch dims {} vs {}", bs, bs2);
+    assert_eq!(k, kb, "bmm: inner dims {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[bs, m, n]);
+    out.data_mut()
+        .par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(bi, cslab)| {
+            let aslab = &a.data()[bi * m * k..(bi + 1) * m * k];
+            let bslab = &b.data()[bi * k * n..(bi + 1) * k * n];
+            for (i, crow) in cslab.chunks_mut(n).enumerate() {
+                let arow = &aslab[i * k..(i + 1) * k];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av != 0.0 {
+                        axpy(crow, av, &bslab[kk * n..(kk + 1) * n]);
+                    }
+                }
+            }
+        });
+    out
+}
+
+/// Batched `C[b] = A[b] · B[b]ᵀ` for `A: [bs,m,k]`, `B: [bs,n,k]`.
+pub fn bmm_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (bs, m, k) = batch_dims3(a, "bmm_a_bt A");
+    let (bs2, n, kb) = batch_dims3(b, "bmm_a_bt B");
+    assert_eq!(bs, bs2, "bmm_a_bt: batch dims {} vs {}", bs, bs2);
+    assert_eq!(k, kb, "bmm_a_bt: inner dims {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[bs, m, n]);
+    out.data_mut()
+        .par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(bi, cslab)| {
+            let aslab = &a.data()[bi * m * k..(bi + 1) * m * k];
+            let bslab = &b.data()[bi * n * k..(bi + 1) * n * k];
+            for (i, crow) in cslab.chunks_mut(n).enumerate() {
+                let arow = &aslab[i * k..(i + 1) * k];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv = dot(arow, &bslab[j * k..(j + 1) * k]);
+                }
+            }
+        });
+    out
+}
+
+/// Batched `C[b] = A[b]ᵀ · B[b]` for `A: [bs,k,m]`, `B: [bs,k,n]`.
+pub fn bmm_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (bs, k, m) = batch_dims3(a, "bmm_at_b A");
+    let (bs2, kb, n) = batch_dims3(b, "bmm_at_b B");
+    assert_eq!(bs, bs2, "bmm_at_b: batch dims {} vs {}", bs, bs2);
+    assert_eq!(k, kb, "bmm_at_b: inner dims {} vs {}", k, kb);
+    let mut out = Tensor::zeros(&[bs, m, n]);
+    out.data_mut()
+        .par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(bi, cslab)| {
+            let aslab = &a.data()[bi * k * m..(bi + 1) * k * m];
+            let bslab = &b.data()[bi * k * n..(bi + 1) * k * n];
+            for kk in 0..k {
+                let brow = &bslab[kk * n..(kk + 1) * n];
+                for i in 0..m {
+                    let av = aslab[kk * m + i];
+                    if av != 0.0 {
+                        axpy(&mut cslab[i * n..(i + 1) * n], av, brow);
+                    }
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                out.set(&[i, j], s);
+            }
+        }
+        out
+    }
+
+    fn seq_tensor(shape: &[usize], offset: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|i| (i as f32) * 0.1 + offset).collect())
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = seq_tensor(&[5, 7], 0.3);
+        let b = seq_tensor(&[7, 4], -1.0);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = seq_tensor(&[4, 4], 1.0);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_large_parallel_path() {
+        // Big enough to cross PAR_THRESHOLD and exercise the rayon path.
+        let a = seq_tensor(&[64, 48], 0.01);
+        let b = seq_tensor(&[48, 40], -0.02);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-2);
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = seq_tensor(&[6, 3], 0.5);
+        let b = seq_tensor(&[6, 5], -0.2);
+        let fused = matmul_at_b(&a, &b);
+        let explicit = matmul(&a.transpose2(), &b);
+        assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = seq_tensor(&[4, 6], 0.5);
+        let b = seq_tensor(&[3, 6], -0.2);
+        let fused = matmul_a_bt(&a, &b);
+        let explicit = matmul(&a, &b.transpose2());
+        assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_mismatch() {
+        let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = seq_tensor(&[3, 4, 5], 0.1);
+        let b = seq_tensor(&[3, 5, 2], -0.3);
+        let out = bmm(&a, &b);
+        for bi in 0..3 {
+            let asl = Tensor::from_vec(&[4, 5], a.data()[bi * 20..(bi + 1) * 20].to_vec());
+            let bsl = Tensor::from_vec(&[5, 2], b.data()[bi * 10..(bi + 1) * 10].to_vec());
+            let expect = matmul(&asl, &bsl);
+            let got = Tensor::from_vec(&[4, 2], out.data()[bi * 8..(bi + 1) * 8].to_vec());
+            assert!(got.max_abs_diff(&expect) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bmm_a_bt_matches_per_batch() {
+        let a = seq_tensor(&[2, 3, 4], 0.2);
+        let b = seq_tensor(&[2, 5, 4], -0.1);
+        let out = bmm_a_bt(&a, &b);
+        for bi in 0..2 {
+            let asl = Tensor::from_vec(&[3, 4], a.data()[bi * 12..(bi + 1) * 12].to_vec());
+            let bsl = Tensor::from_vec(&[5, 4], b.data()[bi * 20..(bi + 1) * 20].to_vec());
+            let expect = matmul_a_bt(&asl, &bsl);
+            let got = Tensor::from_vec(&[3, 5], out.data()[bi * 15..(bi + 1) * 15].to_vec());
+            assert!(got.max_abs_diff(&expect) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bmm_at_b_matches_per_batch() {
+        let a = seq_tensor(&[2, 4, 3], 0.2);
+        let b = seq_tensor(&[2, 4, 5], -0.1);
+        let out = bmm_at_b(&a, &b);
+        for bi in 0..2 {
+            let asl = Tensor::from_vec(&[4, 3], a.data()[bi * 12..(bi + 1) * 12].to_vec());
+            let bsl = Tensor::from_vec(&[4, 5], b.data()[bi * 20..(bi + 1) * 20].to_vec());
+            let expect = matmul_at_b(&asl, &bsl);
+            let got = Tensor::from_vec(&[3, 5], out.data()[bi * 15..(bi + 1) * 15].to_vec());
+            assert!(got.max_abs_diff(&expect) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let x: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let y: Vec<f32> = (0..13).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let reference: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - reference).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic random tensor initialisation.
+//!
+//! Everything in `geofm` that touches randomness is seeded through
+//! [`TensorRng`], so whole training runs — including multi-rank FSDP runs —
+//! are reproducible and distributed-equivalence tests can compare weights
+//! numerically.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable RNG wrapper producing tensors.
+///
+/// Wraps [`StdRng`] (a cryptographically strong, platform-independent PRNG)
+/// so that the same seed yields the same initialisation on any machine.
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Create an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child RNG; used to give each model component or
+    /// dataset shard its own stream while remaining a pure function of the
+    /// parent seed.
+    pub fn fork(&mut self, salt: u64) -> TensorRng {
+        let s: u64 = self.rng.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TensorRng::seed_from(s)
+    }
+
+    /// A uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.rng.gen::<f32>()
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A standard-normal sample (Box–Muller; two uniforms per call pair).
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller transform; avoids pulling in rand_distr.
+        loop {
+            let u1: f32 = self.rng.gen::<f32>();
+            if u1 > f32::MIN_POSITIVE {
+                let u2: f32 = self.rng.gen::<f32>();
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            }
+        }
+    }
+
+    /// A uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Tensor of i.i.d. `N(0, std²)` samples.
+    pub fn randn(&mut self, shape: &[usize], std: f32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let data: Vec<f32> = (0..numel).map(|_| self.normal() * std).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Tensor of i.i.d. `U[lo, hi)` samples.
+    pub fn rand_uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let data: Vec<f32> = (0..numel).map(|_| self.uniform_in(lo, hi)).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Truncated-normal init (resample beyond ±2σ), the ViT/MAE default.
+    pub fn trunc_normal(&mut self, shape: &[usize], std: f32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let data: Vec<f32> = (0..numel)
+            .map(|_| loop {
+                let v = self.normal();
+                if v.abs() <= 2.0 {
+                    return v * std;
+                }
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Xavier/Glorot uniform init for a `[fan_out, fan_in]` weight matrix.
+    pub fn xavier_uniform(&mut self, fan_out: usize, fan_in: usize) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.rand_uniform(&[fan_out, fan_in], -bound, bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        assert_eq!(a.randn(&[32], 1.0), b.randn(&[32], 1.0));
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(8);
+        assert_ne!(a.randn(&[32], 1.0), b.randn(&[32], 1.0));
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_decorrelated() {
+        let mut p1 = TensorRng::seed_from(1);
+        let mut p2 = TensorRng::seed_from(1);
+        let mut c1 = p1.fork(42);
+        let mut c2 = p2.fork(42);
+        assert_eq!(c1.randn(&[8], 1.0), c2.randn(&[8], 1.0));
+        let mut p3 = TensorRng::seed_from(1);
+        let mut other = p3.fork(43);
+        assert_ne!(c1.randn(&[8], 1.0), other.randn(&[8], 1.0));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = TensorRng::seed_from(99);
+        let t = rng.randn(&[20_000], 1.0);
+        let mean = t.mean();
+        let var = t.sum_sq() / t.numel() as f32 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.05, "var {}", var);
+    }
+
+    #[test]
+    fn trunc_normal_respects_bounds() {
+        let mut rng = TensorRng::seed_from(3);
+        let t = rng.trunc_normal(&[10_000], 0.5);
+        assert!(t.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = TensorRng::seed_from(3);
+        let t = rng.rand_uniform(&[10_000], -2.0, 3.0);
+        assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+        assert!((t.mean() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = TensorRng::seed_from(11);
+        let p = rng.permutation(100);
+        let mut seen = vec![false; 100];
+        for &v in &p {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = TensorRng::seed_from(5);
+        let w = rng.xavier_uniform(64, 32);
+        let bound = (6.0 / 96.0f32).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+        assert_eq!(w.shape(), &[64, 32]);
+    }
+}

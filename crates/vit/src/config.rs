@@ -1,0 +1,261 @@
+//! ViT architecture configurations (paper Table I + the trainable tiny family).
+
+use serde::{Deserialize, Serialize};
+
+/// The named architecture variants studied in the paper (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VitVariant {
+    /// 87 M parameters, width 768, depth 12.
+    Base,
+    /// 635 M parameters, width 1280, depth 32.
+    Huge,
+    /// 914 M parameters, width 1536, depth 32.
+    B1,
+    /// 3 067 M parameters, width 2816, depth 32.
+    B3,
+    /// width 1792, depth 56 (see note on the paper's 5349 M figure).
+    B5,
+    /// 14 720 M parameters, width 5040, depth 48.
+    B15,
+}
+
+impl VitVariant {
+    /// All Table I variants in ascending size order.
+    pub fn all() -> [VitVariant; 6] {
+        [Self::Base, Self::Huge, Self::B1, Self::B3, Self::B5, Self::B15]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Base => "ViT-Base",
+            Self::Huge => "ViT-Huge",
+            Self::B1 => "ViT-1B",
+            Self::B3 => "ViT-3B",
+            Self::B5 => "ViT-5B",
+            Self::B15 => "ViT-15B",
+        }
+    }
+
+    /// Parameter count in millions as printed in Table I of the paper.
+    pub fn paper_params_m(&self) -> u64 {
+        match self {
+            Self::Base => 87,
+            Self::Huge => 635,
+            Self::B1 => 914,
+            Self::B3 => 3067,
+            Self::B5 => 5349,
+            Self::B15 => 14720,
+        }
+    }
+}
+
+/// A complete ViT encoder configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VitConfig {
+    /// Human-readable name (e.g. "ViT-3B" or "T-1B").
+    pub name: String,
+    /// Embedding width.
+    pub width: usize,
+    /// Number of transformer encoder blocks.
+    pub depth: usize,
+    /// Hidden width of the MLP inside each block.
+    pub mlp: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Patch edge length in pixels.
+    pub patch: usize,
+    /// Input image edge length in pixels.
+    pub img: usize,
+    /// Input channels.
+    pub channels: usize,
+}
+
+impl VitConfig {
+    /// The exact Table I configuration for a paper variant.
+    ///
+    /// Following the paper: ViT-Base uses 16×16 patches; ViT-Huge and all
+    /// billion-scale models use 14×14 patches. Pretraining images are
+    /// 512×512 RGB (paper §V-B). 512 is not divisible by 14; like common
+    /// implementations we truncate the grid (`tokens = ⌊img/patch⌋²`).
+    pub fn table1(variant: VitVariant) -> Self {
+        let (width, depth, mlp, heads, patch) = match variant {
+            VitVariant::Base => (768, 12, 3072, 12, 16),
+            VitVariant::Huge => (1280, 32, 5120, 16, 14),
+            VitVariant::B1 => (1536, 32, 6144, 16, 14),
+            VitVariant::B3 => (2816, 32, 11264, 32, 14),
+            VitVariant::B5 => (1792, 56, 15360, 16, 14),
+            VitVariant::B15 => (5040, 48, 20160, 48, 14),
+        };
+        Self {
+            name: variant.name().to_string(),
+            width,
+            depth,
+            mlp,
+            heads,
+            patch,
+            img: 512,
+            channels: 3,
+        }
+    }
+
+    /// The trainable tiny family mirroring the capacity ordering of
+    /// Base → Huge → 1B → 3B at CPU scale (48×48 RGB, 6×6 patches,
+    /// 64 tokens — the same token-grid structure as the paper's workload).
+    pub fn tiny_family() -> Vec<Self> {
+        let mk = |name: &str, width: usize, depth: usize, heads: usize| Self {
+            name: name.to_string(),
+            width,
+            depth,
+            mlp: width * 4,
+            heads,
+            patch: 6,
+            img: 48,
+            channels: 3,
+        };
+        vec![
+            mk("T-Base", 32, 2, 4),
+            mk("T-Huge", 48, 3, 6),
+            mk("T-1B", 64, 4, 8),
+            mk("T-3B", 96, 5, 8),
+        ]
+    }
+
+    /// Token-grid edge (`⌊img/patch⌋`).
+    pub fn grid(&self) -> usize {
+        self.img / self.patch
+    }
+
+    /// Tokens per image.
+    pub fn tokens(&self) -> usize {
+        self.grid() * self.grid()
+    }
+
+    /// Flattened patch length.
+    pub fn patch_dim(&self) -> usize {
+        self.patch * self.patch * self.channels
+    }
+
+    /// Parameters in one encoder block:
+    /// attention (fused QKV + output projection) + MLP + two LayerNorms.
+    pub fn block_params(&self) -> u64 {
+        let w = self.width as u64;
+        let m = self.mlp as u64;
+        let attn = w * 3 * w + 3 * w + w * w + w;
+        let mlp = w * m + m + m * w + w;
+        let norms = 2 * (2 * w);
+        attn + mlp + norms
+    }
+
+    /// Total encoder parameters: patch embedding + positional embedding +
+    /// blocks + final LayerNorm. Computed analytically (no allocation), so
+    /// it works for the 15 B configuration.
+    pub fn param_count(&self) -> u64 {
+        let w = self.width as u64;
+        let embed = (self.patch_dim() as u64) * w + w;
+        let pos = (self.tokens() as u64) * w;
+        embed + pos + (self.depth as u64) * self.block_params() + 2 * w
+    }
+
+    /// Parameter count in millions (rounded).
+    pub fn params_m(&self) -> u64 {
+        (self.param_count() + 500_000) / 1_000_000
+    }
+
+    /// Bytes to store the parameters in f32.
+    pub fn param_bytes(&self) -> u64 {
+        self.param_count() * 4
+    }
+
+    /// Relative error of the analytic count against the paper's Table I
+    /// figure, for paper variants.
+    pub fn paper_count_rel_err(variant: VitVariant) -> f64 {
+        let cfg = Self::table1(variant);
+        let ours = cfg.param_count() as f64;
+        let paper = variant.paper_params_m() as f64 * 1e6;
+        (ours - paper).abs() / paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Analytic counts must reproduce Table I. The ViT-5B row of the paper
+    /// is internally inconsistent (width 1792 × depth 56 × MLP 15360 yields
+    /// ≈3.8 B by any standard ViT counting, not 5 349 M); we document the
+    /// discrepancy in EXPERIMENTS.md and exempt it here.
+    #[test]
+    fn table1_counts_match_paper_within_2_percent() {
+        for v in VitVariant::all() {
+            if v == VitVariant::B5 {
+                continue;
+            }
+            let err = VitConfig::paper_count_rel_err(v);
+            assert!(
+                err < 0.02,
+                "{}: computed {}M vs paper {}M (err {:.3})",
+                v.name(),
+                VitConfig::table1(v).params_m(),
+                v.paper_params_m(),
+                err
+            );
+        }
+    }
+
+    #[test]
+    fn vit_5b_row_is_flagged_inconsistent() {
+        // Guard: if this ever starts matching, the exemption above is stale.
+        let err = VitConfig::paper_count_rel_err(VitVariant::B5);
+        assert!(err > 0.2, "ViT-5B unexpectedly matches paper: err {}", err);
+        // ...but the config must still be in the multi-billion range.
+        let p = VitConfig::table1(VitVariant::B5).param_count();
+        assert!(p > 3_000_000_000 && p < 6_000_000_000);
+    }
+
+    #[test]
+    fn param_counts_are_monotone_in_paper_order_except_5b() {
+        let sizes: Vec<u64> = [VitVariant::Base, VitVariant::Huge, VitVariant::B1, VitVariant::B3]
+            .iter()
+            .map(|&v| VitConfig::table1(v).param_count())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(
+            VitConfig::table1(VitVariant::B15).param_count()
+                > VitConfig::table1(VitVariant::B5).param_count()
+        );
+    }
+
+    #[test]
+    fn base_tokens_512_image() {
+        let cfg = VitConfig::table1(VitVariant::Base);
+        assert_eq!(cfg.tokens(), 32 * 32);
+        let huge = VitConfig::table1(VitVariant::Huge);
+        assert_eq!(huge.tokens(), 36 * 36); // ⌊512/14⌋ = 36
+    }
+
+    #[test]
+    fn tiny_family_is_monotone_and_divisible() {
+        let fam = VitConfig::tiny_family();
+        assert_eq!(fam.len(), 4);
+        for w in fam.windows(2) {
+            assert!(w[0].param_count() < w[1].param_count());
+        }
+        for cfg in &fam {
+            assert_eq!(cfg.width % cfg.heads, 0, "{}: heads must divide width", cfg.name);
+            assert_eq!(cfg.img % cfg.patch, 0, "{}: patch must divide img", cfg.name);
+        }
+    }
+
+    #[test]
+    fn param_bytes_matches_memory_discussion() {
+        // Paper §IV-C: ViT-3B needs >60 GB unsharded *training* state.
+        // Raw f32 parameters alone are ~12 GB; with grads + AdamW moments
+        // (4x) that is ~49 GB before activations, consistent with >60 GB.
+        let cfg = VitConfig::table1(VitVariant::B3);
+        let gb = cfg.param_bytes() as f64 / (1u64 << 30) as f64;
+        assert!(gb > 10.0 && gb < 14.0, "3B params = {:.1} GiB", gb);
+    }
+}

@@ -1,0 +1,154 @@
+//! Analytic FLOPs estimation for ViT and MAE workloads.
+//!
+//! These estimates drive the compute-time model of the Frontier simulator.
+//! Counting convention: one multiply-accumulate = 2 FLOPs; LayerNorm, GELU
+//! and softmax are included with their (small) elementwise costs.
+
+use crate::config::VitConfig;
+
+/// FLOPs breakdown for one image through a ViT encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct FlopsBreakdown {
+    /// Forward FLOPs per image.
+    pub forward: f64,
+    /// Backward FLOPs per image (≈ 2× forward for matmul-dominated nets).
+    pub backward: f64,
+}
+
+impl FlopsBreakdown {
+    /// Forward + backward.
+    pub fn train_total(&self) -> f64 {
+        self.forward + self.backward
+    }
+}
+
+/// Encoder FLOPs for `tokens` tokens through `cfg`'s blocks
+/// (patch-embedding projection included when `with_embed`).
+pub fn encoder_flops(cfg: &VitConfig, tokens: usize, with_embed: bool) -> f64 {
+    let t = tokens as f64;
+    let w = cfg.width as f64;
+    let m = cfg.mlp as f64;
+    let d = cfg.depth as f64;
+
+    // per block, per token:
+    let qkv = 2.0 * w * 3.0 * w;
+    let scores = 2.0 * t * w; // q·kᵀ over all keys
+    let context = 2.0 * t * w; // probs·v
+    let proj = 2.0 * w * w;
+    let mlp = 2.0 * w * m * 2.0;
+    let softmax = 5.0 * t; // exp + normalise
+    let norms = 2.0 * 8.0 * w; // two LayerNorms
+    let per_token_block = qkv + scores + context + proj + mlp + softmax + norms;
+
+    let mut total = d * t * per_token_block;
+    if with_embed {
+        total += t * 2.0 * (cfg.patch_dim() as f64) * w;
+    }
+    total
+}
+
+/// Forward/backward FLOPs per image for plain supervised ViT training
+/// (the Figure 2–4 workload: full token grid).
+pub fn vit_flops(cfg: &VitConfig) -> FlopsBreakdown {
+    let fwd = encoder_flops(cfg, cfg.tokens(), true);
+    FlopsBreakdown { forward: fwd, backward: 2.0 * fwd }
+}
+
+/// FLOPs for the MAE pretraining workload: encoder on visible tokens only,
+/// lightweight decoder on the full token grid (the Figure 1 workload).
+#[derive(Debug, Clone, Copy)]
+pub struct MaeFlops {
+    /// Encoder part (visible tokens only).
+    pub encoder: FlopsBreakdown,
+    /// Decoder part (all tokens, decoder geometry).
+    pub decoder: FlopsBreakdown,
+}
+
+impl MaeFlops {
+    /// Compute for the given encoder config, mask ratio, and the paper's
+    /// default decoder (8 blocks, width 512, same head-dim class).
+    pub fn new(cfg: &VitConfig, mask_ratio: f64) -> Self {
+        assert!((0.0..1.0).contains(&mask_ratio), "mask ratio must be in [0,1)");
+        let visible = ((cfg.tokens() as f64) * (1.0 - mask_ratio)).round() as usize;
+        let enc_fwd = encoder_flops(cfg, visible.max(1), true);
+
+        let dec_cfg = VitConfig {
+            name: format!("{}-maedec", cfg.name),
+            width: 512.min(cfg.width * 4), // tiny models scale the decoder down
+            depth: 8.min(cfg.depth * 2),
+            mlp: 4 * 512.min(cfg.width * 4),
+            heads: 16.min(cfg.heads * 2),
+            ..cfg.clone()
+        };
+        let dec_fwd = encoder_flops(&dec_cfg, cfg.tokens(), false)
+            + (cfg.tokens() as f64) * 2.0 * (dec_cfg.width as f64) * (cfg.patch_dim() as f64);
+
+        Self {
+            encoder: FlopsBreakdown { forward: enc_fwd, backward: 2.0 * enc_fwd },
+            decoder: FlopsBreakdown { forward: dec_fwd, backward: 2.0 * dec_fwd },
+        }
+    }
+
+    /// Total train-step FLOPs per image.
+    pub fn train_total(&self) -> f64 {
+        self.encoder.train_total() + self.decoder.train_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VitVariant;
+
+    #[test]
+    fn flops_scale_superlinearly_with_width() {
+        let base = vit_flops(&VitConfig::table1(VitVariant::Base));
+        let b3 = vit_flops(&VitConfig::table1(VitVariant::B3));
+        // 3B has ~35× the params of Base; FLOPs/img must grow by a large factor
+        let ratio = b3.forward / base.forward;
+        assert!(ratio > 15.0, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn rule_of_thumb_6_params_tokens() {
+        // For matmul-dominated transformers, fwd+bwd ≈ 6·P·T FLOPs (ignoring
+        // attention quadratic term). Check we are within 2× of that.
+        let cfg = VitConfig::table1(VitVariant::B1);
+        let f = vit_flops(&cfg);
+        // compare against block params only (embeddings don't multiply tokens)
+        let rule = 6.0 * (cfg.block_params() as f64 * cfg.depth as f64) * cfg.tokens() as f64;
+        let ratio = f.train_total() / rule;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn mae_encoder_cheaper_than_full_grid() {
+        let cfg = VitConfig::table1(VitVariant::B3);
+        let full = vit_flops(&cfg);
+        let mae = MaeFlops::new(&cfg, 0.75);
+        // encoder on 25% tokens should be well under half the full cost
+        assert!(mae.encoder.forward < 0.5 * full.forward);
+    }
+
+    #[test]
+    fn mae_decoder_is_small_fraction_for_large_encoders() {
+        // The MAE paper: decoder < 10% of FLOPs per token vs ViT-L; for our
+        // 3B encoder the decoder share of the total must be modest (<30%).
+        let cfg = VitConfig::table1(VitVariant::B3);
+        let mae = MaeFlops::new(&cfg, 0.75);
+        let share = mae.decoder.train_total() / mae.train_total();
+        assert!(share < 0.3, "decoder share {}", share);
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let f = vit_flops(&VitConfig::table1(VitVariant::Huge));
+        assert!((f.backward - 2.0 * f.forward).abs() < 1e-6 * f.forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask ratio")]
+    fn mae_rejects_bad_mask_ratio() {
+        let _ = MaeFlops::new(&VitConfig::table1(VitVariant::Base), 1.5);
+    }
+}

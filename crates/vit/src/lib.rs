@@ -1,0 +1,23 @@
+//! # geofm-vit
+//!
+//! Vision Transformer configurations and the encoder model.
+//!
+//! Two families of configurations live here:
+//!
+//! * the **paper family** ([`VitConfig::table1`]) — the exact six variants of
+//!   Table I (ViT-Base … ViT-15B). These are used *analytically*: parameter
+//!   counts, FLOPs and memory footprints feed the Frontier simulator in
+//!   `geofm-frontier`. They are never instantiated as real weight tensors
+//!   (15 B f32 parameters would be 59 GB).
+//! * the **tiny family** ([`VitConfig::tiny_family`]) — four scaled-down
+//!   variants with the same monotone capacity ordering, which are actually
+//!   trained by `geofm-mae` / `geofm-core` to reproduce the downstream-
+//!   evaluation experiments (Figures 5–6, Table III).
+
+pub mod config;
+pub mod flops;
+pub mod model;
+
+pub use config::{VitConfig, VitVariant};
+pub use flops::{FlopsBreakdown, MaeFlops};
+pub use model::{mean_pool_tokens, VitModel};

@@ -1,0 +1,190 @@
+//! Experiment-level invariants: the qualitative claims of the paper's
+//! evaluation (DESIGN.md §4), asserted against the simulator. These lock in
+//! the calibration — if a future change to the machine model breaks a
+//! paper-shape claim, these tests fail.
+
+use geofm::frontier::{simulate, FrontierMachine, MaeWorkload, SimConfig, VitWorkload};
+use geofm::fsdp::{PrefetchPolicy, ShardingStrategy};
+use geofm::vit::{VitConfig, VitVariant};
+
+fn ips(nodes: usize, v: VitVariant, s: ShardingStrategy) -> f64 {
+    let wl = VitWorkload::build(&VitConfig::table1(v), 32, 224);
+    simulate(&SimConfig::tuned(FrontierMachine::new(nodes), s, wl)).ips_syn
+}
+
+// ---------- Figure 1 ----------
+
+#[test]
+fn fig1_curve_ordering_io_nocomm_syn_real() {
+    for nodes in [1usize, 8, 64] {
+        let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 0.75);
+        let r = simulate(&SimConfig::tuned(
+            FrontierMachine::new(nodes),
+            ShardingStrategy::NoShard,
+            wl,
+        ));
+        assert!(r.ips_io > r.ips_no_comm, "{} nodes: io must beat compute", nodes);
+        assert!(r.ips_no_comm >= r.ips_syn, "{} nodes", nodes);
+        assert!(r.ips_syn > r.ips_real, "{} nodes", nodes);
+    }
+}
+
+#[test]
+fn fig1_comm_share_grows_and_hits_paper_band_at_64_nodes() {
+    let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 0.75);
+    let share = |nodes: usize| {
+        simulate(&SimConfig::tuned(FrontierMachine::new(nodes), ShardingStrategy::NoShard, wl.clone()))
+            .comm_share()
+    };
+    let s1 = share(1);
+    let s8 = share(8);
+    let s64 = share(64);
+    assert!(s1 < s8 && s8 < s64, "comm share must grow with scale: {} {} {}", s1, s8, s64);
+    assert!(
+        (0.15..0.30).contains(&s64),
+        "64-node comm share {} should be near the paper's ~22%",
+        s64
+    );
+}
+
+// ---------- Figure 2 ----------
+
+#[test]
+fn fig2_backward_pre_and_limit_all_gathers_win() {
+    let wl = VitWorkload::build(&VitConfig::table1(VitVariant::B5), 32, 224);
+    let machine = FrontierMachine::new(8);
+    for strategy in [
+        ShardingStrategy::FullShard,
+        ShardingStrategy::Hybrid { shard_size: 2 },
+        ShardingStrategy::Hybrid { shard_size: 8 },
+    ] {
+        let run = |prefetch, limit| {
+            let mut c = SimConfig::tuned(machine, strategy, wl.clone());
+            c.prefetch = prefetch;
+            c.limit_all_gathers = limit;
+            simulate(&c).ips_syn
+        };
+        let pre = run(PrefetchPolicy::BackwardPre, true);
+        let none = run(PrefetchPolicy::None, true);
+        let unlimited = run(PrefetchPolicy::BackwardPre, false);
+        assert!(pre >= none * 0.999, "{}: BACKWARD_PRE must not lose to None", strategy.name());
+        assert!(pre >= unlimited * 0.999, "{}: limiting gathers must not hurt", strategy.name());
+    }
+}
+
+// ---------- Figure 3 ----------
+
+#[test]
+fn fig3_hybrid1_beats_hybrid2_and_no_shard_beats_ddp() {
+    for v in [VitVariant::Base, VitVariant::Huge, VitVariant::B1, VitVariant::B3] {
+        for nodes in [16usize, 64] {
+            let h1 = ips(nodes, v, ShardingStrategy::Hybrid { shard_size: 1 });
+            let h2 = ips(nodes, v, ShardingStrategy::Hybrid { shard_size: 2 });
+            let ns = ips(nodes, v, ShardingStrategy::NoShard);
+            let ddp = ips(nodes, v, ShardingStrategy::ddp_default());
+            assert!(h1 >= h2 * 0.999, "{:?}@{}: HYBRID_1 {} < HYBRID_2 {}", v, nodes, h1, h2);
+            assert!(ns > ddp * 0.999, "{:?}@{}: NO_SHARD {} vs DDP {}", v, nodes, ns, ddp);
+        }
+    }
+}
+
+#[test]
+fn fig3_fsdp_vs_ddp_gap_grows_with_model_size() {
+    let gap = |v: VitVariant| {
+        let ns = ips(64, v, ShardingStrategy::NoShard);
+        let ddp = ips(64, v, ShardingStrategy::ddp_default());
+        ns / ddp
+    };
+    assert!(gap(VitVariant::B3) > gap(VitVariant::Base), "gap must grow with model size");
+}
+
+#[test]
+fn fig3_full_shard_flattens_earlier_for_smaller_models() {
+    // FULL_SHARD's weak-scaling efficiency at 64 nodes (vs 1 node × 64):
+    // the latency-bound ViT-Base saturates earlier than the compute-heavy
+    // ViT-Huge/1B (the paper's "flattens for more than 16 nodes" claim).
+    // ViT-3B re-descends in our model because its 12 GB gathers saturate
+    // the node NICs — recorded as a known deviation in EXPERIMENTS.md.
+    let eff = |v: VitVariant| {
+        let e1 = ips(1, v, ShardingStrategy::FullShard);
+        let e64 = ips(64, v, ShardingStrategy::FullShard);
+        e64 / (e1 * 64.0)
+    };
+    let base = eff(VitVariant::Base);
+    assert!(base < eff(VitVariant::Huge), "Base must flatten before Huge");
+    assert!(base < eff(VitVariant::B1), "Base must flatten before 1B");
+}
+
+#[test]
+fn fig3_full_shard_underperforms_replication_at_scale() {
+    for v in [VitVariant::Base, VitVariant::B3] {
+        let fs = ips(64, v, ShardingStrategy::FullShard);
+        let h1 = ips(64, v, ShardingStrategy::Hybrid { shard_size: 1 });
+        assert!(fs < h1, "{:?}: FULL_SHARD {} must trail HYBRID_1 {}", v, fs, h1);
+    }
+}
+
+// ---------- Figure 4 ----------
+
+#[test]
+fn fig4_wide_hybrids_win_for_5b_at_scale() {
+    let h2 = ips(64, VitVariant::B5, ShardingStrategy::Hybrid { shard_size: 2 });
+    let h16 = ips(64, VitVariant::B5, ShardingStrategy::Hybrid { shard_size: 16 });
+    assert!(h16 > h2, "HYBRID_16 {} must beat HYBRID_2 {} at 64 nodes", h16, h2);
+}
+
+#[test]
+fn fig4_shard_grad_op_scales_best_for_15b() {
+    for nodes in [32usize, 64] {
+        let sgo = ips(nodes, VitVariant::B15, ShardingStrategy::ShardGradOp);
+        for other in [
+            ShardingStrategy::Hybrid { shard_size: 4 },
+            ShardingStrategy::Hybrid { shard_size: 8 },
+            ShardingStrategy::Hybrid { shard_size: 16 },
+            ShardingStrategy::FullShard,
+        ] {
+            let o = ips(nodes, VitVariant::B15, other);
+            assert!(sgo > o, "{}n: SGO {} must beat {} {}", nodes, sgo, other.name(), o);
+        }
+    }
+}
+
+#[test]
+fn fig4_calibration_anchor_1509_vs_1307() {
+    // §IV-D: 1509 (SHARD_GRAD_OP) vs 1307 (FULL_SHARD) ips, ViT-5B, 32 nodes
+    let sgo = ips(32, VitVariant::B5, ShardingStrategy::ShardGradOp);
+    let fs = ips(32, VitVariant::B5, ShardingStrategy::FullShard);
+    assert!((sgo - 1509.0).abs() / 1509.0 < 0.10, "SGO {} vs paper 1509", sgo);
+    assert!((fs - 1307.0).abs() / 1307.0 < 0.10, "FULL_SHARD {} vs paper 1307", fs);
+    assert!(sgo > fs);
+}
+
+#[test]
+fn fig4_power_ordering_sgo_above_full_shard() {
+    // §IV-D: SHARD_GRAD_OP draws more power than FULL_SHARD (more compute-
+    // busy), consistent with its higher throughput.
+    let machine = FrontierMachine::new(32);
+    let wl = VitWorkload::build(&VitConfig::table1(VitVariant::B5), 32, 224);
+    let trace = |s| {
+        let sim = simulate(&SimConfig::tuned(machine, s, wl.clone()));
+        sim.power_trace(&machine, 256).mean_power()
+    };
+    let sgo = trace(ShardingStrategy::ShardGradOp);
+    let fs = trace(ShardingStrategy::FullShard);
+    assert!(sgo > fs, "SGO power {} must exceed FULL_SHARD {}", sgo, fs);
+}
+
+#[test]
+fn fig4_memory_feasibility_matches_paper() {
+    // 5B needs ≥2 GPUs, 15B needs ≥4 (paper §IV-D)
+    let wl5 = VitWorkload::build(&VitConfig::table1(VitVariant::B5), 32, 224);
+    let wl15 = VitWorkload::build(&VitConfig::table1(VitVariant::B15), 32, 224);
+    let machine = FrontierMachine::new(8);
+    let fits = |wl: &geofm::frontier::StepWorkload, s| {
+        simulate(&SimConfig::tuned(machine, s, wl.clone())).fits
+    };
+    assert!(!fits(&wl5, ShardingStrategy::Hybrid { shard_size: 1 }));
+    assert!(fits(&wl5, ShardingStrategy::Hybrid { shard_size: 2 }));
+    assert!(!fits(&wl15, ShardingStrategy::Hybrid { shard_size: 2 }));
+    assert!(fits(&wl15, ShardingStrategy::Hybrid { shard_size: 4 }));
+}
