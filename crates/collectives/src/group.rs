@@ -381,7 +381,7 @@ mod tests {
                 h.all_gather(&[h.rank() as f32], &mut g);
                 assert_eq!(g, vec![0., 1., 2., 3.]);
                 let mut rs = Vec::new();
-                h.reduce_scatter(&vec![2.0f32; 4], &mut rs);
+                h.reduce_scatter(&[2.0f32; 4], &mut rs);
                 assert_eq!(rs, vec![8.0]);
                 let mut b = vec![h.rank() as f32; 3];
                 h.broadcast(&mut b, 0);

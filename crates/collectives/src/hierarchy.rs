@@ -46,10 +46,18 @@ impl ProcessGroups {
     /// # Panics
     /// Panics unless `shard_size` divides `world`.
     pub fn hierarchy(layout: HierarchyLayout) -> Vec<RankGroups> {
+        Self::hierarchy_with_traffic(layout, Arc::new(TrafficCounter::new()))
+    }
+
+    /// [`ProcessGroups::hierarchy`] with a caller-supplied traffic counter,
+    /// e.g. one backed by a shared telemetry registry.
+    pub fn hierarchy_with_traffic(
+        layout: HierarchyLayout,
+        traffic: Arc<TrafficCounter>,
+    ) -> Vec<RankGroups> {
         let HierarchyLayout { world, shard_size } = layout;
         assert!(world > 0 && shard_size > 0, "sizes must be positive");
         assert_eq!(world % shard_size, 0, "shard size {} must divide world {}", shard_size, world);
-        let traffic = Arc::new(TrafficCounter::new());
         let world_handles = Group::create_with_traffic(world, Arc::clone(&traffic));
 
         let groups = world / shard_size;

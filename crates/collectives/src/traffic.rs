@@ -5,8 +5,17 @@
 //! bridge between the real threaded engine (`geofm-fsdp`) and the Frontier
 //! cost model (`geofm-frontier`): both speak "bytes per rank per collective
 //! kind", and an integration test asserts they agree.
+//!
+//! Since the telemetry refactor, [`TrafficCounter`] is a façade over a
+//! [`geofm_telemetry::MetricsRegistry`]: each kind owns a pair of counters
+//! (`comm.<kind>.bytes`, `comm.<kind>.calls`), so communication volume shows
+//! up in the same [`MetricsSnapshot`](geofm_telemetry::MetricsSnapshot) as
+//! phase timings and loader gauges when a shared registry is supplied via
+//! [`TrafficCounter::with_registry`]. The original `snapshot()`/`reset()`
+//! API is preserved on top.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use geofm_telemetry::{Counter, MetricsRegistry};
+use std::sync::Arc;
 
 /// The collective operations used by the sharding strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +35,25 @@ impl CollectiveKind {
     pub const ALL: [CollectiveKind; 4] =
         [Self::AllReduce, Self::AllGather, Self::ReduceScatter, Self::Broadcast];
 
+    /// Stable snake-case name, used as the metric-name stem.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::AllReduce => "all_reduce",
+            Self::AllGather => "all_gather",
+            Self::ReduceScatter => "reduce_scatter",
+            Self::Broadcast => "broadcast",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Self::AllReduce => 0,
+            Self::AllGather => 1,
+            Self::ReduceScatter => 2,
+            Self::Broadcast => 3,
+        }
+    }
+
     /// Ring-algorithm bytes moved **per rank** for a collective over
     /// `total_bytes` of payload among `n` ranks.
     ///
@@ -44,14 +72,21 @@ impl CollectiveKind {
     }
 }
 
-/// Thread-safe accumulated traffic per collective kind.
-#[derive(Debug, Default)]
+/// Thread-safe accumulated traffic per collective kind, backed by a
+/// [`MetricsRegistry`].
+#[derive(Debug)]
 pub struct TrafficCounter {
-    all_reduce: AtomicU64,
-    all_gather: AtomicU64,
-    reduce_scatter: AtomicU64,
-    broadcast: AtomicU64,
-    calls: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    /// Cached handles indexed by [`CollectiveKind::index`]; recording stays
+    /// lock-free even though the metrics live in a shared registry.
+    bytes: [Arc<Counter>; 4],
+    calls: [Arc<Counter>; 4],
+}
+
+impl Default for TrafficCounter {
+    fn default() -> Self {
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
+    }
 }
 
 /// An immutable snapshot of a [`TrafficCounter`].
@@ -77,42 +112,63 @@ impl TrafficSnapshot {
 }
 
 impl TrafficCounter {
-    /// New zeroed counter.
+    /// New zeroed counter over a private registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Counter recording into `registry` under `comm.<kind>.bytes` /
+    /// `comm.<kind>.calls`, so communication volume appears alongside
+    /// whatever else the caller registers there.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        let handle = |suffix: &str| {
+            CollectiveKind::ALL
+                .map(|k| registry.counter(&format!("comm.{}.{}", k.name(), suffix)))
+        };
+        let bytes = handle("bytes");
+        let calls = handle("calls");
+        Self { registry, bytes, calls }
+    }
+
+    /// The registry backing this counter.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Record one collective of `kind` moving `bytes` (per-rank logical).
     pub fn record(&self, kind: CollectiveKind, bytes: u64) {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        match kind {
-            CollectiveKind::AllReduce => self.all_reduce.fetch_add(bytes, Ordering::Relaxed),
-            CollectiveKind::AllGather => self.all_gather.fetch_add(bytes, Ordering::Relaxed),
-            CollectiveKind::ReduceScatter => {
-                self.reduce_scatter.fetch_add(bytes, Ordering::Relaxed)
-            }
-            CollectiveKind::Broadcast => self.broadcast.fetch_add(bytes, Ordering::Relaxed),
-        };
+        let i = kind.index();
+        self.bytes[i].inc(bytes);
+        self.calls[i].inc(1);
+    }
+
+    /// Bytes recorded for one kind.
+    pub fn bytes_for(&self, kind: CollectiveKind) -> u64 {
+        self.bytes[kind.index()].get()
+    }
+
+    /// Calls recorded for one kind.
+    pub fn calls_for(&self, kind: CollectiveKind) -> u64 {
+        self.calls[kind.index()].get()
     }
 
     /// Snapshot current totals.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
-            all_reduce: self.all_reduce.load(Ordering::Relaxed),
-            all_gather: self.all_gather.load(Ordering::Relaxed),
-            reduce_scatter: self.reduce_scatter.load(Ordering::Relaxed),
-            broadcast: self.broadcast.load(Ordering::Relaxed),
-            calls: self.calls.load(Ordering::Relaxed),
+            all_reduce: self.bytes_for(CollectiveKind::AllReduce),
+            all_gather: self.bytes_for(CollectiveKind::AllGather),
+            reduce_scatter: self.bytes_for(CollectiveKind::ReduceScatter),
+            broadcast: self.bytes_for(CollectiveKind::Broadcast),
+            calls: self.calls.iter().map(|c| c.get()).sum(),
         }
     }
 
-    /// Reset all counters to zero.
+    /// Reset this counter's metrics to zero (other metrics in a shared
+    /// registry are untouched).
     pub fn reset(&self) {
-        self.all_reduce.store(0, Ordering::Relaxed);
-        self.all_gather.store(0, Ordering::Relaxed);
-        self.reduce_scatter.store(0, Ordering::Relaxed);
-        self.broadcast.store(0, Ordering::Relaxed);
-        self.calls.store(0, Ordering::Relaxed);
+        for c in self.bytes.iter().chain(&self.calls) {
+            c.reset();
+        }
     }
 }
 
@@ -147,7 +203,19 @@ mod tests {
         assert_eq!(s.all_gather, 50);
         assert_eq!(s.calls, 3);
         assert_eq!(s.total(), 160);
+        assert_eq!(c.calls_for(CollectiveKind::AllReduce), 2);
         c.reset();
         assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn shared_registry_exposes_comm_metrics() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = TrafficCounter::with_registry(reg.clone());
+        c.record(CollectiveKind::ReduceScatter, 640);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("comm.reduce_scatter.bytes"), 640);
+        assert_eq!(snap.counter("comm.reduce_scatter.calls"), 1);
+        assert_eq!(snap.counter("comm.all_gather.bytes"), 0);
     }
 }

@@ -50,7 +50,7 @@ pub fn pretrain(cfg: &VitConfig, rc: &RecipeConfig) -> PretrainOutcome {
         );
         for (images, _labels) in loader {
             let stats = trainer.step(&images, &mut data_rng);
-            if step % 4 == 0 {
+            if step.is_multiple_of(4) {
                 loss_curve.push((step, stats.loss));
             }
             step += 1;

@@ -141,7 +141,7 @@ impl SceneDataset {
             }
             let rendered = renderer.render_class(c, count, sample_offset);
             images.data_mut()[row * pix..(row + count) * pix].copy_from_slice(rendered.data());
-            labels.extend(std::iter::repeat(c).take(count));
+            labels.extend(std::iter::repeat_n(c, count));
             row += count;
         }
         // deterministic shuffle so batches are class-mixed
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn labels_cover_all_classes_when_big_enough() {
         let d = SceneDataset::generate(DatasetKind::Ucm, 63, 16, 3, 0, 5);
-        let mut seen = vec![false; 21];
+        let mut seen = [false; 21];
         for &l in &d.labels {
             seen[l] = true;
         }

@@ -8,6 +8,7 @@
 use crate::datasets::SceneDataset;
 use crossbeam::channel::{bounded, Receiver};
 use geofm_tensor::{Tensor, TensorRng};
+use geofm_telemetry::{Stopwatch, Telemetry};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -23,6 +24,11 @@ pub struct DataLoader {
     pending: Vec<Option<(Tensor, Vec<usize>)>>,
     next: usize,
     batches: usize,
+    /// Optional telemetry: `data.queue_depth` gauge (channel occupancy
+    /// observed at each consume, with high-watermark), `data.wait.ns`
+    /// histogram (time the training loop blocked waiting for a batch) and
+    /// `data.batches` counter.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl DataLoader {
@@ -56,7 +62,20 @@ impl DataLoader {
                 }
             }));
         }
-        Self { rx, workers, pending: (0..batches).map(|_| None).collect(), next: 0, batches }
+        Self {
+            rx,
+            workers,
+            pending: (0..batches).map(|_| None).collect(),
+            next: 0,
+            batches,
+            telemetry: None,
+        }
+    }
+
+    /// Record queue depth, consumer wait time and batch count into `tel`.
+    pub fn with_telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(tel);
+        self
     }
 
     /// Number of batches this epoch.
@@ -77,6 +96,10 @@ impl Iterator for DataLoader {
         if self.next >= self.batches {
             return None;
         }
+        if let Some(tel) = &self.telemetry {
+            tel.metrics.gauge("data.queue_depth").set(self.rx.len() as i64);
+        }
+        let wait = Stopwatch::start();
         // receive until the next in-order batch is available
         while self.pending[self.next].is_none() {
             let (b, images, labels) = self
@@ -84,6 +107,10 @@ impl Iterator for DataLoader {
                 .recv()
                 .expect("loader worker died before producing all batches");
             self.pending[b] = Some((images, labels));
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.metrics.histogram("data.wait.ns").record(wait.elapsed_ns());
+            tel.metrics.counter("data.batches").inc(1);
         }
         let item = self.pending[self.next].take();
         self.next += 1;
@@ -165,6 +192,19 @@ mod tests {
         let mut loader = DataLoader::new(ds, 4, 4, 1);
         let _ = loader.next();
         drop(loader); // must not deadlock on full channel
+    }
+
+    #[test]
+    fn telemetry_counts_batches_and_waits() {
+        let ds = dataset(32);
+        let tel = Telemetry::new();
+        let loader = DataLoader::new(ds, 4, 2, 9).with_telemetry(tel.clone());
+        let n = loader.count();
+        assert_eq!(n, 8);
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("data.batches"), 8);
+        assert_eq!(snap.histograms["data.wait.ns"].count, 8);
+        assert!(snap.gauges["data.queue_depth"].max >= 0);
     }
 
     #[test]

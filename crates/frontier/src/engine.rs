@@ -10,6 +10,7 @@
 //! per-rank work), one representative rank's timeline determines the step
 //! time; cross-rank effects enter through the collective cost model.
 
+use geofm_telemetry::TraceRecorder;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -149,6 +150,33 @@ pub fn execute(tasks: &[Task]) -> Timeline {
 
     assert_eq!(done, n, "cycle in task graph: {} of {} tasks completed", done, n);
     Timeline { spans, makespan: now, compute_busy, comm_busy }
+}
+
+/// Export an executed schedule into `trace` as Chrome-trace complete events
+/// in **virtual** time (simulated seconds → trace microseconds), one thread
+/// track per stream under process `pid`. Open the written JSON in
+/// `chrome://tracing` or Perfetto to see the emergent compute/comm overlap.
+pub fn record_timeline(tasks: &[Task], timeline: &Timeline, trace: &TraceRecorder, pid: u64) {
+    assert_eq!(tasks.len(), timeline.spans.len(), "timeline must come from these tasks");
+    trace.name_thread(pid, 0, "compute");
+    trace.name_thread(pid, 1, "comm");
+    for (i, task) in tasks.iter().enumerate() {
+        let (start, end, stream) = timeline.spans[i];
+        let (tid, cat) = match stream {
+            Stream::Compute => (0, "compute"),
+            Stream::Comm => (1, "comm"),
+        };
+        let name = if task.label.is_empty() { format!("task{i}") } else { task.label.clone() };
+        trace.complete_with_args(
+            &name,
+            cat,
+            pid,
+            tid,
+            start * 1e6,
+            (end - start) * 1e6,
+            &[("dur_s", format!("{:.6}", task.dur))],
+        );
+    }
 }
 
 #[cfg(test)]

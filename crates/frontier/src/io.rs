@@ -66,8 +66,7 @@ mod tests {
 
     #[test]
     fn lustre_caps_extreme_scale() {
-        let mut io = IoModel::default();
-        io.lustre_bw = 1e10; // artificially small aggregate
+        let io = IoModel { lustre_bw: 1e10, ..Default::default() }; // artificially small aggregate
         let img = 3 * 512 * 512;
         let small = io.io_ips(&FrontierMachine::new(1), img);
         let big = io.io_ips(&FrontierMachine::new(512), img);

@@ -1,6 +1,6 @@
 //! Top-level simulation entry point.
 
-use crate::engine::{execute, Timeline};
+use crate::engine::{execute, record_timeline, Task, Timeline};
 use crate::io::IoModel;
 use crate::machine::FrontierMachine;
 use crate::memory::{MemoryEstimate, MemoryModel};
@@ -69,6 +69,8 @@ pub struct SimResult {
     pub fits: bool,
     /// The step timeline (for power traces).
     pub timeline: Timeline,
+    /// The step's task DAG, aligned with `timeline.spans` (for trace export).
+    pub tasks: Vec<Task>,
 }
 
 impl SimResult {
@@ -85,6 +87,12 @@ impl SimResult {
     /// Sample a rocm-smi-style telemetry trace for this configuration.
     pub fn power_trace(&self, machine: &FrontierMachine, samples: usize) -> PowerTrace {
         sample_trace(&self.timeline, &machine.cal, self.memory.total_gib(), samples)
+    }
+
+    /// Export this step's DES schedule as virtual-time trace spans under
+    /// process `pid` (see [`record_timeline`]).
+    pub fn record_trace(&self, trace: &geofm_telemetry::TraceRecorder, pid: u64) {
+        record_timeline(&self.tasks, &self.timeline, trace, pid);
     }
 }
 
@@ -130,6 +138,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         memory,
         fits,
         timeline,
+        tasks,
     }
 }
 

@@ -5,6 +5,8 @@ use crate::flat::FlatLayout;
 use crate::strategy::{FsdpConfig, ShardingStrategy};
 use geofm_collectives::RankGroups;
 use geofm_nn::{AdamW, Module, Optimizer};
+use geofm_telemetry::Telemetry;
+use std::sync::Arc;
 
 /// Statistics from one distributed step (local to this rank).
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +42,9 @@ pub struct FsdpRank<M: Module> {
     shard_offsets: Vec<usize>,
     optimizer: AdamW,
     grad_clip: Option<f32>,
+    /// Optional shared telemetry: phase timings land in histograms
+    /// `fsdp.<phase>.ns` and as trace spans on thread track = global rank.
+    telemetry: Option<Arc<Telemetry>>,
     // scratch buffers reused across steps
     flat: Vec<f32>,
     grads: Vec<f32>,
@@ -103,6 +108,7 @@ impl<M: Module> FsdpRank<M> {
             shard_offsets,
             optimizer,
             grad_clip: None,
+            telemetry: None,
             flat,
             grads: Vec::new(),
             gathered: Vec::new(),
@@ -117,6 +123,14 @@ impl<M: Module> FsdpRank<M> {
     /// cross-strategy equivalence).
     pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
         self.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// Record per-step phase timings (gather / compute / regather / reduce /
+    /// optimizer) into a shared [`Telemetry`] bundle.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        telemetry.trace.name_thread(0, self.groups.rank as u64, &format!("rank{}", self.groups.rank));
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -175,17 +189,32 @@ impl<M: Module> FsdpRank<M> {
     /// forward + backward on this rank's microbatch, and return the local
     /// loss; the engine handles everything else.
     pub fn step(&mut self, lr: f32, compute: impl FnOnce(&mut M) -> f32) -> StepReport {
+        let tel = self.telemetry.clone();
+        let tid = self.groups.rank as u64;
+        let phase = |name: &str| tel.as_deref().map(|t| t.phase(name, tid));
+        if let Some(t) = tel.as_deref() {
+            t.metrics.counter("fsdp.steps").inc(1);
+        }
+
         // 1. materialise parameters
-        self.gather_params();
+        {
+            let _p = phase("fsdp.gather");
+            self.gather_params();
+        }
 
         // 2. local compute
-        let loss = compute(&mut self.model);
+        let loss = {
+            let _p = phase("fsdp.compute");
+            compute(&mut self.model)
+        };
 
         // 3. backward re-gather (strategy-dependent communication)
         if self.config.strategy.regathers_in_backward() && self.layout.shard_n > 1 {
+            let _p = phase("fsdp.regather");
             self.regather_for_backward();
         }
 
+        let _reduce_phase = phase("fsdp.reduce");
         // 4. reduce gradients
         self.model.pack_grads(&mut self.grads);
         self.owned_grads.clear();
@@ -250,8 +279,13 @@ impl<M: Module> FsdpRank<M> {
             }
         }
 
+        drop(_reduce_phase);
+
         // 7. sharded optimizer step
-        self.optimizer.step(&mut self.owned_params, &self.owned_grads, lr);
+        {
+            let _p = phase("fsdp.optimizer");
+            self.optimizer.step(&mut self.owned_params, &self.owned_grads, lr);
+        }
 
         StepReport { loss, grad_norm, lr }
     }
@@ -406,8 +440,8 @@ mod tests {
             }
         });
         let first = results[0].lock().unwrap().take().unwrap();
-        for r in 1..world {
-            let other = results[r].lock().unwrap().take().unwrap();
+        for (r, slot) in results.iter().enumerate().skip(1) {
+            let other = slot.lock().unwrap().take().unwrap();
             assert_eq!(first, other, "rank {} differs after materialize", r);
         }
     }

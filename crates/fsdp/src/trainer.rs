@@ -3,9 +3,10 @@
 
 use crate::rank::FsdpRank;
 use crate::strategy::FsdpConfig;
-use geofm_collectives::{HierarchyLayout, ProcessGroups, TrafficSnapshot};
+use geofm_collectives::{HierarchyLayout, ProcessGroups, TrafficCounter, TrafficSnapshot};
 use geofm_nn::Module;
-use std::sync::Mutex;
+use geofm_telemetry::Telemetry;
+use std::sync::{Arc, Mutex};
 
 /// The outcome of a distributed run.
 #[derive(Debug, Clone)]
@@ -42,8 +43,41 @@ where
     FC: Fn(&mut M, usize, usize) -> f32 + Sync,
     FL: Fn(usize) -> f32 + Sync,
 {
+    run_data_parallel_with_telemetry(config, world, weight_decay, steps, make_model, compute, lr_at, None)
+}
+
+/// [`run_data_parallel`] with an optional shared [`Telemetry`] bundle.
+///
+/// When supplied, collective traffic is recorded into the bundle's registry
+/// (`comm.<kind>.bytes` / `comm.<kind>.calls`), every rank times its step
+/// phases (`fsdp.<phase>.ns` histograms + trace spans per rank track), and
+/// `fsdp.steps` counts rank-steps.
+#[allow(clippy::too_many_arguments)]
+pub fn run_data_parallel_with_telemetry<M, FM, FC, FL>(
+    config: FsdpConfig,
+    world: usize,
+    weight_decay: f32,
+    steps: usize,
+    make_model: FM,
+    compute: FC,
+    lr_at: FL,
+    telemetry: Option<Arc<Telemetry>>,
+) -> DistReport
+where
+    M: Module + Send,
+    FM: Fn(usize) -> (M, Vec<usize>) + Sync,
+    FC: Fn(&mut M, usize, usize) -> f32 + Sync,
+    FL: Fn(usize) -> f32 + Sync,
+{
     let shard_size = config.strategy.shard_group_size(world);
-    let groups = ProcessGroups::hierarchy(HierarchyLayout { world, shard_size });
+    let layout = HierarchyLayout { world, shard_size };
+    let groups = match &telemetry {
+        Some(tel) => ProcessGroups::hierarchy_with_traffic(
+            layout,
+            Arc::new(TrafficCounter::with_registry(tel.metrics.clone())),
+        ),
+        None => ProcessGroups::hierarchy(layout),
+    };
     let traffic = groups[0].world.traffic();
     let params_out: Mutex<Option<Vec<f32>>> = Mutex::new(None);
     let losses: Vec<Mutex<Vec<f32>>> = (0..world).map(|_| Mutex::new(Vec::new())).collect();
@@ -55,10 +89,14 @@ where
             let lr_at = &lr_at;
             let params_out = &params_out;
             let losses = &losses;
+            let telemetry = telemetry.clone();
             s.spawn(move || {
                 let rank = g.rank;
                 let (model, units) = make_model(rank);
                 let mut fr = FsdpRank::new(model, &units, config, g, weight_decay);
+                if let Some(tel) = telemetry {
+                    fr = fr.with_telemetry(tel);
+                }
                 let mut local_losses = Vec::with_capacity(steps);
                 for step in 0..steps {
                     let report = fr.step(lr_at(step), |m| compute(m, rank, step));
@@ -179,8 +217,33 @@ mod tests {
 
     #[test]
     fn losses_decrease_during_training() {
-        let report = run(ShardingStrategy::FullShard, 2);
-        assert!(report.mean_losses.last().unwrap() < report.mean_losses.first().unwrap());
+        // Each step draws a fresh random batch, so single-step losses are
+        // noisy; train long enough that the trend dominates the noise and
+        // compare first-half vs second-half means.
+        let cfg = tiny_vit();
+        let world = 2;
+        let report = run_data_parallel(
+            FsdpConfig::tuned(ShardingStrategy::FullShard),
+            world,
+            0.01,
+            12,
+            |_rank| {
+                let mut rng = TensorRng::seed_from(99);
+                let cfg = tiny_vit();
+                let mut model = VitModel::new(&cfg, &mut rng);
+                let units = model.unit_param_counts();
+                (model, units)
+            },
+            |m, rank, step| vit_compute(&cfg, m, rank, step, world),
+            |_step| 1e-3,
+        );
+        let losses = &report.mean_losses;
+        let half = losses.len() / 2;
+        let mean = |s: &[f32]| s.iter().sum::<f32>() / s.len() as f32;
+        assert!(
+            mean(&losses[half..]) < mean(&losses[..half]),
+            "losses did not trend down: {losses:?}"
+        );
     }
 
     #[test]

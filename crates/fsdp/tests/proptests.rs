@@ -36,10 +36,10 @@ proptest! {
         shard_n in 1usize..9,
     ) {
         let layout = FlatLayout::new(&unit_sizes, shard_n);
-        for u in 0..layout.num_units() {
+        for (u, &len) in unit_sizes.iter().enumerate() {
             prop_assert_eq!(layout.shard_len(u) * shard_n, layout.padded_lens[u]);
-            prop_assert!(layout.padded_lens[u] >= unit_sizes[u]);
-            prop_assert!(layout.padded_lens[u] - unit_sizes[u] < shard_n);
+            prop_assert!(layout.padded_lens[u] >= len);
+            prop_assert!(layout.padded_lens[u] - len < shard_n);
         }
         let owned: usize = (0..layout.num_units()).map(|u| layout.shard_len(u)).sum();
         prop_assert_eq!(owned, layout.total_shard_len());

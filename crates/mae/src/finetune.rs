@@ -56,14 +56,14 @@ impl FineTuner {
                 0 // final LN
             };
             let scale = layer_decay.powi(power);
-            lr_scale.extend(std::iter::repeat(scale).take(count));
+            lr_scale.extend(std::iter::repeat_n(scale, count));
         }
-        lr_scale.extend(std::iter::repeat(1.0).take(head.in_features() * classes + classes));
+        lr_scale.extend(std::iter::repeat_n(1.0, head.in_features() * classes + classes));
 
         let total = encoder.num_params() + head.in_features() * classes + classes;
         let mut mask = encoder.decay_mask();
-        mask.extend(std::iter::repeat(true).take(head.in_features() * classes));
-        mask.extend(std::iter::repeat(false).take(classes));
+        mask.extend(std::iter::repeat_n(true, head.in_features() * classes));
+        mask.extend(std::iter::repeat_n(false, classes));
         let optimizer = AdamW::new(total, 0.05).with_decay_mask(mask);
         let schedule =
             CosineSchedule::new(base_lr, base_lr * 0.01, (total_epochs / 10).max(1), total_epochs.max(1));
@@ -217,8 +217,8 @@ mod tests {
         let n = 32;
         let mut images = rng.randn(&[n, 64], 0.2);
         let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
-        for i in 0..n {
-            if labels[i] == 1 {
+        for (i, &lab) in labels.iter().enumerate() {
+            if lab == 1 {
                 for v in images.row_mut(i) {
                     *v += 1.5;
                 }

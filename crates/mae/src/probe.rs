@@ -213,9 +213,9 @@ mod tests {
         let d = 8;
         let mut feats = Tensor::zeros(&[n, d]);
         let mut labels = vec![0usize; n];
-        for i in 0..n {
+        for (i, lab) in labels.iter_mut().enumerate() {
             let c = i % 3;
-            labels[i] = c;
+            *lab = c;
             for j in 0..d {
                 let center = if j == c { 4.0 } else { 0.0 };
                 feats.set(&[i, j], center + rng.normal() * 0.5);
@@ -248,8 +248,7 @@ mod tests {
         let mut feats = rng.randn(&[n, d], 1.0);
         let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
         // inject signal
-        for i in 0..n {
-            let c = labels[i];
+        for (i, &c) in labels.iter().enumerate() {
             let v = feats.at(&[i, c]) + 3.0;
             feats.set(&[i, c], v);
         }

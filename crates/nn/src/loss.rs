@@ -145,8 +145,8 @@ mod tests {
             let mean = trow.iter().sum::<f32>() / 8.0;
             let var = trow.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
             let rstd = 1.0 / (var + 1e-6).sqrt();
-            for j in 0..8 {
-                pred.set(&[r, j], (trow[j] - mean) * rstd);
+            for (j, &t) in trow.iter().enumerate() {
+                pred.set(&[r, j], (t - mean) * rstd);
             }
         }
         let (loss, _) = mse_masked(&pred, &target, &[0, 1, 2]);

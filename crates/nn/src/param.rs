@@ -90,7 +90,7 @@ pub trait Module {
     fn decay_mask(&mut self) -> Vec<bool> {
         let mut mask = Vec::new();
         self.visit_params(&mut |p| {
-            mask.extend(std::iter::repeat(p.decay).take(p.numel()));
+            mask.extend(std::iter::repeat_n(p.decay, p.numel()));
         });
         mask
     }

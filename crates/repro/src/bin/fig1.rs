@@ -4,7 +4,8 @@
 
 use geofm_frontier::{simulate, FrontierMachine, MaeWorkload, SimConfig};
 use geofm_fsdp::ShardingStrategy;
-use geofm_repro::{ascii_chart, fmt_ips, node_ladder, write_csv};
+use geofm_repro::{append_metrics_csv, ascii_chart, fmt_ips, node_ladder, trace_out_arg, write_csv};
+use geofm_telemetry::Telemetry;
 use geofm_vit::{VitConfig, VitVariant};
 
 fn main() {
@@ -20,12 +21,16 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10}",
         "nodes", "real", "syn", "syn_no_comm", "io", "ideal", "comm%"
     );
-    for &n in &nodes {
+    let tel = Telemetry::new();
+    for (pid, &n) in nodes.iter().enumerate() {
         let sim = simulate(&SimConfig::tuned(
             FrontierMachine::new(n),
             ShardingStrategy::NoShard,
             wl.clone(),
         ));
+        tel.metrics.counter("fig1.simulations").inc(1);
+        tel.trace.name_process(pid as u64, &format!("mae-3b/{n}nodes"));
+        sim.record_trace(&tel.trace, pid as u64);
         println!(
             "{:>6} {:>10} {:>10} {:>12} {:>10} {:>10} {:>9.1}%",
             n,
@@ -47,11 +52,16 @@ fn main() {
         v_io.push(sim.ips_io);
         v_ideal.push(sim.ips_ideal);
     }
-    write_csv(
+    let csv_path = write_csv(
         "fig1.csv",
         "nodes,ips_real,ips_syn,ips_syn_no_comm,ips_io,ips_ideal,comm_share",
         &rows,
     );
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    if let Some(path) = trace_out_arg() {
+        let written = tel.trace.write_json(&path).expect("cannot write trace JSON");
+        println!("  -> wrote Chrome trace ({} events) to {}", tel.trace.len(), written.display());
+    }
     ascii_chart(
         "images/s (log-ish bars, each column = one node count)",
         &nodes,

@@ -4,7 +4,8 @@
 
 use geofm_frontier::{simulate, FrontierMachine, SimConfig, VitWorkload};
 use geofm_fsdp::ShardingStrategy;
-use geofm_repro::{ascii_chart, fmt_ips, node_ladder, write_csv};
+use geofm_repro::{append_metrics_csv, ascii_chart, fmt_ips, node_ladder, trace_out_arg, write_csv};
+use geofm_telemetry::Telemetry;
 use geofm_vit::{VitConfig, VitVariant};
 
 fn strategies() -> Vec<ShardingStrategy> {
@@ -20,6 +21,8 @@ fn strategies() -> Vec<ShardingStrategy> {
 
 fn main() {
     println!("FIGURE 4 — large models that do not fit on a single GPU (local batch 32)");
+    let tel = Telemetry::new();
+    let sims = tel.metrics.counter("fig4.simulations");
     let nodes = node_ladder(64);
     let mut rows = Vec::new();
 
@@ -41,6 +44,7 @@ fn main() {
                 let machine = FrontierMachine::new(n);
                 let k = strategy.shard_group_size(machine.world());
                 let sim = simulate(&SimConfig::tuned(machine, strategy, wl.clone()));
+                sims.inc(1);
                 // a config is only valid if the model fits and the shard
                 // group is not larger than the world
                 if !sim.fits || k > machine.world() {
@@ -67,7 +71,7 @@ fn main() {
         }
         ascii_chart(&format!("{} images/s", cfg.name), &nodes, &chart, 6);
     }
-    write_csv("fig4.csv", "model,strategy,nodes,ips,mem_gib", &rows);
+    let csv_path = write_csv("fig4.csv", "model,strategy,nodes,ips,mem_gib", &rows);
 
     // power / memory / utilisation trace at 32 nodes for the 5B model
     println!("\n-- rocm-smi-style trace: ViT-5B, 32 nodes --");
@@ -79,12 +83,20 @@ fn main() {
         "{:<16} {:>10} {:>12} {:>12} {:>12}",
         "strategy", "ips", "avg power[W]", "avg util[%]", "mem[GiB]"
     );
-    for strategy in [
+    for (pid, strategy) in [
         ShardingStrategy::Hybrid { shard_size: 2 },
         ShardingStrategy::FullShard,
         ShardingStrategy::ShardGradOp,
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let sim = simulate(&SimConfig::tuned(machine, strategy, wl.clone()));
+        sims.inc(1);
+        // one virtual-time DES step per strategy, each on its own process
+        // track of the exported Chrome trace
+        tel.trace.name_process(pid as u64, &format!("vit-5b/{}", strategy.name()));
+        sim.record_trace(&tel.trace, pid as u64);
         let trace = sim.power_trace(&machine, 200);
         println!(
             "{:<16} {:>10} {:>12.0} {:>12.0} {:>12.1}",
@@ -104,6 +116,11 @@ fn main() {
         ));
     }
     write_csv("fig4_trace.csv", "strategy,ips,avg_power_w,avg_util_pct,mem_gib", &trace_rows);
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    if let Some(path) = trace_out_arg() {
+        let written = tel.trace.write_json(&path).expect("cannot write trace JSON");
+        println!("  -> wrote Chrome trace ({} events) to {}", tel.trace.len(), written.display());
+    }
 
     println!("\nPaper claims reproduced: HYBRID_8/16 outperform HYBRID_2/4 for the 5B model;");
     println!("SHARD_GRAD_OP scales best for the 15B model; SHARD_GRAD_OP memory >> FULL_SHARD;");

@@ -7,6 +7,9 @@ use geofm_data::DatasetKind;
 use geofm_repro::write_csv;
 use geofm_vit::VitConfig;
 
+/// Per-model row: (model name, per-dataset (kind, top1, top5)).
+type ModelRow = (String, Vec<(DatasetKind, f32, f32)>);
+
 fn main() {
     let rc = RecipeConfig::from_env();
     println!(
@@ -15,7 +18,7 @@ fn main() {
     );
     let mut curve_rows = Vec::new();
     let mut final_rows = Vec::new();
-    let mut table: Vec<(String, Vec<(DatasetKind, f32, f32)>)> = Vec::new();
+    let mut table: Vec<ModelRow> = Vec::new();
 
     for cfg in VitConfig::tiny_family() {
         let t0 = std::time::Instant::now();

@@ -17,8 +17,9 @@
 //! | `fig5`  | Fig. 5 — MAE pretraining loss for the (scaled) model family |
 //! | `fig6`  | Fig. 6 — probe accuracy vs epoch per dataset and model |
 
+use geofm_telemetry::MetricsSnapshot;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Directory where result artifacts are written.
 pub fn results_dir() -> PathBuf {
@@ -78,6 +79,35 @@ pub fn ascii_chart(title: &str, xs: &[usize], series: &[(String, Vec<f64>)], wid
     println!();
 }
 
+/// Parse the shared `--trace-out <path>` CLI flag (also accepts
+/// `--trace-out=<path>`). When present, binaries export their telemetry
+/// span recorder as Chrome-trace JSON to the given path.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
+/// Append a metrics summary to an existing CSV artifact: a blank separator
+/// line, a `metric,value` header, then one row per metric (histograms expand
+/// to count/sum/mean/p50/max).
+pub fn append_metrics_csv(path: &Path, snapshot: &MetricsSnapshot) {
+    use std::io::Write;
+    let mut f = fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("metrics summary target csv must exist");
+    write!(f, "\nmetric,value\n{}", snapshot.to_csv_rows()).expect("cannot append metrics");
+    println!("  -> appended metrics summary to {}", path.display());
+}
+
 /// Format an images-per-second value compactly.
 pub fn fmt_ips(v: f64) -> String {
     if v >= 1000.0 {
@@ -117,6 +147,19 @@ mod tests {
         let p = write_csv("t.csv", "a,b", &["1,2".into()]);
         let s = std::fs::read_to_string(p).unwrap();
         assert_eq!(s, "a,b\n1,2\n");
+        std::env::remove_var("GEOFM_RESULTS");
+    }
+
+    #[test]
+    fn metrics_summary_appends_to_csv() {
+        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-test-results-metrics");
+        let p = write_csv("m.csv", "a,b", &["1,2".into()]);
+        let tel = geofm_telemetry::Telemetry::new();
+        tel.metrics.counter("comm.all_gather.bytes").inc(640);
+        append_metrics_csv(&p, &tel.metrics.snapshot());
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("a,b\n1,2\n\nmetric,value\n"));
+        assert!(s.contains("comm.all_gather.bytes,640\n"));
         std::env::remove_var("GEOFM_RESULTS");
     }
 }

@@ -1,0 +1,117 @@
+//! # geofm-telemetry
+//!
+//! The observability substrate for the `geofm` workspace: a lightweight,
+//! thread-safe metrics registry plus a span recorder that exports
+//! Chrome-trace-format JSON (loadable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+//!
+//! The paper this repository reproduces is a systems study — its
+//! deliverables are step-time breakdowns, communication shares, memory
+//! watermarks and power traces — so every layer of the reproduction needs a
+//! shared vocabulary for "how many bytes moved", "how long did this phase
+//! take" and "what overlapped with what". This crate is that vocabulary:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and log₂-bucketed
+//!   [`Histogram`]s. Handles are `Arc`s over plain atomics, so the hot path
+//!   (a collective recording its bytes, a rank timing a phase) never takes
+//!   a lock.
+//! * [`PhaseTimer`] / [`Stopwatch`] — scoped wall-clock timers feeding
+//!   histograms in nanoseconds.
+//! * [`TraceRecorder`] — accumulates spans with either real timestamps
+//!   (threaded engine) or *virtual* timestamps (the Frontier discrete-event
+//!   simulator), and serialises them as Chrome trace JSON with no external
+//!   dependencies.
+//! * [`Telemetry`] — the bundle the rest of the workspace passes around:
+//!   one registry + one recorder.
+//!
+//! Consumers: `geofm-collectives` (per-kind communication bytes and call
+//! counts), `geofm-fsdp` (per-rank gather/compute/reduce/optimizer phase
+//! breakdown), `geofm-frontier` (DES timelines as trace spans),
+//! `geofm-data` (loader queue depth and wait time), and the `geofm-repro`
+//! binaries (`--trace-out` flag, metrics summaries in CSV artifacts).
+
+#![warn(missing_docs)]
+
+mod registry;
+mod timer;
+mod trace;
+
+pub use registry::{
+    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use timer::{PhaseTimer, Stopwatch};
+pub use trace::{TraceEvent, TraceRecorder, TraceSpan};
+
+use std::sync::Arc;
+
+/// The bundle threaded through the stack: one metrics registry plus one
+/// trace recorder sharing a time origin.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Named counters / gauges / histograms. `Arc`ed so facades in other
+    /// crates (e.g. `geofm-collectives`' `TrafficCounter`) can share it.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Span recorder for Chrome-trace export.
+    pub trace: TraceRecorder,
+}
+
+impl Telemetry {
+    /// Fresh registry and recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Time a phase: returns a guard that, when dropped, records the
+    /// elapsed nanoseconds into histogram `name` **and** emits a trace span
+    /// on thread `tid`.
+    pub fn phase(&self, name: &str, tid: u64) -> PhaseGuard<'_> {
+        PhaseGuard {
+            telemetry: self,
+            name: name.to_string(),
+            tid,
+            start: self.trace.now_us(),
+            clock: std::time::Instant::now(),
+        }
+    }
+}
+
+/// Guard returned by [`Telemetry::phase`].
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    telemetry: &'a Telemetry,
+    name: String,
+    tid: u64,
+    start: f64,
+    clock: std::time::Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let ns = self.clock.elapsed().as_nanos() as u64;
+        self.telemetry.metrics.histogram(&format!("{}.ns", self.name)).record(ns);
+        let dur_us = ns as f64 / 1_000.0;
+        self.telemetry.trace.complete(&self.name, "phase", 0, self.tid, self.start, dur_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_guard_records_histogram_and_span() {
+        let tel = Telemetry::new();
+        {
+            let _g = tel.phase("fsdp.compute", 3);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = tel.metrics.snapshot();
+        let h = &snap.histograms["fsdp.compute.ns"];
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 2_000_000, "recorded {} ns", h.sum);
+        assert_eq!(tel.trace.len(), 1);
+        let json = tel.trace.export_json();
+        assert!(json.contains("\"fsdp.compute\""));
+    }
+}

@@ -1,0 +1,478 @@
+//! Named metrics backed by plain atomics.
+//!
+//! The registry is a `RwLock<BTreeMap>` consulted only on first lookup of a
+//! name; callers hold `Arc` handles to the underlying atomic cells, so steady
+//! state recording is lock-free. Histograms use fixed log₂ buckets — bucket
+//! `k ≥ 1` holds values in `[2^(k-1), 2^k - 1]`, bucket 0 holds zero — which
+//! is exact enough for nanosecond phase timings and byte counts while keeping
+//! `record()` to a handful of atomic adds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of log₂ histogram buckets (bucket 0 = zero, bucket 64 = top bit set).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn inc(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous value with a high-watermark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the current value (also advances the high-watermark).
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the current value by `delta` and return the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        let new = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(new, Ordering::Relaxed);
+        new
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set/reached.
+    pub fn max(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Reset value and watermark to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for zero, else `64 - leading_zeros(v)`, so
+/// bucket `k` covers `[2^(k-1), 2^k - 1]`.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time copy (individual loads are relaxed;
+    /// callers quiesce writers before comparing snapshots exactly).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clear all buckets and statistics.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in 0..=100) from bucket upper bounds.
+    /// Resolution is one power of two — adequate for order-of-magnitude
+    /// latency summaries.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // upper bound of bucket i, clamped to the observed max
+                let hi = if i == 0 { 0 } else if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Thread-safe name → metric registry.
+///
+/// Lookup takes a read lock (write lock on first registration); the returned
+/// `Arc` handles are lock-free to update, so hot paths should cache them.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            match m {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric `{name}` is not a counter"),
+            }
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            match m {
+                Metric::Gauge(g) => return g.clone(),
+                _ => panic!("metric `{name}` is not a gauge"),
+            }
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            match m {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric `{name}` is not a histogram"),
+            }
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Freeze every registered metric into a comparable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, m) in map.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges
+                        .insert(name.clone(), GaugeSnapshot { value: g.get(), max: g.max() });
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Zero every registered metric (names stay registered).
+    pub fn reset(&self) {
+        let map = self.metrics.read().unwrap();
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// Frozen copy of a [`Gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Value at snapshot time.
+    pub value: i64,
+    /// High-watermark since the last reset.
+    pub max: i64,
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`], comparable with `==`
+/// (the determinism tests rely on this).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render a compact `name,value` summary, one metric per line, suitable
+    /// for appending to CSV artifacts. Histograms expand to
+    /// `count`/`sum`/`mean`/`p50`/`max` rows; gauges to `value`/`max` rows.
+    pub fn to_csv_rows(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name},{v}\n"));
+        }
+        for (name, g) in &self.gauges {
+            out.push_str(&format!("{name}.value,{}\n{name}.max,{}\n", g.value, g.max));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name}.count,{}\n{name}.sum,{}\n{name}.mean,{:.1}\n{name}.p50,{}\n{name}.max,{}\n",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.percentile(50.0),
+                h.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("bytes");
+        reg.counter("bytes").inc(7);
+        c.inc(3);
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        reg.histogram("lat").record(100);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("bytes"), 10);
+        assert_eq!(snap.gauges["depth"], GaugeSnapshot { value: 3, max: 5 });
+        assert_eq!(snap.histograms["lat"].count, 1);
+
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("bytes"), 0);
+        assert_eq!(snap.gauges["depth"], GaugeSnapshot { value: 0, max: 0 });
+        assert_eq!(snap.histograms["lat"].count, 0);
+        assert_eq!(snap.histograms["lat"].min, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn percentiles_track_buckets() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 1015);
+        // p100 falls in bucket 10 ([512, 1023]) whose upper bound is clamped
+        // to the observed max.
+        assert_eq!(s.percentile(100.0), 1000);
+        // median sample (4) falls in bucket 3 = [4, 7]; the estimate is the
+        // bucket's upper bound
+        assert_eq!(s.percentile(50.0), 7);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1000;
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("contended.hist");
+        let c = reg.counter("contended.count");
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i);
+                        c.inc(1);
+                    }
+                });
+            }
+        });
+        let total = THREADS * PER_THREAD;
+        assert_eq!(c.get(), total);
+        let s = h.snapshot();
+        assert_eq!(s.count, total);
+        assert_eq!(s.buckets.iter().sum::<u64>(), total, "every sample lands in a bucket");
+        // Each value 0..8000 recorded exactly once: sum is the arithmetic
+        // series, min/max are the range endpoints.
+        assert_eq!(s.sum, total * (total - 1) / 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, total - 1);
+    }
+
+    #[test]
+    fn reset_clears_all_metric_state() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc(5);
+        reg.gauge("g").set(9);
+        reg.histogram("h").record(1234);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), 0);
+        assert_eq!(snap.gauges["g"].value, 0);
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 0);
+        // Handles stay live across reset: recording resumes cleanly.
+        reg.histogram("h").record(8);
+        assert_eq!(reg.snapshot().histograms["h"].count, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Scoped wall-clock timers feeding histograms.
+
+use crate::registry::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Manual stopwatch: start, read, restart.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds since start (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed microseconds since start, fractional.
+    pub fn elapsed_us(&self) -> f64 {
+        self.start.elapsed().as_nanos() as f64 / 1_000.0
+    }
+
+    /// Restart and return the elapsed nanoseconds of the lap just ended.
+    pub fn lap_ns(&mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.start = Instant::now();
+        ns
+    }
+}
+
+/// RAII timer: records elapsed nanoseconds into a histogram on drop.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    hist: Arc<Histogram>,
+    watch: Stopwatch,
+}
+
+impl PhaseTimer {
+    /// Start timing into `hist`.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Self { hist, watch: Stopwatch::start() }
+    }
+
+    /// Stop early and record (equivalent to dropping).
+    pub fn stop(self) {}
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.watch.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_timer_records_on_drop() {
+        let h = Arc::new(Histogram::default());
+        {
+            let _t = PhaseTimer::new(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 1_000_000);
+    }
+
+    #[test]
+    fn stopwatch_laps_advance() {
+        let mut w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let lap = w.lap_ns();
+        assert!(lap >= 1_000_000);
+        assert!(w.elapsed_ns() < lap);
+    }
+}

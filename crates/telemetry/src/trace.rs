@@ -1,0 +1,311 @@
+//! Span recorder with Chrome-trace-format JSON export.
+//!
+//! The [trace event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! is the lingua franca of timeline viewers: `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) both load it directly. We emit only
+//! complete events (`ph:"X"`, a name + start + duration on a `pid`/`tid`
+//! track) and metadata events (`ph:"M"`, naming processes and threads),
+//! which is all a step-phase or DES timeline needs.
+//!
+//! Timestamps are microseconds. Two clocks coexist: [`TraceRecorder::span`]
+//! uses real time relative to the recorder's creation, while
+//! [`TraceRecorder::complete`] takes caller-supplied timestamps so the
+//! Frontier discrete-event simulator can export *virtual* time directly.
+//! JSON is hand-rolled (this workspace builds offline, without serde).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded event (complete span or metadata).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (comma-separated in the format; we use one).
+    pub cat: String,
+    /// Phase: `"X"` complete, `"M"` metadata.
+    pub ph: char,
+    /// Start timestamp, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds (complete events only).
+    pub dur_us: f64,
+    /// Process track.
+    pub pid: u64,
+    /// Thread track.
+    pub tid: u64,
+    /// Extra `args` rendered as a JSON object of strings.
+    pub args: Vec<(String, String)>,
+}
+
+/// Thread-safe accumulator of trace events.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self { epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+}
+
+/// RAII guard from [`TraceRecorder::span`]: records a complete event over
+/// its own lifetime using the recorder's real clock.
+#[derive(Debug)]
+pub struct TraceSpan<'a> {
+    recorder: &'a TraceRecorder,
+    name: String,
+    cat: String,
+    pid: u64,
+    tid: u64,
+    start_us: f64,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        let end = self.recorder.now_us();
+        self.recorder.complete(
+            &self.name,
+            &self.cat,
+            self.pid,
+            self.tid,
+            self.start_us,
+            (end - self.start_us).max(0.0),
+        );
+    }
+}
+
+impl TraceRecorder {
+    /// Empty recorder; the real-time clock origin is "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Microseconds since this recorder was created.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_nanos() as f64 / 1_000.0
+    }
+
+    /// Record a complete event with caller-supplied (possibly virtual)
+    /// timestamps, in microseconds.
+    pub fn complete(&self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: f64, dur_us: f64) {
+        self.complete_with_args(name, cat, pid, tid, ts_us, dur_us, &[]);
+    }
+
+    /// [`TraceRecorder::complete`] plus key/value `args` shown in the
+    /// viewer's detail pane.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_args(
+        &self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, String)],
+    ) {
+        self.events.lock().unwrap().push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+    }
+
+    /// Start a real-clock span; the event is recorded when the guard drops.
+    pub fn span(&self, name: &str, cat: &str, pid: u64, tid: u64) -> TraceSpan<'_> {
+        TraceSpan {
+            recorder: self,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Label a process track in the viewer.
+    pub fn name_process(&self, pid: u64, name: &str) {
+        self.metadata("process_name", pid, 0, name);
+    }
+
+    /// Label a thread track in the viewer.
+    pub fn name_thread(&self, pid: u64, tid: u64, name: &str) {
+        self.metadata("thread_name", pid, tid, name);
+    }
+
+    fn metadata(&self, kind: &str, pid: u64, tid: u64, name: &str) {
+        self.events.lock().unwrap().push(TraceEvent {
+            name: kind.to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: 0.0,
+            pid,
+            tid,
+            args: vec![("name".to_string(), name.to_string())],
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Serialise as a Chrome-trace JSON object.
+    pub fn export_json(&self) -> String {
+        let events = self.events.lock().unwrap();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+                json_string(&e.name),
+                json_string(&e.cat),
+                e.ph,
+                json_number(e.ts_us),
+                e.pid,
+                e.tid
+            ));
+            if e.ph == 'X' {
+                out.push_str(&format!(",\"dur\":{}", json_number(e.dur_us)));
+            }
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json_string(k), json_string(v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Write [`TraceRecorder::export_json`] to `path`, creating parent
+    /// directories, and return the path written.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.export_json().as_bytes())?;
+        Ok(path.to_path_buf())
+    }
+}
+
+/// Escape into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a non-negative µs value as a finite JSON number (JSON has no
+/// NaN/Inf; timestamps print with nanosecond resolution).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{:.3}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_spans_roundtrip_to_json() {
+        let t = TraceRecorder::new();
+        t.name_process(1, "frontier-sim");
+        t.name_thread(1, 0, "compute");
+        t.complete("fwd", "compute", 1, 0, 0.0, 1500.0);
+        t.complete_with_args("ag", "comm", 1, 1, 100.0, 250.5, &[("bytes", "4096".into())]);
+        let json = t.export_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"dur\":1500"));
+        assert!(json.contains("\"dur\":250.500"));
+        assert!(json.contains("\"args\":{\"bytes\":\"4096\"}"));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        // balanced braces/brackets as a cheap well-formedness check
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn real_clock_span_records_on_drop() {
+        let t = TraceRecorder::new();
+        {
+            let _s = t.span("work", "phase", 0, 7);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(t.len(), 1);
+        let json = t.export_json();
+        assert!(json.contains("\"work\""));
+        assert!(json.contains("\"tid\":7"));
+    }
+
+    #[test]
+    fn write_json_creates_parents() {
+        let dir = std::env::temp_dir().join("geofm-telemetry-test");
+        let path = dir.join("nested").join("trace.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = TraceRecorder::new();
+        t.complete("e", "c", 0, 0, 0.0, 1.0);
+        let written = t.write_json(&path).unwrap();
+        let body = std::fs::read_to_string(written).unwrap();
+        assert!(body.contains("\"traceEvents\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

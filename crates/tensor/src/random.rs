@@ -167,7 +167,7 @@ mod tests {
     fn permutation_is_a_permutation() {
         let mut rng = TensorRng::seed_from(11);
         let p = rng.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &v in &p {
             assert!(!seen[v]);
             seen[v] = true;

@@ -1,9 +1,8 @@
 //! ViT architecture configurations (paper Table I + the trainable tiny family).
 
-use serde::{Deserialize, Serialize};
 
 /// The named architecture variants studied in the paper (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VitVariant {
     /// 87 M parameters, width 768, depth 12.
     Base,
@@ -51,7 +50,7 @@ impl VitVariant {
 }
 
 /// A complete ViT encoder configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VitConfig {
     /// Human-readable name (e.g. "ViT-3B" or "T-1B").
     pub name: String,

@@ -1,0 +1,262 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the macro/builder surface `geofm-bench` uses and measures each
+//! benchmark as mean wall-clock time over a warm-up pass plus `sample_size`
+//! timed samples, printed one line per benchmark. No statistics, HTML
+//! reports, or outlier analysis — on a single shared core those numbers
+//! would carry false precision anyway.
+//!
+//! Supports `--test` (run each benchmark once, for `cargo test --benches`)
+//! and treats the first free CLI argument as a substring filter, like the
+//! real crate.
+
+use std::time::{Duration, Instant};
+
+/// Per-invocation timing device handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured duration across `iters` runs.
+    pub elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export matching criterion's own `black_box` export.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Compose a `function/parameter` id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function, parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target measurement window (bounds total samples taken).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up window before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Apply CLI arguments (`--test`, or a substring filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {
+                    // consume a possible value of an unknown flag
+                    let _ = args.next();
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        if self.test_mode {
+            f(&mut b);
+            println!("test {} ... ok", name);
+            return;
+        }
+        // warm-up: run until the warm-up window elapses at least once
+        let warm_start = Instant::now();
+        let mut warm_runs = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_runs == 0 {
+            f(&mut b);
+            warm_runs += 1;
+        }
+        // sampling: `sample_size` single-iteration samples, capped by the
+        // measurement window (but always at least one)
+        let mut total = Duration::ZERO;
+        let mut samples = 0u32;
+        let window = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            total += b.elapsed;
+            samples += 1;
+            if window.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let mean = total / samples.max(1);
+        println!("{:<48} time: [{:?} mean of {} samples]", name, mean, samples);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an unparameterised routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Finish the group (report boundary in the real crate; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Mirror of criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        fast().bench_function("counting", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3, "warm-up + samples must run the routine, got {}", calls);
+    }
+
+    #[test]
+    fn groups_compose_names_and_run() {
+        let mut c = fast();
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher { iters: 3, elapsed: Duration::ZERO };
+        b.iter(|| std::thread::sleep(Duration::from_micros(200)));
+        assert!(b.elapsed >= Duration::from_micros(600));
+    }
+}

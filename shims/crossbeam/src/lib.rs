@@ -1,0 +1,257 @@
+//! Offline shim for [crossbeam](https://crates.io/crates/crossbeam).
+//!
+//! Provides `channel::{bounded, unbounded}` MPMC channels with cloneable
+//! senders *and* receivers, built on `Mutex<VecDeque>` + two condvars. The
+//! semantics the workspace relies on are preserved:
+//!
+//! * `send` blocks while the buffer is full and errors once every receiver
+//!   is gone (returning the rejected value);
+//! * `recv` blocks while the buffer is empty and errors once every sender
+//!   is gone *and* the buffer has drained;
+//! * dropping all receivers wakes blocked senders and vice versa.
+
+/// MPMC channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are dropped;
+    /// carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty (senders still connected).
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create a channel buffering at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
+    }
+
+    /// Create a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { buf: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is enqueued (or every receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = st.cap.is_some_and(|c| st.buf.len() >= c.max(1));
+                if !full {
+                    st.buf.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.not_full.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives (or every sender is gone and the
+        /// buffer has drained).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            match st.buf.pop_front() {
+                Some(v) => {
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().buf.len()
+        }
+
+        /// True if no messages are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // wake receivers blocked on an empty buffer so they observe EOF
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // wake senders blocked on a full buffer so they observe the hangup
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drops() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let producer = std::thread::spawn(move || tx.send(1).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(producer.join().unwrap());
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_full_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let producer = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(producer.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_totals() {
+        let (tx, rx) = bounded(2);
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..3u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..2 {
+                let rx = rx.clone();
+                let total = &total;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let expect: u64 = (0..3u64).map(|p| (0..50).map(|i| p * 1000 + i).sum::<u64>()).sum();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), expect);
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline shim for [parking_lot](https://crates.io/crates/parking_lot).
+//!
+//! Wraps the standard-library locks behind parking_lot's non-poisoning API
+//! (`lock()`/`read()`/`write()` return guards directly). Lock poisoning is
+//! converted to a panic on acquisition, matching the practical behaviour of
+//! code written against parking_lot: a panicking critical section is a bug
+//! either way.
+
+use std::sync::{self, LockResult};
+
+/// Ignore poison: the thread that poisoned the lock already panicked, and
+/// these locks guard plain data (no invariants that survive a panic).
+fn unpoison<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Mutual exclusion lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard type for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+/// Reader-writer lock with parking_lot's infallible API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared guard type for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive guard type for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let l = std::sync::Arc::new(RwLock::new(0usize));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = std::sync::Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*l.read(), 400);
+    }
+}

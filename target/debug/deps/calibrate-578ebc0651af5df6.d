@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-578ebc0651af5df6.d: crates/repro/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-578ebc0651af5df6.rmeta: crates/repro/src/bin/calibrate.rs Cargo.toml
+
+crates/repro/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-af4ab08929b04f0e.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-af4ab08929b04f0e: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

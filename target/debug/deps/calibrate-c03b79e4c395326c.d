@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-c03b79e4c395326c.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-c03b79e4c395326c: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-161fac0f4e7ce3e4.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-161fac0f4e7ce3e4: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-3c02f7757fd63c6c.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-3c02f7757fd63c6c: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-fc76835a3b219d02.d: tests/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-fc76835a3b219d02.rmeta: tests/cross_validation.rs Cargo.toml
+
+tests/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

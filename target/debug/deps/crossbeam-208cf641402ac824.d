@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-208cf641402ac824.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-208cf641402ac824.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-208cf641402ac824.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

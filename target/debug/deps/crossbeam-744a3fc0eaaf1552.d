@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-744a3fc0eaaf1552.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-744a3fc0eaaf1552.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datagen-cb0e2a407cbd1982.d: crates/bench/benches/datagen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen-cb0e2a407cbd1982.rmeta: crates/bench/benches/datagen.rs Cargo.toml
+
+crates/bench/benches/datagen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4acf069d13c5115d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4acf069d13c5115d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

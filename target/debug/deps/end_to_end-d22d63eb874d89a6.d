@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d22d63eb874d89a6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d22d63eb874d89a6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-2761e515903c2cac.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-2761e515903c2cac: tests/experiments.rs
+
+tests/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-90f819e6b28ef960.d: tests/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-90f819e6b28ef960.rmeta: tests/experiments.rs Cargo.toml
+
+tests/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-afe2a76e50e99bdb.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-afe2a76e50e99bdb: tests/experiments.rs
+
+tests/experiments.rs:

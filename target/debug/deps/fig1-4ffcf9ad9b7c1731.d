@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-4ffcf9ad9b7c1731.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-4ffcf9ad9b7c1731: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-8e726a9809bfe6e5.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-8e726a9809bfe6e5: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-4ba1468889f1d92a.d: crates/repro/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-4ba1468889f1d92a.rmeta: crates/repro/src/bin/fig2.rs Cargo.toml
+
+crates/repro/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-8cbadf047f6cddc5.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-8cbadf047f6cddc5: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

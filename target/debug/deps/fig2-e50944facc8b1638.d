@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-e50944facc8b1638.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-e50944facc8b1638: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-41087ffcd1bf3c55.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-41087ffcd1bf3c55: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

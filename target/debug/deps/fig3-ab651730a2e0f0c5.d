@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-ab651730a2e0f0c5.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-ab651730a2e0f0c5: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-1b39758484984a53.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-1b39758484984a53: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ccbd66ac9de857d8.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ccbd66ac9de857d8: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-14ec8bbcf8b5bdeb.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-14ec8bbcf8b5bdeb: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

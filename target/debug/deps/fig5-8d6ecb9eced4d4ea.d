@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-8d6ecb9eced4d4ea.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-8d6ecb9eced4d4ea: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-1f311e602f1bea83.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-1f311e602f1bea83: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

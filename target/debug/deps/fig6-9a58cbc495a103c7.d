@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9a58cbc495a103c7.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9a58cbc495a103c7: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

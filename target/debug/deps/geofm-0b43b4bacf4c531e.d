@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm-0b43b4bacf4c531e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm-0b43b4bacf4c531e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

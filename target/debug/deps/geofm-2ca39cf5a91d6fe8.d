@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm-2ca39cf5a91d6fe8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-2ca39cf5a91d6fe8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-2ca39cf5a91d6fe8.rmeta: src/lib.rs
+
+src/lib.rs:

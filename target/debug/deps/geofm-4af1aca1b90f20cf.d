@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm-4af1aca1b90f20cf.d: src/lib.rs
+
+/root/repo/target/debug/deps/geofm-4af1aca1b90f20cf: src/lib.rs
+
+src/lib.rs:

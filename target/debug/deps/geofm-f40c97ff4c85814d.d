@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm-f40c97ff4c85814d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-f40c97ff4c85814d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-f40c97ff4c85814d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm-f5538a03ac33bd4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/geofm-f5538a03ac33bd4b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm_bench-26e074f80382d8dc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-26e074f80382d8dc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-26e074f80382d8dc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

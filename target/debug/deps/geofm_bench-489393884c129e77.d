@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_bench-489393884c129e77.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/geofm_bench-489393884c129e77: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm_bench-c53d581486925024.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-c53d581486925024.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-c53d581486925024.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_bench-f5c4f9e2ce7fc604.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/geofm_bench-f5c4f9e2ce7fc604: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

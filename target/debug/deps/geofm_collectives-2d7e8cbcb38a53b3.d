@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_collectives-2d7e8cbcb38a53b3.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/debug/deps/libgeofm_collectives-2d7e8cbcb38a53b3.rlib: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/debug/deps/libgeofm_collectives-2d7e8cbcb38a53b3.rmeta: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/group.rs:
+crates/collectives/src/hierarchy.rs:
+crates/collectives/src/ring.rs:
+crates/collectives/src/traffic.rs:

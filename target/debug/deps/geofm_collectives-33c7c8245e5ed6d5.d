@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_collectives-33c7c8245e5ed6d5.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/debug/deps/geofm_collectives-33c7c8245e5ed6d5: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/group.rs:
+crates/collectives/src/hierarchy.rs:
+crates/collectives/src/ring.rs:
+crates/collectives/src/traffic.rs:

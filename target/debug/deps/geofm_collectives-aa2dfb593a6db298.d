@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_collectives-aa2dfb593a6db298.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/debug/deps/libgeofm_collectives-aa2dfb593a6db298.rlib: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/debug/deps/libgeofm_collectives-aa2dfb593a6db298.rmeta: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/group.rs:
+crates/collectives/src/hierarchy.rs:
+crates/collectives/src/ring.rs:
+crates/collectives/src/traffic.rs:

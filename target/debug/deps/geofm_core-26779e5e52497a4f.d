@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_core-26779e5e52497a4f.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/geofm_core-26779e5e52497a4f: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

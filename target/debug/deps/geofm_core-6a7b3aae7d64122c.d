@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_core-6a7b3aae7d64122c.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/libgeofm_core-6a7b3aae7d64122c.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/libgeofm_core-6a7b3aae7d64122c.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

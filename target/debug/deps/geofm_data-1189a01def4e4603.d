@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_data-1189a01def4e4603.d: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_data-1189a01def4e4603.rmeta: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/datasets.rs:
+crates/data/src/loader.rs:
+crates/data/src/scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

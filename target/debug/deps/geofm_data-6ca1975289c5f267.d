@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_data-6ca1975289c5f267.d: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/geofm_data-6ca1975289c5f267: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/datasets.rs:
+crates/data/src/loader.rs:
+crates/data/src/scene.rs:

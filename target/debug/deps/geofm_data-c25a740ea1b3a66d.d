@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_data-c25a740ea1b3a66d.d: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/libgeofm_data-c25a740ea1b3a66d.rlib: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/libgeofm_data-c25a740ea1b3a66d.rmeta: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/datasets.rs:
+crates/data/src/loader.rs:
+crates/data/src/scene.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/geofm_mae-f57cb2956f4f27d2.d: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_mae-f57cb2956f4f27d2.rmeta: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs Cargo.toml
+
+crates/mae/src/lib.rs:
+crates/mae/src/fewshot.rs:
+crates/mae/src/finetune.rs:
+crates/mae/src/mask.rs:
+crates/mae/src/model.rs:
+crates/mae/src/pretrain.rs:
+crates/mae/src/probe.rs:
+crates/mae/src/segmentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/geofm_nn-7b20dcbb631b4c5d.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_nn-7b20dcbb631b4c5d.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/block.rs:
+crates/nn/src/embed.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

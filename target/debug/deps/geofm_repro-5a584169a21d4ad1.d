@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm_repro-5a584169a21d4ad1.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-5a584169a21d4ad1.rlib: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-5a584169a21d4ad1.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_repro-930ba866d315c0a1.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/geofm_repro-930ba866d315c0a1: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

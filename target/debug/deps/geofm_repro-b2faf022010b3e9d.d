@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm_repro-b2faf022010b3e9d.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-b2faf022010b3e9d.rlib: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-b2faf022010b3e9d.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

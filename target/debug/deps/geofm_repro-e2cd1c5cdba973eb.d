@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_repro-e2cd1c5cdba973eb.d: crates/repro/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_repro-e2cd1c5cdba973eb.rmeta: crates/repro/src/lib.rs Cargo.toml
+
+crates/repro/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

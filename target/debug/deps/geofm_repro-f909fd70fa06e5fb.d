@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_repro-f909fd70fa06e5fb.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/geofm_repro-f909fd70fa06e5fb: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_telemetry-4788eeb0d209c416.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/geofm_telemetry-4788eeb0d209c416: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timer.rs:
+crates/telemetry/src/trace.rs:

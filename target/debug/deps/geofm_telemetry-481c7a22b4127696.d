@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_telemetry-481c7a22b4127696.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_telemetry-481c7a22b4127696.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timer.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_telemetry-a5ca2c28282441d0.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libgeofm_telemetry-a5ca2c28282441d0.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libgeofm_telemetry-a5ca2c28282441d0.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timer.rs:
+crates/telemetry/src/trace.rs:

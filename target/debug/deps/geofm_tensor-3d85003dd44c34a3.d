@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geofm_tensor-3d85003dd44c34a3.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libgeofm_tensor-3d85003dd44c34a3.rlib: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libgeofm_tensor-3d85003dd44c34a3.rmeta: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/tensor.rs:

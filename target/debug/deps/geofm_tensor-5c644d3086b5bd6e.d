@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_tensor-5c644d3086b5bd6e.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/geofm_tensor-5c644d3086b5bd6e: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/tensor.rs:

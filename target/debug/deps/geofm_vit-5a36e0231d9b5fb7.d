@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_vit-5a36e0231d9b5fb7.d: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/debug/deps/libgeofm_vit-5a36e0231d9b5fb7.rlib: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/debug/deps/libgeofm_vit-5a36e0231d9b5fb7.rmeta: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/config.rs:
+crates/vit/src/flops.rs:
+crates/vit/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_vit-7b9589a63b1132fd.d: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_vit-7b9589a63b1132fd.rmeta: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs Cargo.toml
+
+crates/vit/src/lib.rs:
+crates/vit/src/config.rs:
+crates/vit/src/flops.rs:
+crates/vit/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_vit-a22755262f807971.d: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/debug/deps/libgeofm_vit-a22755262f807971.rmeta: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/config.rs:
+crates/vit/src/flops.rs:
+crates/vit/src/model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_vit-e3d97fbfec882c0f.d: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/debug/deps/geofm_vit-e3d97fbfec882c0f: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/config.rs:
+crates/vit/src/flops.rs:
+crates/vit/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-af07177069201d92.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-af07177069201d92.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-83059fd3049a7657.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-83059fd3049a7657.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-83059fd3049a7657.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f30080f8b22552f3.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-f30080f8b22552f3: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-02b36060516592d6.d: crates/collectives/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-02b36060516592d6: crates/collectives/tests/proptests.rs
+
+crates/collectives/tests/proptests.rs:

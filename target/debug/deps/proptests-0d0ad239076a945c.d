@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0d0ad239076a945c.d: crates/fsdp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0d0ad239076a945c: crates/fsdp/tests/proptests.rs
+
+crates/fsdp/tests/proptests.rs:

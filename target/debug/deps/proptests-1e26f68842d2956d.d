@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1e26f68842d2956d.d: crates/fsdp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1e26f68842d2956d.rmeta: crates/fsdp/tests/proptests.rs Cargo.toml
+
+crates/fsdp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-25683bb11300b1e9.d: crates/fsdp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-25683bb11300b1e9: crates/fsdp/tests/proptests.rs
+
+crates/fsdp/tests/proptests.rs:

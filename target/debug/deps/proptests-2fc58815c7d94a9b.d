@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2fc58815c7d94a9b.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2fc58815c7d94a9b.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

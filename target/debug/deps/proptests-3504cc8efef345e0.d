@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3504cc8efef345e0.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3504cc8efef345e0: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

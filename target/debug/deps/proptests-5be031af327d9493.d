@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5be031af327d9493.d: crates/frontier/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5be031af327d9493: crates/frontier/tests/proptests.rs
+
+crates/frontier/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-73730599d8b7109a.d: crates/collectives/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-73730599d8b7109a: crates/collectives/tests/proptests.rs
+
+crates/collectives/tests/proptests.rs:

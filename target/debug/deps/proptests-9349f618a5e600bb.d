@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9349f618a5e600bb.d: crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9349f618a5e600bb.rmeta: crates/nn/tests/proptests.rs Cargo.toml
+
+crates/nn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bd5e6dcfcd760ebd.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bd5e6dcfcd760ebd: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

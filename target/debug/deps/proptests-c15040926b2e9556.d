@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c15040926b2e9556.d: crates/frontier/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c15040926b2e9556: crates/frontier/tests/proptests.rs
+
+crates/frontier/tests/proptests.rs:

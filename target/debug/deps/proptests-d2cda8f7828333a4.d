@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d2cda8f7828333a4.d: crates/fsdp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d2cda8f7828333a4: crates/fsdp/tests/proptests.rs
+
+crates/fsdp/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f4917cfbb476353e.d: crates/collectives/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f4917cfbb476353e.rmeta: crates/collectives/tests/proptests.rs Cargo.toml
+
+crates/collectives/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-31df9e7144a534f1.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-31df9e7144a534f1: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-36dabadfa1ca845f.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-36dabadfa1ca845f.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

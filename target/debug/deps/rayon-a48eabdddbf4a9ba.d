@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-a48eabdddbf4a9ba.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-a48eabdddbf4a9ba.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

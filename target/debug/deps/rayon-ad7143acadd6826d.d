@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-ad7143acadd6826d.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ad7143acadd6826d.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ad7143acadd6826d.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1a169bf876bed54c.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1a169bf876bed54c: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-dd87f9c7bcdb7414.d: crates/repro/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-dd87f9c7bcdb7414.rmeta: crates/repro/src/bin/table1.rs Cargo.toml
+
+crates/repro/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

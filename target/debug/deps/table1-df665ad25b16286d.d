@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-df665ad25b16286d.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-df665ad25b16286d: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-5ed382a7461a8d28.d: crates/repro/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-5ed382a7461a8d28.rmeta: crates/repro/src/bin/table2.rs Cargo.toml
+
+crates/repro/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

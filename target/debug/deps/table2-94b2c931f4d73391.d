@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-94b2c931f4d73391.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-94b2c931f4d73391: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

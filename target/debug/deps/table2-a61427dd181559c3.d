@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a61427dd181559c3.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a61427dd181559c3: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2cf3615e2e96f4e8.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2cf3615e2e96f4e8: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

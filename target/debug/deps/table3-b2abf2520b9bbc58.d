@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-b2abf2520b9bbc58.d: crates/repro/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-b2abf2520b9bbc58.rmeta: crates/repro/src/bin/table3.rs Cargo.toml
+
+crates/repro/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

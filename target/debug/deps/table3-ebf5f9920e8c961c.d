@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-ebf5f9920e8c961c.d: crates/repro/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-ebf5f9920e8c961c.rmeta: crates/repro/src/bin/table3.rs Cargo.toml
+
+crates/repro/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

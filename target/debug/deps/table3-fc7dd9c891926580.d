@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-fc7dd9c891926580.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-fc7dd9c891926580: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

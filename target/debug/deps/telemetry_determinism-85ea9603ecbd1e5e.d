@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_determinism-85ea9603ecbd1e5e.d: tests/telemetry_determinism.rs
+
+/root/repo/target/debug/deps/telemetry_determinism-85ea9603ecbd1e5e: tests/telemetry_determinism.rs
+
+tests/telemetry_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_volume-902b93dac8a6e79b.d: tests/telemetry_volume.rs
+
+/root/repo/target/debug/deps/telemetry_volume-902b93dac8a6e79b: tests/telemetry_volume.rs
+
+tests/telemetry_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_pretrain-20eb3025d3dcc81f.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/debug/deps/tune_pretrain-20eb3025d3dcc81f: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

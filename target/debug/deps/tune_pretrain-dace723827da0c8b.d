@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune_pretrain-dace723827da0c8b.d: crates/repro/src/bin/tune_pretrain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune_pretrain-dace723827da0c8b.rmeta: crates/repro/src/bin/tune_pretrain.rs Cargo.toml
+
+crates/repro/src/bin/tune_pretrain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_pretrain-f6816191ed53ebf6.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/debug/deps/tune_pretrain-f6816191ed53ebf6: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

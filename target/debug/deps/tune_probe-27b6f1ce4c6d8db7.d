@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_probe-27b6f1ce4c6d8db7.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/debug/deps/tune_probe-27b6f1ce4c6d8db7: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

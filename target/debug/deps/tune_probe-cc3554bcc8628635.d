@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_probe-cc3554bcc8628635.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/debug/deps/tune_probe-cc3554bcc8628635: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

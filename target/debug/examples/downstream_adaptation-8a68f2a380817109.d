@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/downstream_adaptation-8a68f2a380817109.d: examples/downstream_adaptation.rs
+
+/root/repo/target/debug/examples/downstream_adaptation-8a68f2a380817109: examples/downstream_adaptation.rs
+
+examples/downstream_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/downstream_adaptation-cbe621b574d6b2f6.d: examples/downstream_adaptation.rs
+
+/root/repo/target/debug/examples/downstream_adaptation-cbe621b574d6b2f6: examples/downstream_adaptation.rs
+
+examples/downstream_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frontier_scaling-01ac6f895724fa57.d: examples/frontier_scaling.rs
+
+/root/repo/target/debug/examples/frontier_scaling-01ac6f895724fa57: examples/frontier_scaling.rs
+
+examples/frontier_scaling.rs:

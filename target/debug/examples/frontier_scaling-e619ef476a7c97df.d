@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frontier_scaling-e619ef476a7c97df.d: examples/frontier_scaling.rs
+
+/root/repo/target/debug/examples/frontier_scaling-e619ef476a7c97df: examples/frontier_scaling.rs
+
+examples/frontier_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_equivalence-97363cf6f1e2aab8.d: examples/fsdp_equivalence.rs
+
+/root/repo/target/debug/examples/fsdp_equivalence-97363cf6f1e2aab8: examples/fsdp_equivalence.rs
+
+examples/fsdp_equivalence.rs:

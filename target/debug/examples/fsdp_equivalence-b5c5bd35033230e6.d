@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_equivalence-b5c5bd35033230e6.d: examples/fsdp_equivalence.rs
+
+/root/repo/target/debug/examples/fsdp_equivalence-b5c5bd35033230e6: examples/fsdp_equivalence.rs
+
+examples/fsdp_equivalence.rs:

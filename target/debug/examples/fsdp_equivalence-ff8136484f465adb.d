@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fsdp_equivalence-ff8136484f465adb.d: examples/fsdp_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfsdp_equivalence-ff8136484f465adb.rmeta: examples/fsdp_equivalence.rs Cargo.toml
+
+examples/fsdp_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/geospatial_classification-92757d4cbdcaa858.d: examples/geospatial_classification.rs
+
+/root/repo/target/debug/examples/geospatial_classification-92757d4cbdcaa858: examples/geospatial_classification.rs
+
+examples/geospatial_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/geospatial_classification-9d2c6c5051185ea0.d: examples/geospatial_classification.rs
+
+/root/repo/target/debug/examples/geospatial_classification-9d2c6c5051185ea0: examples/geospatial_classification.rs
+
+examples/geospatial_classification.rs:

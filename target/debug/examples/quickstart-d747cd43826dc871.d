@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d747cd43826dc871.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d747cd43826dc871: examples/quickstart.rs
+
+examples/quickstart.rs:

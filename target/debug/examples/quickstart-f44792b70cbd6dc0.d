@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f44792b70cbd6dc0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f44792b70cbd6dc0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-7ef67e0a0a5cc822.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-7ef67e0a0a5cc822: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-fda4fd3a20978896.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-fda4fd3a20978896: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-12951bc71c37d64c.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-12951bc71c37d64c.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-12951bc71c37d64c.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

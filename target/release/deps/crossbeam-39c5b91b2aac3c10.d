@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-39c5b91b2aac3c10.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-39c5b91b2aac3c10.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-39c5b91b2aac3c10.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

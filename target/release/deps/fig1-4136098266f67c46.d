@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-4136098266f67c46.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-4136098266f67c46: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

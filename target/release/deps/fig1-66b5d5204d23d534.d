@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-66b5d5204d23d534.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-66b5d5204d23d534: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

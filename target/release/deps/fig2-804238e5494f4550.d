@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-804238e5494f4550.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-804238e5494f4550: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

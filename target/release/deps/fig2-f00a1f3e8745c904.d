@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-f00a1f3e8745c904.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-f00a1f3e8745c904: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-6ad69dff2c8044fc.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-6ad69dff2c8044fc: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-b1c4871634611ae7.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-b1c4871634611ae7: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-07805ff4b08b967c.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-07805ff4b08b967c: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

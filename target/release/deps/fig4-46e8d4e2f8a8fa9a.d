@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-46e8d4e2f8a8fa9a.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-46e8d4e2f8a8fa9a: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-47c711dd039cdc12.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-47c711dd039cdc12: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

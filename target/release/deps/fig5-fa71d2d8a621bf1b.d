@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-fa71d2d8a621bf1b.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-fa71d2d8a621bf1b: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

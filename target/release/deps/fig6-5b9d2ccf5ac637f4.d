@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-5b9d2ccf5ac637f4.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-5b9d2ccf5ac637f4: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-aa9a8d3422e5b186.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-aa9a8d3422e5b186: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

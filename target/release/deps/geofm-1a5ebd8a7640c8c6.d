@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm-1a5ebd8a7640c8c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libgeofm-1a5ebd8a7640c8c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgeofm-1a5ebd8a7640c8c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm-6ebb4de8ece97850.d: src/lib.rs
+
+/root/repo/target/release/deps/libgeofm-6ebb4de8ece97850.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgeofm-6ebb4de8ece97850.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm_bench-459484e1b9cdc437.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_bench-459484e1b9cdc437.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_bench-459484e1b9cdc437.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

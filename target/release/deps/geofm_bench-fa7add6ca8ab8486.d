@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm_bench-fa7add6ca8ab8486.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_bench-fa7add6ca8ab8486.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_bench-fa7add6ca8ab8486.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/geofm_collectives-fa474602c1f2818c.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/release/deps/libgeofm_collectives-fa474602c1f2818c.rlib: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/release/deps/libgeofm_collectives-fa474602c1f2818c.rmeta: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/group.rs:
+crates/collectives/src/hierarchy.rs:
+crates/collectives/src/ring.rs:
+crates/collectives/src/traffic.rs:

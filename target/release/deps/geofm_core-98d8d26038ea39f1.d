@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geofm_core-98d8d26038ea39f1.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/release/deps/libgeofm_core-98d8d26038ea39f1.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/release/deps/libgeofm_core-98d8d26038ea39f1.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geofm_data-bb608912562ae90d.d: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/libgeofm_data-bb608912562ae90d.rlib: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/libgeofm_data-bb608912562ae90d.rmeta: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/datasets.rs:
+crates/data/src/loader.rs:
+crates/data/src/scene.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geofm_data-fade0a3a55555379.d: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/libgeofm_data-fade0a3a55555379.rlib: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/release/deps/libgeofm_data-fade0a3a55555379.rmeta: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/datasets.rs:
+crates/data/src/loader.rs:
+crates/data/src/scene.rs:

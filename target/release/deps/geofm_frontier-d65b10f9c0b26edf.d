@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/geofm_frontier-d65b10f9c0b26edf.d: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/release/deps/libgeofm_frontier-d65b10f9c0b26edf.rlib: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/release/deps/libgeofm_frontier-d65b10f9c0b26edf.rmeta: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/analytic.rs:
+crates/frontier/src/engine.rs:
+crates/frontier/src/io.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/memory.rs:
+crates/frontier/src/power.rs:
+crates/frontier/src/schedule.rs:
+crates/frontier/src/sim.rs:
+crates/frontier/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/geofm_fsdp-b73feca59ac4b8bc.d: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/release/deps/libgeofm_fsdp-b73feca59ac4b8bc.rlib: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/release/deps/libgeofm_fsdp-b73feca59ac4b8bc.rmeta: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+crates/fsdp/src/lib.rs:
+crates/fsdp/src/flat.rs:
+crates/fsdp/src/rank.rs:
+crates/fsdp/src/strategy.rs:
+crates/fsdp/src/trainer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geofm_mae-65c14215a9a7eabc.d: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs
+
+/root/repo/target/release/deps/libgeofm_mae-65c14215a9a7eabc.rlib: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs
+
+/root/repo/target/release/deps/libgeofm_mae-65c14215a9a7eabc.rmeta: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs
+
+crates/mae/src/lib.rs:
+crates/mae/src/fewshot.rs:
+crates/mae/src/finetune.rs:
+crates/mae/src/mask.rs:
+crates/mae/src/model.rs:
+crates/mae/src/pretrain.rs:
+crates/mae/src/probe.rs:
+crates/mae/src/segmentation.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/geofm_nn-973b896a2724afe0.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs
+
+/root/repo/target/release/deps/libgeofm_nn-973b896a2724afe0.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs
+
+/root/repo/target/release/deps/libgeofm_nn-973b896a2724afe0.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/block.rs:
+crates/nn/src/embed.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/schedule.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm_repro-1d5302d4efb74ce4.d: crates/repro/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_repro-1d5302d4efb74ce4.rlib: crates/repro/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_repro-1d5302d4efb74ce4.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

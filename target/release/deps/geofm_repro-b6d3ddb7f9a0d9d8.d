@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm_repro-b6d3ddb7f9a0d9d8.d: crates/repro/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_repro-b6d3ddb7f9a0d9d8.rlib: crates/repro/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_repro-b6d3ddb7f9a0d9d8.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

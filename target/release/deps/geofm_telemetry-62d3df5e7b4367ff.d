@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geofm_telemetry-62d3df5e7b4367ff.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libgeofm_telemetry-62d3df5e7b4367ff.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libgeofm_telemetry-62d3df5e7b4367ff.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timer.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/geofm_tensor-665f685179851693.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libgeofm_tensor-665f685179851693.rlib: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libgeofm_tensor-665f685179851693.rmeta: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/tensor.rs:

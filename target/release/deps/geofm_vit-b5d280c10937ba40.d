@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geofm_vit-b5d280c10937ba40.d: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/release/deps/libgeofm_vit-b5d280c10937ba40.rlib: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/release/deps/libgeofm_vit-b5d280c10937ba40.rmeta: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/config.rs:
+crates/vit/src/flops.rs:
+crates/vit/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e08f23eda7a792df.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e08f23eda7a792df.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e08f23eda7a792df.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

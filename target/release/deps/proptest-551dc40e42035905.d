@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-551dc40e42035905.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-551dc40e42035905.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-551dc40e42035905.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

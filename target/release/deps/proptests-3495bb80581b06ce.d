@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3495bb80581b06ce.d: crates/fsdp/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3495bb80581b06ce: crates/fsdp/tests/proptests.rs
+
+crates/fsdp/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a3bbf90fe07efb35.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a3bbf90fe07efb35.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a3bbf90fe07efb35.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

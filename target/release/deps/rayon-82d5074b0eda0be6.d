@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-82d5074b0eda0be6.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-82d5074b0eda0be6.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-82d5074b0eda0be6.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1536c030579e07bf.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1536c030579e07bf: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-40946e615b8e21af.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-40946e615b8e21af: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-57064d40696b3cc6.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-57064d40696b3cc6: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

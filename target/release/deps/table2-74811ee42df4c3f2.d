@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-74811ee42df4c3f2.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-74811ee42df4c3f2: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

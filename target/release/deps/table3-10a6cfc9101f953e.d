@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-10a6cfc9101f953e.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-10a6cfc9101f953e: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

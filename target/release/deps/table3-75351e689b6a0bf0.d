@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-75351e689b6a0bf0.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-75351e689b6a0bf0: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_pretrain-0e4670cd71c2416f.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/release/deps/tune_pretrain-0e4670cd71c2416f: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_pretrain-de606117187d57e2.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/release/deps/tune_pretrain-de606117187d57e2: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_probe-9655ee3cf735cd19.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/release/deps/tune_probe-9655ee3cf735cd19: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_probe-a37c7df06688f381.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/release/deps/tune_probe-a37c7df06688f381: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:
