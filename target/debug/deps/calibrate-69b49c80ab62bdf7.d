@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-69b49c80ab62bdf7.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-69b49c80ab62bdf7.rmeta: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-6cab7efeb5ecb2f2.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/libcalibrate-6cab7efeb5ecb2f2.rmeta: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

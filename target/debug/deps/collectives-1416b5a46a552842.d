@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-1416b5a46a552842.d: crates/bench/benches/collectives.rs
+
+/root/repo/target/debug/deps/libcollectives-1416b5a46a552842.rmeta: crates/bench/benches/collectives.rs
+
+crates/bench/benches/collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-73d0d457f83fb32f.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-73d0d457f83fb32f.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

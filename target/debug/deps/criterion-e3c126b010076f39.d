@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e3c126b010076f39.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e3c126b010076f39.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-9a7c0790a49d3d34.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/libcross_validation-9a7c0790a49d3d34.rmeta: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-e75a387401c7f7f4.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e75a387401c7f7f4.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datagen-a141da1ddc806514.d: crates/bench/benches/datagen.rs
+
+/root/repo/target/debug/deps/libdatagen-a141da1ddc806514.rmeta: crates/bench/benches/datagen.rs
+
+crates/bench/benches/datagen.rs:

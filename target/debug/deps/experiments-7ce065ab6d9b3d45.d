@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7ce065ab6d9b3d45.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-7ce065ab6d9b3d45.rmeta: tests/experiments.rs
+
+tests/experiments.rs:

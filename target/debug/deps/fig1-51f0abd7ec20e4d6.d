@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-51f0abd7ec20e4d6.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-51f0abd7ec20e4d6.rmeta: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-bde4a8662cfc6937.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-bde4a8662cfc6937.rmeta: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

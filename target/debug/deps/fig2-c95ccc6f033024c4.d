@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-c95ccc6f033024c4.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-c95ccc6f033024c4.rmeta: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

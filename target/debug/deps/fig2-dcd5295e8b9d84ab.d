@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-dcd5295e8b9d84ab.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-dcd5295e8b9d84ab.rmeta: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-53a391f373a99f76.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-53a391f373a99f76.rmeta: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f8298866d061c76b.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-f8298866d061c76b.rmeta: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-d4fc7d1ce3515b8f.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-d4fc7d1ce3515b8f.rmeta: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-f5f051b68e18d900.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-f5f051b68e18d900.rmeta: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

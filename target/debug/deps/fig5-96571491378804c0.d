@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-96571491378804c0.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-96571491378804c0.rmeta: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

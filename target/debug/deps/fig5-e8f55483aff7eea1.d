@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e8f55483aff7eea1.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-e8f55483aff7eea1.rmeta: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3fa27e3cd96ca869.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-3fa27e3cd96ca869.rmeta: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

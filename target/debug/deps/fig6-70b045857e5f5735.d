@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-70b045857e5f5735.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-70b045857e5f5735.rmeta: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

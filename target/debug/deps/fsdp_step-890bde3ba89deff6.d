@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsdp_step-890bde3ba89deff6.d: crates/bench/benches/fsdp_step.rs
+
+/root/repo/target/debug/deps/libfsdp_step-890bde3ba89deff6.rmeta: crates/bench/benches/fsdp_step.rs
+
+crates/bench/benches/fsdp_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm-3c98beeb1ed58559.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-3c98beeb1ed58559.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm-91171bee6bec84fa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-91171bee6bec84fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_bench-5b4191f09aac46c1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-5b4191f09aac46c1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

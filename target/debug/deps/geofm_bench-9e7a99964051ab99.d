@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_bench-9e7a99964051ab99.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-9e7a99964051ab99.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

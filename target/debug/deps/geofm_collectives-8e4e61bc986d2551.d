@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_collectives-8e4e61bc986d2551.d: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+/root/repo/target/debug/deps/libgeofm_collectives-8e4e61bc986d2551.rmeta: crates/collectives/src/lib.rs crates/collectives/src/barrier.rs crates/collectives/src/group.rs crates/collectives/src/hierarchy.rs crates/collectives/src/ring.rs crates/collectives/src/traffic.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/barrier.rs:
+crates/collectives/src/group.rs:
+crates/collectives/src/hierarchy.rs:
+crates/collectives/src/ring.rs:
+crates/collectives/src/traffic.rs:

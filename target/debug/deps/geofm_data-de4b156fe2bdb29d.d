@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_data-de4b156fe2bdb29d.d: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+/root/repo/target/debug/deps/libgeofm_data-de4b156fe2bdb29d.rmeta: crates/data/src/lib.rs crates/data/src/datasets.rs crates/data/src/loader.rs crates/data/src/scene.rs
+
+crates/data/src/lib.rs:
+crates/data/src/datasets.rs:
+crates/data/src/loader.rs:
+crates/data/src/scene.rs:

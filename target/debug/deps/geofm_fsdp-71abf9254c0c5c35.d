@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_fsdp-71abf9254c0c5c35.d: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/debug/deps/libgeofm_fsdp-71abf9254c0c5c35.rmeta: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+crates/fsdp/src/lib.rs:
+crates/fsdp/src/flat.rs:
+crates/fsdp/src/rank.rs:
+crates/fsdp/src/strategy.rs:
+crates/fsdp/src/trainer.rs:

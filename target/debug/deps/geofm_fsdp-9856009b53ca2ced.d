@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_fsdp-9856009b53ca2ced.d: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/debug/deps/libgeofm_fsdp-9856009b53ca2ced.rmeta: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+crates/fsdp/src/lib.rs:
+crates/fsdp/src/flat.rs:
+crates/fsdp/src/rank.rs:
+crates/fsdp/src/strategy.rs:
+crates/fsdp/src/trainer.rs:

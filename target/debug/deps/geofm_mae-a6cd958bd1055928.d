@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_mae-a6cd958bd1055928.d: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs
+
+/root/repo/target/debug/deps/libgeofm_mae-a6cd958bd1055928.rmeta: crates/mae/src/lib.rs crates/mae/src/fewshot.rs crates/mae/src/finetune.rs crates/mae/src/mask.rs crates/mae/src/model.rs crates/mae/src/pretrain.rs crates/mae/src/probe.rs crates/mae/src/segmentation.rs
+
+crates/mae/src/lib.rs:
+crates/mae/src/fewshot.rs:
+crates/mae/src/finetune.rs:
+crates/mae/src/mask.rs:
+crates/mae/src/model.rs:
+crates/mae/src/pretrain.rs:
+crates/mae/src/probe.rs:
+crates/mae/src/segmentation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/geofm_nn-8dc52749745fb919.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs
+
+/root/repo/target/debug/deps/libgeofm_nn-8dc52749745fb919.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/block.rs crates/nn/src/embed.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/norm.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/schedule.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/block.rs:
+crates/nn/src/embed.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/schedule.rs:

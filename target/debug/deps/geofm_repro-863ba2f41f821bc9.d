@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_repro-863ba2f41f821bc9.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-863ba2f41f821bc9.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_repro-c03baa250e8f3894.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-c03baa250e8f3894.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

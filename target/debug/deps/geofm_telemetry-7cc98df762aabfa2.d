@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_telemetry-7cc98df762aabfa2.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libgeofm_telemetry-7cc98df762aabfa2.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/timer.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/timer.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_tensor-e94fdd4a4b69fc01.d: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libgeofm_tensor-e94fdd4a4b69fc01.rmeta: crates/tensor/src/lib.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/random.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_vit-afe0e251f1596141.d: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+/root/repo/target/debug/deps/libgeofm_vit-afe0e251f1596141.rmeta: crates/vit/src/lib.rs crates/vit/src/config.rs crates/vit/src/flops.rs crates/vit/src/model.rs
+
+crates/vit/src/lib.rs:
+crates/vit/src/config.rs:
+crates/vit/src/flops.rs:
+crates/vit/src/model.rs:

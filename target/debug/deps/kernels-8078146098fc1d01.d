@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-8078146098fc1d01.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-8078146098fc1d01.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

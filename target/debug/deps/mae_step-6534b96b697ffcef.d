@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mae_step-6534b96b697ffcef.d: crates/bench/benches/mae_step.rs
+
+/root/repo/target/debug/deps/libmae_step-6534b96b697ffcef.rmeta: crates/bench/benches/mae_step.rs
+
+crates/bench/benches/mae_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-330eeda79f68eb1c.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-330eeda79f68eb1c.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

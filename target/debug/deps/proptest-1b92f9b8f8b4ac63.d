@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1b92f9b8f8b4ac63.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1b92f9b8f8b4ac63.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6ef4bc1b3069e0b3.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6ef4bc1b3069e0b3.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-453f77f28a218903.d: crates/fsdp/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-453f77f28a218903.rmeta: crates/fsdp/tests/proptests.rs
+
+crates/fsdp/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6f3bca8b10158bba.d: crates/collectives/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-6f3bca8b10158bba.rmeta: crates/collectives/tests/proptests.rs
+
+crates/collectives/tests/proptests.rs:

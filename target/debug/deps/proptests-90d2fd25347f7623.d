@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-90d2fd25347f7623.d: crates/frontier/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-90d2fd25347f7623.rmeta: crates/frontier/tests/proptests.rs
+
+crates/frontier/tests/proptests.rs:

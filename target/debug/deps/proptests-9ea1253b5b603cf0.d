@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9ea1253b5b603cf0.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-9ea1253b5b603cf0.rmeta: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a9894aea15a9b10e.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-a9894aea15a9b10e.rmeta: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

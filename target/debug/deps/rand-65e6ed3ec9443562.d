@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-65e6ed3ec9443562.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-65e6ed3ec9443562.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

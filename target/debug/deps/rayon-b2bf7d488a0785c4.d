@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-b2bf7d488a0785c4.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b2bf7d488a0785c4.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

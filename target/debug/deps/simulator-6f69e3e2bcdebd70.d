@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-6f69e3e2bcdebd70.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/libsimulator-6f69e3e2bcdebd70.rmeta: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4b26071c9959e033.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4b26071c9959e033.rmeta: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

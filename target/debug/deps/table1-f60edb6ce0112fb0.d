@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f60edb6ce0112fb0.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-f60edb6ce0112fb0.rmeta: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

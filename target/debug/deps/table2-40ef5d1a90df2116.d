@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-40ef5d1a90df2116.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-40ef5d1a90df2116.rmeta: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

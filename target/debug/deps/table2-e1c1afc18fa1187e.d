@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e1c1afc18fa1187e.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-e1c1afc18fa1187e.rmeta: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

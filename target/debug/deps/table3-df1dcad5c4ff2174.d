@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-df1dcad5c4ff2174.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-df1dcad5c4ff2174.rmeta: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f9d40e000d3e6601.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-f9d40e000d3e6601.rmeta: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_determinism-89629b6cf6ee5a17.d: tests/telemetry_determinism.rs
+
+/root/repo/target/debug/deps/libtelemetry_determinism-89629b6cf6ee5a17.rmeta: tests/telemetry_determinism.rs
+
+tests/telemetry_determinism.rs:

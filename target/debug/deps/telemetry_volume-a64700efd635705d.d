@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_volume-a64700efd635705d.d: tests/telemetry_volume.rs
+
+/root/repo/target/debug/deps/libtelemetry_volume-a64700efd635705d.rmeta: tests/telemetry_volume.rs
+
+tests/telemetry_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_pretrain-40aebd387ecea315.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/debug/deps/libtune_pretrain-40aebd387ecea315.rmeta: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_pretrain-d32e522d55ff986d.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/debug/deps/libtune_pretrain-d32e522d55ff986d.rmeta: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

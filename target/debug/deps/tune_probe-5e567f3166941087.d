@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_probe-5e567f3166941087.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/debug/deps/libtune_probe-5e567f3166941087.rmeta: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_probe-a2881ab862901b30.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/debug/deps/libtune_probe-a2881ab862901b30.rmeta: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

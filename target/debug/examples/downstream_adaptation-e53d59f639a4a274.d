@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/downstream_adaptation-e53d59f639a4a274.d: examples/downstream_adaptation.rs
+
+/root/repo/target/debug/examples/libdownstream_adaptation-e53d59f639a4a274.rmeta: examples/downstream_adaptation.rs
+
+examples/downstream_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frontier_scaling-63498ddb472ac709.d: examples/frontier_scaling.rs
+
+/root/repo/target/debug/examples/libfrontier_scaling-63498ddb472ac709.rmeta: examples/frontier_scaling.rs
+
+examples/frontier_scaling.rs:

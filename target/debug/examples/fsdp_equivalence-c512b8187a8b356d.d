@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_equivalence-c512b8187a8b356d.d: examples/fsdp_equivalence.rs
+
+/root/repo/target/debug/examples/libfsdp_equivalence-c512b8187a8b356d.rmeta: examples/fsdp_equivalence.rs
+
+examples/fsdp_equivalence.rs:

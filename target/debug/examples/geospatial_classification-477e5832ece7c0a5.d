@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/geospatial_classification-477e5832ece7c0a5.d: examples/geospatial_classification.rs
+
+/root/repo/target/debug/examples/libgeospatial_classification-477e5832ece7c0a5.rmeta: examples/geospatial_classification.rs
+
+examples/geospatial_classification.rs:

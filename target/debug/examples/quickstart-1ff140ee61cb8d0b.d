@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ff140ee61cb8d0b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-1ff140ee61cb8d0b.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:
