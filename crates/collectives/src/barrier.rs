@@ -4,8 +4,38 @@
 //! the standard HPC pattern (one shared counter + a phase flag, no mutex,
 //! no condvar on the fast path) and gives us spin-then-yield waiting which
 //! is what a busy rank thread wants.
+//!
+//! For fault tolerance the barrier is *poisonable*: when a rank dies (or a
+//! waiter times out), the barrier is permanently poisoned and every current
+//! and future waiter returns [`RankLost`] within a bounded delay instead of
+//! spinning forever — the poison path that lets an FSDP job abort a step
+//! cleanly when a peer thread panics.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A peer of this group died or stopped responding; the group is poisoned
+/// and no further collectives can complete on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankLost {
+    /// The group was poisoned (a peer panicked, crashed, or timed out
+    /// elsewhere) — observed without waiting out a local timeout.
+    Poisoned,
+    /// This waiter's own bounded wait expired; it poisoned the group so
+    /// every peer unblocks too.
+    Timeout,
+}
+
+impl std::fmt::Display for RankLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Poisoned => write!(f, "peer rank lost: group poisoned"),
+            Self::Timeout => write!(f, "peer rank lost: barrier wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RankLost {}
 
 /// A counter-based sense-reversing barrier for a fixed number of parties.
 #[derive(Debug)]
@@ -13,6 +43,7 @@ pub struct SenseBarrier {
     parties: usize,
     count: AtomicUsize,
     sense: AtomicBool,
+    poisoned: AtomicBool,
 }
 
 impl SenseBarrier {
@@ -22,7 +53,12 @@ impl SenseBarrier {
     /// Panics if `parties == 0`.
     pub fn new(parties: usize) -> Self {
         assert!(parties > 0, "barrier needs at least one party");
-        Self { parties, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+        Self {
+            parties,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
     }
 
     /// Number of participating threads.
@@ -30,9 +66,37 @@ impl SenseBarrier {
         self.parties
     }
 
+    /// Permanently poison the barrier: every current and future waiter
+    /// returns [`RankLost::Poisoned`]. Idempotent.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Block until all parties arrive. The last arriver flips the sense and
     /// releases everyone; the barrier is immediately reusable.
+    ///
+    /// # Panics
+    /// Panics if the barrier is (or becomes) poisoned — the infallible API
+    /// cannot report a lost rank. Fault-tolerant callers use
+    /// [`SenseBarrier::wait_timeout`].
     pub fn wait(&self) {
+        self.wait_timeout(None).expect("barrier poisoned while waiting");
+    }
+
+    /// Block until all parties arrive, the barrier is poisoned, or
+    /// `timeout` expires. On timeout the waiter poisons the barrier before
+    /// returning, so one lost rank unblocks the whole group within one
+    /// timeout period. `None` waits indefinitely (but still observes
+    /// poisoning by peers).
+    pub fn wait_timeout(&self, timeout: Option<Duration>) -> Result<(), RankLost> {
+        if self.is_poisoned() {
+            return Err(RankLost::Poisoned);
+        }
         let my_sense = !self.sense.load(Ordering::Acquire);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
@@ -40,16 +104,33 @@ impl SenseBarrier {
             // publishes all writes made by every party before the barrier).
             self.count.store(0, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
+            if self.is_poisoned() {
+                return Err(RankLost::Poisoned);
+            }
+            Ok(())
         } else {
+            let deadline = timeout.map(|t| Instant::now() + t);
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
+                if self.is_poisoned() {
+                    return Err(RankLost::Poisoned);
+                }
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
                 } else {
                     std::thread::yield_now();
+                    if let Some(d) = deadline {
+                        // Instant::now() after a yield: the syscall cost is
+                        // already paid, the clock read is noise next to it
+                        if Instant::now() >= d {
+                            self.poison();
+                            return Err(RankLost::Timeout);
+                        }
+                    }
                 }
             }
+            Ok(())
         }
     }
 }
@@ -121,5 +202,72 @@ mod tests {
     #[should_panic(expected = "at least one party")]
     fn zero_parties_rejected() {
         let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn timeout_with_missing_party_returns_rank_lost() {
+        // one party never arrives: the waiter must time out, not hang
+        let b = SenseBarrier::new(2);
+        let start = Instant::now();
+        let r = b.wait_timeout(Some(Duration::from_millis(50)));
+        assert_eq!(r, Err(RankLost::Timeout));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn poison_releases_all_waiters() {
+        let parties = 4;
+        // barrier sized for one more party than will ever arrive
+        let barrier = Arc::new(SenseBarrier::new(parties + 1));
+        let handles: Vec<_> = (0..parties)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || barrier.wait_timeout(Some(Duration::from_secs(30))))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        barrier.poison();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert!(r.is_err(), "waiter must be released with an error");
+        }
+    }
+
+    #[test]
+    fn poisoned_barrier_fails_fast_forever() {
+        let b = SenseBarrier::new(3);
+        b.poison();
+        for _ in 0..5 {
+            assert_eq!(b.wait_timeout(None), Err(RankLost::Poisoned));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn infallible_wait_panics_on_poison() {
+        let b = SenseBarrier::new(2);
+        b.poison();
+        b.wait();
+    }
+
+    #[test]
+    fn one_timeout_cascades_to_peers_within_bound() {
+        // 3 of 4 parties arrive; the first to time out poisons, releasing
+        // the other two well before their own (long) timeouts.
+        let barrier = Arc::new(SenseBarrier::new(4));
+        let start = Instant::now();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                let timeout =
+                    if i == 0 { Duration::from_millis(50) } else { Duration::from_secs(60) };
+                std::thread::spawn(move || barrier.wait_timeout(Some(timeout)))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().is_err());
+        }
+        assert!(start.elapsed() < Duration::from_secs(10), "cascade must be fast");
     }
 }

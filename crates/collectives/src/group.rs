@@ -1,10 +1,20 @@
 //! Process groups and the direct (chunk-parallel) collectives.
+//!
+//! Every collective comes in two flavours: the classic infallible form
+//! (`all_reduce`, …) used by code that assumes a healthy world, and a
+//! fallible `try_*` form that returns [`RankLost`] when a peer of the
+//! group has died or stopped responding. The fallible path is what the
+//! resilient FSDP trainer drives: a handle configured via
+//! [`RankHandle::with_timeout`] bounds every internal barrier wait, and a
+//! rank that detects a failure calls [`RankHandle::poison`] so all peers
+//! unblock within one timeout period instead of deadlocking.
 
-use crate::barrier::SenseBarrier;
+use crate::barrier::{RankLost, SenseBarrier};
 use crate::ring;
 use crate::traffic::{CollectiveKind, TrafficCounter};
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which collective algorithm a handle uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +44,7 @@ pub struct Group {
 pub struct RankHandle {
     rank: usize,
     algorithm: Algorithm,
+    timeout: Option<Duration>,
     group: Arc<Group>,
 }
 
@@ -64,7 +75,12 @@ impl Group {
             traffic,
         });
         (0..size)
-            .map(|rank| RankHandle { rank, algorithm: Algorithm::Direct, group: Arc::clone(&group) })
+            .map(|rank| RankHandle {
+                rank,
+                algorithm: Algorithm::Direct,
+                timeout: None,
+                group: Arc::clone(&group),
+            })
             .collect()
     }
 
@@ -91,14 +107,49 @@ impl RankHandle {
         self
     }
 
+    /// Bound every internal barrier wait of this handle's collectives. A
+    /// wait that exceeds `timeout` poisons the group and returns
+    /// [`RankLost::Timeout`] from the `try_*` call. `None` (the default)
+    /// waits indefinitely but still observes poisoning by peers.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The configured per-barrier timeout, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// Poison the group: every current and future collective on any peer's
+    /// handle fails with [`RankLost::Poisoned`]. Called by a rank that is
+    /// about to die (panic, injected crash) so peers unblock promptly.
+    pub fn poison(&self) {
+        self.group.barrier.poison();
+    }
+
+    /// Whether the group has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.group.barrier.is_poisoned()
+    }
+
     /// The group's traffic counter.
     pub fn traffic(&self) -> Arc<TrafficCounter> {
         Arc::clone(&self.group.traffic)
     }
 
     /// Synchronise all ranks of the group.
+    ///
+    /// # Panics
+    /// Panics if the group is poisoned (see [`RankHandle::try_barrier`]).
     pub fn barrier(&self) {
-        self.group.barrier.wait();
+        self.try_barrier().expect("collective failed: peer rank lost");
+    }
+
+    /// Synchronise all ranks; `Err(RankLost)` if the group is poisoned or
+    /// this handle's timeout expires first.
+    pub fn try_barrier(&self) -> Result<(), RankLost> {
+        self.group.barrier.wait_timeout(self.timeout)
     }
 
     fn record(&self, kind: CollectiveKind, elems: usize) {
@@ -107,10 +158,19 @@ impl RankHandle {
     }
 
     /// Sum-reduce `buf` across all ranks; every rank ends with the total.
+    ///
+    /// # Panics
+    /// Panics if a peer rank is lost (see [`RankHandle::try_all_reduce`]).
     pub fn all_reduce(&self, buf: &mut [f32]) {
+        self.try_all_reduce(buf).expect("collective failed: peer rank lost");
+    }
+
+    /// Fallible [`RankHandle::all_reduce`]. On `Err` the contents of `buf`
+    /// are unspecified (partially reduced) and the group is poisoned.
+    pub fn try_all_reduce(&self, buf: &mut [f32]) -> Result<(), RankLost> {
         self.record(CollectiveKind::AllReduce, buf.len());
         if self.group.size == 1 {
-            return;
+            return Ok(());
         }
         match self.algorithm {
             Algorithm::Direct => self.all_reduce_direct(buf),
@@ -118,12 +178,12 @@ impl RankHandle {
         }
     }
 
-    fn all_reduce_direct(&self, buf: &mut [f32]) {
+    fn all_reduce_direct(&self, buf: &mut [f32]) -> Result<(), RankLost> {
         let g = &*self.group;
         let n = g.size;
         // 1. publish
         *g.mailboxes[self.rank].write() = buf.to_vec();
-        self.barrier();
+        self.try_barrier()?;
         // 2. reduce own chunk across all mailboxes
         let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
         {
@@ -137,51 +197,69 @@ impl RankHandle {
             }
             *g.chunk_results[self.rank].write() = acc;
         }
-        self.barrier();
+        self.try_barrier()?;
         // 3. gather all reduced chunks
         for r in 0..n {
             let (clo, chi) = chunk_bounds(buf.len(), n, r);
             let res = g.chunk_results[r].read();
             buf[clo..chi].copy_from_slice(&res);
         }
-        self.barrier();
+        self.try_barrier()
     }
 
     /// Gather equal-length shards from every rank; `out` is resized to
     /// `size · local.len()` and filled in rank order.
+    ///
+    /// # Panics
+    /// Panics if a peer rank is lost (see [`RankHandle::try_all_gather`]).
     pub fn all_gather(&self, local: &[f32], out: &mut Vec<f32>) {
+        self.try_all_gather(local, out).expect("collective failed: peer rank lost");
+    }
+
+    /// Fallible [`RankHandle::all_gather`]. On `Err` the contents of `out`
+    /// are unspecified and the group is poisoned.
+    pub fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
         let n = self.group.size;
         out.resize(n * local.len(), 0.0);
         self.record(CollectiveKind::AllGather, out.len());
         if n == 1 {
             out.copy_from_slice(local);
-            return;
+            return Ok(());
         }
         let g = &*self.group;
         *g.mailboxes[self.rank].write() = local.to_vec();
-        self.barrier();
+        self.try_barrier()?;
         for r in 0..n {
             let mb = g.mailboxes[r].read();
             debug_assert_eq!(mb.len(), local.len(), "all-gather shards must be equal length");
             out[r * local.len()..(r + 1) * local.len()].copy_from_slice(&mb);
         }
-        self.barrier();
+        self.try_barrier()
     }
 
     /// Sum-reduce `buf` and leave this rank with its owned chunk
     /// (`chunk_bounds(buf.len(), size, rank)`), written into `out`.
+    ///
+    /// # Panics
+    /// Panics if a peer rank is lost (see [`RankHandle::try_reduce_scatter`]).
     pub fn reduce_scatter(&self, buf: &[f32], out: &mut Vec<f32>) {
+        self.try_reduce_scatter(buf, out).expect("collective failed: peer rank lost");
+    }
+
+    /// Fallible [`RankHandle::reduce_scatter`]. On `Err` the contents of
+    /// `out` are unspecified and the group is poisoned.
+    pub fn try_reduce_scatter(&self, buf: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
         let n = self.group.size;
         self.record(CollectiveKind::ReduceScatter, buf.len());
         let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
         out.resize(hi - lo, 0.0);
         if n == 1 {
             out.copy_from_slice(buf);
-            return;
+            return Ok(());
         }
         let g = &*self.group;
         *g.mailboxes[self.rank].write() = buf.to_vec();
-        self.barrier();
+        self.try_barrier()?;
         out.iter_mut().for_each(|v| *v = 0.0);
         for m in &g.mailboxes {
             let mb = m.read();
@@ -190,27 +268,36 @@ impl RankHandle {
                 *o += v;
             }
         }
-        self.barrier();
+        self.try_barrier()
     }
 
     /// Copy `root`'s buffer to every rank.
+    ///
+    /// # Panics
+    /// Panics if a peer rank is lost (see [`RankHandle::try_broadcast`]).
     pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        self.try_broadcast(buf, root).expect("collective failed: peer rank lost");
+    }
+
+    /// Fallible [`RankHandle::broadcast`]. On `Err` the contents of `buf`
+    /// are unspecified and the group is poisoned.
+    pub fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), RankLost> {
         assert!(root < self.group.size, "broadcast root out of range");
         self.record(CollectiveKind::Broadcast, buf.len());
         if self.group.size == 1 {
-            return;
+            return Ok(());
         }
         let g = &*self.group;
         if self.rank == root {
             *g.mailboxes[root].write() = buf.to_vec();
         }
-        self.barrier();
+        self.try_barrier()?;
         if self.rank != root {
             let mb = g.mailboxes[root].read();
             debug_assert_eq!(mb.len(), buf.len(), "broadcast buffers must be equal length");
             buf.copy_from_slice(&mb);
         }
-        self.barrier();
+        self.try_barrier()
     }
 
     pub(crate) fn mailbox_write(&self, rank: usize, data: &[f32]) {
@@ -386,6 +473,56 @@ mod tests {
                 let mut b = vec![h.rank() as f32; 3];
                 h.broadcast(&mut b, 0);
                 assert!(b.iter().all(|&v| v == 0.0));
+            }
+        });
+    }
+
+    #[test]
+    fn dead_rank_surfaces_rank_lost_on_all_peers() {
+        // rank 3 never calls the collective: every survivor must get
+        // Err(RankLost) within a bounded wait instead of deadlocking.
+        let handles = Group::create(4);
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for h in handles.into_iter().take(3) {
+                s.spawn(move || {
+                    let h = h.with_timeout(Some(Duration::from_millis(100)));
+                    let mut buf = vec![1.0f32; 8];
+                    let r = h.try_all_reduce(&mut buf);
+                    assert!(r.is_err(), "rank {} must observe the lost peer", h.rank());
+                });
+            }
+        });
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn poisoned_group_fails_every_collective() {
+        let handles = Group::create(2);
+        handles[0].poison();
+        let h = handles[1].clone();
+        let mut buf = vec![1.0f32; 4];
+        assert!(h.try_all_reduce(&mut buf).is_err());
+        let mut out = Vec::new();
+        assert!(h.try_all_gather(&buf, &mut out).is_err());
+        assert!(h.try_reduce_scatter(&buf, &mut out).is_err());
+        assert!(h.try_broadcast(&mut buf, 0).is_err());
+        assert!(h.try_barrier().is_err());
+        assert!(h.is_poisoned());
+    }
+
+    #[test]
+    fn ring_algorithm_times_out_on_dead_rank() {
+        let handles = Group::create(3);
+        std::thread::scope(|s| {
+            for h in handles.into_iter().take(2) {
+                s.spawn(move || {
+                    let h = h
+                        .with_algorithm(Algorithm::Ring)
+                        .with_timeout(Some(Duration::from_millis(100)));
+                    let mut buf = vec![1.0f32; 6];
+                    assert!(h.try_all_reduce(&mut buf).is_err());
+                });
             }
         });
     }

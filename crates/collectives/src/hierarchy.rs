@@ -6,6 +6,7 @@
 use crate::group::{Group, RankHandle};
 use crate::traffic::TrafficCounter;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shape of a two-level hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,32 @@ pub struct RankGroups {
     pub shard: RankHandle,
     /// This rank's replica group (same shard position across shard groups).
     pub replica: RankHandle,
+}
+
+impl RankGroups {
+    /// Bound every barrier wait in all three groups' collectives (see
+    /// [`RankHandle::with_timeout`]). Used by the resilient trainer so a
+    /// lost rank surfaces as `Err(RankLost)` instead of a deadlock.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.world = self.world.with_timeout(timeout);
+        self.shard = self.shard.with_timeout(timeout);
+        self.replica = self.replica.with_timeout(timeout);
+        self
+    }
+
+    /// Poison all three groups this rank belongs to. A dying rank calls
+    /// this so every peer — whichever group it is currently blocked in —
+    /// unblocks within one timeout period.
+    pub fn poison_all(&self) {
+        self.world.poison();
+        self.shard.poison();
+        self.replica.poison();
+    }
+
+    /// Whether any of this rank's groups has been poisoned.
+    pub fn any_poisoned(&self) -> bool {
+        self.world.is_poisoned() || self.shard.is_poisoned() || self.replica.is_poisoned()
+    }
 }
 
 /// Factory for group hierarchies.

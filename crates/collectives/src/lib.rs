@@ -26,7 +26,7 @@ pub mod hierarchy;
 pub mod ring;
 pub mod traffic;
 
-pub use barrier::SenseBarrier;
+pub use barrier::{RankLost, SenseBarrier};
 pub use group::{Algorithm, Group, RankHandle};
 pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};
 pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};

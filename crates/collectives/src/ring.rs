@@ -5,11 +5,14 @@
 //! benchmarks compare the two movement patterns. Only all-reduce has a ring
 //! variant here; the other collectives always use the direct algorithm.
 
+use crate::barrier::RankLost;
 use crate::group::{chunk_bounds, RankHandle};
 
 /// Ring all-reduce over the handle's group. Called from
-/// [`RankHandle::all_reduce`] when the algorithm is `Ring`.
-pub(crate) fn all_reduce_ring(h: &RankHandle, buf: &mut [f32]) {
+/// [`RankHandle::all_reduce`] when the algorithm is `Ring`. Fallible: each
+/// ring step synchronises through the handle's (possibly timeout-bounded)
+/// barrier, so a dead peer surfaces as `Err(RankLost)` mid-ring.
+pub(crate) fn all_reduce_ring(h: &RankHandle, buf: &mut [f32]) -> Result<(), RankLost> {
     let n = h.size();
     let r = h.rank();
     debug_assert!(n > 1);
@@ -25,14 +28,14 @@ pub(crate) fn all_reduce_ring(h: &RankHandle, buf: &mut [f32]) {
         let recv_c = (r + n - s - 1) % n;
         let (slo, shi) = chunk(send_c);
         h.mailbox_write(r, &buf[slo..shi]);
-        h.barrier();
+        h.try_barrier()?;
         h.mailbox_read((r + n - 1) % n, &mut incoming);
         let (rlo, rhi) = chunk(recv_c);
         debug_assert_eq!(incoming.len(), rhi - rlo);
         for (dst, &src) in buf[rlo..rhi].iter_mut().zip(&incoming) {
             *dst += src;
         }
-        h.barrier();
+        h.try_barrier()?;
     }
 
     // Phase 2: all-gather ring circulating the reduced chunks.
@@ -41,13 +44,14 @@ pub(crate) fn all_reduce_ring(h: &RankHandle, buf: &mut [f32]) {
         let recv_c = (r + n - s) % n;
         let (slo, shi) = chunk(send_c);
         h.mailbox_write(r, &buf[slo..shi]);
-        h.barrier();
+        h.try_barrier()?;
         h.mailbox_read((r + n - 1) % n, &mut incoming);
         let (rlo, rhi) = chunk(recv_c);
         debug_assert_eq!(incoming.len(), rhi - rlo);
         buf[rlo..rhi].copy_from_slice(&incoming);
-        h.barrier();
+        h.try_barrier()?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,19 +1,32 @@
 //! Encoder checkpointing: save/load pretrained weights so the experiment
 //! binaries (fig5 / fig6 / table3) share one pretraining run.
 //!
-//! Format (version 1, little-endian):
-//! `GEOFMCK1 | u64 key-hash | u64 n_params | n_params × f32 |
-//!  u64 n_loss | n_loss × (u64 step, f32 loss) | u64 n_eval | …`
+//! Format (version 2, little-endian):
+//!
+//! ```text
+//! GEOFMCK2 | u64 payload_len | payload | u32 crc32(payload)
+//! payload := u64 key-hash | u64 n_params | n_params × f32
+//!          | u64 n_loss | n_loss × (u64 step, f32 loss) | u64 n_eval | …
+//! ```
+//!
+//! Writes are crash-safe (tmp sibling + fsync + rename via
+//! [`geofm_resilience::atomic_write`]); loads validate the CRC32 footer and
+//! reject any truncated, bit-rotted, or stale-format file by returning
+//! `None` — a corrupt cache means retrain, never a poisoned experiment.
+//!
+//! All functions come in two forms: `*_in(dir, …)` taking the results
+//! directory explicitly (tests, embedding callers), and an env-reading
+//! wrapper using `GEOFM_RESULTS` (the repro binaries' convention).
 
 use crate::pipeline::PretrainOutcome;
 use crate::recipe::RecipeConfig;
 use geofm_nn::Module;
+use geofm_resilience::{atomic_write, crc32};
 use geofm_tensor::TensorRng;
 use geofm_vit::{VitConfig, VitModel};
-use std::io::{Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"GEOFMCK1";
+const MAGIC: &[u8; 8] = b"GEOFMCK2";
 
 /// A stable hash of everything that determines a pretraining run.
 fn run_key(cfg: &VitConfig, rc: &RecipeConfig) -> u64 {
@@ -37,61 +50,80 @@ fn run_key(cfg: &VitConfig, rc: &RecipeConfig) -> u64 {
     h
 }
 
-/// Directory for checkpoints (under the results dir).
-fn checkpoint_dir() -> PathBuf {
-    let base = std::env::var("GEOFM_RESULTS").unwrap_or_else(|_| "results".into());
-    let p = PathBuf::from(base).join("checkpoints");
-    let _ = std::fs::create_dir_all(&p);
-    p
+/// The default results directory: `$GEOFM_RESULTS`, or `results/`.
+pub fn default_results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("GEOFM_RESULTS").unwrap_or_else(|_| "results".into()))
 }
 
-fn checkpoint_path(cfg: &VitConfig, rc: &RecipeConfig) -> PathBuf {
-    checkpoint_dir().join(format!("{}-{:016x}.ckpt", cfg.name, run_key(cfg, rc)))
+fn checkpoint_path_in(results_dir: &Path, cfg: &VitConfig, rc: &RecipeConfig) -> PathBuf {
+    results_dir.join("checkpoints").join(format!("{}-{:016x}.ckpt", cfg.name, run_key(cfg, rc)))
 }
 
-/// Save a pretraining outcome.
-pub fn save(cfg: &VitConfig, rc: &RecipeConfig, out: &mut PretrainOutcome) -> std::io::Result<()> {
-    let path = checkpoint_path(cfg, rc);
+/// Save a pretraining outcome under `results_dir` (crash-safe write).
+pub fn save_in(
+    results_dir: &Path,
+    cfg: &VitConfig,
+    rc: &RecipeConfig,
+    out: &mut PretrainOutcome,
+) -> std::io::Result<()> {
+    let path = checkpoint_path_in(results_dir, cfg, rc);
     let mut flat = Vec::new();
     out.encoder.pack_values(&mut flat);
-    let mut buf: Vec<u8> =
+    let mut payload: Vec<u8> =
         Vec::with_capacity(16 + flat.len() * 4 + out.loss_curve.len() * 12);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&run_key(cfg, rc).to_le_bytes());
-    buf.extend_from_slice(&(flat.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&run_key(cfg, rc).to_le_bytes());
+    payload.extend_from_slice(&(flat.len() as u64).to_le_bytes());
     for v in &flat {
-        buf.extend_from_slice(&v.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
     }
-    let write_curve = |buf: &mut Vec<u8>, curve: &[(usize, f32)]| {
-        buf.extend_from_slice(&(curve.len() as u64).to_le_bytes());
+    let write_curve = |payload: &mut Vec<u8>, curve: &[(usize, f32)]| {
+        payload.extend_from_slice(&(curve.len() as u64).to_le_bytes());
         for &(s, l) in curve {
-            buf.extend_from_slice(&(s as u64).to_le_bytes());
-            buf.extend_from_slice(&l.to_le_bytes());
+            payload.extend_from_slice(&(s as u64).to_le_bytes());
+            payload.extend_from_slice(&l.to_le_bytes());
         }
     };
-    write_curve(&mut buf, &out.loss_curve);
-    write_curve(&mut buf, &out.eval_curve);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&buf)
+    write_curve(&mut payload, &out.loss_curve);
+    write_curve(&mut payload, &out.eval_curve);
+
+    let mut buf = Vec::with_capacity(20 + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    atomic_write(&path, &buf)
 }
 
-/// Try to load a cached pretraining outcome matching `(cfg, rc)`.
-pub fn load(cfg: &VitConfig, rc: &RecipeConfig) -> Option<PretrainOutcome> {
-    let path = checkpoint_path(cfg, rc);
-    let mut bytes = Vec::new();
-    std::fs::File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+/// Save a pretraining outcome under the default results dir.
+pub fn save(cfg: &VitConfig, rc: &RecipeConfig, out: &mut PretrainOutcome) -> std::io::Result<()> {
+    save_in(&default_results_dir(), cfg, rc, out)
+}
+
+/// Try to load a cached pretraining outcome matching `(cfg, rc)` from
+/// `results_dir`. Returns `None` for a missing, corrupt (CRC mismatch,
+/// truncation, stale magic), or mismatched-key checkpoint — never panics.
+pub fn load_in(results_dir: &Path, cfg: &VitConfig, rc: &RecipeConfig) -> Option<PretrainOutcome> {
+    let path = checkpoint_path_in(results_dir, cfg, rc);
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < 20 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
+    if bytes.len() != 16 + payload_len + 4 {
+        return None;
+    }
+    let payload = &bytes[16..16 + payload_len];
+    let stored_crc = u32::from_le_bytes(bytes[16 + payload_len..].try_into().ok()?);
+    if crc32(payload) != stored_crc {
+        return None;
+    }
+
     let mut off = 0usize;
     let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
-        if *off + n > bytes.len() {
-            return None;
-        }
-        let s = &bytes[*off..*off + n];
+        let s = payload.get(*off..*off + n)?;
         *off += n;
         Some(s)
     };
-    if take(&mut off, 8)? != MAGIC {
-        return None;
-    }
     let key = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
     if key != run_key(cfg, rc) {
         return None;
@@ -119,27 +151,43 @@ pub fn load(cfg: &VitConfig, rc: &RecipeConfig) -> Option<PretrainOutcome> {
     };
     let loss_curve = read_curve(&mut off)?;
     let eval_curve = read_curve(&mut off)?;
+    if off != payload.len() {
+        return None;
+    }
     Some(PretrainOutcome { encoder, loss_curve, eval_curve })
 }
 
-/// [`crate::pipeline::pretrain`] with a disk cache: loads a checkpoint when
-/// one exists for exactly this `(config, recipe)` pair, otherwise trains
-/// and saves. Disable with `GEOFM_NO_CACHE=1`.
-pub fn pretrain_cached(cfg: &VitConfig, rc: &RecipeConfig) -> PretrainOutcome {
-    let cache_enabled = std::env::var("GEOFM_NO_CACHE").is_err();
-    if cache_enabled {
-        if let Some(out) = load(cfg, rc) {
-            eprintln!("  (loaded cached checkpoint for {})", cfg.name);
-            return out;
-        }
+/// Try to load a cached pretraining outcome from the default results dir.
+pub fn load(cfg: &VitConfig, rc: &RecipeConfig) -> Option<PretrainOutcome> {
+    load_in(&default_results_dir(), cfg, rc)
+}
+
+/// [`crate::pipeline::pretrain`] with a disk cache rooted at `results_dir`:
+/// loads a checkpoint when one exists for exactly this `(config, recipe)`
+/// pair, otherwise trains and saves.
+pub fn pretrain_cached_in(
+    results_dir: &Path,
+    cfg: &VitConfig,
+    rc: &RecipeConfig,
+) -> PretrainOutcome {
+    if let Some(out) = load_in(results_dir, cfg, rc) {
+        eprintln!("  (loaded cached checkpoint for {})", cfg.name);
+        return out;
     }
     let mut out = crate::pipeline::pretrain(cfg, rc);
-    if cache_enabled {
-        if let Err(e) = save(cfg, rc, &mut out) {
-            eprintln!("  (checkpoint save failed: {})", e);
-        }
+    if let Err(e) = save_in(results_dir, cfg, rc, &mut out) {
+        eprintln!("  (checkpoint save failed: {})", e);
     }
     out
+}
+
+/// [`pretrain_cached_in`] rooted at the default results dir. Disable the
+/// cache entirely with `GEOFM_NO_CACHE=1`.
+pub fn pretrain_cached(cfg: &VitConfig, rc: &RecipeConfig) -> PretrainOutcome {
+    if std::env::var("GEOFM_NO_CACHE").is_ok() {
+        return crate::pipeline::pretrain(cfg, rc);
+    }
+    pretrain_cached_in(&default_results_dir(), cfg, rc)
 }
 
 #[cfg(test)]
@@ -155,14 +203,19 @@ mod tests {
         }
     }
 
+    fn test_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("geofm-ckpt-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn save_load_roundtrip() {
-        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-ckpt-test");
+        let dir = test_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
         let cfg = &VitConfig::tiny_family()[0];
         let rc = quick_rc();
         let mut out = crate::pipeline::pretrain(cfg, &rc);
-        save(cfg, &rc, &mut out).unwrap();
-        let loaded = load(cfg, &rc).expect("checkpoint must load");
+        save_in(&dir, cfg, &rc, &mut out).unwrap();
+        let loaded = load_in(&dir, cfg, &rc).expect("checkpoint must load");
         let mut a = Vec::new();
         let mut b = Vec::new();
         let mut enc1 = out.encoder;
@@ -172,7 +225,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(out.loss_curve, loaded.loss_curve);
         assert_eq!(out.eval_curve, loaded.eval_curve);
-        std::env::remove_var("GEOFM_RESULTS");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -188,11 +241,62 @@ mod tests {
 
     #[test]
     fn load_missing_returns_none() {
-        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-ckpt-none");
+        let dir = test_dir("missing");
+        let _ = std::fs::remove_dir_all(&dir);
         let cfg = &VitConfig::tiny_family()[1];
         let mut rc = quick_rc();
         rc.seed = 987654; // never trained
-        assert!(load(cfg, &rc).is_none());
-        std::env::remove_var("GEOFM_RESULTS");
+        assert!(load_in(&dir, cfg, &rc).is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_not_loaded() {
+        let dir = test_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = &VitConfig::tiny_family()[0];
+        let rc = quick_rc();
+        let mut out = crate::pipeline::pretrain(cfg, &rc);
+        save_in(&dir, cfg, &rc, &mut out).unwrap();
+        let path = checkpoint_path_in(&dir, cfg, &rc);
+        let good = std::fs::read(&path).unwrap();
+
+        // flip one bit in the middle of the parameter block
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(load_in(&dir, cfg, &rc).is_none(), "bit flip must be rejected");
+
+        // truncate
+        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+        assert!(load_in(&dir, cfg, &rc).is_none(), "truncation must be rejected");
+
+        // stale (v1) magic
+        let mut stale = good.clone();
+        stale[..8].copy_from_slice(b"GEOFMCK1");
+        std::fs::write(&path, &stale).unwrap();
+        assert!(load_in(&dir, cfg, &rc).is_none(), "stale magic must be rejected");
+
+        // restore and confirm the good bytes still load
+        std::fs::write(&path, &good).unwrap();
+        assert!(load_in(&dir, cfg, &rc).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_tmp_residue_after_save() {
+        let dir = test_dir("tmpres");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = &VitConfig::tiny_family()[0];
+        let rc = quick_rc();
+        let mut out = crate::pipeline::pretrain(cfg, &rc);
+        save_in(&dir, cfg, &rc, &mut out).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir.join("checkpoints"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "atomic save must not leave .tmp files");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,6 +16,6 @@ pub mod checkpoint;
 pub mod pipeline;
 pub mod recipe;
 
-pub use checkpoint::pretrain_cached;
+pub use checkpoint::{pretrain_cached, pretrain_cached_in};
 pub use pipeline::{pretrain, probe_dataset, DatasetProbe, PretrainOutcome, ProbePoint};
 pub use recipe::RecipeConfig;

@@ -1,0 +1,208 @@
+//! Failure/goodput modeling for Frontier-scale campaigns.
+//!
+//! Bridges the machine + workload models to `geofm-resilience`'s MTBF
+//! machinery: given a workload, derive the checkpoint write cost from the
+//! optimizer-state volume and the Lustre write bandwidth, then sweep
+//! checkpoint intervals across node counts to find where goodput peaks —
+//! and compare against the Young/Daly analytic optimum `τ* = √(2δM)`.
+//! The `figR` repro binary drives [`FaultModel::sweep`].
+
+use crate::workload::StepWorkload;
+use geofm_resilience::{
+    simulate_campaign, young_daly_interval, CampaignConfig, CampaignOutcome, NodeFailureModel,
+};
+
+/// Failure-environment description for a campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultModel {
+    /// Mean time between failures of a single node, in hours. Frontier-era
+    /// leadership systems report node MTBFs on the order of a few years;
+    /// the default (25 000 h ≈ 2.9 y) matches published OLCF failure data
+    /// for Summit-class nodes.
+    pub node_mtbf_hours: f64,
+    /// Aggregate sustained checkpoint *write* bandwidth to the parallel
+    /// filesystem (bytes/s). Lustre/Orion sustains O(5) TB/s reads; writes
+    /// from one job see a fraction — default 1 TB/s.
+    pub ckpt_write_bw: f64,
+    /// Restart cost: re-queue, re-init, checkpoint read-back (seconds).
+    pub restart_cost_s: f64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self { node_mtbf_hours: 25_000.0, ckpt_write_bw: 1e12, restart_cost_s: 300.0 }
+    }
+}
+
+/// One row of a goodput sweep: a (nodes, interval) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct GoodputPoint {
+    /// Nodes in the job.
+    pub nodes: usize,
+    /// Steps between checkpoints.
+    pub ckpt_every_steps: usize,
+    /// Simulated campaign accounting at this cell.
+    pub outcome: CampaignOutcome,
+}
+
+/// A full sweep for one node count, with both optima marked.
+#[derive(Debug, Clone)]
+pub struct GoodputSweep {
+    /// Nodes in the job.
+    pub nodes: usize,
+    /// System MTBF at this node count (seconds).
+    pub system_mtbf_s: f64,
+    /// Checkpoint write cost (seconds).
+    pub ckpt_cost_s: f64,
+    /// Analytic Young/Daly optimal interval, converted to steps.
+    pub young_daly_steps: usize,
+    /// The swept cells, in the order of `intervals`.
+    pub points: Vec<GoodputPoint>,
+    /// Interval (steps) with the best simulated goodput.
+    pub best_steps: usize,
+}
+
+impl FaultModel {
+    /// Per-node failure model in the units `geofm-resilience` wants.
+    pub fn node_failure(&self) -> NodeFailureModel {
+        NodeFailureModel { node_mtbf_s: self.node_mtbf_hours * 3600.0 }
+    }
+
+    /// Checkpoint write cost for a workload: the durable state is the
+    /// parameters plus two AdamW moment buffers (3 × f32 per parameter =
+    /// 12 bytes/param; `param_bytes` is already 4 bytes/param), streamed at
+    /// the configured filesystem write bandwidth.
+    pub fn checkpoint_cost_s(&self, workload: &StepWorkload) -> f64 {
+        let state_bytes = workload.param_bytes() as f64 * 3.0;
+        state_bytes / self.ckpt_write_bw
+    }
+
+    /// Young/Daly optimal interval for `nodes`, in steps of `step_time_s`.
+    pub fn young_daly_steps(&self, ckpt_cost_s: f64, step_time_s: f64, nodes: usize) -> usize {
+        let mtbf = self.node_failure().system_mtbf(nodes);
+        (young_daly_interval(ckpt_cost_s, mtbf) / step_time_s).round().max(1.0) as usize
+    }
+
+    /// Sweep checkpoint intervals for one node count, averaging the
+    /// simulated goodput over `seeds` failure realisations per cell.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep(
+        &self,
+        step_time_s: f64,
+        total_steps: usize,
+        nodes: usize,
+        ckpt_cost_s: f64,
+        intervals: &[usize],
+        seeds: u64,
+    ) -> GoodputSweep {
+        assert!(seeds > 0, "need at least one failure realisation");
+        let failure = self.node_failure();
+        let mut points = Vec::with_capacity(intervals.len());
+        let mut best = (0usize, f64::MIN);
+        for &interval in intervals {
+            let mut acc = CampaignOutcome::default();
+            for seed in 0..seeds {
+                let out = simulate_campaign(&CampaignConfig {
+                    step_time_s,
+                    total_steps,
+                    ckpt_every_steps: interval,
+                    ckpt_cost_s,
+                    restart_cost_s: self.restart_cost_s,
+                    nodes,
+                    failure,
+                    seed,
+                });
+                acc.wall_s += out.wall_s;
+                acc.useful_s += out.useful_s;
+                acc.ckpt_s += out.ckpt_s;
+                acc.rework_s += out.rework_s;
+                acc.restart_s += out.restart_s;
+                acc.failures += out.failures;
+            }
+            let n = seeds as f64;
+            let outcome = CampaignOutcome {
+                wall_s: acc.wall_s / n,
+                useful_s: acc.useful_s / n,
+                ckpt_s: acc.ckpt_s / n,
+                rework_s: acc.rework_s / n,
+                restart_s: acc.restart_s / n,
+                failures: (acc.failures as f64 / n).round() as u64,
+                goodput: (acc.useful_s / n) / (acc.wall_s / n),
+            };
+            if outcome.goodput > best.1 {
+                best = (interval, outcome.goodput);
+            }
+            points.push(GoodputPoint { nodes, ckpt_every_steps: interval, outcome });
+        }
+        GoodputSweep {
+            nodes,
+            system_mtbf_s: failure.system_mtbf(nodes),
+            ckpt_cost_s,
+            young_daly_steps: self.young_daly_steps(ckpt_cost_s, step_time_s, nodes),
+            points,
+            best_steps: best.0,
+        }
+    }
+}
+
+/// A geometric ladder of checkpoint intervals (in steps) spanning
+/// `lo..=hi`, roughly ×3 per rung — wide enough that the goodput peak and
+/// both flanks are visible at every node count.
+pub fn interval_ladder(lo: usize, hi: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut x = lo.max(1);
+    while x < hi {
+        v.push(x);
+        x = (x * 3).max(x + 1);
+    }
+    v.push(hi);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MaeWorkload;
+    use geofm_vit::{VitConfig, VitVariant};
+
+    #[test]
+    fn checkpoint_cost_scales_with_model_size() {
+        let fm = FaultModel::default();
+        let small = MaeWorkload::build(&VitConfig::table1(VitVariant::Base), 32, 0.75);
+        let big = MaeWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 0.75);
+        assert!(fm.checkpoint_cost_s(&big) > 10.0 * fm.checkpoint_cost_s(&small));
+    }
+
+    #[test]
+    fn young_daly_steps_shrink_with_node_count() {
+        let fm = FaultModel::default();
+        let few = fm.young_daly_steps(20.0, 1.0, 8);
+        let many = fm.young_daly_steps(20.0, 1.0, 512);
+        assert!(many < few, "more nodes → shorter optimal interval ({few} vs {many})");
+    }
+
+    #[test]
+    fn sweep_marks_best_and_contains_every_interval() {
+        let fm = FaultModel { node_mtbf_hours: 100.0, ..Default::default() };
+        let intervals = interval_ladder(10, 1000);
+        let sweep = fm.sweep(1.0, 2000, 64, 10.0, &intervals, 4);
+        assert_eq!(sweep.points.len(), intervals.len());
+        assert!(intervals.contains(&sweep.best_steps));
+        assert!(sweep.young_daly_steps >= 1);
+        let best = sweep
+            .points
+            .iter()
+            .find(|p| p.ckpt_every_steps == sweep.best_steps)
+            .unwrap();
+        for p in &sweep.points {
+            assert!(p.outcome.goodput <= best.outcome.goodput + 1e-12);
+        }
+    }
+
+    #[test]
+    fn interval_ladder_is_monotone() {
+        let l = interval_ladder(1, 3000);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*l.last().unwrap(), 3000);
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`power`] — rocm-smi-style power/utilisation traces from the DES
 //!   timeline (Figure 4 bottom panel).
 //! * [`io`] — the Lustre/data-loader throughput model (Figure 1 `io` curve).
+//! * [`faults`] — MTBF/goodput modeling on top of `geofm-resilience`:
+//!   checkpoint-interval sweeps with the Young/Daly analytic optimum.
 //! * [`sim`] — the top-level [`sim::simulate`] entry point.
 //! * [`analytic`] — a closed-form estimate used to cross-check the DES.
 //!
@@ -34,6 +36,7 @@
 
 pub mod analytic;
 pub mod engine;
+pub mod faults;
 pub mod io;
 pub mod machine;
 pub mod memory;
@@ -42,6 +45,7 @@ pub mod schedule;
 pub mod sim;
 pub mod workload;
 
+pub use faults::{interval_ladder, FaultModel, GoodputPoint, GoodputSweep};
 pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
 pub use memory::MemoryModel;
 pub use sim::{simulate, SimConfig, SimResult};

@@ -30,4 +30,7 @@ pub mod trainer;
 pub use flat::FlatLayout;
 pub use rank::{FsdpRank, StepReport};
 pub use strategy::{FsdpConfig, PrefetchPolicy, ShardingStrategy};
-pub use trainer::{run_data_parallel, run_data_parallel_with_telemetry, DistReport};
+pub use trainer::{
+    run_data_parallel, run_data_parallel_with_telemetry, try_run_data_parallel, DistReport,
+    ResilienceConfig,
+};

@@ -3,8 +3,8 @@
 
 use crate::flat::FlatLayout;
 use crate::strategy::{FsdpConfig, ShardingStrategy};
-use geofm_collectives::RankGroups;
-use geofm_nn::{AdamW, Module, Optimizer};
+use geofm_collectives::{RankGroups, RankLost};
+use geofm_nn::{AdamW, AdamWState, Module, Optimizer};
 use geofm_telemetry::Telemetry;
 use std::sync::Arc;
 
@@ -166,29 +166,47 @@ impl<M: Module> FsdpRank<M> {
     }
 
     /// All-gather every unit's parameters into the model.
-    fn gather_params(&mut self) {
+    fn try_gather_params(&mut self) -> Result<(), RankLost> {
         for u in 0..self.layout.num_units() {
             let r = self.owned_range(u);
-            self.groups.shard.all_gather(&self.owned_params[r], &mut self.gathered);
+            self.groups.shard.try_all_gather(&self.owned_params[r], &mut self.gathered)?;
             self.layout.write_gathered(&mut self.flat, u, &self.gathered);
         }
         self.model.unpack_values(&self.flat);
+        Ok(())
     }
 
     /// Re-issue the gathers for the backward pass (FULL_SHARD/HYBRID
     /// semantics). Numerically a no-op here — parameters are unchanged —
     /// but it reproduces the strategy's communication volume exactly.
-    fn regather_for_backward(&mut self) {
+    fn try_regather_for_backward(&mut self) -> Result<(), RankLost> {
         for u in 0..self.layout.num_units() {
             let r = self.owned_range(u);
-            self.groups.shard.all_gather(&self.owned_params[r], &mut self.gathered);
+            self.groups.shard.try_all_gather(&self.owned_params[r], &mut self.gathered)?;
         }
+        Ok(())
     }
 
     /// Run one collective training step. `compute` must zero grads, run
     /// forward + backward on this rank's microbatch, and return the local
     /// loss; the engine handles everything else.
+    ///
+    /// # Panics
+    /// Panics if a peer rank is lost mid-step (see [`FsdpRank::try_step`]).
     pub fn step(&mut self, lr: f32, compute: impl FnOnce(&mut M) -> f32) -> StepReport {
+        self.try_step(lr, compute).expect("distributed step failed: peer rank lost")
+    }
+
+    /// Fallible [`FsdpRank::step`]: a lost peer (poisoned group or barrier
+    /// timeout) surfaces as `Err(RankLost)`. On `Err` the model parameters
+    /// and optimizer state are those of the last *completed* step — a
+    /// failed step applies no partial update, so recovery can resume from
+    /// the previous checkpoint without unwinding half-applied state.
+    pub fn try_step(
+        &mut self,
+        lr: f32,
+        compute: impl FnOnce(&mut M) -> f32,
+    ) -> Result<StepReport, RankLost> {
         let tel = self.telemetry.clone();
         let tid = self.groups.rank as u64;
         let phase = |name: &str| tel.as_deref().map(|t| t.phase(name, tid));
@@ -199,7 +217,7 @@ impl<M: Module> FsdpRank<M> {
         // 1. materialise parameters
         {
             let _p = phase("fsdp.gather");
-            self.gather_params();
+            self.try_gather_params()?;
         }
 
         // 2. local compute
@@ -211,7 +229,7 @@ impl<M: Module> FsdpRank<M> {
         // 3. backward re-gather (strategy-dependent communication)
         if self.config.strategy.regathers_in_backward() && self.layout.shard_n > 1 {
             let _p = phase("fsdp.regather");
-            self.regather_for_backward();
+            self.try_regather_for_backward()?;
         }
 
         let _reduce_phase = phase("fsdp.reduce");
@@ -225,7 +243,7 @@ impl<M: Module> FsdpRank<M> {
                 let mut start = 0;
                 while start < self.grads.len() {
                     let end = (start + bucket_elems).min(self.grads.len());
-                    self.groups.replica.all_reduce(&mut self.grads[start..end]);
+                    self.groups.replica.try_all_reduce(&mut self.grads[start..end])?;
                     start = end;
                 }
                 self.owned_grads.extend_from_slice(&self.grads);
@@ -234,7 +252,7 @@ impl<M: Module> FsdpRank<M> {
                 // per-unit all-reduce (FSDP's NO_SHARD message sizing)
                 for u in 0..self.layout.num_units() {
                     let r = self.layout.unit_ranges[u].clone();
-                    self.groups.replica.all_reduce(&mut self.grads[r]);
+                    self.groups.replica.try_all_reduce(&mut self.grads[r])?;
                 }
                 self.owned_grads.extend_from_slice(&self.grads);
             }
@@ -243,9 +261,9 @@ impl<M: Module> FsdpRank<M> {
             | ShardingStrategy::Hybrid { .. } => {
                 for u in 0..self.layout.num_units() {
                     self.layout.padded_unit(&self.grads, u, &mut self.padded);
-                    self.groups.shard.reduce_scatter(&self.padded, &mut self.rs_out);
+                    self.groups.shard.try_reduce_scatter(&self.padded, &mut self.rs_out)?;
                     if self.groups.replica.size() > 1 {
-                        self.groups.replica.all_reduce(&mut self.rs_out);
+                        self.groups.replica.try_all_reduce(&mut self.rs_out)?;
                     }
                     self.owned_grads.extend_from_slice(&self.rs_out);
                 }
@@ -266,7 +284,7 @@ impl<M: Module> FsdpRank<M> {
             .map(|g| (*g as f64) * (*g as f64))
             .sum::<f64>() as f32];
         if self.layout.shard_n > 1 {
-            self.groups.shard.all_reduce(&mut sumsq);
+            self.groups.shard.try_all_reduce(&mut sumsq)?;
         }
         let grad_norm = sumsq[0].sqrt();
 
@@ -287,12 +305,20 @@ impl<M: Module> FsdpRank<M> {
             self.optimizer.step(&mut self.owned_params, &self.owned_grads, lr);
         }
 
-        StepReport { loss, grad_norm, lr }
+        Ok(StepReport { loss, grad_norm, lr })
     }
 
     /// Gather the final parameters into the model (collective call).
+    ///
+    /// # Panics
+    /// Panics if a peer rank is lost (see [`FsdpRank::try_materialize`]).
     pub fn materialize(&mut self) {
-        self.gather_params();
+        self.try_materialize().expect("materialize failed: peer rank lost");
+    }
+
+    /// Fallible [`FsdpRank::materialize`].
+    pub fn try_materialize(&mut self) -> Result<(), RankLost> {
+        self.try_gather_params()
     }
 
     /// Pack the (materialised) model parameters; call after
@@ -301,6 +327,41 @@ impl<M: Module> FsdpRank<M> {
         let mut out = Vec::new();
         self.model.pack_values(&mut out);
         out
+    }
+
+    /// Snapshot this rank's durable state for a step checkpoint: the owned
+    /// parameter shards and the sharded AdamW state. Exact f32 values — a
+    /// restore from this snapshot resumes bit-identically.
+    pub fn export_state(&self) -> (Vec<f32>, AdamWState) {
+        (self.owned_params.clone(), self.optimizer.export_state())
+    }
+
+    /// Restore state captured by [`FsdpRank::export_state`] on an
+    /// identically-configured rank (same model, strategy, world and shard
+    /// position).
+    ///
+    /// # Panics
+    /// Panics on a layout mismatch (the checkpoint belongs to a different
+    /// configuration).
+    pub fn restore_state(&mut self, params: &[f32], state: AdamWState) {
+        assert_eq!(
+            params.len(),
+            self.owned_params.len(),
+            "checkpoint shard length does not match this rank's layout"
+        );
+        self.owned_params.copy_from_slice(params);
+        self.optimizer.load_state(state);
+    }
+
+    /// Poison every group this rank belongs to, unblocking all peers with
+    /// `Err(RankLost)`. Called on the way down when this rank dies.
+    pub fn poison_groups(&self) {
+        self.groups.poison_all();
+    }
+
+    /// Synchronise on the world group (fallible).
+    pub fn try_world_barrier(&self) -> Result<(), RankLost> {
+        self.groups.world.try_barrier()
     }
 }
 

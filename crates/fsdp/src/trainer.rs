@@ -1,12 +1,31 @@
 //! Convenience harness: run a distributed training job across rank threads
 //! and collect the result.
+//!
+//! Two entry points:
+//!
+//! * [`run_data_parallel`] — the classic infallible harness. Any rank
+//!   failure (there should be none without fault injection) panics with a
+//!   structured report.
+//! * [`try_run_data_parallel`] — the resilient harness. A [`ResilienceConfig`]
+//!   supplies a deterministic [`FaultPlan`], a step-checkpoint cadence, a
+//!   bounded collective timeout, and a restart budget. A rank that crashes
+//!   (injected or a real panic in `compute`) poisons its groups so every
+//!   peer surfaces `Err(RankLost)` within one timeout period; the harness
+//!   then restarts the world from the last durable checkpoint, resuming
+//!   **bit-identically** — the final parameters equal those of a run that
+//!   never failed.
 
 use crate::rank::FsdpRank;
 use crate::strategy::FsdpConfig;
 use geofm_collectives::{HierarchyLayout, ProcessGroups, TrafficCounter, TrafficSnapshot};
-use geofm_nn::Module;
+use geofm_nn::{AdamWState, Module};
+use geofm_resilience::{FailureReport, FaultPlan, RankFailure, RankSlot, StepCheckpoint};
 use geofm_telemetry::Telemetry;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// The outcome of a distributed run.
 #[derive(Debug, Clone)]
@@ -17,6 +36,62 @@ pub struct DistReport {
     pub mean_losses: Vec<f32>,
     /// Total communication traffic across all ranks and steps.
     pub traffic: TrafficSnapshot,
+    /// How many elastic restarts the run needed (0 without faults).
+    pub restarts: usize,
+}
+
+/// Fault-tolerance policy for [`try_run_data_parallel`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Deterministic fault schedule shared by all rank threads. Crash-type
+    /// events are one-shot: they fire on the first attempt only, so the
+    /// post-restart re-execution runs through.
+    pub fault_plan: Arc<FaultPlan>,
+    /// Take a step checkpoint every this many completed steps (0 = never).
+    /// Requires `checkpoint_path`.
+    pub checkpoint_every: usize,
+    /// Where the checkpoint lives. Written crash-safely (tmp + fsync +
+    /// rename, CRC32 footer); a restart resumes from it if present & valid.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Bound on every barrier wait inside collectives. A rank that dies
+    /// without poisoning its groups (hard kill) still unblocks its peers
+    /// within this bound. `None` waits forever (poisoning still observed).
+    pub collective_timeout: Option<Duration>,
+    /// How many times the harness may restart the world after a failed
+    /// attempt before giving up and returning the failure report.
+    pub max_restarts: usize,
+}
+
+impl ResilienceConfig {
+    /// No faults, no checkpoints, no restarts — but still a bounded (60 s)
+    /// collective wait, so a genuine deadlock fails loudly instead of
+    /// hanging the process. This is what the infallible harness uses.
+    pub fn disabled() -> Self {
+        Self {
+            fault_plan: Arc::new(FaultPlan::none()),
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            collective_timeout: Some(Duration::from_secs(60)),
+            max_restarts: 0,
+        }
+    }
+}
+
+/// Lock a mutex, recovering the guard if a peer panicked while holding it.
+/// Rank threads die by design under fault injection; their poison must not
+/// cascade into the harness bookkeeping.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Run `steps` collective training steps across `world` rank threads.
@@ -69,9 +144,119 @@ where
     FC: Fn(&mut M, usize, usize) -> f32 + Sync,
     FL: Fn(usize) -> f32 + Sync,
 {
+    try_run_data_parallel(
+        config,
+        world,
+        weight_decay,
+        steps,
+        make_model,
+        compute,
+        lr_at,
+        telemetry,
+        ResilienceConfig::disabled(),
+    )
+    .unwrap_or_else(|report| panic!("distributed run failed: {report}"))
+}
+
+/// Fault-tolerant [`run_data_parallel`]: injects the faults scheduled in
+/// `resilience.fault_plan`, checkpoints at the configured cadence, and
+/// restarts the world from the last durable checkpoint after a failed
+/// attempt (up to `max_restarts` times). Returns the structured
+/// [`FailureReport`] when the restart budget is exhausted.
+///
+/// Recovery is **bit-identical**: a run that crashes and resumes produces
+/// exactly the final parameters and per-step losses of an uninterrupted
+/// run, because the checkpoint captures exact f32 shards + AdamW moments
+/// and the collectives reduce in deterministic rank order.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_data_parallel<M, FM, FC, FL>(
+    config: FsdpConfig,
+    world: usize,
+    weight_decay: f32,
+    steps: usize,
+    make_model: FM,
+    compute: FC,
+    lr_at: FL,
+    telemetry: Option<Arc<Telemetry>>,
+    resilience: ResilienceConfig,
+) -> Result<DistReport, FailureReport>
+where
+    M: Module + Send,
+    FM: Fn(usize) -> (M, Vec<usize>) + Sync,
+    FC: Fn(&mut M, usize, usize) -> f32 + Sync,
+    FL: Fn(usize) -> f32 + Sync,
+{
+    let mut failure =
+        FailureReport { restarts_used: 0, resumed_from_step: None, failures: Vec::new() };
+    loop {
+        // resume from the last durable checkpoint, if one exists and matches
+        let resume = resilience
+            .checkpoint_path
+            .as_deref()
+            .and_then(StepCheckpoint::load)
+            .filter(|ck| ck.ranks.len() == world && (ck.step as usize) <= steps);
+        if failure.restarts_used > 0 {
+            failure.resumed_from_step = Some(resume.as_ref().map(|ck| ck.step).unwrap_or(0));
+        }
+        let recovery_span = (failure.restarts_used > 0)
+            .then(|| telemetry.as_deref().map(|t| t.phase("fault.recovery", world as u64)));
+        let outcome = run_attempt(
+            config,
+            world,
+            weight_decay,
+            steps,
+            &make_model,
+            &compute,
+            &lr_at,
+            telemetry.as_ref(),
+            &resilience,
+            resume,
+        );
+        drop(recovery_span);
+        match outcome {
+            Ok(mut report) => {
+                report.restarts = failure.restarts_used;
+                return Ok(report);
+            }
+            Err(mut fails) => {
+                failure.failures.append(&mut fails);
+                if failure.restarts_used >= resilience.max_restarts {
+                    return Err(failure);
+                }
+                failure.restarts_used += 1;
+                if let Some(t) = telemetry.as_deref() {
+                    t.metrics.counter("fault.restarts").inc(1);
+                }
+            }
+        }
+    }
+}
+
+/// One attempt: fresh process groups, all ranks run `start_step..steps`.
+/// `Err` carries every rank failure observed this attempt (the root cause
+/// plus the cascading `RankLost` of its peers).
+#[allow(clippy::too_many_arguments)]
+fn run_attempt<M, FM, FC, FL>(
+    config: FsdpConfig,
+    world: usize,
+    weight_decay: f32,
+    steps: usize,
+    make_model: &FM,
+    compute: &FC,
+    lr_at: &FL,
+    telemetry: Option<&Arc<Telemetry>>,
+    resilience: &ResilienceConfig,
+    resume: Option<StepCheckpoint>,
+) -> Result<DistReport, Vec<RankFailure>>
+where
+    M: Module + Send,
+    FM: Fn(usize) -> (M, Vec<usize>) + Sync,
+    FC: Fn(&mut M, usize, usize) -> f32 + Sync,
+    FL: Fn(usize) -> f32 + Sync,
+{
     let shard_size = config.strategy.shard_group_size(world);
     let layout = HierarchyLayout { world, shard_size };
-    let groups = match &telemetry {
+    let groups = match telemetry {
         Some(tel) => ProcessGroups::hierarchy_with_traffic(
             layout,
             Arc::new(TrafficCounter::with_registry(tel.metrics.clone())),
@@ -79,46 +264,215 @@ where
         None => ProcessGroups::hierarchy(layout),
     };
     let traffic = groups[0].world.traffic();
+    let start_step = resume.as_ref().map(|ck| ck.step as usize).unwrap_or(0);
+
     let params_out: Mutex<Option<Vec<f32>>> = Mutex::new(None);
     let losses: Vec<Mutex<Vec<f32>>> = (0..world).map(|_| Mutex::new(Vec::new())).collect();
+    // per-rank deposit slots for the two-barrier checkpoint protocol
+    let slots: Vec<Mutex<Option<RankSlot>>> = (0..world).map(|_| Mutex::new(None)).collect();
+    let failures: Mutex<Vec<RankFailure>> = Mutex::new(Vec::new());
 
     std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(world);
         for g in groups {
-            let make_model = &make_model;
-            let compute = &compute;
-            let lr_at = &lr_at;
+            let resume = &resume;
             let params_out = &params_out;
             let losses = &losses;
-            let telemetry = telemetry.clone();
-            s.spawn(move || {
+            let slots = &slots;
+            let plan = Arc::clone(&resilience.fault_plan);
+            let telemetry = telemetry.cloned();
+            let handle = s.spawn(move || -> Result<(), RankFailure> {
                 let rank = g.rank;
-                let (model, units) = make_model(rank);
-                let mut fr = FsdpRank::new(model, &units, config, g, weight_decay);
-                if let Some(tel) = telemetry {
-                    fr = fr.with_telemetry(tel);
-                }
-                let mut local_losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    let report = fr.step(lr_at(step), |m| compute(m, rank, step));
-                    local_losses.push(report.loss);
-                }
-                fr.materialize();
-                *losses[rank].lock().unwrap() = local_losses;
-                if rank == 0 {
-                    *params_out.lock().unwrap() = Some(fr.packed_params());
+                let g = g.with_timeout(resilience.collective_timeout);
+                // kept outside the unwind boundary so a panicking rank can
+                // still unblock its peers
+                let guard = g.clone();
+                let count = |name: &str| {
+                    if let Some(t) = telemetry.as_deref() {
+                        t.metrics.counter(name).inc(1);
+                    }
+                };
+                let fail = |step: usize, cause: String| RankFailure { rank, step, cause };
+                let current_step = AtomicUsize::new(start_step);
+
+                let body = catch_unwind(AssertUnwindSafe(|| -> Result<(), RankFailure> {
+                    let (model, units) = make_model(rank);
+                    let mut fr = FsdpRank::new(model, &units, config, g, weight_decay);
+                    if let Some(tel) = telemetry.as_ref() {
+                        fr = fr.with_telemetry(Arc::clone(tel));
+                    }
+                    let mut local_losses: Vec<f32> = Vec::with_capacity(steps);
+                    if let Some(ck) = resume.as_ref() {
+                        let slot = &ck.ranks[rank];
+                        fr.restore_state(
+                            &slot.params,
+                            AdamWState {
+                                m: slot.adam_m.clone(),
+                                v: slot.adam_v.clone(),
+                                t: slot.adam_t,
+                            },
+                        );
+                        local_losses.extend_from_slice(&slot.losses);
+                    }
+
+                    for step in start_step..steps {
+                        current_step.store(step, Ordering::Relaxed);
+                        if let Some(delay) = plan.slow_delay(rank, step) {
+                            count("fault.straggler");
+                            std::thread::sleep(delay);
+                        }
+                        if plan.take_crash(rank, step) {
+                            count("fault.injected_crash");
+                            fr.poison_groups();
+                            return Err(fail(step, "injected rank crash".into()));
+                        }
+                        let report = match fr.try_step(lr_at(step), |m| compute(m, rank, step)) {
+                            Ok(r) => r,
+                            Err(lost) => {
+                                count("fault.rank_lost");
+                                fr.poison_groups();
+                                return Err(fail(step, lost.to_string()));
+                            }
+                        };
+                        local_losses.push(report.loss);
+
+                        let done = step + 1;
+                        if resilience.checkpoint_every > 0
+                            && done % resilience.checkpoint_every == 0
+                        {
+                            if let Some(path) = resilience.checkpoint_path.as_ref() {
+                                let (params, adam) = fr.export_state();
+                                *lock(&slots[rank]) = Some(RankSlot {
+                                    params,
+                                    adam_m: adam.m,
+                                    adam_v: adam.v,
+                                    adam_t: adam.t,
+                                    losses: local_losses.clone(),
+                                });
+                                if let Err(lost) = fr.try_world_barrier() {
+                                    fr.poison_groups();
+                                    return Err(fail(step, lost.to_string()));
+                                }
+                                if rank == 0 {
+                                    let ranks: Vec<RankSlot> = slots
+                                        .iter()
+                                        .map(|m| {
+                                            lock(m)
+                                                .take()
+                                                .expect("every rank deposits a slot pre-barrier")
+                                        })
+                                        .collect();
+                                    let ck = StepCheckpoint { step: done as u64, ranks };
+                                    if plan.take_checkpoint_crash(step) {
+                                        // torn write: half the buffer lands in
+                                        // the .tmp sibling, the writer dies
+                                        // before the rename — the previous
+                                        // durable checkpoint must survive
+                                        count("fault.injected_ckpt_crash");
+                                        let bytes = ck.to_bytes();
+                                        if let Some(parent) = path.parent() {
+                                            let _ = std::fs::create_dir_all(parent);
+                                        }
+                                        let _ = std::fs::write(
+                                            path.with_extension("tmp"),
+                                            &bytes[..bytes.len() / 2],
+                                        );
+                                        fr.poison_groups();
+                                        return Err(fail(
+                                            step,
+                                            "injected checkpoint-writer crash".into(),
+                                        ));
+                                    }
+                                    let span = telemetry
+                                        .as_deref()
+                                        .map(|t| t.phase("ckpt.write", rank as u64));
+                                    let saved = ck.save(path);
+                                    drop(span);
+                                    if let Err(e) = saved {
+                                        fr.poison_groups();
+                                        return Err(fail(
+                                            step,
+                                            format!("checkpoint write failed: {e}"),
+                                        ));
+                                    }
+                                    count("fault.checkpoints");
+                                }
+                                if let Err(lost) = fr.try_world_barrier() {
+                                    fr.poison_groups();
+                                    return Err(fail(step, lost.to_string()));
+                                }
+                            }
+                        }
+                    }
+
+                    if let Err(lost) = fr.try_materialize() {
+                        count("fault.rank_lost");
+                        fr.poison_groups();
+                        return Err(fail(steps, lost.to_string()));
+                    }
+                    *lock(&losses[rank]) = local_losses;
+                    if rank == 0 {
+                        *lock(params_out) = Some(fr.packed_params());
+                    }
+                    Ok(())
+                }));
+                match body {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        count("fault.rank_panic");
+                        guard.poison_all();
+                        Err(fail(
+                            current_step.load(Ordering::Relaxed),
+                            format!("rank thread panicked: {}", panic_message(&*payload)),
+                        ))
+                    }
                 }
             });
+            handles.push(handle);
+        }
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(f)) => lock(&failures).push(f),
+                // a panic that escaped the unwind boundary (should not
+                // happen; the boundary covers the whole body)
+                Err(payload) => lock(&failures).push(RankFailure {
+                    rank,
+                    step: start_step,
+                    cause: format!("rank thread aborted: {}", panic_message(&*payload)),
+                }),
+            }
         }
     });
 
-    let per_rank: Vec<Vec<f32>> =
-        losses.iter().map(|m| m.lock().unwrap().clone()).collect();
+    let fails = failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if !fails.is_empty() {
+        return Err(fails);
+    }
+
+    let per_rank: Vec<Vec<f32>> = losses.iter().map(|m| lock(m).clone()).collect();
+    if per_rank.iter().any(|l| l.len() != steps) {
+        return Err(vec![RankFailure {
+            rank: 0,
+            step: steps,
+            cause: "incomplete loss series despite clean exit".into(),
+        }]);
+    }
     let mean_losses = (0..steps)
         .map(|s| per_rank.iter().map(|l| l[s]).sum::<f32>() / world as f32)
         .collect();
 
-    let final_params = params_out.lock().unwrap().take().expect("rank 0 must finish");
-    DistReport { final_params, mean_losses, traffic: traffic.snapshot() }
+    let final_params = match lock(&params_out).take() {
+        Some(p) => p,
+        None => {
+            return Err(vec![RankFailure {
+                rank: 0,
+                step: steps,
+                cause: "rank 0 finished without publishing parameters".into(),
+            }])
+        }
+    };
+    Ok(DistReport { final_params, mean_losses, traffic: traffic.snapshot(), restarts: 0 })
 }
 
 #[cfg(test)]
@@ -188,6 +542,36 @@ mod tests {
         )
     }
 
+    fn run_resilient(
+        strategy: ShardingStrategy,
+        world: usize,
+        steps: usize,
+        resilience: ResilienceConfig,
+    ) -> Result<DistReport, FailureReport> {
+        let cfg = tiny_vit();
+        try_run_data_parallel(
+            FsdpConfig::tuned(strategy),
+            world,
+            0.01,
+            steps,
+            |_rank| {
+                let mut rng = TensorRng::seed_from(99);
+                let cfg = tiny_vit();
+                let mut model = VitModel::new(&cfg, &mut rng);
+                let units = model.unit_param_counts();
+                (model, units)
+            },
+            |m, rank, step| vit_compute(&cfg, m, rank, step, world),
+            |_step| 1e-3,
+            None,
+            resilience,
+        )
+    }
+
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("geofm-trainer-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn vit_training_is_strategy_invariant() {
         let baseline = run(ShardingStrategy::NoShard, 1);
@@ -251,5 +635,141 @@ mod tests {
         let t2 = run(ShardingStrategy::NoShard, 2).traffic;
         let t4 = run(ShardingStrategy::NoShard, 4).traffic;
         assert!(t4.total() > t2.total());
+    }
+
+    #[test]
+    fn injected_crash_without_restart_budget_reports_failure() {
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_crash(1, 2)),
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 0,
+        };
+        let start = std::time::Instant::now();
+        let err = run_resilient(ShardingStrategy::FullShard, 4, 4, resilience)
+            .expect_err("crash without restarts must fail");
+        assert_eq!(err.restarts_used, 0);
+        assert!(
+            err.failures.iter().any(|f| f.rank == 1 && f.step == 2),
+            "report must contain the root cause: {err}"
+        );
+        // every survivor must have aborted, not deadlocked
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn crash_recovery_from_checkpoint_is_bit_identical() {
+        let dir = ckpt_dir("bitident");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("latest.ckpt");
+        let steps = 6;
+
+        let clean = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            steps,
+            ResilienceConfig::disabled(),
+        )
+        .expect("clean run");
+
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_crash(1, 4)),
+            checkpoint_every: 2,
+            checkpoint_path: Some(path.clone()),
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 1,
+        };
+        let recovered = run_resilient(ShardingStrategy::FullShard, 2, steps, resilience)
+            .expect("run must recover via restart");
+        assert_eq!(recovered.restarts, 1);
+        assert_eq!(
+            clean.final_params, recovered.final_params,
+            "recovered run must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(clean.mean_losses, recovered.mean_losses);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_write_leaves_previous_durable() {
+        let dir = ckpt_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("latest.ckpt");
+        let steps = 6;
+        // checkpoint after steps 2 and 4; the step-4 write is torn mid-buffer
+        // (and the writer dies), so recovery resumes from step 2
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_checkpoint_crash(3)),
+            checkpoint_every: 2,
+            checkpoint_path: Some(path.clone()),
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 1,
+        };
+        let clean = run_resilient(
+            ShardingStrategy::ShardGradOp,
+            2,
+            steps,
+            ResilienceConfig::disabled(),
+        )
+        .expect("clean run");
+        let recovered = run_resilient(ShardingStrategy::ShardGradOp, 2, steps, resilience)
+            .expect("must recover from the pre-torn checkpoint");
+        assert_eq!(recovered.restarts, 1);
+        assert_eq!(clean.final_params, recovered.final_params);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn straggler_delays_but_does_not_change_results() {
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(
+                FaultPlan::none().with_slow_rank(1, 1, Duration::from_millis(30)),
+            ),
+            ..ResilienceConfig::disabled()
+        };
+        let clean =
+            run_resilient(ShardingStrategy::FullShard, 2, 3, ResilienceConfig::disabled())
+                .expect("clean");
+        let slowed = run_resilient(ShardingStrategy::FullShard, 2, 3, resilience)
+            .expect("straggler must not fail the run");
+        assert_eq!(slowed.restarts, 0);
+        assert_eq!(clean.final_params, slowed.final_params);
+    }
+
+    #[test]
+    fn compute_panic_is_captured_as_rank_failure() {
+        let cfg = tiny_vit();
+        let world = 2;
+        let err = try_run_data_parallel(
+            FsdpConfig::tuned(ShardingStrategy::FullShard),
+            world,
+            0.01,
+            3,
+            |_rank| {
+                let mut rng = TensorRng::seed_from(99);
+                let cfg = tiny_vit();
+                let mut model = VitModel::new(&cfg, &mut rng);
+                let units = model.unit_param_counts();
+                (model, units)
+            },
+            |m, rank, step| {
+                if rank == 1 && step == 1 {
+                    panic!("simulated OOM on rank 1");
+                }
+                vit_compute(&cfg, m, rank, step, world)
+            },
+            |_step| 1e-3,
+            None,
+            ResilienceConfig {
+                collective_timeout: Some(Duration::from_secs(5)),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect_err("panicking compute must surface as a failure report");
+        assert!(
+            err.failures.iter().any(|f| f.cause.contains("simulated OOM")),
+            "panic message must be preserved: {err}"
+        );
     }
 }

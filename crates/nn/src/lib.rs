@@ -32,7 +32,7 @@ pub use embed::PatchEmbed;
 pub use linear::Linear;
 pub use loss::{cross_entropy, mse_masked, CrossEntropyOutput};
 pub use norm::LayerNorm;
-pub use optim::{clip_grad_norm, segments_of, AdamW, Lars, Optimizer, Segment, Sgd};
+pub use optim::{clip_grad_norm, segments_of, AdamW, AdamWState, Lars, Optimizer, Segment, Sgd};
 pub use param::{Module, Param, ParamVisitor};
 pub use schedule::CosineSchedule;
 

@@ -16,6 +16,7 @@
 //! | `fig4`  | Fig. 4 — ViT-5B/15B sharding at scale + memory + power trace |
 //! | `fig5`  | Fig. 5 — MAE pretraining loss for the (scaled) model family |
 //! | `fig6`  | Fig. 6 — probe accuracy vs epoch per dataset and model |
+//! | `figR`  | Resilience — goodput vs checkpoint interval × node count, with the Young/Daly analytic optimum (not in the paper; supports the fault-tolerance analysis in §III) |
 
 use geofm_telemetry::MetricsSnapshot;
 use std::fs;
@@ -29,9 +30,10 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Write a CSV file under the results dir.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
-    let path = results_dir().join(name);
+/// Write a CSV file under an explicit directory (created if absent).
+pub fn write_csv_to(dir: &Path, name: &str, header: &str, rows: &[String]) -> PathBuf {
+    fs::create_dir_all(dir).expect("cannot create results dir");
+    let path = dir.join(name);
     let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
     body.push_str(header);
     body.push('\n');
@@ -44,11 +46,27 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
+/// Write a CSV file under the results dir.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    write_csv_to(&results_dir(), name, header, rows)
+}
+
 /// Render a set of named series as a log-x ASCII chart.
 ///
 /// `xs` are shared x positions (e.g. node counts); each series is
 /// `(name, values)` with `values.len() == xs.len()` (NaN = missing).
 pub fn ascii_chart(title: &str, xs: &[usize], series: &[(String, Vec<f64>)], width: usize) {
+    ascii_chart_labeled(title, "x (nodes)", xs, series, width);
+}
+
+/// [`ascii_chart`] with a custom x-axis label (e.g. checkpoint interval).
+pub fn ascii_chart_labeled(
+    title: &str,
+    xlabel: &str,
+    xs: &[usize],
+    series: &[(String, Vec<f64>)],
+    width: usize,
+) {
     println!("\n  {}", title);
     let max = series
         .iter()
@@ -72,7 +90,7 @@ pub fn ascii_chart(title: &str, xs: &[usize], series: &[(String, Vec<f64>)], wid
         }
         println!();
     }
-    print!("  {:>16} |", "x (nodes)");
+    print!("  {:>16} |", xlabel);
     for x in xs {
         print!("{:>width$}", x, width = width + 1);
     }
@@ -141,25 +159,30 @@ mod tests {
         assert_eq!(fmt_ips(12.345), "12.35");
     }
 
+    fn test_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("geofm-repro-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn csv_roundtrip() {
-        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-test-results");
-        let p = write_csv("t.csv", "a,b", &["1,2".into()]);
+        // explicit directory: no env-var mutation, safe under parallel tests
+        let dir = test_dir("csv");
+        let p = write_csv_to(&dir, "t.csv", "a,b", &["1,2".into()]);
         let s = std::fs::read_to_string(p).unwrap();
         assert_eq!(s, "a,b\n1,2\n");
-        std::env::remove_var("GEOFM_RESULTS");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn metrics_summary_appends_to_csv() {
-        std::env::set_var("GEOFM_RESULTS", "/tmp/geofm-test-results-metrics");
-        let p = write_csv("m.csv", "a,b", &["1,2".into()]);
+        let dir = test_dir("metrics");
+        let p = write_csv_to(&dir, "m.csv", "a,b", &["1,2".into()]);
         let tel = geofm_telemetry::Telemetry::new();
         tel.metrics.counter("comm.all_gather.bytes").inc(640);
         append_metrics_csv(&p, &tel.metrics.snapshot());
         let s = std::fs::read_to_string(&p).unwrap();
         assert!(s.starts_with("a,b\n1,2\n\nmetric,value\n"));
         assert!(s.contains("comm.all_gather.bytes,640\n"));
-        std::env::remove_var("GEOFM_RESULTS");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

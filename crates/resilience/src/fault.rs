@@ -1,0 +1,184 @@
+//! Deterministic fault injection plans.
+//!
+//! A [`FaultPlan`] is a fixed schedule of faults decided before a run
+//! starts — either constructed explicitly (regression tests) or sampled
+//! from a seed (fuzz-style campaigns). Plans are shared across rank
+//! threads behind an `Arc`; crash-type events are *one-shot* (interior
+//! atomic "fired" flags) so a crash injected at step *k* fires on the
+//! first attempt only and the post-restart attempt runs through.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Rank `rank` dies at the top of step `step` (before its compute).
+    RankCrash {
+        /// Global rank that crashes.
+        rank: usize,
+        /// Step index at which it crashes.
+        step: usize,
+    },
+    /// Rank `rank` stalls for `delay_ms` before step `step` — an OS-noise /
+    /// slow-NIC straggler. Repeatable: it also fires on re-execution after
+    /// a restart (the slow node stays slow).
+    SlowRank {
+        /// Global rank that straggles.
+        rank: usize,
+        /// Step index at which it straggles.
+        step: usize,
+        /// Injected delay in milliseconds.
+        delay_ms: u64,
+    },
+    /// The checkpoint writer crashes mid-buffer while persisting the
+    /// checkpoint taken after step `step` (a torn write: partial tmp file,
+    /// no rename).
+    CheckpointCrash {
+        /// Step index whose checkpoint write is interrupted.
+        step: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Event {
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<Event>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever fails.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a [`FaultKind::RankCrash`].
+    pub fn with_rank_crash(mut self, rank: usize, step: usize) -> Self {
+        self.push(FaultKind::RankCrash { rank, step });
+        self
+    }
+
+    /// Add a [`FaultKind::SlowRank`].
+    pub fn with_slow_rank(mut self, rank: usize, step: usize, delay: Duration) -> Self {
+        self.push(FaultKind::SlowRank { rank, step, delay_ms: delay.as_millis() as u64 });
+        self
+    }
+
+    /// Add a [`FaultKind::CheckpointCrash`].
+    pub fn with_checkpoint_crash(mut self, step: usize) -> Self {
+        self.push(FaultKind::CheckpointCrash { step });
+        self
+    }
+
+    /// Sample a random plan: each (rank, step) cell crashes independently
+    /// with probability `crash_prob`. Deterministic per seed.
+    pub fn seeded(seed: u64, world: usize, steps: usize, crash_prob: f64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut plan = Self::none();
+        for step in 0..steps {
+            for rank in 0..world {
+                if rng.gen::<f64>() < crash_prob {
+                    plan.push(FaultKind::RankCrash { rank, step });
+                }
+            }
+        }
+        plan
+    }
+
+    fn push(&mut self, kind: FaultKind) {
+        self.events.push(Event { kind, fired: AtomicBool::new(false) });
+    }
+
+    /// Whether the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled fault kinds (for the simulator, which keeps its own
+    /// fired-state so simulated sweeps don't consume the plan).
+    pub fn events(&self) -> Vec<FaultKind> {
+        self.events.iter().map(|e| e.kind).collect()
+    }
+
+    /// One-shot: returns `true` the first time rank `rank` reaches a step
+    /// with a scheduled crash, `false` on re-execution after restart.
+    pub fn take_crash(&self, rank: usize, step: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::RankCrash { rank: r, step: s } if r == rank && s == step)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
+
+    /// Total straggler delay injected for `(rank, step)` (repeatable).
+    pub fn slow_delay(&self, rank: usize, step: usize) -> Option<Duration> {
+        let ms: u64 = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::SlowRank { rank: r, step: s, delay_ms } if r == rank && s == step => {
+                    Some(delay_ms)
+                }
+                _ => None,
+            })
+            .sum();
+        (ms > 0).then(|| Duration::from_millis(ms))
+    }
+
+    /// One-shot: whether the checkpoint written after `step` should crash
+    /// mid-buffer.
+    pub fn take_checkpoint_crash(&self, step: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::CheckpointCrash { step: s } if s == step)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_fires_exactly_once() {
+        let plan = FaultPlan::none().with_rank_crash(1, 3);
+        assert!(!plan.take_crash(0, 3));
+        assert!(!plan.take_crash(1, 2));
+        assert!(plan.take_crash(1, 3));
+        assert!(!plan.take_crash(1, 3), "crash must be one-shot");
+    }
+
+    #[test]
+    fn straggler_is_repeatable_and_sums() {
+        let plan = FaultPlan::none()
+            .with_slow_rank(2, 5, Duration::from_millis(10))
+            .with_slow_rank(2, 5, Duration::from_millis(5));
+        assert_eq!(plan.slow_delay(2, 5), Some(Duration::from_millis(15)));
+        assert_eq!(plan.slow_delay(2, 5), Some(Duration::from_millis(15)));
+        assert_eq!(plan.slow_delay(2, 4), None);
+    }
+
+    #[test]
+    fn checkpoint_crash_is_one_shot() {
+        let plan = FaultPlan::none().with_checkpoint_crash(4);
+        assert!(!plan.take_checkpoint_crash(3));
+        assert!(plan.take_checkpoint_crash(4));
+        assert!(!plan.take_checkpoint_crash(4));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7, 8, 100, 0.05);
+        let b = FaultPlan::seeded(7, 8, 100, 0.05);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty(), "p=0.05 over 800 cells should schedule something");
+        let c = FaultPlan::seeded(8, 8, 100, 0.05);
+        assert_ne!(a.events(), c.events(), "different seeds give different plans");
+    }
+}

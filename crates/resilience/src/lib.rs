@@ -1,0 +1,105 @@
+//! # geofm-resilience
+//!
+//! Failure handling for the geofm stack. The paper's pretraining campaigns
+//! span hundreds of Frontier nodes, where node loss is routine; its
+//! companion OReole-FM report names fault tolerance and checkpoint/restart
+//! as the operational core of billion-parameter pretraining. This crate is
+//! the substrate the rest of the workspace builds its fault paths on:
+//!
+//! * [`FaultPlan`] — a deterministic, seedable schedule of injected faults
+//!   (rank crash at step *k*, slow-rank straggler delay, checkpoint-write
+//!   crash mid-buffer). The same plan drives both the real threaded engine
+//!   (`geofm-fsdp`) and the Frontier campaign simulator, so a failure
+//!   scenario can be rehearsed in simulation and then replayed for real.
+//! * [`StepCheckpoint`] — a crash-safe, versioned step-level checkpoint
+//!   (per-rank parameter shards + AdamW state + step counter), written
+//!   tmp-file → fsync → rename with a CRC32 footer so a torn write can
+//!   never be loaded. [`atomic_write`] and [`crc32`] are exported for other
+//!   checkpoint formats (`geofm-core` uses them for encoder checkpoints).
+//! * [`mtbf`] — per-node exponential failure model, restart/rework cost
+//!   accounting ([`simulate_campaign`]) and the analytic Young/Daly optimal
+//!   checkpoint interval — the machinery behind the `figR` repro binary's
+//!   "what checkpoint interval maximises goodput at N nodes?" sweep.
+//! * [`FailureReport`] — the structured failure description the trainer
+//!   returns instead of deadlocking or double-panicking.
+
+#![warn(missing_docs)]
+
+pub mod ckpt;
+pub mod fault;
+pub mod mtbf;
+
+pub use ckpt::{atomic_write, crc32, RankSlot, StepCheckpoint};
+pub use fault::{FaultKind, FaultPlan};
+pub use mtbf::{
+    simulate_campaign, simulate_campaign_with_plan, young_daly_interval, CampaignConfig,
+    CampaignOutcome, NodeFailureModel,
+};
+
+/// One rank's failure within an attempt of a distributed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// Global rank that failed (or observed the failure).
+    pub rank: usize,
+    /// Step at which the failure surfaced.
+    pub step: usize,
+    /// Human-readable cause ("injected rank crash", panic payload,
+    /// "peer rank lost: timeout", …).
+    pub cause: String,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed at step {}: {}", self.rank, self.step, self.cause)
+    }
+}
+
+/// Structured report returned when a distributed run cannot complete within
+/// its restart budget. Every surviving rank contributes what it observed,
+/// so the report distinguishes the root-cause rank (panic / injected crash)
+/// from collateral `RankLost` observations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureReport {
+    /// Restart attempts consumed (0 = first attempt failed with no budget).
+    pub restarts_used: usize,
+    /// Step checkpoint the final attempt resumed from, if any.
+    pub resumed_from_step: Option<u64>,
+    /// Per-rank failures observed in the final attempt.
+    pub failures: Vec<RankFailure>,
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "distributed run failed after {} restart(s){}:",
+            self.restarts_used,
+            match self.resumed_from_step {
+                Some(s) => format!(" (last attempt resumed from step {s})"),
+                None => String::new(),
+            }
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_report_display_lists_ranks() {
+        let r = FailureReport {
+            restarts_used: 2,
+            resumed_from_step: Some(6),
+            failures: vec![RankFailure { rank: 1, step: 7, cause: "injected".into() }],
+        };
+        let s = r.to_string();
+        assert!(s.contains("2 restart"));
+        assert!(s.contains("resumed from step 6"));
+        assert!(s.contains("rank 1 failed at step 7"));
+    }
+}

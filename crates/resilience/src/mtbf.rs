@@ -1,0 +1,359 @@
+//! MTBF, goodput and checkpoint-interval modeling.
+//!
+//! The classic question for a campaign on a failure-prone machine: given a
+//! per-node MTBF, a checkpoint cost δ and a restart cost R, what checkpoint
+//! interval τ maximises *goodput* (useful work / wall time)? Young's
+//! first-order answer — refined by Daly — is `τ* ≈ √(2 δ M)` for system
+//! MTBF `M`. [`simulate_campaign`] cross-checks the analytic optimum with a
+//! discrete event simulation that draws node failures from a per-node
+//! exponential model and accounts checkpoint, rework and restart costs
+//! explicitly; the `figR` repro binary sweeps it across node counts.
+
+use crate::fault::{FaultKind, FaultPlan};
+use rand::{Rng, SeedableRng};
+
+/// Per-node exponential (memoryless) failure model.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeFailureModel {
+    /// Mean time between failures of a single node, in seconds.
+    pub node_mtbf_s: f64,
+}
+
+impl NodeFailureModel {
+    /// System MTBF of an `nodes`-node job: failures of independent
+    /// exponential nodes superpose into an exponential with summed rate,
+    /// so the job-level MTBF is `node_mtbf / nodes`.
+    pub fn system_mtbf(&self, nodes: usize) -> f64 {
+        assert!(nodes > 0, "job needs at least one node");
+        self.node_mtbf_s / nodes as f64
+    }
+
+    /// Draw the time until the next job-interrupting failure (seconds).
+    pub fn sample_interarrival(&self, nodes: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+        let mtbf = self.system_mtbf(nodes);
+        if !mtbf.is_finite() {
+            return f64::INFINITY;
+        }
+        // inverse-CDF of Exp(1/mtbf); 1-u in (0,1] avoids ln(0)
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() * mtbf
+    }
+}
+
+/// Young/Daly first-order optimal checkpoint interval (seconds of work
+/// between checkpoints) for checkpoint cost `ckpt_cost_s` and system MTBF
+/// `system_mtbf_s`: `τ* = √(2 δ M)`.
+pub fn young_daly_interval(ckpt_cost_s: f64, system_mtbf_s: f64) -> f64 {
+    (2.0 * ckpt_cost_s * system_mtbf_s).sqrt()
+}
+
+/// One campaign configuration for the failure simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Duration of one training step (seconds).
+    pub step_time_s: f64,
+    /// Steps the campaign must complete.
+    pub total_steps: usize,
+    /// Steps between checkpoints (0 = never checkpoint).
+    pub ckpt_every_steps: usize,
+    /// Cost of writing one checkpoint (seconds, blocking).
+    pub ckpt_cost_s: f64,
+    /// Cost of a restart: re-scheduling, re-init, checkpoint read (seconds).
+    pub restart_cost_s: f64,
+    /// Nodes in the job.
+    pub nodes: usize,
+    /// Per-node failure model.
+    pub failure: NodeFailureModel,
+    /// RNG seed for the failure process (deterministic per seed).
+    pub seed: u64,
+}
+
+/// Accounting of one simulated campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignOutcome {
+    /// Total wall-clock time to finish all steps (seconds).
+    pub wall_s: f64,
+    /// Time spent on steps that *counted* (total_steps × step time).
+    pub useful_s: f64,
+    /// Time spent writing checkpoints.
+    pub ckpt_s: f64,
+    /// Time lost to failures: partially executed work plus re-executed
+    /// steps that had not reached a checkpoint.
+    pub rework_s: f64,
+    /// Time spent in restart overhead.
+    pub restart_s: f64,
+    /// Failures endured.
+    pub failures: u64,
+    /// `useful_s / wall_s` — the goodput fraction in (0, 1].
+    pub goodput: f64,
+}
+
+/// Simulate a checkpointed campaign under exponential node failures.
+///
+/// Steps execute sequentially; after every `ckpt_every_steps` completed
+/// steps a blocking checkpoint of cost `ckpt_cost_s` is written. When a
+/// failure lands anywhere inside a step or checkpoint write, the campaign
+/// pays `restart_cost_s` and resumes from the last *completed* checkpoint
+/// (work since then is reworked). Deterministic per `cfg.seed`.
+pub fn simulate_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut next_failure = cfg.failure.sample_interarrival(cfg.nodes, &mut rng);
+    run_campaign(
+        cfg,
+        |_, _| 0.0,
+        |_, _, window_end| {
+            if next_failure < window_end {
+                let t = next_failure;
+                next_failure = t + cfg.failure.sample_interarrival(cfg.nodes, &mut rng);
+                Some(t)
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Simulate a campaign whose failures and stragglers come from a
+/// deterministic [`FaultPlan`] instead of the stochastic model — the same
+/// plan the real threaded trainer accepts, so a failure drill can be
+/// priced in simulation before it is rehearsed on real rank threads.
+/// `RankCrash { step, .. }` kills the job the first time the campaign
+/// executes `step`; `SlowRank` delays inflate that step's duration (the
+/// straggler holds every peer at the collective); `CheckpointCrash { step }`
+/// fails the job during the checkpoint write after `step`.
+pub fn simulate_campaign_with_plan(cfg: &CampaignConfig, plan: &FaultPlan) -> CampaignOutcome {
+    let events = plan.events();
+    // one-shot crash schedule, kept local so sweeping doesn't consume `plan`
+    let mut crash_steps: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            FaultKind::RankCrash { step, .. } | FaultKind::CheckpointCrash { step } => Some(*step),
+            _ => None,
+        })
+        .collect();
+    crash_steps.sort_unstable();
+    crash_steps.reverse(); // pop() yields earliest first
+
+    run_campaign(
+        cfg,
+        |step, _| {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    FaultKind::SlowRank { step: s, delay_ms, .. } if *s == step => Some(*delay_ms),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0) as f64
+                / 1e3
+        },
+        |step, window_start, window_end| {
+            // fire when the step a crash is armed for (or an earlier one
+            // skipped by checkpoint-resume granularity) executes
+            if crash_steps.last().is_some_and(|&s| s <= step) {
+                crash_steps.pop();
+                Some((window_start + (window_end - window_start) * 0.5).max(window_start))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Core campaign loop shared by the stochastic and plan-driven simulators.
+///
+/// * `extra_step_delay(step, wall)` — straggler seconds added to that step.
+/// * `fails_during(step, window_start, window_end)` — whether a failure
+///   interrupts the execution window of `step` (step + any checkpoint
+///   write), returning its absolute time.
+fn run_campaign(
+    cfg: &CampaignConfig,
+    mut extra_step_delay: impl FnMut(usize, f64) -> f64,
+    mut fails_during: impl FnMut(usize, f64, f64) -> Option<f64>,
+) -> CampaignOutcome {
+    assert!(cfg.step_time_s > 0.0, "step time must be positive");
+    assert!(cfg.total_steps > 0, "campaign must have steps");
+    let mut out = CampaignOutcome::default();
+    let mut wall = 0.0f64;
+    let mut completed = 0usize; // steps finished in the current attempt
+    let mut durable = 0usize; // steps captured by the last checkpoint
+
+    while completed < cfg.total_steps {
+        let step_cost = cfg.step_time_s + extra_step_delay(completed, wall);
+        let ckpt_due =
+            cfg.ckpt_every_steps > 0 && (completed + 1).is_multiple_of(cfg.ckpt_every_steps);
+        let ckpt_cost = if ckpt_due { cfg.ckpt_cost_s } else { 0.0 };
+        let window_end = wall + step_cost + ckpt_cost;
+
+        if let Some(t) = fails_during(completed, wall, window_end) {
+            let t = t.clamp(wall, window_end);
+            out.failures += 1;
+            // everything since the last durable checkpoint is lost
+            out.rework_s += (completed - durable) as f64 * cfg.step_time_s + (t - wall);
+            out.restart_s += cfg.restart_cost_s;
+            wall = t + cfg.restart_cost_s;
+            completed = durable;
+            continue;
+        }
+
+        wall = window_end;
+        out.ckpt_s += ckpt_cost;
+        completed += 1;
+        if ckpt_due {
+            durable = completed;
+        }
+    }
+
+    out.wall_s = wall;
+    out.useful_s = cfg.total_steps as f64 * cfg.step_time_s;
+    out.goodput = if wall > 0.0 { out.useful_s / wall } else { 1.0 };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn base_cfg() -> CampaignConfig {
+        CampaignConfig {
+            step_time_s: 1.0,
+            total_steps: 1000,
+            ckpt_every_steps: 50,
+            ckpt_cost_s: 5.0,
+            restart_cost_s: 30.0,
+            nodes: 64,
+            failure: NodeFailureModel { node_mtbf_s: 3600.0 * 24.0 * 365.0 },
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn system_mtbf_scales_inversely_with_nodes() {
+        let m = NodeFailureModel { node_mtbf_s: 1000.0 };
+        assert_eq!(m.system_mtbf(1), 1000.0);
+        assert_eq!(m.system_mtbf(10), 100.0);
+    }
+
+    #[test]
+    fn young_daly_matches_formula() {
+        let tau = young_daly_interval(5.0, 1000.0);
+        assert!((tau - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_failures_goodput_is_only_checkpoint_overhead() {
+        let mut cfg = base_cfg();
+        cfg.failure.node_mtbf_s = f64::INFINITY;
+        let out = simulate_campaign(&cfg);
+        assert_eq!(out.failures, 0);
+        let ckpts = 1000 / 50; // checkpoint after every 50th step
+        let expect_wall = 1000.0 + ckpts as f64 * 5.0;
+        assert!((out.wall_s - expect_wall).abs() < 1e-6, "wall {}", out.wall_s);
+        assert!(out.goodput > 0.9 && out.goodput < 1.0);
+        assert_eq!(out.rework_s, 0.0);
+    }
+
+    #[test]
+    fn failures_reduce_goodput_and_are_deterministic() {
+        let mut cfg = base_cfg();
+        cfg.failure.node_mtbf_s = 3600.0 * 100.0; // system MTBF ≈ 5625 s
+        let a = simulate_campaign(&cfg);
+        let b = simulate_campaign(&cfg);
+        assert_eq!(a.failures, b.failures, "same seed, same failures");
+        assert!((a.wall_s - b.wall_s).abs() < 1e-9);
+        cfg.failure.node_mtbf_s = f64::INFINITY;
+        let clean = simulate_campaign(&cfg);
+        assert!(a.goodput <= clean.goodput);
+    }
+
+    #[test]
+    fn never_checkpointing_is_worse_under_failures() {
+        let mut cfg = base_cfg();
+        cfg.total_steps = 2000;
+        cfg.failure.node_mtbf_s = 3600.0 * 20.0; // system MTBF ≈ 1125 s
+        let mean_wall = |cfg: &mut CampaignConfig| {
+            let mut sum = 0.0;
+            for seed in 0..10 {
+                cfg.seed = seed;
+                sum += simulate_campaign(cfg).wall_s;
+            }
+            sum / 10.0
+        };
+        cfg.ckpt_every_steps = 20;
+        let with = mean_wall(&mut cfg);
+        cfg.ckpt_every_steps = 0;
+        let without = mean_wall(&mut cfg);
+        assert!(with < without, "checkpointed {} vs un-checkpointed {}", with, without);
+    }
+
+    #[test]
+    fn plan_driven_campaign_counts_injected_faults() {
+        let mut cfg = base_cfg();
+        cfg.total_steps = 100;
+        cfg.ckpt_every_steps = 10;
+        let plan = FaultPlan::none().with_rank_crash(3, 25).with_rank_crash(1, 60);
+        let out = simulate_campaign_with_plan(&cfg, &plan);
+        assert_eq!(out.failures, 2);
+        // crash at step 25 reworks steps 20..25; crash at 60 reworks nothing
+        // completed yet beyond the checkpoint at 60
+        assert!(out.rework_s > 0.0);
+        let clean = simulate_campaign_with_plan(&cfg, &FaultPlan::none());
+        assert_eq!(clean.failures, 0);
+        assert!(out.wall_s > clean.wall_s);
+        // straggler adds exactly its delay to the clean campaign
+        let straggled = simulate_campaign_with_plan(
+            &cfg,
+            &FaultPlan::none().with_slow_rank(0, 5, Duration::from_millis(2500)),
+        );
+        assert!((straggled.wall_s - clean.wall_s - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_crash_fires_once_despite_reexecution() {
+        let mut cfg = base_cfg();
+        cfg.total_steps = 30;
+        cfg.ckpt_every_steps = 10;
+        // crash at step 15: resume from 10, re-execute 10..15 without crashing
+        let out = simulate_campaign_with_plan(&cfg, &FaultPlan::none().with_rank_crash(0, 15));
+        assert_eq!(out.failures, 1);
+        assert!(out.wall_s.is_finite());
+    }
+
+    #[test]
+    fn goodput_curve_peaks_near_young_daly() {
+        // sweep intervals; the best simulated interval should sit within an
+        // order of magnitude of the analytic optimum (the curve is flat
+        // near τ*)
+        let mut cfg = base_cfg();
+        cfg.total_steps = 4000;
+        cfg.ckpt_cost_s = 4.0;
+        cfg.restart_cost_s = 20.0;
+        cfg.failure.node_mtbf_s = 3600.0 * 200.0; // system MTBF 11250 s
+        let mtbf = cfg.failure.system_mtbf(cfg.nodes);
+        let tau_star = young_daly_interval(cfg.ckpt_cost_s, mtbf); // seconds
+        let star_steps = (tau_star / cfg.step_time_s).round() as usize;
+        let mut best = (0usize, 0.0f64);
+        for &interval in &[1usize, 3, 10, 30, 100, 300, 1000, 3000] {
+            cfg.ckpt_every_steps = interval;
+            // average over a few seeds to tame variance
+            let mut g = 0.0;
+            for seed in 0..8 {
+                cfg.seed = seed;
+                g += simulate_campaign(&cfg).goodput;
+            }
+            g /= 8.0;
+            if g > best.1 {
+                best = (interval, g);
+            }
+        }
+        let ratio = best.0 as f64 / star_steps.max(1) as f64;
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "best interval {} vs Young/Daly {} (ratio {:.2})",
+            best.0,
+            star_steps,
+            ratio
+        );
+    }
+}

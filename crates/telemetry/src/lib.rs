@@ -29,6 +29,23 @@
 //! breakdown), `geofm-frontier` (DES timelines as trace spans),
 //! `geofm-data` (loader queue depth and wait time), and the `geofm-repro`
 //! binaries (`--trace-out` flag, metrics summaries in CSV artifacts).
+//!
+//! ## Fault & recovery vocabulary
+//!
+//! The resilient trainer (`geofm_fsdp::try_run_data_parallel`) and the
+//! MTBF simulator emit a shared `fault.*` namespace:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `fault.injected_crash` | counter | fault-plan rank crashes fired |
+//! | `fault.injected_ckpt_crash` | counter | torn checkpoint writes fired |
+//! | `fault.straggler` | counter | slow-rank delays applied |
+//! | `fault.rank_panic` | counter | rank bodies that panicked |
+//! | `fault.rank_lost` | counter | collectives that returned `RankLost` |
+//! | `fault.checkpoints` | counter | step checkpoints durably written |
+//! | `fault.restarts` | counter | restarts performed by the harness |
+//! | `ckpt.write` | phase | atomic checkpoint write (histogram + span) |
+//! | `fault.recovery` | phase | checkpoint load + state restore on restart |
 
 #![warn(missing_docs)]
 

@@ -18,6 +18,9 @@
 //! * [`fsdp`] — NO_SHARD / FULL_SHARD / SHARD_GRAD_OP / HYBRID / DDP
 //! * [`frontier`] — the Frontier machine model and simulator
 //! * [`core`] — the end-to-end pretrain → linear-probe recipe
+//! * [`telemetry`] — metrics registry + Chrome-trace span recorder
+//! * [`resilience`] — fault plans, crash-safe checkpoint format, MTBF /
+//!   Young-Daly goodput modeling
 //!
 //! ## Quickstart
 //!
@@ -48,5 +51,7 @@ pub use geofm_fsdp as fsdp;
 pub use geofm_frontier as frontier;
 pub use geofm_mae as mae;
 pub use geofm_nn as nn;
+pub use geofm_resilience as resilience;
 pub use geofm_tensor as tensor;
+pub use geofm_telemetry as telemetry;
 pub use geofm_vit as vit;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-2c4ea08e64f27d29.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-2c4ea08e64f27d29: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-c443bfeb4af8afa0.d: crates/repro/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-c443bfeb4af8afa0.rmeta: crates/repro/src/bin/calibrate.rs Cargo.toml
+
+crates/repro/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-e74c9e862eb7fc99.d: crates/repro/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-e74c9e862eb7fc99.rmeta: crates/repro/src/bin/calibrate.rs Cargo.toml
+
+crates/repro/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

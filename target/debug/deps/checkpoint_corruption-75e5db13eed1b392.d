@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_corruption-75e5db13eed1b392.d: tests/checkpoint_corruption.rs
+
+/root/repo/target/debug/deps/checkpoint_corruption-75e5db13eed1b392: tests/checkpoint_corruption.rs
+
+tests/checkpoint_corruption.rs:

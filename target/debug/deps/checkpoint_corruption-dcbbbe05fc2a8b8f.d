@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_corruption-dcbbbe05fc2a8b8f.d: tests/checkpoint_corruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_corruption-dcbbbe05fc2a8b8f.rmeta: tests/checkpoint_corruption.rs Cargo.toml
+
+tests/checkpoint_corruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

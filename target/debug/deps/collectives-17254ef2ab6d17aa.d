@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-17254ef2ab6d17aa.d: crates/bench/benches/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-17254ef2ab6d17aa.rmeta: crates/bench/benches/collectives.rs Cargo.toml
+
+crates/bench/benches/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-2dc430bcfee05ed2.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-2dc430bcfee05ed2: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-e7089da3ade0a6eb.d: tests/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-e7089da3ade0a6eb.rmeta: tests/cross_validation.rs Cargo.toml
+
+tests/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datagen-9fcbea8d23577939.d: crates/bench/benches/datagen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatagen-9fcbea8d23577939.rmeta: crates/bench/benches/datagen.rs Cargo.toml
+
+crates/bench/benches/datagen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5d19175c1b49caf1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5d19175c1b49caf1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-15f61ea10db81997.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-15f61ea10db81997: tests/experiments.rs
+
+tests/experiments.rs:

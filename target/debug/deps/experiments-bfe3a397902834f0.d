@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-bfe3a397902834f0.d: tests/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-bfe3a397902834f0.rmeta: tests/experiments.rs Cargo.toml
+
+tests/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1-2bd37bc3328706a0.d: crates/repro/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1-2bd37bc3328706a0.rmeta: crates/repro/src/bin/fig1.rs Cargo.toml
+
+crates/repro/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-ade28d4aa23c9587.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-ade28d4aa23c9587: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

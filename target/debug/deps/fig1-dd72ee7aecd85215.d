@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1-dd72ee7aecd85215.d: crates/repro/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1-dd72ee7aecd85215.rmeta: crates/repro/src/bin/fig1.rs Cargo.toml
+
+crates/repro/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-2e1e3134d7fc6b13.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-2e1e3134d7fc6b13: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-8b1a8e2ff6b7812b.d: crates/repro/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-8b1a8e2ff6b7812b.rmeta: crates/repro/src/bin/fig2.rs Cargo.toml
+
+crates/repro/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

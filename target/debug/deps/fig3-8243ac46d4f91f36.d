@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-8243ac46d4f91f36.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-8243ac46d4f91f36: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

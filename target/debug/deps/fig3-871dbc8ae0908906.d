@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-871dbc8ae0908906.d: crates/repro/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-871dbc8ae0908906.rmeta: crates/repro/src/bin/fig3.rs Cargo.toml
+
+crates/repro/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

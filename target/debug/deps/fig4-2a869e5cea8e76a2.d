@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-2a869e5cea8e76a2.d: crates/repro/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-2a869e5cea8e76a2.rmeta: crates/repro/src/bin/fig4.rs Cargo.toml
+
+crates/repro/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-a1d2d652e0398c54.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-a1d2d652e0398c54: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-812f4e968a1b7fd5.d: crates/repro/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-812f4e968a1b7fd5.rmeta: crates/repro/src/bin/fig5.rs Cargo.toml
+
+crates/repro/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a013ef2070030d31.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a013ef2070030d31: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

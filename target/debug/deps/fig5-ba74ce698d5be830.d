@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-ba74ce698d5be830.d: crates/repro/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-ba74ce698d5be830.rmeta: crates/repro/src/bin/fig5.rs Cargo.toml
+
+crates/repro/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4107d1b9f0f2ff0a.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4107d1b9f0f2ff0a: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

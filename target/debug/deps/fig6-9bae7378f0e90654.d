@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-9bae7378f0e90654.d: crates/repro/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-9bae7378f0e90654.rmeta: crates/repro/src/bin/fig6.rs Cargo.toml
+
+crates/repro/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-bcfdcff6c158f6cc.d: crates/repro/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-bcfdcff6c158f6cc.rmeta: crates/repro/src/bin/fig6.rs Cargo.toml
+
+crates/repro/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figR-694d2849289c01fa.d: crates/repro/src/bin/figR.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigR-694d2849289c01fa.rmeta: crates/repro/src/bin/figR.rs Cargo.toml
+
+crates/repro/src/bin/figR.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

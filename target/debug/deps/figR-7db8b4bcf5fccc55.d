@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figR-7db8b4bcf5fccc55.d: crates/repro/src/bin/figR.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigR-7db8b4bcf5fccc55.rmeta: crates/repro/src/bin/figR.rs Cargo.toml
+
+crates/repro/src/bin/figR.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figR-bdde3c301bb95a44.d: crates/repro/src/bin/figR.rs
+
+/root/repo/target/debug/deps/figR-bdde3c301bb95a44: crates/repro/src/bin/figR.rs
+
+crates/repro/src/bin/figR.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fsdp_step-b6471635a639e604.d: crates/bench/benches/fsdp_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsdp_step-b6471635a639e604.rmeta: crates/bench/benches/fsdp_step.rs Cargo.toml
+
+crates/bench/benches/fsdp_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

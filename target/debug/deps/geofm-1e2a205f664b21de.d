@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm-1e2a205f664b21de.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm-1e2a205f664b21de.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm-60c2e645fcd613ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/geofm-60c2e645fcd613ec: src/lib.rs
+
+src/lib.rs:

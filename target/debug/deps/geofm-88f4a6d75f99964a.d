@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm-88f4a6d75f99964a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-88f4a6d75f99964a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm-88f4a6d75f99964a.rmeta: src/lib.rs
+
+src/lib.rs:

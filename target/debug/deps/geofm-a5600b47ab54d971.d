@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm-a5600b47ab54d971.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm-a5600b47ab54d971.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

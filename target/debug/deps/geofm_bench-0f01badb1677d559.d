@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_bench-0f01badb1677d559.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/geofm_bench-0f01badb1677d559: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm_bench-13316511053750cf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-13316511053750cf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_bench-13316511053750cf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

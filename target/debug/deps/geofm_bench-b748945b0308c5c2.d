@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_bench-b748945b0308c5c2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_bench-b748945b0308c5c2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

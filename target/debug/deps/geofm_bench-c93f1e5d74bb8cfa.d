@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_bench-c93f1e5d74bb8cfa.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_bench-c93f1e5d74bb8cfa.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

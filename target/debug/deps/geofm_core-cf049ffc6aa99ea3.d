@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_core-cf049ffc6aa99ea3.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/libgeofm_core-cf049ffc6aa99ea3.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/libgeofm_core-cf049ffc6aa99ea3.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

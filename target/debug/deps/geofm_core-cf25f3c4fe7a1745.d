@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_core-cf25f3c4fe7a1745.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+/root/repo/target/debug/deps/geofm_core-cf25f3c4fe7a1745: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/pipeline.rs crates/core/src/recipe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/recipe.rs:

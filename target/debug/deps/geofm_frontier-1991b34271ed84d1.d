@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/geofm_frontier-1991b34271ed84d1.d: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/debug/deps/libgeofm_frontier-1991b34271ed84d1.rlib: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/debug/deps/libgeofm_frontier-1991b34271ed84d1.rmeta: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/analytic.rs:
+crates/frontier/src/engine.rs:
+crates/frontier/src/io.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/memory.rs:
+crates/frontier/src/power.rs:
+crates/frontier/src/schedule.rs:
+crates/frontier/src/sim.rs:
+crates/frontier/src/workload.rs:

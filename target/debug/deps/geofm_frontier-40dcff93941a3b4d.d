@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/geofm_frontier-40dcff93941a3b4d.d: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/debug/deps/geofm_frontier-40dcff93941a3b4d: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/analytic.rs:
+crates/frontier/src/engine.rs:
+crates/frontier/src/faults.rs:
+crates/frontier/src/io.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/memory.rs:
+crates/frontier/src/power.rs:
+crates/frontier/src/schedule.rs:
+crates/frontier/src/sim.rs:
+crates/frontier/src/workload.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/geofm_frontier-bc050cfe9f92f600.d: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_frontier-bc050cfe9f92f600.rmeta: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs Cargo.toml
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/analytic.rs:
+crates/frontier/src/engine.rs:
+crates/frontier/src/faults.rs:
+crates/frontier/src/io.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/memory.rs:
+crates/frontier/src/power.rs:
+crates/frontier/src/schedule.rs:
+crates/frontier/src/sim.rs:
+crates/frontier/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_fsdp-18b651787ab8f881.d: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/debug/deps/geofm_fsdp-18b651787ab8f881: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+crates/fsdp/src/lib.rs:
+crates/fsdp/src/flat.rs:
+crates/fsdp/src/rank.rs:
+crates/fsdp/src/strategy.rs:
+crates/fsdp/src/trainer.rs:

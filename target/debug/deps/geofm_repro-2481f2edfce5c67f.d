@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geofm_repro-2481f2edfce5c67f.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-2481f2edfce5c67f.rlib: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/libgeofm_repro-2481f2edfce5c67f.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_repro-6fed2b672d75fc0d.d: crates/repro/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_repro-6fed2b672d75fc0d.rmeta: crates/repro/src/lib.rs Cargo.toml
+
+crates/repro/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geofm_repro-74414171f93bdd9d.d: crates/repro/src/lib.rs
+
+/root/repo/target/debug/deps/geofm_repro-74414171f93bdd9d: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

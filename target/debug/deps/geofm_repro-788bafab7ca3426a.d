@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geofm_repro-788bafab7ca3426a.d: crates/repro/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_repro-788bafab7ca3426a.rmeta: crates/repro/src/lib.rs Cargo.toml
+
+crates/repro/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/geofm_resilience-2db42cf7a1311196.d: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+/root/repo/target/debug/deps/libgeofm_resilience-2db42cf7a1311196.rlib: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+/root/repo/target/debug/deps/libgeofm_resilience-2db42cf7a1311196.rmeta: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/ckpt.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/mtbf.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geofm_resilience-688b125e82edcf99.d: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+/root/repo/target/debug/deps/geofm_resilience-688b125e82edcf99: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/ckpt.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/mtbf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geofm_resilience-e9a805a4b4ef9858.d: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeofm_resilience-e9a805a4b4ef9858.rmeta: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs Cargo.toml
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/ckpt.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/mtbf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

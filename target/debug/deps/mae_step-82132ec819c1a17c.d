@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mae_step-82132ec819c1a17c.d: crates/bench/benches/mae_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmae_step-82132ec819c1a17c.rmeta: crates/bench/benches/mae_step.rs Cargo.toml
+
+crates/bench/benches/mae_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-08aa665e8cc9d062.d: crates/frontier/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-08aa665e8cc9d062: crates/frontier/tests/proptests.rs
+
+crates/frontier/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-094d02cc7363add7.d: crates/frontier/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-094d02cc7363add7.rmeta: crates/frontier/tests/proptests.rs Cargo.toml
+
+crates/frontier/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-200193f7ad06968e.d: crates/fsdp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-200193f7ad06968e.rmeta: crates/fsdp/tests/proptests.rs Cargo.toml
+
+crates/fsdp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ff8858f6aab7bc5c.d: crates/fsdp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ff8858f6aab7bc5c: crates/fsdp/tests/proptests.rs
+
+crates/fsdp/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-54bc77cb5a36309c.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-54bc77cb5a36309c: tests/resilience.rs
+
+tests/resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-f5b7e9d4f933a16e.d: tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-f5b7e9d4f933a16e.rmeta: tests/resilience.rs Cargo.toml
+
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

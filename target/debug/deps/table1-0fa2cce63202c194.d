@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0fa2cce63202c194.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0fa2cce63202c194: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

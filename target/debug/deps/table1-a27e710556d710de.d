@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-a27e710556d710de.d: crates/repro/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-a27e710556d710de.rmeta: crates/repro/src/bin/table1.rs Cargo.toml
+
+crates/repro/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

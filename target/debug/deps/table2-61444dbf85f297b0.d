@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-61444dbf85f297b0.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-61444dbf85f297b0: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

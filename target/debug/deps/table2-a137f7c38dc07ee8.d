@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-a137f7c38dc07ee8.d: crates/repro/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-a137f7c38dc07ee8.rmeta: crates/repro/src/bin/table2.rs Cargo.toml
+
+crates/repro/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

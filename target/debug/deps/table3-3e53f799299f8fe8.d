@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3e53f799299f8fe8.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3e53f799299f8fe8: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_determinism-01972f94d97cd7ab.d: tests/telemetry_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_determinism-01972f94d97cd7ab.rmeta: tests/telemetry_determinism.rs Cargo.toml
+
+tests/telemetry_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_determinism-6e23223a976205f4.d: tests/telemetry_determinism.rs
+
+/root/repo/target/debug/deps/telemetry_determinism-6e23223a976205f4: tests/telemetry_determinism.rs
+
+tests/telemetry_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_volume-8895b2f22c232181.d: tests/telemetry_volume.rs
+
+/root/repo/target/debug/deps/telemetry_volume-8895b2f22c232181: tests/telemetry_volume.rs
+
+tests/telemetry_volume.rs:

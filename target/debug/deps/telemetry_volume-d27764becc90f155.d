@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_volume-d27764becc90f155.d: tests/telemetry_volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_volume-d27764becc90f155.rmeta: tests/telemetry_volume.rs Cargo.toml
+
+tests/telemetry_volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_pretrain-8521c3912fe072c2.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/debug/deps/tune_pretrain-8521c3912fe072c2: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

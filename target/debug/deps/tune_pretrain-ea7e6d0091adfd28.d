@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune_pretrain-ea7e6d0091adfd28.d: crates/repro/src/bin/tune_pretrain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune_pretrain-ea7e6d0091adfd28.rmeta: crates/repro/src/bin/tune_pretrain.rs Cargo.toml
+
+crates/repro/src/bin/tune_pretrain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune_probe-11b14b075d3e9086.d: crates/repro/src/bin/tune_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune_probe-11b14b075d3e9086.rmeta: crates/repro/src/bin/tune_probe.rs Cargo.toml
+
+crates/repro/src/bin/tune_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

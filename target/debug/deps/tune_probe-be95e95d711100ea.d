@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_probe-be95e95d711100ea.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/debug/deps/tune_probe-be95e95d711100ea: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/downstream_adaptation-2764fab2a4f8b72e.d: examples/downstream_adaptation.rs
+
+/root/repo/target/debug/examples/downstream_adaptation-2764fab2a4f8b72e: examples/downstream_adaptation.rs
+
+examples/downstream_adaptation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/downstream_adaptation-5eca380d1951205f.d: examples/downstream_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdownstream_adaptation-5eca380d1951205f.rmeta: examples/downstream_adaptation.rs Cargo.toml
+
+examples/downstream_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

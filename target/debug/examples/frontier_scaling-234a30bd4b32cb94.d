@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/frontier_scaling-234a30bd4b32cb94.d: examples/frontier_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfrontier_scaling-234a30bd4b32cb94.rmeta: examples/frontier_scaling.rs Cargo.toml
+
+examples/frontier_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/frontier_scaling-ee4c9721c3edf081.d: examples/frontier_scaling.rs
+
+/root/repo/target/debug/examples/frontier_scaling-ee4c9721c3edf081: examples/frontier_scaling.rs
+
+examples/frontier_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fsdp_equivalence-33a13becf266d9d9.d: examples/fsdp_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfsdp_equivalence-33a13becf266d9d9.rmeta: examples/fsdp_equivalence.rs Cargo.toml
+
+examples/fsdp_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

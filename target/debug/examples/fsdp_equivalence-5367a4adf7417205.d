@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsdp_equivalence-5367a4adf7417205.d: examples/fsdp_equivalence.rs
+
+/root/repo/target/debug/examples/fsdp_equivalence-5367a4adf7417205: examples/fsdp_equivalence.rs
+
+examples/fsdp_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/geospatial_classification-920ff76c7afacf06.d: examples/geospatial_classification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgeospatial_classification-920ff76c7afacf06.rmeta: examples/geospatial_classification.rs Cargo.toml
+
+examples/geospatial_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/geospatial_classification-99cef78b897bfa24.d: examples/geospatial_classification.rs
+
+/root/repo/target/debug/examples/geospatial_classification-99cef78b897bfa24: examples/geospatial_classification.rs
+
+examples/geospatial_classification.rs:

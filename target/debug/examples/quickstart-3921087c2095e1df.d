@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3921087c2095e1df.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3921087c2095e1df: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-50ff28706e9cc58d.d: crates/repro/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-50ff28706e9cc58d: crates/repro/src/bin/calibrate.rs
+
+crates/repro/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/checkpoint_corruption-d81d30a8713876df.d: tests/checkpoint_corruption.rs
+
+/root/repo/target/release/deps/checkpoint_corruption-d81d30a8713876df: tests/checkpoint_corruption.rs
+
+tests/checkpoint_corruption.rs:

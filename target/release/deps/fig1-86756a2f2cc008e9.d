@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-86756a2f2cc008e9.d: crates/repro/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-86756a2f2cc008e9: crates/repro/src/bin/fig1.rs
+
+crates/repro/src/bin/fig1.rs:

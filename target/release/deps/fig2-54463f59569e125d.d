@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-54463f59569e125d.d: crates/repro/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-54463f59569e125d: crates/repro/src/bin/fig2.rs
+
+crates/repro/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-a287ca68f40208bb.d: crates/repro/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-a287ca68f40208bb: crates/repro/src/bin/fig3.rs
+
+crates/repro/src/bin/fig3.rs:

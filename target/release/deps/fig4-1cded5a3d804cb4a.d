@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1cded5a3d804cb4a.d: crates/repro/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1cded5a3d804cb4a: crates/repro/src/bin/fig4.rs
+
+crates/repro/src/bin/fig4.rs:

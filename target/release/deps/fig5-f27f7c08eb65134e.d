@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f27f7c08eb65134e.d: crates/repro/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f27f7c08eb65134e: crates/repro/src/bin/fig5.rs
+
+crates/repro/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-4c915cce79c42f4b.d: crates/repro/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-4c915cce79c42f4b: crates/repro/src/bin/fig6.rs
+
+crates/repro/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figR-93fa667143412bbc.d: crates/repro/src/bin/figR.rs
+
+/root/repo/target/release/deps/figR-93fa667143412bbc: crates/repro/src/bin/figR.rs
+
+crates/repro/src/bin/figR.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm-ec09695897435cf2.d: src/lib.rs
+
+/root/repo/target/release/deps/libgeofm-ec09695897435cf2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgeofm-ec09695897435cf2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm_bench-1e71d2cb86fcc5b8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_bench-1e71d2cb86fcc5b8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_bench-1e71d2cb86fcc5b8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

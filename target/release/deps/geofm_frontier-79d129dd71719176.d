@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/geofm_frontier-79d129dd71719176.d: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/release/deps/libgeofm_frontier-79d129dd71719176.rlib: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+/root/repo/target/release/deps/libgeofm_frontier-79d129dd71719176.rmeta: crates/frontier/src/lib.rs crates/frontier/src/analytic.rs crates/frontier/src/engine.rs crates/frontier/src/faults.rs crates/frontier/src/io.rs crates/frontier/src/machine.rs crates/frontier/src/memory.rs crates/frontier/src/power.rs crates/frontier/src/schedule.rs crates/frontier/src/sim.rs crates/frontier/src/workload.rs
+
+crates/frontier/src/lib.rs:
+crates/frontier/src/analytic.rs:
+crates/frontier/src/engine.rs:
+crates/frontier/src/faults.rs:
+crates/frontier/src/io.rs:
+crates/frontier/src/machine.rs:
+crates/frontier/src/memory.rs:
+crates/frontier/src/power.rs:
+crates/frontier/src/schedule.rs:
+crates/frontier/src/sim.rs:
+crates/frontier/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/geofm_fsdp-c58a16391aa16da3.d: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/release/deps/libgeofm_fsdp-c58a16391aa16da3.rlib: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+/root/repo/target/release/deps/libgeofm_fsdp-c58a16391aa16da3.rmeta: crates/fsdp/src/lib.rs crates/fsdp/src/flat.rs crates/fsdp/src/rank.rs crates/fsdp/src/strategy.rs crates/fsdp/src/trainer.rs
+
+crates/fsdp/src/lib.rs:
+crates/fsdp/src/flat.rs:
+crates/fsdp/src/rank.rs:
+crates/fsdp/src/strategy.rs:
+crates/fsdp/src/trainer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geofm_repro-5f645fed72c47afb.d: crates/repro/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_repro-5f645fed72c47afb.rlib: crates/repro/src/lib.rs
+
+/root/repo/target/release/deps/libgeofm_repro-5f645fed72c47afb.rmeta: crates/repro/src/lib.rs
+
+crates/repro/src/lib.rs:

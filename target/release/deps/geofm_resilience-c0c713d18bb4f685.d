@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geofm_resilience-c0c713d18bb4f685.d: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+/root/repo/target/release/deps/libgeofm_resilience-c0c713d18bb4f685.rlib: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+/root/repo/target/release/deps/libgeofm_resilience-c0c713d18bb4f685.rmeta: crates/resilience/src/lib.rs crates/resilience/src/ckpt.rs crates/resilience/src/fault.rs crates/resilience/src/mtbf.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/ckpt.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/mtbf.rs:

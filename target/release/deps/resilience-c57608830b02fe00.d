@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-c57608830b02fe00.d: tests/resilience.rs
+
+/root/repo/target/release/deps/resilience-c57608830b02fe00: tests/resilience.rs
+
+tests/resilience.rs:

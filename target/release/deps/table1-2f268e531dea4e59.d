@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-2f268e531dea4e59.d: crates/repro/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-2f268e531dea4e59: crates/repro/src/bin/table1.rs
+
+crates/repro/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-48bdcf8b2e039d13.d: crates/repro/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-48bdcf8b2e039d13: crates/repro/src/bin/table2.rs
+
+crates/repro/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-03dfb31c2657529f.d: crates/repro/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-03dfb31c2657529f: crates/repro/src/bin/table3.rs
+
+crates/repro/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_pretrain-9d8b2f7068018181.d: crates/repro/src/bin/tune_pretrain.rs
+
+/root/repo/target/release/deps/tune_pretrain-9d8b2f7068018181: crates/repro/src/bin/tune_pretrain.rs
+
+crates/repro/src/bin/tune_pretrain.rs:

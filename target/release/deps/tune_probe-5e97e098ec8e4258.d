@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_probe-5e97e098ec8e4258.d: crates/repro/src/bin/tune_probe.rs
+
+/root/repo/target/release/deps/tune_probe-5e97e098ec8e4258: crates/repro/src/bin/tune_probe.rs
+
+crates/repro/src/bin/tune_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fsdp_equivalence-1aca739ec83fd869.d: examples/fsdp_equivalence.rs
+
+/root/repo/target/release/examples/fsdp_equivalence-1aca739ec83fd869: examples/fsdp_equivalence.rs
+
+examples/fsdp_equivalence.rs:

@@ -1,0 +1,156 @@
+//! Corrupted-checkpoint suite: every malformed on-disk artifact must be
+//! *rejected* (`None`), never trusted and never a panic.
+//!
+//! Covers both checkpoint formats in the workspace:
+//!
+//! * the encoder-level pretraining cache (`geofm_core::checkpoint`,
+//!   `GEOFMCK2` magic) via its explicit-directory API, and
+//! * the step-level distributed checkpoint (`geofm_resilience::ckpt`),
+//!   where the payload is small enough to truncate at **every** byte
+//!   boundary exhaustively.
+
+use geofm_core::checkpoint::{load_in, save_in};
+use geofm_core::{pretrain, RecipeConfig};
+use geofm_resilience::{RankSlot, StepCheckpoint};
+use geofm_vit::VitConfig;
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("geofm-ws-ckpt-{tag}-{}", std::process::id()))
+}
+
+fn tiny_recipe() -> RecipeConfig {
+    RecipeConfig {
+        pretrain_images: 64,
+        pretrain_epochs: 1,
+        probe_epochs: 1,
+        probe_scale: 0.02,
+        max_test: 20,
+        ..RecipeConfig::default()
+    }
+}
+
+/// The single `.ckpt` file written under `dir` by `save_in`.
+fn ckpt_file(dir: &std::path::Path) -> PathBuf {
+    let d = dir.join("checkpoints");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&d)
+        .expect("checkpoint dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    assert_eq!(files.len(), 1, "expected exactly one checkpoint in {}", d.display());
+    files.pop().unwrap()
+}
+
+#[test]
+fn encoder_checkpoint_rejects_every_corruption() {
+    let dir = test_dir("encoder");
+    let rc = tiny_recipe();
+    let cfg = VitConfig::tiny_family()[0].clone();
+    let mut out = pretrain(&cfg, &rc);
+    save_in(&dir, &cfg, &rc, &mut out).expect("save must succeed");
+    assert!(load_in(&dir, &cfg, &rc).is_some(), "pristine checkpoint must load");
+
+    let path = ckpt_file(&dir);
+    let good = std::fs::read(&path).unwrap();
+
+    // Truncation: every structural boundary plus a byte-stride sweep
+    // through the payload (the file is too large to cut at every offset).
+    let mut cuts = vec![0, 1, 7, 8, 9, 15, 16, 17, good.len() - 5, good.len() - 4, good.len() - 1];
+    cuts.extend((0..good.len()).step_by(97));
+    for cut in cuts {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(load_in(&dir, &cfg, &rc).is_none(), "truncation at {cut} must be rejected");
+    }
+
+    // Bit flips: header, length field, payload interior, CRC footer.
+    for &(offset, bit) in
+        &[(0usize, 0u8), (3, 7), (8, 0), (12, 4), (20, 1), (good.len() / 2, 3), (good.len() - 2, 6)]
+    {
+        let mut bad = good.clone();
+        bad[offset] ^= 1 << bit;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(
+            load_in(&dir, &cfg, &rc).is_none(),
+            "bit flip at byte {offset} bit {bit} must be rejected"
+        );
+    }
+
+    // Stale magic from a previous format version.
+    let mut stale = good.clone();
+    stale[..8].copy_from_slice(b"GEOFMCK1");
+    std::fs::write(&path, &stale).unwrap();
+    assert!(load_in(&dir, &cfg, &rc).is_none(), "stale magic must be rejected");
+
+    // Appended garbage (length field no longer matches the file).
+    let mut long = good.clone();
+    long.extend_from_slice(&[0xAB; 16]);
+    std::fs::write(&path, &long).unwrap();
+    assert!(load_in(&dir, &cfg, &rc).is_none(), "trailing garbage must be rejected");
+
+    // A key mismatch (different recipe) must miss even on a pristine file.
+    std::fs::write(&path, &good).unwrap();
+    let other_rc = RecipeConfig { pretrain_epochs: 2, ..tiny_recipe() };
+    assert!(load_in(&dir, &cfg, &other_rc).is_none(), "mismatched key must miss");
+
+    // And after all that abuse, the restored-good file still loads.
+    assert!(load_in(&dir, &cfg, &rc).is_some(), "restored checkpoint must load again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn step_checkpoint_rejects_truncation_at_every_boundary() {
+    let ck = StepCheckpoint {
+        step: 11,
+        ranks: (0..3)
+            .map(|r| RankSlot {
+                params: vec![r as f32; 5],
+                adam_m: vec![0.25; 5],
+                adam_v: vec![0.5; 5],
+                adam_t: 11,
+                losses: vec![1.0, 0.5],
+            })
+            .collect(),
+    };
+    let good = ck.to_bytes();
+    assert_eq!(StepCheckpoint::from_bytes(&good).as_ref(), Some(&ck));
+
+    for cut in 0..good.len() {
+        assert!(
+            StepCheckpoint::from_bytes(&good[..cut]).is_none(),
+            "truncation at byte {cut} must be rejected"
+        );
+    }
+    for byte in 0..good.len() {
+        let mut bad = good.clone();
+        bad[byte] ^= 0x10;
+        let reread = StepCheckpoint::from_bytes(&bad);
+        // Any single corrupted byte must either be caught (None) — the CRC
+        // guarantees this — and must certainly never reproduce the original.
+        assert!(reread.is_none(), "bit flip at byte {byte} must be rejected");
+    }
+}
+
+#[test]
+fn step_checkpoint_save_is_atomic_and_reloadable() {
+    let dir = test_dir("step");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s.ckpt");
+    let ck = StepCheckpoint {
+        step: 3,
+        ranks: vec![RankSlot {
+            params: vec![1.0, 2.0],
+            adam_m: vec![0.0; 2],
+            adam_v: vec![0.0; 2],
+            adam_t: 3,
+            losses: vec![],
+        }],
+    };
+    ck.save(&path).unwrap();
+    assert_eq!(StepCheckpoint::load(&path).as_ref(), Some(&ck));
+    assert!(
+        !path.with_extension("tmp").exists(),
+        "atomic write must not leave a tmp sibling behind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
