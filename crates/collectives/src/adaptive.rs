@@ -1,0 +1,178 @@
+//! Adaptive collective timeouts.
+//!
+//! A fixed `with_timeout` bound has to be set pessimistically (minutes on a
+//! real machine) or it false-positives on the first slow step; set that
+//! loosely, a hung collective wastes the whole bound before detection. The
+//! fix used by production trainers is to time out *relative to observed
+//! latency*: track an EWMA of how long this rank's collectives actually
+//! take and declare a peer lost once a wait exceeds a small multiple of
+//! that. [`AdaptiveTimeout`] implements the tracker; [`super::group::RankHandle`]
+//! consults it (combined with the static bound as a warmup fallback and
+//! hard cap) on every internal barrier wait.
+
+use geofm_telemetry::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// EWMA smoothing factor: weight of the newest sample.
+const ALPHA: f64 = 0.2;
+
+/// Tuning for [`AdaptiveTimeout`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveTimeoutConfig {
+    /// Never time out faster than this, however fast the EWMA says
+    /// collectives are — guards against scheduler-noise false positives.
+    pub floor: Duration,
+    /// Timeout = `multiplier × EWMA` (clamped to `floor`). Production
+    /// trainers use 5–20×; the default is 16.
+    pub multiplier: f64,
+    /// Number of observations before the adaptive bound activates; until
+    /// then the handle falls back to its static timeout.
+    pub warmup: u32,
+}
+
+impl Default for AdaptiveTimeoutConfig {
+    fn default() -> Self {
+        Self { floor: Duration::from_millis(50), multiplier: 16.0, warmup: 8 }
+    }
+}
+
+/// Lock-free EWMA of per-collective latency, shared by all of a rank's
+/// group handles so world/shard/replica collectives feed one estimate.
+///
+/// The EWMA is stored as `f64` bits in an `AtomicU64` and updated with a
+/// CAS loop; a lost race just drops one sample's weight, which is fine for
+/// a smoothed estimate.
+#[derive(Debug)]
+pub struct AdaptiveTimeout {
+    cfg: AdaptiveTimeoutConfig,
+    ewma_ns: AtomicU64,
+    samples: AtomicU64,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl AdaptiveTimeout {
+    /// New tracker with no observations.
+    pub fn new(cfg: AdaptiveTimeoutConfig) -> Self {
+        Self { cfg, ewma_ns: AtomicU64::new(0f64.to_bits()), samples: AtomicU64::new(0), metrics: None }
+    }
+
+    /// Record observed latencies into `metrics` as the
+    /// `comm.collective.ns` histogram (per-rank registries give per-rank
+    /// distributions; a shared registry gives the world view).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> AdaptiveTimeoutConfig {
+        self.cfg
+    }
+
+    /// Feed one observed collective latency.
+    pub fn observe(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as f64;
+        let first = self.samples.fetch_add(1, Ordering::AcqRel) == 0;
+        let mut cur = self.ewma_ns.load(Ordering::Acquire);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = if first { ns } else { old + ALPHA * (ns - old) };
+            match self.ewma_ns.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.histogram("comm.collective.ns").record(elapsed.as_nanos() as u64);
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Acquire)
+    }
+
+    /// Current smoothed per-collective latency.
+    pub fn ewma(&self) -> Duration {
+        Duration::from_nanos(f64::from_bits(self.ewma_ns.load(Ordering::Acquire)) as u64)
+    }
+
+    /// The adaptive bound: `max(floor, multiplier × EWMA)`, or `None`
+    /// while still inside the warmup window.
+    pub fn current(&self) -> Option<Duration> {
+        if self.samples() < u64::from(self.cfg.warmup) {
+            return None;
+        }
+        let ewma = f64::from_bits(self.ewma_ns.load(Ordering::Acquire));
+        let bound = Duration::from_nanos((ewma * self.cfg.multiplier) as u64);
+        Some(bound.max(self.cfg.floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_gates_activation() {
+        let t = AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+            floor: Duration::from_millis(1),
+            multiplier: 10.0,
+            warmup: 3,
+        });
+        assert_eq!(t.current(), None);
+        t.observe(Duration::from_millis(2));
+        t.observe(Duration::from_millis(2));
+        assert_eq!(t.current(), None, "still warming up");
+        t.observe(Duration::from_millis(2));
+        let bound = t.current().expect("warmed up");
+        // EWMA = 2 ms exactly (identical samples), bound = 20 ms
+        assert!(bound >= Duration::from_millis(19) && bound <= Duration::from_millis(21), "{bound:?}");
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let t = AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+            floor: Duration::from_millis(100),
+            multiplier: 2.0,
+            warmup: 1,
+        });
+        t.observe(Duration::from_micros(10));
+        assert_eq!(t.current(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn ewma_tracks_shift_in_latency() {
+        let t = AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+            floor: Duration::from_nanos(1),
+            multiplier: 1.0,
+            warmup: 1,
+        });
+        for _ in 0..50 {
+            t.observe(Duration::from_millis(1));
+        }
+        let before = t.ewma();
+        for _ in 0..50 {
+            t.observe(Duration::from_millis(10));
+        }
+        let after = t.ewma();
+        assert!(before < Duration::from_millis(2), "{before:?}");
+        assert!(after > Duration::from_millis(8), "EWMA must converge upward: {after:?}");
+    }
+
+    #[test]
+    fn histogram_is_fed_when_metrics_attached() {
+        let m = Arc::new(MetricsRegistry::new());
+        let t = AdaptiveTimeout::new(AdaptiveTimeoutConfig::default()).with_metrics(Arc::clone(&m));
+        t.observe(Duration::from_millis(1));
+        t.observe(Duration::from_millis(2));
+        assert_eq!(m.histogram("comm.collective.ns").count(), 2);
+    }
+}

@@ -9,12 +9,14 @@
 //! rank that detects a failure calls [`RankHandle::poison`] so all peers
 //! unblock within one timeout period instead of deadlocking.
 
+use crate::adaptive::AdaptiveTimeout;
 use crate::barrier::{RankLost, SenseBarrier};
 use crate::ring;
 use crate::traffic::{CollectiveKind, TrafficCounter};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which collective algorithm a handle uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +47,11 @@ pub struct RankHandle {
     rank: usize,
     algorithm: Algorithm,
     timeout: Option<Duration>,
+    adaptive: Option<Arc<AdaptiveTimeout>>,
+    /// Emulated link slowdown factor for this rank, as `f64` bits (1.0 =
+    /// healthy). Clones of a handle share it, so a fault injector can
+    /// degrade a rank's link while its worker thread holds its own clone.
+    link_slowdown: Arc<AtomicU64>,
     group: Arc<Group>,
 }
 
@@ -79,6 +86,8 @@ impl Group {
                 rank,
                 algorithm: Algorithm::Direct,
                 timeout: None,
+                adaptive: None,
+                link_slowdown: Arc::new(AtomicU64::new(1f64.to_bits())),
                 group: Arc::clone(&group),
             })
             .collect()
@@ -116,9 +125,49 @@ impl RankHandle {
         self
     }
 
-    /// The configured per-barrier timeout, if any.
+    /// The configured static per-barrier timeout, if any.
     pub fn timeout(&self) -> Option<Duration> {
         self.timeout
+    }
+
+    /// Attach an adaptive timeout tracker. Every successful barrier wait
+    /// feeds its latency EWMA; once warmed up, the adaptive bound
+    /// (`multiplier × EWMA`, clamped to its floor) *tightens* the static
+    /// timeout — the effective bound is the minimum of the two, with the
+    /// static bound acting as warmup fallback and hard cap. Share one
+    /// tracker across a rank's world/shard/replica handles so all its
+    /// collectives feed one estimate.
+    pub fn with_adaptive(mut self, adaptive: Arc<AdaptiveTimeout>) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// The attached adaptive timeout tracker, if any.
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveTimeout>> {
+        self.adaptive.as_ref()
+    }
+
+    /// The bound actually applied to the next barrier wait: the minimum of
+    /// the static timeout and the (warmed-up) adaptive bound.
+    pub fn effective_timeout(&self) -> Option<Duration> {
+        let adaptive = self.adaptive.as_ref().and_then(|a| a.current());
+        match (adaptive, self.timeout) {
+            (Some(a), Some(s)) => Some(a.min(s)),
+            (Some(a), None) => Some(a),
+            (None, s) => s,
+        }
+    }
+
+    /// Emulate a degraded link for this rank: every successful barrier
+    /// wait is stretched by `slowdown` (1.0 = healthy). Shared with all
+    /// clones of this handle.
+    pub fn set_link_slowdown(&self, slowdown: f64) {
+        self.link_slowdown.store(slowdown.max(1.0).to_bits(), Ordering::Release);
+    }
+
+    /// The currently emulated link slowdown factor.
+    pub fn link_slowdown(&self) -> f64 {
+        f64::from_bits(self.link_slowdown.load(Ordering::Acquire))
     }
 
     /// Poison the group: every current and future collective on any peer's
@@ -147,9 +196,29 @@ impl RankHandle {
     }
 
     /// Synchronise all ranks; `Err(RankLost)` if the group is poisoned or
-    /// this handle's timeout expires first.
+    /// this handle's [`RankHandle::effective_timeout`] expires first.
+    ///
+    /// Successful waits feed the adaptive latency EWMA (if attached) and
+    /// are stretched by the emulated link slowdown (if degraded) — this is
+    /// the single choke point through which every collective passes, so
+    /// both gray-failure injection and detection live here.
     pub fn try_barrier(&self) -> Result<(), RankLost> {
-        self.group.barrier.wait_timeout(self.timeout)
+        let start = Instant::now();
+        self.group.barrier.wait_timeout(self.effective_timeout())?;
+        let elapsed = start.elapsed();
+        if let Some(a) = &self.adaptive {
+            a.observe(elapsed);
+        }
+        let slowdown = self.link_slowdown();
+        if slowdown > 1.0 {
+            // A healthy shared-memory wait can be sub-microsecond, which
+            // would make the emulated degradation invisible; model the
+            // wire latency a real collective always pays so a degraded
+            // link injects measurable delay.
+            const LINK_BASE_LATENCY: Duration = Duration::from_micros(100);
+            std::thread::sleep(elapsed.max(LINK_BASE_LATENCY).mul_f64(slowdown - 1.0));
+        }
+        Ok(())
     }
 
     fn record(&self, kind: CollectiveKind, elems: usize) {
@@ -509,6 +578,162 @@ mod tests {
         assert!(h.try_broadcast(&mut buf, 0).is_err());
         assert!(h.try_barrier().is_err());
         assert!(h.is_poisoned());
+    }
+
+    #[test]
+    fn chunk_bounds_more_ranks_than_elements() {
+        // len < n: the first `len` ranks own one element, the rest own
+        // empty (but well-formed) ranges.
+        let (len, n) = (3usize, 8usize);
+        for r in 0..n {
+            let (lo, hi) = chunk_bounds(len, n, r);
+            if r < len {
+                assert_eq!((lo, hi), (r, r + 1));
+            } else {
+                assert_eq!(lo, hi, "rank {r} must own an empty range");
+                assert!(hi <= len);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_empty_buffer() {
+        for n in [1usize, 2, 5] {
+            for r in 0..n {
+                assert_eq!(chunk_bounds(0, n, r), (0, 0));
+            }
+        }
+    }
+
+    /// Every `try_*` collective must surface `Err(RankLost)` on **all**
+    /// survivors when a peer never shows up — no partial hang where some
+    /// ranks error and others block forever.
+    fn assert_survivors_all_err(
+        op: impl Fn(&RankHandle) -> Result<(), RankLost> + Sync,
+    ) {
+        let handles = Group::create(4);
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for h in handles.into_iter().take(3) {
+                let op = &op;
+                s.spawn(move || {
+                    let h = h.with_timeout(Some(Duration::from_millis(100)));
+                    assert!(op(&h).is_err(), "rank {} must observe the lost peer", h.rank());
+                });
+            }
+        });
+        assert!(start.elapsed() < Duration::from_secs(10), "survivors must unblock promptly");
+    }
+
+    #[test]
+    fn dead_rank_barrier_errors_on_all_survivors() {
+        assert_survivors_all_err(|h| h.try_barrier());
+    }
+
+    #[test]
+    fn dead_rank_all_gather_errors_on_all_survivors() {
+        assert_survivors_all_err(|h| {
+            let mut out = Vec::new();
+            h.try_all_gather(&[1.0, 2.0], &mut out)
+        });
+    }
+
+    #[test]
+    fn dead_rank_reduce_scatter_errors_on_all_survivors() {
+        assert_survivors_all_err(|h| {
+            let mut out = Vec::new();
+            h.try_reduce_scatter(&[1.0f32; 8], &mut out)
+        });
+    }
+
+    #[test]
+    fn dead_rank_broadcast_errors_on_all_survivors() {
+        assert_survivors_all_err(|h| {
+            let mut buf = vec![0.0f32; 4];
+            h.try_broadcast(&mut buf, 0)
+        });
+    }
+
+    #[test]
+    fn adaptive_timeout_detects_hang_faster_than_static_bound() {
+        use crate::adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
+
+        // Static bound is generous (10 s); the adaptive tracker warms up on
+        // fast collectives and must then catch a hung peer in ~floor time.
+        let handles = Group::create(3);
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for (i, h) in handles.into_iter().enumerate() {
+                s.spawn(move || {
+                    let tracker = Arc::new(AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+                        floor: Duration::from_millis(50),
+                        multiplier: 16.0,
+                        warmup: 4,
+                    }));
+                    let h = h
+                        .with_timeout(Some(Duration::from_secs(10)))
+                        .with_adaptive(tracker);
+                    let mut buf = vec![1.0f32; 8];
+                    for _ in 0..4 {
+                        h.try_all_reduce(&mut buf).unwrap();
+                    }
+                    // rank 2 hangs; the others must error well before 10 s
+                    if i == 2 {
+                        return;
+                    }
+                    assert!(h.try_all_reduce(&mut buf).is_err());
+                });
+            }
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "adaptive bound must beat the static 10 s timeout, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn adaptive_timeout_tolerates_healthy_variance() {
+        use crate::adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
+
+        // Ranks with mildly skewed arrival times must not false-positive.
+        let handles = Group::create(4);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let tracker = Arc::new(AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+                        floor: Duration::from_millis(50),
+                        multiplier: 16.0,
+                        warmup: 4,
+                    }));
+                    let h = h.with_timeout(Some(Duration::from_secs(10))).with_adaptive(tracker);
+                    let mut buf = vec![1.0f32; 8];
+                    for round in 0..30 {
+                        std::thread::sleep(Duration::from_micros(((h.rank() * round) % 7) as u64 * 100));
+                        h.try_all_reduce(&mut buf).unwrap_or_else(|e| {
+                            panic!("rank {} false positive at round {round}: {e:?}", h.rank())
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn link_slowdown_stretches_collectives_without_changing_results() {
+        let handles = Group::create(2);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    if h.rank() == 1 {
+                        h.set_link_slowdown(5.0);
+                    }
+                    let mut buf = vec![(h.rank() + 1) as f32; 4];
+                    h.all_reduce(&mut buf);
+                    assert!(buf.iter().all(|&v| v == 3.0), "degraded link must not corrupt data");
+                });
+            }
+        });
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! (model replicated across groups, all-reduce between them) — §III-C of the
 //! paper.
 
+use crate::adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 use crate::group::{Group, RankHandle};
 use crate::traffic::TrafficCounter;
+use geofm_telemetry::MetricsRegistry;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,6 +48,36 @@ impl RankGroups {
         self.shard = self.shard.with_timeout(timeout);
         self.replica = self.replica.with_timeout(timeout);
         self
+    }
+
+    /// Attach one shared [`AdaptiveTimeout`] tracker to all three handles:
+    /// every collective this rank runs — world, shard or replica — feeds a
+    /// single latency EWMA, and once warmed up the adaptive bound tightens
+    /// the static timeout on all of them (see
+    /// [`RankHandle::with_adaptive`]). Pass a metrics registry to record
+    /// observed latencies as the `comm.collective.ns` histogram.
+    pub fn with_adaptive_timeout(
+        mut self,
+        cfg: AdaptiveTimeoutConfig,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        let mut tracker = AdaptiveTimeout::new(cfg);
+        if let Some(m) = metrics {
+            tracker = tracker.with_metrics(m);
+        }
+        let tracker = Arc::new(tracker);
+        self.world = self.world.with_adaptive(Arc::clone(&tracker));
+        self.shard = self.shard.with_adaptive(Arc::clone(&tracker));
+        self.replica = self.replica.with_adaptive(tracker);
+        self
+    }
+
+    /// Emulate a degraded link for this rank across all three groups (see
+    /// [`RankHandle::set_link_slowdown`]). `1.0` restores a healthy link.
+    pub fn set_link_slowdown(&self, slowdown: f64) {
+        self.world.set_link_slowdown(slowdown);
+        self.shard.set_link_slowdown(slowdown);
+        self.replica.set_link_slowdown(slowdown);
     }
 
     /// Poison all three groups this rank belongs to. A dying rank calls

@@ -20,12 +20,14 @@
 //! algorithm accounting). `geofm-frontier` prices those same byte counts,
 //! and an integration test cross-validates the two.
 
+pub mod adaptive;
 pub mod barrier;
 pub mod group;
 pub mod hierarchy;
 pub mod ring;
 pub mod traffic;
 
+pub use adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 pub use barrier::{RankLost, SenseBarrier};
 pub use group::{Algorithm, Group, RankHandle};
 pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};

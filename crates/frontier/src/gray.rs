@@ -1,0 +1,212 @@
+//! Gray-failure (degraded-GCD / degraded-link) modeling for the DES.
+//!
+//! Fail-stop faults cost rework and restarts ([`crate::faults`]); *gray*
+//! faults cost throughput continuously. Training is bulk-synchronous, so a
+//! single persistently slow GCD gates every barrier — the step time of the
+//! whole world becomes the slow rank's step time — and a single degraded
+//! Slingshot link gates every ring collective that crosses it. Both
+//! properties make the degraded regimes cheap to price exactly:
+//!
+//! * **degraded GCD** — re-run the step DAG on a machine whose
+//!   `peak_flops` is divided by the slowdown. Under BSP, "every rank slow"
+//!   and "one rank slow" have the same critical path through compute, so
+//!   this is exact for the compute contribution.
+//! * **degraded link** — divide the inter-node NIC bandwidth
+//!   (`bw_node_nic`). A ring moves every byte across every link in the
+//!   ring, so its throughput is the *minimum* link bandwidth — derating
+//!   the machine-wide NIC bandwidth is exactly the one-bad-link cost for
+//!   ring collectives.
+//!
+//! With per-GCD degradation probability `f`, the probability that *some*
+//! GCD in a `W`-rank job is degraded is `1 − (1−f)^W` — at Frontier scale
+//! even tiny `f` makes a degraded step the common case, which is the whole
+//! point of the `figS` sweep built on [`GrayModel::sweep`].
+
+use crate::engine::execute;
+use crate::machine::FrontierMachine;
+use crate::schedule::build_step;
+use crate::sim::SimConfig;
+
+/// Severity of gray degradation, applied machine-wide (see module docs for
+/// why that equals the single-bad-component cost under BSP + rings).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayModel {
+    /// How much slower a degraded GCD computes (3.0 = one third the
+    /// FLOP/s — the regime of a thermally throttled or half-broken GCD).
+    pub gcd_slowdown: f64,
+    /// How much a degraded link's bandwidth is derated (4.0 = quarter
+    /// bandwidth — e.g. a Slingshot link running with degraded lanes).
+    pub link_derate: f64,
+}
+
+impl Default for GrayModel {
+    fn default() -> Self {
+        Self { gcd_slowdown: 3.0, link_derate: 4.0 }
+    }
+}
+
+/// One cell of an ips-vs-degradation-fraction sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct GrayPoint {
+    /// Per-component degradation probability swept over.
+    pub frac: f64,
+    /// P(at least one degraded GCD) = `1 − (1−frac)^world`.
+    pub p_any_gcd: f64,
+    /// P(at least one degraded link) = `1 − (1−frac)^nodes`.
+    pub p_any_link: f64,
+    /// Expected step time (probability-weighted over the four health
+    /// states), seconds.
+    pub step_time: f64,
+    /// Expected aggregate images/s.
+    pub ips: f64,
+    /// `ips` relative to the fault-free configuration (1.0 at `frac` = 0).
+    pub relative: f64,
+}
+
+impl GrayModel {
+    /// `machine` with every GCD computing `gcd_slowdown ×` slower.
+    pub fn degrade_gcd(&self, machine: &FrontierMachine) -> FrontierMachine {
+        let mut m = *machine;
+        m.cal.peak_flops /= self.gcd_slowdown;
+        m
+    }
+
+    /// `machine` with the inter-node NIC derated `link_derate ×`.
+    pub fn degrade_link(&self, machine: &FrontierMachine) -> FrontierMachine {
+        let mut m = *machine;
+        m.cal.bw_node_nic /= self.link_derate;
+        m
+    }
+
+    fn step_time(&self, cfg: &SimConfig, machine: &FrontierMachine) -> f64 {
+        let tasks = build_step(
+            machine,
+            &cfg.workload,
+            cfg.strategy,
+            cfg.prefetch,
+            cfg.limit_all_gathers,
+        );
+        execute(&tasks).makespan
+    }
+
+    /// Expected step time and throughput when each GCD is independently
+    /// degraded with probability `frac` and each inter-node link likewise.
+    pub fn expected(&self, cfg: &SimConfig, frac: f64) -> GrayPoint {
+        assert!((0.0..=1.0).contains(&frac), "frac must be a probability");
+        let world = cfg.machine.world() as f64;
+        let nodes = cfg.machine.nodes as f64;
+        let p_any_gcd = 1.0 - (1.0 - frac).powf(world);
+        let p_any_link = 1.0 - (1.0 - frac).powf(nodes);
+
+        let t_base = self.step_time(cfg, &cfg.machine);
+        let t_gcd = self.step_time(cfg, &self.degrade_gcd(&cfg.machine));
+        let t_link = self.step_time(cfg, &self.degrade_link(&cfg.machine));
+        let t_both = self.step_time(cfg, &self.degrade_link(&self.degrade_gcd(&cfg.machine)));
+
+        let step_time = (1.0 - p_any_gcd) * (1.0 - p_any_link) * t_base
+            + p_any_gcd * (1.0 - p_any_link) * t_gcd
+            + (1.0 - p_any_gcd) * p_any_link * t_link
+            + p_any_gcd * p_any_link * t_both;
+
+        let global_batch = (cfg.machine.world() * cfg.workload.local_batch) as f64;
+        let ips = global_batch / step_time;
+        GrayPoint {
+            frac,
+            p_any_gcd,
+            p_any_link,
+            step_time,
+            ips,
+            relative: t_base / step_time,
+        }
+    }
+
+    /// Sweep the degradation fraction. Points are returned in the order of
+    /// `fracs`; `relative` is normalised to the fault-free step time, so
+    /// strategies are comparable even when their absolute ips differ.
+    pub fn sweep(&self, cfg: &SimConfig, fracs: &[f64]) -> Vec<GrayPoint> {
+        fracs.iter().map(|&f| self.expected(cfg, f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::MaeWorkload;
+    use geofm_fsdp::ShardingStrategy;
+    use geofm_vit::{VitConfig, VitVariant};
+
+    fn cfg(strategy: ShardingStrategy) -> SimConfig {
+        let machine = FrontierMachine::new(4);
+        let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::Base), 32, 0.75);
+        SimConfig::tuned(machine, strategy, wl)
+    }
+
+    #[test]
+    fn zero_fraction_is_fault_free() {
+        let c = cfg(ShardingStrategy::FullShard);
+        let p = GrayModel::default().expected(&c, 0.0);
+        assert!((p.relative - 1.0).abs() < 1e-12, "{}", p.relative);
+        assert_eq!(p.p_any_gcd, 0.0);
+        assert_eq!(p.p_any_link, 0.0);
+    }
+
+    #[test]
+    fn ips_is_monotone_non_increasing_in_fraction() {
+        let c = cfg(ShardingStrategy::NoShard);
+        let points =
+            GrayModel::default().sweep(&c, &[0.0, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0]);
+        for w in points.windows(2) {
+            assert!(
+                w[1].ips <= w[0].ips + 1e-9,
+                "ips must not increase with degradation: {} → {}",
+                w[0].ips,
+                w[1].ips
+            );
+        }
+    }
+
+    #[test]
+    fn unit_severity_changes_nothing() {
+        let c = cfg(ShardingStrategy::ShardGradOp);
+        let m = GrayModel { gcd_slowdown: 1.0, link_derate: 1.0 };
+        let p = m.expected(&c, 0.5);
+        assert!((p.relative - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_fraction_hits_the_fully_degraded_floor() {
+        let c = cfg(ShardingStrategy::FullShard);
+        let m = GrayModel::default();
+        let p = m.expected(&c, 1.0);
+        // at frac = 1 every step runs on the doubly-degraded machine; the
+        // slowdown is bounded by the compute derate (comm may overlap)
+        assert!(p.relative < 1.0 / 2.0, "3x compute derate must cost >2x: {}", p.relative);
+        assert!(p.relative > 0.05, "{}", p.relative);
+    }
+
+    #[test]
+    fn steep_initial_drop_then_plateau() {
+        // the curve's signature shape: P(any slow GCD) saturates fast, so
+        // ips falls steeply at small fractions and flattens
+        let c = cfg(ShardingStrategy::NoShard);
+        let pts = GrayModel::default().sweep(&c, &[0.0, 0.05, 0.1, 0.6, 1.0]);
+        let drop_early = pts[0].ips - pts[2].ips; // 0 → 0.1
+        let drop_late = pts[2].ips - pts[4].ips; // 0.1 → 1.0
+        assert!(
+            drop_early > drop_late,
+            "early drop {drop_early} must exceed late drop {drop_late}"
+        );
+    }
+
+    #[test]
+    fn probability_of_any_degraded_component_saturates_with_scale() {
+        let m = GrayModel::default();
+        let small = m.expected(&cfg(ShardingStrategy::NoShard), 0.01);
+        let big_machine = FrontierMachine::new(64);
+        let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::Base), 32, 0.75);
+        let big_cfg = SimConfig::tuned(big_machine, ShardingStrategy::NoShard, wl);
+        let big = m.expected(&big_cfg, 0.01);
+        assert!(big.p_any_gcd > small.p_any_gcd);
+        assert!(big.p_any_gcd > 0.99, "512 GCDs at 1% each: {}", big.p_any_gcd);
+    }
+}

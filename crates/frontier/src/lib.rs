@@ -23,6 +23,9 @@
 //! * [`io`] — the Lustre/data-loader throughput model (Figure 1 `io` curve).
 //! * [`faults`] — MTBF/goodput modeling on top of `geofm-resilience`:
 //!   checkpoint-interval sweeps with the Young/Daly analytic optimum.
+//! * [`gray`] — gray-failure pricing: expected throughput when GCDs or
+//!   Slingshot links are persistently *degraded* rather than dead (the
+//!   `figS` sweep).
 //! * [`sim`] — the top-level [`sim::simulate`] entry point.
 //! * [`analytic`] — a closed-form estimate used to cross-check the DES.
 //!
@@ -37,6 +40,7 @@
 pub mod analytic;
 pub mod engine;
 pub mod faults;
+pub mod gray;
 pub mod io;
 pub mod machine;
 pub mod memory;
@@ -46,6 +50,7 @@ pub mod sim;
 pub mod workload;
 
 pub use faults::{interval_ladder, FaultModel, GoodputPoint, GoodputSweep};
+pub use gray::{GrayModel, GrayPoint};
 pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
 pub use memory::MemoryModel;
 pub use sim::{simulate, SimConfig, SimResult};

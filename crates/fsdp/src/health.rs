@@ -1,0 +1,249 @@
+//! Per-rank health monitoring for the resilient trainer.
+//!
+//! Gray failures do not kill ranks — they make them *slow*, and in a
+//! bulk-synchronous step the whole world slows to the straggler's pace
+//! while every per-rank wall clock still reads the same (everyone waits at
+//! the same barriers). Detection therefore has to measure **rank-local
+//! work time** — the stretch where a rank computes on its own, before it
+//! re-enters a collective — which is exactly what the trainer feeds
+//! [`HealthMonitor::record`].
+//!
+//! The monitor keeps a per-rank EWMA of local work time, flags ranks whose
+//! EWMA exceeds `threshold ×` the healthy median (emitting `health.*`
+//! telemetry on the transition), and summarises the run in a
+//! [`DegradedReport`]: who was slow, by how much, and the goodput lost to
+//! waiting on them.
+
+use geofm_resilience::{DegradedReport, StragglerInfo};
+use geofm_telemetry::Telemetry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// EWMA smoothing factor: weight of the newest sample.
+const ALPHA: f64 = 0.3;
+
+#[derive(Debug, Default)]
+struct RankStats {
+    /// EWMA of local work time, `f64` bits.
+    ewma_ns: AtomicU64,
+    /// Cumulative local work time.
+    total_ns: AtomicU64,
+    /// Steps recorded.
+    steps: AtomicU64,
+    /// Whether this rank has been flagged as a straggler.
+    flagged: AtomicBool,
+}
+
+/// Tracks per-rank step-time EWMAs and flags persistent stragglers.
+///
+/// Shared by all rank threads of one attempt; all state is atomic, so
+/// `record` is safe to call concurrently from every rank.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    threshold: f64,
+    ranks: Vec<RankStats>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl HealthMonitor {
+    /// Monitor `world` ranks; a rank is flagged once its EWMA exceeds
+    /// `threshold ×` the median EWMA across ranks.
+    pub fn new(world: usize, threshold: f64) -> Self {
+        Self {
+            threshold,
+            ranks: (0..world).map(|_| RankStats::default()).collect(),
+            telemetry: None,
+        }
+    }
+
+    /// Emit `health.step.ns` histograms, `health.straggler_flags` counter
+    /// increments and a `health.stragglers` gauge into `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Option<Arc<Telemetry>>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Feed one step's rank-local work time (injected delays + compute,
+    /// *excluding* barrier waits — see the module docs for why).
+    pub fn record(&self, rank: usize, local_work: Duration) {
+        let stats = &self.ranks[rank];
+        let ns = local_work.as_nanos() as f64;
+        let first = stats.steps.fetch_add(1, Ordering::AcqRel) == 0;
+        stats.total_ns.fetch_add(local_work.as_nanos() as u64, Ordering::AcqRel);
+        let mut cur = stats.ewma_ns.load(Ordering::Acquire);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = if first { ns } else { old + ALPHA * (ns - old) };
+            match stats.ewma_ns.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.metrics.histogram("health.step.ns").record(local_work.as_nanos() as u64);
+        }
+        self.check_straggler(rank);
+    }
+
+    fn ewma_of(&self, rank: usize) -> f64 {
+        f64::from_bits(self.ranks[rank].ewma_ns.load(Ordering::Acquire))
+    }
+
+    /// Flag `rank` (once) if its EWMA stands out against the median.
+    fn check_straggler(&self, rank: usize) {
+        let Some(median) = self.median_ewma() else { return };
+        if median <= 0.0 {
+            return;
+        }
+        let mine = self.ewma_of(rank);
+        if mine > self.threshold * median
+            && !self.ranks[rank].flagged.swap(true, Ordering::AcqRel)
+        {
+            if let Some(t) = &self.telemetry {
+                t.metrics.counter("health.straggler_flags").inc(1);
+                t.metrics.gauge("health.stragglers").set(self.flagged_count() as i64);
+            }
+        }
+    }
+
+    /// Lower-median EWMA over ranks that have recorded at least one step.
+    /// The *lower* median matters at world = 2: with one degraded rank the
+    /// upper median would be the straggler itself, masking it.
+    fn median_ewma(&self) -> Option<f64> {
+        let mut active: Vec<f64> = self
+            .ranks
+            .iter()
+            .filter(|s| s.steps.load(Ordering::Acquire) > 0)
+            .map(|s| f64::from_bits(s.ewma_ns.load(Ordering::Acquire)))
+            .collect();
+        if active.len() < 2 {
+            return None;
+        }
+        active.sort_by(|a, b| a.total_cmp(b));
+        Some(active[(active.len() - 1) / 2])
+    }
+
+    /// Ranks currently flagged.
+    pub fn flagged_count(&self) -> usize {
+        self.ranks.iter().filter(|s| s.flagged.load(Ordering::Acquire)).count()
+    }
+
+    /// Summarise the degradation observed so far: `Some` iff at least one
+    /// rank's mean local work time exceeds `threshold ×` the median.
+    pub fn report(&self) -> Option<DegradedReport> {
+        let means: Vec<(usize, f64, u64)> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.steps.load(Ordering::Acquire) > 0)
+            .map(|(r, s)| {
+                let total = s.total_ns.load(Ordering::Acquire);
+                let steps = s.steps.load(Ordering::Acquire);
+                (r, total as f64 / steps as f64, total)
+            })
+            .collect();
+        if means.len() < 2 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = means.iter().map(|&(_, m, _)| m).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[(sorted.len() - 1) / 2];
+        if median <= 0.0 {
+            return None;
+        }
+        let mut stragglers: Vec<StragglerInfo> = means
+            .iter()
+            .filter(|&&(_, m, _)| m > self.threshold * median)
+            .map(|&(rank, m, _)| StragglerInfo {
+                rank,
+                slowdown: m / median,
+                mean_step_ms: m / 1e6,
+            })
+            .collect();
+        if stragglers.is_empty() {
+            return None;
+        }
+        stragglers.sort_by(|a, b| b.slowdown.total_cmp(&a.slowdown));
+
+        let mut totals: Vec<u64> = means.iter().map(|&(_, _, t)| t).collect();
+        totals.sort_unstable();
+        let median_total = totals[(totals.len() - 1) / 2] as f64;
+        let max_total = *totals.last().unwrap() as f64;
+        let goodput_lost = if max_total > 0.0 { 1.0 - median_total / max_total } else { 0.0 };
+
+        Some(DegradedReport { stragglers, median_step_ms: median / 1e6, goodput_lost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(monitor: &HealthMonitor, rank: usize, ms: u64, steps: usize) {
+        for _ in 0..steps {
+            monitor.record(rank, Duration::from_millis(ms));
+        }
+    }
+
+    #[test]
+    fn healthy_world_reports_nothing() {
+        let m = HealthMonitor::new(4, 2.5);
+        for r in 0..4 {
+            feed(&m, r, 10, 8);
+        }
+        assert_eq!(m.flagged_count(), 0);
+        assert!(m.report().is_none());
+    }
+
+    #[test]
+    fn straggler_is_flagged_and_reported() {
+        let m = HealthMonitor::new(4, 2.5);
+        for r in 0..3 {
+            feed(&m, r, 10, 8);
+        }
+        feed(&m, 3, 40, 8);
+        assert_eq!(m.flagged_count(), 1);
+        let report = m.report().expect("4x rank must be reported");
+        assert_eq!(report.stragglers.len(), 1);
+        assert_eq!(report.stragglers[0].rank, 3);
+        assert!(
+            (report.stragglers[0].slowdown - 4.0).abs() < 0.2,
+            "slowdown ≈ 4: {}",
+            report.stragglers[0].slowdown
+        );
+        // healthy ranks idle ~3/4 of the time waiting on rank 3
+        assert!((report.goodput_lost - 0.75).abs() < 0.05, "{}", report.goodput_lost);
+    }
+
+    #[test]
+    fn lower_median_detects_straggler_at_world_two() {
+        let m = HealthMonitor::new(2, 2.5);
+        feed(&m, 0, 10, 8);
+        feed(&m, 1, 50, 8);
+        let report = m.report().expect("world=2 straggler must be detectable");
+        assert_eq!(report.stragglers[0].rank, 1);
+    }
+
+    #[test]
+    fn flag_fires_once_per_rank() {
+        let t = Arc::new(Telemetry::new());
+        let m = HealthMonitor::new(2, 2.0).with_telemetry(Some(Arc::clone(&t)));
+        feed(&m, 0, 10, 10);
+        feed(&m, 1, 100, 10);
+        assert_eq!(t.metrics.counter("health.straggler_flags").get(), 1);
+        assert_eq!(t.metrics.histogram("health.step.ns").count(), 20);
+    }
+
+    #[test]
+    fn single_rank_world_never_reports() {
+        let m = HealthMonitor::new(1, 2.5);
+        feed(&m, 0, 10, 8);
+        assert!(m.report().is_none(), "no peers to compare against");
+    }
+}

@@ -23,11 +23,13 @@
 //! meters through the shared [`geofm_collectives::TrafficCounter`].
 
 pub mod flat;
+pub mod health;
 pub mod rank;
 pub mod strategy;
 pub mod trainer;
 
 pub use flat::FlatLayout;
+pub use health::HealthMonitor;
 pub use rank::{FsdpRank, StepReport};
 pub use strategy::{FsdpConfig, PrefetchPolicy, ShardingStrategy};
 pub use trainer::{

@@ -15,17 +15,22 @@
 //!   **bit-identically** — the final parameters equal those of a run that
 //!   never failed.
 
+use crate::health::HealthMonitor;
 use crate::rank::FsdpRank;
 use crate::strategy::FsdpConfig;
-use geofm_collectives::{HierarchyLayout, ProcessGroups, TrafficCounter, TrafficSnapshot};
+use geofm_collectives::{
+    AdaptiveTimeoutConfig, HierarchyLayout, ProcessGroups, TrafficCounter, TrafficSnapshot,
+};
 use geofm_nn::{AdamWState, Module};
-use geofm_resilience::{FailureReport, FaultPlan, RankFailure, RankSlot, StepCheckpoint};
+use geofm_resilience::{
+    DegradedReport, FailureReport, FaultPlan, RankFailure, RankSlot, StepCheckpoint,
+};
 use geofm_telemetry::Telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The outcome of a distributed run.
 #[derive(Debug, Clone)]
@@ -38,6 +43,11 @@ pub struct DistReport {
     pub traffic: TrafficSnapshot,
     /// How many elastic restarts the run needed (0 without faults).
     pub restarts: usize,
+    /// Gray-degradation summary from the health monitor: `Some` when at
+    /// least one rank ran persistently slower than the healthy median.
+    /// A degraded world still completes (bit-identically) — it just
+    /// completes slower, and this says by how much and whose fault it was.
+    pub degraded: Option<DegradedReport>,
 }
 
 /// Fault-tolerance policy for [`try_run_data_parallel`].
@@ -60,6 +70,15 @@ pub struct ResilienceConfig {
     /// How many times the harness may restart the world after a failed
     /// attempt before giving up and returning the failure report.
     pub max_restarts: usize,
+    /// Adaptive collective timeout: each rank tracks an EWMA of observed
+    /// collective latency and times out at `multiplier × EWMA` (clamped to
+    /// the config's floor), *tightening* `collective_timeout` once warmed
+    /// up. This is how a hang is detected relative to real step time
+    /// instead of a pessimistic fixed bound.
+    pub adaptive_timeout: Option<AdaptiveTimeoutConfig>,
+    /// A rank is flagged as a straggler once its local-work EWMA exceeds
+    /// this multiple of the healthy median (see [`HealthMonitor`]).
+    pub straggler_threshold: f64,
 }
 
 impl ResilienceConfig {
@@ -73,6 +92,8 @@ impl ResilienceConfig {
             checkpoint_path: None,
             collective_timeout: Some(Duration::from_secs(60)),
             max_restarts: 0,
+            adaptive_timeout: None,
+            straggler_threshold: 2.5,
         }
     }
 }
@@ -186,9 +207,16 @@ where
     FC: Fn(&mut M, usize, usize) -> f32 + Sync,
     FL: Fn(usize) -> f32 + Sync,
 {
-    let mut failure =
-        FailureReport { restarts_used: 0, resumed_from_step: None, failures: Vec::new() };
+    let mut failure = FailureReport {
+        restarts_used: 0,
+        resumed_from_step: None,
+        failures: Vec::new(),
+        degraded: None,
+    };
     loop {
+        // fresh monitor per attempt: a restarted world re-learns who is slow
+        let health = HealthMonitor::new(world, resilience.straggler_threshold)
+            .with_telemetry(telemetry.clone());
         // resume from the last durable checkpoint, if one exists and matches
         let resume = resilience
             .checkpoint_path
@@ -211,16 +239,19 @@ where
             telemetry.as_ref(),
             &resilience,
             resume,
+            &health,
         );
         drop(recovery_span);
         match outcome {
             Ok(mut report) => {
                 report.restarts = failure.restarts_used;
+                report.degraded = health.report();
                 return Ok(report);
             }
             Err(mut fails) => {
                 failure.failures.append(&mut fails);
                 if failure.restarts_used >= resilience.max_restarts {
+                    failure.degraded = health.report();
                     return Err(failure);
                 }
                 failure.restarts_used += 1;
@@ -247,6 +278,7 @@ fn run_attempt<M, FM, FC, FL>(
     telemetry: Option<&Arc<Telemetry>>,
     resilience: &ResilienceConfig,
     resume: Option<StepCheckpoint>,
+    health: &HealthMonitor,
 ) -> Result<DistReport, Vec<RankFailure>>
 where
     M: Module + Send,
@@ -283,7 +315,10 @@ where
             let telemetry = telemetry.cloned();
             let handle = s.spawn(move || -> Result<(), RankFailure> {
                 let rank = g.rank;
-                let g = g.with_timeout(resilience.collective_timeout);
+                let mut g = g.with_timeout(resilience.collective_timeout);
+                if let Some(cfg) = resilience.adaptive_timeout {
+                    g = g.with_adaptive_timeout(cfg, telemetry.as_deref().map(|t| t.metrics.clone()));
+                }
                 // kept outside the unwind boundary so a panicking rank can
                 // still unblock its peers
                 let guard = g.clone();
@@ -317,16 +352,63 @@ where
 
                     for step in start_step..steps {
                         current_step.store(step, Ordering::Relaxed);
+                        // rank-local work this step (injected delays +
+                        // compute, no barrier waits) — what the health
+                        // monitor compares across ranks
+                        let mut local_work = Duration::ZERO;
                         if let Some(delay) = plan.slow_delay(rank, step) {
                             count("fault.straggler");
                             std::thread::sleep(delay);
+                            local_work += delay;
                         }
                         if plan.take_crash(rank, step) {
                             count("fault.injected_crash");
                             fr.poison_groups();
                             return Err(fail(step, "injected rank crash".into()));
                         }
-                        let report = match fr.try_step(lr_at(step), |m| compute(m, rank, step)) {
+                        if plan.take_hang(rank, step) {
+                            // A hung rank never enters the step's
+                            // collectives. Peers detect the silence via the
+                            // (adaptive) timeout, get Err(RankLost) and
+                            // poison their groups; once that happens — or
+                            // after a hard cap, if nobody is waiting with a
+                            // timeout — this rank folds into the normal
+                            // elastic restart path. The hang is one-shot,
+                            // so the restarted world runs through.
+                            count("fault.injected_hang");
+                            let cap = resilience
+                                .collective_timeout
+                                .map(|t| t * 4)
+                                .unwrap_or(Duration::from_secs(30));
+                            let hung_at = Instant::now();
+                            while !guard.any_poisoned() && hung_at.elapsed() < cap {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            fr.poison_groups();
+                            return Err(fail(step, "rank hung in collective".into()));
+                        }
+                        let degraded = plan.degraded_slowdown(rank, step);
+                        if degraded.is_some() {
+                            count("fault.degraded_rank");
+                        }
+                        let link = plan.link_slowdown(rank, step);
+                        if link.is_some() {
+                            count("fault.degraded_link");
+                        }
+                        guard.set_link_slowdown(link.unwrap_or(1.0));
+                        let compute_time = &mut local_work;
+                        let outcome = fr.try_step(lr_at(step), |m| {
+                            let t0 = Instant::now();
+                            let loss = compute(m, rank, step);
+                            // a degraded GCD takes `slowdown ×` as long for
+                            // the same (bit-identical) result
+                            if let Some(s) = degraded {
+                                std::thread::sleep(t0.elapsed().mul_f64(s - 1.0));
+                            }
+                            *compute_time += t0.elapsed();
+                            loss
+                        });
+                        let report = match outcome {
                             Ok(r) => r,
                             Err(lost) => {
                                 count("fault.rank_lost");
@@ -334,6 +416,7 @@ where
                                 return Err(fail(step, lost.to_string()));
                             }
                         };
+                        health.record(rank, local_work);
                         local_losses.push(report.loss);
 
                         let done = step + 1;
@@ -472,7 +555,13 @@ where
             }])
         }
     };
-    Ok(DistReport { final_params, mean_losses, traffic: traffic.snapshot(), restarts: 0 })
+    Ok(DistReport {
+        final_params,
+        mean_losses,
+        traffic: traffic.snapshot(),
+        restarts: 0,
+        degraded: None,
+    })
 }
 
 #[cfg(test)]
@@ -641,10 +730,8 @@ mod tests {
     fn injected_crash_without_restart_budget_reports_failure() {
         let resilience = ResilienceConfig {
             fault_plan: Arc::new(FaultPlan::none().with_rank_crash(1, 2)),
-            checkpoint_every: 0,
-            checkpoint_path: None,
             collective_timeout: Some(Duration::from_secs(5)),
-            max_restarts: 0,
+            ..ResilienceConfig::disabled()
         };
         let start = std::time::Instant::now();
         let err = run_resilient(ShardingStrategy::FullShard, 4, 4, resilience)
@@ -679,6 +766,7 @@ mod tests {
             checkpoint_path: Some(path.clone()),
             collective_timeout: Some(Duration::from_secs(5)),
             max_restarts: 1,
+            ..ResilienceConfig::disabled()
         };
         let recovered = run_resilient(ShardingStrategy::FullShard, 2, steps, resilience)
             .expect("run must recover via restart");
@@ -705,6 +793,7 @@ mod tests {
             checkpoint_path: Some(path.clone()),
             collective_timeout: Some(Duration::from_secs(5)),
             max_restarts: 1,
+            ..ResilienceConfig::disabled()
         };
         let clean = run_resilient(
             ShardingStrategy::ShardGradOp,
@@ -735,6 +824,95 @@ mod tests {
             .expect("straggler must not fail the run");
         assert_eq!(slowed.restarts, 0);
         assert_eq!(clean.final_params, slowed.final_params);
+    }
+
+    #[test]
+    fn hung_rank_is_detected_by_adaptive_timeout_and_recovered_elastically() {
+        let dir = ckpt_dir("hang");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("latest.ckpt");
+        let steps = 6;
+
+        let clean = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            steps,
+            ResilienceConfig::disabled(),
+        )
+        .expect("clean run");
+
+        // Rank 1 hangs at step 3 (after the step-2 checkpoint). The static
+        // timeout is a generous 30 s; detection must come from the adaptive
+        // bound, so the whole test finishing quickly proves the EWMA path.
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_hang_rank(1, 3)),
+            checkpoint_every: 2,
+            checkpoint_path: Some(path.clone()),
+            collective_timeout: Some(Duration::from_secs(30)),
+            max_restarts: 1,
+            adaptive_timeout: Some(geofm_collectives::AdaptiveTimeoutConfig {
+                floor: Duration::from_millis(100),
+                multiplier: 16.0,
+                warmup: 8,
+            }),
+            ..ResilienceConfig::disabled()
+        };
+        let start = std::time::Instant::now();
+        let recovered = run_resilient(ShardingStrategy::FullShard, 2, steps, resilience)
+            .expect("world must recover from the hang via elastic restart");
+        assert_eq!(recovered.restarts, 1, "exactly one restart");
+        assert_eq!(
+            clean.final_params, recovered.final_params,
+            "post-hang recovery must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(clean.mean_losses, recovered.mean_losses);
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "adaptive timeout must detect the hang well before the 30 s static bound \
+             (took {:?})",
+            start.elapsed()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_rank_is_reported_but_run_stays_bit_identical() {
+        let clean =
+            run_resilient(ShardingStrategy::FullShard, 2, 6, ResilienceConfig::disabled())
+                .expect("clean");
+        assert!(clean.degraded.is_none(), "healthy run must not report degradation");
+
+        let resilience = ResilienceConfig {
+            // rank 1's compute runs 8× slower from step 1 onward
+            fault_plan: Arc::new(FaultPlan::none().with_degraded_rank(1, 1, 8.0)),
+            ..ResilienceConfig::disabled()
+        };
+        let degraded = run_resilient(ShardingStrategy::FullShard, 2, 6, resilience)
+            .expect("a degraded world completes — slowly");
+        assert_eq!(degraded.restarts, 0, "degradation must not trigger restarts");
+        assert_eq!(
+            clean.final_params, degraded.final_params,
+            "slow hardware must not change the math"
+        );
+        let report = degraded.degraded.expect("health monitor must flag the degraded rank");
+        assert_eq!(report.stragglers[0].rank, 1, "{report}");
+        assert!(report.stragglers[0].slowdown > 2.5, "{report}");
+        assert!(report.goodput_lost > 0.3, "{report}");
+    }
+
+    #[test]
+    fn degraded_link_slows_collectives_but_preserves_results() {
+        let clean =
+            run_resilient(ShardingStrategy::ShardGradOp, 2, 4, ResilienceConfig::disabled())
+                .expect("clean");
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_degraded_link(0, 1, 4.0)),
+            ..ResilienceConfig::disabled()
+        };
+        let degraded = run_resilient(ShardingStrategy::ShardGradOp, 2, 4, resilience)
+            .expect("a degraded link completes");
+        assert_eq!(clean.final_params, degraded.final_params);
+        assert_eq!(clean.mean_losses, degraded.mean_losses);
     }
 
     #[test]

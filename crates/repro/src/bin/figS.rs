@@ -1,0 +1,98 @@
+//! Figure S: throughput vs gray-degradation fraction per sharding strategy
+//! (MAE ViT-3B, 8 nodes / 64 GCDs). Sweeps the per-component probability
+//! that a GCD computes 3× slower or a Slingshot link runs at quarter
+//! bandwidth, and prices the expected step time with the DES — the gray
+//! twin of `figR`'s fail-stop goodput sweep.
+//!
+//! The paper does not print this figure; it quantifies the regime the
+//! paper's §IV-D throughput numbers assume away, and motivates the health
+//! monitor + adaptive timeouts in `geofm-fsdp`/`geofm-collectives`.
+
+use geofm_frontier::{FrontierMachine, GrayModel, MaeWorkload, SimConfig};
+use geofm_fsdp::ShardingStrategy;
+use geofm_repro::{append_metrics_csv, ascii_chart_labeled, write_csv};
+use geofm_telemetry::Telemetry;
+use geofm_vit::{VitConfig, VitVariant};
+
+fn main() {
+    println!("FIGURE S — ips vs gray-degradation fraction per strategy (MAE ViT-3B, 8 nodes)");
+    let nodes = 8usize;
+    let cfg = VitConfig::table1(VitVariant::B3);
+    let wl = MaeWorkload::build(&cfg, 32, 0.75);
+    let gray = GrayModel::default();
+    let fracs = [0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2];
+    let strategies = [
+        ShardingStrategy::NoShard,
+        ShardingStrategy::FullShard,
+        ShardingStrategy::ShardGradOp,
+        ShardingStrategy::Hybrid { shard_size: 8 },
+    ];
+    println!(
+        "  severity: degraded GCD computes {:.1}x slower, degraded link at 1/{:.1} bandwidth",
+        gray.gcd_slowdown, gray.link_derate
+    );
+
+    let tel = Telemetry::new();
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    for strategy in strategies {
+        let sim_cfg =
+            SimConfig::tuned(FrontierMachine::new(nodes), strategy, wl.clone());
+        let points = gray.sweep(&sim_cfg, &fracs);
+        tel.metrics.counter("figS.sweeps").inc(1);
+        println!(
+            "\n  {} — fault-free {:.0} ips",
+            strategy.name(),
+            points[0].ips
+        );
+        println!(
+            "{:>8} {:>11} {:>12} {:>9} {:>9}",
+            "frac", "P(slow GCD)", "P(slow link)", "ips", "relative"
+        );
+        for p in &points {
+            println!(
+                "{:>8.3} {:>11.3} {:>12.3} {:>9.0} {:>8.1}%",
+                p.frac,
+                p.p_any_gcd,
+                p.p_any_link,
+                p.ips,
+                p.relative * 100.0
+            );
+            rows.push(format!(
+                "{},{},{:.4},{:.4},{:.4},{:.1},{:.4}",
+                strategy.name(),
+                p.frac,
+                p.p_any_gcd,
+                p.p_any_link,
+                p.step_time,
+                p.ips,
+                p.relative
+            ));
+        }
+        chart.push((
+            strategy.name().to_string(),
+            points.iter().map(|p| p.relative).collect(),
+        ));
+    }
+    let frac_labels: Vec<usize> = fracs.iter().map(|f| (f * 1000.0).round() as usize).collect();
+    let csv_path = write_csv(
+        "figS.csv",
+        "strategy,frac,p_any_gcd,p_any_link,step_time_s,ips,relative",
+        &rows,
+    );
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    ascii_chart_labeled(
+        "relative throughput (each column = one degradation fraction)",
+        "x (frac x1000)",
+        &frac_labels,
+        &chart,
+        4,
+    );
+    println!(
+        "\nReading: with 64 GCDs, P(some GCD is degraded) = 1-(1-f)^64 saturates fast — \
+         by f ≈ 2% nearly every step runs at the straggler's pace, so throughput drops \
+         steeply at tiny fractions and then plateaus near the fully-degraded floor \
+         (bounded by the 3x compute derate). Strategies whose steps are more \
+         communication-bound lose proportionally more to the degraded link."
+    );
+}

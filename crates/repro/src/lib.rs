@@ -17,6 +17,7 @@
 //! | `fig5`  | Fig. 5 — MAE pretraining loss for the (scaled) model family |
 //! | `fig6`  | Fig. 6 — probe accuracy vs epoch per dataset and model |
 //! | `figR`  | Resilience — goodput vs checkpoint interval × node count, with the Young/Daly analytic optimum (not in the paper; supports the fault-tolerance analysis in §III) |
+//! | `figS`  | Gray failures — ips vs degradation fraction per sharding strategy under degraded-GCD/degraded-link models (not in the paper; quantifies the regime §IV-D assumes away) |
 
 use geofm_telemetry::MetricsSnapshot;
 use std::fs;

@@ -6,6 +6,19 @@
 //! threads behind an `Arc`; crash-type events are *one-shot* (interior
 //! atomic "fired" flags) so a crash injected at step *k* fires on the
 //! first attempt only and the post-restart attempt runs through.
+//!
+//! Two fault regimes are modelled:
+//!
+//! * **fail-stop** — [`FaultKind::RankCrash`], [`FaultKind::CheckpointCrash`]:
+//!   the component dies and stays dead for the attempt.
+//! * **gray** — [`FaultKind::SlowRank`] (one step of OS-noise delay),
+//!   [`FaultKind::DegradedRank`] / [`FaultKind::DegradedLink`] (a GCD or
+//!   Slingshot link that is *persistently* slower from some step onward),
+//!   and [`FaultKind::HangRank`] (a collective participant that stops
+//!   responding without dying — the classic RCCL hang). Gray faults are
+//!   repeatable across restart attempts, except the hang, which is
+//!   one-shot: the whole point of hang recovery is that the re-spawned
+//!   world runs through.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -38,6 +51,41 @@ pub enum FaultKind {
         /// Step index whose checkpoint write is interrupted.
         step: usize,
     },
+    /// Rank `rank` becomes *persistently* slow from step `from_step`
+    /// onward: its per-step compute takes `slowdown_permille / 1000` times
+    /// as long (a thermally-throttled or half-broken GCD). Repeatable
+    /// across restarts — a degraded device stays degraded.
+    DegradedRank {
+        /// Global rank that degrades.
+        rank: usize,
+        /// First step affected (every later step is too).
+        from_step: usize,
+        /// Multiplicative slowdown × 1000 (2500 = 2.5× slower). Stored in
+        /// fixed point so the plan stays `Eq`/hashable and byte-stable.
+        slowdown_permille: u32,
+    },
+    /// The network link serving rank `rank` degrades from step `from_step`
+    /// onward: every collective this rank participates in takes
+    /// `slowdown_permille / 1000` times as long (a flapping or
+    /// lane-degraded Slingshot link). Repeatable across restarts.
+    DegradedLink {
+        /// Global rank behind the degraded link.
+        rank: usize,
+        /// First step affected (every later step is too).
+        from_step: usize,
+        /// Multiplicative collective slowdown × 1000.
+        slowdown_permille: u32,
+    },
+    /// Rank `rank` stops responding at the top of step `step` without
+    /// dying: it never enters the step's collectives, so without timeout
+    /// detection the world would deadlock. One-shot, like a crash — the
+    /// post-restart attempt runs through.
+    HangRank {
+        /// Global rank that hangs.
+        rank: usize,
+        /// Step index at which it hangs.
+        step: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -50,6 +98,45 @@ struct Event {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     events: Vec<Event>,
+}
+
+/// Per-kind sampling probabilities for [`FaultPlan::seeded`] — the knobs of
+/// a randomized chaos campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultMix {
+    /// Per-(rank, step) crash probability.
+    pub crash_prob: f64,
+    /// Per-(rank, step) one-step straggler probability.
+    pub straggler_prob: f64,
+    /// Straggler delay range in milliseconds (uniform, inclusive lo, exclusive hi).
+    pub straggler_ms: (u64, u64),
+    /// Per-rank probability of becoming a persistently degraded GCD.
+    pub degraded_rank_prob: f64,
+    /// Per-rank probability of sitting behind a persistently degraded link.
+    pub degraded_link_prob: f64,
+    /// Degraded slowdown range ×1000 (uniform; applied to both kinds).
+    pub slowdown_permille: (u32, u32),
+    /// Per-(rank, step) hang probability.
+    pub hang_prob: f64,
+    /// Per-step torn-checkpoint-write probability.
+    pub ckpt_crash_prob: f64,
+}
+
+impl FaultMix {
+    /// Only fail-stop crashes, at probability `p` per (rank, step) cell —
+    /// the PR-2 sampling behaviour.
+    pub fn crashes_only(p: f64) -> Self {
+        Self {
+            crash_prob: p,
+            straggler_prob: 0.0,
+            straggler_ms: (1, 2),
+            degraded_rank_prob: 0.0,
+            degraded_link_prob: 0.0,
+            slowdown_permille: (1500, 4000),
+            hang_prob: 0.0,
+            ckpt_crash_prob: 0.0,
+        }
+    }
 }
 
 impl FaultPlan {
@@ -76,17 +163,88 @@ impl FaultPlan {
         self
     }
 
-    /// Sample a random plan: each (rank, step) cell crashes independently
-    /// with probability `crash_prob`. Deterministic per seed.
-    pub fn seeded(seed: u64, world: usize, steps: usize, crash_prob: f64) -> Self {
+    /// Add a [`FaultKind::DegradedRank`]: `rank` runs `slowdown`× slower
+    /// from `from_step` onward.
+    pub fn with_degraded_rank(mut self, rank: usize, from_step: usize, slowdown: f64) -> Self {
+        self.push(FaultKind::DegradedRank {
+            rank,
+            from_step,
+            slowdown_permille: (slowdown * 1000.0).round() as u32,
+        });
+        self
+    }
+
+    /// Add a [`FaultKind::DegradedLink`]: `rank`'s collectives run
+    /// `slowdown`× slower from `from_step` onward.
+    pub fn with_degraded_link(mut self, rank: usize, from_step: usize, slowdown: f64) -> Self {
+        self.push(FaultKind::DegradedLink {
+            rank,
+            from_step,
+            slowdown_permille: (slowdown * 1000.0).round() as u32,
+        });
+        self
+    }
+
+    /// Add a [`FaultKind::HangRank`].
+    pub fn with_hang_rank(mut self, rank: usize, step: usize) -> Self {
+        self.push(FaultKind::HangRank { rank, step });
+        self
+    }
+
+    /// Sample a random plan from `mix`. Deterministic per seed.
+    ///
+    /// Sampling distribution (one `StdRng` stream, fixed draw order, so the
+    /// same seed always yields byte-identical plans):
+    ///
+    /// 1. for each step (ascending), for each rank (ascending): one
+    ///    Bernoulli draw per cell-level kind in the fixed order *crash*,
+    ///    *straggler*, *hang*; a straggler's delay is uniform in
+    ///    `straggler_ms` (half-open);
+    /// 2. for each step (ascending): a Bernoulli `ckpt_crash_prob` draw;
+    /// 3. for each rank (ascending): Bernoulli `degraded_rank_prob` then
+    ///    `degraded_link_prob`; each hit draws `from_step` uniform in
+    ///    `[0, steps)` and a slowdown uniform in `slowdown_permille`
+    ///    (half-open).
+    ///
+    /// Every draw is consumed unconditionally *only when its governing
+    /// probability is non-zero*, so mixes that zero a kind skip its stream
+    /// without perturbing the remaining kinds' draws relative to plans
+    /// sampled with the same non-zero probabilities.
+    pub fn seeded(seed: u64, world: usize, steps: usize, mix: &FaultMix) -> Self {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut plan = Self::none();
         for step in 0..steps {
             for rank in 0..world {
-                if rng.gen::<f64>() < crash_prob {
+                if mix.crash_prob > 0.0 && rng.gen::<f64>() < mix.crash_prob {
                     plan.push(FaultKind::RankCrash { rank, step });
                 }
+                if mix.straggler_prob > 0.0 && rng.gen::<f64>() < mix.straggler_prob {
+                    let delay_ms = rng.gen_range(mix.straggler_ms.0..mix.straggler_ms.1.max(mix.straggler_ms.0 + 1));
+                    plan.push(FaultKind::SlowRank { rank, step, delay_ms });
+                }
+                if mix.hang_prob > 0.0 && rng.gen::<f64>() < mix.hang_prob {
+                    plan.push(FaultKind::HangRank { rank, step });
+                }
+            }
+        }
+        for step in 0..steps {
+            if mix.ckpt_crash_prob > 0.0 && rng.gen::<f64>() < mix.ckpt_crash_prob {
+                plan.push(FaultKind::CheckpointCrash { step });
+            }
+        }
+        let (lo, hi) = mix.slowdown_permille;
+        let hi = hi.max(lo + 1);
+        for rank in 0..world {
+            if mix.degraded_rank_prob > 0.0 && rng.gen::<f64>() < mix.degraded_rank_prob {
+                let from_step = rng.gen_range(0..steps.max(1));
+                let slowdown_permille = rng.gen_range(lo..hi);
+                plan.push(FaultKind::DegradedRank { rank, from_step, slowdown_permille });
+            }
+            if mix.degraded_link_prob > 0.0 && rng.gen::<f64>() < mix.degraded_link_prob {
+                let from_step = rng.gen_range(0..steps.max(1));
+                let slowdown_permille = rng.gen_range(lo..hi);
+                plan.push(FaultKind::DegradedLink { rank, from_step, slowdown_permille });
             }
         }
         plan
@@ -116,6 +274,15 @@ impl FaultPlan {
         })
     }
 
+    /// One-shot: returns `true` the first time rank `rank` reaches a step
+    /// with a scheduled hang, `false` on re-execution after restart.
+    pub fn take_hang(&self, rank: usize, step: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::HangRank { rank: r, step: s } if r == rank && s == step)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
+
     /// Total straggler delay injected for `(rank, step)` (repeatable).
     pub fn slow_delay(&self, rank: usize, step: usize) -> Option<Duration> {
         let ms: u64 = self
@@ -129,6 +296,43 @@ impl FaultPlan {
             })
             .sum();
         (ms > 0).then(|| Duration::from_millis(ms))
+    }
+
+    /// Persistent compute slowdown factor active for `(rank, step)`, if
+    /// any: the largest [`FaultKind::DegradedRank`] slowdown whose
+    /// `from_step` has been reached. Repeatable — degraded hardware stays
+    /// degraded across restart attempts.
+    pub fn degraded_slowdown(&self, rank: usize, step: usize) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DegradedRank { rank: r, from_step, slowdown_permille }
+                    if r == rank && step >= from_step =>
+                {
+                    Some(slowdown_permille)
+                }
+                _ => None,
+            })
+            .max()
+            .map(|p| p as f64 / 1000.0)
+    }
+
+    /// Persistent collective slowdown factor active for `(rank, step)`, if
+    /// any: the largest [`FaultKind::DegradedLink`] slowdown whose
+    /// `from_step` has been reached. Repeatable.
+    pub fn link_slowdown(&self, rank: usize, step: usize) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DegradedLink { rank: r, from_step, slowdown_permille }
+                    if r == rank && step >= from_step =>
+                {
+                    Some(slowdown_permille)
+                }
+                _ => None,
+            })
+            .max()
+            .map(|p| p as f64 / 1000.0)
     }
 
     /// One-shot: whether the checkpoint written after `step` should crash
@@ -155,6 +359,14 @@ mod tests {
     }
 
     #[test]
+    fn hang_fires_exactly_once() {
+        let plan = FaultPlan::none().with_hang_rank(2, 1);
+        assert!(!plan.take_hang(2, 0));
+        assert!(plan.take_hang(2, 1));
+        assert!(!plan.take_hang(2, 1), "hang must be one-shot so restarts run through");
+    }
+
+    #[test]
     fn straggler_is_repeatable_and_sums() {
         let plan = FaultPlan::none()
             .with_slow_rank(2, 5, Duration::from_millis(10))
@@ -165,6 +377,35 @@ mod tests {
     }
 
     #[test]
+    fn degraded_rank_is_persistent_from_step() {
+        let plan = FaultPlan::none().with_degraded_rank(1, 3, 2.5);
+        assert_eq!(plan.degraded_slowdown(1, 2), None);
+        assert_eq!(plan.degraded_slowdown(1, 3), Some(2.5));
+        assert_eq!(plan.degraded_slowdown(1, 100), Some(2.5), "degradation persists");
+        assert_eq!(plan.degraded_slowdown(0, 3), None);
+        // repeatable: querying does not consume
+        assert_eq!(plan.degraded_slowdown(1, 3), Some(2.5));
+    }
+
+    #[test]
+    fn overlapping_degradations_take_the_worst() {
+        let plan = FaultPlan::none()
+            .with_degraded_rank(0, 0, 1.5)
+            .with_degraded_rank(0, 2, 4.0);
+        assert_eq!(plan.degraded_slowdown(0, 1), Some(1.5));
+        assert_eq!(plan.degraded_slowdown(0, 2), Some(4.0));
+    }
+
+    #[test]
+    fn degraded_link_is_persistent_and_separate_from_rank() {
+        let plan = FaultPlan::none().with_degraded_link(3, 1, 3.0);
+        assert_eq!(plan.link_slowdown(3, 0), None);
+        assert_eq!(plan.link_slowdown(3, 1), Some(3.0));
+        assert_eq!(plan.link_slowdown(3, 9), Some(3.0));
+        assert_eq!(plan.degraded_slowdown(3, 1), None, "link fault must not slow compute");
+    }
+
+    #[test]
     fn checkpoint_crash_is_one_shot() {
         let plan = FaultPlan::none().with_checkpoint_crash(4);
         assert!(!plan.take_checkpoint_crash(3));
@@ -172,13 +413,79 @@ mod tests {
         assert!(!plan.take_checkpoint_crash(4));
     }
 
+    fn full_mix() -> FaultMix {
+        FaultMix {
+            crash_prob: 0.03,
+            straggler_prob: 0.05,
+            straggler_ms: (1, 20),
+            degraded_rank_prob: 0.3,
+            degraded_link_prob: 0.3,
+            slowdown_permille: (1500, 4000),
+            hang_prob: 0.02,
+            ckpt_crash_prob: 0.1,
+        }
+    }
+
     #[test]
     fn seeded_plans_are_deterministic() {
-        let a = FaultPlan::seeded(7, 8, 100, 0.05);
-        let b = FaultPlan::seeded(7, 8, 100, 0.05);
-        assert_eq!(a.events(), b.events());
-        assert!(!a.is_empty(), "p=0.05 over 800 cells should schedule something");
-        let c = FaultPlan::seeded(8, 8, 100, 0.05);
+        let a = FaultPlan::seeded(7, 8, 100, &full_mix());
+        let b = FaultPlan::seeded(7, 8, 100, &full_mix());
+        assert_eq!(a.events(), b.events(), "same seed must give the same plan");
+        assert!(!a.is_empty(), "this mix over 800 cells should schedule something");
+        let c = FaultPlan::seeded(8, 8, 100, &full_mix());
         assert_ne!(a.events(), c.events(), "different seeds give different plans");
+    }
+
+    #[test]
+    fn seeded_samples_every_gray_kind() {
+        // over enough seeds, every kind must appear at least once
+        let mut seen = [false; 6];
+        for seed in 0..40 {
+            for k in FaultPlan::seeded(seed, 8, 50, &full_mix()).events() {
+                let i = match k {
+                    FaultKind::RankCrash { .. } => 0,
+                    FaultKind::SlowRank { .. } => 1,
+                    FaultKind::CheckpointCrash { .. } => 2,
+                    FaultKind::DegradedRank { .. } => 3,
+                    FaultKind::DegradedLink { .. } => 4,
+                    FaultKind::HangRank { .. } => 5,
+                };
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "kinds sampled: {seen:?}");
+    }
+
+    #[test]
+    fn crashes_only_mix_matches_legacy_sampling() {
+        let plan = FaultPlan::seeded(7, 8, 100, &FaultMix::crashes_only(0.05));
+        assert!(!plan.is_empty());
+        assert!(plan
+            .events()
+            .iter()
+            .all(|k| matches!(k, FaultKind::RankCrash { .. })));
+    }
+
+    #[test]
+    fn seeded_degraded_events_are_in_range() {
+        let mix = full_mix();
+        for seed in 0..20 {
+            for k in FaultPlan::seeded(seed, 8, 50, &mix).events() {
+                match k {
+                    FaultKind::DegradedRank { from_step, slowdown_permille, .. }
+                    | FaultKind::DegradedLink { from_step, slowdown_permille, .. } => {
+                        assert!(from_step < 50);
+                        assert!(
+                            (mix.slowdown_permille.0..mix.slowdown_permille.1)
+                                .contains(&slowdown_permille)
+                        );
+                    }
+                    FaultKind::SlowRank { delay_ms, .. } => {
+                        assert!((mix.straggler_ms.0..mix.straggler_ms.1).contains(&delay_ms));
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 }

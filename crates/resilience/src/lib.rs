@@ -30,7 +30,7 @@ pub mod fault;
 pub mod mtbf;
 
 pub use ckpt::{atomic_write, crc32, RankSlot, StepCheckpoint};
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultMix, FaultPlan};
 pub use mtbf::{
     simulate_campaign, simulate_campaign_with_plan, young_daly_interval, CampaignConfig,
     CampaignOutcome, NodeFailureModel,
@@ -54,11 +54,57 @@ impl std::fmt::Display for RankFailure {
     }
 }
 
+/// One persistently slow rank as observed by the health monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerInfo {
+    /// Global rank flagged as a straggler.
+    pub rank: usize,
+    /// Its step-time EWMA divided by the healthy-median EWMA (≥ 1).
+    pub slowdown: f64,
+    /// Its mean observed step time in milliseconds.
+    pub mean_step_ms: f64,
+}
+
+/// Health-monitor summary of gray degradation observed during a run: who
+/// was persistently slow, by how much, and the goodput lost to waiting on
+/// them. Attached to both successful runs (`DistReport`) and failures
+/// ([`FailureReport`]) — gray failures degrade without necessarily killing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradedReport {
+    /// Ranks flagged past the straggler threshold, worst first.
+    pub stragglers: Vec<StragglerInfo>,
+    /// Median per-rank mean step time in milliseconds (the healthy pace).
+    pub median_step_ms: f64,
+    /// Fraction of ideal throughput lost to the slowest rank:
+    /// `1 − median_total / max_total` over per-rank cumulative step time.
+    pub goodput_lost: f64,
+}
+
+impl std::fmt::Display for DegradedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "degradation: {} straggler(s), median step {:.2} ms, goodput lost {:.1}%",
+            self.stragglers.len(),
+            self.median_step_ms,
+            self.goodput_lost * 100.0
+        )?;
+        for s in &self.stragglers {
+            writeln!(
+                f,
+                "  rank {} running {:.2}x slower (mean step {:.2} ms)",
+                s.rank, s.slowdown, s.mean_step_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Structured report returned when a distributed run cannot complete within
 /// its restart budget. Every surviving rank contributes what it observed,
 /// so the report distinguishes the root-cause rank (panic / injected crash)
 /// from collateral `RankLost` observations.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FailureReport {
     /// Restart attempts consumed (0 = first attempt failed with no budget).
     pub restarts_used: usize,
@@ -66,6 +112,9 @@ pub struct FailureReport {
     pub resumed_from_step: Option<u64>,
     /// Per-rank failures observed in the final attempt.
     pub failures: Vec<RankFailure>,
+    /// Gray-degradation summary from the health monitor, if it observed
+    /// any steps before the run died.
+    pub degraded: Option<DegradedReport>,
 }
 
 impl std::fmt::Display for FailureReport {
@@ -82,6 +131,9 @@ impl std::fmt::Display for FailureReport {
         for fail in &self.failures {
             writeln!(f, "  {fail}")?;
         }
+        if let Some(d) = &self.degraded {
+            write!(f, "{d}")?;
+        }
         Ok(())
     }
 }
@@ -96,10 +148,24 @@ mod tests {
             restarts_used: 2,
             resumed_from_step: Some(6),
             failures: vec![RankFailure { rank: 1, step: 7, cause: "injected".into() }],
+            degraded: None,
         };
         let s = r.to_string();
         assert!(s.contains("2 restart"));
         assert!(s.contains("resumed from step 6"));
         assert!(s.contains("rank 1 failed at step 7"));
+    }
+
+    #[test]
+    fn degraded_report_display_lists_stragglers() {
+        let d = DegradedReport {
+            stragglers: vec![StragglerInfo { rank: 3, slowdown: 2.7, mean_step_ms: 54.0 }],
+            median_step_ms: 20.0,
+            goodput_lost: 0.63,
+        };
+        let s = d.to_string();
+        assert!(s.contains("1 straggler"));
+        assert!(s.contains("rank 3 running 2.70x slower"));
+        assert!(s.contains("63.0%"));
     }
 }

@@ -40,12 +40,26 @@
 //! | `fault.injected_crash` | counter | fault-plan rank crashes fired |
 //! | `fault.injected_ckpt_crash` | counter | torn checkpoint writes fired |
 //! | `fault.straggler` | counter | slow-rank delays applied |
+//! | `fault.injected_hang` | counter | rank hangs fired (adaptive-timeout path) |
+//! | `fault.degraded_rank` | counter | steps run by a persistently slow rank |
+//! | `fault.degraded_link` | counter | steps run over a degraded link |
 //! | `fault.rank_panic` | counter | rank bodies that panicked |
 //! | `fault.rank_lost` | counter | collectives that returned `RankLost` |
 //! | `fault.checkpoints` | counter | step checkpoints durably written |
 //! | `fault.restarts` | counter | restarts performed by the harness |
 //! | `ckpt.write` | phase | atomic checkpoint write (histogram + span) |
 //! | `fault.recovery` | phase | checkpoint load + state restore on restart |
+//!
+//! The gray-failure watchdog (`geofm_fsdp::HealthMonitor`) and the adaptive
+//! collective timeout (`geofm_collectives::AdaptiveTimeout`) add a
+//! `health.*` / `comm.*` layer on top:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `health.step.ns` | histogram | per-rank *local work* time per step (barrier waits excluded) |
+//! | `health.straggler_flags` | counter | ranks newly flagged as persistent stragglers |
+//! | `health.stragglers` | gauge | currently-flagged straggler count |
+//! | `comm.collective.ns` | histogram | observed collective latencies feeding the timeout EWMA |
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,233 @@
+//! Seeded chaos harness: ~200 randomized fault schedules against the
+//! resilient trainer, each holding ONE invariant:
+//!
+//! > the run completes **bit-identical** to the fault-free run, or it
+//! > returns a structured failure report — it never hangs and never
+//! > silently diverges.
+//!
+//! Each seed samples a [`FaultMix`] of crashes, one-step stragglers,
+//! persistently degraded ranks, degraded links, hangs and torn checkpoint
+//! writes via `FaultPlan::seeded` (deterministic per seed — a failing seed
+//! replays exactly), and rotates through the sharding strategies. Gray
+//! faults must *never* change results; fail-stop and hang faults must
+//! either be absorbed by elastic restart (bit-identical completion) or
+//! surface in a `FailureReport` within the wall-clock budget.
+//!
+//! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned,
+//! so a regression that reintroduces a deadlock fails fast instead of
+//! stalling the pipeline.
+
+use geofm_collectives::AdaptiveTimeoutConfig;
+use geofm_fsdp::{
+    try_run_data_parallel, DistReport, FsdpConfig, ResilienceConfig, ShardingStrategy,
+};
+use geofm_nn::{Linear, Module, ParamVisitor};
+use geofm_resilience::{FaultMix, FaultPlan};
+use geofm_tensor::{Tensor, TensorRng};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+struct Toy {
+    a: Linear,
+    b: Linear,
+}
+
+impl Module for Toy {
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        self.a.visit_params(f);
+        self.b.visit_params(f);
+    }
+}
+
+impl Toy {
+    fn new(seed: u64) -> (Self, Vec<usize>) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut a = Linear::new(3, 2, &mut rng, "a");
+        let mut b = Linear::new(3, 2, &mut rng, "b");
+        let units = vec![a.num_params(), b.num_params()];
+        (Self { a, b }, units)
+    }
+
+    fn compute(&mut self, x: &Tensor, y: &Tensor) -> f32 {
+        self.zero_grad();
+        let ya = self.a.forward(x);
+        let yb = self.b.forward(x);
+        let out = ya.add(&yb);
+        let diff = out.sub(y);
+        let n = diff.numel() as f32;
+        let loss = diff.sum_sq() / n;
+        let dy = diff.scale(2.0 / n);
+        let _ = self.a.backward(&dy);
+        let _ = self.b.backward(&dy);
+        loss
+    }
+}
+
+const WORLD: usize = 4;
+const STEPS: usize = 6;
+const STRATEGIES: [ShardingStrategy; 4] = [
+    ShardingStrategy::FullShard,
+    ShardingStrategy::ShardGradOp,
+    ShardingStrategy::Hybrid { shard_size: 2 },
+    ShardingStrategy::NoShard,
+];
+
+/// Base offset added to every seed, pinned in CI via `GEOFM_CHAOS_SEED`.
+fn seed_base() -> u64 {
+    std::env::var("GEOFM_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// The fault cocktail: rare enough that most schedules are survivable
+/// within the restart budget, rich enough that every kind appears across
+/// 200 seeds.
+fn chaos_mix() -> FaultMix {
+    FaultMix {
+        crash_prob: 0.02,
+        straggler_prob: 0.02,
+        straggler_ms: (1, 20),
+        degraded_rank_prob: 0.08,
+        degraded_link_prob: 0.08,
+        slowdown_permille: (1500, 4000),
+        hang_prob: 0.005,
+        ckpt_crash_prob: 0.03,
+    }
+}
+
+fn run(strategy: ShardingStrategy, resilience: ResilienceConfig) -> Result<DistReport, geofm_resilience::FailureReport> {
+    try_run_data_parallel(
+        FsdpConfig::tuned(strategy),
+        WORLD,
+        0.01,
+        STEPS,
+        |_| Toy::new(7),
+        |m, rank, step| {
+            let mut rng = TensorRng::seed_from(5000 + step as u64);
+            let x = rng.randn(&[8, 3], 1.0);
+            let y = rng.randn(&[8, 2], 1.0);
+            let per = 8 / WORLD;
+            let xl = x.rows(rank * per, (rank + 1) * per);
+            let yl = y.rows(rank * per, (rank + 1) * per);
+            m.compute(&xl, &yl)
+        },
+        |_| 0.01,
+        None,
+        resilience,
+    )
+}
+
+/// Fault-free baseline per strategy, in raw bits (computed once).
+fn baseline(strategy_idx: usize) -> &'static (Vec<u32>, Vec<u32>) {
+    static BASELINES: [OnceLock<(Vec<u32>, Vec<u32>)>; STRATEGIES.len()] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    BASELINES[strategy_idx].get_or_init(|| {
+        let report = run(STRATEGIES[strategy_idx], ResilienceConfig::disabled())
+            .expect("fault-free baseline must succeed");
+        (
+            report.final_params.iter().map(|v| v.to_bits()).collect(),
+            report.mean_losses.iter().map(|v| v.to_bits()).collect(),
+        )
+    })
+}
+
+fn ckpt_dir(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("geofm-chaos-{seed}-{}", std::process::id()))
+}
+
+/// Run one seeded schedule and assert the chaos invariant.
+fn chaos_schedule(seed: u64) {
+    let strategy_idx = (seed as usize) % STRATEGIES.len();
+    let strategy = STRATEGIES[strategy_idx];
+    let plan = Arc::new(FaultPlan::seeded(seed, WORLD, STEPS, &chaos_mix()));
+    let dir = ckpt_dir(seed);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let resilience = ResilienceConfig {
+        fault_plan: Arc::clone(&plan),
+        checkpoint_every: 2,
+        checkpoint_path: Some(dir.join("step.ckpt")),
+        collective_timeout: Some(Duration::from_millis(300)),
+        max_restarts: 3,
+        adaptive_timeout: Some(AdaptiveTimeoutConfig {
+            floor: Duration::from_millis(100),
+            multiplier: 16.0,
+            warmup: 8,
+        }),
+        straggler_threshold: 2.5,
+    };
+
+    let started = Instant::now();
+    let outcome = run(strategy, resilience);
+    let elapsed = started.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // never hang: even a schedule that burns the whole restart budget on
+    // hangs resolves within a few timeout periods per attempt
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "seed {seed} ({}): schedule took {elapsed:?} — hang regression (plan: {:?})",
+        strategy.name(),
+        plan.events()
+    );
+
+    match outcome {
+        Ok(report) => {
+            // never silently diverge: completion must be bit-identical
+            let (base_params, base_losses) = baseline(strategy_idx);
+            let params: Vec<u32> = report.final_params.iter().map(|v| v.to_bits()).collect();
+            let losses: Vec<u32> = report.mean_losses.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                &params,
+                base_params,
+                "seed {seed} ({}): final params diverged from fault-free run (plan: {:?})",
+                strategy.name(),
+                plan.events()
+            );
+            assert_eq!(
+                &losses,
+                base_losses,
+                "seed {seed} ({}): loss curve diverged (plan: {:?})",
+                strategy.name(),
+                plan.events()
+            );
+        }
+        Err(report) => {
+            // a failed schedule must explain itself
+            assert!(
+                !report.failures.is_empty(),
+                "seed {seed} ({}): failure report with no failures (plan: {:?})",
+                strategy.name(),
+                plan.events()
+            );
+        }
+    }
+}
+
+fn chaos_range(lo: u64, hi: u64) {
+    let base = seed_base();
+    for seed in lo..hi {
+        chaos_schedule(base + seed);
+    }
+}
+
+// 200 schedules, split so the test runner parallelises the batches.
+
+#[test]
+fn chaos_seeds_000_049() {
+    chaos_range(0, 50);
+}
+
+#[test]
+fn chaos_seeds_050_099() {
+    chaos_range(50, 100);
+}
+
+#[test]
+fn chaos_seeds_100_149() {
+    chaos_range(100, 150);
+}
+
+#[test]
+fn chaos_seeds_150_199() {
+    chaos_range(150, 200);
+}

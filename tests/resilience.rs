@@ -106,6 +106,7 @@ fn crashed_run_recovers_bit_identically_across_strategies() {
                 checkpoint_path: Some(path.clone()),
                 collective_timeout: Some(Duration::from_secs(30)),
                 max_restarts: 2,
+                ..ResilienceConfig::disabled()
             },
         );
         let _ = std::fs::remove_dir_all(path.parent().unwrap());

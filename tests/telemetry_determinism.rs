@@ -7,7 +7,10 @@
 //! metrics (`comm.*`, `fsdp.steps`) are pure functions of the collective
 //! schedule and must not drift. Histogram *counts* (how many samples each
 //! phase recorded) are also schedule-determined, so those are compared too;
-//! their sums are not.
+//! their sums are not. The `health.*` watchdog counters are excluded like
+//! the timing histograms: straggler flags are judgments about *observed
+//! wall-clock* step times, so on a µs-scale toy workload scheduler jitter
+//! may flag a rank in one run and not another — by design, not by drift.
 
 use geofm_fsdp::{run_data_parallel_with_telemetry, DistReport, FsdpConfig, ShardingStrategy};
 use geofm_nn::{Linear, Module, ParamVisitor};
@@ -83,6 +86,16 @@ fn histogram_counts(snap: &MetricsSnapshot) -> BTreeMap<String, u64> {
     snap.histograms.iter().map(|(k, v)| (k.clone(), v.count)).collect()
 }
 
+/// Schedule-determined counters only: drop the `health.*` watchdog, whose
+/// flags depend on observed wall-clock timings (see module docs).
+fn schedule_counters(snap: &MetricsSnapshot) -> BTreeMap<String, u64> {
+    snap.counters
+        .iter()
+        .filter(|(k, _)| !k.starts_with("health."))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
 fn strategies() -> Vec<ShardingStrategy> {
     vec![
         ShardingStrategy::NoShard,
@@ -111,7 +124,12 @@ fn repeated_runs_are_bit_identical_with_identical_counters() {
         assert_eq!(r1.traffic, r2.traffic, "{}: traffic differs", strategy.name());
 
         // Telemetry counters are a pure function of the schedule.
-        assert_eq!(s1.counters, s2.counters, "{}: counter snapshots differ", strategy.name());
+        assert_eq!(
+            schedule_counters(&s1),
+            schedule_counters(&s2),
+            "{}: counter snapshots differ",
+            strategy.name()
+        );
         assert_eq!(
             histogram_counts(&s1),
             histogram_counts(&s2),
