@@ -8,13 +8,26 @@
 //! [`RankHandle::with_timeout`] bounds every internal barrier wait, and a
 //! rank that detects a failure calls [`RankHandle::poison`] so all peers
 //! unblock within one timeout period instead of deadlocking.
+//!
+//! The reduce-type collectives (`try_all_reduce`, `try_reduce_scatter`)
+//! additionally carry a checksum layer against *silent data corruption*:
+//! every rank publishes per-chunk CRC32s of its contribution before the
+//! data exchange, and a handle configured via
+//! [`RankHandle::with_checksums`] re-verifies every chunk it read after
+//! the exchange. A detected bit flip surfaces as
+//! [`CollectiveError::Corrupt`] on **every** rank — the collective still
+//! completes all of its barriers, so the group is not poisoned and the
+//! caller can recover in-band (discard the garbage result, roll back,
+//! retry or skip). Verification is only implemented for the direct
+//! algorithm; the ring path reports corruption-free transfers.
 
 use crate::adaptive::AdaptiveTimeout;
 use crate::barrier::{RankLost, SenseBarrier};
+use crate::guard::{self, CollectiveError, CorruptPayload, SabotageCell};
 use crate::ring;
 use crate::traffic::{CollectiveKind, TrafficCounter};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,6 +49,14 @@ pub struct Group {
     mailboxes: Vec<RwLock<Vec<f32>>>,
     /// Per-chunk reduction results (chunk owner = rank index).
     chunk_results: Vec<RwLock<Vec<f32>>>,
+    /// Published contribution checksums for the reduce collectives,
+    /// sender-major: `checksums[sender * size + chunk]` is the CRC32 of
+    /// `sender`'s true payload over `chunk_bounds(len, size, chunk)`.
+    /// Rewritten by every checksummed reduce before its first barrier.
+    checksums: Vec<AtomicU32>,
+    /// Per-collective checksum-verification cost, recorded into the
+    /// traffic counter's registry as the `guard.checksum.ns` histogram.
+    checksum_ns: Arc<geofm_telemetry::Histogram>,
     barrier: SenseBarrier,
     traffic: Arc<TrafficCounter>,
 }
@@ -52,6 +73,13 @@ pub struct RankHandle {
     /// healthy). Clones of a handle share it, so a fault injector can
     /// degrade a rank's link while its worker thread holds its own clone.
     link_slowdown: Arc<AtomicU64>,
+    /// Whether this handle verifies contribution checksums after a reduce.
+    /// SPMD contract: all ranks of a group must agree on this setting.
+    verify_checksums: bool,
+    /// One-shot in-flight corruption injector. Shared across a rank's
+    /// handles (like `link_slowdown`) so the fault driver can arm it from
+    /// outside the worker thread; consumed by the next reduce collective.
+    sabotage: Arc<SabotageCell>,
     group: Arc<Group>,
 }
 
@@ -78,6 +106,8 @@ impl Group {
             size,
             mailboxes: (0..size).map(|_| RwLock::new(Vec::new())).collect(),
             chunk_results: (0..size).map(|_| RwLock::new(Vec::new())).collect(),
+            checksums: (0..size * size).map(|_| AtomicU32::new(0)).collect(),
+            checksum_ns: traffic.registry().histogram("guard.checksum.ns"),
             barrier: SenseBarrier::new(size),
             traffic,
         });
@@ -88,6 +118,8 @@ impl Group {
                 timeout: None,
                 adaptive: None,
                 link_slowdown: Arc::new(AtomicU64::new(1f64.to_bits())),
+                verify_checksums: false,
+                sabotage: Arc::new(SabotageCell::new()),
                 group: Arc::clone(&group),
             })
             .collect()
@@ -170,6 +202,42 @@ impl RankHandle {
         f64::from_bits(self.link_slowdown.load(Ordering::Acquire))
     }
 
+    /// Enable (or disable) post-reduce checksum verification on this
+    /// handle's reduce collectives. All ranks of a group must agree on
+    /// the setting (SPMD contract); mixed configurations yield spurious
+    /// verdicts on the verifying ranks only.
+    pub fn with_checksums(mut self, verify: bool) -> Self {
+        self.verify_checksums = verify;
+        self
+    }
+
+    /// Whether this handle verifies reduce checksums.
+    pub fn verifies_checksums(&self) -> bool {
+        self.verify_checksums
+    }
+
+    /// Share a caller-supplied corruption injector with this handle (see
+    /// [`SabotageCell`]); used by the hierarchy wiring so one cell covers
+    /// a rank's world/shard/replica handles.
+    pub fn with_sabotage(mut self, cell: Arc<SabotageCell>) -> Self {
+        self.sabotage = cell;
+        self
+    }
+
+    /// This handle's corruption injector.
+    pub fn sabotage(&self) -> &Arc<SabotageCell> {
+        &self.sabotage
+    }
+
+    /// Arm a one-shot bit flip: the next reduce collective on any handle
+    /// sharing this cell corrupts one element of this rank's contribution
+    /// *after* its checksums are computed (in-flight corruption). Fires
+    /// regardless of [`RankHandle::with_checksums`] — with verification
+    /// off the corruption is silent, which is the point.
+    pub fn arm_bitflip(&self, bit: u32) {
+        self.sabotage.arm(bit);
+    }
+
     /// Poison the group: every current and future collective on any peer's
     /// handle fails with [`RankLost::Poisoned`]. Called by a rank that is
     /// about to die (panic, injected crash) so peers unblock promptly.
@@ -202,6 +270,7 @@ impl RankHandle {
     /// are stretched by the emulated link slowdown (if degraded) — this is
     /// the single choke point through which every collective passes, so
     /// both gray-failure injection and detection live here.
+    #[must_use = "a failed barrier means the group is lost and must be handled"]
     pub fn try_barrier(&self) -> Result<(), RankLost> {
         let start = Instant::now();
         self.group.barrier.wait_timeout(self.effective_timeout())?;
@@ -226,34 +295,94 @@ impl RankHandle {
         self.group.traffic.record(kind, bytes);
     }
 
+    /// Publish this rank's reduce contribution: per-chunk CRC32s of the
+    /// *true* payload first, then the mailbox copy — with any armed
+    /// in-flight corruption applied after checksumming, so the checksum
+    /// vouches for what the rank meant to send while receivers see what
+    /// actually arrived.
+    fn publish_guarded(&self, buf: &[f32]) {
+        let g = &*self.group;
+        let n = g.size;
+        for chunk in 0..n {
+            let (lo, hi) = chunk_bounds(buf.len(), n, chunk);
+            g.checksums[self.rank * n + chunk]
+                .store(guard::payload_crc(&buf[lo..hi]), Ordering::Release);
+        }
+        let mut payload = buf.to_vec();
+        if let Some(bit) = self.sabotage.take() {
+            guard::apply_bitflip(&mut payload, bit);
+        }
+        *g.mailboxes[self.rank].write() = payload;
+    }
+
+    /// Re-verify every chunk of every published contribution against its
+    /// sender's checksum. Every rank scans in the same (sender-major,
+    /// then chunk) order over the same shared state, so all ranks reach
+    /// the identical verdict — the property the trainer's globally-agreed
+    /// rollback decision rests on. `None` when this handle does not
+    /// verify, or when everything matches.
+    fn verify_mailboxes(&self, len: usize) -> Option<CorruptPayload> {
+        if !self.verify_checksums {
+            return None;
+        }
+        let t0 = Instant::now();
+        let g = &*self.group;
+        let n = g.size;
+        let mut verdict = None;
+        'scan: for sender in 0..n {
+            let mb = g.mailboxes[sender].read();
+            for chunk in 0..n {
+                let (lo, hi) = chunk_bounds(len, n, chunk);
+                let want = g.checksums[sender * n + chunk].load(Ordering::Acquire);
+                if guard::payload_crc(&mb[lo..hi]) != want {
+                    verdict = Some(CorruptPayload { rank: sender, chunk });
+                    break 'scan;
+                }
+            }
+        }
+        g.checksum_ns.record(t0.elapsed().as_nanos() as u64);
+        verdict
+    }
+
     /// Sum-reduce `buf` across all ranks; every rank ends with the total.
     ///
     /// # Panics
-    /// Panics if a peer rank is lost (see [`RankHandle::try_all_reduce`]).
+    /// Panics if a peer rank is lost or a checksum-verified contribution
+    /// is corrupt (see [`RankHandle::try_all_reduce`]).
     pub fn all_reduce(&self, buf: &mut [f32]) {
-        self.try_all_reduce(buf).expect("collective failed: peer rank lost");
+        self.try_all_reduce(buf).expect("collective failed");
     }
 
-    /// Fallible [`RankHandle::all_reduce`]. On `Err` the contents of `buf`
-    /// are unspecified (partially reduced) and the group is poisoned.
-    pub fn try_all_reduce(&self, buf: &mut [f32]) -> Result<(), RankLost> {
+    /// Fallible [`RankHandle::all_reduce`].
+    ///
+    /// On [`CollectiveError::Lost`] the contents of `buf` are unspecified
+    /// (partially reduced) and the group is poisoned. On
+    /// [`CollectiveError::Corrupt`] the collective *completed* — all
+    /// barriers were crossed and the group stays usable — but `buf` holds
+    /// a reduction over a corrupted contribution and must be discarded;
+    /// every rank of the group observes the identical error.
+    #[must_use = "a failed all-reduce leaves buf unusable and must be handled"]
+    pub fn try_all_reduce(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         self.record(CollectiveKind::AllReduce, buf.len());
         if self.group.size == 1 {
             return Ok(());
         }
         match self.algorithm {
             Algorithm::Direct => self.all_reduce_direct(buf),
-            Algorithm::Ring => ring::all_reduce_ring(self, buf),
+            Algorithm::Ring => ring::all_reduce_ring(self, buf).map_err(CollectiveError::from),
         }
     }
 
-    fn all_reduce_direct(&self, buf: &mut [f32]) -> Result<(), RankLost> {
+    fn all_reduce_direct(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         let g = &*self.group;
         let n = g.size;
-        // 1. publish
-        *g.mailboxes[self.rank].write() = buf.to_vec();
+        // 1. publish (checksums first, then the possibly-corrupted copy)
+        self.publish_guarded(buf);
         self.try_barrier()?;
-        // 2. reduce own chunk across all mailboxes
+        let verdict = self.verify_mailboxes(buf.len());
+        // 2. reduce own chunk across all mailboxes — even on a corrupt
+        // verdict, so every rank crosses every barrier and the error
+        // surfaces in lockstep instead of desynchronising the group
         let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
         {
             let mut acc = vec![0.0f32; hi - lo];
@@ -273,7 +402,11 @@ impl RankHandle {
             let res = g.chunk_results[r].read();
             buf[clo..chi].copy_from_slice(&res);
         }
-        self.try_barrier()
+        self.try_barrier()?;
+        match verdict {
+            Some(c) => Err(c.into()),
+            None => Ok(()),
+        }
     }
 
     /// Gather equal-length shards from every rank; `out` is resized to
@@ -287,6 +420,7 @@ impl RankHandle {
 
     /// Fallible [`RankHandle::all_gather`]. On `Err` the contents of `out`
     /// are unspecified and the group is poisoned.
+    #[must_use = "a failed all-gather leaves out unusable and must be handled"]
     pub fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
         let n = self.group.size;
         out.resize(n * local.len(), 0.0);
@@ -310,14 +444,24 @@ impl RankHandle {
     /// (`chunk_bounds(buf.len(), size, rank)`), written into `out`.
     ///
     /// # Panics
-    /// Panics if a peer rank is lost (see [`RankHandle::try_reduce_scatter`]).
+    /// Panics if a peer rank is lost or a checksum-verified contribution
+    /// is corrupt (see [`RankHandle::try_reduce_scatter`]).
     pub fn reduce_scatter(&self, buf: &[f32], out: &mut Vec<f32>) {
-        self.try_reduce_scatter(buf, out).expect("collective failed: peer rank lost");
+        self.try_reduce_scatter(buf, out).expect("collective failed");
     }
 
-    /// Fallible [`RankHandle::reduce_scatter`]. On `Err` the contents of
-    /// `out` are unspecified and the group is poisoned.
-    pub fn try_reduce_scatter(&self, buf: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
+    /// Fallible [`RankHandle::reduce_scatter`].
+    ///
+    /// On [`CollectiveError::Lost`] the contents of `out` are unspecified
+    /// and the group is poisoned. On [`CollectiveError::Corrupt`] the
+    /// collective completed (group stays usable) but `out` must be
+    /// discarded; every rank observes the identical error.
+    #[must_use = "a failed reduce-scatter leaves out unusable and must be handled"]
+    pub fn try_reduce_scatter(
+        &self,
+        buf: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), CollectiveError> {
         let n = self.group.size;
         self.record(CollectiveKind::ReduceScatter, buf.len());
         let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
@@ -327,8 +471,11 @@ impl RankHandle {
             return Ok(());
         }
         let g = &*self.group;
-        *g.mailboxes[self.rank].write() = buf.to_vec();
+        self.publish_guarded(buf);
         self.try_barrier()?;
+        // every rank reads every mailbox, so the verification verdict is
+        // identical on all ranks (see `verify_mailboxes`)
+        let verdict = self.verify_mailboxes(buf.len());
         out.iter_mut().for_each(|v| *v = 0.0);
         for m in &g.mailboxes {
             let mb = m.read();
@@ -337,7 +484,11 @@ impl RankHandle {
                 *o += v;
             }
         }
-        self.try_barrier()
+        self.try_barrier()?;
+        match verdict {
+            Some(c) => Err(c.into()),
+            None => Ok(()),
+        }
     }
 
     /// Copy `root`'s buffer to every rank.
@@ -350,6 +501,7 @@ impl RankHandle {
 
     /// Fallible [`RankHandle::broadcast`]. On `Err` the contents of `buf`
     /// are unspecified and the group is poisoned.
+    #[must_use = "a failed broadcast leaves buf unusable and must be handled"]
     pub fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), RankLost> {
         assert!(root < self.group.size, "broadcast root out of range");
         self.record(CollectiveKind::Broadcast, buf.len());
@@ -605,11 +757,13 @@ mod tests {
         }
     }
 
-    /// Every `try_*` collective must surface `Err(RankLost)` on **all**
-    /// survivors when a peer never shows up — no partial hang where some
-    /// ranks error and others block forever.
-    fn assert_survivors_all_err(
-        op: impl Fn(&RankHandle) -> Result<(), RankLost> + Sync,
+    /// Every `try_*` collective must surface an error on **all** survivors
+    /// when a peer never shows up — no partial hang where some ranks error
+    /// and others block forever. Generic over the error type since the
+    /// reduce collectives return [`CollectiveError`] and the rest
+    /// [`RankLost`].
+    fn assert_survivors_all_err<E: std::fmt::Debug>(
+        op: impl Fn(&RankHandle) -> Result<(), E> + Sync,
     ) {
         let handles = Group::create(4);
         let start = std::time::Instant::now();
@@ -750,5 +904,136 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn checksummed_all_reduce_passes_clean_payloads() {
+        run_group(4, |h| {
+            let h = h.with_checksums(true);
+            for round in 0..10 {
+                let mut buf = vec![(h.rank() + round) as f32; 9];
+                h.try_all_reduce(&mut buf).unwrap();
+                let expect = (0..4).map(|r| (r + round) as f32).sum::<f32>();
+                assert!(buf.iter().all(|&v| v == expect));
+            }
+        });
+    }
+
+    #[test]
+    fn unverified_bitflip_corrupts_silently() {
+        // guard off: the armed flip changes the result on every rank with
+        // no error — the silent regime the checksum layer exists to close.
+        use std::sync::Mutex;
+        let results: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+        let handles = Group::create(4);
+        std::thread::scope(|s| {
+            for h in handles {
+                let results = &results;
+                s.spawn(move || {
+                    if h.rank() == 1 {
+                        h.arm_bitflip(22);
+                    }
+                    let mut buf = vec![1.0f32; 16];
+                    h.try_all_reduce(&mut buf).unwrap();
+                    results.lock().unwrap().push(buf);
+                });
+            }
+        });
+        let results = results.into_inner().unwrap();
+        assert!(
+            results.iter().all(|r| r == &results[0]),
+            "all ranks agree on the (wrong) reduction"
+        );
+        assert!(
+            results[0].iter().any(|&v| v != 4.0),
+            "the flip must actually change the sum"
+        );
+    }
+
+    #[test]
+    fn verified_bitflip_surfaces_identical_corrupt_error_on_all_ranks() {
+        use std::sync::Mutex;
+        let verdicts: Mutex<Vec<CollectiveError>> = Mutex::new(Vec::new());
+        let handles = Group::create(4);
+        std::thread::scope(|s| {
+            for h in handles {
+                let verdicts = &verdicts;
+                s.spawn(move || {
+                    let h = h.with_checksums(true);
+                    if h.rank() == 1 {
+                        h.arm_bitflip(22);
+                    }
+                    let mut buf = vec![1.0f32; 16];
+                    let err = h.try_all_reduce(&mut buf).unwrap_err();
+                    verdicts.lock().unwrap().push(err);
+
+                    // corruption does not poison the group: the next
+                    // (clean) collective must succeed and be correct
+                    let mut again = vec![2.0f32; 16];
+                    h.try_all_reduce(&mut again).unwrap();
+                    assert!(again.iter().all(|&v| v == 8.0));
+                });
+            }
+        });
+        let verdicts = verdicts.into_inner().unwrap();
+        assert_eq!(verdicts.len(), 4);
+        for v in &verdicts {
+            match v {
+                CollectiveError::Corrupt(c) => {
+                    assert_eq!(c.rank, 1, "the corrupted contribution is rank 1's");
+                    assert_eq!(*v, verdicts[0], "all ranks must agree on the verdict");
+                }
+                CollectiveError::Lost(l) => panic!("expected Corrupt, got Lost({l:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn verified_bitflip_detected_in_reduce_scatter() {
+        run_group(4, |h| {
+            let h = h.with_checksums(true);
+            if h.rank() == 2 {
+                h.arm_bitflip(7);
+            }
+            let buf = vec![1.0f32; 12];
+            let mut out = Vec::new();
+            match h.try_reduce_scatter(&buf, &mut out) {
+                Err(CollectiveError::Corrupt(c)) => assert_eq!(c.rank, 2),
+                other => panic!("rank {}: expected Corrupt, got {other:?}", h.rank()),
+            }
+            // group stays usable
+            let mut again = Vec::new();
+            h.try_reduce_scatter(&buf, &mut again).unwrap();
+            assert!(again.iter().all(|&v| v == 4.0));
+        });
+    }
+
+    #[test]
+    fn sabotage_is_one_shot_across_collectives() {
+        run_group(2, |h| {
+            let h = h.with_checksums(true);
+            if h.rank() == 0 {
+                h.arm_bitflip(5);
+            }
+            let mut buf = vec![1.0f32; 8];
+            assert!(h.try_all_reduce(&mut buf).is_err(), "first reduce is corrupt");
+            for _ in 0..5 {
+                let mut clean = vec![1.0f32; 8];
+                h.try_all_reduce(&mut clean).unwrap();
+                assert!(clean.iter().all(|&v| v == 2.0), "later reduces are clean");
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_reduce_leaves_sabotage_armed() {
+        // a size-1 group performs no exchange, so an armed flip must stay
+        // armed for the first real multi-rank reduce on a sibling handle
+        let handles = Group::create(1);
+        let h = handles.into_iter().next().unwrap().with_checksums(true);
+        h.arm_bitflip(3);
+        let mut buf = vec![1.0f32; 4];
+        h.try_all_reduce(&mut buf).unwrap();
+        assert!(h.sabotage().is_armed());
     }
 }

@@ -1,0 +1,207 @@
+//! Payload-integrity guard for the reduce collectives: error types, the
+//! one-shot corruption injector, and the checksum helper.
+//!
+//! The threat model is a *silent* bit flip in a rank's reduce contribution
+//! — a single-event upset in HBM or on the wire that, un-checked, averages
+//! garbage into every replica's optimizer state. The defense is the one
+//! production systems use: each rank publishes a CRC32 of every chunk of
+//! its contribution *before* the reduce; after the data exchange, every
+//! rank re-computes the CRC of every chunk it read and compares. Because
+//! each rank reads **all** mailboxes in the direct algorithms, all ranks
+//! reach the identical verdict — a detected corruption surfaces as the
+//! same structured [`CorruptPayload`] on every rank, which is what lets
+//! the trainer recover *in-band* (rollback-and-skip) without poisoning
+//! the group or restarting the world.
+//!
+//! The CRC implementation is [`geofm_resilience::crc32`] — the same
+//! table-driven IEEE CRC32 that protects the step and encoder checkpoint
+//! footers, so one implementation guards both the at-rest and the
+//! in-flight state.
+
+use crate::barrier::RankLost;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A corruption detected by the checksum layer of a reduce collective.
+#[must_use = "a detected corruption must be handled (rollback or abort), not dropped"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptPayload {
+    /// Rank whose contribution failed verification.
+    pub rank: usize,
+    /// Chunk index (in [`crate::group::chunk_bounds`] order) that failed.
+    pub chunk: usize,
+}
+
+impl std::fmt::Display for CorruptPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt reduce payload: rank {} chunk {}", self.rank, self.chunk)
+    }
+}
+
+impl std::error::Error for CorruptPayload {}
+
+/// Why a checksummed reduce collective failed.
+#[must_use = "a failed collective must be handled, not dropped"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A peer rank died or stopped responding (see [`RankLost`]). The
+    /// group is poisoned; the attempt must be abandoned.
+    Lost(RankLost),
+    /// A rank's contribution failed checksum verification. The collective
+    /// ran to completion (all barriers crossed), so the group is *not*
+    /// poisoned — but the reduced values are garbage and must be
+    /// discarded. All ranks observe the identical error.
+    Corrupt(CorruptPayload),
+}
+
+impl From<RankLost> for CollectiveError {
+    fn from(l: RankLost) -> Self {
+        Self::Lost(l)
+    }
+}
+
+impl From<CorruptPayload> for CollectiveError {
+    fn from(c: CorruptPayload) -> Self {
+        Self::Corrupt(c)
+    }
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lost(l) => write!(f, "{l}"),
+            Self::Corrupt(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// One-shot bit-flip injector shared by all of a rank's group handles.
+///
+/// Mirrors how the link-slowdown injector works (an atomic cell shared
+/// across a rank's world/shard/replica handles), but is *consumed* by the
+/// first reduce-type collective the rank runs after arming — a transient
+/// upset corrupts one payload, not every payload. The corruption is
+/// applied to the mailbox copy **after** the contribution's checksums are
+/// computed, which is precisely what makes it in-flight corruption: the
+/// sender vouches for what it meant to send, receivers see what actually
+/// arrived.
+#[derive(Debug, Default)]
+pub struct SabotageCell {
+    /// 0 = unarmed; otherwise `bit + 1` of the pending flip.
+    armed: AtomicU64,
+}
+
+impl SabotageCell {
+    /// A new, unarmed cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a single bit flip: the next reduce collective on any handle
+    /// sharing this cell flips bit `bit % 31` of one payload element.
+    pub fn arm(&self, bit: u32) {
+        self.armed.store(u64::from(bit % 31) + 1, Ordering::Release);
+    }
+
+    /// Consume the armed flip, if any (one-shot).
+    pub fn take(&self) -> Option<u32> {
+        match self.armed.swap(0, Ordering::AcqRel) {
+            0 => None,
+            b => Some((b - 1) as u32),
+        }
+    }
+
+    /// Whether a flip is armed but not yet consumed.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire) != 0
+    }
+}
+
+/// Flip bit `bit` (0..=30) of a deterministically chosen element of
+/// `payload`. The element index is derived from the bit index with a
+/// Weyl-style multiplier so different bits corrupt different regions.
+pub(crate) fn apply_bitflip(payload: &mut [f32], bit: u32) {
+    if payload.is_empty() {
+        return;
+    }
+    let idx = (bit as usize).wrapping_mul(2_654_435_761) % payload.len();
+    let flipped = payload[idx].to_bits() ^ (1u32 << (bit % 31));
+    payload[idx] = f32::from_bits(flipped);
+}
+
+/// CRC32 of an f32 slice's little-endian byte image — the checksum the
+/// reduce collectives publish and verify per chunk.
+pub(crate) fn payload_crc(data: &[f32]) -> u32 {
+    // Hash in fixed-size stack batches to avoid a heap allocation on the
+    // collective hot path.
+    let mut crc_buf = [0u8; 256];
+    let mut crc = 0xFFFF_FFFFu32;
+    for chunk in data.chunks(64) {
+        let mut n = 0;
+        for v in chunk {
+            crc_buf[n..n + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+            n += 4;
+        }
+        crc = geofm_resilience::crc32_update(crc, &crc_buf[..n]);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sabotage_cell_is_one_shot() {
+        let c = SabotageCell::new();
+        assert!(!c.is_armed());
+        assert_eq!(c.take(), None);
+        c.arm(12);
+        assert!(c.is_armed());
+        assert_eq!(c.take(), Some(12));
+        assert!(!c.is_armed());
+        assert_eq!(c.take(), None, "an armed flip corrupts exactly one payload");
+    }
+
+    #[test]
+    fn apply_bitflip_changes_exactly_one_element() {
+        let clean = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        for bit in 0..31 {
+            let mut buf = clean.clone();
+            apply_bitflip(&mut buf, bit);
+            let changed: Vec<usize> = (0..buf.len())
+                .filter(|&i| buf[i].to_bits() != clean[i].to_bits())
+                .collect();
+            assert_eq!(changed.len(), 1, "bit {bit} changed {changed:?}");
+        }
+    }
+
+    #[test]
+    fn bitflip_is_detected_by_payload_crc() {
+        let clean = vec![0.5f32; 64];
+        let crc = payload_crc(&clean);
+        for bit in [0u32, 7, 22, 23, 30] {
+            let mut buf = clean.clone();
+            apply_bitflip(&mut buf, bit);
+            assert_ne!(payload_crc(&buf), crc, "bit {bit} must change the CRC");
+        }
+    }
+
+    #[test]
+    fn payload_crc_matches_bytewise_reference() {
+        // the batched implementation must equal one crc32 over the full
+        // byte image (the same function the checkpoint footers use)
+        let data: Vec<f32> = (0..173).map(|i| i as f32 * 0.37 - 9.0).collect();
+        let bytes: Vec<u8> =
+            data.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        assert_eq!(payload_crc(&data), geofm_resilience::crc32(&bytes));
+    }
+
+    #[test]
+    fn empty_payload_flip_is_a_no_op() {
+        let mut buf: Vec<f32> = Vec::new();
+        apply_bitflip(&mut buf, 5);
+        assert!(buf.is_empty());
+    }
+}

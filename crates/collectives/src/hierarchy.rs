@@ -5,6 +5,7 @@
 
 use crate::adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 use crate::group::{Group, RankHandle};
+use crate::guard::SabotageCell;
 use crate::traffic::TrafficCounter;
 use geofm_telemetry::MetricsRegistry;
 use std::sync::Arc;
@@ -80,6 +81,36 @@ impl RankGroups {
         self.replica.set_link_slowdown(slowdown);
     }
 
+    /// Enable (or disable) post-reduce checksum verification on all three
+    /// handles (see [`RankHandle::with_checksums`]). All ranks of the
+    /// hierarchy must agree on the setting (SPMD contract).
+    pub fn with_checksums(mut self, verify: bool) -> Self {
+        self.world = self.world.with_checksums(verify);
+        self.shard = self.shard.with_checksums(verify);
+        self.replica = self.replica.with_checksums(verify);
+        self
+    }
+
+    /// Share one [`SabotageCell`] across all three handles so an armed
+    /// bit flip hits this rank's *next* reduce, whichever group runs it —
+    /// mirroring how the link-slowdown injector is shared. Wired by
+    /// [`ProcessGroups::hierarchy_with_traffic`]; exposed for tests that
+    /// build handles directly.
+    pub fn with_shared_sabotage(mut self, cell: Arc<SabotageCell>) -> Self {
+        self.world = self.world.with_sabotage(Arc::clone(&cell));
+        self.shard = self.shard.with_sabotage(Arc::clone(&cell));
+        self.replica = self.replica.with_sabotage(cell);
+        self
+    }
+
+    /// Arm a one-shot bit flip in this rank's next reduce contribution
+    /// (see [`RankHandle::arm_bitflip`]). Safe to call from the fault
+    /// driver while the rank's worker thread holds its own clone.
+    pub fn arm_bitflip(&self, bit: u32) {
+        // the cell is shared across the three handles, so any one arms all
+        self.world.arm_bitflip(bit);
+    }
+
     /// Poison all three groups this rank belongs to. A dying rank calls
     /// this so every peer — whichever group it is currently blocked in —
     /// unblocks within one timeout period.
@@ -143,6 +174,7 @@ impl ProcessGroups {
                 // the position-indexing above is what assigns rank ids)
                 let _ = (&mut shard_handles, &mut replica_handles);
                 RankGroups { rank, world: world_h, shard, replica }
+                    .with_shared_sabotage(Arc::new(SabotageCell::new()))
             })
             .collect()
     }
@@ -221,6 +253,43 @@ mod tests {
                     g.shard.all_reduce(&mut buf);
                     let expect = if g.rank < 2 { 1.0 } else { 5.0 }; // 0+1 / 2+3
                     assert_eq!(buf[0], expect);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn armed_bitflip_fires_in_whichever_group_reduces_first() {
+        use crate::guard::CollectiveError;
+
+        // arm via the RankGroups-level injector; the shard-group
+        // reduce-scatter (the first reduce FullShard runs) must trip, and
+        // the verdict must name the culprit's *shard-local* rank.
+        let groups = ProcessGroups::hierarchy(HierarchyLayout { world: 4, shard_size: 2 });
+        std::thread::scope(|s| {
+            for g in groups {
+                s.spawn(move || {
+                    let g = g.with_checksums(true);
+                    if g.rank == 3 {
+                        g.arm_bitflip(11);
+                    }
+                    let buf = vec![1.0f32; 8];
+                    let mut out = Vec::new();
+                    let r = g.shard.try_reduce_scatter(&buf, &mut out);
+                    if g.rank >= 2 {
+                        // rank 3 sits in shard group 1 at local rank 1
+                        match r {
+                            Err(CollectiveError::Corrupt(c)) => assert_eq!(c.rank, 1),
+                            other => panic!("rank {}: expected Corrupt, got {other:?}", g.rank),
+                        }
+                    } else {
+                        // shard group 0 saw only clean contributions
+                        r.unwrap();
+                    }
+                    // the flip was consumed: the replica all-reduce is clean
+                    let mut rep = vec![1.0f32; 4];
+                    g.replica.try_all_reduce(&mut rep).unwrap();
+                    assert!(rep.iter().all(|&v| v == 2.0));
                 });
             }
         });

@@ -19,10 +19,17 @@
 //! bytes* the same collective would move on a real interconnect (ring-
 //! algorithm accounting). `geofm-frontier` prices those same byte counts,
 //! and an integration test cross-validates the two.
+//!
+//! The reduce collectives additionally carry a silent-data-corruption
+//! guard (see [`guard`]): per-chunk CRC32 publication before the exchange
+//! and optional post-exchange verification ([`RankHandle::with_checksums`]),
+//! surfacing an injected or real bit flip as a structured
+//! [`CorruptPayload`] on every rank instead of averaging garbage.
 
 pub mod adaptive;
 pub mod barrier;
 pub mod group;
+pub mod guard;
 pub mod hierarchy;
 pub mod ring;
 pub mod traffic;
@@ -30,5 +37,6 @@ pub mod traffic;
 pub use adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 pub use barrier::{RankLost, SenseBarrier};
 pub use group::{Algorithm, Group, RankHandle};
+pub use guard::{CollectiveError, CorruptPayload, SabotageCell};
 pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};
 pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};

@@ -19,3 +19,12 @@ pub mod recipe;
 pub use checkpoint::{pretrain_cached, pretrain_cached_in};
 pub use pipeline::{pretrain, probe_dataset, DatasetProbe, PretrainOutcome, ProbePoint};
 pub use recipe::RecipeConfig;
+
+/// The workspace's single table-driven CRC32 (and its streaming form),
+/// re-exported as the canonical integrity primitive. The implementation
+/// lives in `geofm_resilience::ckpt` — the most dependency-light crate
+/// that needs it — because `geofm-core` sits at the *top* of the workspace
+/// graph and hosting it here would cycle; every consumer (checkpoint
+/// footers here, collective payload checksums in `geofm-collectives`,
+/// step checkpoints in `geofm-resilience`) shares this one table.
+pub use geofm_resilience::{crc32, crc32_update};

@@ -41,6 +41,7 @@ pub mod analytic;
 pub mod engine;
 pub mod faults;
 pub mod gray;
+pub mod guard;
 pub mod io;
 pub mod machine;
 pub mod memory;
@@ -51,6 +52,7 @@ pub mod workload;
 
 pub use faults::{interval_ladder, FaultModel, GoodputPoint, GoodputSweep};
 pub use gray::{GrayModel, GrayPoint};
+pub use guard::{GuardPoint, SdcGuardModel};
 pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
 pub use memory::MemoryModel;
 pub use sim::{simulate, SimConfig, SimResult};

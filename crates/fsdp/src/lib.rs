@@ -25,14 +25,16 @@
 pub mod flat;
 pub mod health;
 pub mod rank;
+pub mod sentinel;
 pub mod strategy;
 pub mod trainer;
 
 pub use flat::FlatLayout;
 pub use health::HealthMonitor;
-pub use rank::{FsdpRank, StepReport};
+pub use rank::{FsdpRank, StepError, StepReport};
+pub use sentinel::{Sentinel, SentinelConfig, SentinelTrip};
 pub use strategy::{FsdpConfig, PrefetchPolicy, ShardingStrategy};
 pub use trainer::{
     run_data_parallel, run_data_parallel_with_telemetry, try_run_data_parallel, DistReport,
-    ResilienceConfig,
+    GuardConfig, ResilienceConfig,
 };

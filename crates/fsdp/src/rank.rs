@@ -3,7 +3,7 @@
 
 use crate::flat::FlatLayout;
 use crate::strategy::{FsdpConfig, ShardingStrategy};
-use geofm_collectives::{RankGroups, RankLost};
+use geofm_collectives::{CollectiveError, CorruptPayload, RankGroups, RankLost};
 use geofm_nn::{AdamW, AdamWState, Module, Optimizer};
 use geofm_telemetry::Telemetry;
 use std::sync::Arc;
@@ -18,6 +18,38 @@ pub struct StepReport {
     /// Learning rate applied.
     pub lr: f32,
 }
+
+/// Why a distributed step failed.
+#[must_use = "a failed step must be handled (restart or rollback), not dropped"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepError {
+    /// A peer rank died or stopped responding: the groups are poisoned and
+    /// the attempt must be abandoned (elastic restart path).
+    Lost(RankLost),
+    /// A reduce contribution failed checksum verification. The step ran
+    /// its full collective schedule — every rank of the affected group
+    /// crossed every barrier and observed the identical error, and *no
+    /// optimizer update was applied on this rank* — so the world is still
+    /// barrier-aligned and can recover in-band (rollback-and-skip).
+    Corrupt(CorruptPayload),
+}
+
+impl From<RankLost> for StepError {
+    fn from(l: RankLost) -> Self {
+        Self::Lost(l)
+    }
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lost(l) => write!(f, "{l}"),
+            Self::Corrupt(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
 
 /// One rank of an FSDP training job.
 ///
@@ -192,21 +224,30 @@ impl<M: Module> FsdpRank<M> {
     /// loss; the engine handles everything else.
     ///
     /// # Panics
-    /// Panics if a peer rank is lost mid-step (see [`FsdpRank::try_step`]).
+    /// Panics if a peer rank is lost or a reduce is corrupt mid-step (see
+    /// [`FsdpRank::try_step`]).
     pub fn step(&mut self, lr: f32, compute: impl FnOnce(&mut M) -> f32) -> StepReport {
-        self.try_step(lr, compute).expect("distributed step failed: peer rank lost")
+        self.try_step(lr, compute).expect("distributed step failed")
     }
 
     /// Fallible [`FsdpRank::step`]: a lost peer (poisoned group or barrier
-    /// timeout) surfaces as `Err(RankLost)`. On `Err` the model parameters
-    /// and optimizer state are those of the last *completed* step — a
-    /// failed step applies no partial update, so recovery can resume from
-    /// the previous checkpoint without unwinding half-applied state.
+    /// timeout) surfaces as [`StepError::Lost`]; a checksum-detected
+    /// reduce corruption as [`StepError::Corrupt`]. On either error the
+    /// model parameters and optimizer state are those of the last
+    /// *completed* step — a failed step applies no partial update, so
+    /// recovery can resume from the previous checkpoint (or, for
+    /// `Corrupt`, roll back in-band) without unwinding half-applied state.
+    ///
+    /// On `Corrupt` the step still issues its **entire** collective
+    /// schedule with garbage payloads before returning: in a hierarchy,
+    /// a corruption seen only inside one shard group must not desync that
+    /// group's ranks from the replica-group collectives their peers in
+    /// other shard groups are still running.
     pub fn try_step(
         &mut self,
         lr: f32,
         compute: impl FnOnce(&mut M) -> f32,
-    ) -> Result<StepReport, RankLost> {
+    ) -> Result<StepReport, StepError> {
         let tel = self.telemetry.clone();
         let tid = self.groups.rank as u64;
         let phase = |name: &str| tel.as_deref().map(|t| t.phase(name, tid));
@@ -233,7 +274,23 @@ impl<M: Module> FsdpRank<M> {
         }
 
         let _reduce_phase = phase("fsdp.reduce");
-        // 4. reduce gradients
+        // 4. reduce gradients. A corrupt verdict is *noted*, not
+        // short-circuited: the remaining collectives still run (their
+        // payloads are garbage, which is fine — no update gets applied)
+        // so every rank of every group crosses the same barrier sequence
+        // and the error surfaces in lockstep. Only a lost rank aborts
+        // immediately — its group is poisoned and nothing can complete.
+        let mut corrupt: Option<CorruptPayload> = None;
+        let mut note = |r: Result<(), CollectiveError>| -> Result<(), RankLost> {
+            match r {
+                Ok(()) => Ok(()),
+                Err(CollectiveError::Corrupt(c)) => {
+                    corrupt.get_or_insert(c);
+                    Ok(())
+                }
+                Err(CollectiveError::Lost(l)) => Err(l),
+            }
+        };
         self.model.pack_grads(&mut self.grads);
         self.owned_grads.clear();
         match self.config.strategy {
@@ -243,7 +300,7 @@ impl<M: Module> FsdpRank<M> {
                 let mut start = 0;
                 while start < self.grads.len() {
                     let end = (start + bucket_elems).min(self.grads.len());
-                    self.groups.replica.try_all_reduce(&mut self.grads[start..end])?;
+                    note(self.groups.replica.try_all_reduce(&mut self.grads[start..end]))?;
                     start = end;
                 }
                 self.owned_grads.extend_from_slice(&self.grads);
@@ -252,7 +309,7 @@ impl<M: Module> FsdpRank<M> {
                 // per-unit all-reduce (FSDP's NO_SHARD message sizing)
                 for u in 0..self.layout.num_units() {
                     let r = self.layout.unit_ranges[u].clone();
-                    self.groups.replica.try_all_reduce(&mut self.grads[r])?;
+                    note(self.groups.replica.try_all_reduce(&mut self.grads[r]))?;
                 }
                 self.owned_grads.extend_from_slice(&self.grads);
             }
@@ -261,9 +318,9 @@ impl<M: Module> FsdpRank<M> {
             | ShardingStrategy::Hybrid { .. } => {
                 for u in 0..self.layout.num_units() {
                     self.layout.padded_unit(&self.grads, u, &mut self.padded);
-                    self.groups.shard.try_reduce_scatter(&self.padded, &mut self.rs_out)?;
+                    note(self.groups.shard.try_reduce_scatter(&self.padded, &mut self.rs_out))?;
                     if self.groups.replica.size() > 1 {
-                        self.groups.replica.try_all_reduce(&mut self.rs_out)?;
+                        note(self.groups.replica.try_all_reduce(&mut self.rs_out))?;
                     }
                     self.owned_grads.extend_from_slice(&self.rs_out);
                 }
@@ -284,9 +341,15 @@ impl<M: Module> FsdpRank<M> {
             .map(|g| (*g as f64) * (*g as f64))
             .sum::<f64>() as f32];
         if self.layout.shard_n > 1 {
-            self.groups.shard.try_all_reduce(&mut sumsq)?;
+            note(self.groups.shard.try_all_reduce(&mut sumsq))?;
         }
         let grad_norm = sumsq[0].sqrt();
+
+        if let Some(c) = corrupt {
+            // full collective schedule completed; parameters and optimizer
+            // untouched — surface the agreed verdict for rollback-and-skip
+            return Err(StepError::Corrupt(c));
+        }
 
         if let Some(max) = self.grad_clip {
             if grad_norm > max && grad_norm > 0.0 {
@@ -362,6 +425,24 @@ impl<M: Module> FsdpRank<M> {
     /// Synchronise on the world group (fallible).
     pub fn try_world_barrier(&self) -> Result<(), RankLost> {
         self.groups.world.try_barrier()
+    }
+
+    /// All-reduce a small scalar buffer across the **world** group —
+    /// the trainer's per-step guard exchange (mean loss + corruption
+    /// flag). Runs on the same checksummed path as the gradient reduces.
+    pub fn try_world_all_reduce(&self, buf: &mut [f32]) -> Result<(), StepError> {
+        match self.groups.world.try_all_reduce(buf) {
+            Ok(()) => Ok(()),
+            Err(CollectiveError::Lost(l)) => Err(StepError::Lost(l)),
+            Err(CollectiveError::Corrupt(c)) => Err(StepError::Corrupt(c)),
+        }
+    }
+
+    /// Arm a one-shot bit flip in this rank's next reduce contribution
+    /// (see [`geofm_collectives::RankGroups::arm_bitflip`]) — the
+    /// `BitFlipGrad` fault injection point.
+    pub fn arm_bitflip(&self, bit: u32) {
+        self.groups.arm_bitflip(bit);
     }
 }
 

@@ -1,0 +1,304 @@
+//! Numerical sentinel: the trainer-side half of the silent-data-corruption
+//! defense.
+//!
+//! The checksum layer in `geofm-collectives` catches faults that change
+//! the *bits in flight*; the sentinel catches faults that produce wrong
+//! but well-formed numbers — a poisoned local loss, an exploding update,
+//! the loss spikes that dominate long billion-parameter campaigns
+//! (OReole-FM reports exactly these when scaling ORNL's geospatial ViTs).
+//! It screens every completed step's globally-agreed statistics:
+//!
+//! 1. **NaN/Inf guard** — a non-finite mean loss or gradient norm trips
+//!    immediately.
+//! 2. **Robust loss-spike detector** — a median/MAD z-score over a
+//!    sliding window of recent finite losses. Median/MAD (not mean/std)
+//!    so a single spike cannot mask itself by inflating the scale
+//!    estimate.
+//! 3. **Grad-norm anomaly flag** — the same robust z-score over the
+//!    gradient-norm series, at a looser threshold (grad norms are noisier
+//!    than losses early in training).
+//!
+//! Every rank runs its own sentinel, but the inputs are *identical on all
+//! ranks by construction* (the mean loss comes out of a world all-reduce;
+//! the grad norm is the globally reduced norm) and the arithmetic is
+//! fixed-order `f64`, so every rank reaches the same verdict at the same
+//! step without any extra communication — the property the deterministic
+//! rollback-and-skip protocol rests on.
+
+/// Why the sentinel tripped on a step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SentinelTrip {
+    /// The mean loss was NaN or ±Inf.
+    NonFiniteLoss {
+        /// The offending value.
+        loss: f32,
+    },
+    /// The global gradient norm was NaN or ±Inf.
+    NonFiniteGradNorm {
+        /// The offending value.
+        grad_norm: f32,
+    },
+    /// The loss spiked past the robust z-score threshold.
+    LossSpike {
+        /// The offending loss.
+        loss: f32,
+        /// Its median/MAD z-score over the window.
+        zscore: f64,
+    },
+    /// The gradient norm spiked past its (looser) threshold.
+    GradNormSpike {
+        /// The offending norm.
+        grad_norm: f32,
+        /// Its median/MAD z-score over the window.
+        zscore: f64,
+    },
+}
+
+impl std::fmt::Display for SentinelTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteLoss { loss } => write!(f, "non-finite loss {loss}"),
+            Self::NonFiniteGradNorm { grad_norm } => {
+                write!(f, "non-finite grad norm {grad_norm}")
+            }
+            Self::LossSpike { loss, zscore } => {
+                write!(f, "loss spike {loss} (robust z = {zscore:.1})")
+            }
+            Self::GradNormSpike { grad_norm, zscore } => {
+                write!(f, "grad-norm spike {grad_norm} (robust z = {zscore:.1})")
+            }
+        }
+    }
+}
+
+/// Detector thresholds and window size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// Sliding-window length for the robust statistics. Screening starts
+    /// only once the window is full — early steps are too volatile to
+    /// call anything an anomaly.
+    pub window: usize,
+    /// Loss trip threshold in robust z-score units.
+    pub loss_z: f64,
+    /// Grad-norm trip threshold in robust z-score units (looser).
+    pub grad_z: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self { window: 8, loss_z: 6.0, grad_z: 8.0 }
+    }
+}
+
+/// One screened step's statistics, kept for the sliding window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StepStats {
+    step: usize,
+    loss: f64,
+    grad_norm: f64,
+}
+
+/// The sliding-window anomaly detector. See the module docs for the
+/// determinism argument; see [`Sentinel::screen`] for the verdict order.
+#[derive(Debug, Clone)]
+pub struct Sentinel {
+    config: SentinelConfig,
+    /// Accepted (clean) step statistics, ascending by step.
+    history: Vec<StepStats>,
+}
+
+/// Median of a small, already-extracted sample (sorted internally).
+/// Fixed-order f64 arithmetic: identical inputs → identical output bits.
+fn median(sample: &mut [f64]) -> f64 {
+    sample.sort_by(f64::total_cmp);
+    let n = sample.len();
+    if n % 2 == 1 {
+        sample[n / 2]
+    } else {
+        (sample[n / 2 - 1] + sample[n / 2]) / 2.0
+    }
+}
+
+impl Sentinel {
+    /// New sentinel with the given thresholds.
+    pub fn new(config: SentinelConfig) -> Self {
+        Self { config, history: Vec::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SentinelConfig {
+        self.config
+    }
+
+    /// Robust z-score of `value` against the window's median/MAD scale.
+    /// The scale floor (`1.4826·MAD`, then a relative and an absolute
+    /// floor) keeps a near-constant window from flagging harmless jitter
+    /// as an anomaly.
+    fn robust_z(window: &[f64], value: f64) -> f64 {
+        let mut sample: Vec<f64> = window.to_vec();
+        let med = median(&mut sample);
+        let mut dev: Vec<f64> = window.iter().map(|v| (v - med).abs()).collect();
+        let mad = median(&mut dev);
+        let scale = (1.4826 * mad).max(1e-3 * med.abs()).max(1e-12);
+        (value - med).abs() / scale
+    }
+
+    /// Screen one completed step. `Some(trip)` means the step must be
+    /// rolled back and skipped; `None` accepts it into the history.
+    ///
+    /// Verdict order (must stay fixed — it is part of the deterministic
+    /// recovery contract): non-finite loss, non-finite grad norm, loss
+    /// spike, grad-norm spike.
+    pub fn screen(&mut self, step: usize, loss: f32, grad_norm: f32) -> Option<SentinelTrip> {
+        if !loss.is_finite() {
+            return Some(SentinelTrip::NonFiniteLoss { loss });
+        }
+        if !grad_norm.is_finite() {
+            return Some(SentinelTrip::NonFiniteGradNorm { grad_norm });
+        }
+        let w = self.config.window;
+        if self.history.len() >= w {
+            let tail = &self.history[self.history.len() - w..];
+            let losses: Vec<f64> = tail.iter().map(|s| s.loss).collect();
+            let z = Self::robust_z(&losses, loss as f64);
+            if z > self.config.loss_z {
+                return Some(SentinelTrip::LossSpike { loss, zscore: z });
+            }
+            let norms: Vec<f64> = tail.iter().map(|s| s.grad_norm).collect();
+            let zg = Self::robust_z(&norms, grad_norm as f64);
+            if zg > self.config.grad_z {
+                return Some(SentinelTrip::GradNormSpike { grad_norm, zscore: zg });
+            }
+        }
+        self.history.push(StepStats { step, loss: loss as f64, grad_norm: grad_norm as f64 });
+        None
+    }
+
+    /// Discard every accepted step at or after `step` — called on
+    /// rollback so the re-executed steps re-enter the window exactly as
+    /// they did the first time.
+    pub fn truncate(&mut self, step: usize) {
+        self.history.retain(|s| s.step < step);
+    }
+
+    /// Accepted (clean) steps so far.
+    pub fn accepted(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warmed() -> Sentinel {
+        let mut s = Sentinel::new(SentinelConfig::default());
+        // a gently declining, slightly noisy loss curve
+        for step in 0..10 {
+            let loss = 2.0 - 0.05 * step as f32 + if step % 2 == 0 { 0.01 } else { -0.01 };
+            assert!(s.screen(step, loss, 1.0 + 0.02 * (step % 3) as f32).is_none());
+        }
+        s
+    }
+
+    #[test]
+    fn nan_and_inf_trip_immediately_even_cold() {
+        let mut s = Sentinel::new(SentinelConfig::default());
+        assert!(matches!(
+            s.screen(0, f32::NAN, 1.0),
+            Some(SentinelTrip::NonFiniteLoss { .. })
+        ));
+        assert!(matches!(
+            s.screen(0, 1.0, f32::INFINITY),
+            Some(SentinelTrip::NonFiniteGradNorm { .. })
+        ));
+        assert_eq!(s.accepted(), 0);
+    }
+
+    #[test]
+    fn loss_spike_trips_after_warmup() {
+        let mut s = warmed();
+        match s.screen(10, 50.0, 1.0) {
+            Some(SentinelTrip::LossSpike { zscore, .. }) => assert!(zscore > 6.0),
+            other => panic!("expected LossSpike, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grad_norm_spike_trips_after_warmup() {
+        let mut s = warmed();
+        match s.screen(10, 1.5, 400.0) {
+            Some(SentinelTrip::GradNormSpike { zscore, .. }) => assert!(zscore > 8.0),
+            other => panic!("expected GradNormSpike, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normal_variation_does_not_trip() {
+        let mut s = warmed();
+        for step in 10..30 {
+            let loss = 1.5 - 0.01 * (step - 10) as f32 + if step % 3 == 0 { 0.03 } else { -0.02 };
+            assert!(
+                s.screen(step, loss, 1.0 + 0.05 * (step % 4) as f32).is_none(),
+                "step {step} false-positived"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_window_never_spike_trips() {
+        // fewer accepted steps than the window → only the NaN/Inf guard runs
+        let mut s = Sentinel::new(SentinelConfig::default());
+        for step in 0..7 {
+            assert!(s.screen(step, (step as f32 - 3.0).powi(4), 1.0).is_none());
+        }
+    }
+
+    #[test]
+    fn truncate_rewinds_the_window_exactly() {
+        let mut a = warmed();
+        let mut b = warmed();
+        // a: accept two more steps, then rewind them
+        assert!(a.screen(10, 1.49, 1.0).is_none());
+        assert!(a.screen(11, 1.48, 1.0).is_none());
+        a.truncate(10);
+        assert_eq!(a.accepted(), b.accepted());
+        // both must now produce the identical verdict stream
+        for step in 10..14 {
+            let loss = 1.5 - 0.01 * (step - 10) as f32;
+            assert_eq!(a.screen(step, loss, 1.0), b.screen(step, loss, 1.0));
+        }
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_verdicts() {
+        // the determinism contract: two sentinels fed the same series trip
+        // at the same step with the same verdict
+        let run = || {
+            let mut s = Sentinel::new(SentinelConfig::default());
+            let mut trips = Vec::new();
+            for step in 0..40 {
+                let loss = if step == 25 { 90.0 } else { 2.0 - 0.02 * step as f32 };
+                if let Some(t) = s.screen(step, loss, 1.0) {
+                    trips.push((step, t));
+                }
+            }
+            trips
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().len(), 1);
+    }
+
+    #[test]
+    fn constant_loss_window_tolerates_tiny_jitter() {
+        // MAD = 0 on a constant window; the scale floor must absorb
+        // float-level jitter instead of tripping on it
+        let mut s = Sentinel::new(SentinelConfig::default());
+        for step in 0..8 {
+            assert!(s.screen(step, 1.0, 1.0).is_none());
+        }
+        assert!(s.screen(8, 1.0 + 1e-6, 1.0).is_none());
+        // ...but a genuine jump off the constant plateau still trips
+        assert!(s.screen(9, 2.0, 1.0).is_some());
+    }
+}

@@ -16,16 +16,19 @@
 //!   never failed.
 
 use crate::health::HealthMonitor;
-use crate::rank::FsdpRank;
+use crate::rank::{FsdpRank, StepError};
+use crate::sentinel::{Sentinel, SentinelConfig};
 use crate::strategy::FsdpConfig;
 use geofm_collectives::{
-    AdaptiveTimeoutConfig, HierarchyLayout, ProcessGroups, TrafficCounter, TrafficSnapshot,
+    AdaptiveTimeoutConfig, CorruptPayload, HierarchyLayout, ProcessGroups, TrafficCounter,
+    TrafficSnapshot,
 };
 use geofm_nn::{AdamWState, Module};
 use geofm_resilience::{
-    DegradedReport, FailureReport, FaultPlan, RankFailure, RankSlot, StepCheckpoint,
+    DegradedReport, FailureReport, FaultPlan, GuardReport, RankFailure, RankSlot, StepCheckpoint,
 };
 use geofm_telemetry::Telemetry;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,7 +40,8 @@ use std::time::{Duration, Instant};
 pub struct DistReport {
     /// Final (materialised) flat parameters, identical on every rank.
     pub final_params: Vec<f32>,
-    /// Mean local loss per step, averaged across ranks.
+    /// Mean local loss per step, averaged across ranks. Skipped steps
+    /// hold the canonical `f32::NAN` placeholder.
     pub mean_losses: Vec<f32>,
     /// Total communication traffic across all ranks and steps.
     pub traffic: TrafficSnapshot,
@@ -48,6 +52,47 @@ pub struct DistReport {
     /// A degraded world still completes (bit-identically) — it just
     /// completes slower, and this says by how much and whose fault it was.
     pub degraded: Option<DegradedReport>,
+    /// Integrity-guard summary: `Some` whenever the guard was enabled
+    /// (zero trips included — a clean guarded run is worth knowing).
+    pub guard: Option<GuardReport>,
+}
+
+/// Policy for the silent-data-corruption / loss-spike guard in
+/// [`try_run_data_parallel`]. `Some(GuardConfig)` on
+/// [`ResilienceConfig::guard`] turns on (a) checksum verification in every
+/// reduce collective, (b) a per-step guard exchange (world all-reduce of
+/// `[local loss, corruption flag]`) whose result is identical on every
+/// rank, (c) [`Sentinel`] screening of that agreed mean loss and the
+/// global grad norm, and (d) deterministic rollback-and-skip on any trip.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Sentinel thresholds (NaN/Inf guard + robust z-score spike
+    /// detectors).
+    pub sentinel: SentinelConfig,
+    /// Take an in-memory rollback snapshot every this many completed
+    /// steps (≥ 1). Smaller = less re-executed work per rollback, more
+    /// snapshot copies.
+    pub snapshot_every: usize,
+    /// How many rollback-and-skip recoveries the run may perform before
+    /// a trip becomes a hard failure (a stream of trips means the fault
+    /// is not transient).
+    pub max_rollbacks: usize,
+    /// Steps to skip unconditionally (canonical NaN loss, no collectives,
+    /// no update). This is how a *clean* comparator run reproduces the
+    /// exact step schedule of a faulted run that skipped these steps —
+    /// the bit-identical-recovery acceptance test.
+    pub skip_steps: BTreeSet<usize>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            sentinel: SentinelConfig::default(),
+            snapshot_every: 2,
+            max_rollbacks: 8,
+            skip_steps: BTreeSet::new(),
+        }
+    }
 }
 
 /// Fault-tolerance policy for [`try_run_data_parallel`].
@@ -79,6 +124,12 @@ pub struct ResilienceConfig {
     /// A rank is flagged as a straggler once its local-work EWMA exceeds
     /// this multiple of the healthy median (see [`HealthMonitor`]).
     pub straggler_threshold: f64,
+    /// Silent-data-corruption / loss-spike defense. `Some` enables
+    /// checksummed reduce collectives, the per-step guard exchange,
+    /// [`Sentinel`] screening and deterministic rollback-and-skip (see
+    /// [`GuardConfig`]). `None` runs unguarded — injected corruption
+    /// propagates silently, exactly like un-checksummed hardware.
+    pub guard: Option<GuardConfig>,
 }
 
 impl ResilienceConfig {
@@ -94,6 +145,7 @@ impl ResilienceConfig {
             max_restarts: 0,
             adaptive_timeout: None,
             straggler_threshold: 2.5,
+            guard: None,
         }
     }
 }
@@ -212,8 +264,14 @@ where
         resumed_from_step: None,
         failures: Vec::new(),
         degraded: None,
+        guard: None,
     };
+    // per-attempt deposit slot for the guard report (every rank computes an
+    // identical report; rank 0 — or the rank that exhausts the rollback
+    // budget — deposits it)
+    let guard_slot: Mutex<Option<GuardReport>> = Mutex::new(None);
     loop {
+        *lock(&guard_slot) = None;
         // fresh monitor per attempt: a restarted world re-learns who is slow
         let health = HealthMonitor::new(world, resilience.straggler_threshold)
             .with_telemetry(telemetry.clone());
@@ -240,16 +298,21 @@ where
             &resilience,
             resume,
             &health,
+            &guard_slot,
         );
         drop(recovery_span);
         match outcome {
             Ok(mut report) => {
                 report.restarts = failure.restarts_used;
                 report.degraded = health.report();
+                report.guard = lock(&guard_slot).take();
                 return Ok(report);
             }
             Err(mut fails) => {
                 failure.failures.append(&mut fails);
+                if let Some(gr) = lock(&guard_slot).take() {
+                    failure.guard = Some(Box::new(gr));
+                }
                 if failure.restarts_used >= resilience.max_restarts {
                     failure.degraded = health.report();
                     return Err(failure);
@@ -279,6 +342,7 @@ fn run_attempt<M, FM, FC, FL>(
     resilience: &ResilienceConfig,
     resume: Option<StepCheckpoint>,
     health: &HealthMonitor,
+    guard_slot: &Mutex<Option<GuardReport>>,
 ) -> Result<DistReport, Vec<RankFailure>>
 where
     M: Module + Send,
@@ -319,6 +383,9 @@ where
                 if let Some(cfg) = resilience.adaptive_timeout {
                     g = g.with_adaptive_timeout(cfg, telemetry.as_deref().map(|t| t.metrics.clone()));
                 }
+                if resilience.guard.is_some() {
+                    g = g.with_checksums(true);
+                }
                 // kept outside the unwind boundary so a panicking rank can
                 // still unblock its peers
                 let guard = g.clone();
@@ -350,8 +417,32 @@ where
                         local_losses.extend_from_slice(&slot.losses);
                     }
 
-                    for step in start_step..steps {
+                    // ---- integrity-guard state (all deterministic and
+                    // identical across ranks: the sentinel sees only
+                    // globally-agreed statistics, the skip set only changes
+                    // on globally-agreed trips) ----
+                    let guard_cfg = resilience.guard.as_ref();
+                    let mut sentinel = guard_cfg.map(|gc| Sentinel::new(gc.sentinel));
+                    let mut skip: BTreeSet<usize> =
+                        guard_cfg.map(|gc| gc.skip_steps.clone()).unwrap_or_default();
+                    let mut gr = GuardReport::default();
+                    // in-memory rollback snapshot: exact f32 params + AdamW
+                    // moments + how much of the loss series was committed
+                    let (mut snap_params, mut snap_adam) = fr.export_state();
+                    let mut snap_step = start_step;
+                    let mut snap_losses_len = local_losses.len();
+
+                    let mut step = start_step;
+                    while step < steps {
                         current_step.store(step, Ordering::Relaxed);
+                        if skip.contains(&step) {
+                            // deterministic skip: canonical NaN loss, no
+                            // collectives, no faults, no update — every rank
+                            // passes over the step in lockstep
+                            local_losses.push(f32::NAN);
+                            step += 1;
+                            continue;
+                        }
                         // rank-local work this step (injected delays +
                         // compute, no barrier waits) — what the health
                         // monitor compares across ranks
@@ -396,6 +487,19 @@ where
                             count("fault.degraded_link");
                         }
                         guard.set_link_slowdown(link.unwrap_or(1.0));
+                        // SDC injection: a one-shot bit flip lands in this
+                        // rank's next reduce contribution; a one-shot loss
+                        // poison turns the reported local loss into NaN
+                        // (well-formed bits, wrong number — only the
+                        // sentinel can catch it)
+                        if let Some(bit) = plan.take_bitflip(rank, step) {
+                            count("fault.injected_bitflip");
+                            fr.arm_bitflip(bit);
+                        }
+                        let poison = plan.take_poison(rank, step);
+                        if poison {
+                            count("fault.injected_poison");
+                        }
                         let compute_time = &mut local_work;
                         let outcome = fr.try_step(lr_at(step), |m| {
                             let t0 = Instant::now();
@@ -406,22 +510,120 @@ where
                                 std::thread::sleep(t0.elapsed().mul_f64(s - 1.0));
                             }
                             *compute_time += t0.elapsed();
-                            loss
+                            if poison { f32::NAN } else { loss }
                         });
-                        let report = match outcome {
-                            Ok(r) => r,
-                            Err(lost) => {
+                        let (report, corrupt) = match outcome {
+                            Ok(r) => (Some(r), None),
+                            Err(StepError::Corrupt(c)) if guard_cfg.is_some() => {
+                                // the checksum layer flagged this step's
+                                // reduce; the step completed its collective
+                                // schedule (keeping all ranks aligned) but
+                                // applied no update — the guard exchange
+                                // below spreads the verdict world-wide
+                                (None, Some(c))
+                            }
+                            Err(e) => {
                                 count("fault.rank_lost");
                                 fr.poison_groups();
-                                return Err(fail(step, lost.to_string()));
+                                return Err(fail(step, e.to_string()));
                             }
                         };
+
+                        // ---- guard exchange + screening (guard on only) ----
+                        let trip_cause: Option<String> = if guard_cfg.is_some() {
+                            let mut exchange_corrupt: Option<CorruptPayload> = None;
+                            let mut ex = [
+                                report.as_ref().map_or(0.0, |r| r.loss),
+                                if corrupt.is_some() { 1.0 } else { 0.0 },
+                            ];
+                            match fr.try_world_all_reduce(&mut ex) {
+                                Ok(()) => {}
+                                Err(StepError::Corrupt(c)) => exchange_corrupt = Some(c),
+                                Err(e) => {
+                                    count("fault.rank_lost");
+                                    fr.poison_groups();
+                                    return Err(fail(step, e.to_string()));
+                                }
+                            }
+                            if ex[1] > 0.0 || exchange_corrupt.is_some() {
+                                gr.checksum_trips += 1;
+                                Some(match corrupt.or(exchange_corrupt) {
+                                    Some(c) => format!(
+                                        "corrupt reduce payload (rank {}, chunk {})",
+                                        c.rank, c.chunk
+                                    ),
+                                    None => {
+                                        "corrupt reduce payload detected by a peer group".into()
+                                    }
+                                })
+                            } else {
+                                let mean_loss = ex[0] / world as f32;
+                                let r = report
+                                    .as_ref()
+                                    .expect("no corruption implies a completed step");
+                                sentinel
+                                    .as_mut()
+                                    .expect("sentinel exists whenever the guard is on")
+                                    .screen(step, mean_loss, r.grad_norm)
+                                    .map(|t| {
+                                        gr.sentinel_trips += 1;
+                                        t.to_string()
+                                    })
+                            }
+                        } else {
+                            None
+                        };
+
+                        if let Some(cause) = trip_cause {
+                            // every rank reached this identical verdict at
+                            // this identical step — roll back and skip in
+                            // lockstep, no extra agreement round needed
+                            let gc = guard_cfg.expect("a trip implies the guard is on");
+                            gr.trips += 1;
+                            count("guard.trip");
+                            if gr.rollbacks >= gc.max_rollbacks {
+                                *lock(guard_slot) = Some(gr.clone());
+                                fr.poison_groups();
+                                return Err(fail(
+                                    step,
+                                    format!("guard rollback budget exhausted: {cause}"),
+                                ));
+                            }
+                            gr.rollbacks += 1;
+                            gr.skipped_steps.push(step);
+                            gr.wasted_steps += step - snap_step;
+                            count("guard.rollbacks");
+                            if let Some(t) = telemetry.as_deref() {
+                                t.metrics
+                                    .histogram("guard.rollback.steps")
+                                    .record((step - snap_step) as u64);
+                            }
+                            fr.restore_state(&snap_params, snap_adam.clone());
+                            local_losses.truncate(snap_losses_len);
+                            if let Some(s) = sentinel.as_mut() {
+                                s.truncate(snap_step);
+                            }
+                            skip.insert(step);
+                            step = snap_step;
+                            continue;
+                        }
+
+                        let report = report.expect("an accepted step always has a report");
                         health.record(rank, local_work);
                         local_losses.push(report.loss);
 
                         let done = step + 1;
+                        if let Some(gc) = guard_cfg {
+                            if gc.snapshot_every > 0 && done.is_multiple_of(gc.snapshot_every) {
+                                let (p, a) = fr.export_state();
+                                snap_params = p;
+                                snap_adam = a;
+                                snap_step = done;
+                                snap_losses_len = local_losses.len();
+                            }
+                        }
                         if resilience.checkpoint_every > 0
-                            && done % resilience.checkpoint_every == 0
+                            && done.is_multiple_of(resilience.checkpoint_every)
                         {
                             if let Some(path) = resilience.checkpoint_path.as_ref() {
                                 let (params, adam) = fr.export_state();
@@ -486,6 +688,7 @@ where
                                 }
                             }
                         }
+                        step += 1;
                     }
 
                     if let Err(lost) = fr.try_materialize() {
@@ -496,6 +699,9 @@ where
                     *lock(&losses[rank]) = local_losses;
                     if rank == 0 {
                         *lock(params_out) = Some(fr.packed_params());
+                        if guard_cfg.is_some() {
+                            *lock(guard_slot) = Some(gr.clone());
+                        }
                     }
                     Ok(())
                 }));
@@ -561,6 +767,7 @@ where
         traffic: traffic.snapshot(),
         restarts: 0,
         degraded: None,
+        guard: None,
     })
 }
 
@@ -913,6 +1120,168 @@ mod tests {
             .expect("a degraded link completes");
         assert_eq!(clean.final_params, degraded.final_params);
         assert_eq!(clean.mean_losses, degraded.mean_losses);
+    }
+
+    /// f32 equality that treats the canonical NaN skip placeholder as equal
+    /// to itself (NaN != NaN under IEEE compare).
+    fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn guarded_run_without_faults_is_bit_identical_to_unguarded() {
+        let clean = run_resilient(ShardingStrategy::FullShard, 2, 6, ResilienceConfig::disabled())
+            .expect("clean");
+        assert!(clean.guard.is_none(), "guard off must not report");
+
+        let guarded = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            6,
+            ResilienceConfig {
+                guard: Some(GuardConfig::default()),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("guarded clean run");
+        let gr = guarded.guard.expect("guard on must always report");
+        assert_eq!(gr.trips, 0, "{gr}");
+        assert_eq!(gr.rollbacks, 0);
+        // checksums + guard exchange + snapshots must not change the math
+        assert_eq!(clean.final_params, guarded.final_params);
+        assert_eq!(clean.mean_losses, guarded.mean_losses);
+    }
+
+    #[test]
+    fn bitflip_is_detected_rolled_back_and_bit_identical_to_clean_skip() {
+        // comparator: a clean guarded run told to skip step 3 outright
+        let comparator = run_resilient(
+            ShardingStrategy::Hybrid { shard_size: 2 },
+            4,
+            6,
+            ResilienceConfig {
+                guard: Some(GuardConfig {
+                    skip_steps: BTreeSet::from([3]),
+                    ..GuardConfig::default()
+                }),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("comparator run");
+
+        // faulted: rank 2 flips a gradient bit in its step-3 reduce
+        let faulted = run_resilient(
+            ShardingStrategy::Hybrid { shard_size: 2 },
+            4,
+            6,
+            ResilienceConfig {
+                fault_plan: Arc::new(FaultPlan::none().with_bitflip_grad(2, 3, 17)),
+                guard: Some(GuardConfig::default()),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("guard must recover from the bit flip without a restart");
+        assert_eq!(faulted.restarts, 0, "SDC recovery must not burn a restart");
+        let gr = faulted.guard.expect("guard report");
+        assert_eq!(gr.trips, 1, "{gr}");
+        assert_eq!(gr.checksum_trips, 1, "{gr}");
+        assert_eq!(gr.sentinel_trips, 0, "{gr}");
+        assert_eq!(gr.rollbacks, 1, "{gr}");
+        assert_eq!(gr.skipped_steps, vec![3], "{gr}");
+        assert_eq!(
+            comparator.final_params, faulted.final_params,
+            "rollback-and-skip must be bit-identical to a clean run with the same skips"
+        );
+        assert!(bitwise_eq(&comparator.mean_losses, &faulted.mean_losses));
+        assert!(faulted.mean_losses[3].is_nan(), "the skipped step holds the NaN placeholder");
+    }
+
+    #[test]
+    fn poisoned_loss_trips_the_sentinel_and_recovers() {
+        let comparator = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            5,
+            ResilienceConfig {
+                guard: Some(GuardConfig {
+                    skip_steps: BTreeSet::from([2]),
+                    ..GuardConfig::default()
+                }),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("comparator run");
+
+        let faulted = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            5,
+            ResilienceConfig {
+                fault_plan: Arc::new(FaultPlan::none().with_poison_loss(1, 2)),
+                guard: Some(GuardConfig::default()),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("guard must recover from the poisoned loss");
+        let gr = faulted.guard.expect("guard report");
+        assert_eq!(gr.sentinel_trips, 1, "NaN loss is the sentinel's job: {gr}");
+        assert_eq!(gr.checksum_trips, 0, "{gr}");
+        assert_eq!(gr.skipped_steps, vec![2], "{gr}");
+        assert_eq!(comparator.final_params, faulted.final_params);
+        assert!(bitwise_eq(&comparator.mean_losses, &faulted.mean_losses));
+    }
+
+    #[test]
+    fn unguarded_bitflip_corrupts_silently() {
+        // the negative control: without the guard the same fault completes
+        // "successfully" — and produces different weights. This is exactly
+        // the failure mode the checksum layer exists to catch.
+        let clean = run_resilient(ShardingStrategy::FullShard, 2, 4, ResilienceConfig::disabled())
+            .expect("clean");
+        let corrupted = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            4,
+            ResilienceConfig {
+                fault_plan: Arc::new(FaultPlan::none().with_bitflip_grad(1, 1, 24)),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("unguarded corruption sails through");
+        assert!(corrupted.guard.is_none());
+        assert_ne!(
+            clean.final_params, corrupted.final_params,
+            "a high exponent-bit flip must actually perturb the weights"
+        );
+    }
+
+    #[test]
+    fn rollback_budget_exhaustion_fails_with_guard_report() {
+        // poison the loss on every early step: each recovery re-trips until
+        // the budget runs out, and the failure carries the guard report
+        let mut plan = FaultPlan::none();
+        for step in 0..3 {
+            plan = plan.with_poison_loss(0, step);
+        }
+        let err = run_resilient(
+            ShardingStrategy::FullShard,
+            2,
+            6,
+            ResilienceConfig {
+                fault_plan: Arc::new(plan),
+                guard: Some(GuardConfig { max_rollbacks: 2, ..GuardConfig::default() }),
+                collective_timeout: Some(Duration::from_secs(5)),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect_err("three poisons against a budget of two must fail");
+        let gr = err.guard.as_ref().expect("failure must carry the guard report");
+        assert_eq!(gr.rollbacks, 2, "{gr}");
+        assert_eq!(gr.trips, 3, "{gr}");
+        assert!(
+            err.failures.iter().any(|f| f.cause.contains("rollback budget exhausted")),
+            "{err}"
+        );
     }
 
     #[test]

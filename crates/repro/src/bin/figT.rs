@@ -1,0 +1,120 @@
+//! Figure T: goodput vs silent-data-corruption rate per sharding strategy,
+//! guard on vs guard off (MAE ViT-3B, 8 nodes / 64 GCDs, 100k-step
+//! campaign). Sweeps the per-GCD-per-step SDC probability and prices the
+//! checksummed-collective + sentinel + rollback-and-skip guard with the
+//! machine model — the SDC twin of `figR` (fail-stop) and `figS` (gray).
+//!
+//! The paper does not print this figure; it prices the defense the paper's
+//! long campaigns implicitly rely on. The claim to check: the guard costs
+//! < 5% of step time at zero SDC rate, and under corruption the guarded
+//! goodput degrades gracefully while the unguarded curve falls off a cliff
+//! (one undetected flip anywhere poisons every weight thereafter).
+
+use geofm_frontier::{FrontierMachine, MaeWorkload, SdcGuardModel, SimConfig};
+use geofm_fsdp::ShardingStrategy;
+use geofm_repro::{append_metrics_csv, ascii_chart_labeled, write_csv};
+use geofm_telemetry::Telemetry;
+use geofm_vit::{VitConfig, VitVariant};
+
+fn main() {
+    println!("FIGURE T — goodput vs SDC rate, guard on/off (MAE ViT-3B, 8 nodes, 100k steps)");
+    let nodes = 8usize;
+    let total_steps = 100_000usize;
+    let cfg = VitConfig::table1(VitVariant::B3);
+    let wl = MaeWorkload::build(&cfg, 32, 0.75);
+    let model = SdcGuardModel::default();
+    let probs = [0.0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4];
+    let strategies = [
+        ShardingStrategy::NoShard,
+        ShardingStrategy::FullShard,
+        ShardingStrategy::ShardGradOp,
+        ShardingStrategy::Hybrid { shard_size: 8 },
+    ];
+    println!(
+        "  guard cost model: CRC at {:.0} GB/s, exchange {:.0} us, snapshot every {} steps",
+        model.crc_bw / 1e9,
+        model.exchange_alpha_s * 1e6,
+        model.snapshot_every
+    );
+
+    let tel = Telemetry::new();
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    let mut worst_overhead = 0.0f64;
+    for strategy in strategies {
+        let sim_cfg = SimConfig::tuned(FrontierMachine::new(nodes), strategy, wl.clone());
+        let points = model.sweep(&sim_cfg, total_steps, &probs);
+        tel.metrics.counter("figT.sweeps").inc(1);
+        worst_overhead = worst_overhead.max(points[0].overhead_frac);
+        println!(
+            "\n  {} — base step {:.3} s, guard overhead {:.2}%",
+            strategy.name(),
+            points[0].base_step_s,
+            points[0].overhead_frac * 100.0
+        );
+        println!(
+            "{:>10} {:>10} {:>10} {:>12} {:>12}",
+            "sdc_prob", "p_step", "incidents", "goodput_on", "goodput_off"
+        );
+        for p in &points {
+            println!(
+                "{:>10.1e} {:>10.2e} {:>10.1} {:>12.4} {:>12.2e}",
+                p.sdc_prob, p.p_step, p.incidents, p.goodput_on, p.goodput_off
+            );
+            rows.push(format!(
+                "{},{:e},{:e},{:.6},{:.6},{:.6},{:.1},{:.6},{:e}",
+                strategy.name(),
+                p.sdc_prob,
+                p.p_step,
+                p.base_step_s,
+                p.guard_step_s,
+                p.overhead_frac,
+                p.incidents,
+                p.goodput_on,
+                p.goodput_off
+            ));
+        }
+        chart.push((
+            format!("{} (on)", strategy.name()),
+            points.iter().map(|p| p.goodput_on).collect(),
+        ));
+    }
+    // the unguarded cliff is strategy-independent (pure probability)
+    let sim_cfg =
+        SimConfig::tuned(FrontierMachine::new(nodes), ShardingStrategy::FullShard, wl.clone());
+    chart.push((
+        "unguarded".to_string(),
+        model.sweep(&sim_cfg, total_steps, &probs).iter().map(|p| p.goodput_off).collect(),
+    ));
+
+    let prob_labels: Vec<usize> =
+        probs.iter().map(|p| if *p == 0.0 { 0 } else { -(p.log10()) as usize }).collect();
+    let csv_path = write_csv(
+        "figT.csv",
+        "strategy,sdc_prob,p_step,base_step_s,guard_step_s,overhead_frac,incidents,goodput_on,goodput_off",
+        &rows,
+    );
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    ascii_chart_labeled(
+        "goodput vs SDC rate (each column = one probability; label = -log10 p)",
+        "x (-log10 p)",
+        &prob_labels,
+        &chart,
+        4,
+    );
+    assert!(
+        worst_overhead < 0.05,
+        "guard overhead must stay under 5% of step time (worst {:.2}%)",
+        worst_overhead * 100.0
+    );
+    println!(
+        "\nReading: at zero SDC rate the guard costs {:.2}% of step time (worst strategy) — \
+         two streaming CRC passes over the gradient payload plus a two-float exchange are \
+         cheap next to a ViT-3B step. Under corruption the guarded curves bend gracefully \
+         (each incident costs one skipped step plus half a snapshot interval of rework), \
+         while the unguarded curve collapses: with 64 GCDs a per-rank rate of 1e-7/step \
+         already corrupts most 100k-step campaigns. At the paper's 9 408-node scale the \
+         crossover moves three orders of magnitude lower still.",
+        worst_overhead * 100.0
+    );
+}

@@ -43,11 +43,21 @@ const CRC_TABLE: [u32; 256] = {
 
 /// CRC32 (IEEE) of `bytes` — the checksum `cksum`/zlib compute.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
+
+/// Streaming CRC32 step: fold `bytes` into running state `crc`.
+///
+/// Start from `0xFFFF_FFFF`, feed the data in any batching, and finish
+/// with a bitwise NOT — `!crc32_update(0xFFFF_FFFF, b) == crc32(b)`.
+/// Exported so callers hashing non-contiguous data (the checksummed
+/// collectives hash f32 payloads in stack batches) reuse this table
+/// instead of growing a second CRC implementation.
+pub fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
-    c ^ 0xFFFF_FFFF
+    crc
 }
 
 /// Write `bytes` to `path` crash-safely: `.tmp` sibling → fsync → rename.
@@ -217,6 +227,16 @@ mod tests {
         // standard test vector: CRC32("123456789") = 0xCBF43926
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_update_streams_to_the_same_digest() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 7, 20, data.len()] {
+            let (a, b) = data.split_at(split);
+            let streamed = !crc32_update(crc32_update(0xFFFF_FFFF, a), b);
+            assert_eq!(streamed, crc32(data), "split at {split}");
+        }
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //!   repeatable across restart attempts, except the hang, which is
 //!   one-shot: the whole point of hang recovery is that the re-spawned
 //!   world runs through.
+//! * **corruption** — [`FaultKind::BitFlipGrad`] (one flipped
+//!   mantissa/exponent bit in a rank's reduce contribution — a silent
+//!   data corruption event) and [`FaultKind::PoisonLoss`] (a rank's local
+//!   loss comes back NaN — the loss-spike/instability regime OReole-FM
+//!   reports at billion-parameter scale). Both are one-shot transient
+//!   upsets: after a guard rollback (or an elastic restart) the
+//!   re-executed step runs clean, which is exactly what makes
+//!   rollback-and-skip recovery deterministic.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -86,6 +94,30 @@ pub enum FaultKind {
         /// Step index at which it hangs.
         step: usize,
     },
+    /// Silent data corruption: one bit of rank `rank`'s gradient-reduce
+    /// contribution at step `step` is flipped in flight. `bit` indexes the
+    /// flipped bit within one f32 (0–22 mantissa, 23–30 exponent — never
+    /// the sign bit, matching the single-event-upset literature); the
+    /// corrupted element is chosen deterministically from `bit` by the
+    /// collective layer. One-shot: the transient upset does not recur when
+    /// the step is re-executed after a rollback.
+    BitFlipGrad {
+        /// Global rank whose contribution is corrupted.
+        rank: usize,
+        /// Step index of the corrupted reduce.
+        step: usize,
+        /// Bit index within the corrupted f32 element (0..=30).
+        bit: u32,
+    },
+    /// Numerical instability: rank `rank`'s local loss at step `step`
+    /// comes back NaN (overflow in the loss reduction, a diverging batch).
+    /// One-shot, like the bit flip — the re-executed step is clean.
+    PoisonLoss {
+        /// Global rank whose local loss is poisoned.
+        rank: usize,
+        /// Step index of the poisoned loss.
+        step: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -120,6 +152,12 @@ pub struct FaultMix {
     pub hang_prob: f64,
     /// Per-step torn-checkpoint-write probability.
     pub ckpt_crash_prob: f64,
+    /// Per-(rank, step) probability of a silent bit flip in the rank's
+    /// reduce contribution ([`FaultKind::BitFlipGrad`]).
+    pub bitflip_prob: f64,
+    /// Per-(rank, step) probability of a NaN local loss
+    /// ([`FaultKind::PoisonLoss`]).
+    pub poison_prob: f64,
 }
 
 impl FaultMix {
@@ -135,7 +173,16 @@ impl FaultMix {
             slowdown_permille: (1500, 4000),
             hang_prob: 0.0,
             ckpt_crash_prob: 0.0,
+            bitflip_prob: 0.0,
+            poison_prob: 0.0,
         }
+    }
+
+    /// Only corruption faults (bit flips and poisoned losses), each at
+    /// probability `p` per (rank, step) cell — the SDC-sweep mix driven by
+    /// `tests/sdc.rs`.
+    pub fn corruption_only(p: f64) -> Self {
+        Self { bitflip_prob: p, poison_prob: p, ..Self::crashes_only(0.0) }
     }
 }
 
@@ -191,6 +238,20 @@ impl FaultPlan {
         self
     }
 
+    /// Add a [`FaultKind::BitFlipGrad`]: flip bit `bit` (0..=30) of one
+    /// element of `rank`'s reduce contribution at `step`.
+    pub fn with_bitflip_grad(mut self, rank: usize, step: usize, bit: u32) -> Self {
+        assert!(bit <= 30, "bit must index a mantissa/exponent bit (0..=30)");
+        self.push(FaultKind::BitFlipGrad { rank, step, bit });
+        self
+    }
+
+    /// Add a [`FaultKind::PoisonLoss`]: `rank`'s local loss at `step` is NaN.
+    pub fn with_poison_loss(mut self, rank: usize, step: usize) -> Self {
+        self.push(FaultKind::PoisonLoss { rank, step });
+        self
+    }
+
     /// Sample a random plan from `mix`. Deterministic per seed.
     ///
     /// Sampling distribution (one `StdRng` stream, fixed draw order, so the
@@ -198,8 +259,9 @@ impl FaultPlan {
     ///
     /// 1. for each step (ascending), for each rank (ascending): one
     ///    Bernoulli draw per cell-level kind in the fixed order *crash*,
-    ///    *straggler*, *hang*; a straggler's delay is uniform in
-    ///    `straggler_ms` (half-open);
+    ///    *straggler*, *hang*, *bitflip*, *poison*; a straggler's delay is
+    ///    uniform in `straggler_ms` (half-open) and a bit flip's bit index
+    ///    is uniform in `0..31` (mantissa/exponent bits only);
     /// 2. for each step (ascending): a Bernoulli `ckpt_crash_prob` draw;
     /// 3. for each rank (ascending): Bernoulli `degraded_rank_prob` then
     ///    `degraded_link_prob`; each hit draws `from_step` uniform in
@@ -225,6 +287,13 @@ impl FaultPlan {
                 }
                 if mix.hang_prob > 0.0 && rng.gen::<f64>() < mix.hang_prob {
                     plan.push(FaultKind::HangRank { rank, step });
+                }
+                if mix.bitflip_prob > 0.0 && rng.gen::<f64>() < mix.bitflip_prob {
+                    let bit = rng.gen_range(0..31u32);
+                    plan.push(FaultKind::BitFlipGrad { rank, step, bit });
+                }
+                if mix.poison_prob > 0.0 && rng.gen::<f64>() < mix.poison_prob {
+                    plan.push(FaultKind::PoisonLoss { rank, step });
                 }
             }
         }
@@ -335,6 +404,28 @@ impl FaultPlan {
             .map(|p| p as f64 / 1000.0)
     }
 
+    /// One-shot: the bit index to flip in rank `rank`'s reduce
+    /// contribution at `step`, the first time that cell is reached.
+    /// Returns `None` on re-execution after a rollback or restart — the
+    /// transient upset does not recur, so recovery runs clean.
+    pub fn take_bitflip(&self, rank: usize, step: usize) -> Option<u32> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::BitFlipGrad { rank: r, step: s, bit } if r == rank && s == step => {
+                (!e.fired.swap(true, Ordering::AcqRel)).then_some(bit)
+            }
+            _ => None,
+        })
+    }
+
+    /// One-shot: returns `true` the first time rank `rank` reaches a step
+    /// with a scheduled loss poisoning, `false` on re-execution.
+    pub fn take_poison(&self, rank: usize, step: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::PoisonLoss { rank: r, step: s } if r == rank && s == step)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
+
     /// One-shot: whether the checkpoint written after `step` should crash
     /// mid-buffer.
     pub fn take_checkpoint_crash(&self, step: usize) -> bool {
@@ -423,6 +514,8 @@ mod tests {
             slowdown_permille: (1500, 4000),
             hang_prob: 0.02,
             ckpt_crash_prob: 0.1,
+            bitflip_prob: 0.03,
+            poison_prob: 0.03,
         }
     }
 
@@ -439,7 +532,7 @@ mod tests {
     #[test]
     fn seeded_samples_every_gray_kind() {
         // over enough seeds, every kind must appear at least once
-        let mut seen = [false; 6];
+        let mut seen = [false; 8];
         for seed in 0..40 {
             for k in FaultPlan::seeded(seed, 8, 50, &full_mix()).events() {
                 let i = match k {
@@ -449,6 +542,8 @@ mod tests {
                     FaultKind::DegradedRank { .. } => 3,
                     FaultKind::DegradedLink { .. } => 4,
                     FaultKind::HangRank { .. } => 5,
+                    FaultKind::BitFlipGrad { .. } => 6,
+                    FaultKind::PoisonLoss { .. } => 7,
                 };
                 seen[i] = true;
             }
@@ -464,6 +559,59 @@ mod tests {
             .events()
             .iter()
             .all(|k| matches!(k, FaultKind::RankCrash { .. })));
+    }
+
+    #[test]
+    fn bitflip_fires_exactly_once_with_its_bit() {
+        let plan = FaultPlan::none().with_bitflip_grad(1, 3, 17);
+        assert_eq!(plan.take_bitflip(0, 3), None);
+        assert_eq!(plan.take_bitflip(1, 2), None);
+        assert_eq!(plan.take_bitflip(1, 3), Some(17));
+        assert_eq!(plan.take_bitflip(1, 3), None, "bit flip must be one-shot");
+    }
+
+    #[test]
+    fn poison_loss_fires_exactly_once() {
+        let plan = FaultPlan::none().with_poison_loss(2, 1);
+        assert!(!plan.take_poison(2, 0));
+        assert!(plan.take_poison(2, 1));
+        assert!(!plan.take_poison(2, 1), "poison must be one-shot so re-execution is clean");
+    }
+
+    #[test]
+    fn corruption_only_mix_samples_only_corruption_kinds() {
+        let plan = FaultPlan::seeded(11, 8, 100, &FaultMix::corruption_only(0.05));
+        assert!(!plan.is_empty());
+        assert!(plan.events().iter().all(|k| matches!(
+            k,
+            FaultKind::BitFlipGrad { .. } | FaultKind::PoisonLoss { .. }
+        )));
+    }
+
+    #[test]
+    fn seeded_bitflip_bits_avoid_the_sign_bit() {
+        for seed in 0..20 {
+            for k in FaultPlan::seeded(seed, 8, 50, &FaultMix::corruption_only(0.1)).events() {
+                if let FaultKind::BitFlipGrad { bit, .. } = k {
+                    assert!(bit <= 30, "bit {bit} would hit the sign bit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zeroed_corruption_probs_leave_legacy_draws_unchanged() {
+        // PR-3 plans (no corruption kinds in the mix) must sample the
+        // exact same schedules now that the draw order has grown two
+        // optional tail draws per cell.
+        let legacy = FaultMix { bitflip_prob: 0.0, poison_prob: 0.0, ..full_mix() };
+        let a = FaultPlan::seeded(7, 8, 100, &legacy);
+        let b = FaultPlan::seeded(7, 8, 100, &legacy);
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().iter().all(|k| !matches!(
+            k,
+            FaultKind::BitFlipGrad { .. } | FaultKind::PoisonLoss { .. }
+        )));
     }
 
     #[test]

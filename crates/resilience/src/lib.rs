@@ -22,6 +22,16 @@
 //!   "what checkpoint interval maximises goodput at N nodes?" sweep.
 //! * [`FailureReport`] — the structured failure description the trainer
 //!   returns instead of deadlocking or double-panicking.
+//! * [`GuardReport`] — the integrity-guard summary (sentinel trips,
+//!   checksum trips, rollbacks, skipped steps, wasted re-executed work)
+//!   attached to both successful runs and failures by the
+//!   silent-data-corruption defense in `geofm-fsdp`.
+//!
+//! [`crc32`] is the workspace's one table-driven CRC32 implementation,
+//! shared by the step checkpoints here, the encoder checkpoints in
+//! `geofm-core`, and the checksummed collectives in `geofm-collectives`.
+//! (It lives here rather than in `geofm-core` because `geofm-core` sits at
+//! the top of the crate graph — hosting it there would cycle.)
 
 #![warn(missing_docs)]
 
@@ -29,7 +39,7 @@ pub mod ckpt;
 pub mod fault;
 pub mod mtbf;
 
-pub use ckpt::{atomic_write, crc32, RankSlot, StepCheckpoint};
+pub use ckpt::{atomic_write, crc32, crc32_update, RankSlot, StepCheckpoint};
 pub use fault::{FaultKind, FaultMix, FaultPlan};
 pub use mtbf::{
     simulate_campaign, simulate_campaign_with_plan, young_daly_interval, CampaignConfig,
@@ -69,6 +79,7 @@ pub struct StragglerInfo {
 /// was persistently slow, by how much, and the goodput lost to waiting on
 /// them. Attached to both successful runs (`DistReport`) and failures
 /// ([`FailureReport`]) — gray failures degrade without necessarily killing.
+#[must_use = "a degraded-run report describes lost goodput and should be inspected or logged"]
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DegradedReport {
     /// Ranks flagged past the straggler threshold, worst first.
@@ -104,6 +115,7 @@ impl std::fmt::Display for DegradedReport {
 /// its restart budget. Every surviving rank contributes what it observed,
 /// so the report distinguishes the root-cause rank (panic / injected crash)
 /// from collateral `RankLost` observations.
+#[must_use = "a failure report explains why the run died and should be inspected or logged"]
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FailureReport {
     /// Restart attempts consumed (0 = first attempt failed with no budget).
@@ -115,6 +127,54 @@ pub struct FailureReport {
     /// Gray-degradation summary from the health monitor, if it observed
     /// any steps before the run died.
     pub degraded: Option<DegradedReport>,
+    /// Integrity-guard summary (sentinel/checksum trips, rollbacks), if
+    /// the guard was enabled and observed anything before the run died.
+    /// Boxed to keep the `Err` variant of `try_*` results small.
+    pub guard: Option<Box<GuardReport>>,
+}
+
+/// Summary of what the silent-data-corruption guard did during a run:
+/// how often it tripped, why, and what the trips cost. Attached to both
+/// successful runs (`DistReport`) and failures ([`FailureReport`]).
+///
+/// The guard's contract is that every trip is *globally agreed* (all ranks
+/// take the identical rollback decision from identical inputs), so one
+/// report describes the whole world, not one rank's view.
+#[must_use = "a guard report records corruption detections and should be inspected or logged"]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuardReport {
+    /// Total guard trips (checksum + sentinel).
+    pub trips: usize,
+    /// Trips raised by the collective checksum layer (detected bit flips).
+    pub checksum_trips: usize,
+    /// Trips raised by the numerical sentinel (NaN/Inf or robust-z spike).
+    pub sentinel_trips: usize,
+    /// Rollback-and-skip recoveries performed (= `trips` unless the
+    /// rollback budget ran out mid-recovery).
+    pub rollbacks: usize,
+    /// Steps skipped after rollback, ascending. Their loss entries are the
+    /// canonical `f32::NAN` placeholder and no update was applied.
+    pub skipped_steps: Vec<usize>,
+    /// Steps of work discarded or re-executed across all rollbacks (the
+    /// wasted-work cost of recovery, in steps).
+    pub wasted_steps: usize,
+}
+
+impl std::fmt::Display for GuardReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "guard: {} trip(s) ({} checksum, {} sentinel), {} rollback(s), \
+             {} step(s) skipped {:?}, {} step(s) of work wasted",
+            self.trips,
+            self.checksum_trips,
+            self.sentinel_trips,
+            self.rollbacks,
+            self.skipped_steps.len(),
+            self.skipped_steps,
+            self.wasted_steps
+        )
+    }
 }
 
 impl std::fmt::Display for FailureReport {
@@ -134,6 +194,9 @@ impl std::fmt::Display for FailureReport {
         if let Some(d) = &self.degraded {
             write!(f, "{d}")?;
         }
+        if let Some(g) = &self.guard {
+            writeln!(f, "{g}")?;
+        }
         Ok(())
     }
 }
@@ -149,11 +212,30 @@ mod tests {
             resumed_from_step: Some(6),
             failures: vec![RankFailure { rank: 1, step: 7, cause: "injected".into() }],
             degraded: None,
+            guard: None,
         };
         let s = r.to_string();
         assert!(s.contains("2 restart"));
         assert!(s.contains("resumed from step 6"));
         assert!(s.contains("rank 1 failed at step 7"));
+    }
+
+    #[test]
+    fn guard_report_display_summarises_trips() {
+        let g = GuardReport {
+            trips: 3,
+            checksum_trips: 2,
+            sentinel_trips: 1,
+            rollbacks: 3,
+            skipped_steps: vec![4, 9, 11],
+            wasted_steps: 5,
+        };
+        let s = g.to_string();
+        assert!(s.contains("3 trip(s)"));
+        assert!(s.contains("2 checksum"));
+        assert!(s.contains("1 sentinel"));
+        assert!(s.contains("[4, 9, 11]"));
+        assert!(s.contains("5 step(s) of work wasted"));
     }
 
     #[test]

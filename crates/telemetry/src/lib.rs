@@ -60,6 +60,20 @@
 //! | `health.straggler_flags` | counter | ranks newly flagged as persistent stragglers |
 //! | `health.stragglers` | gauge | currently-flagged straggler count |
 //! | `comm.collective.ns` | histogram | observed collective latencies feeding the timeout EWMA |
+//!
+//! The silent-data-corruption guard (checksummed collectives in
+//! `geofm-collectives`, sentinel + rollback-and-skip in `geofm-fsdp`)
+//! emits a `guard.*` namespace, with the injected faults it defends
+//! against folded into `fault.*`:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `guard.trip` | counter | steps rejected by the guard (checksum or sentinel) |
+//! | `guard.rollbacks` | counter | rollback-and-skip recoveries performed |
+//! | `guard.rollback.steps` | histogram | steps re-executed per rollback (distance to the snapshot) |
+//! | `guard.checksum.ns` | histogram | per-collective checksum verification time |
+//! | `fault.injected_bitflip` | counter | gradient bit flips fired by the fault plan |
+//! | `fault.injected_poison` | counter | poisoned (NaN) local losses fired by the fault plan |
 
 #![warn(missing_docs)]
 

@@ -6,12 +6,15 @@
 //! > silently diverges.
 //!
 //! Each seed samples a [`FaultMix`] of crashes, one-step stragglers,
-//! persistently degraded ranks, degraded links, hangs and torn checkpoint
-//! writes via `FaultPlan::seeded` (deterministic per seed — a failing seed
-//! replays exactly), and rotates through the sharding strategies. Gray
-//! faults must *never* change results; fail-stop and hang faults must
-//! either be absorbed by elastic restart (bit-identical completion) or
-//! surface in a `FailureReport` within the wall-clock budget.
+//! persistently degraded ranks, degraded links, hangs, torn checkpoint
+//! writes, silent gradient bit flips and poisoned losses via
+//! `FaultPlan::seeded` (deterministic per seed — a failing seed replays
+//! exactly), and rotates through the sharding strategies. Gray faults must
+//! *never* change results; fail-stop and hang faults must either be
+//! absorbed by elastic restart (bit-identical completion) or surface in a
+//! `FailureReport` within the wall-clock budget. Corruption faults run
+//! with the guard enabled: a completed run whose guard skipped steps must
+//! be bit-identical to a clean run told to skip the same steps.
 //!
 //! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned,
 //! so a regression that reintroduces a deadlock fails fast instead of
@@ -19,11 +22,12 @@
 
 use geofm_collectives::AdaptiveTimeoutConfig;
 use geofm_fsdp::{
-    try_run_data_parallel, DistReport, FsdpConfig, ResilienceConfig, ShardingStrategy,
+    try_run_data_parallel, DistReport, FsdpConfig, GuardConfig, ResilienceConfig, ShardingStrategy,
 };
 use geofm_nn::{Linear, Module, ParamVisitor};
 use geofm_resilience::{FaultMix, FaultPlan};
 use geofm_tensor::{Tensor, TensorRng};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -91,6 +95,8 @@ fn chaos_mix() -> FaultMix {
         slowdown_permille: (1500, 4000),
         hang_prob: 0.005,
         ckpt_crash_prob: 0.03,
+        bitflip_prob: 0.02,
+        poison_prob: 0.02,
     }
 }
 
@@ -154,6 +160,7 @@ fn chaos_schedule(seed: u64) {
             warmup: 8,
         }),
         straggler_threshold: 2.5,
+        guard: Some(GuardConfig::default()),
     };
 
     let started = Instant::now();
@@ -172,21 +179,53 @@ fn chaos_schedule(seed: u64) {
 
     match outcome {
         Ok(report) => {
-            // never silently diverge: completion must be bit-identical
-            let (base_params, base_losses) = baseline(strategy_idx);
+            // Steps the guard rolled back and skipped carry the canonical
+            // NaN loss placeholder. Derive the skip set from the losses —
+            // not the guard report — because a skip can outlive an elastic
+            // restart via the checkpointed loss series while the report is
+            // per-attempt.
+            let skipped: BTreeSet<usize> = report
+                .mean_losses
+                .iter()
+                .enumerate()
+                .filter_map(|(s, l)| l.is_nan().then_some(s))
+                .collect();
+            // never silently diverge: completion must be bit-identical to
+            // the fault-free run — or, when the guard skipped steps, to a
+            // clean run told to skip exactly those steps
+            let (base_params, base_losses) = if skipped.is_empty() {
+                baseline(strategy_idx).clone()
+            } else {
+                let clean = run(
+                    strategy,
+                    ResilienceConfig {
+                        guard: Some(GuardConfig {
+                            skip_steps: skipped.clone(),
+                            ..GuardConfig::default()
+                        }),
+                        ..ResilienceConfig::disabled()
+                    },
+                )
+                .expect("clean comparator with forced skips must succeed");
+                (
+                    clean.final_params.iter().map(|v| v.to_bits()).collect(),
+                    clean.mean_losses.iter().map(|v| v.to_bits()).collect(),
+                )
+            };
             let params: Vec<u32> = report.final_params.iter().map(|v| v.to_bits()).collect();
             let losses: Vec<u32> = report.mean_losses.iter().map(|v| v.to_bits()).collect();
             assert_eq!(
-                &params,
+                params,
                 base_params,
-                "seed {seed} ({}): final params diverged from fault-free run (plan: {:?})",
+                "seed {seed} ({}): final params diverged from clean run \
+                 (skipped: {skipped:?}, plan: {:?})",
                 strategy.name(),
                 plan.events()
             );
             assert_eq!(
-                &losses,
+                losses,
                 base_losses,
-                "seed {seed} ({}): loss curve diverged (plan: {:?})",
+                "seed {seed} ({}): loss curve diverged (skipped: {skipped:?}, plan: {:?})",
                 strategy.name(),
                 plan.events()
             );

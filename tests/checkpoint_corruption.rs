@@ -132,6 +132,19 @@ fn step_checkpoint_rejects_truncation_at_every_boundary() {
 }
 
 #[test]
+fn both_checkpoint_formats_share_the_canonical_crc32() {
+    // One table-driven CRC32 for the whole workspace: implemented in
+    // geofm-resilience, re-exported by geofm-core, reused by the collective
+    // payload checksums. The two re-exports must be the same function, and
+    // the streaming form must agree with the one-shot digest.
+    let payload = b"geofm shared integrity primitive";
+    assert_eq!(geofm_core::crc32(payload), geofm_resilience::crc32(payload));
+    let mid = payload.len() / 2;
+    let partial = geofm_core::crc32_update(0xFFFF_FFFF, &payload[..mid]);
+    assert_eq!(!geofm_core::crc32_update(partial, &payload[mid..]), geofm_core::crc32(payload));
+}
+
+#[test]
 fn step_checkpoint_save_is_atomic_and_reloadable() {
     let dir = test_dir("step");
     std::fs::create_dir_all(&dir).unwrap();
