@@ -1,0 +1,124 @@
+//! Overlap perf-regression runner: times the real rank-thread FSDP engine
+//! with the comm/compute overlap engine off and on, per sharding strategy,
+//! and emits `BENCH_overlap.json` with the median ns/step of each cell.
+//!
+//! Unlike the Criterion benches (which interleave everything into one HTML
+//! report), this runner produces a small machine-readable artifact CI can
+//! upload and diff across commits — the perf half of the overlap lock-in,
+//! next to `tests/overlap_equivalence.rs`'s correctness half. Absolute
+//! numbers are hardware-noise; the artifact exists so a commit that
+//! silently serializes the pipeline again (overlap-on median drifting up
+//! to the overlap-off median) shows up in review.
+//!
+//! Usage: `bench_overlap [OUT.json]` (default `BENCH_overlap.json`).
+
+use geofm_fsdp::{run_data_parallel, FsdpConfig, ShardingStrategy};
+use geofm_nn::Module;
+use geofm_tensor::TensorRng;
+use geofm_vit::{VitConfig, VitModel};
+use std::time::Instant;
+
+const WORLD: usize = 4;
+const STEPS: usize = 3;
+const REPS: usize = 15;
+
+fn tiny() -> VitConfig {
+    VitConfig {
+        name: "bench".into(),
+        width: 32,
+        depth: 2,
+        mlp: 64,
+        heads: 4,
+        patch: 4,
+        img: 8,
+        channels: 1,
+    }
+}
+
+fn run_steps(strategy: ShardingStrategy, overlap: bool) {
+    let cfg = tiny();
+    let report = run_data_parallel(
+        if overlap { FsdpConfig::overlapped(strategy) } else { FsdpConfig::tuned(strategy) },
+        WORLD,
+        0.01,
+        STEPS,
+        move |_| {
+            let mut rng = TensorRng::seed_from(11);
+            let mut m = VitModel::new(&tiny(), &mut rng);
+            let units = m.unit_param_counts();
+            (m, units)
+        },
+        move |m, rank, step| {
+            let mut rng = TensorRng::seed_from(100 + step as u64);
+            let imgs = rng.randn(&[4, cfg.channels * 64], 1.0);
+            let per = 4 / WORLD;
+            let xl = imgs.rows(rank * per, (rank + 1) * per);
+            m.zero_grad();
+            let enc = m.forward(&xl);
+            let n = enc.numel() as f32;
+            let loss = enc.sum_sq() / n;
+            m.backward(&enc.scale(2.0 / n));
+            loss
+        },
+        |_| 1e-4,
+    );
+    std::hint::black_box(report.mean_losses);
+}
+
+/// Median ns/step over `REPS` timed repetitions (each a full `STEPS`-step
+/// distributed run, so spawn/teardown amortises across steps).
+fn median_ns_per_step(strategy: ShardingStrategy, overlap: bool) -> u64 {
+    // one untimed warmup to fault in code paths and thread stacks
+    run_steps(strategy, overlap);
+    let mut samples: Vec<u64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            run_steps(strategy, overlap);
+            t0.elapsed().as_nanos() as u64 / STEPS as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_overlap.json".into());
+    let strategies = [
+        ShardingStrategy::NoShard,
+        ShardingStrategy::FullShard,
+        ShardingStrategy::ShardGradOp,
+        ShardingStrategy::Hybrid { shard_size: 2 },
+    ];
+
+    println!("BENCH overlap — median ns/step, world {WORLD}, {REPS} reps x {STEPS} steps");
+    println!("{:>14} {:>14} {:>14} {:>8}", "strategy", "off_ns", "on_ns", "on/off");
+    let mut entries = Vec::new();
+    for strategy in strategies {
+        let off = median_ns_per_step(strategy, false);
+        let on = median_ns_per_step(strategy, true);
+        assert!(off > 0 && on > 0, "{}: degenerate timing", strategy.name());
+        println!(
+            "{:>14} {:>14} {:>14} {:>8.2}",
+            strategy.name(),
+            off,
+            on,
+            on as f64 / off as f64
+        );
+        entries.push(format!(
+            "    {{\"strategy\": \"{}\", \"overlap_off_ns_per_step\": {}, \
+             \"overlap_on_ns_per_step\": {}}}",
+            strategy.name(),
+            off,
+            on
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fsdp_step_overlap\",\n  \"world\": {WORLD},\n  \
+         \"steps_per_rep\": {STEPS},\n  \"reps\": {REPS},\n  \"unit\": \"ns_per_step\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out, json).expect("cannot write BENCH_overlap.json");
+    println!("  -> wrote {out}");
+}

@@ -344,6 +344,35 @@ impl RankHandle {
         verdict
     }
 
+    /// Shared prologue of the checksummed reduce collectives
+    /// (`try_all_reduce` / `try_reduce_scatter`): publish this rank's
+    /// guarded contribution, cross the entry barrier, then scan every
+    /// mailbox for a checksum mismatch. Paired with
+    /// [`RankHandle::reduce_epilogue`], this keeps the timeout/poison/
+    /// verdict plumbing in exactly one place — the blocking ops and the
+    /// nonblocking comm-thread path all funnel through it instead of each
+    /// op carrying its own copy.
+    fn reduce_prologue(&self, buf: &[f32]) -> Result<Option<CorruptPayload>, RankLost> {
+        self.publish_guarded(buf);
+        self.try_barrier()?;
+        // every rank reads every mailbox, so the verification verdict is
+        // identical on all ranks (see `verify_mailboxes`)
+        Ok(self.verify_mailboxes(buf.len()))
+    }
+
+    /// Shared epilogue of the checksummed reduce collectives: cross the
+    /// exit barrier — even on a corrupt verdict, so every rank crosses
+    /// every barrier and the error surfaces in lockstep instead of
+    /// desynchronising the group — then turn the verdict into the
+    /// collective's result.
+    fn reduce_epilogue(&self, verdict: Option<CorruptPayload>) -> Result<(), CollectiveError> {
+        self.try_barrier()?;
+        match verdict {
+            Some(c) => Err(c.into()),
+            None => Ok(()),
+        }
+    }
+
     /// Sum-reduce `buf` across all ranks; every rank ends with the total.
     ///
     /// # Panics
@@ -377,12 +406,10 @@ impl RankHandle {
         let g = &*self.group;
         let n = g.size;
         // 1. publish (checksums first, then the possibly-corrupted copy)
-        self.publish_guarded(buf);
-        self.try_barrier()?;
-        let verdict = self.verify_mailboxes(buf.len());
+        //    and verify — shared with try_reduce_scatter
+        let verdict = self.reduce_prologue(buf)?;
         // 2. reduce own chunk across all mailboxes — even on a corrupt
-        // verdict, so every rank crosses every barrier and the error
-        // surfaces in lockstep instead of desynchronising the group
+        // verdict, so the group stays in lockstep (see reduce_epilogue)
         let (lo, hi) = chunk_bounds(buf.len(), n, self.rank);
         {
             let mut acc = vec![0.0f32; hi - lo];
@@ -402,11 +429,7 @@ impl RankHandle {
             let res = g.chunk_results[r].read();
             buf[clo..chi].copy_from_slice(&res);
         }
-        self.try_barrier()?;
-        match verdict {
-            Some(c) => Err(c.into()),
-            None => Ok(()),
-        }
+        self.reduce_epilogue(verdict)
     }
 
     /// Gather equal-length shards from every rank; `out` is resized to
@@ -471,11 +494,7 @@ impl RankHandle {
             return Ok(());
         }
         let g = &*self.group;
-        self.publish_guarded(buf);
-        self.try_barrier()?;
-        // every rank reads every mailbox, so the verification verdict is
-        // identical on all ranks (see `verify_mailboxes`)
-        let verdict = self.verify_mailboxes(buf.len());
+        let verdict = self.reduce_prologue(buf)?;
         out.iter_mut().for_each(|v| *v = 0.0);
         for m in &g.mailboxes {
             let mb = m.read();
@@ -484,11 +503,7 @@ impl RankHandle {
                 *o += v;
             }
         }
-        self.try_barrier()?;
-        match verdict {
-            Some(c) => Err(c.into()),
-            None => Ok(()),
-        }
+        self.reduce_epilogue(verdict)
     }
 
     /// Copy `root`'s buffer to every rank.

@@ -25,12 +25,19 @@
 //! and optional post-exchange verification ([`RankHandle::with_checksums`]),
 //! surfacing an injected or real bit flip as a structured
 //! [`CorruptPayload`] on every rank instead of averaging garbage.
+//!
+//! Finally, the collectives come in a *nonblocking* flavour: a per-rank
+//! [`CommThread`] plays the role of the GPU comm stream, and its
+//! `*_async` methods return a [`CollectiveHandle`] whose `wait()` yields
+//! bit-identical results to the blocking call (see [`nonblocking`]) —
+//! the substrate of `geofm-fsdp`'s comm/compute overlap engine.
 
 pub mod adaptive;
 pub mod barrier;
 pub mod group;
 pub mod guard;
 pub mod hierarchy;
+pub mod nonblocking;
 pub mod ring;
 pub mod traffic;
 
@@ -39,4 +46,5 @@ pub use barrier::{RankLost, SenseBarrier};
 pub use group::{Algorithm, Group, RankHandle};
 pub use guard::{CollectiveError, CorruptPayload, SabotageCell};
 pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};
+pub use nonblocking::{CollectiveHandle, CommThread};
 pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};

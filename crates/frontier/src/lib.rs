@@ -55,5 +55,6 @@ pub use gray::{GrayModel, GrayPoint};
 pub use guard::{GuardPoint, SdcGuardModel};
 pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
 pub use memory::MemoryModel;
+pub use schedule::{build_step, serialize_streams, strip_comm};
 pub use sim::{simulate, SimConfig, SimResult};
 pub use workload::{MaeWorkload, StepWorkload, VitWorkload};

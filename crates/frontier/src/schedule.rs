@@ -218,6 +218,27 @@ pub fn build_step(
     tasks
 }
 
+/// Collapse the two-stream schedule into a fully serialized one: every
+/// task additionally depends on its predecessor in issue order, so
+/// communication is never concurrent with compute and the makespan is the
+/// plain sum of all durations. This is the "overlap off" counterfactual
+/// the `figU` sweep prices against the overlapped schedule — the DES twin
+/// of running `geofm-fsdp` with `OverlapConfig::off()` (every collective
+/// blocking on the compute thread).
+pub fn serialize_streams(tasks: &[Task]) -> Vec<Task> {
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut deps = t.deps.clone();
+            if i > 0 && !deps.contains(&(i - 1)) {
+                deps.push(i - 1);
+            }
+            Task { dur: t.dur, stream: t.stream, deps, label: t.label.clone() }
+        })
+        .collect()
+}
+
 /// Identify comm tasks (used by the "syn no comm" variant of Figure 1).
 pub fn strip_comm(tasks: &[Task]) -> Vec<Task> {
     tasks
@@ -342,5 +363,44 @@ mod tests {
         let t1 = run(1, VitVariant::B3, ShardingStrategy::NoShard);
         let t64 = run(64, VitVariant::B3, ShardingStrategy::NoShard);
         assert!(t64 >= t1);
+    }
+
+    #[test]
+    fn serialized_makespan_is_the_sum_of_durations() {
+        let m = FrontierMachine::new(4);
+        let tasks = build_step(
+            &m,
+            &wl(VitVariant::Base),
+            ShardingStrategy::FullShard,
+            PrefetchPolicy::BackwardPre,
+            true,
+        );
+        let serial = serialize_streams(&tasks);
+        let sum: f64 = tasks.iter().map(|t| t.dur).sum();
+        let makespan = execute(&serial).makespan;
+        assert!(
+            (makespan - sum).abs() < 1e-12 * sum.max(1.0),
+            "serialized makespan {makespan} vs duration sum {sum}"
+        );
+    }
+
+    #[test]
+    fn serialization_never_speeds_up_a_schedule() {
+        for strategy in [
+            ShardingStrategy::NoShard,
+            ShardingStrategy::FullShard,
+            ShardingStrategy::Hybrid { shard_size: 8 },
+        ] {
+            let m = FrontierMachine::new(8);
+            let tasks =
+                build_step(&m, &wl(VitVariant::B1), strategy, PrefetchPolicy::BackwardPre, true);
+            let overlapped = execute(&tasks).makespan;
+            let serial = execute(&serialize_streams(&tasks)).makespan;
+            assert!(
+                serial >= overlapped - 1e-12,
+                "{}: serial {serial} < overlapped {overlapped}",
+                strategy.name()
+            );
+        }
     }
 }

@@ -5,7 +5,7 @@ use crate::io::IoModel;
 use crate::machine::FrontierMachine;
 use crate::memory::{MemoryEstimate, MemoryModel};
 use crate::power::{sample_trace, PowerTrace};
-use crate::schedule::{build_step, strip_comm};
+use crate::schedule::{build_step, serialize_streams, strip_comm};
 use crate::workload::StepWorkload;
 use geofm_fsdp::{PrefetchPolicy, ShardingStrategy};
 
@@ -20,6 +20,11 @@ pub struct SimConfig {
     pub prefetch: PrefetchPolicy,
     /// Limit in-flight all-gathers.
     pub limit_all_gathers: bool,
+    /// Comm/compute overlap: `true` (the default, what FSDP actually does)
+    /// runs comm and compute on independent streams; `false` serializes
+    /// every task in issue order, fully exposing communication — the DES
+    /// twin of `geofm_fsdp::OverlapConfig`.
+    pub overlap: bool,
     /// The per-rank step workload.
     pub workload: StepWorkload,
     /// IO model (for `io`/`real` curves).
@@ -27,16 +32,28 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Build with the paper's tuned knobs (BACKWARD_PRE + limit_all_gathers).
+    /// Build with the paper's tuned knobs (BACKWARD_PRE + limit_all_gathers
+    /// + overlapped streams).
     pub fn tuned(machine: FrontierMachine, strategy: ShardingStrategy, workload: StepWorkload) -> Self {
         Self {
             machine,
             strategy,
             prefetch: PrefetchPolicy::BackwardPre,
             limit_all_gathers: true,
+            overlap: true,
             workload,
             io: IoModel::default(),
         }
+    }
+
+    /// [`SimConfig::tuned`] with overlap disabled (fully serialized
+    /// schedule; comm is entirely exposed).
+    pub fn tuned_no_overlap(
+        machine: FrontierMachine,
+        strategy: ShardingStrategy,
+        workload: StepWorkload,
+    ) -> Self {
+        Self { overlap: false, ..Self::tuned(machine, strategy, workload) }
     }
 }
 
@@ -98,14 +115,19 @@ impl SimResult {
 
 /// Simulate one training step of `cfg`.
 pub fn simulate(cfg: &SimConfig) -> SimResult {
-    let tasks = build_step(
-        &cfg.machine,
-        &cfg.workload,
-        cfg.strategy,
-        cfg.prefetch,
-        cfg.limit_all_gathers,
-    );
+    let step_tasks = |machine: &FrontierMachine| -> Vec<Task> {
+        let t = build_step(machine, &cfg.workload, cfg.strategy, cfg.prefetch, cfg.limit_all_gathers);
+        if cfg.overlap {
+            t
+        } else {
+            serialize_streams(&t)
+        }
+    };
+    let tasks = step_tasks(&cfg.machine);
     let timeline = execute(&tasks);
+    // pure-compute counterfactual: comm durations zeroed on the *same*
+    // (possibly serialized) DAG, so comm_share() prices exactly what the
+    // overlap knob changes
     let no_comm = execute(&strip_comm(&tasks));
 
     let global_batch = (cfg.machine.world() * cfg.workload.local_batch) as f64;
@@ -115,8 +137,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
 
     // ideal: single-node rate (with its own single-node comm) scaled linearly
     let one_node = FrontierMachine { nodes: 1, ..cfg.machine };
-    let one_tasks =
-        build_step(&one_node, &cfg.workload, cfg.strategy, cfg.prefetch, cfg.limit_all_gathers);
+    let one_tasks = step_tasks(&one_node);
     let one_time = execute(&one_tasks).makespan;
     let ips_ideal = (one_node.world() * cfg.workload.local_batch) as f64 / one_time
         * cfg.machine.nodes as f64;
@@ -187,6 +208,22 @@ mod tests {
             "comm share at 64 nodes = {:.2} (paper ≈ 0.22)",
             share
         );
+    }
+
+    #[test]
+    fn overlap_off_exposes_strictly_more_comm() {
+        let wl = MaeWorkload::build(&VitConfig::table1(VitVariant::B3), 32, 0.75);
+        for nodes in [1usize, 8, 64] {
+            let machine = FrontierMachine::new(nodes);
+            let on = simulate(&SimConfig::tuned(machine, ShardingStrategy::NoShard, wl.clone()));
+            let off = simulate(&SimConfig::tuned_no_overlap(machine, ShardingStrategy::NoShard, wl.clone()));
+            assert!(
+                off.comm_share() > on.comm_share(),
+                "{nodes} nodes: off {:.3} must exceed on {:.3}",
+                off.comm_share(),
+                on.comm_share()
+            );
+        }
     }
 
     #[test]

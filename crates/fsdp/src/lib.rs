@@ -21,6 +21,14 @@
 //! suite to ~1e-3 in f32). What differs — and what the Frontier simulator
 //! prices — is the communication volume and schedule, which the engine
 //! meters through the shared [`geofm_collectives::TrafficCounter`].
+//!
+//! Collectives are issued either blocking or through a per-rank comm
+//! thread (see [`OverlapConfig`]): forward and backward gathers are
+//! prefetched `prefetch_depth` units ahead and gradient reduce-scatters
+//! are double-buffered, following the *identical* collective schedule as
+//! the blocking engine — so the two are bit-identical
+//! (`tests/overlap_equivalence.rs`) and only the exposed-comm fraction of
+//! the step changes (recorded as `overlap.*` telemetry).
 
 pub mod flat;
 pub mod health;
@@ -33,7 +41,7 @@ pub use flat::FlatLayout;
 pub use health::HealthMonitor;
 pub use rank::{FsdpRank, StepError, StepReport};
 pub use sentinel::{Sentinel, SentinelConfig, SentinelTrip};
-pub use strategy::{FsdpConfig, PrefetchPolicy, ShardingStrategy};
+pub use strategy::{FsdpConfig, OverlapConfig, PrefetchPolicy, ShardingStrategy};
 pub use trainer::{
     run_data_parallel, run_data_parallel_with_telemetry, try_run_data_parallel, DistReport,
     GuardConfig, ResilienceConfig,

@@ -3,10 +3,44 @@
 
 use crate::flat::FlatLayout;
 use crate::strategy::{FsdpConfig, ShardingStrategy};
-use geofm_collectives::{CollectiveError, CorruptPayload, RankGroups, RankLost};
+use geofm_collectives::{
+    CollectiveError, CollectiveHandle, CommThread, CorruptPayload, RankGroups, RankLost,
+};
 use geofm_nn::{AdamW, AdamWState, Module, Optimizer};
 use geofm_telemetry::Telemetry;
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Charge the wall time of a blocking collective call (or an async
+/// `wait()`) to this step's exposed-comm clock. A macro rather than a
+/// method so the timed expression can borrow disjoint fields of `$self`.
+macro_rules! exposed {
+    ($self:ident, $e:expr) => {{
+        let t0 = Instant::now();
+        let r = $e;
+        $self.exposed_ns += t0.elapsed().as_nanos() as u64;
+        r
+    }};
+}
+
+/// The reduce-path error contract shared by the blocking and overlapped
+/// engines: a corrupt verdict is *noted*, not short-circuited — the
+/// remaining collectives still run (their payloads are garbage, which is
+/// fine — no update gets applied) so every rank of every group crosses
+/// the same barrier sequence and the error surfaces in lockstep. Only a
+/// lost rank aborts immediately — its group is poisoned and nothing can
+/// complete.
+fn note(corrupt: &mut Option<CorruptPayload>, r: Result<(), CollectiveError>) -> Result<(), RankLost> {
+    match r {
+        Ok(()) => Ok(()),
+        Err(CollectiveError::Corrupt(c)) => {
+            corrupt.get_or_insert(c);
+            Ok(())
+        }
+        Err(CollectiveError::Lost(l)) => Err(l),
+    }
+}
 
 /// Statistics from one distributed step (local to this rank).
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +111,13 @@ pub struct FsdpRank<M: Module> {
     /// Optional shared telemetry: phase timings land in histograms
     /// `fsdp.<phase>.ns` and as trace spans on thread track = global rank.
     telemetry: Option<Arc<Telemetry>>,
+    /// Comm thread driving the nonblocking collectives when
+    /// `config.overlap.enabled`; `None` runs the fully blocking engine.
+    comm: Option<CommThread>,
+    /// Nanoseconds of the current step spent *blocked* on communication
+    /// (exposed comm). Reset at the top of each step; with overlap on,
+    /// collective time hidden behind compute never lands here.
+    exposed_ns: u64,
     // scratch buffers reused across steps
     flat: Vec<f32>,
     grads: Vec<f32>,
@@ -141,6 +182,8 @@ impl<M: Module> FsdpRank<M> {
             optimizer,
             grad_clip: None,
             telemetry: None,
+            comm: config.overlap.enabled.then(CommThread::spawn),
+            exposed_ns: 0,
             flat,
             grads: Vec::new(),
             gathered: Vec::new(),
@@ -199,10 +242,17 @@ impl<M: Module> FsdpRank<M> {
 
     /// All-gather every unit's parameters into the model.
     fn try_gather_params(&mut self) -> Result<(), RankLost> {
-        for u in 0..self.layout.num_units() {
-            let r = self.owned_range(u);
-            self.groups.shard.try_all_gather(&self.owned_params[r], &mut self.gathered)?;
-            self.layout.write_gathered(&mut self.flat, u, &self.gathered);
+        if self.comm.is_some() {
+            self.try_gather_units_overlapped(false)?;
+        } else {
+            for u in 0..self.layout.num_units() {
+                let r = self.owned_range(u);
+                exposed!(
+                    self,
+                    self.groups.shard.try_all_gather(&self.owned_params[r], &mut self.gathered)
+                )?;
+                self.layout.write_gathered(&mut self.flat, u, &self.gathered);
+            }
         }
         self.model.unpack_values(&self.flat);
         Ok(())
@@ -212,11 +262,247 @@ impl<M: Module> FsdpRank<M> {
     /// semantics). Numerically a no-op here — parameters are unchanged —
     /// but it reproduces the strategy's communication volume exactly.
     fn try_regather_for_backward(&mut self) -> Result<(), RankLost> {
-        for u in 0..self.layout.num_units() {
-            let r = self.owned_range(u);
-            self.groups.shard.try_all_gather(&self.owned_params[r], &mut self.gathered)?;
+        if self.comm.is_some() {
+            self.try_gather_units_overlapped(true)
+        } else {
+            for u in 0..self.layout.num_units() {
+                let r = self.owned_range(u);
+                exposed!(
+                    self,
+                    self.groups.shard.try_all_gather(&self.owned_params[r], &mut self.gathered)
+                )?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Pipelined all-gathers on the comm thread: issue up to
+    /// `prefetch_depth` units ahead, wait in unit order, unpack on this
+    /// (compute) thread — the real-engine analogue of FSDP's forward /
+    /// backward prefetch. With `discard` the gathered data is dropped
+    /// (the backward re-gather: same traffic, no effect on `flat`).
+    ///
+    /// Waiting strictly in unit order keeps the cross-rank collective
+    /// schedule identical to the blocking engine's, which is what makes
+    /// the two bit-identical (`tests/overlap_equivalence.rs`).
+    fn try_gather_units_overlapped(&mut self, discard: bool) -> Result<(), RankLost> {
+        let depth = self.config.overlap.prefetch_depth.max(1);
+        let n = self.layout.num_units();
+        let mut pending: VecDeque<CollectiveHandle> = VecDeque::with_capacity(depth);
+        let mut next = 0;
+        while next < n && pending.len() < depth {
+            pending.push_back(self.issue_gather(next));
+            next += 1;
+        }
+        for u in 0..n {
+            let handle = pending.pop_front().expect("a gather was issued for every unit");
+            let gathered = match exposed!(self, handle.wait()) {
+                Ok(v) => v,
+                Err(CollectiveError::Lost(l)) => return Err(l),
+                // all-gather carries no checksum layer; only rank loss fails it
+                Err(CollectiveError::Corrupt(c)) => unreachable!("corrupt all-gather: {c}"),
+            };
+            if !discard {
+                self.layout.write_gathered(&mut self.flat, u, &gathered);
+            }
+            if next < n {
+                pending.push_back(self.issue_gather(next));
+                next += 1;
+            }
         }
         Ok(())
+    }
+
+    fn issue_gather(&self, u: usize) -> CollectiveHandle {
+        let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
+        let r = self.owned_range(u);
+        comm.all_gather_async(&self.groups.shard, &self.owned_params[r])
+    }
+
+    /// Blocking gradient reduction (the pre-overlap engine), strategy by
+    /// strategy; fills `owned_grads`.
+    fn try_reduce_grads_blocking(
+        &mut self,
+        corrupt: &mut Option<CorruptPayload>,
+    ) -> Result<(), RankLost> {
+        match self.config.strategy {
+            ShardingStrategy::Ddp { bucket_bytes } => {
+                // fixed-size buckets over the whole flat gradient
+                let bucket_elems = (bucket_bytes / 4).max(1);
+                let mut start = 0;
+                while start < self.grads.len() {
+                    let end = (start + bucket_elems).min(self.grads.len());
+                    note(
+                        corrupt,
+                        exposed!(
+                            self,
+                            self.groups.replica.try_all_reduce(&mut self.grads[start..end])
+                        ),
+                    )?;
+                    start = end;
+                }
+                self.owned_grads.extend_from_slice(&self.grads);
+            }
+            ShardingStrategy::NoShard => {
+                // per-unit all-reduce (FSDP's NO_SHARD message sizing)
+                for u in 0..self.layout.num_units() {
+                    let r = self.layout.unit_ranges[u].clone();
+                    note(
+                        corrupt,
+                        exposed!(self, self.groups.replica.try_all_reduce(&mut self.grads[r])),
+                    )?;
+                }
+                self.owned_grads.extend_from_slice(&self.grads);
+            }
+            ShardingStrategy::FullShard
+            | ShardingStrategy::ShardGradOp
+            | ShardingStrategy::Hybrid { .. } => {
+                for u in 0..self.layout.num_units() {
+                    self.layout.padded_unit(&self.grads, u, &mut self.padded);
+                    note(
+                        corrupt,
+                        exposed!(
+                            self,
+                            self.groups.shard.try_reduce_scatter(&self.padded, &mut self.rs_out)
+                        ),
+                    )?;
+                    if self.groups.replica.size() > 1 {
+                        note(
+                            corrupt,
+                            exposed!(self, self.groups.replica.try_all_reduce(&mut self.rs_out)),
+                        )?;
+                    }
+                    self.owned_grads.extend_from_slice(&self.rs_out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Overlapped gradient reduction: the comm thread keeps up to
+    /// `prefetch_depth` reduces in flight (double-buffered reduce-scatter
+    /// for the sharded strategies) while this thread consumes results in
+    /// issue order — including running each unit's replica all-reduce
+    /// while the *next* unit's reduce-scatter is already on the wire.
+    /// Same collectives, same order, same groups as the blocking path, so
+    /// the result is bit-identical.
+    fn try_reduce_grads_overlapped(
+        &mut self,
+        corrupt: &mut Option<CorruptPayload>,
+    ) -> Result<(), RankLost> {
+        let depth = self.config.overlap.prefetch_depth.max(1);
+        match self.config.strategy {
+            ShardingStrategy::Ddp { bucket_bytes } => {
+                let bucket_elems = (bucket_bytes / 4).max(1);
+                let mut bounds = Vec::new();
+                let mut start = 0;
+                while start < self.grads.len() {
+                    let end = (start + bucket_elems).min(self.grads.len());
+                    bounds.push(start..end);
+                    start = end;
+                }
+                self.pipelined_all_reduce_ranges(&bounds, depth, corrupt)?;
+                self.owned_grads.extend_from_slice(&self.grads);
+            }
+            ShardingStrategy::NoShard => {
+                let bounds = self.layout.unit_ranges.clone();
+                self.pipelined_all_reduce_ranges(&bounds, depth, corrupt)?;
+                self.owned_grads.extend_from_slice(&self.grads);
+            }
+            ShardingStrategy::FullShard
+            | ShardingStrategy::ShardGradOp
+            | ShardingStrategy::Hybrid { .. } => {
+                let n = self.layout.num_units();
+                let mut pending: VecDeque<CollectiveHandle> = VecDeque::with_capacity(depth);
+                let mut next = 0;
+                while next < n && pending.len() < depth {
+                    pending.push_back(self.issue_reduce_scatter(next));
+                    next += 1;
+                }
+                for u in 0..n {
+                    let handle =
+                        pending.pop_front().expect("a reduce was issued for every unit");
+                    let mut rs_out =
+                        self.wait_reduced(handle, self.layout.shard_len(u), corrupt)?;
+                    if self.groups.replica.size() > 1 {
+                        note(
+                            corrupt,
+                            exposed!(self, self.groups.replica.try_all_reduce(&mut rs_out)),
+                        )?;
+                    }
+                    self.owned_grads.extend_from_slice(&rs_out);
+                    if next < n {
+                        pending.push_back(self.issue_reduce_scatter(next));
+                        next += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pipeline in-place all-reduces over `bounds` sub-ranges of `grads`
+    /// (DDP buckets / NO_SHARD units) through the comm thread, waiting in
+    /// issue order and copying each result back as it lands.
+    fn pipelined_all_reduce_ranges(
+        &mut self,
+        bounds: &[std::ops::Range<usize>],
+        depth: usize,
+        corrupt: &mut Option<CorruptPayload>,
+    ) -> Result<(), RankLost> {
+        let mut pending: VecDeque<CollectiveHandle> = VecDeque::with_capacity(depth);
+        let mut next = 0;
+        while next < bounds.len() && pending.len() < depth {
+            pending.push_back(self.issue_all_reduce(&bounds[next]));
+            next += 1;
+        }
+        for r in bounds {
+            let handle = pending.pop_front().expect("a reduce was issued for every range");
+            let reduced = self.wait_reduced(handle, r.len(), corrupt)?;
+            self.grads[r.clone()].copy_from_slice(&reduced);
+            if next < bounds.len() {
+                pending.push_back(self.issue_all_reduce(&bounds[next]));
+                next += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn issue_all_reduce(&self, r: &std::ops::Range<usize>) -> CollectiveHandle {
+        let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
+        comm.all_reduce_async(&self.groups.replica, &self.grads[r.clone()])
+    }
+
+    fn issue_reduce_scatter(&mut self, u: usize) -> CollectiveHandle {
+        self.layout.padded_unit(&self.grads, u, &mut self.padded);
+        let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
+        comm.reduce_scatter_async(&self.groups.shard, &self.padded)
+    }
+
+    /// Wait for an in-flight reduce, charging the blocked time to the
+    /// exposed-comm clock. A corrupt verdict is noted and substituted with
+    /// a zero buffer of the expected length — deterministic on every rank
+    /// of the affected group, and discarded anyway since a corrupt step
+    /// applies no update — so the remaining collective schedule keeps
+    /// running in lockstep, exactly like the blocking path's `note`
+    /// contract.
+    fn wait_reduced(
+        &mut self,
+        handle: CollectiveHandle,
+        expect_len: usize,
+        corrupt: &mut Option<CorruptPayload>,
+    ) -> Result<Vec<f32>, RankLost> {
+        match exposed!(self, handle.wait()) {
+            Ok(v) => {
+                debug_assert_eq!(v.len(), expect_len, "reduce output length mismatch");
+                Ok(v)
+            }
+            Err(CollectiveError::Corrupt(c)) => {
+                corrupt.get_or_insert(c);
+                Ok(vec![0.0; expect_len])
+            }
+            Err(CollectiveError::Lost(l)) => Err(l),
+        }
     }
 
     /// Run one collective training step. `compute` must zero grads, run
@@ -254,6 +540,8 @@ impl<M: Module> FsdpRank<M> {
         if let Some(t) = tel.as_deref() {
             t.metrics.counter("fsdp.steps").inc(1);
         }
+        let step_t0 = Instant::now();
+        self.exposed_ns = 0;
 
         // 1. materialise parameters
         {
@@ -274,57 +562,16 @@ impl<M: Module> FsdpRank<M> {
         }
 
         let _reduce_phase = phase("fsdp.reduce");
-        // 4. reduce gradients. A corrupt verdict is *noted*, not
-        // short-circuited: the remaining collectives still run (their
-        // payloads are garbage, which is fine — no update gets applied)
-        // so every rank of every group crosses the same barrier sequence
-        // and the error surfaces in lockstep. Only a lost rank aborts
-        // immediately — its group is poisoned and nothing can complete.
-        let mut corrupt: Option<CorruptPayload> = None;
-        let mut note = |r: Result<(), CollectiveError>| -> Result<(), RankLost> {
-            match r {
-                Ok(()) => Ok(()),
-                Err(CollectiveError::Corrupt(c)) => {
-                    corrupt.get_or_insert(c);
-                    Ok(())
-                }
-                Err(CollectiveError::Lost(l)) => Err(l),
-            }
-        };
+        // 4. reduce gradients — a corrupt verdict is noted, not
+        // short-circuited (see `note`); the blocking and overlapped
+        // engines follow the identical collective schedule
         self.model.pack_grads(&mut self.grads);
         self.owned_grads.clear();
-        match self.config.strategy {
-            ShardingStrategy::Ddp { bucket_bytes } => {
-                // fixed-size buckets over the whole flat gradient
-                let bucket_elems = (bucket_bytes / 4).max(1);
-                let mut start = 0;
-                while start < self.grads.len() {
-                    let end = (start + bucket_elems).min(self.grads.len());
-                    note(self.groups.replica.try_all_reduce(&mut self.grads[start..end]))?;
-                    start = end;
-                }
-                self.owned_grads.extend_from_slice(&self.grads);
-            }
-            ShardingStrategy::NoShard => {
-                // per-unit all-reduce (FSDP's NO_SHARD message sizing)
-                for u in 0..self.layout.num_units() {
-                    let r = self.layout.unit_ranges[u].clone();
-                    note(self.groups.replica.try_all_reduce(&mut self.grads[r]))?;
-                }
-                self.owned_grads.extend_from_slice(&self.grads);
-            }
-            ShardingStrategy::FullShard
-            | ShardingStrategy::ShardGradOp
-            | ShardingStrategy::Hybrid { .. } => {
-                for u in 0..self.layout.num_units() {
-                    self.layout.padded_unit(&self.grads, u, &mut self.padded);
-                    note(self.groups.shard.try_reduce_scatter(&self.padded, &mut self.rs_out))?;
-                    if self.groups.replica.size() > 1 {
-                        note(self.groups.replica.try_all_reduce(&mut self.rs_out))?;
-                    }
-                    self.owned_grads.extend_from_slice(&self.rs_out);
-                }
-            }
+        let mut corrupt: Option<CorruptPayload> = None;
+        if self.comm.is_some() {
+            self.try_reduce_grads_overlapped(&mut corrupt)?;
+        } else {
+            self.try_reduce_grads_blocking(&mut corrupt)?;
         }
 
         // 5. average over the data-parallel degree
@@ -341,9 +588,20 @@ impl<M: Module> FsdpRank<M> {
             .map(|g| (*g as f64) * (*g as f64))
             .sum::<f64>() as f32];
         if self.layout.shard_n > 1 {
-            note(self.groups.shard.try_all_reduce(&mut sumsq))?;
+            note(&mut corrupt, exposed!(self, self.groups.shard.try_all_reduce(&mut sumsq)))?;
         }
         let grad_norm = sumsq[0].sqrt();
+
+        // exposed-comm telemetry: how much of the step's comm-bearing span
+        // this rank actually spent blocked on collectives
+        if let Some(t) = tel.as_deref() {
+            let step_ns = step_t0.elapsed().as_nanos() as u64;
+            t.metrics.histogram("overlap.exposed.ns").record(self.exposed_ns);
+            t.metrics.histogram("overlap.step.ns").record(step_ns);
+            if let Some(permille) = self.exposed_ns.saturating_mul(1000).checked_div(step_ns) {
+                t.metrics.histogram("overlap.exposed.permille").record(permille);
+            }
+        }
 
         if let Some(c) = corrupt {
             // full collective schedule completed; parameters and optimizer
@@ -501,8 +759,12 @@ mod tests {
         let shard_size = strategy.shard_group_size(world);
         let groups =
             ProcessGroups::hierarchy(HierarchyLayout { world, shard_size });
-        let config =
-            FsdpConfig { strategy, prefetch: PrefetchPolicy::BackwardPre, limit_all_gathers: true };
+        let config = FsdpConfig {
+            strategy,
+            prefetch: PrefetchPolicy::BackwardPre,
+            limit_all_gathers: true,
+            overlap: crate::strategy::OverlapConfig::off(),
+        };
         let results: Vec<std::sync::Mutex<Option<Vec<f32>>>> =
             (0..world).map(|_| std::sync::Mutex::new(None)).collect();
         std::thread::scope(|s| {

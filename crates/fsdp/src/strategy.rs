@@ -90,6 +90,47 @@ impl PrefetchPolicy {
     }
 }
 
+/// Comm/compute overlap knobs for the real rank-thread engine.
+///
+/// When enabled, a rank routes its per-unit collectives through a
+/// dedicated [`geofm_collectives::CommThread`] — forward all-gathers are
+/// prefetched `prefetch_depth` units ahead, backward re-gathers likewise,
+/// and gradient reduce-scatters are double-buffered so the next unit's
+/// reduce is in flight while the current unit's replica all-reduce runs on
+/// the compute thread. Numerics are bit-identical either way (the comm
+/// thread executes the exact same collectives in the same order; see
+/// `tests/overlap_equivalence.rs`) — only the exposed-comm fraction of the
+/// step changes, which `overlap.*` telemetry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapConfig {
+    /// Route collectives through the per-rank comm thread.
+    pub enabled: bool,
+    /// In-flight async collectives per phase (≥ 1): unit `u + depth`'s
+    /// all-gather is issued while unit `u`'s result is being consumed.
+    /// Plays the role of §IV-B's `limit_all_gathers` rate limit for the
+    /// real engine.
+    pub prefetch_depth: usize,
+}
+
+impl OverlapConfig {
+    /// Overlap on, with the default prefetch depth of 2 (one unit in
+    /// flight while the previous is consumed — FSDP's default pipelining).
+    pub fn on() -> Self {
+        Self { enabled: true, prefetch_depth: 2 }
+    }
+
+    /// Fully blocking collectives (the pre-overlap engine).
+    pub fn off() -> Self {
+        Self { enabled: false, prefetch_depth: 2 }
+    }
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Full FSDP configuration for a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FsdpConfig {
@@ -99,12 +140,26 @@ pub struct FsdpConfig {
     pub prefetch: PrefetchPolicy,
     /// Rate-limit in-flight all-gathers (§IV-B `limit_all_gathers`).
     pub limit_all_gathers: bool,
+    /// Comm/compute overlap for the rank-thread engine.
+    pub overlap: OverlapConfig,
 }
 
 impl FsdpConfig {
-    /// The paper's best-performing knob settings for a given strategy.
+    /// The paper's best-performing knob settings for a given strategy,
+    /// with blocking collectives (overlap is opt-in via
+    /// [`FsdpConfig::overlapped`] so perf baselines stay comparable).
     pub fn tuned(strategy: ShardingStrategy) -> Self {
-        Self { strategy, prefetch: PrefetchPolicy::BackwardPre, limit_all_gathers: true }
+        Self {
+            strategy,
+            prefetch: PrefetchPolicy::BackwardPre,
+            limit_all_gathers: true,
+            overlap: OverlapConfig::off(),
+        }
+    }
+
+    /// [`FsdpConfig::tuned`] with the comm/compute overlap engine on.
+    pub fn overlapped(strategy: ShardingStrategy) -> Self {
+        Self { overlap: OverlapConfig::on(), ..Self::tuned(strategy) }
     }
 }
 
@@ -144,5 +199,16 @@ mod tests {
         let c = FsdpConfig::tuned(ShardingStrategy::FullShard);
         assert_eq!(c.prefetch, PrefetchPolicy::BackwardPre);
         assert!(c.limit_all_gathers);
+        assert!(!c.overlap.enabled, "overlap is opt-in");
+    }
+
+    #[test]
+    fn overlapped_config_enables_the_comm_thread() {
+        let c = FsdpConfig::overlapped(ShardingStrategy::FullShard);
+        assert!(c.overlap.enabled);
+        assert!(c.overlap.prefetch_depth >= 1);
+        // everything else matches the tuned baseline
+        assert_eq!(c.strategy, ShardingStrategy::FullShard);
+        assert_eq!(c.prefetch, PrefetchPolicy::BackwardPre);
     }
 }

@@ -360,6 +360,12 @@ where
         None => ProcessGroups::hierarchy(layout),
     };
     let traffic = groups[0].world.traffic();
+    if let Some(tel) = telemetry {
+        // surface the overlap knobs next to the per-step overlap.* rows the
+        // ranks record, so a trace is self-describing
+        tel.metrics.gauge("overlap.enabled").set(i64::from(config.overlap.enabled));
+        tel.metrics.gauge("overlap.prefetch.depth").set(config.overlap.prefetch_depth as i64);
+    }
     let start_step = resume.as_ref().map(|ck| ck.step as usize).unwrap_or(0);
 
     let params_out: Mutex<Option<Vec<f32>>> = Mutex::new(None);

@@ -18,6 +18,8 @@
 //! | `fig6`  | Fig. 6 — probe accuracy vs epoch per dataset and model |
 //! | `figR`  | Resilience — goodput vs checkpoint interval × node count, with the Young/Daly analytic optimum (not in the paper; supports the fault-tolerance analysis in §III) |
 //! | `figS`  | Gray failures — ips vs degradation fraction per sharding strategy under degraded-GCD/degraded-link models (not in the paper; quantifies the regime §IV-D assumes away) |
+//! | `figT`  | SDC guard — goodput vs silent-corruption rate per strategy, guard on/off (not in the paper; prices the integrity defense of DESIGN.md §11) |
+//! | `figU`  | Overlap — exposed-comm share vs nodes per strategy, comm/compute overlap on/off (not in the paper; isolates the mechanism behind Fig. 1's ~22 % anchor, DESIGN.md §12) |
 
 use geofm_telemetry::MetricsSnapshot;
 use std::fs;

@@ -74,6 +74,19 @@
 //! | `guard.checksum.ns` | histogram | per-collective checksum verification time |
 //! | `fault.injected_bitflip` | counter | gradient bit flips fired by the fault plan |
 //! | `fault.injected_poison` | counter | poisoned (NaN) local losses fired by the fault plan |
+//!
+//! The comm/compute overlap engine (`geofm_fsdp::OverlapConfig` routing
+//! collectives through `geofm_collectives::CommThread`) reports how much
+//! communication it fails to hide — the threaded measurement of `figU`'s
+//! y-axis:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `overlap.enabled` | gauge | 1 when the run used the comm-thread engine |
+//! | `overlap.prefetch.depth` | gauge | configured in-flight collective budget |
+//! | `overlap.step.ns` | histogram | wall time per training step |
+//! | `overlap.exposed.ns` | histogram | per-step main-thread time blocked on collectives |
+//! | `overlap.exposed.permille` | histogram | exposed-comm share of the step (‰) |
 
 #![warn(missing_docs)]
 

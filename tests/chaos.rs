@@ -16,6 +16,12 @@
 //! with the guard enabled: a completed run whose guard skipped steps must
 //! be bit-identical to a clean run told to skip the same steps.
 //!
+//! Odd seeds run the comm/compute overlap engine (collectives on the
+//! per-rank comm thread with prefetch in flight), even seeds the blocking
+//! engine — same invariant either way, and the overlapped runs compare
+//! against the *blocking* baseline, so this doubles as an equivalence
+//! check under fault injection.
+//!
 //! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned,
 //! so a regression that reintroduces a deadlock fails fast instead of
 //! stalling the pipeline.
@@ -100,9 +106,13 @@ fn chaos_mix() -> FaultMix {
     }
 }
 
-fn run(strategy: ShardingStrategy, resilience: ResilienceConfig) -> Result<DistReport, geofm_resilience::FailureReport> {
+fn run(
+    strategy: ShardingStrategy,
+    overlap: bool,
+    resilience: ResilienceConfig,
+) -> Result<DistReport, geofm_resilience::FailureReport> {
     try_run_data_parallel(
-        FsdpConfig::tuned(strategy),
+        if overlap { FsdpConfig::overlapped(strategy) } else { FsdpConfig::tuned(strategy) },
         WORLD,
         0.01,
         STEPS,
@@ -127,7 +137,9 @@ fn baseline(strategy_idx: usize) -> &'static (Vec<u32>, Vec<u32>) {
     static BASELINES: [OnceLock<(Vec<u32>, Vec<u32>)>; STRATEGIES.len()] =
         [OnceLock::new(), OnceLock::new(), OnceLock::new(), OnceLock::new()];
     BASELINES[strategy_idx].get_or_init(|| {
-        let report = run(STRATEGIES[strategy_idx], ResilienceConfig::disabled())
+        // baseline is always blocking: overlapped schedules comparing equal
+        // to it IS the equivalence property under chaos
+        let report = run(STRATEGIES[strategy_idx], false, ResilienceConfig::disabled())
             .expect("fault-free baseline must succeed");
         (
             report.final_params.iter().map(|v| v.to_bits()).collect(),
@@ -144,6 +156,8 @@ fn ckpt_dir(seed: u64) -> PathBuf {
 fn chaos_schedule(seed: u64) {
     let strategy_idx = (seed as usize) % STRATEGIES.len();
     let strategy = STRATEGIES[strategy_idx];
+    // odd seeds exercise the overlap engine (comm thread + prefetch in flight)
+    let overlap = seed % 2 == 1;
     let plan = Arc::new(FaultPlan::seeded(seed, WORLD, STEPS, &chaos_mix()));
     let dir = ckpt_dir(seed);
     let _ = std::fs::remove_dir_all(&dir);
@@ -164,7 +178,7 @@ fn chaos_schedule(seed: u64) {
     };
 
     let started = Instant::now();
-    let outcome = run(strategy, resilience);
+    let outcome = run(strategy, overlap, resilience);
     let elapsed = started.elapsed();
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -172,7 +186,8 @@ fn chaos_schedule(seed: u64) {
     // hangs resolves within a few timeout periods per attempt
     assert!(
         elapsed < Duration::from_secs(60),
-        "seed {seed} ({}): schedule took {elapsed:?} — hang regression (plan: {:?})",
+        "seed {seed} ({}, overlap={overlap}): schedule took {elapsed:?} — hang regression \
+         (plan: {:?})",
         strategy.name(),
         plan.events()
     );
@@ -198,6 +213,7 @@ fn chaos_schedule(seed: u64) {
             } else {
                 let clean = run(
                     strategy,
+                    overlap,
                     ResilienceConfig {
                         guard: Some(GuardConfig {
                             skip_steps: skipped.clone(),
@@ -217,7 +233,7 @@ fn chaos_schedule(seed: u64) {
             assert_eq!(
                 params,
                 base_params,
-                "seed {seed} ({}): final params diverged from clean run \
+                "seed {seed} ({}, overlap={overlap}): final params diverged from clean run \
                  (skipped: {skipped:?}, plan: {:?})",
                 strategy.name(),
                 plan.events()
@@ -225,7 +241,8 @@ fn chaos_schedule(seed: u64) {
             assert_eq!(
                 losses,
                 base_losses,
-                "seed {seed} ({}): loss curve diverged (skipped: {skipped:?}, plan: {:?})",
+                "seed {seed} ({}, overlap={overlap}): loss curve diverged \
+                 (skipped: {skipped:?}, plan: {:?})",
                 strategy.name(),
                 plan.events()
             );
@@ -234,7 +251,8 @@ fn chaos_schedule(seed: u64) {
             // a failed schedule must explain itself
             assert!(
                 !report.failures.is_empty(),
-                "seed {seed} ({}): failure report with no failures (plan: {:?})",
+                "seed {seed} ({}, overlap={overlap}): failure report with no failures \
+                 (plan: {:?})",
                 strategy.name(),
                 plan.events()
             );

@@ -1,0 +1,288 @@
+//! Equivalence suite for the nonblocking collectives and the FSDP
+//! comm/compute overlap engine, holding ONE invariant at two levels:
+//!
+//! > routing a collective through the per-rank comm thread changes *which
+//! > thread blocks* and nothing else — results are **bit-identical** to
+//! > the blocking path.
+//!
+//! Level 1 exercises the three async ops (`all_gather_async`,
+//! `reduce_scatter_async`, `all_reduce_async`) against their blocking
+//! twins across world sizes {2, 4, 8} and 64 seeded shapes each, both
+//! one-at-a-time and with the whole batch pipelined in flight.
+//!
+//! Level 2 runs the full trainer: for every sharding strategy (and a sweep
+//! of prefetch depths) the overlapped engine's final parameters and loss
+//! curve must match the blocking engine bit for bit. This is the property
+//! that lets the chaos/SDC suites compare overlapped runs against blocking
+//! baselines, and the reason `figU`'s hidden-comm gains are "free".
+//!
+//! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned.
+
+use geofm_collectives::{CollectiveHandle, CommThread, Group};
+use geofm_fsdp::{run_data_parallel, DistReport, FsdpConfig, OverlapConfig, ShardingStrategy};
+use geofm_nn::{Linear, Module, ParamVisitor};
+use geofm_tensor::{Tensor, TensorRng};
+
+fn seed_base() -> u64 {
+    std::env::var("GEOFM_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+const TRIALS: u64 = 64;
+
+/// Seeded input for one (trial, rank) cell. The length is a pure function
+/// of the trial (identical across ranks — the SPMD contract); the values
+/// depend on the rank so the reduction actually mixes data.
+fn trial_input(seed: u64, trial: u64, rank: usize, world: usize) -> Vec<f32> {
+    let mut shape_rng = TensorRng::seed_from(seed ^ trial.wrapping_mul(0x9E37_79B9));
+    // lengths sweep 1..=300: smaller than, equal to and much larger than
+    // the world size, so reduce-scatter sees empty and ragged chunks too
+    let len = shape_rng.below(300) + 1;
+    let mut rng = TensorRng::seed_from(seed + trial * 1009 + rank as u64 * 7919 + world as u64);
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+/// Level 1, one world size: every op, blocking vs async on the same group,
+/// 64 seeded shapes.
+fn ops_match_blocking(world: usize) {
+    let seed = seed_base();
+    let handles = Group::create(world);
+    std::thread::scope(|s| {
+        for h in handles {
+            s.spawn(move || {
+                let comm = CommThread::spawn();
+                for trial in 0..TRIALS {
+                    let data = trial_input(seed, trial, h.rank(), world);
+
+                    let mut blocking = data.clone();
+                    h.try_all_reduce(&mut blocking).unwrap();
+                    let reduced = comm.all_reduce_async(&h, &data).wait().unwrap();
+                    assert_eq!(
+                        bits(&blocking),
+                        bits(&reduced),
+                        "world {world} trial {trial} rank {}: all_reduce diverged",
+                        h.rank()
+                    );
+
+                    let mut gathered_blocking = Vec::new();
+                    h.try_all_gather(&data, &mut gathered_blocking).unwrap();
+                    let gathered = comm.all_gather_async(&h, &data).wait().unwrap();
+                    assert_eq!(
+                        bits(&gathered_blocking),
+                        bits(&gathered),
+                        "world {world} trial {trial} rank {}: all_gather diverged",
+                        h.rank()
+                    );
+
+                    let mut chunk_blocking = Vec::new();
+                    h.try_reduce_scatter(&data, &mut chunk_blocking).unwrap();
+                    let chunk = comm.reduce_scatter_async(&h, &data).wait().unwrap();
+                    assert_eq!(
+                        bits(&chunk_blocking),
+                        bits(&chunk),
+                        "world {world} trial {trial} rank {}: reduce_scatter diverged",
+                        h.rank()
+                    );
+                }
+                comm.join();
+            });
+        }
+    });
+}
+
+#[test]
+fn collectives_bit_identical_world_2() {
+    ops_match_blocking(2);
+}
+
+#[test]
+fn collectives_bit_identical_world_4() {
+    ops_match_blocking(4);
+}
+
+#[test]
+fn collectives_bit_identical_world_8() {
+    ops_match_blocking(8);
+}
+
+/// Level 1, pipelined variant: issue a whole mixed batch of collectives
+/// before waiting on any of them. FIFO execution in submission order must
+/// keep the results equal to the one-at-a-time blocking schedule.
+#[test]
+fn pipelined_batch_matches_blocking() {
+    let seed = seed_base();
+    for world in [2usize, 4, 8] {
+        let handles = Group::create(world);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let comm = CommThread::spawn();
+                    // blocking reference pass first (same order on every rank)
+                    let mut expect: Vec<Vec<f32>> = Vec::new();
+                    for trial in 0..TRIALS {
+                        let data = trial_input(seed, trial, h.rank(), world);
+                        match trial % 3 {
+                            0 => {
+                                let mut buf = data.clone();
+                                h.try_all_reduce(&mut buf).unwrap();
+                                expect.push(buf);
+                            }
+                            1 => {
+                                let mut out = Vec::new();
+                                h.try_all_gather(&data, &mut out).unwrap();
+                                expect.push(out);
+                            }
+                            _ => {
+                                let mut out = Vec::new();
+                                h.try_reduce_scatter(&data, &mut out).unwrap();
+                                expect.push(out);
+                            }
+                        }
+                    }
+                    // async pass: everything in flight, then wait in order
+                    let pending: Vec<CollectiveHandle> = (0..TRIALS)
+                        .map(|trial| {
+                            let data = trial_input(seed, trial, h.rank(), world);
+                            match trial % 3 {
+                                0 => comm.all_reduce_async(&h, &data),
+                                1 => comm.all_gather_async(&h, &data),
+                                _ => comm.reduce_scatter_async(&h, &data),
+                            }
+                        })
+                        .collect();
+                    for (trial, pending) in pending.into_iter().enumerate() {
+                        let op = pending.op();
+                        let got = pending.wait().unwrap();
+                        assert_eq!(
+                            bits(&expect[trial]),
+                            bits(&got),
+                            "world {world} trial {trial} rank {}: pipelined {op} diverged",
+                            h.rank()
+                        );
+                    }
+                    comm.join();
+                });
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2: the trainer end to end.
+
+struct Toy {
+    a: Linear,
+    b: Linear,
+}
+
+impl Module for Toy {
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        self.a.visit_params(f);
+        self.b.visit_params(f);
+    }
+}
+
+impl Toy {
+    fn new(seed: u64) -> (Self, Vec<usize>) {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut a = Linear::new(3, 2, &mut rng, "a");
+        let mut b = Linear::new(3, 2, &mut rng, "b");
+        let units = vec![a.num_params(), b.num_params()];
+        (Self { a, b }, units)
+    }
+
+    fn compute(&mut self, x: &Tensor, y: &Tensor) -> f32 {
+        self.zero_grad();
+        let ya = self.a.forward(x);
+        let yb = self.b.forward(x);
+        let out = ya.add(&yb);
+        let diff = out.sub(y);
+        let n = diff.numel() as f32;
+        let loss = diff.sum_sq() / n;
+        let dy = diff.scale(2.0 / n);
+        let _ = self.a.backward(&dy);
+        let _ = self.b.backward(&dy);
+        loss
+    }
+}
+
+const WORLD: usize = 4;
+const STEPS: usize = 6;
+
+fn train(config: FsdpConfig) -> DistReport {
+    run_data_parallel(
+        config,
+        WORLD,
+        0.01,
+        STEPS,
+        |_| Toy::new(7),
+        |m, rank, step| {
+            let mut rng = TensorRng::seed_from(5000 + step as u64);
+            let x = rng.randn(&[8, 3], 1.0);
+            let y = rng.randn(&[8, 2], 1.0);
+            let per = 8 / WORLD;
+            let xl = x.rows(rank * per, (rank + 1) * per);
+            let yl = y.rows(rank * per, (rank + 1) * per);
+            m.compute(&xl, &yl)
+        },
+        |_| 0.01,
+    )
+}
+
+fn assert_equivalent(blocking: &DistReport, overlapped: &DistReport, what: &str) {
+    assert_eq!(
+        bits(&blocking.final_params),
+        bits(&overlapped.final_params),
+        "{what}: overlapped final params diverged from blocking"
+    );
+    assert_eq!(
+        bits(&blocking.mean_losses),
+        bits(&overlapped.mean_losses),
+        "{what}: overlapped loss curve diverged from blocking"
+    );
+}
+
+/// Every sharding strategy: the overlapped engine (prefetched gathers,
+/// double-buffered reduce-scatters) is bit-identical to the blocking one.
+#[test]
+fn overlapped_trainer_bit_identical_for_every_strategy() {
+    let strategies = [
+        ShardingStrategy::NoShard,
+        ShardingStrategy::Ddp { bucket_bytes: 16 },
+        ShardingStrategy::FullShard,
+        ShardingStrategy::ShardGradOp,
+        ShardingStrategy::Hybrid { shard_size: 1 },
+        ShardingStrategy::Hybrid { shard_size: 2 },
+        ShardingStrategy::Hybrid { shard_size: 4 },
+    ];
+    for strategy in strategies {
+        let blocking = train(FsdpConfig::tuned(strategy));
+        let overlapped = train(FsdpConfig::overlapped(strategy));
+        assert_equivalent(&blocking, &overlapped, &strategy.name());
+        // the equivalence is about payloads, not transport: the overlap
+        // engine moves the same bytes through the same collectives
+        assert_eq!(
+            blocking.traffic.total(),
+            overlapped.traffic.total(),
+            "{}: overlap must not change communication volume",
+            strategy.name()
+        );
+    }
+}
+
+/// Prefetch depth changes how far the pipeline runs ahead, never what it
+/// computes: every depth matches the blocking engine bit for bit.
+#[test]
+fn prefetch_depth_never_changes_results() {
+    let strategy = ShardingStrategy::FullShard;
+    let blocking = train(FsdpConfig::tuned(strategy));
+    for depth in [1usize, 2, 4] {
+        let mut config = FsdpConfig::overlapped(strategy);
+        config.overlap = OverlapConfig { enabled: true, prefetch_depth: depth };
+        let overlapped = train(config);
+        assert_equivalent(&blocking, &overlapped, &format!("FULL_SHARD depth {depth}"));
+    }
+}
