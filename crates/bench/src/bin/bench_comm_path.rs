@@ -1,0 +1,65 @@
+//! Microbenchmark of the async submission machinery itself: steady-state
+//! async all-reduce (steal path, pooled buffers) vs the same collective
+//! called blocking, on a 2-rank group. The difference is the pure per-job
+//! overhead of the nonblocking path — job cell, ring publish, claim,
+//! result handoff — with the collective cost common to both sides.
+//!
+//! Usage: `bench_comm_path [iters]` (default 20000).
+
+use geofm_collectives::{CommThread, Group};
+use std::time::Instant;
+
+fn main() {
+    let iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let world: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    // mode: "both" (default), "blocking" or "async" — single-path runs let
+    // an external tool attribute context switches to one path
+    let mode = std::env::args().nth(3).unwrap_or_else(|| "both".into());
+    for len in [64usize, 1024, 8192] {
+        let handles = Group::create(world);
+        let results: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    let mode = mode.clone();
+                    s.spawn(move || {
+                        let data = vec![1.0f32; len];
+                        let mut scratch = data.clone();
+                        // warmup both paths
+                        let comm = CommThread::spawn();
+                        let g = comm.register(&h);
+                        for _ in 0..100 {
+                            h.try_all_reduce(&mut scratch).unwrap();
+                            comm.recycle(comm.all_reduce_async(&g, &data).wait().unwrap());
+                        }
+                        let mut blocking = 0;
+                        if mode != "async" {
+                            let t0 = Instant::now();
+                            for _ in 0..iters {
+                                scratch.copy_from_slice(&data);
+                                h.try_all_reduce(&mut scratch).unwrap();
+                            }
+                            blocking = t0.elapsed().as_nanos() as u64 / iters as u64;
+                        }
+                        let mut asynced = 0;
+                        if mode != "blocking" {
+                            let t0 = Instant::now();
+                            for _ in 0..iters {
+                                comm.recycle(comm.all_reduce_async(&g, &data).wait().unwrap());
+                            }
+                            asynced = t0.elapsed().as_nanos() as u64 / iters as u64;
+                        }
+                        comm.join();
+                        (blocking, asynced)
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let (b, a) = results[0];
+        println!(
+            "len {len:>5}: blocking {b:>7} ns/op  async-steal {a:>7} ns/op  delta {:>6} ns/op",
+            a as i64 - b as i64
+        );
+    }
+}

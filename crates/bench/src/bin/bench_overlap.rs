@@ -18,9 +18,15 @@ use geofm_tensor::TensorRng;
 use geofm_vit::{VitConfig, VitModel};
 use std::time::Instant;
 
+// STEPS is deliberately large relative to world spawn/teardown: each timed
+// rep launches a fresh world (plus per-rank comm threads when overlap is
+// on), and at small STEPS that fixed, *asymmetric* setup cost leaks into
+// the per-step figure of the overlap-on cell. 48 steps amortises it below
+// the noise floor, and 31 reps keeps the paired-delta median stable while
+// the whole four-strategy run stays around half a minute.
 const WORLD: usize = 4;
-const STEPS: usize = 3;
-const REPS: usize = 15;
+const STEPS: usize = 48;
+const REPS: usize = 31;
 
 fn tiny() -> VitConfig {
     VitConfig {
@@ -65,20 +71,44 @@ fn run_steps(strategy: ShardingStrategy, overlap: bool) {
     std::hint::black_box(report.mean_losses);
 }
 
-/// Median ns/step over `REPS` timed repetitions (each a full `STEPS`-step
-/// distributed run, so spawn/teardown amortises across steps).
-fn median_ns_per_step(strategy: ShardingStrategy, overlap: bool) -> u64 {
-    // one untimed warmup to fault in code paths and thread stacks
+fn time_one(strategy: ShardingStrategy, overlap: bool) -> u64 {
+    let t0 = Instant::now();
     run_steps(strategy, overlap);
-    let mut samples: Vec<u64> = (0..REPS)
-        .map(|_| {
-            let t0 = Instant::now();
-            run_steps(strategy, overlap);
-            t0.elapsed().as_nanos() as u64 / STEPS as u64
-        })
-        .collect();
+    t0.elapsed().as_nanos() as u64 / STEPS as u64
+}
+
+fn median(samples: &mut [u64]) -> u64 {
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// Median ns/step for the off/on pair over `REPS` timed repetitions (each
+/// a full `STEPS`-step distributed run, so spawn/teardown amortises across
+/// steps), plus the **median paired delta** (on − off within each rep).
+/// The two cells are timed *interleaved*, alternating which goes first
+/// each rep, so slow machine-noise drift (thermal, background load) lands
+/// inside every pair and cancels in the delta — the per-cell medians keep
+/// the absolute scale, the paired delta is the trustworthy comparison.
+fn median_pair_ns_per_step(strategy: ShardingStrategy) -> (u64, u64, i64) {
+    // untimed warmups to fault in code paths and thread stacks
+    run_steps(strategy, false);
+    run_steps(strategy, true);
+    let mut off = Vec::with_capacity(REPS);
+    let mut on = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        if rep % 2 == 0 {
+            off.push(time_one(strategy, false));
+            on.push(time_one(strategy, true));
+        } else {
+            on.push(time_one(strategy, true));
+            off.push(time_one(strategy, false));
+        }
+    }
+    let mut deltas: Vec<i64> =
+        on.iter().zip(&off).map(|(&a, &b)| a as i64 - b as i64).collect();
+    deltas.sort_unstable();
+    let delta = deltas[deltas.len() / 2];
+    (median(&mut off), median(&mut on), delta)
 }
 
 fn main() {
@@ -90,26 +120,32 @@ fn main() {
         ShardingStrategy::Hybrid { shard_size: 2 },
     ];
 
-    println!("BENCH overlap — median ns/step, world {WORLD}, {REPS} reps x {STEPS} steps");
-    println!("{:>14} {:>14} {:>14} {:>8}", "strategy", "off_ns", "on_ns", "on/off");
+    println!(
+        "BENCH overlap — median ns/step, world {WORLD}, {REPS} interleaved reps x {STEPS} steps"
+    );
+    println!(
+        "{:>14} {:>14} {:>14} {:>8} {:>12}",
+        "strategy", "off_ns", "on_ns", "on/off", "pair_delta"
+    );
     let mut entries = Vec::new();
     for strategy in strategies {
-        let off = median_ns_per_step(strategy, false);
-        let on = median_ns_per_step(strategy, true);
+        let (off, on, delta) = median_pair_ns_per_step(strategy);
         assert!(off > 0 && on > 0, "{}: degenerate timing", strategy.name());
         println!(
-            "{:>14} {:>14} {:>14} {:>8.2}",
+            "{:>14} {:>14} {:>14} {:>8.2} {:>12}",
             strategy.name(),
             off,
             on,
-            on as f64 / off as f64
+            on as f64 / off as f64,
+            delta
         );
         entries.push(format!(
             "    {{\"strategy\": \"{}\", \"overlap_off_ns_per_step\": {}, \
-             \"overlap_on_ns_per_step\": {}}}",
+             \"overlap_on_ns_per_step\": {}, \"median_paired_delta_ns\": {}}}",
             strategy.name(),
             off,
-            on
+            on,
+            delta
         ));
     }
 

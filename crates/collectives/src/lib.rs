@@ -38,7 +38,9 @@ pub mod group;
 pub mod guard;
 pub mod hierarchy;
 pub mod nonblocking;
+pub mod pool;
 pub mod ring;
+pub mod spsc;
 pub mod traffic;
 
 pub use adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
@@ -46,5 +48,6 @@ pub use barrier::{RankLost, SenseBarrier};
 pub use group::{Algorithm, Group, RankHandle};
 pub use guard::{CollectiveError, CorruptPayload, SabotageCell};
 pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};
-pub use nonblocking::{CollectiveHandle, CommThread};
+pub use nonblocking::{AsyncOp, CollectiveHandle, CommGroup, CommThread, OwnedAsyncOp};
+pub use pool::{BufferPool, PoolStats};
 pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};

@@ -4,7 +4,9 @@
 use crate::flat::FlatLayout;
 use crate::strategy::{FsdpConfig, ShardingStrategy};
 use geofm_collectives::{
-    CollectiveError, CollectiveHandle, CommThread, CorruptPayload, RankGroups, RankLost,
+    AsyncOp, CollectiveError, CollectiveHandle, CommGroup, CommThread, CorruptPayload,
+    OwnedAsyncOp, RankGroups,
+    RankLost,
 };
 use geofm_nn::{AdamW, AdamWState, Module, Optimizer};
 use geofm_telemetry::Telemetry;
@@ -103,7 +105,10 @@ pub struct FsdpRank<M: Module> {
     world: usize,
     shard_rank: usize,
     /// Owned parameter shards, concatenated across units.
-    owned_params: Vec<f32>,
+    /// `Arc` so in-flight gather jobs can read shards without a copy;
+    /// uniquely owned again (and mutable via `Arc::make_mut` at zero cost)
+    /// by the time the optimizer runs, since every gather is waited first.
+    owned_params: Arc<Vec<f32>>,
     /// Offsets of each unit's shard within `owned_params`.
     shard_offsets: Vec<usize>,
     optimizer: AdamW,
@@ -114,6 +119,12 @@ pub struct FsdpRank<M: Module> {
     /// Comm thread driving the nonblocking collectives when
     /// `config.overlap.enabled`; `None` runs the fully blocking engine.
     comm: Option<CommThread>,
+    /// Shard / replica groups registered with the comm thread once at
+    /// construction — each async job then shares the registered handle by
+    /// `Arc` instead of deep-cloning a [`geofm_collectives::RankHandle`]
+    /// per collective.
+    comm_shard: Option<CommGroup>,
+    comm_replica: Option<CommGroup>,
     /// Nanoseconds of the current step spent *blocked* on communication
     /// (exposed comm). Reset at the top of each step; with overlap on,
     /// collective time hidden behind compute never lands here.
@@ -170,6 +181,10 @@ impl<M: Module> FsdpRank<M> {
         let optimizer = AdamW::new(owned_params.len(), weight_decay)
             .with_decay_mask(owned_mask.iter().map(|&v| v > 0.5).collect());
 
+        let comm = config.overlap.enabled.then(CommThread::spawn);
+        let comm_shard = comm.as_ref().map(|c| c.register(&groups.shard));
+        let comm_replica = comm.as_ref().map(|c| c.register(&groups.replica));
+
         Self {
             model,
             config,
@@ -177,12 +192,14 @@ impl<M: Module> FsdpRank<M> {
             layout,
             world,
             shard_rank,
-            owned_params,
+            owned_params: Arc::new(owned_params),
             shard_offsets,
             optimizer,
             grad_clip: None,
             telemetry: None,
-            comm: config.overlap.enabled.then(CommThread::spawn),
+            comm,
+            comm_shard,
+            comm_replica,
             exposed_ns: 0,
             flat,
             grads: Vec::new(),
@@ -233,6 +250,14 @@ impl<M: Module> FsdpRank<M> {
     /// owned shards + the transiently materialised full model.
     pub fn owned_param_elems(&self) -> usize {
         self.owned_params.len()
+    }
+
+    /// Usage counters of the comm thread's scratch-buffer pool (`None`
+    /// when the blocking engine runs). After a warmup step the `allocs`
+    /// counter must stop moving — the property `tests/buffer_pool.rs`
+    /// pins at trainer level.
+    pub fn comm_pool_stats(&self) -> Option<geofm_collectives::PoolStats> {
+        self.comm.as_ref().map(|c| c.pool().stats())
     }
 
     fn owned_range(&self, u: usize) -> std::ops::Range<usize> {
@@ -288,12 +313,24 @@ impl<M: Module> FsdpRank<M> {
     fn try_gather_units_overlapped(&mut self, discard: bool) -> Result<(), RankLost> {
         let depth = self.config.overlap.prefetch_depth.max(1);
         let n = self.layout.num_units();
-        let mut pending: VecDeque<CollectiveHandle> = VecDeque::with_capacity(depth);
-        let mut next = 0;
-        while next < n && pending.len() < depth {
-            pending.push_back(self.issue_gather(next));
-            next += 1;
-        }
+        let first = depth.min(n);
+        // fill the whole prefetch window in one batched submission (a
+        // single release store publishes every job to the comm thread);
+        // shards ride in as zero-copy views of the shared parameter store
+        let mut pending: VecDeque<CollectiveHandle> = {
+            let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
+            let group = self.comm_shard.as_ref().expect("groups registered at construction");
+            let ops: Vec<OwnedAsyncOp> = (0..first)
+                .map(|u| {
+                    OwnedAsyncOp::AllGatherShared(
+                        Arc::clone(&self.owned_params),
+                        self.owned_range(u),
+                    )
+                })
+                .collect();
+            comm.submit_batch_owned(group, ops).into()
+        };
+        let mut next = first;
         for u in 0..n {
             let handle = pending.pop_front().expect("a gather was issued for every unit");
             let gathered = match exposed!(self, handle.wait()) {
@@ -305,6 +342,9 @@ impl<M: Module> FsdpRank<M> {
             if !discard {
                 self.layout.write_gathered(&mut self.flat, u, &gathered);
             }
+            if let Some(c) = &self.comm {
+                c.recycle(gathered);
+            }
             if next < n {
                 pending.push_back(self.issue_gather(next));
                 next += 1;
@@ -315,8 +355,8 @@ impl<M: Module> FsdpRank<M> {
 
     fn issue_gather(&self, u: usize) -> CollectiveHandle {
         let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
-        let r = self.owned_range(u);
-        comm.all_gather_async(&self.groups.shard, &self.owned_params[r])
+        let group = self.comm_shard.as_ref().expect("groups registered at construction");
+        comm.all_gather_async_shared(group, &self.owned_params, self.owned_range(u))
     }
 
     /// Blocking gradient reduction (the pre-overlap engine), strategy by
@@ -402,23 +442,37 @@ impl<M: Module> FsdpRank<M> {
                     start = end;
                 }
                 self.pipelined_all_reduce_ranges(&bounds, depth, corrupt)?;
-                self.owned_grads.extend_from_slice(&self.grads);
             }
             ShardingStrategy::NoShard => {
                 let bounds = self.layout.unit_ranges.clone();
                 self.pipelined_all_reduce_ranges(&bounds, depth, corrupt)?;
-                self.owned_grads.extend_from_slice(&self.grads);
             }
             ShardingStrategy::FullShard
             | ShardingStrategy::ShardGradOp
             | ShardingStrategy::Hybrid { .. } => {
                 let n = self.layout.num_units();
-                let mut pending: VecDeque<CollectiveHandle> = VecDeque::with_capacity(depth);
-                let mut next = 0;
-                while next < n && pending.len() < depth {
-                    pending.push_back(self.issue_reduce_scatter(next));
-                    next += 1;
-                }
+                let first = depth.min(n);
+                // pad the first window straight into pooled buffers and
+                // hand them over by value: one padding copy per unit
+                // (same as the blocking engine's scratch) and one batched
+                // publish; the executor recycles each buffer after its
+                // reduce-scatter runs
+                let mut pending: VecDeque<CollectiveHandle> = {
+                    let comm =
+                        self.comm.as_ref().expect("overlap engine requires the comm thread");
+                    let group =
+                        self.comm_shard.as_ref().expect("groups registered at construction");
+                    let ops: Vec<OwnedAsyncOp> = (0..first)
+                        .map(|u| {
+                            let mut buf =
+                                comm.pool().take(self.layout.shard_len(u) * self.layout.shard_n);
+                            self.layout.padded_unit(&self.grads, u, &mut buf);
+                            OwnedAsyncOp::ReduceScatter(buf)
+                        })
+                        .collect();
+                    comm.submit_batch_owned(group, ops).into()
+                };
+                let mut next = first;
                 for u in 0..n {
                     let handle =
                         pending.pop_front().expect("a reduce was issued for every unit");
@@ -431,6 +485,9 @@ impl<M: Module> FsdpRank<M> {
                         )?;
                     }
                     self.owned_grads.extend_from_slice(&rs_out);
+                    if let Some(c) = &self.comm {
+                        c.recycle(rs_out);
+                    }
                     if next < n {
                         pending.push_back(self.issue_reduce_scatter(next));
                         next += 1;
@@ -441,25 +498,34 @@ impl<M: Module> FsdpRank<M> {
         Ok(())
     }
 
-    /// Pipeline in-place all-reduces over `bounds` sub-ranges of `grads`
-    /// (DDP buckets / NO_SHARD units) through the comm thread, waiting in
-    /// issue order and copying each result back as it lands.
+    /// Pipeline all-reduces over `bounds` sub-ranges of `grads` (DDP
+    /// buckets / NO_SHARD units) through the comm thread, waiting in issue
+    /// order. `bounds` must cover `grads` contiguously in order: each
+    /// result lands straight in `owned_grads` (skipping the blocking
+    /// engine's write-back into `grads`, which nothing reads after the
+    /// reduce — `pack_grads` refills it next step).
     fn pipelined_all_reduce_ranges(
         &mut self,
         bounds: &[std::ops::Range<usize>],
         depth: usize,
         corrupt: &mut Option<CorruptPayload>,
     ) -> Result<(), RankLost> {
-        let mut pending: VecDeque<CollectiveHandle> = VecDeque::with_capacity(depth);
-        let mut next = 0;
-        while next < bounds.len() && pending.len() < depth {
-            pending.push_back(self.issue_all_reduce(&bounds[next]));
-            next += 1;
-        }
+        let first = depth.min(bounds.len());
+        let mut pending: VecDeque<CollectiveHandle> = {
+            let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
+            let group = self.comm_replica.as_ref().expect("groups registered at construction");
+            let ops: Vec<AsyncOp<'_>> =
+                bounds[..first].iter().map(|r| AsyncOp::AllReduce(&self.grads[r.clone()])).collect();
+            comm.submit_batch(group, &ops).into()
+        };
+        let mut next = first;
         for r in bounds {
             let handle = pending.pop_front().expect("a reduce was issued for every range");
             let reduced = self.wait_reduced(handle, r.len(), corrupt)?;
-            self.grads[r.clone()].copy_from_slice(&reduced);
+            self.owned_grads.extend_from_slice(&reduced);
+            if let Some(c) = &self.comm {
+                c.recycle(reduced);
+            }
             if next < bounds.len() {
                 pending.push_back(self.issue_all_reduce(&bounds[next]));
                 next += 1;
@@ -470,13 +536,18 @@ impl<M: Module> FsdpRank<M> {
 
     fn issue_all_reduce(&self, r: &std::ops::Range<usize>) -> CollectiveHandle {
         let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
-        comm.all_reduce_async(&self.groups.replica, &self.grads[r.clone()])
+        let group = self.comm_replica.as_ref().expect("groups registered at construction");
+        comm.all_reduce_async(group, &self.grads[r.clone()])
     }
 
     fn issue_reduce_scatter(&mut self, u: usize) -> CollectiveHandle {
-        self.layout.padded_unit(&self.grads, u, &mut self.padded);
         let comm = self.comm.as_ref().expect("overlap engine requires the comm thread");
-        comm.reduce_scatter_async(&self.groups.shard, &self.padded)
+        let group = self.comm_shard.as_ref().expect("groups registered at construction");
+        // pad into a pooled buffer and hand it over by value (copy parity
+        // with the blocking engine's `self.padded` scratch)
+        let mut buf = comm.pool().take(self.layout.shard_len(u) * self.layout.shard_n);
+        self.layout.padded_unit(&self.grads, u, &mut buf);
+        comm.reduce_scatter_async_owned(group, buf)
     }
 
     /// Wait for an in-flight reduce, charging the blocked time to the
@@ -499,7 +570,12 @@ impl<M: Module> FsdpRank<M> {
             }
             Err(CollectiveError::Corrupt(c)) => {
                 corrupt.get_or_insert(c);
-                Ok(vec![0.0; expect_len])
+                // the placeholder comes from the pool too — a corrupt step
+                // must not reintroduce allocations on the comm path
+                Ok(match &self.comm {
+                    Some(comm) => comm.pool().take_zeroed(expect_len),
+                    None => vec![0.0; expect_len],
+                })
             }
             Err(CollectiveError::Lost(l)) => Err(l),
         }
@@ -623,7 +699,11 @@ impl<M: Module> FsdpRank<M> {
         // 7. sharded optimizer step
         {
             let _p = phase("fsdp.optimizer");
-            self.optimizer.step(&mut self.owned_params, &self.owned_grads, lr);
+            self.optimizer.step(
+                Arc::make_mut(&mut self.owned_params).as_mut_slice(),
+                &self.owned_grads,
+                lr,
+            );
         }
 
         Ok(StepReport { loss, grad_norm, lr })
@@ -654,7 +734,7 @@ impl<M: Module> FsdpRank<M> {
     /// parameter shards and the sharded AdamW state. Exact f32 values — a
     /// restore from this snapshot resumes bit-identically.
     pub fn export_state(&self) -> (Vec<f32>, AdamWState) {
-        (self.owned_params.clone(), self.optimizer.export_state())
+        ((*self.owned_params).clone(), self.optimizer.export_state())
     }
 
     /// Restore state captured by [`FsdpRank::export_state`] on an
@@ -670,7 +750,7 @@ impl<M: Module> FsdpRank<M> {
             self.owned_params.len(),
             "checkpoint shard length does not match this rank's layout"
         );
-        self.owned_params.copy_from_slice(params);
+        Arc::make_mut(&mut self.owned_params).copy_from_slice(params);
         self.optimizer.load_state(state);
     }
 

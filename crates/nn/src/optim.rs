@@ -131,21 +131,11 @@ impl AdamW {
         self.v = state.v;
         self.t = state.t;
     }
-}
 
-/// Checkpointable AdamW state: first/second moments and the step counter.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct AdamWState {
-    /// First-moment estimates, aligned with the parameter buffer.
-    pub m: Vec<f32>,
-    /// Second-moment estimates, aligned with the parameter buffer.
-    pub v: Vec<f32>,
-    /// Steps taken so far (drives bias correction).
-    pub t: u64,
-}
-
-impl Optimizer for AdamW {
-    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+    /// Textbook scalar update — the reference the fused
+    /// [`Optimizer::step`] is differentially tested against
+    /// (`tests/kernel_differential.rs` asserts bit-identical trajectories).
+    pub fn step_reference(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
         assert_eq!(params.len(), self.m.len(), "AdamW: buffer length changed");
         assert_eq!(params.len(), grads.len(), "AdamW: grads length mismatch");
         self.t += 1;
@@ -165,6 +155,70 @@ impl Optimizer for AdamW {
                 params[i] -= lr * self.weight_decay * params[i];
             }
             params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Checkpointable AdamW state: first/second moments and the step counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamWState {
+    /// First-moment estimates, aligned with the parameter buffer.
+    pub m: Vec<f32>,
+    /// Second-moment estimates, aligned with the parameter buffer.
+    pub v: Vec<f32>,
+    /// Steps taken so far (drives bias correction).
+    pub t: u64,
+}
+
+impl Optimizer for AdamW {
+    /// Fused update: one pass over `params`/`grads`/`m`/`v` with zipped
+    /// iterators (no per-access bounds checks) and the decay branch hoisted
+    /// out of the loop. Every per-element operation — the moment updates,
+    /// the `m/b1t` and `v/b2t` divisions, the `(lr·wd)·p` decay and the
+    /// `(lr·mhat)/(√vhat+ε)` step — runs in exactly the order of
+    /// [`AdamW::step_reference`], so the trajectories are bit-identical
+    /// (including denormals, zero grads and NaN propagation).
+    fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.m.len(), "AdamW: buffer length changed");
+        assert_eq!(params.len(), grads.len(), "AdamW: grads length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2) = (self.beta1, self.beta2);
+        // hoisted constants: `1 - β` and `lr·wd` are pure functions of the
+        // hyper-parameters, so hoisting reproduces the reference's
+        // left-associated products bit for bit
+        let (omb1, omb2) = (1.0 - b1, 1.0 - b2);
+        let eps = self.eps;
+        let lrwd = lr * self.weight_decay;
+        let fused = |p: &mut f32, g: f32, m: &mut f32, v: &mut f32, decay: bool| {
+            *m = b1 * *m + omb1 * g;
+            *v = b2 * *v + omb2 * g * g;
+            let mhat = *m / b1t;
+            let vhat = *v / b2t;
+            if decay {
+                *p -= lrwd * *p;
+            }
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        };
+        let rows = params.iter_mut().zip(grads).zip(self.m.iter_mut()).zip(self.v.iter_mut());
+        if self.weight_decay <= 0.0 {
+            for (((p, &g), m), v) in rows {
+                fused(p, g, m, v, false);
+            }
+        } else {
+            match &self.decay_mask {
+                None => {
+                    for (((p, &g), m), v) in rows {
+                        fused(p, g, m, v, true);
+                    }
+                }
+                Some(mask) => {
+                    for ((((p, &g), m), v), &decay) in rows.zip(mask.iter()) {
+                        fused(p, g, m, v, decay);
+                    }
+                }
+            }
         }
     }
 }

@@ -17,10 +17,12 @@
 //! be bit-identical to a clean run told to skip the same steps.
 //!
 //! Odd seeds run the comm/compute overlap engine (collectives on the
-//! per-rank comm thread with prefetch in flight), even seeds the blocking
-//! engine — same invariant either way, and the overlapped runs compare
-//! against the *blocking* baseline, so this doubles as an equivalence
-//! check under fault injection.
+//! per-rank comm thread with prefetch in flight — since the lock-free
+//! rework this is the SPSC job ring with batched submission and pooled,
+//! recycled comm buffers), even seeds the blocking engine — same
+//! invariant either way, and the overlapped runs compare against the
+//! *blocking* baseline, so this doubles as an equivalence check for the
+//! pooled lock-free path under fault injection.
 //!
 //! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned,
 //! so a regression that reintroduces a deadlock fails fast instead of

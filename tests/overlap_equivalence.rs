@@ -7,8 +7,12 @@
 //!
 //! Level 1 exercises the three async ops (`all_gather_async`,
 //! `reduce_scatter_async`, `all_reduce_async`) against their blocking
-//! twins across world sizes {2, 4, 8} and 64 seeded shapes each, both
-//! one-at-a-time and with the whole batch pipelined in flight.
+//! twins across world sizes {2, 4, 8} and 64 seeded shapes each — one at
+//! a time, with the whole batch pipelined in flight, and through the
+//! batched `submit_batch` window publication. The async transport under
+//! test is the lock-free SPSC ring with pooled scratch buffers
+//! (`geofm_collectives::spsc` / `pool`), including the waiter-steals-job
+//! inline-execution path taken whenever the comm thread is starved.
 //!
 //! Level 2 runs the full trainer: for every sharding strategy (and a sweep
 //! of prefetch depths) the overlapped engine's final parameters and loss
@@ -18,7 +22,7 @@
 //!
 //! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned.
 
-use geofm_collectives::{CollectiveHandle, CommThread, Group};
+use geofm_collectives::{AsyncOp, CollectiveHandle, CommThread, Group};
 use geofm_fsdp::{run_data_parallel, DistReport, FsdpConfig, OverlapConfig, ShardingStrategy};
 use geofm_nn::{Linear, Module, ParamVisitor};
 use geofm_tensor::{Tensor, TensorRng};
@@ -54,12 +58,13 @@ fn ops_match_blocking(world: usize) {
         for h in handles {
             s.spawn(move || {
                 let comm = CommThread::spawn();
+                let g = comm.register(&h);
                 for trial in 0..TRIALS {
                     let data = trial_input(seed, trial, h.rank(), world);
 
                     let mut blocking = data.clone();
                     h.try_all_reduce(&mut blocking).unwrap();
-                    let reduced = comm.all_reduce_async(&h, &data).wait().unwrap();
+                    let reduced = comm.all_reduce_async(&g, &data).wait().unwrap();
                     assert_eq!(
                         bits(&blocking),
                         bits(&reduced),
@@ -69,7 +74,7 @@ fn ops_match_blocking(world: usize) {
 
                     let mut gathered_blocking = Vec::new();
                     h.try_all_gather(&data, &mut gathered_blocking).unwrap();
-                    let gathered = comm.all_gather_async(&h, &data).wait().unwrap();
+                    let gathered = comm.all_gather_async(&g, &data).wait().unwrap();
                     assert_eq!(
                         bits(&gathered_blocking),
                         bits(&gathered),
@@ -79,13 +84,18 @@ fn ops_match_blocking(world: usize) {
 
                     let mut chunk_blocking = Vec::new();
                     h.try_reduce_scatter(&data, &mut chunk_blocking).unwrap();
-                    let chunk = comm.reduce_scatter_async(&h, &data).wait().unwrap();
+                    let chunk = comm.reduce_scatter_async(&g, &data).wait().unwrap();
                     assert_eq!(
                         bits(&chunk_blocking),
                         bits(&chunk),
                         "world {world} trial {trial} rank {}: reduce_scatter diverged",
                         h.rank()
                     );
+                    // recycle the pooled outputs so later trials run
+                    // allocation-free — the path the trainer uses
+                    comm.recycle(reduced);
+                    comm.recycle(gathered);
+                    comm.recycle(chunk);
                 }
                 comm.join();
             });
@@ -120,6 +130,7 @@ fn pipelined_batch_matches_blocking() {
             for h in handles {
                 s.spawn(move || {
                     let comm = CommThread::spawn();
+                    let g = comm.register(&h);
                     // blocking reference pass first (same order on every rank)
                     let mut expect: Vec<Vec<f32>> = Vec::new();
                     for trial in 0..TRIALS {
@@ -147,9 +158,9 @@ fn pipelined_batch_matches_blocking() {
                         .map(|trial| {
                             let data = trial_input(seed, trial, h.rank(), world);
                             match trial % 3 {
-                                0 => comm.all_reduce_async(&h, &data),
-                                1 => comm.all_gather_async(&h, &data),
-                                _ => comm.reduce_scatter_async(&h, &data),
+                                0 => comm.all_reduce_async(&g, &data),
+                                1 => comm.all_gather_async(&g, &data),
+                                _ => comm.reduce_scatter_async(&g, &data),
                             }
                         })
                         .collect();
@@ -162,6 +173,74 @@ fn pipelined_batch_matches_blocking() {
                             "world {world} trial {trial} rank {}: pipelined {op} diverged",
                             h.rank()
                         );
+                    }
+                    comm.join();
+                });
+            }
+        });
+    }
+}
+
+/// Level 1, batched variant: the whole mixed window goes through
+/// `submit_batch` — one release store publishes every job — and must be
+/// indistinguishable from the one-at-a-time blocking schedule.
+#[test]
+fn batched_submission_matches_blocking() {
+    let seed = seed_base();
+    for world in [2usize, 4, 8] {
+        let handles = Group::create(world);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let comm = CommThread::spawn();
+                    let g = comm.register(&h);
+                    let inputs: Vec<Vec<f32>> = (0..TRIALS)
+                        .map(|trial| trial_input(seed, trial, h.rank(), world))
+                        .collect();
+                    let mut expect: Vec<Vec<f32>> = Vec::new();
+                    for (trial, data) in inputs.iter().enumerate() {
+                        match trial % 3 {
+                            0 => {
+                                let mut buf = data.clone();
+                                h.try_all_reduce(&mut buf).unwrap();
+                                expect.push(buf);
+                            }
+                            1 => {
+                                let mut out = Vec::new();
+                                h.try_all_gather(data, &mut out).unwrap();
+                                expect.push(out);
+                            }
+                            _ => {
+                                let mut out = Vec::new();
+                                h.try_reduce_scatter(data, &mut out).unwrap();
+                                expect.push(out);
+                            }
+                        }
+                    }
+                    // submit in windows of 8 (a realistic prefetch depth),
+                    // waiting each window in issue order before the next
+                    for (w, window) in inputs.chunks(8).enumerate() {
+                        let ops: Vec<AsyncOp<'_>> = window
+                            .iter()
+                            .enumerate()
+                            .map(|(i, data)| match (w * 8 + i) % 3 {
+                                0 => AsyncOp::AllReduce(data),
+                                1 => AsyncOp::AllGather(data),
+                                _ => AsyncOp::ReduceScatter(data),
+                            })
+                            .collect();
+                        for (i, handle) in comm.submit_batch(&g, &ops).into_iter().enumerate() {
+                            let trial = w * 8 + i;
+                            let op = handle.op();
+                            let got = handle.wait().unwrap();
+                            assert_eq!(
+                                bits(&expect[trial]),
+                                bits(&got),
+                                "world {world} trial {trial} rank {}: batched {op} diverged",
+                                h.rank()
+                            );
+                            comm.recycle(got);
+                        }
                     }
                     comm.join();
                 });

@@ -13,8 +13,9 @@
 //!    bit, NaN placeholders included.
 //!
 //! Odd seeds run the comm/compute overlap engine (collectives on the
-//! per-rank comm thread, reduce-scatters double-buffered), even seeds the
-//! blocking engine. A corrupt reduce surfaces from `wait()` with the same
+//! per-rank comm thread, reduce-scatters double-buffered — since the
+//! lock-free rework this exercises the SPSC job ring and the recycled
+//! buffer pool), even seeds the blocking engine. A corrupt reduce surfaces from `wait()` with the same
 //! verdict on every rank while the pipeline stays in lockstep, so the
 //! guard's trip/rollback/skip accounting must be identical either way —
 //! the clean comparator runs with the *same* overlap setting.
