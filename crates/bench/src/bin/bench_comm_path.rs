@@ -6,7 +6,7 @@
 //!
 //! Usage: `bench_comm_path [iters]` (default 20000).
 
-use geofm_collectives::{CommThread, Group};
+use geofm_collectives::{CellPoolStats, CommThread, Group};
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let mode = std::env::args().nth(3).unwrap_or_else(|| "both".into());
     for len in [64usize, 1024, 8192] {
         let handles = Group::create(world);
-        let results: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let results: Vec<(u64, u64, CellPoolStats)> = std::thread::scope(|s| {
             let joins: Vec<_> = handles
                 .into_iter()
                 .map(|h| {
@@ -49,17 +49,26 @@ fn main() {
                             }
                             asynced = t0.elapsed().as_nanos() as u64 / iters as u64;
                         }
+                        let cells = comm.cell_stats();
                         comm.join();
-                        (blocking, asynced)
+                        (blocking, asynced, cells)
                     })
                 })
                 .collect();
             joins.into_iter().map(|j| j.join().unwrap()).collect()
         });
-        let (b, a) = results[0];
+        let (b, a, cells) = results[0];
+        // steady-state pool health: in the pooled path `allocs` must stay a
+        // tiny warmup constant while `reuses` tracks `takes` — a per-op
+        // alloc regression shows up here long before it moves the ns/op
+        let reuse_pct = if cells.takes == 0 { 0.0 } else { 100.0 * cells.reuses as f64 / cells.takes as f64 };
         println!(
-            "len {len:>5}: blocking {b:>7} ns/op  async-steal {a:>7} ns/op  delta {:>6} ns/op",
-            a as i64 - b as i64
+            "len {len:>5}: blocking {b:>7} ns/op  async-steal {a:>7} ns/op  delta {:>6} ns/op  \
+             cells: {} takes / {} reuses ({reuse_pct:.1}%) / {} allocs",
+            a as i64 - b as i64,
+            cells.takes,
+            cells.reuses,
+            cells.allocs
         );
     }
 }

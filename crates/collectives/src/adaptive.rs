@@ -94,6 +94,15 @@ impl AdaptiveTimeout {
         }
     }
 
+    /// Forget everything observed so far: EWMA back to zero, sample count
+    /// back into the warmup window. Called after an elastic recovery or
+    /// reshard — latencies measured in the old world (possibly inflated by
+    /// the dying rank) must not set the timeout bound for the new one.
+    pub fn reset(&self) {
+        self.samples.store(0, Ordering::Release);
+        self.ewma_ns.store(0f64.to_bits(), Ordering::Release);
+    }
+
     /// Observations recorded so far.
     pub fn samples(&self) -> u64 {
         self.samples.load(Ordering::Acquire)
@@ -165,6 +174,27 @@ mod tests {
         let after = t.ewma();
         assert!(before < Duration::from_millis(2), "{before:?}");
         assert!(after > Duration::from_millis(8), "EWMA must converge upward: {after:?}");
+    }
+
+    #[test]
+    fn reset_returns_to_warmup() {
+        let t = AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+            floor: Duration::from_millis(1),
+            multiplier: 10.0,
+            warmup: 2,
+        });
+        t.observe(Duration::from_millis(500));
+        t.observe(Duration::from_millis(500));
+        assert!(t.current().is_some(), "warmed up on stale world");
+        t.reset();
+        assert_eq!(t.current(), None, "back inside warmup after reset");
+        assert_eq!(t.samples(), 0);
+        assert_eq!(t.ewma(), Duration::ZERO);
+        // fresh observations rebuild the estimate from scratch
+        t.observe(Duration::from_millis(1));
+        t.observe(Duration::from_millis(1));
+        let bound = t.current().expect("re-warmed");
+        assert!(bound < Duration::from_millis(50), "stale 500 ms EWMA must be gone: {bound:?}");
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Fallible survivor-set consensus for elastic resharding.
+//!
+//! When a rank is lost permanently, the survivors must agree on *exactly*
+//! which ranks continue before any of them re-partitions state — two ranks
+//! resharding against different survivor sets would silently corrupt the
+//! model. This module is the agreement round the elastic trainer runs
+//! between draining the old world and building the new one.
+//!
+//! The protocol is two-phase over shared atomic slots (the same
+//! shared-memory substrate the rest of `geofm-collectives` uses):
+//!
+//! 1. **View phase.** Every survivor posts its local *view* — a bitmask of
+//!    the ranks it believes alive — then waits (bounded) for a view from
+//!    every rank in that view. Dead ranks never post, so a survivor whose
+//!    view still contains a dead rank times out instead of hanging.
+//! 2. **Decision phase.** Each survivor computes its candidate set as the
+//!    intersection of every view it collected, posts the candidate, and
+//!    waits for the decision of every candidate member. All collected
+//!    decisions must equal its own; any disagreement is an error, never a
+//!    silent minority reshard.
+//!
+//! The round is deliberately **fallible**: a timeout, an empty or
+//! self-excluding intersection, or a decision mismatch all surface as
+//! [`ConsensusError`]. The caller (the trainer's restart loop) treats any
+//! error as "no agreement — do not reshard", falling back to a structured
+//! failure rather than risking a split world. Agreement is only declared
+//! when every member of the agreed set has observably posted that same
+//! set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Slot flag: the low 63 bits carry the rank bitmask, bit 63 says "posted".
+const POSTED: u64 = 1 << 63;
+const MASK: u64 = POSTED - 1;
+
+/// Why a consensus round failed for one participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsensusError {
+    /// A rank this participant was waiting on never posted within the
+    /// timeout (dead, or partitioned from the round).
+    Timeout {
+        /// The participant that gave up.
+        rank: usize,
+        /// The lowest awaited rank that never posted.
+        waiting_on: usize,
+    },
+    /// The intersection of collected views came back empty.
+    EmptyIntersection {
+        /// The participant that observed it.
+        rank: usize,
+    },
+    /// The agreed candidate set does not contain this participant — the
+    /// rest of the world voted it out.
+    Excluded {
+        /// The excluded participant.
+        rank: usize,
+        /// The candidate set that excludes it.
+        candidate: u64,
+    },
+    /// Another candidate member posted a different decision: the views were
+    /// split and no coherent survivor set exists this round.
+    Mismatch {
+        /// The participant that observed the split.
+        rank: usize,
+        /// Its own candidate mask.
+        ours: u64,
+        /// The disagreeing peer's decision mask.
+        theirs: u64,
+        /// The disagreeing peer.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Timeout { rank, waiting_on } => {
+                write!(f, "rank {rank}: consensus timeout waiting on rank {waiting_on}")
+            }
+            Self::EmptyIntersection { rank } => {
+                write!(f, "rank {rank}: survivor views intersect to the empty set")
+            }
+            Self::Excluded { rank, candidate } => {
+                write!(f, "rank {rank}: excluded from agreed survivor set {candidate:#b}")
+            }
+            Self::Mismatch { rank, ours, theirs, peer } => write!(
+                f,
+                "rank {rank}: decision split — ours {ours:#b}, rank {peer} decided {theirs:#b}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConsensusError {}
+
+/// One shared consensus round. Build it once (per reshard attempt), hand a
+/// reference to every survivor thread, and have each call
+/// [`SurvivorConsensus::propose`] with its local view.
+#[derive(Debug)]
+pub struct SurvivorConsensus {
+    views: Vec<AtomicU64>,
+    decisions: Vec<AtomicU64>,
+    timeout: Duration,
+}
+
+impl SurvivorConsensus {
+    /// A round for a world of `world` ranks (≤ 63 — the mask is one u64).
+    /// `timeout` bounds each wait phase; a dead rank costs one timeout,
+    /// never a hang.
+    pub fn new(world: usize, timeout: Duration) -> Self {
+        assert!(world > 0 && world <= 63, "world must fit a 63-bit mask");
+        Self {
+            views: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            decisions: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            timeout,
+        }
+    }
+
+    /// The bitmask with bits `0..world` set — "everyone is alive".
+    pub fn full_mask(world: usize) -> u64 {
+        assert!(world <= 63);
+        (1u64 << world) - 1
+    }
+
+    /// Run the round as participant `rank` with local view `view` (bitmask
+    /// of ranks believed alive; must contain `rank` itself). On success
+    /// every `Ok` holds the identical agreed survivor mask.
+    pub fn propose(&self, rank: usize, view: u64) -> Result<u64, ConsensusError> {
+        assert!(rank < self.views.len(), "rank out of range");
+        assert!(view & (1 << rank) != 0, "a participant must believe itself alive");
+        assert_eq!(view & !MASK, 0, "view uses reserved bits");
+        self.views[rank].store(POSTED | view, Ordering::Release);
+
+        // Phase 1: collect a view from every rank we believe alive.
+        let collected = self.await_posted(rank, view, &self.views)?;
+        let mut candidate = MASK;
+        for &(_, v) in &collected {
+            candidate &= v;
+        }
+        candidate &= view;
+        if candidate == 0 {
+            return Err(ConsensusError::EmptyIntersection { rank });
+        }
+        if candidate & (1 << rank) == 0 {
+            return Err(ConsensusError::Excluded { rank, candidate });
+        }
+
+        // Phase 2: publish the candidate and verify every member of it
+        // decided the same set.
+        self.decisions[rank].store(POSTED | candidate, Ordering::Release);
+        let decided = self.await_posted(rank, candidate, &self.decisions)?;
+        for &(peer, d) in &decided {
+            if d != candidate {
+                return Err(ConsensusError::Mismatch { rank, ours: candidate, theirs: d, peer });
+            }
+        }
+        Ok(candidate)
+    }
+
+    /// Wait (bounded) until every rank in `mask` has posted into `slots`;
+    /// return the posted masks.
+    fn await_posted(
+        &self,
+        rank: usize,
+        mask: u64,
+        slots: &[AtomicU64],
+    ) -> Result<Vec<(usize, u64)>, ConsensusError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let mut missing = None;
+            let mut out = Vec::new();
+            for (r, slot) in slots.iter().enumerate() {
+                if mask & (1 << r) == 0 {
+                    continue;
+                }
+                let v = slot.load(Ordering::Acquire);
+                if v & POSTED == 0 {
+                    missing = Some(r);
+                    break;
+                }
+                out.push((r, v & MASK));
+            }
+            match missing {
+                None => return Ok(out),
+                Some(waiting_on) => {
+                    if Instant::now() >= deadline {
+                        return Err(ConsensusError::Timeout { rank, waiting_on });
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_round(
+        world: usize,
+        views: Vec<Option<u64>>, // None = dead rank, never votes
+        timeout: Duration,
+    ) -> Vec<Option<Result<u64, ConsensusError>>> {
+        let round = SurvivorConsensus::new(world, timeout);
+        let mut out: Vec<Option<Result<u64, ConsensusError>>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = views
+                .iter()
+                .enumerate()
+                .map(|(rank, view)| {
+                    let round = &round;
+                    let view = *view;
+                    s.spawn(move || view.map(|v| round.propose(rank, v)))
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                out[rank] = h.join().unwrap();
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn unanimous_world_agrees_on_itself() {
+        let full = SurvivorConsensus::full_mask(4);
+        let res = run_round(4, vec![Some(full); 4], Duration::from_secs(5));
+        for (rank, r) in res.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().as_ref().unwrap(), &full, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn survivors_agree_excluding_the_dead_rank() {
+        // rank 3 is dead: it never votes, and every survivor's view
+        // excludes it, so nobody waits on it and agreement is fast.
+        let survivors = 0b0111u64;
+        let res = run_round(4, vec![Some(survivors), Some(survivors), Some(survivors), None], {
+            Duration::from_secs(5)
+        });
+        for r in res.iter().take(3) {
+            assert_eq!(r.as_ref().unwrap().as_ref().unwrap(), &survivors);
+        }
+        assert!(res[3].is_none());
+    }
+
+    #[test]
+    fn stale_view_of_a_dead_rank_times_out_not_hangs() {
+        // rank 1 still believes dead rank 3 is alive → bounded timeout for
+        // rank 1 in the view phase; and since ranks 0/2's candidate
+        // includes rank 1 — who never reaches the decision phase — they
+        // time out there. Nobody agrees, nobody hangs: the caller retries
+        // the round once views have converged.
+        let t0 = Instant::now();
+        let res = run_round(
+            4,
+            vec![Some(0b0111), Some(0b1111), Some(0b0111), None],
+            Duration::from_millis(100),
+        );
+        assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
+        assert_eq!(
+            res[1].as_ref().unwrap().as_ref().unwrap_err(),
+            &ConsensusError::Timeout { rank: 1, waiting_on: 3 }
+        );
+        for rank in [0, 2] {
+            assert_eq!(
+                res[rank].as_ref().unwrap().as_ref().unwrap_err(),
+                &ConsensusError::Timeout { rank, waiting_on: 1 },
+                "rank {rank} must time out on rank 1's missing decision"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_evicts_a_suspect_who_still_votes() {
+        // ranks 0–2 exclude rank 3 from their views; rank 3 votes for a
+        // world that includes itself. The intersection evicts it: the
+        // majority agrees on {0,1,2}, rank 3 learns it is excluded.
+        let res = run_round(
+            4,
+            vec![Some(0b0111), Some(0b0111), Some(0b0111), Some(0b1111)],
+            Duration::from_secs(5),
+        );
+        for r in res.iter().take(3) {
+            assert_eq!(r.as_ref().unwrap().as_ref().unwrap(), &0b0111);
+        }
+        assert_eq!(
+            res[3].as_ref().unwrap().as_ref().unwrap_err(),
+            &ConsensusError::Excluded { rank: 3, candidate: 0b0111 }
+        );
+    }
+
+    #[test]
+    fn split_views_never_declare_minority_agreement() {
+        // Views are split such that candidates differ across participants:
+        // v0 = v2 = {0,1,2}, v1 = {0,1,2,3}, v3 = {0,1,3}. Ranks 0/2
+        // compute candidate {0,1,2}; ranks 1/3 compute {0,1}. No subset may
+        // quietly win: every outcome must be an error.
+        let res = run_round(
+            4,
+            vec![Some(0b0111), Some(0b1111), Some(0b0111), Some(0b1011)],
+            Duration::from_secs(5),
+        );
+        let mut errors = 0;
+        for (rank, r) in res.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            assert!(r.is_err(), "rank {rank} must not declare agreement, got {r:?}");
+            errors += 1;
+        }
+        assert_eq!(errors, 4);
+        // and at least one participant names the split explicitly
+        assert!(res.iter().any(|r| matches!(
+            r.as_ref().unwrap(),
+            Err(ConsensusError::Mismatch { .. })
+        )));
+    }
+
+    #[test]
+    fn empty_intersection_is_reported() {
+        // Two participants with disjoint-except-self views: each one's
+        // candidate intersection empties out (or excludes it).
+        let res = run_round(2, vec![Some(0b01), Some(0b11)], Duration::from_millis(100));
+        // rank 0's view is {0}: candidate {0}, agrees with itself alone.
+        assert_eq!(res[0].as_ref().unwrap().as_ref().unwrap(), &0b01);
+        // rank 1 waits on rank 0's view, intersects to {0}, excluding itself.
+        assert_eq!(
+            res[1].as_ref().unwrap().as_ref().unwrap_err(),
+            &ConsensusError::Excluded { rank: 1, candidate: 0b01 }
+        );
+    }
+}

@@ -73,6 +73,19 @@ impl RankGroups {
         self
     }
 
+    /// Like [`RankGroups::with_adaptive_timeout`], but attaching a tracker
+    /// the **caller** owns. The elastic trainer uses this to keep one
+    /// tracker per rank alive across restart attempts so it can
+    /// [`AdaptiveTimeout::reset`] them all after an elastic recovery or
+    /// reshard — latencies learned in the old world (inflated by a dying
+    /// peer) must not time out healthy collectives in the new one.
+    pub fn with_adaptive_tracker(mut self, tracker: Arc<AdaptiveTimeout>) -> Self {
+        self.world = self.world.with_adaptive(Arc::clone(&tracker));
+        self.shard = self.shard.with_adaptive(Arc::clone(&tracker));
+        self.replica = self.replica.with_adaptive(tracker);
+        self
+    }
+
     /// Emulate a degraded link for this rank across all three groups (see
     /// [`RankHandle::set_link_slowdown`]). `1.0` restores a healthy link.
     pub fn set_link_slowdown(&self, slowdown: f64) {

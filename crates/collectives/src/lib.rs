@@ -34,6 +34,7 @@
 
 pub mod adaptive;
 pub mod barrier;
+pub mod consensus;
 pub mod group;
 pub mod guard;
 pub mod hierarchy;
@@ -45,9 +46,12 @@ pub mod traffic;
 
 pub use adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 pub use barrier::{RankLost, SenseBarrier};
+pub use consensus::{ConsensusError, SurvivorConsensus};
 pub use group::{Algorithm, Group, RankHandle};
 pub use guard::{CollectiveError, CorruptPayload, SabotageCell};
 pub use hierarchy::{HierarchyLayout, ProcessGroups, RankGroups};
-pub use nonblocking::{AsyncOp, CollectiveHandle, CommGroup, CommThread, OwnedAsyncOp};
+pub use nonblocking::{
+    AsyncOp, CellPoolStats, CollectiveHandle, CommGroup, CommThread, OwnedAsyncOp,
+};
 pub use pool::{BufferPool, PoolStats};
 pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};

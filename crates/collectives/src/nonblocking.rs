@@ -67,6 +67,7 @@ use crate::pool::BufferPool;
 use crate::spsc::{self, Producer, PushError};
 use parking_lot::Mutex;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::{JoinHandle, Thread};
@@ -74,6 +75,17 @@ use std::thread::{JoinHandle, Thread};
 /// Ring capacity: deep enough that no realistic prefetch window ever
 /// blocks on a full ring (the engine keeps ≤ prefetch_depth jobs alive).
 const RING_CAPACITY: usize = 256;
+
+/// Upper bound on pooled job cells. The pool self-sizes to the maximum
+/// number of simultaneously outstanding cells (≤ ring capacity + live
+/// handles); the cap is a safety bound above that, not a working limit.
+const CELL_POOL_CAP: usize = RING_CAPACITY * 2;
+
+/// Once this many retired jobs sit undrained in the ring, submission nudges
+/// the lazily-parked worker awake so their `Arc`s come back to the cell
+/// pool — one unpark per ~64 ops in the steal-dominated regime, instead of
+/// letting retired cells pile up to a full ring.
+const RECLAIM_WAKE_BACKLOG: u64 = 64;
 
 /// One queued collective's operation, carrying its input buffer by value.
 ///
@@ -344,6 +356,20 @@ impl CommGroup {
     }
 }
 
+/// Producer-side job-cell pool counters: how many cells were requested,
+/// how many were served by resetting a retired cell in place, and how many
+/// had to be freshly allocated. In steady state `reuses` tracks `takes`
+/// and `allocs` stays flat — the per-op `Arc<JobCell>` allocation is gone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellPoolStats {
+    /// Job cells requested (one per submitted collective).
+    pub takes: u64,
+    /// Requests served by resetting a retired pooled cell.
+    pub reuses: u64,
+    /// Requests that allocated a fresh cell.
+    pub allocs: u64,
+}
+
 /// Ensures pending jobs cannot strand their waiters if the worker dies
 /// abnormally: on drop (normal exit *or* panic unwind) every job still in
 /// the ring is failed with `Lost(Poisoned)`.
@@ -373,7 +399,19 @@ pub struct CommThread {
     next_seq: std::cell::Cell<u64>,
     /// Highest completed sequence (shared with every job).
     completed: Arc<AtomicU64>,
+    /// Jobs the worker has popped *and released* — the producer's window
+    /// into how many ring-held `Arc`s have come back to the cell pool.
+    drained: Arc<AtomicU64>,
     pool: Arc<BufferPool>,
+    /// LRU pool of job cells: one `Arc` per cell lives here permanently
+    /// (up to [`CELL_POOL_CAP`]), ordered by last use. Because jobs retire
+    /// in FIFO order, the front is the least-recently-used cell and frees
+    /// first; a front cell that is uniquely owned again (handle dropped,
+    /// ring slot drained) is reset in place instead of allocating.
+    cells: RefCell<VecDeque<Arc<JobCell>>>,
+    cell_takes: std::cell::Cell<u64>,
+    cell_reuses: std::cell::Cell<u64>,
+    cell_allocs: std::cell::Cell<u64>,
 }
 
 impl std::fmt::Debug for CommThread {
@@ -397,6 +435,8 @@ impl CommThread {
     /// pools let the engine recycle across subsystems).
     pub fn spawn_with_pool(pool: Arc<BufferPool>) -> Self {
         let (tx, rx) = spsc::ring::<Arc<JobCell>>(RING_CAPACITY);
+        let drained = Arc::new(AtomicU64::new(0));
+        let drained_w = Arc::clone(&drained);
         let worker = std::thread::Builder::new()
             .name("geofm-comm".into())
             .spawn(move || {
@@ -408,6 +448,11 @@ impl CommThread {
                         // contract across the whole rank)
                         job.wait_done();
                     }
+                    // release the ring's Arc before advertising the drain,
+                    // so a producer that sees the new count can reuse the
+                    // cell immediately
+                    drop(job);
+                    drained_w.fetch_add(1, Ordering::Release);
                 }
             })
             .expect("cannot spawn comm thread");
@@ -418,7 +463,12 @@ impl CommThread {
             worker_thread,
             next_seq: std::cell::Cell::new(1),
             completed: Arc::new(AtomicU64::new(0)),
+            drained,
             pool,
+            cells: RefCell::new(VecDeque::new()),
+            cell_takes: std::cell::Cell::new(0),
+            cell_reuses: std::cell::Cell::new(0),
+            cell_allocs: std::cell::Cell::new(0),
         }
     }
 
@@ -443,7 +493,41 @@ impl CommThread {
     fn make_cell(&self, group: &CommGroup, op: Op) -> Arc<JobCell> {
         let seq = self.next_seq.get();
         self.next_seq.set(seq + 1);
-        Arc::new(JobCell {
+        self.cell_takes.set(self.cell_takes.get() + 1);
+        // In the steal-dominated regime the worker stays parked and
+        // retired cells pile up in the ring; nudge it awake once the
+        // backlog is deep enough that its Arcs are worth reclaiming.
+        if (seq - 1).saturating_sub(self.drained.load(Ordering::Acquire)) >= RECLAIM_WAKE_BACKLOG {
+            self.worker_thread.unpark();
+        }
+        let mut cells = self.cells.borrow_mut();
+        // The front is the least-recently-used cell (jobs retire in FIFO
+        // order), so it frees first. `Arc::get_mut` is both the uniqueness
+        // check and the synchronization with the releasing decrements of
+        // the handle's, ring's and worker's drops — a uniquely-owned cell
+        // is safe to reset with plain stores.
+        let front_free = cells.front_mut().is_some_and(|c| Arc::get_mut(c).is_some());
+        if front_free {
+            let mut cached = cells.pop_front().expect("front exists");
+            {
+                let cell = Arc::get_mut(&mut cached).expect("sole owner");
+                cell.seq = seq;
+                cell.handle = Arc::clone(&group.handle);
+                *cell.op.get_mut() = Some(op);
+                // recycle a result nobody consumed before the reset
+                if let Some(Ok(buf)) = cell.result.get_mut().take() {
+                    self.pool.put(buf);
+                }
+                cell.sleepers.get_mut().clear();
+                *cell.state.get_mut() = PENDING;
+            }
+            self.cell_reuses.set(self.cell_reuses.get() + 1);
+            let out = Arc::clone(&cached);
+            cells.push_back(cached);
+            return out;
+        }
+        self.cell_allocs.set(self.cell_allocs.get() + 1);
+        let cell = Arc::new(JobCell {
             seq,
             handle: Arc::clone(&group.handle),
             op: Mutex::new(Some(op)),
@@ -453,7 +537,50 @@ impl CommThread {
             completed: Arc::clone(&self.completed),
             worker: self.worker_thread.clone(),
             pool: Arc::clone(&self.pool),
-        })
+        });
+        if cells.len() < CELL_POOL_CAP {
+            cells.push_back(Arc::clone(&cell));
+        }
+        cell
+    }
+
+    /// Job-cell pool counters — the microbench's view of whether the
+    /// per-op `Arc<JobCell>` allocation has been pooled away.
+    pub fn cell_stats(&self) -> CellPoolStats {
+        CellPoolStats {
+            takes: self.cell_takes.get(),
+            reuses: self.cell_reuses.get(),
+            allocs: self.cell_allocs.get(),
+        }
+    }
+
+    /// Jobs submitted but not yet completed (successfully or with error).
+    pub fn in_flight(&self) -> u64 {
+        (self.next_seq.get() - 1).saturating_sub(self.completed.load(Ordering::Acquire))
+    }
+
+    /// Drain every in-flight nonblocking collective: block until all
+    /// submitted jobs have completed — successfully or with a structured
+    /// error. Results stay claimable through their handles afterwards.
+    ///
+    /// This is the per-rank half of the elastic drain protocol: before a
+    /// reshard, every surviving rank quiesces its comm thread so no
+    /// collective from the old world is still running when groups are
+    /// torn down. Termination is bounded by the collectives themselves
+    /// (timeout/poison turns a wedged peer into an error, never a hang).
+    pub fn quiesce(&self) {
+        let target = self.next_seq.get() - 1;
+        let mut spins = 0u32;
+        while self.completed.load(Ordering::Acquire) < target {
+            // the lazily-parked worker may be the only executor left
+            self.worker_thread.unpark();
+            spins = spins.wrapping_add(1);
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     fn submit(&self, group: &CommGroup, op: Op) -> CollectiveHandle {
@@ -786,6 +913,90 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn job_cells_are_pooled_in_steady_state() {
+        // the per-op Arc<JobCell> allocation must disappear once the pool
+        // is warm: after the ring has cycled once, every take is a reuse
+        let handles = Group::create(2);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let comm = CommThread::spawn();
+                    let g = comm.register(&h);
+                    // warm up past one full ring cycle so retired cells
+                    // have drained back to the pool at least once
+                    for _ in 0..300 {
+                        let out = comm.all_reduce_async(&g, &[1.0f32; 8]).wait().unwrap();
+                        comm.recycle(out);
+                    }
+                    let before = comm.cell_stats();
+                    for _ in 0..400 {
+                        let out = comm.all_reduce_async(&g, &[1.0f32; 8]).wait().unwrap();
+                        comm.recycle(out);
+                    }
+                    let after = comm.cell_stats();
+                    assert_eq!(after.takes - before.takes, 400);
+                    let new_allocs = after.allocs - before.allocs;
+                    assert!(
+                        new_allocs <= 50,
+                        "steady state must reuse job cells, allocated {new_allocs}/400"
+                    );
+                    assert!(after.reuses - before.reuses >= 350);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn quiesce_drains_all_inflight_jobs() {
+        // a burst of unawaited collectives, then quiesce: every job must
+        // be complete (in_flight == 0) and the results still claimable
+        let handles = Group::create(2);
+        std::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move || {
+                    let comm = CommThread::spawn();
+                    let g = comm.register(&h);
+                    let pending: Vec<CollectiveHandle> = (0..5)
+                        .map(|round| comm.all_reduce_async(&g, &[round as f32; 4]))
+                        .collect();
+                    comm.quiesce();
+                    assert_eq!(comm.in_flight(), 0);
+                    for (round, hd) in pending.into_iter().enumerate() {
+                        assert!(hd.is_done(), "round {round} not done after quiesce");
+                        let out = hd.wait().unwrap();
+                        assert!(out.iter().all(|&v| v == 2.0 * round as f32), "{out:?}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn quiesce_after_peer_loss_terminates_with_errors() {
+        // quiesce must never hang on a dead peer: the collectives time
+        // out, poison the group, and every job completes with Lost
+        let handles = Group::create(3);
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for h in handles.into_iter().take(2) {
+                s.spawn(move || {
+                    let h = h.with_timeout(Some(Duration::from_millis(100)));
+                    let comm = CommThread::spawn();
+                    let g = comm.register(&h);
+                    let pending: Vec<CollectiveHandle> =
+                        (0..4).map(|_| comm.all_reduce_async(&g, &[1.0f32; 8])).collect();
+                    comm.quiesce();
+                    assert_eq!(comm.in_flight(), 0);
+                    for hd in pending {
+                        assert!(matches!(hd.wait(), Err(CollectiveError::Lost(_))));
+                    }
+                });
+            }
+        });
+        assert!(start.elapsed() < Duration::from_secs(30), "quiesce must not hang");
     }
 
     #[test]

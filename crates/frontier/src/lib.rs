@@ -23,6 +23,8 @@
 //! * [`io`] — the Lustre/data-loader throughput model (Figure 1 `io` curve).
 //! * [`faults`] — MTBF/goodput modeling on top of `geofm-resilience`:
 //!   checkpoint-interval sweeps with the Young/Daly analytic optimum.
+//! * [`elastic`] — elastic shrink-and-continue vs wait-for-restart goodput
+//!   (the `figV` sweep pricing `geofm-fsdp`'s elastic resharding).
 //! * [`gray`] — gray-failure pricing: expected throughput when GCDs or
 //!   Slingshot links are persistently *degraded* rather than dead (the
 //!   `figS` sweep).
@@ -38,6 +40,7 @@
 //! [`machine::Calibration`] with documentation for each choice.
 
 pub mod analytic;
+pub mod elastic;
 pub mod engine;
 pub mod faults;
 pub mod gray;
@@ -50,6 +53,7 @@ pub mod schedule;
 pub mod sim;
 pub mod workload;
 
+pub use elastic::{ElasticModel, ElasticPoint};
 pub use faults::{interval_ladder, FaultModel, GoodputPoint, GoodputSweep};
 pub use gray::{GrayModel, GrayPoint};
 pub use guard::{GuardPoint, SdcGuardModel};

@@ -129,6 +129,23 @@ impl HealthMonitor {
         Some(active[(active.len() - 1) / 2])
     }
 
+    /// Forget every per-rank statistic: EWMAs, totals, step counts and
+    /// straggler flags all return to the fresh state. Called after an
+    /// elastic recovery or reshard — step times measured in the old world
+    /// (inflated by the dying rank, or by drain/reshard stalls) must not
+    /// flag healthy ranks in the new one (the stale-straggler bug).
+    pub fn reset(&self) {
+        for s in &self.ranks {
+            s.ewma_ns.store(0f64.to_bits(), Ordering::Release);
+            s.total_ns.store(0, Ordering::Release);
+            s.steps.store(0, Ordering::Release);
+            s.flagged.store(false, Ordering::Release);
+        }
+        if let Some(t) = &self.telemetry {
+            t.metrics.gauge("health.stragglers").set(0);
+        }
+    }
+
     /// Ranks currently flagged.
     pub fn flagged_count(&self) -> usize {
         self.ranks.iter().filter(|s| s.flagged.load(Ordering::Acquire)).count()
@@ -238,6 +255,25 @@ mod tests {
         feed(&m, 1, 100, 10);
         assert_eq!(t.metrics.counter("health.straggler_flags").get(), 1);
         assert_eq!(t.metrics.histogram("health.step.ns").count(), 20);
+    }
+
+    #[test]
+    fn reset_clears_stale_straggler_state() {
+        let m = HealthMonitor::new(3, 2.5);
+        feed(&m, 0, 10, 8);
+        feed(&m, 1, 10, 8);
+        feed(&m, 2, 50, 8);
+        assert_eq!(m.flagged_count(), 1, "pre-reshard straggler flagged");
+        m.reset();
+        assert_eq!(m.flagged_count(), 0);
+        assert!(m.report().is_none(), "old-world statistics must be gone");
+        // the formerly-flagged rank is healthy in the new world and must
+        // not be re-flagged off stale EWMAs
+        for r in 0..3 {
+            feed(&m, r, 10, 8);
+        }
+        assert_eq!(m.flagged_count(), 0);
+        assert!(m.report().is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 pub mod flat;
 pub mod health;
 pub mod rank;
+pub mod reshard;
 pub mod sentinel;
 pub mod strategy;
 pub mod trainer;
@@ -40,9 +41,11 @@ pub mod trainer;
 pub use flat::FlatLayout;
 pub use health::HealthMonitor;
 pub use rank::{FsdpRank, StepError, StepReport};
+pub use reshard::{global_to_shard, reshard, shards_to_global};
 pub use sentinel::{Sentinel, SentinelConfig, SentinelTrip};
 pub use strategy::{FsdpConfig, OverlapConfig, PrefetchPolicy, ShardingStrategy};
 pub use trainer::{
-    run_data_parallel, run_data_parallel_with_telemetry, try_run_data_parallel, DistReport,
-    GuardConfig, ResilienceConfig,
+    run_data_parallel, run_data_parallel_with_telemetry, try_run_data_parallel, try_run_elastic,
+    DistReport, ElasticConfig, GuardConfig, ReshardEvent, ReshardKind, ReshardReport,
+    ResilienceConfig,
 };

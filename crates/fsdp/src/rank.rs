@@ -260,6 +260,26 @@ impl<M: Module> FsdpRank<M> {
         self.comm.as_ref().map(|c| c.pool().stats())
     }
 
+    /// Drain the comm thread: block until every in-flight nonblocking
+    /// collective this rank issued has terminated (completed or failed).
+    /// The first half of the elastic drain protocol — no reshard may move
+    /// state while an async gather could still write into it. A no-op on
+    /// the blocking engine. Records the drain wait as `reshard.drain.ns`.
+    pub fn quiesce_comm(&self) {
+        let Some(comm) = &self.comm else { return };
+        let t0 = std::time::Instant::now();
+        comm.quiesce();
+        if let Some(t) = &self.telemetry {
+            t.metrics.histogram("reshard.drain.ns").record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Job-cell pool counters of the comm thread (`None` on the blocking
+    /// engine) — see [`geofm_collectives::CellPoolStats`].
+    pub fn comm_cell_stats(&self) -> Option<geofm_collectives::CellPoolStats> {
+        self.comm.as_ref().map(|c| c.cell_stats())
+    }
+
     fn owned_range(&self, u: usize) -> std::ops::Range<usize> {
         let s = self.shard_offsets[u];
         s..s + self.layout.shard_len(u)

@@ -60,6 +60,28 @@ impl ShardingStrategy {
     pub fn ddp_default() -> Self {
         Self::Ddp { bucket_bytes: 25 * 1024 * 1024 }
     }
+
+    /// The strategy an elastic reshard continues with at `new_world` ranks.
+    ///
+    /// Everything except `HYBRID_SHARD(k)` is world-size-agnostic
+    /// (`shard_group_size` already follows the world), but a hybrid shard
+    /// group must divide the world evenly for the replica groups to form —
+    /// so `Hybrid { shard_size: k }` remaps to the **largest divisor of
+    /// `new_world` that is ≤ k**: the closest group size that preserves the
+    /// intra-group sharding / cross-group replication split without ever
+    /// *growing* a group past what the original memory budget allowed.
+    pub fn remap_for_world(&self, new_world: usize) -> Self {
+        assert!(new_world > 0, "cannot remap to an empty world");
+        match self {
+            Self::Hybrid { shard_size } => {
+                let k = (*shard_size).min(new_world);
+                let remapped =
+                    (1..=k).rev().find(|s| new_world.is_multiple_of(*s)).expect("1 divides everything");
+                Self::Hybrid { shard_size: remapped }
+            }
+            other => *other,
+        }
+    }
 }
 
 /// Backward-prefetch policy (§IV-B). In the real threaded engine this only
@@ -188,6 +210,44 @@ mod tests {
         assert_eq!(ShardingStrategy::FullShard.shard_group_size(w), 16);
         assert_eq!(ShardingStrategy::ShardGradOp.shard_group_size(w), 16);
         assert_eq!(ShardingStrategy::Hybrid { shard_size: 4 }.shard_group_size(w), 4);
+    }
+
+    #[test]
+    fn remap_keeps_world_agnostic_strategies() {
+        for s in [
+            ShardingStrategy::NoShard,
+            ShardingStrategy::ddp_default(),
+            ShardingStrategy::FullShard,
+            ShardingStrategy::ShardGradOp,
+        ] {
+            assert_eq!(s.remap_for_world(3), s);
+            assert_eq!(s.remap_for_world(7), s);
+        }
+    }
+
+    #[test]
+    fn remap_hybrid_to_largest_divisor_not_above_k() {
+        let h = |k| ShardingStrategy::Hybrid { shard_size: k };
+        // 4 ranks → 3: group of 2 no longer divides, drop to 1
+        assert_eq!(h(2).remap_for_world(3), h(1));
+        // 8 → 6 with k=4: largest divisor of 6 that is ≤ 4 is 3
+        assert_eq!(h(4).remap_for_world(6), h(3));
+        // shrink within divisibility keeps the group
+        assert_eq!(h(2).remap_for_world(6), h(2));
+        // group never grows past the original k
+        assert_eq!(h(2).remap_for_world(8), h(2));
+        // k larger than the new world clamps then divides
+        assert_eq!(h(8).remap_for_world(6), h(6));
+        // the remapped group always divides the world
+        for k in 1..=8 {
+            for w in 1..=8 {
+                let ShardingStrategy::Hybrid { shard_size } = h(k).remap_for_world(w) else {
+                    panic!("hybrid must stay hybrid");
+                };
+                assert_eq!(w % shard_size, 0, "k={k} w={w} → {shard_size}");
+                assert!(shard_size <= k.min(w).max(1));
+            }
+        }
     }
 
     #[test]

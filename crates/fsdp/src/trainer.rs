@@ -15,25 +15,36 @@
 //!   **bit-identically** — the final parameters equal those of a run that
 //!   never failed.
 
+use crate::flat::FlatLayout;
 use crate::health::HealthMonitor;
 use crate::rank::{FsdpRank, StepError};
+use crate::reshard::{global_to_shard, shards_to_global};
 use crate::sentinel::{Sentinel, SentinelConfig};
-use crate::strategy::FsdpConfig;
+use crate::strategy::{FsdpConfig, ShardingStrategy};
 use geofm_collectives::{
-    AdaptiveTimeoutConfig, CorruptPayload, HierarchyLayout, ProcessGroups, TrafficCounter,
-    TrafficSnapshot,
+    AdaptiveTimeout, AdaptiveTimeoutConfig, ConsensusError, CorruptPayload, HierarchyLayout,
+    ProcessGroups, SurvivorConsensus, TrafficCounter, TrafficSnapshot,
 };
 use geofm_nn::{AdamWState, Module};
 use geofm_resilience::{
-    DegradedReport, FailureReport, FaultPlan, GuardReport, RankFailure, RankSlot, StepCheckpoint,
+    DegradedReport, ElasticCheckpoint, FailureReport, FaultPlan, GuardReport, RankFailure,
+    RankSlot, ReshardSummary, StepCheckpoint,
 };
 use geofm_telemetry::Telemetry;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Failure cause recorded by a rank that departs permanently
+/// ([`geofm_resilience::FaultKind::RankLeave`]) — the elastic restart loop
+/// keys its shrink decision off this exact string.
+const CAUSE_LEAVE: &str = "rank left permanently";
+/// Failure cause recorded by the rank that observes a spare arriving
+/// ([`geofm_resilience::FaultKind::SpareRejoin`]) — keys the grow decision.
+const CAUSE_REJOIN: &str = "spare rank rejoined";
 
 /// The outcome of a distributed run.
 #[derive(Debug, Clone)]
@@ -55,6 +66,89 @@ pub struct DistReport {
     /// Integrity-guard summary: `Some` whenever the guard was enabled
     /// (zero trips included — a clean guarded run is worth knowing).
     pub guard: Option<GuardReport>,
+    /// Elastic world transitions the run performed (empty without
+    /// [`ResilienceConfig::elastic`] or without rank-leave/rejoin faults).
+    pub reshard: ReshardReport,
+}
+
+/// Which way an elastic world transition went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshardKind {
+    /// Survivors re-partitioned onto a smaller world after permanent loss.
+    Shrink,
+    /// A spare rejoined and shards redistributed back onto a larger world.
+    Grow,
+}
+
+/// One elastic world transition, with the full payload the new world
+/// resumed from — enough to independently launch a reference run at the
+/// new size from the identical state (the bit-identity acceptance check).
+#[derive(Debug, Clone)]
+pub struct ReshardEvent {
+    /// Shrink or grow.
+    pub kind: ReshardKind,
+    /// Step the new world resumed from (0 = resharded from scratch).
+    pub step: u64,
+    /// World size before the transition.
+    pub from_world: usize,
+    /// World size after the transition.
+    pub to_world: usize,
+    /// Ranks (old-world ids) that departed; empty on grow.
+    pub departed: Vec<usize>,
+    /// Strategy in force after the transition (`HYBRID(k)` remapped via
+    /// [`ShardingStrategy::remap_for_world`]; everything else unchanged).
+    pub strategy: ShardingStrategy,
+    /// The world-size-independent state the new world resumed from. An
+    /// **empty** checkpoint (no units) means no snapshot existed yet and
+    /// the new world restarted from scratch.
+    pub ckpt: ElasticCheckpoint,
+}
+
+/// All elastic transitions of one run, in order.
+#[derive(Debug, Clone, Default)]
+pub struct ReshardReport {
+    /// The transitions, oldest first.
+    pub events: Vec<ReshardEvent>,
+}
+
+impl ReshardReport {
+    /// Number of shrink transitions.
+    pub fn shrinks(&self) -> usize {
+        self.events.iter().filter(|e| e.kind == ReshardKind::Shrink).count()
+    }
+
+    /// Number of grow transitions.
+    pub fn grows(&self) -> usize {
+        self.events.iter().filter(|e| e.kind == ReshardKind::Grow).count()
+    }
+}
+
+/// Elastic-resharding policy: what [`try_run_elastic`] does when a rank
+/// departs permanently or a spare rejoins.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Never shrink below this many ranks; a departure that would is a
+    /// hard failure (the structured report names the limit).
+    pub min_world: usize,
+    /// Where the world-size-independent GEOFMCK3 checkpoint lives. When
+    /// set, every checkpoint cadence also writes the elastic image
+    /// (crash-safely) and a cold start resumes from it at **any** world
+    /// size. `None` keeps the elastic image in memory only — shrink/grow
+    /// still reshard live from the last in-memory snapshot.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Bound on each phase of the survivor-consensus round run between
+    /// drain and reshard (see [`SurvivorConsensus`]).
+    pub consensus_timeout: Duration,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        Self {
+            min_world: 1,
+            checkpoint_path: None,
+            consensus_timeout: Duration::from_secs(10),
+        }
+    }
 }
 
 /// Policy for the silent-data-corruption / loss-spike guard in
@@ -130,6 +224,11 @@ pub struct ResilienceConfig {
     /// [`GuardConfig`]). `None` runs unguarded — injected corruption
     /// propagates silently, exactly like un-checksummed hardware.
     pub guard: Option<GuardConfig>,
+    /// Elastic resharding: `Some` lets the harness shrink the world and
+    /// continue after a permanent rank departure (and re-grow on a spare
+    /// rejoin) instead of burning restarts at a world size that can no
+    /// longer assemble. `None` treats departures like ordinary crashes.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl ResilienceConfig {
@@ -146,6 +245,28 @@ impl ResilienceConfig {
             adaptive_timeout: None,
             straggler_threshold: 2.5,
             guard: None,
+            elastic: None,
+        }
+    }
+}
+
+/// Where an attempt's initial state comes from.
+enum ResumeSource {
+    /// No prior state: start at step 0 from the seeded model.
+    Fresh,
+    /// The legacy world-size-locked step checkpoint (GEOFMSC1).
+    Legacy(StepCheckpoint),
+    /// A world-size-independent elastic checkpoint (GEOFMCK3): shards are
+    /// re-derived from the global image under the attempt's own layout.
+    Elastic(ElasticCheckpoint),
+}
+
+impl ResumeSource {
+    fn start_step(&self) -> usize {
+        match self {
+            Self::Fresh => 0,
+            Self::Legacy(ck) => ck.step as usize,
+            Self::Elastic(ck) => ck.step as usize,
         }
     }
 }
@@ -259,36 +380,151 @@ where
     FC: Fn(&mut M, usize, usize) -> f32 + Sync,
     FL: Fn(usize) -> f32 + Sync,
 {
+    try_run_elastic(
+        config,
+        world,
+        weight_decay,
+        steps,
+        make_model,
+        move |m: &mut M, rank: usize, _world: usize, step: usize| compute(m, rank, step),
+        lr_at,
+        telemetry,
+        resilience,
+    )
+}
+
+/// The elastic harness: [`try_run_data_parallel`] generalised to a compute
+/// closure that receives the **current** world size — `compute(model, rank,
+/// world, step)` — so microbatch partitioning can follow the world as it
+/// shrinks and grows.
+///
+/// With [`ResilienceConfig::elastic`] set, a permanent rank departure
+/// ([`geofm_resilience::FaultKind::RankLeave`]) triggers the shrink
+/// protocol instead of a same-size restart:
+///
+/// 1. **Drain.** The departing rank quiesces its in-flight nonblocking
+///    collectives; poisoned groups unblock every survivor within one
+///    timeout, and joining the attempt scope drains their comm threads.
+/// 2. **Consensus.** Survivors run a fallible [`SurvivorConsensus`] round
+///    and must unanimously agree on the survivor set; any timeout or split
+///    aborts the reshard with a structured failure (never a minority
+///    world).
+/// 3. **Reshard.** The world restarts at `world - departed` ranks — the
+///    strategy remapped via [`ShardingStrategy::remap_for_world`] — and
+///    every rank re-derives its shards from the last world-size-independent
+///    snapshot (in-memory, or the GEOFMCK3 file when
+///    [`ElasticConfig::checkpoint_path`] is set). Training continues
+///    **bit-identically** to a fresh run launched at the smaller world from
+///    that same state.
+///
+/// A [`geofm_resilience::FaultKind::SpareRejoin`] reverses the process:
+/// the world re-grows by one rank (never past the original size) and
+/// shards redistribute back. Every transition is recorded as a
+/// [`ReshardEvent`] on [`DistReport::reshard`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_elastic<M, FM, FC, FL>(
+    config: FsdpConfig,
+    world: usize,
+    weight_decay: f32,
+    steps: usize,
+    make_model: FM,
+    compute: FC,
+    lr_at: FL,
+    telemetry: Option<Arc<Telemetry>>,
+    resilience: ResilienceConfig,
+) -> Result<DistReport, FailureReport>
+where
+    M: Module + Send,
+    FM: Fn(usize) -> (M, Vec<usize>) + Sync,
+    FC: Fn(&mut M, usize, usize, usize) -> f32 + Sync,
+    FL: Fn(usize) -> f32 + Sync,
+{
     let mut failure = FailureReport {
         restarts_used: 0,
         resumed_from_step: None,
         failures: Vec::new(),
         degraded: None,
         guard: None,
+        reshards: Vec::new(),
     };
     // per-attempt deposit slot for the guard report (every rank computes an
     // identical report; rank 0 — or the rank that exhausts the rollback
     // budget — deposits it)
     let guard_slot: Mutex<Option<GuardReport>> = Mutex::new(None);
+
+    // one monitor and one adaptive tracker per rank for the WHOLE run,
+    // reset at every attempt boundary: statistics learned in the old world
+    // (inflated by a dying or degraded peer) must never flag healthy ranks
+    // or time out healthy collectives in the new one.
+    let health = HealthMonitor::new(world, resilience.straggler_threshold)
+        .with_telemetry(telemetry.clone());
+    let trackers: Option<Vec<Arc<AdaptiveTimeout>>> = resilience.adaptive_timeout.map(|cfg| {
+        (0..world)
+            .map(|_| {
+                let mut t = AdaptiveTimeout::new(cfg);
+                if let Some(tel) = telemetry.as_deref() {
+                    t = t.with_metrics(tel.metrics.clone());
+                }
+                Arc::new(t)
+            })
+            .collect()
+    });
+
+    // the latest world-size-independent snapshot; a cold start picks up the
+    // durable GEOFMCK3 image if the elastic config points at one
+    let elastic_snapshot: Mutex<Option<ElasticCheckpoint>> = Mutex::new(
+        resilience
+            .elastic
+            .as_ref()
+            .and_then(|e| e.checkpoint_path.as_deref())
+            .and_then(|p| ElasticCheckpoint::load(p).ok())
+            .filter(|ck| (ck.step as usize) <= steps),
+    );
+
+    let mut cur_world = world;
+    let mut cur_config = config;
+    let mut reshard_events: Vec<ReshardEvent> = Vec::new();
+
     loop {
         *lock(&guard_slot) = None;
-        // fresh monitor per attempt: a restarted world re-learns who is slow
-        let health = HealthMonitor::new(world, resilience.straggler_threshold)
-            .with_telemetry(telemetry.clone());
-        // resume from the last durable checkpoint, if one exists and matches
-        let resume = resilience
-            .checkpoint_path
-            .as_deref()
-            .and_then(StepCheckpoint::load)
-            .filter(|ck| ck.ranks.len() == world && (ck.step as usize) <= steps);
+        health.reset();
+        if let Some(trs) = &trackers {
+            for t in trs {
+                t.reset();
+            }
+        }
+        // resume priority: elastic snapshot (world-independent, usable at
+        // any size) > legacy step checkpoint (must match the world) > fresh
+        let resume = match lock(&elastic_snapshot).clone() {
+            Some(ck) if resilience.elastic.is_some() => ResumeSource::Elastic(ck),
+            _ => match resilience
+                .checkpoint_path
+                .as_deref()
+                .and_then(StepCheckpoint::load)
+                .filter(|ck| ck.ranks.len() == cur_world && (ck.step as usize) <= steps)
+            {
+                Some(ck) => ResumeSource::Legacy(ck),
+                None => ResumeSource::Fresh,
+            },
+        };
         if failure.restarts_used > 0 {
-            failure.resumed_from_step = Some(resume.as_ref().map(|ck| ck.step).unwrap_or(0));
+            failure.resumed_from_step = Some(resume.start_step() as u64);
+        }
+        if let (Some(t), Some(_)) = (telemetry.as_deref(), resilience.elastic.as_ref()) {
+            t.metrics.gauge("reshard.world").set(cur_world as i64);
         }
         let recovery_span = (failure.restarts_used > 0)
-            .then(|| telemetry.as_deref().map(|t| t.phase("fault.recovery", world as u64)));
+            .then(|| telemetry.as_deref().map(|t| t.phase("fault.recovery", cur_world as u64)));
+        let elastic = ElasticRuntime {
+            on: resilience.elastic.is_some(),
+            can_grow: cur_world < world,
+            snapshot: &elastic_snapshot,
+            disk: resilience.elastic.as_ref().and_then(|e| e.checkpoint_path.as_deref()),
+            trackers: trackers.as_deref(),
+        };
         let outcome = run_attempt(
-            config,
-            world,
+            cur_config,
+            cur_world,
             weight_decay,
             steps,
             &make_model,
@@ -299,6 +535,7 @@ where
             resume,
             &health,
             &guard_slot,
+            &elastic,
         );
         drop(recovery_span);
         match outcome {
@@ -306,9 +543,18 @@ where
                 report.restarts = failure.restarts_used;
                 report.degraded = health.report();
                 report.guard = lock(&guard_slot).take();
+                report.reshard = ReshardReport { events: std::mem::take(&mut reshard_events) };
                 return Ok(report);
             }
             Err(mut fails) => {
+                let mut departed: Vec<usize> = fails
+                    .iter()
+                    .filter(|f| f.cause == CAUSE_LEAVE)
+                    .map(|f| f.rank)
+                    .collect();
+                departed.sort_unstable();
+                departed.dedup();
+                let rejoined = fails.iter().any(|f| f.cause == CAUSE_REJOIN);
                 failure.failures.append(&mut fails);
                 if let Some(gr) = lock(&guard_slot).take() {
                     failure.guard = Some(Box::new(gr));
@@ -321,9 +567,149 @@ where
                 if let Some(t) = telemetry.as_deref() {
                     t.metrics.counter("fault.restarts").inc(1);
                 }
+
+                let Some(ecfg) = resilience.elastic.as_ref() else { continue };
+                if !departed.is_empty() {
+                    // ---- shrink: drain happened on the way down (the scope
+                    // join drained every comm thread); agree, then reshard ----
+                    let target = cur_world - departed.len();
+                    if target < ecfg.min_world.max(1) {
+                        failure.degraded = health.report();
+                        failure.failures.push(RankFailure {
+                            rank: departed[0],
+                            step: resume_step_of(&elastic_snapshot),
+                            cause: format!(
+                                "cannot shrink to {target} ranks: below min_world {}",
+                                ecfg.min_world.max(1)
+                            ),
+                        });
+                        return Err(failure);
+                    }
+                    if let Err(e) = survivor_consensus(
+                        cur_world,
+                        &departed,
+                        ecfg.consensus_timeout,
+                        telemetry.as_deref(),
+                    ) {
+                        failure.degraded = health.report();
+                        failure.failures.push(RankFailure {
+                            rank: 0,
+                            step: resume_step_of(&elastic_snapshot),
+                            cause: format!("survivor consensus failed: {e}"),
+                        });
+                        return Err(failure);
+                    }
+                    let from_world = cur_world;
+                    cur_world = target;
+                    cur_config.strategy = config.strategy.remap_for_world(cur_world);
+                    let ckpt = lock(&elastic_snapshot).clone().unwrap_or_default();
+                    failure.reshards.push(ReshardSummary {
+                        step: ckpt.step,
+                        from_world,
+                        to_world: cur_world,
+                    });
+                    if let Some(t) = telemetry.as_deref() {
+                        t.metrics.counter("reshard.shrinks").inc(1);
+                    }
+                    reshard_events.push(ReshardEvent {
+                        kind: ReshardKind::Shrink,
+                        step: ckpt.step,
+                        from_world,
+                        to_world: cur_world,
+                        departed,
+                        strategy: cur_config.strategy,
+                        ckpt,
+                    });
+                } else if rejoined && cur_world < world {
+                    // ---- grow: the spare takes the next rank slot and
+                    // shards redistribute back over the larger world ----
+                    let from_world = cur_world;
+                    cur_world += 1;
+                    cur_config.strategy = config.strategy.remap_for_world(cur_world);
+                    let ckpt = lock(&elastic_snapshot).clone().unwrap_or_default();
+                    failure.reshards.push(ReshardSummary {
+                        step: ckpt.step,
+                        from_world,
+                        to_world: cur_world,
+                    });
+                    if let Some(t) = telemetry.as_deref() {
+                        t.metrics.counter("reshard.grows").inc(1);
+                    }
+                    reshard_events.push(ReshardEvent {
+                        kind: ReshardKind::Grow,
+                        step: ckpt.step,
+                        from_world,
+                        to_world: cur_world,
+                        departed: Vec::new(),
+                        strategy: cur_config.strategy,
+                        ckpt,
+                    });
+                }
             }
         }
     }
+}
+
+/// Step the next attempt will resume from, for failure bookkeeping.
+fn resume_step_of(snapshot: &Mutex<Option<ElasticCheckpoint>>) -> usize {
+    lock(snapshot).as_ref().map(|ck| ck.step as usize).unwrap_or(0)
+}
+
+/// Run the survivor-agreement round of the shrink protocol: every survivor
+/// proposes the same observed view (the old world minus the departed) and
+/// the round must return that exact set, unanimously. Any timeout, split
+/// or exclusion aborts the reshard.
+fn survivor_consensus(
+    world: usize,
+    departed: &[usize],
+    timeout: Duration,
+    telemetry: Option<&Telemetry>,
+) -> Result<u64, ConsensusError> {
+    let mut view = SurvivorConsensus::full_mask(world);
+    for &d in departed {
+        view &= !(1u64 << d);
+    }
+    let round = SurvivorConsensus::new(world, timeout);
+    let t0 = Instant::now();
+    let results: Vec<Result<u64, ConsensusError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..world)
+            .filter(|r| !departed.contains(r))
+            .map(|r| {
+                let round = &round;
+                s.spawn(move || round.propose(r, view))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(Err(ConsensusError::Timeout { rank: world, waiting_on: world }))
+            })
+            .collect()
+    });
+    if let Some(t) = telemetry {
+        t.metrics.counter("reshard.consensus.rounds").inc(1);
+        t.metrics.histogram("reshard.consensus.ns").record(t0.elapsed().as_nanos() as u64);
+    }
+    for r in results {
+        let agreed = r?;
+        debug_assert_eq!(agreed, view, "unanimous proposals can only agree on the view");
+    }
+    Ok(view)
+}
+
+/// Elastic context one attempt runs under.
+struct ElasticRuntime<'a> {
+    /// Elastic resharding enabled.
+    on: bool,
+    /// A spare may rejoin (the world is below its original size).
+    can_grow: bool,
+    /// Latest in-memory world-size-independent snapshot.
+    snapshot: &'a Mutex<Option<ElasticCheckpoint>>,
+    /// Durable GEOFMCK3 location, if configured.
+    disk: Option<&'a Path>,
+    /// Per-rank adaptive-timeout trackers shared across attempts (reset by
+    /// the restart loop), indexed by global rank.
+    trackers: Option<&'a [Arc<AdaptiveTimeout>]>,
 }
 
 /// One attempt: fresh process groups, all ranks run `start_step..steps`.
@@ -340,14 +726,15 @@ fn run_attempt<M, FM, FC, FL>(
     lr_at: &FL,
     telemetry: Option<&Arc<Telemetry>>,
     resilience: &ResilienceConfig,
-    resume: Option<StepCheckpoint>,
+    resume: ResumeSource,
     health: &HealthMonitor,
     guard_slot: &Mutex<Option<GuardReport>>,
+    elastic: &ElasticRuntime<'_>,
 ) -> Result<DistReport, Vec<RankFailure>>
 where
     M: Module + Send,
     FM: Fn(usize) -> (M, Vec<usize>) + Sync,
-    FC: Fn(&mut M, usize, usize) -> f32 + Sync,
+    FC: Fn(&mut M, usize, usize, usize) -> f32 + Sync,
     FL: Fn(usize) -> f32 + Sync,
 {
     let shard_size = config.strategy.shard_group_size(world);
@@ -366,7 +753,14 @@ where
         tel.metrics.gauge("overlap.enabled").set(i64::from(config.overlap.enabled));
         tel.metrics.gauge("overlap.prefetch.depth").set(config.overlap.prefetch_depth as i64);
     }
-    let start_step = resume.as_ref().map(|ck| ck.step as usize).unwrap_or(0);
+    let start_step = resume.start_step();
+    // an elastic resume re-derives shards from the global image, so the
+    // per-rank loss series covers only `start_step..steps`; the world-mean
+    // prefix for the earlier steps comes from the checkpoint itself
+    let loss_prefix: Vec<f32> = match &resume {
+        ResumeSource::Elastic(ck) => ck.mean_losses.clone(),
+        _ => Vec::new(),
+    };
 
     let params_out: Mutex<Option<Vec<f32>>> = Mutex::new(None);
     let losses: Vec<Mutex<Vec<f32>>> = (0..world).map(|_| Mutex::new(Vec::new())).collect();
@@ -378,6 +772,7 @@ where
         let mut handles = Vec::with_capacity(world);
         for g in groups {
             let resume = &resume;
+            let loss_prefix = &loss_prefix;
             let params_out = &params_out;
             let losses = &losses;
             let slots = &slots;
@@ -386,8 +781,10 @@ where
             let handle = s.spawn(move || -> Result<(), RankFailure> {
                 let rank = g.rank;
                 let mut g = g.with_timeout(resilience.collective_timeout);
-                if let Some(cfg) = resilience.adaptive_timeout {
-                    g = g.with_adaptive_timeout(cfg, telemetry.as_deref().map(|t| t.metrics.clone()));
+                if let Some(trackers) = elastic.trackers {
+                    // run-lifetime trackers, reset by the restart loop after
+                    // every recovery/reshard (the stale-straggler defense)
+                    g = g.with_adaptive_tracker(Arc::clone(&trackers[rank]));
                 }
                 if resilience.guard.is_some() {
                     g = g.with_checksums(true);
@@ -410,17 +807,38 @@ where
                         fr = fr.with_telemetry(Arc::clone(tel));
                     }
                     let mut local_losses: Vec<f32> = Vec::with_capacity(steps);
-                    if let Some(ck) = resume.as_ref() {
-                        let slot = &ck.ranks[rank];
-                        fr.restore_state(
-                            &slot.params,
-                            AdamWState {
-                                m: slot.adam_m.clone(),
-                                v: slot.adam_v.clone(),
-                                t: slot.adam_t,
-                            },
-                        );
-                        local_losses.extend_from_slice(&slot.losses);
+                    match resume {
+                        ResumeSource::Fresh => {}
+                        ResumeSource::Legacy(ck) => {
+                            let slot = &ck.ranks[rank];
+                            fr.restore_state(
+                                &slot.params,
+                                AdamWState {
+                                    m: slot.adam_m.clone(),
+                                    v: slot.adam_v.clone(),
+                                    t: slot.adam_t,
+                                },
+                            );
+                            local_losses.extend_from_slice(&slot.losses);
+                        }
+                        ResumeSource::Elastic(ck) => {
+                            // world-size-independent resume: carve this
+                            // rank's shards out of the global image under
+                            // the attempt's own layout
+                            if let Err(e) = ck.validate_units(&units) {
+                                fr.poison_groups();
+                                return Err(fail(
+                                    start_step,
+                                    format!("elastic checkpoint rejected: {e}"),
+                                ));
+                            }
+                            let layout = FlatLayout::new(&units, shard_size);
+                            let sr = fr.shard_rank();
+                            let params = global_to_shard(&layout, &ck.params, sr);
+                            let m = global_to_shard(&layout, &ck.adam_m, sr);
+                            let v = global_to_shard(&layout, &ck.adam_v, sr);
+                            fr.restore_state(&params, AdamWState { m, v, t: ck.adam_t });
+                        }
                     }
 
                     // ---- integrity-guard state (all deterministic and
@@ -484,6 +902,25 @@ where
                             fr.poison_groups();
                             return Err(fail(step, "rank hung in collective".into()));
                         }
+                        if plan.take_leave(rank, step) {
+                            // permanent departure: poison first so every
+                            // in-flight collective terminates fast, then
+                            // drain this rank's comm thread (the elastic
+                            // drain protocol) before the thread exits
+                            count("fault.rank_leave");
+                            fr.poison_groups();
+                            fr.quiesce_comm();
+                            return Err(fail(step, CAUSE_LEAVE.into()));
+                        }
+                        if elastic.on && elastic.can_grow && plan.take_rejoin(step) {
+                            // a spare arrived: the observing rank tears the
+                            // attempt down so the restart loop can re-grow
+                            // the world and redistribute shards
+                            count("fault.spare_rejoin");
+                            fr.poison_groups();
+                            fr.quiesce_comm();
+                            return Err(fail(step, CAUSE_REJOIN.into()));
+                        }
                         let degraded = plan.degraded_slowdown(rank, step);
                         if degraded.is_some() {
                             count("fault.degraded_rank");
@@ -509,7 +946,7 @@ where
                         let compute_time = &mut local_work;
                         let outcome = fr.try_step(lr_at(step), |m| {
                             let t0 = Instant::now();
-                            let loss = compute(m, rank, step);
+                            let loss = compute(m, rank, world, step);
                             // a degraded GCD takes `slowdown ×` as long for
                             // the same (bit-identical) result
                             if let Some(s) = degraded {
@@ -531,6 +968,13 @@ where
                             Err(e) => {
                                 count("fault.rank_lost");
                                 fr.poison_groups();
+                                if elastic.on {
+                                    // survivor half of the drain protocol:
+                                    // groups are poisoned, so every queued
+                                    // async op terminates promptly and no
+                                    // job can touch state after this point
+                                    fr.quiesce_comm();
+                                }
                                 return Err(fail(step, e.to_string()));
                             }
                         };
@@ -630,36 +1074,38 @@ where
                         }
                         if resilience.checkpoint_every > 0
                             && done.is_multiple_of(resilience.checkpoint_every)
+                            && (resilience.checkpoint_path.is_some() || elastic.on)
                         {
-                            if let Some(path) = resilience.checkpoint_path.as_ref() {
-                                let (params, adam) = fr.export_state();
-                                *lock(&slots[rank]) = Some(RankSlot {
-                                    params,
-                                    adam_m: adam.m,
-                                    adam_v: adam.v,
-                                    adam_t: adam.t,
-                                    losses: local_losses.clone(),
-                                });
-                                if let Err(lost) = fr.try_world_barrier() {
-                                    fr.poison_groups();
-                                    return Err(fail(step, lost.to_string()));
-                                }
-                                if rank == 0 {
-                                    let ranks: Vec<RankSlot> = slots
-                                        .iter()
-                                        .map(|m| {
-                                            lock(m)
-                                                .take()
-                                                .expect("every rank deposits a slot pre-barrier")
-                                        })
-                                        .collect();
-                                    let ck = StepCheckpoint { step: done as u64, ranks };
-                                    if plan.take_checkpoint_crash(step) {
-                                        // torn write: half the buffer lands in
-                                        // the .tmp sibling, the writer dies
-                                        // before the rename — the previous
-                                        // durable checkpoint must survive
-                                        count("fault.injected_ckpt_crash");
+                            let (params, adam) = fr.export_state();
+                            *lock(&slots[rank]) = Some(RankSlot {
+                                params,
+                                adam_m: adam.m,
+                                adam_v: adam.v,
+                                adam_t: adam.t,
+                                losses: local_losses.clone(),
+                            });
+                            if let Err(lost) = fr.try_world_barrier() {
+                                fr.poison_groups();
+                                return Err(fail(step, lost.to_string()));
+                            }
+                            if rank == 0 {
+                                let ranks: Vec<RankSlot> = slots
+                                    .iter()
+                                    .map(|m| {
+                                        lock(m)
+                                            .take()
+                                            .expect("every rank deposits a slot pre-barrier")
+                                    })
+                                    .collect();
+                                if plan.take_checkpoint_crash(step) {
+                                    // writer dies before any durable or
+                                    // in-memory image commits; with a legacy
+                                    // path, half the buffer lands in the
+                                    // .tmp sibling (torn write) — the
+                                    // previous durable checkpoint survives
+                                    count("fault.injected_ckpt_crash");
+                                    if let Some(path) = resilience.checkpoint_path.as_ref() {
+                                        let ck = StepCheckpoint { step: done as u64, ranks };
                                         let bytes = ck.to_bytes();
                                         if let Some(parent) = path.parent() {
                                             let _ = std::fs::create_dir_all(parent);
@@ -668,12 +1114,58 @@ where
                                             path.with_extension("tmp"),
                                             &bytes[..bytes.len() / 2],
                                         );
-                                        fr.poison_groups();
-                                        return Err(fail(
-                                            step,
-                                            "injected checkpoint-writer crash".into(),
-                                        ));
                                     }
+                                    fr.poison_groups();
+                                    return Err(fail(
+                                        step,
+                                        "injected checkpoint-writer crash".into(),
+                                    ));
+                                }
+                                if elastic.on {
+                                    // assemble the world-size-independent
+                                    // GEOFMCK3 image: state is replicated
+                                    // across shard groups, so the first
+                                    // group's shards carry everything
+                                    let layout = FlatLayout::new(&units, shard_size);
+                                    let take = |f: fn(&RankSlot) -> &Vec<f32>| -> Vec<Vec<f32>> {
+                                        ranks[..shard_size].iter().map(|s| f(s).clone()).collect()
+                                    };
+                                    let mut mean_losses = loss_prefix.clone();
+                                    for i in 0..ranks[0].losses.len() {
+                                        mean_losses.push(
+                                            ranks.iter().map(|s| s.losses[i]).sum::<f32>()
+                                                / world as f32,
+                                        );
+                                    }
+                                    let eck = ElasticCheckpoint {
+                                        step: done as u64,
+                                        world_written: world as u64,
+                                        shard_n_written: shard_size as u64,
+                                        adam_t: ranks[0].adam_t,
+                                        unit_sizes: units.clone(),
+                                        params: shards_to_global(&layout, &take(|s| &s.params)),
+                                        adam_m: shards_to_global(&layout, &take(|s| &s.adam_m)),
+                                        adam_v: shards_to_global(&layout, &take(|s| &s.adam_v)),
+                                        mean_losses,
+                                    };
+                                    if let Some(path) = elastic.disk {
+                                        let span = telemetry
+                                            .as_deref()
+                                            .map(|t| t.phase("reshard.ckpt.write", rank as u64));
+                                        let saved = eck.save(path);
+                                        drop(span);
+                                        if let Err(e) = saved {
+                                            fr.poison_groups();
+                                            return Err(fail(
+                                                step,
+                                                format!("elastic checkpoint write failed: {e}"),
+                                            ));
+                                        }
+                                    }
+                                    *lock(elastic.snapshot) = Some(eck);
+                                }
+                                if let Some(path) = resilience.checkpoint_path.as_ref() {
+                                    let ck = StepCheckpoint { step: done as u64, ranks };
                                     let span = telemetry
                                         .as_deref()
                                         .map(|t| t.phase("ckpt.write", rank as u64));
@@ -686,12 +1178,12 @@ where
                                             format!("checkpoint write failed: {e}"),
                                         ));
                                     }
-                                    count("fault.checkpoints");
                                 }
-                                if let Err(lost) = fr.try_world_barrier() {
-                                    fr.poison_groups();
-                                    return Err(fail(step, lost.to_string()));
-                                }
+                                count("fault.checkpoints");
+                            }
+                            if let Err(lost) = fr.try_world_barrier() {
+                                fr.poison_groups();
+                                return Err(fail(step, lost.to_string()));
                             }
                         }
                         step += 1;
@@ -746,16 +1238,20 @@ where
     }
 
     let per_rank: Vec<Vec<f32>> = losses.iter().map(|m| lock(m).clone()).collect();
-    if per_rank.iter().any(|l| l.len() != steps) {
+    // with an elastic resume the rank-local series covers start_step..steps
+    // and the earlier world means come from the checkpoint prefix
+    let local_steps = steps - loss_prefix.len();
+    if per_rank.iter().any(|l| l.len() != local_steps) {
         return Err(vec![RankFailure {
             rank: 0,
             step: steps,
             cause: "incomplete loss series despite clean exit".into(),
         }]);
     }
-    let mean_losses = (0..steps)
-        .map(|s| per_rank.iter().map(|l| l[s]).sum::<f32>() / world as f32)
-        .collect();
+    let mut mean_losses = loss_prefix;
+    mean_losses.extend(
+        (0..local_steps).map(|s| per_rank.iter().map(|l| l[s]).sum::<f32>() / world as f32),
+    );
 
     let final_params = match lock(&params_out).take() {
         Some(p) => p,
@@ -774,6 +1270,7 @@ where
         restarts: 0,
         degraded: None,
         guard: None,
+        reshard: ReshardReport::default(),
     })
 }
 
@@ -1324,5 +1821,251 @@ mod tests {
             err.failures.iter().any(|f| f.cause.contains("simulated OOM")),
             "panic message must be preserved: {err}"
         );
+    }
+
+    // ---- elastic resharding ----
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// World-aware compute for the elastic harness: global batch 12 divides
+    /// every world size the shrink/grow schedules visit (1..=4).
+    fn vit_compute_elastic(
+        cfg: &VitConfig,
+        m: &mut VitModel,
+        rank: usize,
+        world: usize,
+        step: usize,
+    ) -> f32 {
+        let global = 12;
+        let per = global / world;
+        let (imgs, tgt) = batch(cfg, step, global);
+        let xl = imgs.rows(rank * per, (rank + 1) * per);
+        let tw = cfg.tokens() * cfg.width;
+        let tl = Tensor::from_vec(
+            &[per, cfg.tokens(), cfg.width],
+            tgt.data()[rank * per * tw..(rank + 1) * per * tw].to_vec(),
+        );
+        m.zero_grad();
+        let enc = m.forward(&xl);
+        let diff = enc.sub(&tl);
+        let n = diff.numel() as f32;
+        let loss = diff.sum_sq() / n;
+        m.backward(&diff.scale(2.0 / n));
+        loss
+    }
+
+    fn run_elastic(
+        strategy: ShardingStrategy,
+        world: usize,
+        steps: usize,
+        resilience: ResilienceConfig,
+    ) -> Result<DistReport, FailureReport> {
+        let cfg = tiny_vit();
+        try_run_elastic(
+            FsdpConfig::tuned(strategy),
+            world,
+            0.01,
+            steps,
+            |_rank| {
+                let mut rng = TensorRng::seed_from(99);
+                let cfg = tiny_vit();
+                let mut model = VitModel::new(&cfg, &mut rng);
+                let units = model.unit_param_counts();
+                (model, units)
+            },
+            |m, rank, world, step| vit_compute_elastic(&cfg, m, rank, world, step),
+            |_step| 1e-3,
+            None,
+            resilience,
+        )
+    }
+
+    /// The acceptance invariant: a reference run launched at `world` from
+    /// the event's recorded checkpoint (via the durable GEOFMCK3 path) —
+    /// with the event's remapped strategy and no faults.
+    fn reference_from_event(ev: &ReshardEvent, steps: usize, tag: &str) -> DistReport {
+        let dir = ckpt_dir(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("elastic.ck3");
+        ev.ckpt.save(&path).expect("event checkpoint must serialise");
+        let report = run_elastic(
+            ev.strategy,
+            ev.to_world,
+            steps,
+            ResilienceConfig {
+                collective_timeout: Some(Duration::from_secs(5)),
+                elastic: Some(ElasticConfig {
+                    checkpoint_path: Some(path),
+                    ..ElasticConfig::default()
+                }),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("reference run must succeed");
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    }
+
+    #[test]
+    fn shrink_continues_bit_identical_to_fresh_run_at_smaller_world() {
+        let dir = ckpt_dir("elastic-shrink");
+        let _ = std::fs::remove_dir_all(&dir);
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_leave(2, 3)),
+            checkpoint_every: 2,
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 2,
+            elastic: Some(ElasticConfig {
+                checkpoint_path: Some(dir.join("elastic.ck3")),
+                ..ElasticConfig::default()
+            }),
+            ..ResilienceConfig::disabled()
+        };
+        let report = run_elastic(ShardingStrategy::FullShard, 3, 6, resilience)
+            .expect("losing a rank permanently must shrink and continue");
+        assert_eq!(report.reshard.events.len(), 1, "exactly one transition");
+        let ev = &report.reshard.events[0];
+        assert_eq!(ev.kind, ReshardKind::Shrink);
+        assert_eq!((ev.from_world, ev.to_world), (3, 2));
+        assert_eq!(ev.departed, vec![2]);
+        assert_eq!(ev.step, 2, "the leave at step 3 resumes from the step-2 snapshot");
+        assert_eq!(report.mean_losses.len(), 6);
+
+        let reference = reference_from_event(ev, 6, "elastic-shrink-ref");
+        assert_eq!(
+            bits(&report.final_params),
+            bits(&reference.final_params),
+            "post-shrink training must be bit-identical to a fresh run at \
+             the smaller world from the same resharded state"
+        );
+        assert_eq!(bits(&report.mean_losses), bits(&reference.mean_losses));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hybrid_shard_group_remaps_on_shrink() {
+        // HYBRID(2) at world 4 loses a rank: 2 no longer divides 3, so the
+        // shrink remaps to HYBRID(1) — and stays bit-identical.
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_leave(3, 3)),
+            checkpoint_every: 2,
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 2,
+            elastic: Some(ElasticConfig::default()),
+            ..ResilienceConfig::disabled()
+        };
+        let report = run_elastic(ShardingStrategy::Hybrid { shard_size: 2 }, 4, 6, resilience)
+            .expect("hybrid shrink must remap the shard group and continue");
+        let ev = &report.reshard.events[0];
+        assert_eq!((ev.from_world, ev.to_world), (4, 3));
+        assert_eq!(ev.strategy, ShardingStrategy::Hybrid { shard_size: 1 });
+
+        let reference = reference_from_event(ev, 6, "elastic-hybrid-ref");
+        assert_eq!(bits(&report.final_params), bits(&reference.final_params));
+    }
+
+    #[test]
+    fn spare_rejoin_grows_the_world_back() {
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(
+                FaultPlan::none().with_rank_leave(1, 2).with_spare_rejoin(4),
+            ),
+            checkpoint_every: 1,
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 2,
+            elastic: Some(ElasticConfig::default()),
+            ..ResilienceConfig::disabled()
+        };
+        let report = run_elastic(ShardingStrategy::FullShard, 3, 6, resilience)
+            .expect("shrink then grow must complete");
+        assert_eq!(report.reshard.shrinks(), 1);
+        assert_eq!(report.reshard.grows(), 1);
+        let shrink = &report.reshard.events[0];
+        let grow = &report.reshard.events[1];
+        assert_eq!((shrink.from_world, shrink.to_world), (3, 2));
+        assert_eq!((grow.from_world, grow.to_world), (2, 3));
+        assert!(grow.step >= shrink.step, "the world only moves forward");
+        assert_eq!(report.mean_losses.len(), 6);
+
+        // the re-grown world is bit-identical to a fresh world-3 run from
+        // the grow event's snapshot
+        let reference = reference_from_event(grow, 6, "elastic-grow-ref");
+        assert_eq!(bits(&report.final_params), bits(&reference.final_params));
+        assert_eq!(bits(&report.mean_losses), bits(&reference.mean_losses));
+    }
+
+    #[test]
+    fn leave_before_any_snapshot_reshards_from_scratch() {
+        // no checkpoint cadence → no snapshot exists when rank 0 leaves;
+        // the shrunken world restarts from step 0 (event records an empty
+        // checkpoint) and matches a fresh small-world run exactly.
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_leave(0, 1)),
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 1,
+            elastic: Some(ElasticConfig::default()),
+            ..ResilienceConfig::disabled()
+        };
+        let report = run_elastic(ShardingStrategy::ShardGradOp, 3, 4, resilience)
+            .expect("shrink without a snapshot restarts from scratch");
+        let ev = &report.reshard.events[0];
+        assert_eq!(ev.step, 0);
+        assert!(ev.ckpt.unit_sizes.is_empty(), "no snapshot existed");
+
+        let fresh = run_elastic(
+            ShardingStrategy::ShardGradOp,
+            2,
+            4,
+            ResilienceConfig {
+                collective_timeout: Some(Duration::from_secs(5)),
+                ..ResilienceConfig::disabled()
+            },
+        )
+        .expect("fresh small-world run");
+        assert_eq!(bits(&report.final_params), bits(&fresh.final_params));
+    }
+
+    #[test]
+    fn shrink_below_min_world_is_a_structured_failure() {
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_leave(1, 1)),
+            checkpoint_every: 1,
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 3,
+            elastic: Some(ElasticConfig { min_world: 2, ..ElasticConfig::default() }),
+            ..ResilienceConfig::disabled()
+        };
+        let err = run_elastic(ShardingStrategy::FullShard, 2, 4, resilience)
+            .expect_err("shrinking 2 -> 1 under min_world 2 must fail");
+        assert!(
+            err.failures.iter().any(|f| f.cause.contains("below min_world")),
+            "failure must name the limit: {err}"
+        );
+        assert!(!err.reshards.is_empty() || err.failures.iter().any(|f| f.cause == CAUSE_LEAVE));
+    }
+
+    #[test]
+    fn leave_without_elastic_config_restarts_at_full_world() {
+        // elastic off: a departure is just a crash — the world restarts at
+        // the same size and (the leave being one-shot) runs through.
+        let dir = ckpt_dir("leave-inelastic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let resilience = ResilienceConfig {
+            fault_plan: Arc::new(FaultPlan::none().with_rank_leave(1, 2)),
+            checkpoint_every: 2,
+            checkpoint_path: Some(dir.join("step.ck")),
+            collective_timeout: Some(Duration::from_secs(5)),
+            max_restarts: 1,
+            ..ResilienceConfig::disabled()
+        };
+        let report = run_resilient(ShardingStrategy::FullShard, 4, 4, resilience)
+            .expect("one-shot leave with restart budget must recover");
+        assert_eq!(report.restarts, 1);
+        assert!(report.reshard.events.is_empty(), "no elastic config, no reshard");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

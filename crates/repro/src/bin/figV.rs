@@ -1,0 +1,144 @@
+//! Figure V: goodput of **elastic shrink-and-continue** vs classic
+//! **wait-for-checkpoint-restart** across node MTBF and job size (MAE
+//! ViT-3B, FULL_SHARD, 100k-step campaign).
+//!
+//! The paper does not print this figure; it prices the elastic resharding
+//! subsystem (`geofm-fsdp::try_run_elastic` + GEOFMCK3 world-independent
+//! checkpoints) the same way `figR` prices checkpoint intervals and `figT`
+//! prices the SDC guard. Both policies face the *identical* seeded failure
+//! process:
+//!
+//! * **restart-wait** — every failure stalls the whole job for a spare,
+//!   pays re-queue + re-init + checkpoint read-back, and reworks
+//!   everything since the last durable checkpoint;
+//! * **shrink-and-continue** — survivors drain, agree, reshard in seconds
+//!   and keep training at a strong-scaled (slower) world until the spare
+//!   rejoins.
+//!
+//! The claim CI enforces: at high failure rates (node MTBF at or below a
+//! few hundred hours) shrink-and-continue **strictly dominates** the
+//! restart policy at every job size, and the two converge when failures
+//! are rare (the elastic machinery is free insurance).
+
+use geofm_frontier::{
+    simulate, ElasticModel, FaultModel, FrontierMachine, MaeWorkload, SimConfig,
+};
+use geofm_fsdp::ShardingStrategy;
+use geofm_repro::{append_metrics_csv, ascii_chart_labeled, write_csv};
+use geofm_telemetry::Telemetry;
+use geofm_vit::{VitConfig, VitVariant};
+
+fn main() {
+    println!(
+        "FIGURE V — elastic shrink-and-continue vs wait-for-restart goodput \
+         (MAE ViT-3B, FULL_SHARD, 100k steps)"
+    );
+    let total_steps = 100_000usize;
+    let seeds = 16u64;
+    let cfg = VitConfig::table1(VitVariant::B3);
+    let wl = MaeWorkload::build(&cfg, 32, 0.75);
+    let model = ElasticModel::default();
+    let fault = FaultModel::default();
+    // sweep from "leadership-machine healthy" down to "burn-in / degraded
+    // fleet": high failure rate = low MTBF, rightmost columns
+    let mtbf_hours = [25_000.0, 5_000.0, 1_000.0, 200.0, 50.0, 10.0];
+    let node_counts = [8usize, 64, 512];
+    println!(
+        "  reshard: consensus {:.0} ms + 3×params at {:.0} GB/s = {:.1} s; \
+         spare wait {:.0} s; restart overhead {:.0} s; min world {:.0}%",
+        model.consensus_alpha_s * 1e3,
+        model.reshard_bw / 1e9,
+        model.reshard_cost_s(&wl),
+        model.spare_wait_s,
+        model.restart_cost_s,
+        model.min_world_frac * 100.0
+    );
+
+    let tel = Telemetry::new();
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    // dominance margin at the two most hostile MTBFs, per node count
+    let mut dominated = true;
+    let mut worst_margin = f64::INFINITY;
+    for &nodes in &node_counts {
+        let sim_cfg = SimConfig::tuned(
+            FrontierMachine::new(nodes),
+            ShardingStrategy::FullShard,
+            wl.clone(),
+        );
+        let step_time_s = simulate(&sim_cfg).step_time_syn;
+        let ckpt_cost_s = fault.checkpoint_cost_s(&wl);
+        let ckpt_every = fault.young_daly_steps(ckpt_cost_s, step_time_s, nodes);
+        let points =
+            model.sweep(step_time_s, total_steps, nodes, ckpt_every, ckpt_cost_s, &wl, &mtbf_hours, seeds);
+        tel.metrics.counter("figV.sweeps").inc(1);
+        println!(
+            "\n  {nodes} nodes — step {step_time_s:.3} s, ckpt {ckpt_cost_s:.1} s every \
+             {ckpt_every} steps (Young/Daly)"
+        );
+        println!(
+            "{:>10} {:>9} {:>8} {:>8} {:>10} {:>12} {:>12}",
+            "mtbf_h", "shrinks", "grows", "deg%", "degraded", "gp_elastic", "gp_restart"
+        );
+        for p in &points {
+            println!(
+                "{:>10.0} {:>9.1} {:>8.1} {:>7.1}% {:>10.3} {:>12.4} {:>12.4}",
+                p.node_mtbf_hours,
+                p.shrinks,
+                p.grows,
+                p.degraded_frac * 100.0,
+                p.degraded_frac,
+                p.goodput_elastic,
+                p.goodput_restart
+            );
+            rows.push(format!(
+                "{nodes},{},{:.2},{:.2},{:.6},{:.6},{:.6}",
+                p.node_mtbf_hours,
+                p.shrinks,
+                p.grows,
+                p.degraded_frac,
+                p.goodput_elastic,
+                p.goodput_restart
+            ));
+        }
+        // the CI-enforced claim: strict dominance in the hostile tail
+        for p in points.iter().filter(|p| p.node_mtbf_hours <= 200.0) {
+            let margin = p.goodput_elastic - p.goodput_restart;
+            worst_margin = worst_margin.min(margin);
+            dominated &= margin > 0.0;
+        }
+        chart.push((format!("{nodes}n elastic"), points.iter().map(|p| p.goodput_elastic).collect()));
+        chart.push((format!("{nodes}n restart"), points.iter().map(|p| p.goodput_restart).collect()));
+    }
+
+    let mtbf_labels: Vec<usize> = mtbf_hours.iter().map(|h| *h as usize).collect();
+    let csv_path = write_csv(
+        "figV.csv",
+        "nodes,node_mtbf_hours,shrinks,grows,degraded_frac,goodput_elastic,goodput_restart",
+        &rows,
+    );
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    ascii_chart_labeled(
+        "goodput vs node MTBF (columns left→right = healthier→failure-prone)",
+        "x (MTBF h)",
+        &mtbf_labels,
+        &chart,
+        4,
+    );
+    assert!(
+        dominated,
+        "shrink-and-continue must strictly dominate restart-wait at high failure rates \
+         (worst margin {worst_margin:.4})"
+    );
+    println!(
+        "\nReading: when failures are rare the two policies are the same job — the elastic \
+         machinery idles and goodput is set by the checkpoint cadence. As MTBF drops the \
+         restart policy pays the spare wait plus re-queue plus rework *per failure*, while \
+         the elastic job pays seconds of drain-consensus-reshard and a strong-scaling \
+         haircut until the spare rejoins; at 512 nodes and 10 h node MTBF the restart \
+         campaign barely progresses while the elastic one keeps the surviving nodes \
+         productive (worst-case dominance margin {worst_margin:.3} in goodput). This is the \
+         wall-clock argument for world-size-independent checkpoints: recovery becomes a \
+         data-movement problem, not a scheduler round trip."
+    );
+}

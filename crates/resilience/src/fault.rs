@@ -118,6 +118,24 @@ pub enum FaultKind {
         /// Step index of the poisoned loss.
         step: usize,
     },
+    /// Rank `rank` is lost **permanently** at the top of step `step`: the
+    /// node is gone and no replacement exists, so a plain same-world
+    /// restart cannot bring it back. An elastic trainer responds by
+    /// shrinking the world to the survivors; a non-elastic trainer can only
+    /// treat it as a crash. One-shot (the departure happens once).
+    RankLeave {
+        /// Global rank that leaves for good.
+        rank: usize,
+        /// Step index at which it departs.
+        step: usize,
+    },
+    /// A spare node becomes available at the top of step `step`: a world
+    /// previously shrunk by [`FaultKind::RankLeave`] may re-grow by one
+    /// rank. One-shot; ignored when the world is already at full size.
+    SpareRejoin {
+        /// Step index at which the spare arrives.
+        step: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -158,6 +176,12 @@ pub struct FaultMix {
     /// Per-(rank, step) probability of a NaN local loss
     /// ([`FaultKind::PoisonLoss`]).
     pub poison_prob: f64,
+    /// Per-(rank, step) probability of a *permanent* rank departure
+    /// ([`FaultKind::RankLeave`]).
+    pub leave_prob: f64,
+    /// Per-step probability of a spare node arriving
+    /// ([`FaultKind::SpareRejoin`]).
+    pub rejoin_prob: f64,
 }
 
 impl FaultMix {
@@ -175,6 +199,8 @@ impl FaultMix {
             ckpt_crash_prob: 0.0,
             bitflip_prob: 0.0,
             poison_prob: 0.0,
+            leave_prob: 0.0,
+            rejoin_prob: 0.0,
         }
     }
 
@@ -252,6 +278,18 @@ impl FaultPlan {
         self
     }
 
+    /// Add a [`FaultKind::RankLeave`]: `rank` departs permanently at `step`.
+    pub fn with_rank_leave(mut self, rank: usize, step: usize) -> Self {
+        self.push(FaultKind::RankLeave { rank, step });
+        self
+    }
+
+    /// Add a [`FaultKind::SpareRejoin`]: a spare arrives at `step`.
+    pub fn with_spare_rejoin(mut self, step: usize) -> Self {
+        self.push(FaultKind::SpareRejoin { step });
+        self
+    }
+
     /// Sample a random plan from `mix`. Deterministic per seed.
     ///
     /// Sampling distribution (one `StdRng` stream, fixed draw order, so the
@@ -266,7 +304,12 @@ impl FaultPlan {
     /// 3. for each rank (ascending): Bernoulli `degraded_rank_prob` then
     ///    `degraded_link_prob`; each hit draws `from_step` uniform in
     ///    `[0, steps)` and a slowdown uniform in `slowdown_permille`
-    ///    (half-open).
+    ///    (half-open);
+    /// 4. for each step (ascending), for each rank (ascending): one
+    ///    Bernoulli `leave_prob` draw; then for each step (ascending): one
+    ///    Bernoulli `rejoin_prob` draw. These elastic streams sit *after*
+    ///    every older stream so pre-elastic mixes sample byte-identical
+    ///    plans.
     ///
     /// Every draw is consumed unconditionally *only when its governing
     /// probability is non-zero*, so mixes that zero a kind skip its stream
@@ -314,6 +357,18 @@ impl FaultPlan {
                 let from_step = rng.gen_range(0..steps.max(1));
                 let slowdown_permille = rng.gen_range(lo..hi);
                 plan.push(FaultKind::DegradedLink { rank, from_step, slowdown_permille });
+            }
+        }
+        for step in 0..steps {
+            for rank in 0..world {
+                if mix.leave_prob > 0.0 && rng.gen::<f64>() < mix.leave_prob {
+                    plan.push(FaultKind::RankLeave { rank, step });
+                }
+            }
+        }
+        for step in 0..steps {
+            if mix.rejoin_prob > 0.0 && rng.gen::<f64>() < mix.rejoin_prob {
+                plan.push(FaultKind::SpareRejoin { step });
             }
         }
         plan
@@ -434,6 +489,38 @@ impl FaultPlan {
                 && !e.fired.swap(true, Ordering::AcqRel)
         })
     }
+
+    /// One-shot: returns `true` the first time rank `rank` reaches a step
+    /// with a scheduled permanent departure, `false` on re-execution. The
+    /// departure itself is remembered forever — see
+    /// [`FaultPlan::has_left`].
+    pub fn take_leave(&self, rank: usize, step: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::RankLeave { rank: r, step: s } if r == rank && s == step)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
+
+    /// Whether rank `rank` has *already* departed permanently (a
+    /// [`FaultKind::RankLeave`] for it fired). Unlike the one-shot takes
+    /// this is a repeatable query: permanence is the whole point.
+    pub fn has_left(&self, rank: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::RankLeave { rank: r, .. } if r == rank)
+                && e.fired.load(Ordering::Acquire)
+        })
+    }
+
+    /// One-shot: returns `true` the first time *any* rank reaches `step`
+    /// with a scheduled spare arrival. Exactly one caller observes the
+    /// arrival (atomic swap), which is what lets one rank trigger the
+    /// re-grow on behalf of the world.
+    pub fn take_rejoin(&self, step: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::SpareRejoin { step: s } if s == step)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +603,8 @@ mod tests {
             ckpt_crash_prob: 0.1,
             bitflip_prob: 0.03,
             poison_prob: 0.03,
+            leave_prob: 0.02,
+            rejoin_prob: 0.05,
         }
     }
 
@@ -532,7 +621,7 @@ mod tests {
     #[test]
     fn seeded_samples_every_gray_kind() {
         // over enough seeds, every kind must appear at least once
-        let mut seen = [false; 8];
+        let mut seen = [false; 10];
         for seed in 0..40 {
             for k in FaultPlan::seeded(seed, 8, 50, &full_mix()).events() {
                 let i = match k {
@@ -544,6 +633,8 @@ mod tests {
                     FaultKind::HangRank { .. } => 5,
                     FaultKind::BitFlipGrad { .. } => 6,
                     FaultKind::PoisonLoss { .. } => 7,
+                    FaultKind::RankLeave { .. } => 8,
+                    FaultKind::SpareRejoin { .. } => 9,
                 };
                 seen[i] = true;
             }
@@ -612,6 +703,43 @@ mod tests {
             k,
             FaultKind::BitFlipGrad { .. } | FaultKind::PoisonLoss { .. }
         )));
+    }
+
+    #[test]
+    fn rank_leave_fires_once_but_departure_is_remembered() {
+        let plan = FaultPlan::none().with_rank_leave(2, 3);
+        assert!(!plan.has_left(2), "not departed before the event fires");
+        assert!(!plan.take_leave(2, 2));
+        assert!(plan.take_leave(2, 3));
+        assert!(!plan.take_leave(2, 3), "departure event is one-shot");
+        assert!(plan.has_left(2), "but the departure itself is permanent");
+        assert!(!plan.has_left(1));
+    }
+
+    #[test]
+    fn spare_rejoin_is_observed_by_exactly_one_caller() {
+        let plan = FaultPlan::none().with_spare_rejoin(4);
+        assert!(!plan.take_rejoin(3));
+        assert!(plan.take_rejoin(4));
+        assert!(!plan.take_rejoin(4), "only one rank may observe the arrival");
+    }
+
+    #[test]
+    fn elastic_draws_only_append_to_legacy_plans() {
+        // The elastic streams sit after every pre-existing draw stream, so
+        // turning them on must leave the legacy prefix of the sampled plan
+        // byte-identical — only new events may appear, and only at the end.
+        let legacy = FaultMix { leave_prob: 0.0, rejoin_prob: 0.0, ..full_mix() };
+        for seed in 0..10 {
+            let base = FaultPlan::seeded(seed, 8, 50, &legacy).events();
+            let grown = FaultPlan::seeded(seed, 8, 50, &full_mix()).events();
+            assert!(grown.len() >= base.len());
+            assert_eq!(&grown[..base.len()], &base[..], "seed {seed}: legacy prefix perturbed");
+            assert!(grown[base.len()..].iter().all(|k| matches!(
+                k,
+                FaultKind::RankLeave { .. } | FaultKind::SpareRejoin { .. }
+            )));
+        }
     }
 
     #[test]

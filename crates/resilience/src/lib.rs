@@ -36,10 +36,12 @@
 #![warn(missing_docs)]
 
 pub mod ckpt;
+pub mod elastic;
 pub mod fault;
 pub mod mtbf;
 
 pub use ckpt::{atomic_write, crc32, crc32_update, RankSlot, StepCheckpoint};
+pub use elastic::{CkptError, ElasticCheckpoint};
 pub use fault::{FaultKind, FaultMix, FaultPlan};
 pub use mtbf::{
     simulate_campaign, simulate_campaign_with_plan, young_daly_interval, CampaignConfig,
@@ -131,6 +133,35 @@ pub struct FailureReport {
     /// the guard was enabled and observed anything before the run died.
     /// Boxed to keep the `Err` variant of `try_*` results small.
     pub guard: Option<Box<GuardReport>>,
+    /// Elastic reshard transitions performed before the run died (empty
+    /// unless elastic mode shrank or re-grew the world).
+    pub reshards: Vec<ReshardSummary>,
+}
+
+/// One elastic world transition, as recorded on reports. The full reshard
+/// payload (checkpoint, strategy) lives on the trainer's `ReshardReport`;
+/// this is the light-weight summary attached to [`FailureReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardSummary {
+    /// Step the new world resumed from.
+    pub step: u64,
+    /// World size before the transition.
+    pub from_world: usize,
+    /// World size after the transition.
+    pub to_world: usize,
+}
+
+impl std::fmt::Display for ReshardSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "resharded {} -> {} ranks at step {} ({})",
+            self.from_world,
+            self.to_world,
+            self.step,
+            if self.to_world < self.from_world { "shrink" } else { "grow" }
+        )
+    }
 }
 
 /// Summary of what the silent-data-corruption guard did during a run:
@@ -191,6 +222,9 @@ impl std::fmt::Display for FailureReport {
         for fail in &self.failures {
             writeln!(f, "  {fail}")?;
         }
+        for r in &self.reshards {
+            writeln!(f, "  {r}")?;
+        }
         if let Some(d) = &self.degraded {
             write!(f, "{d}")?;
         }
@@ -213,11 +247,13 @@ mod tests {
             failures: vec![RankFailure { rank: 1, step: 7, cause: "injected".into() }],
             degraded: None,
             guard: None,
+            reshards: vec![ReshardSummary { step: 4, from_world: 4, to_world: 3 }],
         };
         let s = r.to_string();
         assert!(s.contains("2 restart"));
         assert!(s.contains("resumed from step 6"));
         assert!(s.contains("rank 1 failed at step 7"));
+        assert!(s.contains("resharded 4 -> 3 ranks at step 4 (shrink)"));
     }
 
     #[test]

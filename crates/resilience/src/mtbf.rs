@@ -101,10 +101,18 @@ pub fn simulate_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     run_campaign(
         cfg,
         |_, _| 0.0,
-        |_, _, window_end| {
+        |_, window_start, window_end| {
             if next_failure < window_end {
-                let t = next_failure;
-                next_failure = t + cfg.failure.sample_interarrival(cfg.nodes, &mut rng);
+                // Failures strike *running* jobs: the clock is suspended
+                // while the job is down, so the next arrival is sampled
+                // from the end of the restart (the standard Young/Daly
+                // assumption). Without this the failure clock falls ever
+                // further behind wall time whenever `restart_cost_s`
+                // exceeds the system MTBF and the simulation livelocks
+                // instead of pricing that regime.
+                let t = next_failure.max(window_start);
+                next_failure =
+                    t + cfg.restart_cost_s + cfg.failure.sample_interarrival(cfg.nodes, &mut rng);
                 Some(t)
             } else {
                 None
@@ -239,6 +247,22 @@ mod tests {
     fn young_daly_matches_formula() {
         let tau = young_daly_interval(5.0, 1000.0);
         assert!((tau - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restart_cost_above_system_mtbf_terminates_and_prices_the_collapse() {
+        // regression: with restarts costing more than the system MTBF the
+        // failure clock used to fall behind wall time forever and the
+        // simulation livelocked. It must terminate and report goodput near
+        // zero — the regime where elastic shrink-and-continue wins.
+        let mut cfg = base_cfg();
+        cfg.total_steps = 2000;
+        cfg.failure.node_mtbf_s = 360.0 * 64.0; // system MTBF = 6 min
+        cfg.restart_cost_s = 3600.0; // each restart outlives the MTBF tenfold
+        let out = simulate_campaign(&cfg);
+        assert!(out.failures > 0, "this environment must fail");
+        assert!(out.wall_s.is_finite());
+        assert!(out.goodput < 0.5, "constant restarting cannot be productive: {}", out.goodput);
     }
 
     #[test]

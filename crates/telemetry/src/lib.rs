@@ -87,6 +87,23 @@
 //! | `overlap.step.ns` | histogram | wall time per training step |
 //! | `overlap.exposed.ns` | histogram | per-step main-thread time blocked on collectives |
 //! | `overlap.exposed.permille` | histogram | exposed-comm share of the step (‰) |
+//!
+//! The elastic resharding path (`geofm_fsdp::try_run_elastic` shrinking
+//! onto survivors after a permanent rank loss and re-growing on spare
+//! rejoin) emits a `reshard.*` namespace, with the injected departures
+//! folded into `fault.*`:
+//!
+//! | metric | kind | meaning |
+//! |--------|------|---------|
+//! | `reshard.world` | gauge | current world size (high-water mark = launch world) |
+//! | `reshard.shrinks` | counter | shrink-and-continue transitions performed |
+//! | `reshard.grows` | counter | re-grow transitions on spare rejoin |
+//! | `reshard.consensus.rounds` | counter | survivor consensus rounds completed |
+//! | `reshard.consensus.ns` | histogram | wall time of each survivor consensus round |
+//! | `reshard.drain.ns` | histogram | per-rank drain time quiescing in-flight collectives |
+//! | `reshard.ckpt.write` | phase | elastic (GEOFMCK3, world-size-independent) checkpoint write |
+//! | `fault.rank_leave` | counter | permanent rank departures fired by the fault plan |
+//! | `fault.spare_rejoin` | counter | spare-rejoin events fired by the fault plan |
 
 #![warn(missing_docs)]
 

@@ -7,14 +7,19 @@
 //!
 //! Each seed samples a [`FaultMix`] of crashes, one-step stragglers,
 //! persistently degraded ranks, degraded links, hangs, torn checkpoint
-//! writes, silent gradient bit flips and poisoned losses via
-//! `FaultPlan::seeded` (deterministic per seed — a failing seed replays
-//! exactly), and rotates through the sharding strategies. Gray faults must
-//! *never* change results; fail-stop and hang faults must either be
-//! absorbed by elastic restart (bit-identical completion) or surface in a
-//! `FailureReport` within the wall-clock budget. Corruption faults run
-//! with the guard enabled: a completed run whose guard skipped steps must
-//! be bit-identical to a clean run told to skip the same steps.
+//! writes, silent gradient bit flips, poisoned losses, permanent rank
+//! departures and spare rejoins via `FaultPlan::seeded` (deterministic per
+//! seed — a failing seed replays exactly), and rotates through the
+//! sharding strategies. Gray faults must *never* change results;
+//! fail-stop and hang faults must either be absorbed by elastic restart
+//! (bit-identical completion) or surface in a `FailureReport` within the
+//! wall-clock budget. Corruption faults run with the guard enabled: a
+//! completed run whose guard skipped steps must be bit-identical to a
+//! clean run told to skip the same steps. A permanent departure shrinks
+//! the world and continues; the shrunken world reduces in a different
+//! order, so those schedules hold the structural invariant (consistent
+//! transition chain, full loss series, never hang) while bit-identity of
+//! post-shrink training is pinned separately by `tests/elastic_reshard.rs`.
 //!
 //! Odd seeds run the comm/compute overlap engine (collectives on the
 //! per-rank comm thread with prefetch in flight — since the lock-free
@@ -30,7 +35,8 @@
 
 use geofm_collectives::AdaptiveTimeoutConfig;
 use geofm_fsdp::{
-    try_run_data_parallel, DistReport, FsdpConfig, GuardConfig, ResilienceConfig, ShardingStrategy,
+    try_run_elastic, DistReport, ElasticConfig, FsdpConfig, GuardConfig, ResilienceConfig,
+    ShardingStrategy,
 };
 use geofm_nn::{Linear, Module, ParamVisitor};
 use geofm_resilience::{FaultMix, FaultPlan};
@@ -105,6 +111,8 @@ fn chaos_mix() -> FaultMix {
         ckpt_crash_prob: 0.03,
         bitflip_prob: 0.02,
         poison_prob: 0.02,
+        leave_prob: 0.01,
+        rejoin_prob: 0.02,
     }
 }
 
@@ -113,17 +121,18 @@ fn run(
     overlap: bool,
     resilience: ResilienceConfig,
 ) -> Result<DistReport, geofm_resilience::FailureReport> {
-    try_run_data_parallel(
+    try_run_elastic(
         if overlap { FsdpConfig::overlapped(strategy) } else { FsdpConfig::tuned(strategy) },
         WORLD,
         0.01,
         STEPS,
         |_| Toy::new(7),
-        |m, rank, step| {
+        |m, rank, world, step| {
+            // global batch 12 divides every world size a shrink can visit
             let mut rng = TensorRng::seed_from(5000 + step as u64);
-            let x = rng.randn(&[8, 3], 1.0);
-            let y = rng.randn(&[8, 2], 1.0);
-            let per = 8 / WORLD;
+            let x = rng.randn(&[12, 3], 1.0);
+            let y = rng.randn(&[12, 2], 1.0);
+            let per = 12 / world;
             let xl = x.rows(rank * per, (rank + 1) * per);
             let yl = y.rows(rank * per, (rank + 1) * per);
             m.compute(&xl, &yl)
@@ -177,6 +186,10 @@ fn chaos_schedule(seed: u64) {
         }),
         straggler_threshold: 2.5,
         guard: Some(GuardConfig::default()),
+        elastic: Some(ElasticConfig {
+            checkpoint_path: Some(dir.join("elastic.ck3")),
+            ..ElasticConfig::default()
+        }),
     };
 
     let started = Instant::now();
@@ -196,6 +209,32 @@ fn chaos_schedule(seed: u64) {
 
     match outcome {
         Ok(report) => {
+            // A resharded run finished on a different world: the smaller
+            // (or re-grown) world reduces in a different order, so the
+            // bit-compare against the world-4 baseline cannot hold. Hold
+            // the structural invariant instead — the transition chain is
+            // consistent and the loss series is complete; bit-identity of
+            // post-reshard training has its own suite.
+            if !report.reshard.events.is_empty() {
+                let mut world = WORLD;
+                for ev in &report.reshard.events {
+                    assert_eq!(
+                        ev.from_world,
+                        world,
+                        "seed {seed} ({}, overlap={overlap}): reshard chain broke (plan: {:?})",
+                        strategy.name(),
+                        plan.events()
+                    );
+                    world = ev.to_world;
+                }
+                assert_eq!(
+                    report.mean_losses.len(),
+                    STEPS,
+                    "seed {seed} ({}, overlap={overlap}): truncated loss series after reshard",
+                    strategy.name()
+                );
+                return;
+            }
             // Steps the guard rolled back and skipped carry the canonical
             // NaN loss placeholder. Derive the skip set from the losses —
             // not the guard report — because a skip can outlive an elastic

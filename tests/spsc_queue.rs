@@ -10,9 +10,13 @@
 //! * **drop-while-nonempty drains cleanly** — every queued item is
 //!   dropped exactly once, whichever side unplugs first;
 //! * **shutdown racing enqueue** never loses an item: a push either lands
-//!   (and is drained) or comes back as `Disconnected`.
+//!   (and is drained) or comes back as `Disconnected`;
+//! * **job-cell pooling** above the ring reaches a steady state: after
+//!   warmup, submissions are served by resetting retired cells in place
+//!   (`reuses` tracks `takes`) and fresh allocations stop.
 
 use geofm_collectives::spsc::{ring, PushError};
+use geofm_collectives::{CommThread, Group};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -240,6 +244,76 @@ fn shutdown_racing_enqueue_never_loses_or_double_frees() {
             "seed {seed}: every item must be dropped exactly once \
              (consumed {}, handed back {returned})",
             consumed.load(Ordering::SeqCst),
+        );
+    }
+}
+
+/// Steady-state cell pooling on the comm path that rides this ring: after
+/// a warmup, every submitted collective must be served by recycling a
+/// retired job cell — zero fresh `Arc<JobCell>` allocations per op — for
+/// both the wait-and-recycle and the fire-many-then-wait submission
+/// shapes. A regression that re-introduces the per-op allocation flips
+/// `allocs` proportional to ops and fails loudly here.
+#[test]
+fn comm_path_cell_pool_reaches_zero_alloc_steady_state() {
+    const WARMUP: u64 = 64;
+    const OPS_STEADY: u64 = 2_000;
+    let handles = Group::create(2);
+    let stats: Vec<_> = std::thread::scope(|s| {
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                s.spawn(move || {
+                    let data = vec![1.0f32; 256];
+                    let comm = CommThread::spawn();
+                    let g = comm.register(&h);
+                    for _ in 0..WARMUP {
+                        comm.recycle(comm.all_reduce_async(&g, &data).wait().unwrap());
+                    }
+                    let warm = comm.cell_stats();
+                    // shape 1: submit → wait → recycle, one in flight
+                    for _ in 0..OPS_STEADY {
+                        comm.recycle(comm.all_reduce_async(&g, &data).wait().unwrap());
+                    }
+                    // shape 2: several in flight before the oldest is waited
+                    for _ in 0..OPS_STEADY / 4 {
+                        let pend: Vec<_> =
+                            (0..4).map(|_| comm.all_reduce_async(&g, &data)).collect();
+                        for p in pend {
+                            comm.recycle(p.wait().unwrap());
+                        }
+                    }
+                    let done = comm.cell_stats();
+                    comm.join();
+                    (warm, done)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    for (rank, (warm, done)) in stats.into_iter().enumerate() {
+        let ops = done.takes - warm.takes;
+        assert_eq!(ops, 2 * OPS_STEADY, "rank {rank}: unexpected op count");
+        // Steady state is not literally zero-alloc: the LRU front cell can
+        // still be ring-held inside the reclaim backlog window, forcing an
+        // occasional fresh cell. The pooling invariant is that allocations
+        // do NOT scale with ops — a per-op-alloc regression turns this
+        // difference from ~0.1% of ops into 100% of them.
+        let fresh = done.allocs - warm.allocs;
+        assert!(
+            fresh <= ops / 50,
+            "rank {rank}: steady-state allocations scale with ops — pooling regressed \
+             (warmup {warm:?}, final {done:?})"
+        );
+        assert_eq!(
+            (done.reuses - warm.reuses) + fresh,
+            ops,
+            "rank {rank}: every op is either a pool reuse or a (rare) fresh alloc"
+        );
+        assert!(
+            warm.allocs <= WARMUP + 8,
+            "rank {rank}: warmup allocations should be bounded by the in-flight window, \
+             got {warm:?}"
         );
     }
 }
