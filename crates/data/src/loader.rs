@@ -195,6 +195,21 @@ mod tests {
     }
 
     #[test]
+    fn mid_epoch_drop_joins_workers_instead_of_leaking() {
+        // regression: Drop must *join* the workers, not merely unblock
+        // them — a leaked worker would still hold its dataset Arc
+        let ds = dataset(64);
+        let mut loader = DataLoader::new(Arc::clone(&ds), 4, 4, 1);
+        let _ = loader.next();
+        drop(loader);
+        assert_eq!(
+            Arc::strong_count(&ds),
+            1,
+            "worker threads must be joined on drop, not leaked"
+        );
+    }
+
+    #[test]
     fn telemetry_counts_batches_and_waits() {
         let ds = dataset(32);
         let tel = Telemetry::new();

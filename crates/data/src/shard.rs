@@ -1,0 +1,480 @@
+//! The `GEOFMSH1` on-disk shard format and its corpus builder.
+//!
+//! A pretraining corpus is split into fixed-size shards, each a single
+//! file of CRC-checked records. The layout (all integers little-endian):
+//!
+//! ```text
+//! offset 0   magic            b"GEOFMSH1"
+//!        8   shard_index      u64
+//!       16   n_records        u64
+//!       24   record_len       u64   f32 features per record
+//!       32   img              u64   image edge length
+//!       40   channels         u64
+//!       48   classes          u64
+//!       56   header_crc       u32   CRC32 over bytes 0..56
+//!       60   records          n_records × (label u64 | record_len × f32 | crc u32)
+//! ```
+//!
+//! Each record carries its own CRC32 over its label + payload bytes, so a
+//! reader can verify *per record* and quarantine precisely — a flipped bit
+//! in record 17 must not cost the other records of the shard. The file
+//! size is implied exactly by the header, so truncation and trailing
+//! garbage are both detectable before any record is read.
+//!
+//! [`ShardReader`] holds the file bytes and validates magic, header CRC
+//! and exact size at open; [`write_shard`]/[`build_corpus`] produce files
+//! the reader round-trips bit-identically.
+
+use crate::datasets::{DatasetKind, SceneDataset};
+use geofm_resilience::crc32;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every shard file.
+pub const SHARD_MAGIC: &[u8; 8] = b"GEOFMSH1";
+
+/// Header length in bytes (magic + six u64 fields + header CRC).
+pub const HEADER_LEN: usize = 60;
+
+/// Why a shard file (or one of its records) could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The file does not start with [`SHARD_MAGIC`].
+    BadMagic([u8; 8]),
+    /// The file is shorter than a header.
+    TooShort(usize),
+    /// The header CRC does not match its bytes.
+    HeaderCorrupt {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the header bytes.
+        actual: u32,
+    },
+    /// The file size disagrees with the size the header implies —
+    /// truncation when smaller, trailing garbage when larger.
+    SizeMismatch {
+        /// Size the header implies.
+        expected: u64,
+        /// Actual file size.
+        actual: u64,
+    },
+    /// Record `record`'s CRC does not match its bytes.
+    RecordCorrupt {
+        /// Index of the corrupt record.
+        record: usize,
+    },
+    /// A record index past `n_records` was requested.
+    OutOfRange {
+        /// Requested record index.
+        record: usize,
+        /// Records in the shard.
+        n_records: usize,
+    },
+    /// An OS-level I/O error (carried as text to stay `Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic(m) => write!(f, "bad shard magic {m:?}"),
+            Self::TooShort(n) => write!(f, "file too short for a shard header ({n} bytes)"),
+            Self::HeaderCorrupt { stored, actual } => {
+                write!(f, "shard header CRC mismatch (stored {stored:08x}, actual {actual:08x})")
+            }
+            Self::SizeMismatch { expected, actual } if actual < expected => {
+                write!(f, "shard truncated: {actual} bytes of {expected}")
+            }
+            Self::SizeMismatch { expected, actual } => {
+                write!(f, "trailing garbage: {actual} bytes, header implies {expected}")
+            }
+            Self::RecordCorrupt { record } => write!(f, "record {record} CRC mismatch"),
+            Self::OutOfRange { record, n_records } => {
+                write!(f, "record {record} out of range (shard holds {n_records})")
+            }
+            Self::Io(e) => write!(f, "shard io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// Parsed shard header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// Shard index within the corpus.
+    pub shard_index: u64,
+    /// Records in this shard.
+    pub n_records: u64,
+    /// f32 features per record.
+    pub record_len: u64,
+    /// Image edge length the features were rendered at.
+    pub img: u64,
+    /// Image channels.
+    pub channels: u64,
+    /// Class count of the generating dataset.
+    pub classes: u64,
+}
+
+impl ShardHeader {
+    /// Bytes one record occupies on disk: label + payload + CRC.
+    pub fn record_bytes(&self) -> u64 {
+        8 + 4 * self.record_len + 4
+    }
+
+    /// Exact file size this header implies.
+    pub fn file_len(&self) -> u64 {
+        HEADER_LEN as u64 + self.n_records * self.record_bytes()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN);
+        out.extend_from_slice(SHARD_MAGIC);
+        for v in [self.shard_index, self.n_records, self.record_len, self.img, self.channels, self.classes] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// One decoded-and-unverified record: the bytes a store handed back plus
+/// both CRCs, so the *caller* decides whether a mismatch means retry,
+/// hedge or quarantine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawRecord {
+    /// Class label.
+    pub label: u64,
+    /// Feature payload (`record_len` f32s).
+    pub features: Vec<f32>,
+    /// CRC stored alongside the record.
+    pub crc_stored: u32,
+    /// CRC computed over the bytes actually read.
+    pub crc_actual: u32,
+}
+
+impl RawRecord {
+    /// Whether the bytes read back verify against the stored checksum.
+    pub fn intact(&self) -> bool {
+        self.crc_stored == self.crc_actual
+    }
+}
+
+/// CRC32 over a record's label + payload bytes — the checksum stored per
+/// record and recomputed on every read.
+pub fn record_crc(label: u64, features: &[f32]) -> u32 {
+    let mut crc = geofm_resilience::crc32_update(0xFFFF_FFFF, &label.to_le_bytes());
+    for v in features {
+        crc = geofm_resilience::crc32_update(crc, &v.to_le_bytes());
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Write one shard file. Records are `(label, features)` rows; every
+/// record must have `record_len` features.
+pub fn write_shard(
+    path: &Path,
+    header: &ShardHeader,
+    records: &[(u64, Vec<f32>)],
+) -> Result<(), ShardError> {
+    assert_eq!(records.len() as u64, header.n_records, "header/record count mismatch");
+    let mut bytes = header.encode();
+    for (label, features) in records {
+        assert_eq!(features.len() as u64, header.record_len, "record length mismatch");
+        bytes.extend_from_slice(&label.to_le_bytes());
+        for v in features {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&record_crc(*label, features).to_le_bytes());
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// An open shard: header-validated bytes, records decoded on demand.
+///
+/// Opening validates magic, header CRC and exact file size; per-record
+/// CRCs are checked by [`ShardReader::read_record`] (and left to the
+/// caller by [`ShardReader::read_raw`], which the defended streaming
+/// layer uses so it can retry before condemning a record).
+#[derive(Debug)]
+pub struct ShardReader {
+    header: ShardHeader,
+    bytes: Vec<u8>,
+}
+
+impl ShardReader {
+    /// Open and validate a shard file's framing.
+    pub fn open(path: &Path) -> Result<Self, ShardError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Validate framing over in-memory bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, ShardError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ShardError::TooShort(bytes.len()));
+        }
+        if &bytes[..8] != SHARD_MAGIC {
+            let mut m = [0u8; 8];
+            m.copy_from_slice(&bytes[..8]);
+            return Err(ShardError::BadMagic(m));
+        }
+        let stored = u32::from_le_bytes(bytes[56..60].try_into().unwrap());
+        let actual = crc32(&bytes[..56]);
+        if stored != actual {
+            return Err(ShardError::HeaderCorrupt { stored, actual });
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[8 + 8 * i..16 + 8 * i].try_into().unwrap());
+        let header = ShardHeader {
+            shard_index: word(0),
+            n_records: word(1),
+            record_len: word(2),
+            img: word(3),
+            channels: word(4),
+            classes: word(5),
+        };
+        let expected = header.file_len();
+        if bytes.len() as u64 != expected {
+            return Err(ShardError::SizeMismatch { expected, actual: bytes.len() as u64 });
+        }
+        Ok(Self { header, bytes })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &ShardHeader {
+        &self.header
+    }
+
+    /// Records in this shard.
+    pub fn len(&self) -> usize {
+        self.header.n_records as usize
+    }
+
+    /// True if the shard holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.header.n_records == 0
+    }
+
+    /// Decode record `record` without judging its checksum.
+    pub fn read_raw(&self, record: usize) -> Result<RawRecord, ShardError> {
+        let n = self.header.n_records as usize;
+        if record >= n {
+            return Err(ShardError::OutOfRange { record, n_records: n });
+        }
+        let rb = self.header.record_bytes() as usize;
+        let at = HEADER_LEN + record * rb;
+        let bytes = &self.bytes[at..at + rb];
+        let label = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let features: Vec<f32> = bytes[8..rb - 4]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let crc_stored = u32::from_le_bytes(bytes[rb - 4..].try_into().unwrap());
+        let crc_actual = crc32(&bytes[..rb - 4]);
+        Ok(RawRecord { label, features, crc_stored, crc_actual })
+    }
+
+    /// Decode and *verify* record `record`; a checksum mismatch is
+    /// [`ShardError::RecordCorrupt`], never silently returned data.
+    pub fn read_record(&self, record: usize) -> Result<RawRecord, ShardError> {
+        let raw = self.read_raw(record)?;
+        if !raw.intact() {
+            return Err(ShardError::RecordCorrupt { record });
+        }
+        Ok(raw)
+    }
+}
+
+/// What [`build_corpus`] produced: the shard files plus the geometry a
+/// store needs to address them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusManifest {
+    /// Shard file paths, by shard index.
+    pub shard_files: Vec<PathBuf>,
+    /// Dataset the corpus was generated from.
+    pub kind: DatasetKind,
+    /// Records per shard (every shard is full by construction).
+    pub records_per_shard: usize,
+    /// f32 features per record.
+    pub record_len: usize,
+    /// Image edge length.
+    pub img: usize,
+    /// Channels.
+    pub channels: usize,
+}
+
+impl CorpusManifest {
+    /// Total records across the corpus.
+    pub fn total_records(&self) -> usize {
+        self.shard_files.len() * self.records_per_shard
+    }
+}
+
+/// Generate a procedural corpus and persist it as `GEOFMSH1` shards
+/// (`shard-NNNN.gsh` under `dir`). Deterministic per `seed`: the same
+/// arguments always produce byte-identical files.
+pub fn build_corpus(
+    dir: &Path,
+    kind: DatasetKind,
+    shards: usize,
+    records_per_shard: usize,
+    img: usize,
+    channels: usize,
+    seed: u64,
+) -> Result<CorpusManifest, ShardError> {
+    std::fs::create_dir_all(dir)?;
+    let n = shards * records_per_shard;
+    let ds = SceneDataset::generate(kind, n, img, channels, 3_000_000, seed);
+    let record_len = channels * img * img;
+    let mut shard_files = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let header = ShardHeader {
+            shard_index: s as u64,
+            n_records: records_per_shard as u64,
+            record_len: record_len as u64,
+            img: img as u64,
+            channels: channels as u64,
+            classes: kind.classes() as u64,
+        };
+        let records: Vec<(u64, Vec<f32>)> = (0..records_per_shard)
+            .map(|r| {
+                let row = s * records_per_shard + r;
+                (ds.labels[row] as u64, ds.images.row(row).to_vec())
+            })
+            .collect();
+        let path = dir.join(format!("shard-{s:04}.gsh"));
+        write_shard(&path, &header, &records)?;
+        shard_files.push(path);
+    }
+    Ok(CorpusManifest { shard_files, kind, records_per_shard, record_len, img, channels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("geofm-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn corpus_round_trips_bit_identically() {
+        let dir = tmpdir("roundtrip");
+        let m = build_corpus(&dir, DatasetKind::Ucm, 3, 8, 4, 1, 7).unwrap();
+        assert_eq!(m.shard_files.len(), 3);
+        assert_eq!(m.total_records(), 24);
+        let ds = SceneDataset::generate(DatasetKind::Ucm, 24, 4, 1, 3_000_000, 7);
+        for (s, path) in m.shard_files.iter().enumerate() {
+            let reader = ShardReader::open(path).unwrap();
+            assert_eq!(reader.len(), 8);
+            assert_eq!(reader.header().shard_index, s as u64);
+            assert_eq!(reader.header().classes, 21);
+            for r in 0..8 {
+                let rec = reader.read_record(r).unwrap();
+                let row = s * 8 + r;
+                assert_eq!(rec.label, ds.labels[row] as u64);
+                assert_eq!(rec.features, ds.images.row(row).to_vec());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let d1 = tmpdir("det-a");
+        let d2 = tmpdir("det-b");
+        let a = build_corpus(&d1, DatasetKind::Aid, 2, 5, 4, 1, 3).unwrap();
+        let b = build_corpus(&d2, DatasetKind::Aid, 2, 5, 4, 1, 3).unwrap();
+        for (pa, pb) in a.shard_files.iter().zip(&b.shard_files) {
+            assert_eq!(std::fs::read(pa).unwrap(), std::fs::read(pb).unwrap());
+        }
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_bad_magic_truncation_and_garbage() {
+        let dir = tmpdir("framing");
+        let m = build_corpus(&dir, DatasetKind::Ucm, 1, 4, 4, 1, 1).unwrap();
+        let path = &m.shard_files[0];
+        let pristine = std::fs::read(path).unwrap();
+
+        let mut bad = pristine.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ShardReader::from_bytes(bad),
+            Err(ShardError::BadMagic(_))
+        ));
+
+        let cut = pristine[..pristine.len() - 3].to_vec();
+        assert!(matches!(
+            ShardReader::from_bytes(cut),
+            Err(ShardError::SizeMismatch { .. })
+        ));
+
+        let mut grown = pristine.clone();
+        grown.extend_from_slice(b"junk");
+        assert!(matches!(
+            ShardReader::from_bytes(grown),
+            Err(ShardError::SizeMismatch { .. })
+        ));
+
+        let mut hdr = pristine.clone();
+        hdr[20] ^= 0x01; // n_records field — header CRC must catch it
+        assert!(matches!(
+            ShardReader::from_bytes(hdr),
+            Err(ShardError::HeaderCorrupt { .. })
+        ));
+
+        assert!(matches!(
+            ShardReader::from_bytes(pristine[..10].to_vec()),
+            Err(ShardError::TooShort(10))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_bit_flip_is_caught_and_isolated() {
+        let dir = tmpdir("flip");
+        let m = build_corpus(&dir, DatasetKind::Ucm, 1, 4, 4, 1, 2).unwrap();
+        let mut bytes = std::fs::read(&m.shard_files[0]).unwrap();
+        let rb = 8 + 4 * 16 + 4;
+        // flip a payload bit of record 2
+        bytes[HEADER_LEN + 2 * rb + 13] ^= 0x10;
+        let reader = ShardReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.read_record(2), Err(ShardError::RecordCorrupt { record: 2 }));
+        let raw = reader.read_raw(2).unwrap();
+        assert!(!raw.intact(), "read_raw must expose the mismatch");
+        for r in [0usize, 1, 3] {
+            assert!(reader.read_record(r).is_ok(), "record {r} must be unaffected");
+        }
+        assert!(matches!(
+            reader.read_record(4),
+            Err(ShardError::OutOfRange { record: 4, n_records: 4 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_crc_matches_byte_stream_crc() {
+        let label = 7u64;
+        let features = vec![1.5f32, -2.25, 0.0];
+        let mut bytes = label.to_le_bytes().to_vec();
+        for v in &features {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(record_crc(label, &features), crc32(&bytes));
+    }
+}

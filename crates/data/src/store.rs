@@ -1,0 +1,445 @@
+//! The [`ShardStore`] abstraction: where raw records come from.
+//!
+//! A store returns **unverified** [`RawRecord`]s — the checksum verdict
+//! is the streaming layer's to make, because what a mismatch *means*
+//! (retry? hedge? quarantine?) depends on policy, not on the medium.
+//! Two implementations:
+//!
+//! * [`FsShardStore`] — real `GEOFMSH1` files on a filesystem, opened
+//!   lazily so a missing or truncated file surfaces as a structured
+//!   [`ReadError`] at first touch rather than at startup.
+//! * [`SimShardStore`] — a pristine in-memory corpus plus a shared
+//!   [`FaultPlan`], injecting the I/O fault kinds (`CorruptRecord`,
+//!   `FlakyRead`, `MissingShard`, `TruncatedShard`, `SlowShard`,
+//!   `StalledRead`) deterministically. The simulated corpus is generated
+//!   by exactly the same procedure as [`build_corpus`], so a clean
+//!   `SimShardStore` and an `FsShardStore` over builder output serve
+//!   bit-identical records.
+//!
+//! [`build_corpus`]: crate::shard::build_corpus
+//! [`FaultPlan`]: geofm_resilience::FaultPlan
+
+use crate::datasets::{DatasetKind, SceneDataset};
+use crate::shard::{record_crc, RawRecord, ShardError, ShardReader};
+use geofm_resilience::{FaultPlan, RecordId};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Corpus geometry: how records are addressed across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Shards in the corpus.
+    pub shards: usize,
+    /// Records per shard (uniform by construction).
+    pub records_per_shard: usize,
+    /// f32 features per record.
+    pub record_len: usize,
+    /// Image edge length.
+    pub img: usize,
+    /// Channels.
+    pub channels: usize,
+    /// Class count of the generating dataset.
+    pub classes: usize,
+}
+
+impl StoreMeta {
+    /// Total records across the corpus.
+    pub fn total_records(&self) -> usize {
+        self.shards * self.records_per_shard
+    }
+
+    /// Map a global record index to its `(shard, record)` identity.
+    pub fn locate(&self, global: usize) -> RecordId {
+        RecordId { shard: global / self.records_per_shard, record: global % self.records_per_shard }
+    }
+}
+
+/// Why a store could not return a record's bytes at all (as opposed to
+/// returning bytes that fail verification, which is the caller's case to
+/// judge via [`RawRecord::intact`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The shard is gone — file absent, OST lost.
+    MissingShard {
+        /// Missing shard index.
+        shard: usize,
+    },
+    /// The shard was truncated and this record lies past the cut.
+    TruncatedShard {
+        /// Truncated shard index.
+        shard: usize,
+        /// Records still readable.
+        keep_records: usize,
+    },
+    /// The shard file exists but cannot be decoded (bad magic, header
+    /// rot, size mismatch).
+    ShardUnreadable {
+        /// Undecodable shard index.
+        shard: usize,
+        /// Decoder error text.
+        why: String,
+    },
+    /// The record index is outside the corpus.
+    OutOfRange {
+        /// Requested record.
+        id: RecordId,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingShard { shard } => write!(f, "shard {shard} missing"),
+            Self::TruncatedShard { shard, keep_records } => {
+                write!(f, "shard {shard} truncated to {keep_records} record(s)")
+            }
+            Self::ShardUnreadable { shard, why } => write!(f, "shard {shard} unreadable: {why}"),
+            Self::OutOfRange { id } => write!(f, "record {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl ReadError {
+    /// Whether the error condemns the whole shard (so a defended reader
+    /// quarantines every record of it, not just the one requested).
+    pub fn shard_fatal(&self) -> bool {
+        !matches!(self, Self::OutOfRange { .. })
+    }
+}
+
+/// A source of raw, unverified records.
+pub trait ShardStore: Send + Sync {
+    /// Corpus geometry.
+    fn meta(&self) -> StoreMeta;
+
+    /// Read one record's bytes. `Err` means the bytes are unobtainable;
+    /// `Ok` bytes may still fail verification ([`RawRecord::intact`]).
+    fn read(&self, id: RecordId) -> Result<RawRecord, ReadError>;
+}
+
+/// Cached outcome of opening one shard file: a validated reader, or the
+/// structural error every read of that shard will return.
+type OpenVerdict = Result<Arc<ShardReader>, ReadError>;
+
+/// [`ShardStore`] over real `GEOFMSH1` files.
+///
+/// Shards are opened (and fully framing-validated) lazily on first touch
+/// and cached; open failures are cached too, so a lost shard costs one
+/// syscall, not one per read.
+pub struct FsShardStore {
+    meta: StoreMeta,
+    paths: Vec<PathBuf>,
+    open: Mutex<Vec<Option<OpenVerdict>>>,
+}
+
+impl FsShardStore {
+    /// Address a corpus of shard files. `meta` must describe the files'
+    /// actual geometry (as returned by the builder's manifest).
+    pub fn new(paths: Vec<PathBuf>, meta: StoreMeta) -> Self {
+        let open = Mutex::new(vec![None; paths.len()]);
+        Self { meta, paths, open }
+    }
+
+    fn shard(&self, shard: usize) -> Result<Arc<ShardReader>, ReadError> {
+        let mut open = self.open.lock().unwrap();
+        if let Some(cached) = &open[shard] {
+            return cached.clone();
+        }
+        let loaded = match std::fs::read(&self.paths[shard]) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(ReadError::MissingShard { shard })
+            }
+            Err(e) => Err(ReadError::ShardUnreadable { shard, why: e.to_string() }),
+            Ok(bytes) => match ShardReader::from_bytes(bytes) {
+                Ok(r) => Ok(Arc::new(r)),
+                Err(ShardError::SizeMismatch { expected, actual }) if actual < expected => {
+                    // a truncated file: records before the cut are *not*
+                    // recoverable through the framing check, so the whole
+                    // shard is condemned with its surviving prefix length
+                    let rb = 8 + 4 * self.meta.record_len as u64 + 4;
+                    let keep =
+                        (actual.saturating_sub(crate::shard::HEADER_LEN as u64) / rb) as usize;
+                    Err(ReadError::TruncatedShard { shard, keep_records: keep })
+                }
+                Err(e) => Err(ReadError::ShardUnreadable { shard, why: e.to_string() }),
+            },
+        };
+        open[shard] = Some(loaded.clone());
+        loaded
+    }
+}
+
+impl ShardStore for FsShardStore {
+    fn meta(&self) -> StoreMeta {
+        self.meta
+    }
+
+    fn read(&self, id: RecordId) -> Result<RawRecord, ReadError> {
+        if id.shard >= self.meta.shards || id.record >= self.meta.records_per_shard {
+            return Err(ReadError::OutOfRange { id });
+        }
+        let reader = self.shard(id.shard)?;
+        reader.read_raw(id.record).map_err(|e| match e {
+            ShardError::OutOfRange { .. } => ReadError::OutOfRange { id },
+            other => ReadError::ShardUnreadable { shard: id.shard, why: other.to_string() },
+        })
+    }
+}
+
+/// Fault-injectable in-memory [`ShardStore`]: pristine records plus a
+/// shared [`FaultPlan`] consulted on every read.
+///
+/// Fault semantics mirror the plan's contract: `CorruptRecord` rots the
+/// returned bytes on *every* read (persistent), `FlakyRead` rots exactly
+/// one read (one-shot — the retry is clean), `MissingShard` /
+/// `TruncatedShard` are structural [`ReadError`]s, `SlowShard` delays
+/// every read, `StalledRead` delays exactly one read (the hedge target).
+pub struct SimShardStore {
+    meta: StoreMeta,
+    /// `records[shard][record]` = (label, features, crc).
+    records: Vec<Vec<(u64, Vec<f32>, u32)>>,
+    plan: Arc<FaultPlan>,
+}
+
+impl SimShardStore {
+    /// Generate a pristine corpus (same procedure as the on-disk builder)
+    /// and wire it to `plan` for fault injection. Use
+    /// [`FaultPlan::none`] for a clean store.
+    pub fn generate(
+        kind: DatasetKind,
+        shards: usize,
+        records_per_shard: usize,
+        img: usize,
+        channels: usize,
+        seed: u64,
+        plan: Arc<FaultPlan>,
+    ) -> Self {
+        let n = shards * records_per_shard;
+        let ds = SceneDataset::generate(kind, n, img, channels, 3_000_000, seed);
+        let records = (0..shards)
+            .map(|s| {
+                (0..records_per_shard)
+                    .map(|r| {
+                        let row = s * records_per_shard + r;
+                        let label = ds.labels[row] as u64;
+                        let features = ds.images.row(row).to_vec();
+                        let crc = record_crc(label, &features);
+                        (label, features, crc)
+                    })
+                    .collect()
+            })
+            .collect();
+        let meta = StoreMeta {
+            shards,
+            records_per_shard,
+            record_len: channels * img * img,
+            img,
+            channels,
+            classes: kind.classes(),
+        };
+        Self { meta, records, plan }
+    }
+}
+
+impl ShardStore for SimShardStore {
+    fn meta(&self) -> StoreMeta {
+        self.meta
+    }
+
+    fn read(&self, id: RecordId) -> Result<RawRecord, ReadError> {
+        if id.shard >= self.meta.shards || id.record >= self.meta.records_per_shard {
+            return Err(ReadError::OutOfRange { id });
+        }
+        if self.plan.io_missing(id.shard) {
+            return Err(ReadError::MissingShard { shard: id.shard });
+        }
+        if let Some(keep) = self.plan.io_truncated(id.shard) {
+            // truncation condemns the whole shard — matching the on-disk
+            // reality, where a size-mismatched file fails framing for
+            // every record. Keeping both media identical keeps quarantine
+            // independent of which record was touched first.
+            return Err(ReadError::TruncatedShard { shard: id.shard, keep_records: keep });
+        }
+        if let Some(delay) = self.plan.io_slow(id.shard) {
+            std::thread::sleep(delay);
+        }
+        if let Some(stall) = self.plan.take_io_stall(id.shard, id.record) {
+            std::thread::sleep(stall);
+        }
+        let (label, features, crc) = &self.records[id.shard][id.record];
+        let mut raw = RawRecord {
+            label: *label,
+            features: features.clone(),
+            crc_stored: *crc,
+            crc_actual: *crc,
+        };
+        if self.plan.io_corrupt(id.shard, id.record) || self.plan.take_io_flaky(id.shard, id.record)
+        {
+            // rot one payload bit deterministically and recompute what a
+            // reader would hash over the rotten bytes
+            let i = id.record % raw.features.len().max(1);
+            raw.features[i] = f32::from_bits(raw.features[i].to_bits() ^ (1 << 17));
+            raw.crc_actual = record_crc(raw.label, &raw.features);
+        }
+        Ok(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::build_corpus;
+
+    fn sim(plan: Arc<FaultPlan>) -> SimShardStore {
+        SimShardStore::generate(DatasetKind::Ucm, 3, 8, 4, 1, 7, plan)
+    }
+
+    #[test]
+    fn fs_and_sim_stores_serve_identical_records() {
+        let dir = std::env::temp_dir().join(format!("geofm-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = build_corpus(&dir, DatasetKind::Ucm, 3, 8, 4, 1, 7).unwrap();
+        let meta = StoreMeta {
+            shards: 3,
+            records_per_shard: 8,
+            record_len: 16,
+            img: 4,
+            channels: 1,
+            classes: 21,
+        };
+        let fs = FsShardStore::new(m.shard_files.clone(), meta);
+        let simstore = sim(Arc::new(FaultPlan::none()));
+        for g in 0..meta.total_records() {
+            let id = meta.locate(g);
+            let a = fs.read(id).unwrap();
+            let b = simstore.read(id).unwrap();
+            assert!(a.intact() && b.intact());
+            assert_eq!(a, b, "record {id} differs between media");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_store_reports_missing_and_truncated_shards() {
+        let dir = std::env::temp_dir().join(format!("geofm-store-mt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = build_corpus(&dir, DatasetKind::Ucm, 2, 4, 4, 1, 1).unwrap();
+        let meta = StoreMeta {
+            shards: 2,
+            records_per_shard: 4,
+            record_len: 16,
+            img: 4,
+            channels: 1,
+            classes: 21,
+        };
+        std::fs::remove_file(&m.shard_files[0]).unwrap();
+        let bytes = std::fs::read(&m.shard_files[1]).unwrap();
+        let rb = 8 + 4 * 16 + 4;
+        std::fs::write(&m.shard_files[1], &bytes[..crate::shard::HEADER_LEN + 2 * rb + 5]).unwrap();
+        let fs = FsShardStore::new(m.shard_files.clone(), meta);
+        assert_eq!(
+            fs.read(RecordId { shard: 0, record: 0 }),
+            Err(ReadError::MissingShard { shard: 0 })
+        );
+        // cached verdict on the second touch
+        assert_eq!(
+            fs.read(RecordId { shard: 0, record: 3 }),
+            Err(ReadError::MissingShard { shard: 0 })
+        );
+        assert_eq!(
+            fs.read(RecordId { shard: 1, record: 0 }),
+            Err(ReadError::TruncatedShard { shard: 1, keep_records: 2 })
+        );
+        assert_eq!(
+            fs.read(RecordId { shard: 2, record: 0 }),
+            Err(ReadError::OutOfRange { id: RecordId { shard: 2, record: 0 } })
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_store_reports_garbage_shard_unreadable() {
+        let dir = std::env::temp_dir().join(format!("geofm-store-g-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-0000.gsh");
+        std::fs::write(&path, b"NOTASHARDFILE___________________________________________________")
+            .unwrap();
+        let meta = StoreMeta {
+            shards: 1,
+            records_per_shard: 4,
+            record_len: 16,
+            img: 4,
+            channels: 1,
+            classes: 21,
+        };
+        let fs = FsShardStore::new(vec![path], meta);
+        assert!(matches!(
+            fs.read(RecordId { shard: 0, record: 0 }),
+            Err(ReadError::ShardUnreadable { shard: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sim_store_injects_persistent_corruption() {
+        let plan = Arc::new(FaultPlan::none().with_corrupt_record(1, 3));
+        let store = sim(plan);
+        for _ in 0..3 {
+            let raw = store.read(RecordId { shard: 1, record: 3 }).unwrap();
+            assert!(!raw.intact(), "rot must persist across retries");
+        }
+        assert!(store.read(RecordId { shard: 1, record: 2 }).unwrap().intact());
+    }
+
+    #[test]
+    fn sim_store_flaky_read_heals_on_retry() {
+        let plan = Arc::new(FaultPlan::none().with_flaky_read(0, 5));
+        let store = sim(plan);
+        assert!(!store.read(RecordId { shard: 0, record: 5 }).unwrap().intact());
+        assert!(store.read(RecordId { shard: 0, record: 5 }).unwrap().intact());
+    }
+
+    #[test]
+    fn sim_store_structural_faults_match_plan() {
+        let plan = Arc::new(
+            FaultPlan::none().with_missing_shard(2).with_truncated_shard(0, 6),
+        );
+        let store = sim(plan);
+        assert_eq!(
+            store.read(RecordId { shard: 2, record: 0 }),
+            Err(ReadError::MissingShard { shard: 2 })
+        );
+        // truncation condemns every record of the shard, like real files
+        assert_eq!(
+            store.read(RecordId { shard: 0, record: 5 }),
+            Err(ReadError::TruncatedShard { shard: 0, keep_records: 6 })
+        );
+        assert_eq!(
+            store.read(RecordId { shard: 0, record: 6 }),
+            Err(ReadError::TruncatedShard { shard: 0, keep_records: 6 })
+        );
+        assert!(store.read(RecordId { shard: 1, record: 0 }).is_ok());
+        assert!(ReadError::MissingShard { shard: 2 }.shard_fatal());
+        assert!(
+            !ReadError::OutOfRange { id: RecordId { shard: 9, record: 0 } }.shard_fatal()
+        );
+    }
+
+    #[test]
+    fn locate_is_shard_major() {
+        let meta = StoreMeta {
+            shards: 4,
+            records_per_shard: 10,
+            record_len: 16,
+            img: 4,
+            channels: 1,
+            classes: 21,
+        };
+        assert_eq!(meta.locate(0), RecordId { shard: 0, record: 0 });
+        assert_eq!(meta.locate(27), RecordId { shard: 2, record: 7 });
+        assert_eq!(meta.total_records(), 40);
+    }
+}

@@ -45,6 +45,7 @@ pub mod engine;
 pub mod faults;
 pub mod gray;
 pub mod guard;
+pub mod ingest;
 pub mod io;
 pub mod machine;
 pub mod memory;
@@ -57,6 +58,7 @@ pub use elastic::{ElasticModel, ElasticPoint};
 pub use faults::{interval_ladder, FaultModel, GoodputPoint, GoodputSweep};
 pub use gray::{GrayModel, GrayPoint};
 pub use guard::{GuardPoint, SdcGuardModel};
+pub use ingest::{IngestModel, IngestPoint};
 pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
 pub use memory::MemoryModel;
 pub use schedule::{build_step, serialize_streams, strip_comm};

@@ -46,6 +46,6 @@ pub use sentinel::{Sentinel, SentinelConfig, SentinelTrip};
 pub use strategy::{FsdpConfig, OverlapConfig, PrefetchPolicy, ShardingStrategy};
 pub use trainer::{
     run_data_parallel, run_data_parallel_with_telemetry, try_run_data_parallel, try_run_elastic,
-    DistReport, ElasticConfig, GuardConfig, ReshardEvent, ReshardKind, ReshardReport,
-    ResilienceConfig,
+    try_run_streaming, DistReport, ElasticConfig, GuardConfig, ReshardEvent, ReshardKind,
+    ReshardReport, ResilienceConfig,
 };

@@ -26,9 +26,10 @@ use geofm_collectives::{
     ProcessGroups, SurvivorConsensus, TrafficCounter, TrafficSnapshot,
 };
 use geofm_nn::{AdamWState, Module};
+use geofm_data::stream::{Batch, IngestPlane};
 use geofm_resilience::{
-    DegradedReport, ElasticCheckpoint, FailureReport, FaultPlan, GuardReport, RankFailure,
-    RankSlot, ReshardSummary, StepCheckpoint,
+    DataReport, DegradedReport, ElasticCheckpoint, FailureReport, FaultPlan, GuardReport,
+    RankFailure, RankSlot, ReshardSummary, StepCheckpoint,
 };
 use geofm_telemetry::Telemetry;
 use std::collections::BTreeSet;
@@ -69,6 +70,10 @@ pub struct DistReport {
     /// Elastic world transitions the run performed (empty without
     /// [`ResilienceConfig::elastic`] or without rank-leave/rejoin faults).
     pub reshard: ReshardReport,
+    /// Ingest-plane accounting — `Some` only for [`try_run_streaming`]
+    /// runs. Distinguishes input-bound steps (high `wait_ns_max`, shallow
+    /// queue) from compute stragglers, and records what was quarantined.
+    pub data: Option<DataReport>,
 }
 
 /// Which way an elastic world transition went.
@@ -393,6 +398,76 @@ where
     )
 }
 
+/// The streaming harness: [`try_run_elastic`] fed by a fault-tolerant
+/// [`IngestPlane`] instead of closure-synthesised batches.
+///
+/// Each rank pulls its slice of every step's global batch through the
+/// plane's defended, prefetched path — CRC-verified, hedged against
+/// stragglers, quarantine-and-skip on unrecoverable records — and hands
+/// it to `compute(model, batch, rank, world, step)`.
+///
+/// Failure semantics compose with the elastic harness:
+///
+/// * An [`geofm_data::stream::IngestError`] (a rank's whole batch slice
+///   quarantined) panics the rank thread, which the existing unwind
+///   boundary converts into a structured [`RankFailure`] — ingest faults
+///   **never hang the world**, they surface like any other rank failure
+///   and consume a restart.
+/// * The plane's [`DataReport`] is attached to the outcome either way:
+///   [`DistReport::data`] on success, [`FailureReport::data`] on failure,
+///   so quarantined records are visible to the recovery run that must
+///   replay them (supply them via `StreamConfig.quarantine` for a
+///   bit-identical reproduction).
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_streaming<M, FM, FC, FL>(
+    config: FsdpConfig,
+    world: usize,
+    weight_decay: f32,
+    steps: usize,
+    make_model: FM,
+    plane: Arc<IngestPlane>,
+    compute: FC,
+    lr_at: FL,
+    telemetry: Option<Arc<Telemetry>>,
+    resilience: ResilienceConfig,
+) -> Result<DistReport, FailureReport>
+where
+    M: Module + Send,
+    FM: Fn(usize) -> (M, Vec<usize>) + Sync,
+    FC: Fn(&mut M, &Batch, usize, usize, usize) -> f32 + Sync,
+    FL: Fn(usize) -> f32 + Sync,
+{
+    let feed = Arc::clone(&plane);
+    let result = try_run_elastic(
+        config,
+        world,
+        weight_decay,
+        steps,
+        make_model,
+        move |m: &mut M, rank: usize, world: usize, step: usize| {
+            match feed.next_batch(step, rank, world) {
+                Ok(batch) => compute(m, &batch, rank, world, step),
+                // surfaces as a structured RankFailure via the rank
+                // thread's unwind boundary — never a hang
+                Err(e) => panic!("{e}"),
+            }
+        },
+        lr_at,
+        telemetry,
+        resilience,
+    );
+    match result {
+        Ok(mut report) => {
+            report.data = Some(plane.report());
+            Ok(report)
+        }
+        Err(mut failure) => {
+            failure.data = Some(Box::new(plane.report()));
+            Err(failure)
+        }
+    }
+}
+
 /// The elastic harness: [`try_run_data_parallel`] generalised to a compute
 /// closure that receives the **current** world size — `compute(model, rank,
 /// world, step)` — so microbatch partitioning can follow the world as it
@@ -446,6 +521,7 @@ where
         degraded: None,
         guard: None,
         reshards: Vec::new(),
+        data: None,
     };
     // per-attempt deposit slot for the guard report (every rank computes an
     // identical report; rank 0 — or the rank that exhausts the rollback
@@ -560,7 +636,7 @@ where
                     failure.guard = Some(Box::new(gr));
                 }
                 if failure.restarts_used >= resilience.max_restarts {
-                    failure.degraded = health.report();
+                    failure.degraded = health.report().map(Box::new);
                     return Err(failure);
                 }
                 failure.restarts_used += 1;
@@ -574,7 +650,7 @@ where
                     // join drained every comm thread); agree, then reshard ----
                     let target = cur_world - departed.len();
                     if target < ecfg.min_world.max(1) {
-                        failure.degraded = health.report();
+                        failure.degraded = health.report().map(Box::new);
                         failure.failures.push(RankFailure {
                             rank: departed[0],
                             step: resume_step_of(&elastic_snapshot),
@@ -591,7 +667,7 @@ where
                         ecfg.consensus_timeout,
                         telemetry.as_deref(),
                     ) {
-                        failure.degraded = health.report();
+                        failure.degraded = health.report().map(Box::new);
                         failure.failures.push(RankFailure {
                             rank: 0,
                             step: resume_step_of(&elastic_snapshot),
@@ -1271,6 +1347,7 @@ where
         degraded: None,
         guard: None,
         reshard: ReshardReport::default(),
+        data: None,
     })
 }
 

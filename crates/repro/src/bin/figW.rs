@@ -1,0 +1,151 @@
+//! Figure W: achieved training throughput vs **ingest fault rate** and
+//! **stripe contention**, ingest defenses on vs off (MAE ViT-3B,
+//! FULL_SHARD, Lustre-like striped shard reads).
+//!
+//! The paper does not print this figure; it prices the fault-tolerant
+//! streaming ingest plane (`geofm-data`: CRC-verified `GEOFMSH1` shards,
+//! EWMA-timeout hedged reads, quarantine-and-skip degradation) the way
+//! `figT` prices the SDC guard and `figV` prices elastic resharding.
+//! Both curves face the identical fault process — a per-read probability
+//! split between multi-second OST stalls and corrupt records:
+//!
+//! * **defenses on** — every byte is CRC-checked, stalls cost only the
+//!   hedge timeout plus a re-read, persistent rot costs bounded retries
+//!   and a quarantined record (goodput shrinks linearly);
+//! * **defenses off** — stalls are served in full and corrupt records
+//!   are consumed silently, poisoning their whole global batch — the
+//!   `(1 − f)^batch` cliff, at the data layer.
+//!
+//! The claim CI enforces: defenses-on **strictly dominates** defenses-off
+//! at every nonzero fault rate and every contention level, while costing
+//! under 5 % of the clean read path when nothing is failing.
+
+use geofm_frontier::{FrontierMachine, IngestModel, MaeWorkload, SimConfig};
+use geofm_fsdp::ShardingStrategy;
+use geofm_repro::{append_metrics_csv, ascii_chart_labeled, write_csv};
+use geofm_telemetry::Telemetry;
+use geofm_vit::{VitConfig, VitVariant};
+
+fn main() {
+    println!(
+        "FIGURE W — achieved ips vs ingest fault rate × stripe contention, \
+         defenses on/off (MAE ViT-3B, FULL_SHARD)"
+    );
+    let cfg = VitConfig::table1(VitVariant::B3);
+    let wl = MaeWorkload::build(&cfg, 32, 0.75);
+    let sim_cfg = SimConfig::tuned(FrontierMachine::new(8), ShardingStrategy::FullShard, wl);
+    let model = IngestModel::default();
+    let fault_rates = [0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2];
+    let contentions = [1usize, 4, 16];
+    println!(
+        "  ingest: {}-way stripes at {:.0} GB/s/OST, {:.1} MB records × {} per batch; \
+         CRC at {:.0} GB/s; stalls {:.0} s undefended, hedged at {:.0}× EWMA; {} retries",
+        model.stripe_width,
+        model.ost_bw / 1e9,
+        model.record_bytes / 1e6,
+        model.batch_records,
+        model.crc_bw / 1e9,
+        model.stall_s,
+        model.hedge_timeout_mult,
+        model.retries
+    );
+
+    let tel = Telemetry::new();
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    let mut dominated = true;
+    let mut worst_margin = f64::INFINITY;
+    let mut clean_overhead_max = 0.0f64;
+    for &contention in &contentions {
+        let points: Vec<_> =
+            fault_rates.iter().map(|&f| model.expected(&sim_cfg, f, contention)).collect();
+        tel.metrics.counter("figW.sweeps").inc(1);
+        println!(
+            "\n  contention ×{contention} — clean read {:.3} s/batch, compute {:.3} s/step",
+            points[0].read_s, points[0].compute_s
+        );
+        println!(
+            "{:>10} {:>10} {:>10} {:>8} {:>8} {:>12} {:>12}",
+            "fault", "ingest_on", "ingest_off", "hedges", "quar%", "ips_on", "ips_off"
+        );
+        for p in &points {
+            println!(
+                "{:>10.0e} {:>10.3} {:>10.3} {:>8.2} {:>7.2}% {:>12.4} {:>12.4}",
+                p.fault_rate,
+                p.ingest_on_s,
+                p.ingest_off_s,
+                p.hedges,
+                p.quarantined_frac * 100.0,
+                p.achieved_on,
+                p.achieved_off
+            );
+            rows.push(format!(
+                "{contention},{:e},{:.6},{:.6},{:.4},{:.6},{:.6},{:.6}",
+                p.fault_rate,
+                p.ingest_on_s,
+                p.ingest_off_s,
+                p.hedges,
+                p.quarantined_frac,
+                p.achieved_on,
+                p.achieved_off
+            ));
+            if p.fault_rate == 0.0 {
+                clean_overhead_max = clean_overhead_max.max(p.overhead_frac);
+            } else {
+                // the CI-enforced claim: strict dominance at every
+                // nonzero fault rate, every contention level
+                let margin = p.achieved_on - p.achieved_off;
+                worst_margin = worst_margin.min(margin);
+                dominated &= margin > 0.0;
+            }
+        }
+        chart.push((
+            format!("x{contention} on"),
+            points.iter().map(|p| p.achieved_on).collect(),
+        ));
+        chart.push((
+            format!("x{contention} off"),
+            points.iter().map(|p| p.achieved_off).collect(),
+        ));
+    }
+
+    let rate_labels: Vec<usize> =
+        fault_rates.iter().map(|f| (f * 1e4).round() as usize).collect();
+    let csv_path = write_csv(
+        "figW.csv",
+        "contention,fault_rate,ingest_on_s,ingest_off_s,hedges,quarantined_frac,achieved_on,achieved_off",
+        &rows,
+    );
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    ascii_chart_labeled(
+        "achieved ips vs ingest fault rate (columns left→right = clean→hostile)",
+        "x (fault rate ×1e-4)",
+        &rate_labels,
+        &chart,
+        4,
+    );
+    assert!(
+        dominated,
+        "ingest defenses must strictly dominate at every nonzero fault rate \
+         (worst margin {worst_margin:.4})"
+    );
+    assert!(
+        clean_overhead_max < 0.05,
+        "clean-path defense overhead {:.2}% must stay under 5%",
+        clean_overhead_max * 100.0
+    );
+    println!(
+        "\nReading: with nothing failing the defenses cost {:.2}% of the read path (one \
+         streaming CRC pass), invisible behind prefetch. At any nonzero fault rate the \
+         undefended plane loses on both axes at once: every OST stall is served in full \
+         (tens of seconds against a hedge timeout of milliseconds) and every consumed \
+         corrupt record silently poisons its whole global batch, so useful steps vanish \
+         as (1−f)^batch. The defended plane instead degrades linearly — rot is caught by \
+         CRC, retried, then quarantined; stragglers are hedged past — keeping the worst-\
+         case dominance margin at {:.4} ips. This is the data-layer twin of the SDC-guard \
+         argument: at Frontier scale the question is not whether reads fail, but whether \
+         a failed read costs a record or a campaign.",
+        clean_overhead_max * 100.0,
+        worst_margin
+    );
+}

@@ -20,6 +20,8 @@
 //! | `figS`  | Gray failures — ips vs degradation fraction per sharding strategy under degraded-GCD/degraded-link models (not in the paper; quantifies the regime §IV-D assumes away) |
 //! | `figT`  | SDC guard — goodput vs silent-corruption rate per strategy, guard on/off (not in the paper; prices the integrity defense of DESIGN.md §11) |
 //! | `figU`  | Overlap — exposed-comm share vs nodes per strategy, comm/compute overlap on/off (not in the paper; isolates the mechanism behind Fig. 1's ~22 % anchor, DESIGN.md §12) |
+//! | `figV`  | Elastic — goodput of shrink-and-continue vs wait-for-restart across node MTBF and job size (not in the paper; prices the elastic resharding of DESIGN.md §14) |
+//! | `figW`  | Ingest — achieved ips vs ingest fault rate × stripe contention, defenses on/off (not in the paper; prices the fault-tolerant ingest plane of DESIGN.md §15) |
 
 use geofm_telemetry::MetricsSnapshot;
 use std::fs;

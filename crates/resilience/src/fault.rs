@@ -136,6 +136,58 @@ pub enum FaultKind {
         /// Step index at which the spare arrives.
         step: usize,
     },
+    /// Record `record` of shard `shard` is rotten *on disk*: every read
+    /// returns bytes whose CRC does not match. Persistent — retries fail
+    /// too, so a defended reader must quarantine the record.
+    CorruptRecord {
+        /// Shard index holding the rotten record.
+        shard: usize,
+        /// Record index within the shard.
+        record: usize,
+    },
+    /// One read of record `record` in shard `shard` comes back corrupted
+    /// (a transient RPC/DMA upset); the on-disk bytes are fine. One-shot:
+    /// the retry succeeds, which is what the retry path is for.
+    FlakyRead {
+        /// Shard index of the flaky read.
+        shard: usize,
+        /// Record index within the shard.
+        record: usize,
+    },
+    /// Shard `shard` is missing entirely (an OST went away, a file was
+    /// never staged). Persistent — every record of the shard is
+    /// unreadable for the whole run.
+    MissingShard {
+        /// Missing shard index.
+        shard: usize,
+    },
+    /// Shard `shard` was truncated: only the first `keep_records` records
+    /// survive; reads past the cut fail. Persistent.
+    TruncatedShard {
+        /// Truncated shard index.
+        shard: usize,
+        /// Number of leading records still readable.
+        keep_records: usize,
+    },
+    /// Every read touching shard `shard` takes an extra `delay_ms` — a
+    /// contended or degraded OST stripe. Persistent and repeatable.
+    SlowShard {
+        /// Slow shard index.
+        shard: usize,
+        /// Extra per-read latency in milliseconds.
+        delay_ms: u64,
+    },
+    /// One read of record `record` in shard `shard` stalls for `stall_ms`
+    /// before completing — the classic straggling-OST read a hedged
+    /// second request races past. One-shot.
+    StalledRead {
+        /// Shard index of the stalled read.
+        shard: usize,
+        /// Record index within the shard.
+        record: usize,
+        /// Stall duration in milliseconds.
+        stall_ms: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -182,6 +234,29 @@ pub struct FaultMix {
     /// Per-step probability of a spare node arriving
     /// ([`FaultKind::SpareRejoin`]).
     pub rejoin_prob: f64,
+    /// Per-record probability of persistent on-disk rot
+    /// ([`FaultKind::CorruptRecord`]). Only consumed by
+    /// [`FaultPlan::seeded_with_io`].
+    pub io_corrupt_prob: f64,
+    /// Per-record probability of a one-shot transient corrupted read
+    /// ([`FaultKind::FlakyRead`]).
+    pub io_flaky_prob: f64,
+    /// Per-record probability of a one-shot stalled read
+    /// ([`FaultKind::StalledRead`]).
+    pub io_stall_prob: f64,
+    /// Stall duration range in milliseconds (uniform, half-open).
+    pub io_stall_ms: (u64, u64),
+    /// Per-shard probability of the shard being missing entirely
+    /// ([`FaultKind::MissingShard`]).
+    pub io_missing_prob: f64,
+    /// Per-shard probability of truncation ([`FaultKind::TruncatedShard`];
+    /// the cut point is uniform over the shard's records).
+    pub io_truncate_prob: f64,
+    /// Per-shard probability of a persistently slow stripe
+    /// ([`FaultKind::SlowShard`]).
+    pub io_slow_prob: f64,
+    /// Slow-shard per-read delay range in milliseconds (uniform, half-open).
+    pub io_slow_ms: (u64, u64),
 }
 
 impl FaultMix {
@@ -201,6 +276,14 @@ impl FaultMix {
             poison_prob: 0.0,
             leave_prob: 0.0,
             rejoin_prob: 0.0,
+            io_corrupt_prob: 0.0,
+            io_flaky_prob: 0.0,
+            io_stall_prob: 0.0,
+            io_stall_ms: (20, 60),
+            io_missing_prob: 0.0,
+            io_truncate_prob: 0.0,
+            io_slow_prob: 0.0,
+            io_slow_ms: (1, 5),
         }
     }
 
@@ -209,6 +292,21 @@ impl FaultMix {
     /// `tests/sdc.rs`.
     pub fn corruption_only(p: f64) -> Self {
         Self { bitflip_prob: p, poison_prob: p, ..Self::crashes_only(0.0) }
+    }
+
+    /// Only ingest-plane I/O faults: per-record rot/flaky/stall at
+    /// probability `p_record`, per-shard missing/truncate/slow at
+    /// probability `p_shard` — the mix driven by `tests/ingest_chaos.rs`.
+    pub fn io_only(p_record: f64, p_shard: f64) -> Self {
+        Self {
+            io_corrupt_prob: p_record,
+            io_flaky_prob: p_record,
+            io_stall_prob: p_record,
+            io_missing_prob: p_shard,
+            io_truncate_prob: p_shard,
+            io_slow_prob: p_shard,
+            ..Self::crashes_only(0.0)
+        }
     }
 }
 
@@ -290,6 +388,47 @@ impl FaultPlan {
         self
     }
 
+    /// Add a [`FaultKind::CorruptRecord`]: `(shard, record)` is rotten on
+    /// disk for the whole run.
+    pub fn with_corrupt_record(mut self, shard: usize, record: usize) -> Self {
+        self.push(FaultKind::CorruptRecord { shard, record });
+        self
+    }
+
+    /// Add a [`FaultKind::FlakyRead`]: the first read of `(shard, record)`
+    /// comes back corrupted; retries are clean.
+    pub fn with_flaky_read(mut self, shard: usize, record: usize) -> Self {
+        self.push(FaultKind::FlakyRead { shard, record });
+        self
+    }
+
+    /// Add a [`FaultKind::MissingShard`].
+    pub fn with_missing_shard(mut self, shard: usize) -> Self {
+        self.push(FaultKind::MissingShard { shard });
+        self
+    }
+
+    /// Add a [`FaultKind::TruncatedShard`]: only the first `keep_records`
+    /// records of `shard` survive.
+    pub fn with_truncated_shard(mut self, shard: usize, keep_records: usize) -> Self {
+        self.push(FaultKind::TruncatedShard { shard, keep_records });
+        self
+    }
+
+    /// Add a [`FaultKind::SlowShard`]: every read of `shard` takes an
+    /// extra `delay`.
+    pub fn with_slow_shard(mut self, shard: usize, delay: Duration) -> Self {
+        self.push(FaultKind::SlowShard { shard, delay_ms: delay.as_millis() as u64 });
+        self
+    }
+
+    /// Add a [`FaultKind::StalledRead`]: the first read of
+    /// `(shard, record)` stalls for `stall` before completing.
+    pub fn with_stalled_read(mut self, shard: usize, record: usize, stall: Duration) -> Self {
+        self.push(FaultKind::StalledRead { shard, record, stall_ms: stall.as_millis() as u64 });
+        self
+    }
+
     /// Sample a random plan from `mix`. Deterministic per seed.
     ///
     /// Sampling distribution (one `StdRng` stream, fixed draw order, so the
@@ -316,6 +455,27 @@ impl FaultPlan {
     /// without perturbing the remaining kinds' draws relative to plans
     /// sampled with the same non-zero probabilities.
     pub fn seeded(seed: u64, world: usize, steps: usize, mix: &FaultMix) -> Self {
+        Self::seeded_with_io(seed, world, steps, 0, 0, mix)
+    }
+
+    /// [`FaultPlan::seeded`] extended with ingest-plane I/O fault streams
+    /// over a corpus of `shards` shards × `records_per_shard` records.
+    ///
+    /// The I/O streams draw *after* every older stream (after the rejoin
+    /// stream), in the fixed order: per record (shard ascending, record
+    /// ascending) *corrupt*, *flaky*, *stall*; then per shard (ascending)
+    /// *missing*, *truncate*, *slow*. As with every other kind, a stream
+    /// whose governing probability is zero consumes no draws — so plans
+    /// sampled by pre-ingest mixes stay byte-identical, and
+    /// [`FaultPlan::seeded`] is exactly `seeded_with_io` over zero shards.
+    pub fn seeded_with_io(
+        seed: u64,
+        world: usize,
+        steps: usize,
+        shards: usize,
+        records_per_shard: usize,
+        mix: &FaultMix,
+    ) -> Self {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut plan = Self::none();
@@ -369,6 +529,35 @@ impl FaultPlan {
         for step in 0..steps {
             if mix.rejoin_prob > 0.0 && rng.gen::<f64>() < mix.rejoin_prob {
                 plan.push(FaultKind::SpareRejoin { step });
+            }
+        }
+        for shard in 0..shards {
+            for record in 0..records_per_shard {
+                if mix.io_corrupt_prob > 0.0 && rng.gen::<f64>() < mix.io_corrupt_prob {
+                    plan.push(FaultKind::CorruptRecord { shard, record });
+                }
+                if mix.io_flaky_prob > 0.0 && rng.gen::<f64>() < mix.io_flaky_prob {
+                    plan.push(FaultKind::FlakyRead { shard, record });
+                }
+                if mix.io_stall_prob > 0.0 && rng.gen::<f64>() < mix.io_stall_prob {
+                    let (lo, hi) = mix.io_stall_ms;
+                    let stall_ms = rng.gen_range(lo..hi.max(lo + 1));
+                    plan.push(FaultKind::StalledRead { shard, record, stall_ms });
+                }
+            }
+        }
+        for shard in 0..shards {
+            if mix.io_missing_prob > 0.0 && rng.gen::<f64>() < mix.io_missing_prob {
+                plan.push(FaultKind::MissingShard { shard });
+            }
+            if mix.io_truncate_prob > 0.0 && rng.gen::<f64>() < mix.io_truncate_prob {
+                let keep_records = rng.gen_range(0..records_per_shard.max(1));
+                plan.push(FaultKind::TruncatedShard { shard, keep_records });
+            }
+            if mix.io_slow_prob > 0.0 && rng.gen::<f64>() < mix.io_slow_prob {
+                let (lo, hi) = mix.io_slow_ms;
+                let delay_ms = rng.gen_range(lo..hi.max(lo + 1));
+                plan.push(FaultKind::SlowShard { shard, delay_ms });
             }
         }
         plan
@@ -521,6 +710,77 @@ impl FaultPlan {
                 && !e.fired.swap(true, Ordering::AcqRel)
         })
     }
+
+    /// Whether `(shard, record)` is persistently rotten on disk
+    /// ([`FaultKind::CorruptRecord`]). Repeatable — retries read the same
+    /// rotten bytes.
+    pub fn io_corrupt(&self, shard: usize, record: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::CorruptRecord { shard: sh, record: r }
+                if sh == shard && r == record)
+        })
+    }
+
+    /// One-shot: returns `true` the first time `(shard, record)` is read
+    /// with a scheduled flaky read; the retry (and every later read) is
+    /// clean.
+    pub fn take_io_flaky(&self, shard: usize, record: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::FlakyRead { shard: sh, record: r }
+                if sh == shard && r == record)
+                && !e.fired.swap(true, Ordering::AcqRel)
+        })
+    }
+
+    /// Whether shard `shard` is missing entirely (repeatable).
+    pub fn io_missing(&self, shard: usize) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::MissingShard { shard: sh } if sh == shard))
+    }
+
+    /// If shard `shard` is truncated, the number of leading records still
+    /// readable — the *smallest* cut when several truncations overlap.
+    /// Repeatable.
+    pub fn io_truncated(&self, shard: usize) -> Option<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::TruncatedShard { shard: sh, keep_records } if sh == shard => {
+                    Some(keep_records)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Extra per-read latency for shard `shard`, if any — the largest
+    /// scheduled delay when several overlap. Repeatable: a contended
+    /// stripe stays contended.
+    pub fn io_slow(&self, shard: usize) -> Option<Duration> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::SlowShard { shard: sh, delay_ms } if sh == shard => Some(delay_ms),
+                _ => None,
+            })
+            .max()
+            .map(Duration::from_millis)
+    }
+
+    /// One-shot: the stall duration for the first read of
+    /// `(shard, record)` with a scheduled stall; `None` afterwards — the
+    /// hedged or retried read completes at normal speed.
+    pub fn take_io_stall(&self, shard: usize, record: usize) -> Option<Duration> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::StalledRead { shard: sh, record: r, stall_ms }
+                if sh == shard && r == record =>
+            {
+                (!e.fired.swap(true, Ordering::AcqRel)).then(|| Duration::from_millis(stall_ms))
+            }
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +865,7 @@ mod tests {
             poison_prob: 0.03,
             leave_prob: 0.02,
             rejoin_prob: 0.05,
+            ..FaultMix::crashes_only(0.0)
         }
     }
 
@@ -635,6 +896,7 @@ mod tests {
                     FaultKind::PoisonLoss { .. } => 7,
                     FaultKind::RankLeave { .. } => 8,
                     FaultKind::SpareRejoin { .. } => 9,
+                    _ => continue,
                 };
                 seen[i] = true;
             }
@@ -740,6 +1002,143 @@ mod tests {
                 FaultKind::RankLeave { .. } | FaultKind::SpareRejoin { .. }
             )));
         }
+    }
+
+    #[test]
+    fn corrupt_record_is_persistent_flaky_read_is_one_shot() {
+        let plan = FaultPlan::none().with_corrupt_record(2, 5).with_flaky_read(1, 3);
+        assert!(plan.io_corrupt(2, 5));
+        assert!(plan.io_corrupt(2, 5), "on-disk rot must survive retries");
+        assert!(!plan.io_corrupt(2, 4));
+        assert!(!plan.take_io_flaky(1, 2));
+        assert!(plan.take_io_flaky(1, 3));
+        assert!(!plan.take_io_flaky(1, 3), "flaky read must heal on retry");
+    }
+
+    #[test]
+    fn missing_and_truncated_shards_are_repeatable() {
+        let plan = FaultPlan::none()
+            .with_missing_shard(4)
+            .with_truncated_shard(2, 7)
+            .with_truncated_shard(2, 3);
+        assert!(plan.io_missing(4));
+        assert!(plan.io_missing(4));
+        assert!(!plan.io_missing(3));
+        assert_eq!(plan.io_truncated(2), Some(3), "overlapping cuts take the smallest");
+        assert_eq!(plan.io_truncated(0), None);
+    }
+
+    #[test]
+    fn slow_shard_is_repeatable_stalled_read_is_one_shot() {
+        let plan = FaultPlan::none()
+            .with_slow_shard(1, Duration::from_millis(4))
+            .with_stalled_read(0, 9, Duration::from_millis(80));
+        assert_eq!(plan.io_slow(1), Some(Duration::from_millis(4)));
+        assert_eq!(plan.io_slow(1), Some(Duration::from_millis(4)));
+        assert_eq!(plan.io_slow(0), None);
+        assert_eq!(plan.take_io_stall(0, 9), Some(Duration::from_millis(80)));
+        assert_eq!(plan.take_io_stall(0, 9), None, "hedge target must not stall twice");
+    }
+
+    fn io_mix() -> FaultMix {
+        FaultMix {
+            io_corrupt_prob: 0.05,
+            io_flaky_prob: 0.05,
+            io_stall_prob: 0.05,
+            io_missing_prob: 0.1,
+            io_truncate_prob: 0.1,
+            io_slow_prob: 0.2,
+            ..full_mix()
+        }
+    }
+
+    #[test]
+    fn seeded_with_io_samples_every_io_kind_deterministically() {
+        let a = FaultPlan::seeded_with_io(7, 8, 50, 16, 32, &io_mix());
+        let b = FaultPlan::seeded_with_io(7, 8, 50, 16, 32, &io_mix());
+        assert_eq!(a.events(), b.events());
+        let mut seen = [false; 6];
+        for seed in 0..20 {
+            for k in FaultPlan::seeded_with_io(seed, 8, 50, 16, 32, &io_mix()).events() {
+                match k {
+                    FaultKind::CorruptRecord { .. } => seen[0] = true,
+                    FaultKind::FlakyRead { .. } => seen[1] = true,
+                    FaultKind::StalledRead { .. } => seen[2] = true,
+                    FaultKind::MissingShard { .. } => seen[3] = true,
+                    FaultKind::TruncatedShard { .. } => seen[4] = true,
+                    FaultKind::SlowShard { .. } => seen[5] = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "io kinds sampled: {seen:?}");
+    }
+
+    #[test]
+    fn io_draws_only_append_to_legacy_plans() {
+        // The I/O streams sit after every pre-existing stream, so turning
+        // them on must leave the legacy prefix byte-identical — only new
+        // I/O events may appear, and only at the end. `seeded` itself is
+        // `seeded_with_io` over zero shards.
+        for seed in 0..10 {
+            let base = FaultPlan::seeded(seed, 8, 50, &full_mix()).events();
+            let grown = FaultPlan::seeded_with_io(seed, 8, 50, 16, 32, &io_mix()).events();
+            assert!(grown.len() >= base.len());
+            assert_eq!(&grown[..base.len()], &base[..], "seed {seed}: legacy prefix perturbed");
+            assert!(grown[base.len()..].iter().all(|k| matches!(
+                k,
+                FaultKind::CorruptRecord { .. }
+                    | FaultKind::FlakyRead { .. }
+                    | FaultKind::StalledRead { .. }
+                    | FaultKind::MissingShard { .. }
+                    | FaultKind::TruncatedShard { .. }
+                    | FaultKind::SlowShard { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn seeded_io_events_are_in_range() {
+        let mix = io_mix();
+        for seed in 0..10 {
+            for k in FaultPlan::seeded_with_io(seed, 4, 20, 8, 16, &mix).events() {
+                match k {
+                    FaultKind::CorruptRecord { shard, record }
+                    | FaultKind::FlakyRead { shard, record }
+                    | FaultKind::StalledRead { shard, record, .. } => {
+                        assert!(shard < 8 && record < 16);
+                    }
+                    FaultKind::TruncatedShard { shard, keep_records } => {
+                        assert!(shard < 8 && keep_records < 16);
+                    }
+                    FaultKind::MissingShard { shard } | FaultKind::SlowShard { shard, .. } => {
+                        assert!(shard < 8);
+                    }
+                    _ => {}
+                }
+                if let FaultKind::StalledRead { stall_ms, .. } = k {
+                    assert!((mix.io_stall_ms.0..mix.io_stall_ms.1).contains(&stall_ms));
+                }
+                if let FaultKind::SlowShard { delay_ms, .. } = k {
+                    assert!((mix.io_slow_ms.0..mix.io_slow_ms.1).contains(&delay_ms));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_only_mix_samples_only_io_kinds() {
+        let plan = FaultPlan::seeded_with_io(3, 4, 20, 8, 32, &FaultMix::io_only(0.05, 0.1));
+        assert!(!plan.is_empty());
+        assert!(plan.events().iter().all(|k| matches!(
+            k,
+            FaultKind::CorruptRecord { .. }
+                | FaultKind::FlakyRead { .. }
+                | FaultKind::StalledRead { .. }
+                | FaultKind::MissingShard { .. }
+                | FaultKind::TruncatedShard { .. }
+                | FaultKind::SlowShard { .. }
+        )));
     }
 
     #[test]

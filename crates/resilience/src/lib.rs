@@ -26,6 +26,10 @@
 //!   checksum trips, rollbacks, skipped steps, wasted re-executed work)
 //!   attached to both successful runs and failures by the
 //!   silent-data-corruption defense in `geofm-fsdp`.
+//! * [`DataReport`] / [`RecordId`] — the streaming-ingest summary (reads,
+//!   retries, hedged reads, quarantined records) attached by `geofm-data`'s
+//!   fault-tolerant shard loader. It lives here for the same reason the
+//!   failure types do: both the data plane and the trainer must see it.
 //!
 //! [`crc32`] is the workspace's one table-driven CRC32 implementation,
 //! shared by the step checkpoints here, the encoder checkpoints in
@@ -127,8 +131,9 @@ pub struct FailureReport {
     /// Per-rank failures observed in the final attempt.
     pub failures: Vec<RankFailure>,
     /// Gray-degradation summary from the health monitor, if it observed
-    /// any steps before the run died.
-    pub degraded: Option<DegradedReport>,
+    /// any steps before the run died. Boxed (like `guard` and `data`) to
+    /// keep the `Err` variant of `try_*` results small.
+    pub degraded: Option<Box<DegradedReport>>,
     /// Integrity-guard summary (sentinel/checksum trips, rollbacks), if
     /// the guard was enabled and observed anything before the run died.
     /// Boxed to keep the `Err` variant of `try_*` results small.
@@ -136,6 +141,92 @@ pub struct FailureReport {
     /// Elastic reshard transitions performed before the run died (empty
     /// unless elastic mode shrank or re-grew the world).
     pub reshards: Vec<ReshardSummary>,
+    /// Ingest-plane summary (reads, retries, hedges, quarantines), if the
+    /// run was fed by a streaming shard store. Boxed to keep the `Err`
+    /// variant of `try_*` results small.
+    pub data: Option<Box<DataReport>>,
+}
+
+/// One record's identity within a sharded corpus: `(shard, record)`.
+///
+/// Ordered shard-major so quarantine sets sort into corpus order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Shard index within the corpus.
+    pub shard: usize,
+    /// Record index within the shard.
+    pub record: usize,
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.shard, self.record)
+    }
+}
+
+/// Summary of what the streaming ingest plane did during a run: reads
+/// served, defenses exercised (retries, hedges) and records given up on
+/// (quarantined). Attached to both successful runs (`DistReport`) and
+/// failures ([`FailureReport`]).
+///
+/// The degradation contract mirrors the guard's: a run that quarantined
+/// records is bit-identical to a clean run told to skip the same records
+/// up front, so `quarantined` *is* the recovery transcript.
+#[must_use = "a data report accounts for skipped records and should be inspected or logged"]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataReport {
+    /// Records successfully decoded and fed to training.
+    pub records_read: u64,
+    /// Payload bytes of those records.
+    pub bytes_read: u64,
+    /// Reads retried after a checksum mismatch.
+    pub retries: u64,
+    /// Hedged second reads dispatched after a read overran its EWMA
+    /// timeout.
+    pub hedges: u64,
+    /// Hedged reads that beat the original straggling read.
+    pub hedge_wins: u64,
+    /// Records permanently given up on (persistent checksum failures or
+    /// records of lost shards), ascending. Their batch slots were dropped.
+    pub quarantined: Vec<RecordId>,
+    /// Shards found missing or truncated, ascending; all their affected
+    /// records appear in `quarantined`.
+    pub quarantined_shards: Vec<usize>,
+    /// Batch rows dropped because their record was quarantined (counts
+    /// every affected step, not distinct records).
+    pub dropped_rows: u64,
+    /// Times the consumer found the prefetch queue empty and had to wait.
+    pub prefetch_stalls: u64,
+    /// High-watermark of `data.wait.ns`: the longest a rank waited on the
+    /// prefetcher for one batch, in nanoseconds. Distinguishes input-bound
+    /// steps from compute stragglers in health output.
+    pub wait_ns_max: u64,
+    /// High-watermark of the `data.queue_depth` gauge across the run.
+    pub queue_depth_max: i64,
+}
+
+impl std::fmt::Display for DataReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ingest: {} record(s) read, {} retry(ies), {} hedge(s) ({} won), \
+             {} record(s) quarantined across {} bad shard(s), {} row(s) dropped",
+            self.records_read,
+            self.retries,
+            self.hedges,
+            self.hedge_wins,
+            self.quarantined.len(),
+            self.quarantined_shards.len(),
+            self.dropped_rows
+        )?;
+        write!(
+            f,
+            "  prefetch: {} stall(s), max wait {:.2} ms, max queue depth {}",
+            self.prefetch_stalls,
+            self.wait_ns_max as f64 / 1e6,
+            self.queue_depth_max
+        )
+    }
 }
 
 /// One elastic world transition, as recorded on reports. The full reshard
@@ -248,6 +339,7 @@ mod tests {
             degraded: None,
             guard: None,
             reshards: vec![ReshardSummary { step: 4, from_world: 4, to_world: 3 }],
+            data: None,
         };
         let s = r.to_string();
         assert!(s.contains("2 restart"));
@@ -272,6 +364,49 @@ mod tests {
         assert!(s.contains("1 sentinel"));
         assert!(s.contains("[4, 9, 11]"));
         assert!(s.contains("5 step(s) of work wasted"));
+    }
+
+    #[test]
+    fn data_report_display_summarises_ingest() {
+        let d = DataReport {
+            records_read: 480,
+            bytes_read: 30720,
+            retries: 3,
+            hedges: 2,
+            hedge_wins: 1,
+            quarantined: vec![RecordId { shard: 1, record: 7 }, RecordId { shard: 2, record: 0 }],
+            quarantined_shards: vec![2],
+            dropped_rows: 5,
+            prefetch_stalls: 4,
+            wait_ns_max: 1_500_000,
+            queue_depth_max: 2,
+        };
+        let s = d.to_string();
+        assert!(s.contains("480 record(s) read"));
+        assert!(s.contains("3 retry(ies)"));
+        assert!(s.contains("2 hedge(s) (1 won)"));
+        assert!(s.contains("2 record(s) quarantined across 1 bad shard(s)"));
+        assert!(s.contains("5 row(s) dropped"));
+        assert!(s.contains("max wait 1.50 ms"));
+    }
+
+    #[test]
+    fn record_ids_sort_shard_major() {
+        let mut v = vec![
+            RecordId { shard: 2, record: 0 },
+            RecordId { shard: 0, record: 9 },
+            RecordId { shard: 0, record: 1 },
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                RecordId { shard: 0, record: 1 },
+                RecordId { shard: 0, record: 9 },
+                RecordId { shard: 2, record: 0 },
+            ]
+        );
+        assert_eq!(RecordId { shard: 3, record: 4 }.to_string(), "3/4");
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
     /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -109,6 +118,29 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Block until a value arrives, every sender is gone, or `timeout`
+        /// elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self.shared.not_empty.wait_timeout(st, left).unwrap();
+                st = guard;
             }
         }
 
@@ -175,7 +207,7 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use super::channel::{bounded, unbounded, RecvError, RecvTimeoutError, TryRecvError};
 
     #[test]
     fn fifo_roundtrip() {
@@ -225,6 +257,40 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(rx);
         assert!(producer.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+        tx.send(9u32).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(30)), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (tx, rx) = bounded(1);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(7u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(7));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //! Each seed samples a [`FaultMix`] of crashes, one-step stragglers,
 //! persistently degraded ranks, degraded links, hangs, torn checkpoint
 //! writes, silent gradient bit flips, poisoned losses, permanent rank
-//! departures and spare rejoins via `FaultPlan::seeded` (deterministic per
-//! seed — a failing seed replays exactly), and rotates through the
-//! sharding strategies. Gray faults must *never* change results;
+//! departures, spare rejoins — and, since the streaming ingest plane,
+//! I/O faults too: corrupt records, flaky reads, stalled reads, missing
+//! / truncated / slow shards — via `FaultPlan::seeded_with_io`
+//! (deterministic per seed — a failing seed replays exactly), and
+//! rotates through the sharding strategies. Batches come through
+//! `try_run_streaming` over a fault-injectable `SimShardStore` sharing
+//! the same plan; records the plane quarantines extend the comparator
+//! the same way guard-skipped steps do — the clean run gets the
+//! quarantine set up front. Gray faults must *never* change results;
 //! fail-stop and hang faults must either be absorbed by elastic restart
 //! (bit-identical completion) or surface in a `FailureReport` within the
 //! wall-clock budget. Corruption faults run with the guard enabled: a
@@ -34,12 +40,15 @@
 //! stalling the pipeline.
 
 use geofm_collectives::AdaptiveTimeoutConfig;
+use geofm_data::stream::{Batch, DefenseConfig, StreamConfig};
+use geofm_data::store::SimShardStore;
+use geofm_data::{DatasetKind, IngestPlane};
 use geofm_fsdp::{
-    try_run_elastic, DistReport, ElasticConfig, FsdpConfig, GuardConfig, ResilienceConfig,
+    try_run_streaming, DistReport, ElasticConfig, FsdpConfig, GuardConfig, ResilienceConfig,
     ShardingStrategy,
 };
 use geofm_nn::{Linear, Module, ParamVisitor};
-use geofm_resilience::{FaultMix, FaultPlan};
+use geofm_resilience::{FaultMix, FaultPlan, RecordId};
 use geofm_tensor::{Tensor, TensorRng};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -61,18 +70,26 @@ impl Module for Toy {
 impl Toy {
     fn new(seed: u64) -> (Self, Vec<usize>) {
         let mut rng = TensorRng::seed_from(seed);
-        let mut a = Linear::new(3, 2, &mut rng, "a");
-        let mut b = Linear::new(3, 2, &mut rng, "b");
+        let mut a = Linear::new(RECORD_LEN, 2, &mut rng, "a");
+        let mut b = Linear::new(RECORD_LEN, 2, &mut rng, "b");
         let units = vec![a.num_params(), b.num_params()];
         (Self { a, b }, units)
     }
 
-    fn compute(&mut self, x: &Tensor, y: &Tensor) -> f32 {
+    fn compute(&mut self, batch: &Batch) -> f32 {
         self.zero_grad();
-        let ya = self.a.forward(x);
-        let yb = self.b.forward(x);
+        let rows = batch.labels.len();
+        // two-hot regression target from the record labels: every
+        // surviving row moves the gradients, so a silently consumed
+        // corrupt record would break the bit-compare below
+        let mut y = Tensor::zeros(&[rows, 2]);
+        for (i, &label) in batch.labels.iter().enumerate() {
+            y.data_mut()[i * 2 + label % 2] = 1.0;
+        }
+        let ya = self.a.forward(&batch.images);
+        let yb = self.b.forward(&batch.images);
         let out = ya.add(&yb);
-        let diff = out.sub(y);
+        let diff = out.sub(&y);
         let n = diff.numel() as f32;
         let loss = diff.sum_sq() / n;
         let dy = diff.scale(2.0 / n);
@@ -84,6 +101,16 @@ impl Toy {
 
 const WORLD: usize = 4;
 const STEPS: usize = 6;
+// streamed corpus geometry: 144 records, global batch 12 → the batch
+// divides every world size a shrink can visit (4, 3, 2)
+const SHARDS: usize = 6;
+const PER_SHARD: usize = 24;
+const IMG: usize = 2;
+const CHANNELS: usize = 1;
+const RECORD_LEN: usize = CHANNELS * IMG * IMG;
+const GLOBAL_BATCH: usize = 12;
+const DATA_SEED: u64 = 7;
+const SHUFFLE_SEED: u64 = 21;
 const STRATEGIES: [ShardingStrategy; 4] = [
     ShardingStrategy::FullShard,
     ShardingStrategy::ShardGradOp,
@@ -113,30 +140,50 @@ fn chaos_mix() -> FaultMix {
         poison_prob: 0.02,
         leave_prob: 0.01,
         rejoin_prob: 0.02,
+        // the I/O fault kinds ride the same schedules: rare rot, flakes
+        // and stalls per record; rare loss/truncation/slowness per shard
+        io_corrupt_prob: 0.003,
+        io_flaky_prob: 0.01,
+        io_stall_prob: 0.002,
+        io_stall_ms: (10, 25),
+        io_missing_prob: 0.015,
+        io_truncate_prob: 0.015,
+        io_slow_prob: 0.03,
+        io_slow_ms: (1, 3),
     }
+}
+
+/// A fault-injectable streamed corpus sharing `plan` with the trainer.
+fn plane(plan: Arc<FaultPlan>, quarantine: BTreeSet<RecordId>) -> Arc<IngestPlane> {
+    let store = Arc::new(SimShardStore::generate(
+        DatasetKind::Ucm,
+        SHARDS,
+        PER_SHARD,
+        IMG,
+        CHANNELS,
+        DATA_SEED,
+        plan,
+    ));
+    let mut cfg = StreamConfig::new(GLOBAL_BATCH, SHUFFLE_SEED);
+    cfg.defense = DefenseConfig { timeout_floor: Duration::from_millis(5), ..Default::default() };
+    cfg.quarantine = quarantine;
+    Arc::new(IngestPlane::new(store, cfg))
 }
 
 fn run(
     strategy: ShardingStrategy,
     overlap: bool,
     resilience: ResilienceConfig,
+    plane: Arc<IngestPlane>,
 ) -> Result<DistReport, geofm_resilience::FailureReport> {
-    try_run_elastic(
+    try_run_streaming(
         if overlap { FsdpConfig::overlapped(strategy) } else { FsdpConfig::tuned(strategy) },
         WORLD,
         0.01,
         STEPS,
         |_| Toy::new(7),
-        |m, rank, world, step| {
-            // global batch 12 divides every world size a shrink can visit
-            let mut rng = TensorRng::seed_from(5000 + step as u64);
-            let x = rng.randn(&[12, 3], 1.0);
-            let y = rng.randn(&[12, 2], 1.0);
-            let per = 12 / world;
-            let xl = x.rows(rank * per, (rank + 1) * per);
-            let yl = y.rows(rank * per, (rank + 1) * per);
-            m.compute(&xl, &yl)
-        },
+        plane,
+        |m, batch, _rank, _world, _step| m.compute(batch),
         |_| 0.01,
         None,
         resilience,
@@ -150,8 +197,13 @@ fn baseline(strategy_idx: usize) -> &'static (Vec<u32>, Vec<u32>) {
     BASELINES[strategy_idx].get_or_init(|| {
         // baseline is always blocking: overlapped schedules comparing equal
         // to it IS the equivalence property under chaos
-        let report = run(STRATEGIES[strategy_idx], false, ResilienceConfig::disabled())
-            .expect("fault-free baseline must succeed");
+        let report = run(
+            STRATEGIES[strategy_idx],
+            false,
+            ResilienceConfig::disabled(),
+            plane(Arc::new(FaultPlan::none()), BTreeSet::new()),
+        )
+        .expect("fault-free baseline must succeed");
         (
             report.final_params.iter().map(|v| v.to_bits()).collect(),
             report.mean_losses.iter().map(|v| v.to_bits()).collect(),
@@ -169,7 +221,14 @@ fn chaos_schedule(seed: u64) {
     let strategy = STRATEGIES[strategy_idx];
     // odd seeds exercise the overlap engine (comm thread + prefetch in flight)
     let overlap = seed % 2 == 1;
-    let plan = Arc::new(FaultPlan::seeded(seed, WORLD, STEPS, &chaos_mix()));
+    let plan = Arc::new(FaultPlan::seeded_with_io(
+        seed,
+        WORLD,
+        STEPS,
+        SHARDS,
+        PER_SHARD,
+        &chaos_mix(),
+    ));
     let dir = ckpt_dir(seed);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -193,7 +252,7 @@ fn chaos_schedule(seed: u64) {
     };
 
     let started = Instant::now();
-    let outcome = run(strategy, overlap, resilience);
+    let outcome = run(strategy, overlap, resilience, plane(Arc::clone(&plan), BTreeSet::new()));
     let elapsed = started.elapsed();
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -246,10 +305,18 @@ fn chaos_schedule(seed: u64) {
                 .enumerate()
                 .filter_map(|(s, l)| l.is_nan().then_some(s))
                 .collect();
+            // records the ingest plane quarantined-and-skipped; the clean
+            // comparator gets them up front — the degradation contract
+            let quarantined: BTreeSet<RecordId> = report
+                .data
+                .as_ref()
+                .map(|d| d.quarantined.iter().copied().collect())
+                .unwrap_or_default();
             // never silently diverge: completion must be bit-identical to
-            // the fault-free run — or, when the guard skipped steps, to a
-            // clean run told to skip exactly those steps
-            let (base_params, base_losses) = if skipped.is_empty() {
+            // the fault-free run — or, when the guard skipped steps or the
+            // ingest plane quarantined records, to a clean run told to
+            // skip/drop exactly those
+            let (base_params, base_losses) = if skipped.is_empty() && quarantined.is_empty() {
                 baseline(strategy_idx).clone()
             } else {
                 let clean = run(
@@ -262,6 +329,7 @@ fn chaos_schedule(seed: u64) {
                         }),
                         ..ResilienceConfig::disabled()
                     },
+                    plane(Arc::new(FaultPlan::none()), quarantined.clone()),
                 )
                 .expect("clean comparator with forced skips must succeed");
                 (

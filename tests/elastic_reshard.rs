@@ -303,6 +303,7 @@ fn elastic_chaos_mix_never_hangs() {
         poison_prob: 0.0,
         leave_prob: 0.03,
         rejoin_prob: 0.05,
+        ..FaultMix::crashes_only(0.0)
     };
     for s in 0..24u64 {
         let seed = seed_base() + s;

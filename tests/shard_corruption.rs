@@ -1,0 +1,216 @@
+//! Corrupted-shard suite: every malformed `GEOFMSH1` artifact must be
+//! *rejected* with a structured error — never trusted, never a panic,
+//! and **never a silent escape** (a read that returns bytes differing
+//! from what the builder wrote).
+//!
+//! The shards under test are written by the real corpus builder
+//! ([`geofm_data::build_corpus`]), then abused on disk: truncation at
+//! every framing boundary, targeted bit flips, foreign magics, trailing
+//! garbage, and a seeded random-corruption sweep in the style of
+//! `checkpoint_corruption.rs`. The zero-silent-escape property is the
+//! data-layer analogue of that suite's contract: whatever the mutation,
+//! `read_record` either errors or returns exactly the pristine record.
+
+use geofm_data::shard::{ShardError, ShardReader, HEADER_LEN};
+use geofm_data::store::{FsShardStore, ReadError, ShardStore, StoreMeta};
+use geofm_data::{build_corpus, DatasetKind};
+use geofm_resilience::RecordId;
+use geofm_tensor::TensorRng;
+use std::path::PathBuf;
+
+const SHARDS: usize = 2;
+const PER_SHARD: usize = 6;
+const IMG: usize = 4;
+const CHANNELS: usize = 1;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("geofm-shard-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Build a corpus and return (dir, pristine bytes of shard 0).
+fn corpus(tag: &str) -> (PathBuf, Vec<u8>) {
+    let dir = test_dir(tag);
+    let manifest = build_corpus(&dir, DatasetKind::Ucm, SHARDS, PER_SHARD, IMG, CHANNELS, 11).unwrap();
+    let bytes = std::fs::read(&manifest.shard_files[0]).unwrap();
+    (dir, bytes)
+}
+
+#[test]
+fn truncation_at_every_boundary_is_rejected() {
+    let (_dir, pristine) = corpus("trunc");
+    // every framing boundary plus a stride sweep through the interior
+    let mut cuts: Vec<usize> = vec![0, 1, 7, 8, HEADER_LEN - 1, HEADER_LEN, pristine.len() - 1];
+    cuts.extend((HEADER_LEN..pristine.len()).step_by(97));
+    for cut in cuts {
+        let err = ShardReader::from_bytes(pristine[..cut].to_vec())
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {cut} must be rejected"));
+        match err {
+            ShardError::TooShort(_) | ShardError::SizeMismatch { .. } => {}
+            other => panic!("truncation at {cut} gave the wrong error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_and_foreign_formats_are_rejected() {
+    let (_dir, pristine) = corpus("magic");
+    for magic in [b"GEOFMCK3" as &[u8], b"GEOFMSH2", b"PK\x03\x04zzzz", b"\x00\x00\x00\x00\x00\x00\x00\x00"] {
+        let mut bytes = pristine.clone();
+        bytes[..8].copy_from_slice(magic);
+        match ShardReader::from_bytes(bytes) {
+            Err(ShardError::BadMagic(m)) => assert_eq!(&m, magic),
+            other => panic!("foreign magic {magic:?} must be rejected, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let (_dir, pristine) = corpus("garbage");
+    for extra in [1usize, 13, 4096] {
+        let mut bytes = pristine.clone();
+        bytes.extend(vec![0xA5u8; extra]);
+        assert!(
+            matches!(ShardReader::from_bytes(bytes), Err(ShardError::SizeMismatch { .. })),
+            "{extra} trailing bytes must fail the exact-size check"
+        );
+    }
+}
+
+#[test]
+fn header_rot_is_caught_by_the_header_crc() {
+    let (_dir, pristine) = corpus("header");
+    // flip one bit in every header byte after the magic (fields + CRC)
+    for byte in 8..HEADER_LEN {
+        let mut bytes = pristine.clone();
+        bytes[byte] ^= 0x10;
+        let res = ShardReader::from_bytes(bytes);
+        assert!(
+            matches!(
+                res,
+                Err(ShardError::HeaderCorrupt { .. }) | Err(ShardError::SizeMismatch { .. })
+            ),
+            "header bit flip at byte {byte} must be rejected, got {res:?}"
+        );
+    }
+}
+
+#[test]
+fn record_bit_flips_are_caught_and_isolated() {
+    let (_dir, pristine) = corpus("record");
+    let clean = ShardReader::from_bytes(pristine.clone()).unwrap();
+    let record_bytes = clean.header().record_bytes() as usize;
+    for victim in 0..PER_SHARD {
+        let mut bytes = pristine.clone();
+        // flip a payload bit in the middle of the victim record
+        let off = HEADER_LEN + victim * record_bytes + record_bytes / 2;
+        bytes[off] ^= 0x04;
+        let reader = ShardReader::from_bytes(bytes).unwrap();
+        for r in 0..PER_SHARD {
+            let res = reader.read_record(r);
+            if r == victim {
+                assert!(
+                    matches!(res, Err(ShardError::RecordCorrupt { record }) if record == victim),
+                    "rotten record {victim} must be caught"
+                );
+            } else {
+                assert_eq!(
+                    res.unwrap().features,
+                    clean.read_record(r).unwrap().features,
+                    "rot in record {victim} must not contaminate record {r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_range_reads_are_structured_errors() {
+    let (_dir, pristine) = corpus("range");
+    let reader = ShardReader::from_bytes(pristine).unwrap();
+    assert!(matches!(
+        reader.read_record(PER_SHARD),
+        Err(ShardError::OutOfRange { record, n_records }) if record == PER_SHARD && n_records == PER_SHARD
+    ));
+}
+
+#[test]
+fn fs_store_maps_disk_damage_to_structural_errors() {
+    let (dir, pristine) = corpus("store");
+    let manifest = build_corpus(&dir, DatasetKind::Ucm, SHARDS, PER_SHARD, IMG, CHANNELS, 11).unwrap();
+    let meta = StoreMeta {
+        shards: SHARDS,
+        records_per_shard: PER_SHARD,
+        record_len: CHANNELS * IMG * IMG,
+        img: IMG,
+        channels: CHANNELS,
+        classes: DatasetKind::Ucm.classes(),
+    };
+    let store = FsShardStore::new(manifest.shard_files.clone(), meta);
+    // whole-file loss
+    std::fs::remove_file(&manifest.shard_files[0]).unwrap();
+    assert!(matches!(
+        store.read(RecordId { shard: 0, record: 0 }),
+        Err(ReadError::MissingShard { shard: 0 })
+    ));
+    // truncation mid-record: the keep-count names the survivors
+    let rb = ShardReader::from_bytes(pristine.clone()).unwrap().header().record_bytes() as usize;
+    let cut = HEADER_LEN + 3 * rb + 5;
+    std::fs::write(
+        &manifest.shard_files[1],
+        &std::fs::read(&manifest.shard_files[1]).unwrap()[..cut],
+    )
+    .unwrap();
+    assert!(matches!(
+        store.read(RecordId { shard: 1, record: 0 }),
+        Err(ReadError::TruncatedShard { shard: 1, keep_records: 3 })
+    ));
+}
+
+/// The sweep: seeded random byte mutations over builder-written shards.
+/// Whatever the damage, a read must either error or return the pristine
+/// record — zero silent escapes.
+#[test]
+fn seeded_corruption_sweep_has_zero_silent_escapes() {
+    let (_dir, pristine) = corpus("sweep");
+    let clean = ShardReader::from_bytes(pristine.clone()).unwrap();
+    let pristine_records: Vec<_> =
+        (0..PER_SHARD).map(|r| clean.read_record(r).unwrap()).collect();
+    let mut escapes = 0u32;
+    let mut rejections = 0u32;
+    for seed in 0..40u64 {
+        let mut rng = TensorRng::seed_from(900 + seed);
+        let mut bytes = pristine.clone();
+        // 1–4 random byte mutations anywhere in the file
+        let hits = 1 + rng.below(4);
+        for _ in 0..hits {
+            let off = rng.below(bytes.len());
+            let bit = 1u8 << rng.below(8);
+            bytes[off] ^= bit;
+        }
+        match ShardReader::from_bytes(bytes) {
+            Err(_) => rejections += 1,
+            Ok(reader) => {
+                for (r, pristine_rec) in pristine_records.iter().enumerate() {
+                    match reader.read_record(r) {
+                        Err(_) => rejections += 1,
+                        Ok(rec) => {
+                            // any Ok must be byte-identical to pristine
+                            if rec.label != pristine_rec.label
+                                || rec.features != pristine_rec.features
+                            {
+                                escapes += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(escapes, 0, "corrupt bytes served as clean records");
+    assert!(rejections >= 40, "the sweep must actually exercise the rejection paths");
+}
