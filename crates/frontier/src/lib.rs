@@ -28,6 +28,9 @@
 //! * [`gray`] — gray-failure pricing: expected throughput when GCDs or
 //!   Slingshot links are persistently *degraded* rather than dead (the
 //!   `figS` sweep).
+//! * [`serve`] — closed-loop load sweep of the `geofm-serve` inference
+//!   plane: defended vs naive goodput/p99 under overload (the `figX`
+//!   sweep).
 //! * [`sim`] — the top-level [`sim::simulate`] entry point.
 //! * [`analytic`] — a closed-form estimate used to cross-check the DES.
 //!
@@ -51,6 +54,7 @@ pub mod machine;
 pub mod memory;
 pub mod power;
 pub mod schedule;
+pub mod serve;
 pub mod sim;
 pub mod workload;
 
@@ -62,5 +66,6 @@ pub use ingest::{IngestModel, IngestPoint};
 pub use machine::{Calibration, CommOp, FrontierMachine, GroupGeom, GroupSpan};
 pub use memory::MemoryModel;
 pub use schedule::{build_step, serialize_streams, strip_comm};
+pub use serve::{ServeLoadModel, ServePoint};
 pub use sim::{simulate, SimConfig, SimResult};
 pub use workload::{MaeWorkload, StepWorkload, VitWorkload};

@@ -1,0 +1,168 @@
+//! Figure X: serving **goodput and p99 latency vs offered load**,
+//! overload defenses on vs off (geofm-serve, closed-loop DES).
+//!
+//! The paper does not print this figure; it prices the overload-robust
+//! inference serving plane (`geofm-serve`: admission control over bounded
+//! per-tenant queues, deadline-aware batching that sheds expired work
+//! *before* compute, token buckets + circuit breakers, EWMA-hedged
+//! straggler duplicates, and a hysteretic degradation ladder) the way
+//! `figW` prices the ingest plane. Both curves face identical diurnal
+//! traffic, seeded burst storms, slow clients, and worker hangs:
+//!
+//! * **defenses on** — overflow is rejected at the door with an honest
+//!   retry-after, doomed work is shed before it burns backbone time, and
+//!   sustained pressure climbs the degradation ladder (tight batches →
+//!   cache-only for low priority → shed low at admission);
+//! * **defenses off** — the classic naive server: one unbounded FIFO,
+//!   every request computed no matter how dead, no hedging. Backlog grows
+//!   without bound, head-of-line blocking pushes completions past their
+//!   deadlines, and p99 walks off with the queue.
+//!
+//! The claim CI enforces: at every offered load **at or above capacity**
+//! the defended plane strictly dominates on *both* goodput and p99, while
+//! costing under 5 % of goodput when lightly loaded.
+
+use geofm_frontier::ServeLoadModel;
+use geofm_repro::{append_metrics_csv, ascii_chart_labeled, write_csv};
+use geofm_telemetry::Telemetry;
+
+fn main() {
+    println!(
+        "FIGURE X — serving goodput and p99 vs offered load, defenses on/off \
+         (geofm-serve closed-loop DES, diurnal + bursts + hangs)"
+    );
+    let model = ServeLoadModel::default();
+    let loads = [0.3, 0.6, 0.9, 1.0, 1.2, 1.5, 2.0, 3.0];
+    println!(
+        "  {} tenants (Premium/Standard/Low), {} virtual ms, capacity {:.2} req/ms; \
+         burst p={:.2}, hang p={:.2}, seed {}",
+        model.tenants,
+        model.ticks,
+        model.capacity_per_tick(),
+        model.burst_prob,
+        model.hang_prob,
+        model.seed
+    );
+
+    let tel = Telemetry::new();
+    let points = model.sweep(&loads);
+    tel.metrics.counter("figX.sweeps").inc(1);
+    // the fault-free light-load control: defenses must be invisible here
+    let clean = model.expected_clean(0.3);
+    let clean_overhead =
+        (clean.goodput_off - clean.goodput_on).max(0.0) / clean.goodput_off.max(1e-12);
+    println!(
+        "  clean control at 0.3x (no faults): goodput {:.4} defended vs {:.4} naive \
+         ({:.2}% overhead)",
+        clean.goodput_on,
+        clean.goodput_off,
+        clean_overhead * 100.0
+    );
+    println!(
+        "\n{:>6} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>6} {:>6} {:>7} {:>9} {:>9}",
+        "load",
+        "good_on",
+        "good_off",
+        "p99_on",
+        "p99_off",
+        "rej_on%",
+        "shed%",
+        "hedge",
+        "rung",
+        "q_on",
+        "q_off",
+        "submitted"
+    );
+    let mut rows = Vec::new();
+    let mut dominated = true;
+    let mut worst_good = f64::INFINITY;
+    let mut worst_p99 = f64::INFINITY;
+    for p in &points {
+        println!(
+            "{:>6.1} {:>8.3} {:>8.3} {:>7.1}ms {:>8.1}ms {:>8.1}% {:>5.1}% {:>6} {:>6} {:>7} {:>9} {:>9}",
+            p.offered,
+            p.goodput_on,
+            p.goodput_off,
+            p.p99_on_ms,
+            p.p99_off_ms,
+            p.rejected_on_frac * 100.0,
+            p.shed_on_frac * 100.0,
+            p.hedges_on,
+            p.degrade_peak_on,
+            p.queue_max_on,
+            p.queue_max_off,
+            p.submitted_on
+        );
+        rows.push(format!(
+            "{:.2},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{},{},{},{}",
+            p.offered,
+            p.goodput_on,
+            p.goodput_off,
+            p.p99_on_ms,
+            p.p99_off_ms,
+            p.p50_on_ms,
+            p.p50_off_ms,
+            p.rejected_on_frac,
+            p.shed_on_frac,
+            p.hedges_on,
+            p.degrade_peak_on,
+            p.queue_max_on,
+            p.queue_max_off
+        ));
+        if p.offered >= 1.0 {
+            // the CI-enforced claim: strict dominance on BOTH axes at
+            // every offered load at or above capacity
+            worst_good = worst_good.min(p.goodput_on - p.goodput_off);
+            worst_p99 = worst_p99.min(p.p99_off_ms - p.p99_on_ms);
+            dominated &= p.goodput_on > p.goodput_off && p.p99_on_ms < p.p99_off_ms;
+        }
+    }
+
+    let load_labels: Vec<usize> = loads.iter().map(|l| (l * 10.0).round() as usize).collect();
+    let csv_path = write_csv(
+        "figX.csv",
+        "offered,goodput_on,goodput_off,p99_on_ms,p99_off_ms,p50_on_ms,p50_off_ms,\
+         rejected_on_frac,shed_on_frac,hedges_on,degrade_peak_on,queue_max_on,queue_max_off",
+        &rows,
+    );
+    append_metrics_csv(&csv_path, &tel.metrics.snapshot());
+    ascii_chart_labeled(
+        "serving goodput vs offered load (columns left→right = idle→3x overload)",
+        "x (offered load ×0.1 of capacity)",
+        &load_labels,
+        &[
+            ("defended".to_string(), points.iter().map(|p| p.goodput_on).collect()),
+            ("naive".to_string(), points.iter().map(|p| p.goodput_off).collect()),
+        ],
+        4,
+    );
+    assert!(
+        dominated,
+        "serving defenses must strictly dominate goodput AND p99 at every load >= capacity \
+         (worst goodput margin {worst_good:.4}, worst p99 margin {worst_p99:.2} ms)"
+    );
+    assert!(
+        clean_overhead < 0.05,
+        "clean light-load defense overhead {:.2}% must stay under 5%",
+        clean_overhead * 100.0
+    );
+    println!(
+        "\nReading: lightly loaded, the defended and naive planes are the same server — \
+         admission control admits everything and the ladder never leaves Normal, so the \
+         defenses cost {:.2}% of goodput. Past capacity the curves tear apart: the naive \
+         plane's unbounded queue absorbs the diurnal peak and never drains (deepest \
+         backlog {} requests vs a {}-slot bounded queue), so head-of-line blocking turns \
+         nearly every completion late — throughput without goodput — and p99 tracks the \
+         backlog rather than the service time. The defended plane rejects overflow at the \
+         door with an honest retry-after, sheds already-dead work before it reaches the \
+         backbone, hedges hung batches, and climbs the degradation ladder under sustained \
+         pressure, holding the worst-case dominance margins at {:.3} goodput and {:.1} ms \
+         of p99. The argument is the serving twin of figW: overload is not an anomaly to \
+         survive but an operating regime to schedule for.",
+        clean_overhead * 100.0,
+        points.last().map(|p| p.queue_max_off).unwrap_or(0),
+        points.first().map(|p| p.queue_max_on).unwrap_or(0),
+        if worst_good.is_finite() { worst_good } else { 0.0 },
+        if worst_p99.is_finite() { worst_p99 } else { 0.0 },
+    );
+}

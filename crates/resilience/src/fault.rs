@@ -188,6 +188,39 @@ pub enum FaultKind {
         /// Stall duration in milliseconds.
         stall_ms: u64,
     },
+    /// Tenant `tenant` fires a traffic burst at serve tick `tick`: `extra`
+    /// requests beyond its base rate arrive at once (a retry storm, a
+    /// batch-job kickoff, a viral tile). Repeatable — the burst is a
+    /// property of the offered load, not of any one server attempt.
+    TenantBurst {
+        /// Bursting tenant index.
+        tenant: usize,
+        /// Serve tick at which the burst lands.
+        tick: usize,
+        /// Extra requests injected on top of the base rate.
+        extra: usize,
+    },
+    /// Tenant `tenant`'s client is slow at serve tick `tick`: every
+    /// request it issues that tick is delivered `delay_ms` late (a
+    /// congested last mile, a slow uploader holding the request body).
+    /// Repeatable — a slow client stays slow for the tick.
+    SlowClient {
+        /// Tenant behind the slow client.
+        tenant: usize,
+        /// Serve tick whose requests are delayed.
+        tick: usize,
+        /// Delivery delay in milliseconds.
+        delay_ms: u64,
+    },
+    /// The worker executing serve batch `batch` (by dispatch sequence
+    /// number) hangs mid-inference without dying — the serving twin of
+    /// [`FaultKind::HangRank`]. One-shot: the hedged duplicate execution
+    /// runs clean, which is what makes hedging a defense rather than a
+    /// retry loop.
+    WorkerHang {
+        /// Dispatch sequence number of the affected batch.
+        batch: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -257,6 +290,20 @@ pub struct FaultMix {
     pub io_slow_prob: f64,
     /// Slow-shard per-read delay range in milliseconds (uniform, half-open).
     pub io_slow_ms: (u64, u64),
+    /// Per-(tenant, tick) probability of a traffic burst
+    /// ([`FaultKind::TenantBurst`]). Only consumed by
+    /// [`FaultPlan::seeded_with_serve`].
+    pub serve_burst_prob: f64,
+    /// Burst size range in extra requests (uniform, half-open).
+    pub serve_burst_extra: (usize, usize),
+    /// Per-(tenant, tick) probability of a slow client
+    /// ([`FaultKind::SlowClient`]).
+    pub serve_slow_client_prob: f64,
+    /// Slow-client delivery delay range in milliseconds (uniform, half-open).
+    pub serve_slow_ms: (u64, u64),
+    /// Per-batch-slot probability of a worker hang mid-inference
+    /// ([`FaultKind::WorkerHang`]).
+    pub serve_hang_prob: f64,
 }
 
 impl FaultMix {
@@ -284,6 +331,11 @@ impl FaultMix {
             io_truncate_prob: 0.0,
             io_slow_prob: 0.0,
             io_slow_ms: (1, 5),
+            serve_burst_prob: 0.0,
+            serve_burst_extra: (4, 32),
+            serve_slow_client_prob: 0.0,
+            serve_slow_ms: (5, 40),
+            serve_hang_prob: 0.0,
         }
     }
 
@@ -305,6 +357,18 @@ impl FaultMix {
             io_missing_prob: p_shard,
             io_truncate_prob: p_shard,
             io_slow_prob: p_shard,
+            ..Self::crashes_only(0.0)
+        }
+    }
+
+    /// Only serving-plane faults: per-(tenant, tick) bursts and slow
+    /// clients at `p_traffic`, per-batch worker hangs at `p_hang` — the
+    /// mix driven by `tests/serve_chaos.rs`.
+    pub fn serve_only(p_traffic: f64, p_hang: f64) -> Self {
+        Self {
+            serve_burst_prob: p_traffic,
+            serve_slow_client_prob: p_traffic,
+            serve_hang_prob: p_hang,
             ..Self::crashes_only(0.0)
         }
     }
@@ -429,6 +493,27 @@ impl FaultPlan {
         self
     }
 
+    /// Add a [`FaultKind::TenantBurst`]: `extra` requests from `tenant`
+    /// land on top of the base rate at serve tick `tick`.
+    pub fn with_tenant_burst(mut self, tenant: usize, tick: usize, extra: usize) -> Self {
+        self.push(FaultKind::TenantBurst { tenant, tick, extra });
+        self
+    }
+
+    /// Add a [`FaultKind::SlowClient`]: `tenant`'s requests issued at
+    /// serve tick `tick` are delivered `delay` late.
+    pub fn with_slow_client(mut self, tenant: usize, tick: usize, delay: Duration) -> Self {
+        self.push(FaultKind::SlowClient { tenant, tick, delay_ms: delay.as_millis() as u64 });
+        self
+    }
+
+    /// Add a [`FaultKind::WorkerHang`]: the primary execution of serve
+    /// batch `batch` hangs mid-inference (the hedge runs clean).
+    pub fn with_worker_hang(mut self, batch: usize) -> Self {
+        self.push(FaultKind::WorkerHang { batch });
+        self
+    }
+
     /// Sample a random plan from `mix`. Deterministic per seed.
     ///
     /// Sampling distribution (one `StdRng` stream, fixed draw order, so the
@@ -474,6 +559,30 @@ impl FaultPlan {
         steps: usize,
         shards: usize,
         records_per_shard: usize,
+        mix: &FaultMix,
+    ) -> Self {
+        Self::seeded_with_serve(seed, world, steps, shards, records_per_shard, 0, 0, mix)
+    }
+
+    /// [`FaultPlan::seeded_with_io`] extended with serving-plane fault
+    /// streams over `tenants` tenants × `ticks` traffic ticks.
+    ///
+    /// The serve streams draw *after* every older stream (after the
+    /// per-shard I/O draws), in the fixed order: per (tick ascending,
+    /// tenant ascending) *burst* then *slow client*; then per batch slot
+    /// (tick ascending) *worker hang*. A stream whose governing
+    /// probability is zero consumes no draws, so plans sampled by
+    /// pre-serve mixes stay byte-identical and `seeded_with_io` is
+    /// exactly `seeded_with_serve` over zero tenants/ticks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn seeded_with_serve(
+        seed: u64,
+        world: usize,
+        steps: usize,
+        shards: usize,
+        records_per_shard: usize,
+        tenants: usize,
+        ticks: usize,
         mix: &FaultMix,
     ) -> Self {
         use rand::{Rng, SeedableRng};
@@ -558,6 +667,27 @@ impl FaultPlan {
                 let (lo, hi) = mix.io_slow_ms;
                 let delay_ms = rng.gen_range(lo..hi.max(lo + 1));
                 plan.push(FaultKind::SlowShard { shard, delay_ms });
+            }
+        }
+        for tick in 0..ticks {
+            for tenant in 0..tenants {
+                if mix.serve_burst_prob > 0.0 && rng.gen::<f64>() < mix.serve_burst_prob {
+                    let (lo, hi) = mix.serve_burst_extra;
+                    let extra = rng.gen_range(lo..hi.max(lo + 1));
+                    plan.push(FaultKind::TenantBurst { tenant, tick, extra });
+                }
+                if mix.serve_slow_client_prob > 0.0
+                    && rng.gen::<f64>() < mix.serve_slow_client_prob
+                {
+                    let (lo, hi) = mix.serve_slow_ms;
+                    let delay_ms = rng.gen_range(lo..hi.max(lo + 1));
+                    plan.push(FaultKind::SlowClient { tenant, tick, delay_ms });
+                }
+            }
+        }
+        for batch in 0..ticks {
+            if mix.serve_hang_prob > 0.0 && rng.gen::<f64>() < mix.serve_hang_prob {
+                plan.push(FaultKind::WorkerHang { batch });
             }
         }
         plan
@@ -779,6 +909,47 @@ impl FaultPlan {
                 (!e.fired.swap(true, Ordering::AcqRel)).then(|| Duration::from_millis(stall_ms))
             }
             _ => None,
+        })
+    }
+
+    /// Extra requests tenant `tenant` fires at serve tick `tick` on top
+    /// of its base rate (summed over overlapping bursts). Repeatable —
+    /// offered load does not depend on how often the server asks.
+    pub fn burst_extra(&self, tenant: usize, tick: usize) -> usize {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::TenantBurst { tenant: t, tick: k, extra } if t == tenant && k == tick => {
+                    Some(extra)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Delivery delay for requests tenant `tenant` issues at serve tick
+    /// `tick`, if its client is slow then — the largest delay when
+    /// several overlap. Repeatable.
+    pub fn client_delay(&self, tenant: usize, tick: usize) -> Option<Duration> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::SlowClient { tenant: t, tick: k, delay_ms } if t == tenant && k == tick => {
+                    Some(delay_ms)
+                }
+                _ => None,
+            })
+            .max()
+            .map(Duration::from_millis)
+    }
+
+    /// One-shot: returns `true` the first time serve batch `batch` is
+    /// dispatched with a scheduled worker hang; the hedged duplicate (and
+    /// any re-dispatch) runs clean.
+    pub fn take_worker_hang(&self, batch: usize) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::WorkerHang { batch: b } if b == batch)
+                && !e.fired.swap(true, Ordering::AcqRel)
         })
     }
 }
@@ -1138,6 +1309,107 @@ mod tests {
                 | FaultKind::MissingShard { .. }
                 | FaultKind::TruncatedShard { .. }
                 | FaultKind::SlowShard { .. }
+        )));
+    }
+
+    #[test]
+    fn burst_and_slow_client_are_repeatable_worker_hang_is_one_shot() {
+        let plan = FaultPlan::none()
+            .with_tenant_burst(1, 4, 10)
+            .with_tenant_burst(1, 4, 5)
+            .with_slow_client(0, 2, Duration::from_millis(30))
+            .with_worker_hang(7);
+        assert_eq!(plan.burst_extra(1, 4), 15, "overlapping bursts sum");
+        assert_eq!(plan.burst_extra(1, 4), 15, "offered load must not be consumed");
+        assert_eq!(plan.burst_extra(0, 4), 0);
+        assert_eq!(plan.client_delay(0, 2), Some(Duration::from_millis(30)));
+        assert_eq!(plan.client_delay(0, 2), Some(Duration::from_millis(30)));
+        assert_eq!(plan.client_delay(0, 3), None);
+        assert!(!plan.take_worker_hang(6));
+        assert!(plan.take_worker_hang(7));
+        assert!(!plan.take_worker_hang(7), "hedged re-execution must run clean");
+    }
+
+    fn serve_mix() -> FaultMix {
+        FaultMix {
+            serve_burst_prob: 0.05,
+            serve_slow_client_prob: 0.05,
+            serve_hang_prob: 0.05,
+            ..io_mix()
+        }
+    }
+
+    #[test]
+    fn seeded_with_serve_samples_every_serve_kind_deterministically() {
+        let a = FaultPlan::seeded_with_serve(7, 8, 50, 16, 32, 4, 64, &serve_mix());
+        let b = FaultPlan::seeded_with_serve(7, 8, 50, 16, 32, 4, 64, &serve_mix());
+        assert_eq!(a.events(), b.events());
+        let mut seen = [false; 3];
+        for seed in 0..20 {
+            for k in
+                FaultPlan::seeded_with_serve(seed, 8, 50, 16, 32, 4, 64, &serve_mix()).events()
+            {
+                match k {
+                    FaultKind::TenantBurst { .. } => seen[0] = true,
+                    FaultKind::SlowClient { .. } => seen[1] = true,
+                    FaultKind::WorkerHang { .. } => seen[2] = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "serve kinds sampled: {seen:?}");
+    }
+
+    #[test]
+    fn serve_draws_only_append_to_legacy_plans() {
+        // The serve streams sit after every pre-existing stream, so turning
+        // them on must leave the legacy prefix byte-identical — only new
+        // serve events may appear, and only at the end. `seeded_with_io`
+        // itself is `seeded_with_serve` over zero tenants/ticks.
+        for seed in 0..10 {
+            let base = FaultPlan::seeded_with_io(seed, 8, 50, 16, 32, &io_mix()).events();
+            let grown =
+                FaultPlan::seeded_with_serve(seed, 8, 50, 16, 32, 4, 64, &serve_mix()).events();
+            assert!(grown.len() >= base.len());
+            assert_eq!(&grown[..base.len()], &base[..], "seed {seed}: legacy prefix perturbed");
+            assert!(grown[base.len()..].iter().all(|k| matches!(
+                k,
+                FaultKind::TenantBurst { .. }
+                    | FaultKind::SlowClient { .. }
+                    | FaultKind::WorkerHang { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn seeded_serve_events_are_in_range() {
+        let mix = serve_mix();
+        for seed in 0..10 {
+            for k in FaultPlan::seeded_with_serve(seed, 4, 20, 8, 16, 3, 40, &mix).events() {
+                match k {
+                    FaultKind::TenantBurst { tenant, tick, extra } => {
+                        assert!(tenant < 3 && tick < 40);
+                        assert!((mix.serve_burst_extra.0..mix.serve_burst_extra.1).contains(&extra));
+                    }
+                    FaultKind::SlowClient { tenant, tick, delay_ms } => {
+                        assert!(tenant < 3 && tick < 40);
+                        assert!((mix.serve_slow_ms.0..mix.serve_slow_ms.1).contains(&delay_ms));
+                    }
+                    FaultKind::WorkerHang { batch } => assert!(batch < 40),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_only_mix_samples_only_serve_kinds() {
+        let plan =
+            FaultPlan::seeded_with_serve(3, 4, 20, 8, 32, 4, 64, &FaultMix::serve_only(0.05, 0.05));
+        assert!(!plan.is_empty());
+        assert!(plan.events().iter().all(|k| matches!(
+            k,
+            FaultKind::TenantBurst { .. } | FaultKind::SlowClient { .. } | FaultKind::WorkerHang { .. }
         )));
     }
 

@@ -1,0 +1,308 @@
+//! Tile-id keyed embedding cache with generation-tagged invalidation.
+//!
+//! What a tenant is served is `adapter_t(backbone(tile))` — so a cached
+//! value is keyed by `(tenant, tile)` and tagged with the *generation
+//! pair* `(backbone_gen, adapter_gen)` it was computed under. Swapping
+//! the shared frozen backbone bumps the backbone generation; hot-swapping
+//! one tenant's adapter bumps that tenant's adapter generation. A lookup
+//! against a newer generation is a **miss** (no stale-embedding escapes),
+//! unless the caller explicitly opts into staleness — the cache-serving
+//! rung of the degradation ladder, where a stale embedding beats a shed
+//! request and the response is flagged as stale.
+//!
+//! Eviction is exact LRU via a monotonic access counter and a
+//! `BTreeMap<access, key>` index — O(log n), fully deterministic, no
+//! clock involved.
+
+use crate::request::{TenantId, TileId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cache key: the tenant-visible output identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Tenant whose adapter produced the value.
+    pub tenant: TenantId,
+    /// Tile the value embeds.
+    pub tile: TileId,
+}
+
+/// Generation pair a cached value was computed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheGen {
+    /// Shared frozen-backbone generation.
+    pub backbone: u64,
+    /// Per-tenant adapter generation.
+    pub adapter: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<Vec<f32>>,
+    gen: CacheGen,
+    access: u64,
+}
+
+/// A successful lookup: the value plus whether it came from an older
+/// generation (only possible with `allow_stale`).
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The cached embedding.
+    pub value: Arc<Vec<f32>>,
+    /// True when the entry's generation pair differs from the queried one.
+    pub stale: bool,
+}
+
+/// Bounded LRU embedding cache (see module docs).
+#[derive(Debug)]
+pub struct EmbeddingCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    lru: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    /// Lifetime hits (fresh + stale).
+    pub hits: u64,
+    /// Lifetime misses (absent + generation-stale without `allow_stale`).
+    pub misses: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation.
+    pub invalidations: u64,
+}
+
+impl EmbeddingCache {
+    /// Empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(entry: &mut Entry, lru: &mut BTreeMap<u64, CacheKey>, key: CacheKey, tick: &mut u64) {
+        lru.remove(&entry.access);
+        *tick += 1;
+        entry.access = *tick;
+        lru.insert(*tick, key);
+    }
+
+    /// Look up `key` against the current generation pair `gen`.
+    ///
+    /// A generation mismatch is a miss unless `allow_stale`; the stale
+    /// entry is evicted eagerly on a strict lookup so an invalidated
+    /// value cannot linger and win a later stale-tolerant race it
+    /// shouldn't.
+    pub fn get(&mut self, key: CacheKey, gen: CacheGen, allow_stale: bool) -> Option<CacheHit> {
+        match self.map.get_mut(&key) {
+            None => {
+                self.misses += 1;
+                None
+            }
+            Some(entry) if entry.gen == gen => {
+                Self::touch(entry, &mut self.lru, key, &mut self.tick);
+                self.hits += 1;
+                Some(CacheHit { value: Arc::clone(&entry.value), stale: false })
+            }
+            Some(entry) if allow_stale => {
+                Self::touch(entry, &mut self.lru, key, &mut self.tick);
+                self.hits += 1;
+                Some(CacheHit { value: Arc::clone(&entry.value), stale: true })
+            }
+            Some(_) => {
+                // stale under a strict lookup: evict now, miss
+                let entry = self.map.remove(&key).expect("entry just matched");
+                self.lru.remove(&entry.access);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key` at generation `gen`, evicting the least
+    /// recently used entry if at capacity.
+    pub fn insert(&mut self, key: CacheKey, gen: CacheGen, value: Arc<Vec<f32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.access);
+        } else if self.map.len() >= self.capacity {
+            // evict the globally least-recently-used entry
+            let (&oldest, &victim) = self.lru.iter().next().expect("lru tracks every entry");
+            self.lru.remove(&oldest);
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.lru.insert(self.tick, key);
+        self.map.insert(key, Entry { value, gen, access: self.tick });
+    }
+
+    /// Purge every entry whose backbone generation is older than
+    /// `backbone_gen` — called on backbone swap.
+    pub fn invalidate_backbone(&mut self, backbone_gen: u64) {
+        self.retain(|_, e| e.gen.backbone >= backbone_gen);
+    }
+
+    /// Purge every entry of `tenant` older than `adapter_gen` — called on
+    /// that tenant's adapter hot-swap.
+    pub fn invalidate_tenant(&mut self, tenant: TenantId, adapter_gen: u64) {
+        self.retain(|k, e| k.tenant != tenant || e.gen.adapter >= adapter_gen);
+    }
+
+    fn retain(&mut self, keep: impl Fn(&CacheKey, &Entry) -> bool) {
+        let before = self.map.len();
+        let lru = &mut self.lru;
+        self.map.retain(|k, e| {
+            let keep = keep(k, e);
+            if !keep {
+                lru.remove(&e.access);
+            }
+            keep
+        });
+        self.invalidations += (before - self.map.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tenant: TenantId, tile: TileId) -> CacheKey {
+        CacheKey { tenant, tile }
+    }
+
+    fn gen(backbone: u64, adapter: u64) -> CacheGen {
+        CacheGen { backbone, adapter }
+    }
+
+    fn val(x: f32) -> Arc<Vec<f32>> {
+        Arc::new(vec![x; 4])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = EmbeddingCache::new(4);
+        assert!(c.get(key(0, 1), gen(0, 0), false).is_none());
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        let hit = c.get(key(0, 1), gen(0, 0), false).expect("fresh entry hits");
+        assert!(!hit.stale);
+        assert_eq!(hit.value[0], 1.0);
+        assert!(c.get(key(0, 2), gen(0, 0), false).is_none(), "other tile misses");
+        assert!(c.get(key(1, 1), gen(0, 0), false).is_none(), "other tenant misses");
+        assert_eq!((c.hits, c.misses), (1, 3));
+    }
+
+    #[test]
+    fn capacity_eviction_is_exact_lru() {
+        let mut c = EmbeddingCache::new(2);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        c.insert(key(0, 2), gen(0, 0), val(2.0));
+        // touch tile 1 so tile 2 is the LRU victim
+        assert!(c.get(key(0, 1), gen(0, 0), false).is_some());
+        c.insert(key(0, 3), gen(0, 0), val(3.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions, 1);
+        assert!(c.get(key(0, 2), gen(0, 0), false).is_none(), "LRU entry evicted");
+        assert!(c.get(key(0, 1), gen(0, 0), false).is_some(), "recently-used survives");
+        assert!(c.get(key(0, 3), gen(0, 0), false).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = EmbeddingCache::new(2);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        c.insert(key(0, 1), gen(0, 0), val(9.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(key(0, 1), gen(0, 0), false).unwrap().value[0], 9.0);
+        assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn backbone_swap_invalidates_everything_stale() {
+        let mut c = EmbeddingCache::new(8);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        c.insert(key(1, 2), gen(0, 0), val(2.0));
+        // the swap bumps the backbone generation; old entries must not serve
+        assert!(c.get(key(0, 1), gen(1, 0), false).is_none(), "no stale escape after swap");
+        c.invalidate_backbone(1);
+        assert!(c.is_empty(), "eager purge drops every old-backbone entry");
+        // repopulated entries at the new generation serve normally
+        c.insert(key(0, 1), gen(1, 0), val(3.0));
+        assert!(c.get(key(0, 1), gen(1, 0), false).is_some());
+    }
+
+    #[test]
+    fn adapter_swap_invalidates_only_that_tenant() {
+        let mut c = EmbeddingCache::new(8);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        c.insert(key(1, 1), gen(0, 0), val(2.0));
+        c.invalidate_tenant(0, 1);
+        assert!(c.get(key(0, 1), gen(0, 1), false).is_none(), "swapped tenant purged");
+        assert!(
+            c.get(key(1, 1), gen(0, 0), false).is_some(),
+            "other tenant's entries survive the swap"
+        );
+    }
+
+    #[test]
+    fn strict_lookup_evicts_stale_lazily() {
+        let mut c = EmbeddingCache::new(8);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        // no eager invalidate called; the strict lookup still refuses and evicts
+        assert!(c.get(key(0, 1), gen(0, 1), false).is_none());
+        assert_eq!(c.len(), 0, "stale entry lazily evicted on strict lookup");
+        assert_eq!(c.invalidations, 1);
+    }
+
+    #[test]
+    fn stale_tolerant_lookup_serves_flagged() {
+        let mut c = EmbeddingCache::new(8);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        let hit = c.get(key(0, 1), gen(1, 2), true).expect("degraded mode serves stale");
+        assert!(hit.stale, "stale service must be flagged");
+        // and the entry survives for the next degraded hit
+        assert!(c.get(key(0, 1), gen(1, 2), true).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut c = EmbeddingCache::new(0);
+        c.insert(key(0, 1), gen(0, 0), val(1.0));
+        assert!(c.get(key(0, 1), gen(0, 0), false).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_interleaved_with_invalidation_keeps_lru_consistent() {
+        let mut c = EmbeddingCache::new(3);
+        for t in 0..3u64 {
+            c.insert(key(0, t), gen(0, 0), val(t as f32));
+        }
+        c.invalidate_tenant(0, 1); // purge all three
+        assert!(c.is_empty());
+        for t in 10..14u64 {
+            c.insert(key(0, t), gen(0, 1), val(t as f32));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.get(key(0, 10), gen(0, 1), false).is_none(), "oldest of the refill evicted");
+        assert!(c.get(key(0, 13), gen(0, 1), false).is_some());
+    }
+}

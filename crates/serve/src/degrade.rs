@@ -1,0 +1,234 @@
+//! Graceful-degradation ladder under sustained overload.
+//!
+//! A single pressure signal — an EWMA of queue occupancy relative to
+//! capacity, folded with the fraction of recent requests that missed
+//! their deadline — drives a four-rung ladder:
+//!
+//! | rung | name            | behaviour change                                    |
+//! |------|-----------------|-----------------------------------------------------|
+//! | L0   | `Normal`        | full batching window, everything served             |
+//! | L1   | `TightBatch`    | batch linger → 0, max batch shrunk (latency first)  |
+//! | L2   | `CacheOnly`     | low-priority requests served from cache only (stale |
+//! |      |                 | OK, flagged); a cache miss is shed, not computed    |
+//! | L3   | `ShedLow`       | low-priority rejected at admission with `Degraded`  |
+//!
+//! Transitions are hysteretic: climbing one rung requires the EWMA above
+//! the rung's `up` threshold, descending requires it below the *lower*
+//! `down` threshold, so the ladder cannot flap on a noisy boundary. Every
+//! transition is recorded for the [`crate::report::ServeReport`].
+
+/// Degradation rung, ordered mildest to harshest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DegradeLevel {
+    /// L0 — no degradation.
+    #[default]
+    Normal = 0,
+    /// L1 — zero-linger, shrunken batches.
+    TightBatch = 1,
+    /// L2 — low-priority traffic served from cache only.
+    CacheOnly = 2,
+    /// L3 — low-priority traffic rejected at admission.
+    ShedLow = 3,
+}
+
+impl DegradeLevel {
+    fn from_rung(r: usize) -> Self {
+        match r {
+            0 => DegradeLevel::Normal,
+            1 => DegradeLevel::TightBatch,
+            2 => DegradeLevel::CacheOnly,
+            _ => DegradeLevel::ShedLow,
+        }
+    }
+}
+
+/// One recorded ladder transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeTransition {
+    /// When the transition happened, server-clock nanoseconds.
+    pub at_ns: u64,
+    /// Rung left.
+    pub from: DegradeLevel,
+    /// Rung entered.
+    pub to: DegradeLevel,
+    /// Pressure EWMA that triggered it.
+    pub pressure: f64,
+}
+
+/// Ladder thresholds and EWMA smoothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// EWMA smoothing factor in (0, 1]; higher reacts faster.
+    pub alpha: f64,
+    /// Climb thresholds: pressure above `up[i]` moves L_i → L_{i+1}.
+    pub up: [f64; 3],
+    /// Descend thresholds: pressure below `down[i]` moves L_{i+1} → L_i.
+    /// Each must sit strictly below the matching `up` for hysteresis.
+    pub down: [f64; 3],
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self { alpha: 0.2, up: [0.55, 0.75, 0.9], down: [0.35, 0.55, 0.7] }
+    }
+}
+
+/// Hysteretic pressure-driven ladder controller (see module docs).
+#[derive(Debug, Clone)]
+pub struct DegradeController {
+    cfg: DegradeConfig,
+    level: DegradeLevel,
+    pressure: f64,
+    /// Every transition taken, in order.
+    pub transitions: Vec<DegradeTransition>,
+    /// Highest rung ever reached.
+    pub peak: DegradeLevel,
+}
+
+impl DegradeController {
+    /// Controller at L0 with zero pressure.
+    pub fn new(cfg: DegradeConfig) -> Self {
+        Self {
+            cfg,
+            level: DegradeLevel::Normal,
+            pressure: 0.0,
+            transitions: Vec::new(),
+            peak: DegradeLevel::Normal,
+        }
+    }
+
+    /// Current rung.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Current pressure EWMA in [0, 1].
+    pub fn pressure(&self) -> f64 {
+        self.pressure
+    }
+
+    /// Fold one observation into the EWMA and walk the ladder (at most
+    /// one rung per observation, in either direction).
+    ///
+    /// `queue_frac` is total queued / total capacity; `miss_frac` is the
+    /// fraction of the latest completion window that missed deadlines.
+    /// The instantaneous pressure is the max of the two: a saturated
+    /// queue and a deadline-missing server are both overload even if the
+    /// other signal looks calm.
+    pub fn observe(&mut self, queue_frac: f64, miss_frac: f64, now_ns: u64) -> DegradeLevel {
+        let instant = queue_frac.clamp(0.0, 1.0).max(miss_frac.clamp(0.0, 1.0));
+        self.pressure += self.cfg.alpha * (instant - self.pressure);
+        let rung = self.level as usize;
+        let next = if rung < 3 && self.pressure > self.cfg.up[rung] {
+            Some(DegradeLevel::from_rung(rung + 1))
+        } else if rung > 0 && self.pressure < self.cfg.down[rung - 1] {
+            Some(DegradeLevel::from_rung(rung - 1))
+        } else {
+            None
+        };
+        if let Some(to) = next {
+            self.transitions.push(DegradeTransition {
+                at_ns: now_ns,
+                from: self.level,
+                to,
+                pressure: self.pressure,
+            });
+            self.level = to;
+            self.peak = self.peak.max(to);
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> DegradeController {
+        DegradeController::new(DegradeConfig::default())
+    }
+
+    #[test]
+    fn climbs_one_rung_at_a_time_under_pressure() {
+        let mut c = ctl();
+        let mut seen = vec![c.level()];
+        for t in 0..60u64 {
+            let l = c.observe(1.0, 1.0, t);
+            if *seen.last().unwrap() != l {
+                seen.push(l);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                DegradeLevel::Normal,
+                DegradeLevel::TightBatch,
+                DegradeLevel::CacheOnly,
+                DegradeLevel::ShedLow
+            ],
+            "full ladder climbed in order, no rung skipped"
+        );
+        assert_eq!(c.peak, DegradeLevel::ShedLow);
+        assert_eq!(c.transitions.len(), 3);
+    }
+
+    #[test]
+    fn recovers_when_pressure_drains() {
+        let mut c = ctl();
+        for t in 0..60u64 {
+            c.observe(1.0, 1.0, t);
+        }
+        assert_eq!(c.level(), DegradeLevel::ShedLow);
+        for t in 60..200u64 {
+            c.observe(0.0, 0.0, t);
+        }
+        assert_eq!(c.level(), DegradeLevel::Normal, "ladder fully descends when calm");
+        // 3 up + 3 down
+        assert_eq!(c.transitions.len(), 6);
+        assert_eq!(c.peak, DegradeLevel::ShedLow, "peak is sticky");
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_at_the_boundary() {
+        let mut c = ctl();
+        // drive just past the first up-threshold, then sit exactly between
+        // down[0]=0.35 and up[0]=0.55 — the level must hold at TightBatch
+        for t in 0..50u64 {
+            c.observe(0.6, 0.0, t);
+        }
+        assert_eq!(c.level(), DegradeLevel::TightBatch);
+        let transitions_before = c.transitions.len();
+        for t in 50..250u64 {
+            c.observe(0.45, 0.0, t);
+        }
+        assert_eq!(c.level(), DegradeLevel::TightBatch, "dead band holds the rung");
+        assert_eq!(c.transitions.len(), transitions_before, "no flapping in the dead band");
+    }
+
+    #[test]
+    fn either_signal_alone_raises_pressure() {
+        let mut q = ctl();
+        let mut m = ctl();
+        for t in 0..40u64 {
+            q.observe(0.9, 0.0, t);
+            m.observe(0.0, 0.9, t);
+        }
+        assert!(q.level() > DegradeLevel::Normal, "queue saturation alone degrades");
+        assert!(m.level() > DegradeLevel::Normal, "deadline misses alone degrade");
+    }
+
+    #[test]
+    fn transitions_record_timestamps_in_order() {
+        let mut c = ctl();
+        for t in 0..60u64 {
+            c.observe(1.0, 1.0, t * 10);
+        }
+        let at: Vec<u64> = c.transitions.iter().map(|t| t.at_ns).collect();
+        let mut sorted = at.clone();
+        sorted.sort_unstable();
+        assert_eq!(at, sorted);
+        for w in c.transitions.windows(2) {
+            assert_eq!(w[0].to, w[1].from, "transition chain is contiguous");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # geofm-serve — overload-robust inference serving for frozen geofm encoders
+//!
+//! The pretraining side of this repo ends with a frozen ViT/MAE encoder;
+//! this crate is the plane that serves it to many tenants under real
+//! traffic, built around one contract: **bounded state, exact
+//! accounting, graceful degradation — never unbounded growth, never a
+//! hang, never a lost request.**
+//!
+//! | module | what lives there |
+//! |--------|------------------|
+//! | [`request`]  | request/verdict/outcome types + the conservation law |
+//! | [`tenant`]   | bounded queues, token buckets, circuit breakers |
+//! | [`cache`]    | `(tenant, tile)` embedding cache with generation-tagged invalidation |
+//! | [`degrade`]  | the four-rung hysteretic degradation ladder |
+//! | [`core`]     | the clock-free scheduler: admission → batching → shedding |
+//! | [`backbone`] | the frozen-encoder trait: real ViT or deterministic sim |
+//! | [`plane`]    | real threads: dispatcher, worker pool, hedged execution |
+//! | [`sim`]      | deterministic virtual-time harness (bit-replayable chaos) |
+//!
+//! The scheduler ([`core::ServeCore`]) never reads a clock — every entry
+//! point takes `now_ns` — so the identical decision logic runs under
+//! real threads *and* under seeded virtual time, giving the chaos suite
+//! deterministic replay while the threaded tests pin the structural
+//! invariants (no hang, exact conservation) that wall-clock runs can
+//! actually witness.
+
+pub mod backbone;
+pub mod cache;
+pub mod core;
+pub mod degrade;
+pub mod plane;
+pub mod report;
+pub mod request;
+pub mod sim;
+pub mod tenant;
+
+pub use backbone::{Backbone, SimBackbone, VitBackbone};
+pub use cache::{CacheGen, CacheHit, CacheKey, EmbeddingCache};
+pub use core::{Batch, ServeConfig, ServeCore};
+pub use degrade::{DegradeConfig, DegradeController, DegradeLevel, DegradeTransition};
+pub use plane::{PlaneConfig, ServePlane};
+pub use report::{CacheReport, ServeReport, TenantReport};
+pub use request::{Outcome, Priority, RejectReason, Request, TenantId, TileId, Verdict};
+pub use sim::{run_sim, SimConfig};
+pub use tenant::{BreakerState, CircuitBreaker, TenantConfig, TenantState, TokenBucket};

@@ -1,0 +1,370 @@
+//! The real threaded serving plane.
+//!
+//! Wraps the clock-free [`ServeCore`] in actual machinery: a dispatcher
+//! thread forming batches, a worker pool executing them on the backbone,
+//! and a hedge monitor that launches duplicate executions for batches
+//! straggling past an EWMA-adaptive timeout (the same
+//! [`AdaptiveTimeout`] the collectives use) — first finisher wins via an
+//! atomic `done` flag, the loser's work is discarded.
+//!
+//! Structural guarantees the chaos suite leans on:
+//!
+//! - **Never hang**: every loop checks the shutdown flag; injected
+//!   worker hangs ([`FaultPlan::take_worker_hang`]) are sleeps in small
+//!   increments that abort the moment the batch is done elsewhere or the
+//!   plane shuts down. Condvar waits are bounded.
+//! - **Exact conservation**: a popped batch either completes exactly
+//!   once (the `done` swap) or is shed exactly once — including batches
+//!   still queued or in flight at shutdown.
+
+use crate::backbone::Backbone;
+use crate::core::{Batch, ServeConfig, ServeCore};
+use crate::report::ServeReport;
+use crate::request::{TenantId, TileId, Verdict};
+use crate::tenant::TenantConfig;
+use geofm_collectives::{AdaptiveTimeout, AdaptiveTimeoutConfig};
+use geofm_resilience::FaultPlan;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Threading and hedging knobs for the real plane.
+#[derive(Debug, Clone)]
+pub struct PlaneConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Launch hedged duplicates for straggling batches.
+    pub hedge: bool,
+    /// Duration of an injected worker hang (before abort conditions).
+    pub hang: Duration,
+    /// Dispatcher poll interval when no batch is ready.
+    pub poll: Duration,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            hedge: true,
+            hang: Duration::from_millis(80),
+            poll: Duration::from_micros(200),
+        }
+    }
+}
+
+struct BatchTask {
+    batch: Batch,
+    /// Shared between an original and its hedged duplicate: first
+    /// finisher swaps it and owns the batch's accounting.
+    done: Arc<AtomicBool>,
+    is_hedge: bool,
+}
+
+struct WorkQueue {
+    queue: Mutex<VecDeque<Arc<BatchTask>>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    core: Mutex<ServeCore>,
+    work: WorkQueue,
+    backbone: Arc<dyn Backbone>,
+    plan: Option<Arc<FaultPlan>>,
+    shutdown: AtomicBool,
+    timer: Mutex<AdaptiveTimeout>,
+    epoch: Instant,
+    cfg: PlaneConfig,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn push_task(&self, task: Arc<BatchTask>) {
+        self.work.queue.lock().expect("work queue lock").push_back(task);
+        self.work.ready.notify_one();
+    }
+
+    /// Worker body for one popped task. Exactly one of
+    /// `complete_batch` / `shed_batch` happens per batch id, guarded by
+    /// the `done` swap.
+    fn execute(&self, task: &BatchTask) {
+        if task.done.load(Ordering::Acquire) {
+            return; // the other copy already won
+        }
+        let hang = !task.is_hedge
+            && self.plan.as_ref().is_some_and(|p| p.take_worker_hang(task.batch.id as usize));
+        if hang {
+            let t0 = Instant::now();
+            while t0.elapsed() < self.cfg.hang {
+                if task.done.load(Ordering::Acquire) || self.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                thread::sleep(Duration::from_micros(300));
+            }
+            if self.shutdown.load(Ordering::Acquire) && !task.done.swap(true, Ordering::AcqRel) {
+                let now = self.now_ns();
+                self.core.lock().expect("core lock").shed_batch(&task.batch, now);
+                return;
+            }
+            if task.done.load(Ordering::Acquire) {
+                return;
+            }
+        }
+        let t0 = Instant::now();
+        let results = self.backbone.encode(&task.batch.entries());
+        let compute = t0.elapsed();
+        if !task.done.swap(true, Ordering::AcqRel) {
+            let now = self.now_ns();
+            let mut core = self.core.lock().expect("core lock");
+            if task.is_hedge {
+                core.note_hedge_win();
+            }
+            core.complete_batch(&task.batch, &results, compute.as_nanos() as u64, now);
+            drop(core);
+            self.timer.lock().expect("timer lock").observe(compute);
+        }
+    }
+}
+
+/// Running server instance (see module docs).
+pub struct ServePlane {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServePlane {
+    /// Start dispatcher + workers over `backbone`, optionally injecting
+    /// faults from `plan`.
+    pub fn start(
+        serve_cfg: ServeConfig,
+        tenant_cfgs: &[TenantConfig],
+        backbone: Arc<dyn Backbone>,
+        plan: Option<Arc<FaultPlan>>,
+        cfg: PlaneConfig,
+    ) -> Self {
+        let core = ServeCore::new(serve_cfg, tenant_cfgs, Arc::clone(&backbone), 0);
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            work: WorkQueue { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() },
+            backbone,
+            plan,
+            shutdown: AtomicBool::new(false),
+            timer: Mutex::new(AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+                floor: Duration::from_millis(1),
+                multiplier: 3.0,
+                warmup: 5,
+            })),
+            epoch: Instant::now(),
+            cfg: cfg.clone(),
+        });
+
+        let dispatcher = {
+            let s = Arc::clone(&shared);
+            thread::spawn(move || Self::dispatch_loop(&s))
+        };
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                thread::spawn(move || Self::worker_loop(&s))
+            })
+            .collect();
+        Self { shared, dispatcher: Some(dispatcher), workers }
+    }
+
+    fn dispatch_loop(s: &Arc<Shared>) {
+        // (task, launched-at) for hedge monitoring
+        let mut in_flight: Vec<(Arc<BatchTask>, Instant, bool)> = Vec::new();
+        while !s.shutdown.load(Ordering::Acquire) {
+            let now = s.now_ns();
+            let batch = s.core.lock().expect("core lock").form_batch(now);
+            match batch {
+                Some(batch) => {
+                    let task = Arc::new(BatchTask {
+                        batch,
+                        done: Arc::new(AtomicBool::new(false)),
+                        is_hedge: false,
+                    });
+                    in_flight.push((Arc::clone(&task), Instant::now(), false));
+                    s.push_task(task);
+                }
+                None => thread::sleep(s.cfg.poll),
+            }
+            in_flight.retain(|(t, _, _)| !t.done.load(Ordering::Acquire));
+            if s.cfg.hedge {
+                let timeout = s.timer.lock().expect("timer lock").current();
+                if let Some(timeout) = timeout {
+                    for entry in &mut in_flight {
+                        let (task, started, hedged) = entry;
+                        if !*hedged && started.elapsed() > timeout {
+                            *hedged = true;
+                            let dup = Arc::new(BatchTask {
+                                batch: task.batch.clone(),
+                                done: Arc::clone(&task.done),
+                                is_hedge: true,
+                            });
+                            s.core.lock().expect("core lock").note_hedge_launched();
+                            s.push_task(dup);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn worker_loop(s: &Arc<Shared>) {
+        loop {
+            let task = {
+                let mut q = s.work.queue.lock().expect("work queue lock");
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break Some(t);
+                    }
+                    if s.shutdown.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    let (guard, _) = s
+                        .work
+                        .ready
+                        .wait_timeout(q, Duration::from_millis(5))
+                        .expect("work queue wait");
+                    q = guard;
+                }
+            };
+            let Some(task) = task else { return };
+            s.execute(&task);
+        }
+    }
+
+    /// Submit one request now; returns the id and the admission verdict.
+    pub fn submit(&self, tenant: TenantId, tile: TileId) -> (u64, Verdict) {
+        let now = self.shared.now_ns();
+        self.shared.core.lock().expect("core lock").submit(tenant, tile, now)
+    }
+
+    /// Requests currently queued (not yet batched).
+    pub fn queued(&self) -> usize {
+        self.shared.core.lock().expect("core lock").queued_total()
+    }
+
+    /// Interim report snapshot (books may be mid-flight; conservation
+    /// holds only after [`Self::shutdown`]).
+    pub fn snapshot(&self) -> ServeReport {
+        self.shared.core.lock().expect("core lock").report()
+    }
+
+    /// Wait (bounded) for all queued + in-flight work to finish.
+    /// Returns false if `deadline` elapsed first.
+    pub fn drain(&self, deadline: Duration) -> bool {
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline {
+            let queued = self.queued();
+            let in_queue = self.shared.work.queue.lock().expect("work queue lock").len();
+            if queued == 0 && in_queue == 0 {
+                // one poll interval of settle time for in-flight completes
+                thread::sleep(self.shared.cfg.poll.max(Duration::from_millis(2)));
+                if self.queued() == 0 {
+                    return true;
+                }
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    /// Stop accepting, shed everything still pending, join all threads,
+    /// and return the final balanced report. Never blocks indefinitely:
+    /// every loop this joins on observes the shutdown flag.
+    pub fn shutdown(mut self) -> ServeReport {
+        let now = self.shared.now_ns();
+        self.shared.core.lock().expect("core lock").drain_shutdown(now);
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.ready.notify_all();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // anything still in the work queue was never executed: shed it
+        let leftovers: Vec<Arc<BatchTask>> =
+            self.shared.work.queue.lock().expect("work queue lock").drain(..).collect();
+        let now = self.shared.now_ns();
+        let mut core = self.shared.core.lock().expect("core lock");
+        for task in leftovers {
+            if !task.done.swap(true, Ordering::AcqRel) {
+                core.shed_batch(&task.batch, now);
+            }
+        }
+        core.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::SimBackbone;
+
+    fn plane(tenants: usize, plan: Option<Arc<FaultPlan>>, cfg: PlaneConfig) -> ServePlane {
+        let backbone = Arc::new(SimBackbone::new(8, 50_000, 10_000));
+        let serve_cfg = ServeConfig { linger_ns: 500_000, ..ServeConfig::default() };
+        let tenant_cfgs = vec![TenantConfig::standard(f64::INFINITY); tenants];
+        ServePlane::start(serve_cfg, &tenant_cfgs, backbone, plan, cfg)
+    }
+
+    #[test]
+    fn serves_requests_end_to_end_and_balances() {
+        let p = plane(2, None, PlaneConfig::default());
+        for i in 0..40u64 {
+            let (_, v) = p.submit((i % 2) as usize, i % 8);
+            assert!(v.admitted());
+        }
+        assert!(p.drain(Duration::from_secs(10)), "drain must finish well inside the bound");
+        let r = p.shutdown();
+        r.assert_conservation();
+        assert_eq!(r.submitted(), 40);
+        assert!(r.completed() > 0);
+        assert_eq!(r.shed(), 0, "nothing pending at a drained shutdown");
+    }
+
+    #[test]
+    fn shutdown_mid_burst_never_hangs_and_accounts_everything() {
+        let p = plane(3, None, PlaneConfig::default());
+        for i in 0..300u64 {
+            p.submit((i % 3) as usize, i);
+        }
+        // no drain: kill it mid-burst
+        let r = p.shutdown();
+        r.assert_conservation();
+        assert_eq!(r.submitted(), 300);
+    }
+
+    #[test]
+    fn injected_hang_is_beaten_by_a_hedge() {
+        // batches 8.. hang: the first clean batches warm the adaptive
+        // timer, then hedged duplicates beat the 300 ms stragglers
+        let mut plan = FaultPlan::none();
+        for b in 8..80 {
+            plan = plan.with_worker_hang(b);
+        }
+        let backbone = Arc::new(SimBackbone::new(8, 50_000, 10_000));
+        let serve_cfg =
+            ServeConfig { linger_ns: 200_000, max_batch: 4, ..ServeConfig::default() };
+        let tenant_cfgs = vec![TenantConfig::standard(f64::INFINITY)];
+        let cfg = PlaneConfig { hang: Duration::from_millis(300), ..PlaneConfig::default() };
+        let p = ServePlane::start(serve_cfg, &tenant_cfgs, backbone, Some(Arc::new(plan)), cfg);
+        for i in 0..120u64 {
+            p.submit(0, i);
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(p.drain(Duration::from_secs(20)), "hangs must not stall the plane");
+        let r = p.shutdown();
+        r.assert_conservation();
+        assert_eq!(r.completed() + r.shed(), r.admitted());
+        assert!(r.hedges_launched > 0, "stragglers must have triggered hedges");
+    }
+}

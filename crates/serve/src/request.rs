@@ -1,0 +1,135 @@
+//! Request, verdict, and outcome types of the serving plane.
+//!
+//! Every request submitted to the server receives **exactly one verdict**
+//! at admission time ([`Verdict::Admitted`] or [`Verdict::Rejected`]) and,
+//! if admitted, **exactly one terminal outcome** ([`Outcome`]). That
+//! two-phase accounting is the conservation law `tests/serve_chaos.rs`
+//! pins: `submitted = admitted + rejected` and
+//! `admitted = completed + shed`, with nothing lost and nothing counted
+//! twice — the serving twin of the trainer's "bit-identical or structured
+//! report, never hang" invariant.
+
+/// Tenant index into the server's tenant table.
+pub type TenantId = usize;
+
+/// Opaque geospatial tile identifier (the embedding-cache key).
+pub type TileId = u64;
+
+/// Tenant service class. Degradation sheds lower classes first; the
+/// batcher serves higher classes first when capacity is contended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort batch/analytics traffic — first to be shed.
+    Low = 0,
+    /// Default interactive traffic.
+    Standard = 1,
+    /// Latency-sensitive traffic — last to be shed.
+    Premium = 2,
+}
+
+/// One inference request over the frozen backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Unique per-run request id (assigned by the submitter).
+    pub id: u64,
+    /// Issuing tenant.
+    pub tenant: TenantId,
+    /// Tile whose embedding is requested.
+    pub tile: TileId,
+    /// Service class (copied from the tenant's config at submit).
+    pub priority: Priority,
+    /// Arrival timestamp, nanoseconds on the server clock.
+    pub arrival_ns: u64,
+    /// Absolute deadline on the server clock; work finishing later has
+    /// zero value to the client.
+    pub deadline_ns: u64,
+}
+
+/// Why a request was turned away at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectReason {
+    /// The tenant's bounded queue is full — the backpressure signal that
+    /// replaces unbounded growth.
+    QueueFull,
+    /// The tenant exhausted its token bucket.
+    RateLimited,
+    /// The tenant's circuit breaker is open after repeated deadline
+    /// failures; fast-fail instead of queueing doomed work.
+    CircuitOpen,
+    /// Sustained overload: the degradation ladder is shedding this
+    /// tenant's service class at admission.
+    Degraded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+/// Admission decision, returned synchronously from `submit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Queued for batching (or completed instantly from cache).
+    Admitted,
+    /// Turned away; `retry_after_ns` is the server's drain-rate estimate
+    /// of when capacity returns — never retry sooner.
+    Rejected {
+        /// Why the request was refused.
+        reason: RejectReason,
+        /// Suggested client backoff, nanoseconds.
+        retry_after_ns: u64,
+    },
+}
+
+impl Verdict {
+    /// Whether the request entered the serving pipeline.
+    pub fn admitted(&self) -> bool {
+        matches!(self, Verdict::Admitted)
+    }
+}
+
+/// Terminal outcome of an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// An embedding was produced and delivered.
+    Completed {
+        /// End-to-end latency (completion − arrival), nanoseconds.
+        latency_ns: u64,
+        /// Whether the deadline was met — only these count as goodput.
+        in_deadline: bool,
+        /// Served from the embedding cache without touching the backbone.
+        from_cache: bool,
+        /// Served from a stale cache generation under degradation.
+        stale: bool,
+    },
+    /// Expired in queue and was shed *before* compute — the deadline
+    /// scheduler refusing to burn backbone time on dead work.
+    ShedDeadline,
+    /// Shed under cache-only degradation: the tile was not cached and
+    /// the ladder forbade compute for this service class.
+    ShedCacheMiss,
+    /// Still queued when the server shut down mid-burst.
+    ShedShutdown,
+}
+
+impl Outcome {
+    /// Whether the outcome is a completion (any kind).
+    pub fn completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_to_premium() {
+        assert!(Priority::Low < Priority::Standard);
+        assert!(Priority::Standard < Priority::Premium);
+    }
+
+    #[test]
+    fn verdict_admitted_predicate() {
+        assert!(Verdict::Admitted.admitted());
+        assert!(!Verdict::Rejected { reason: RejectReason::QueueFull, retry_after_ns: 1 }
+            .admitted());
+    }
+}

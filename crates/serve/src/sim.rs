@@ -1,0 +1,330 @@
+//! Deterministic virtual-time serving simulation.
+//!
+//! Drives a [`ServeCore`] with a seeded diurnal-plus-burst traffic
+//! generator and a single virtual worker, consuming serve-side fault
+//! injections from a [`FaultPlan`] (tenant bursts, slow clients, worker
+//! hangs). Everything is integer/virtual-clock arithmetic off a seeded
+//! LCG — two runs with the same `(config, plan, seed)` produce
+//! **byte-identical** [`ServeReport`]s, which is the replay-determinism
+//! property `tests/serve_chaos.rs` pins across 100+ schedules.
+//!
+//! The worker model mirrors the real plane: one batch in flight at a
+//! time, cost charged from [`Backbone::batch_cost_ns`], an injected hang
+//! multiplying the cost, and an EWMA-adaptive hedge (same
+//! [`AdaptiveTimeout`] machinery the collectives use) that launches a
+//! duplicate execution when the original straggles past the learned
+//! timeout — first finisher wins.
+
+use crate::backbone::{Backbone, SimBackbone};
+use crate::core::{ServeConfig, ServeCore};
+use crate::report::ServeReport;
+use crate::tenant::TenantConfig;
+use geofm_collectives::{AdaptiveTimeout, AdaptiveTimeoutConfig};
+use geofm_resilience::FaultPlan;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Traffic shape and world size for one simulated serving session.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Per-tenant policies (index = tenant id).
+    pub tenants: Vec<TenantConfig>,
+    /// Server policy.
+    pub serve: ServeConfig,
+    /// Traffic ticks to run.
+    pub ticks: usize,
+    /// Virtual duration of one tick, nanoseconds.
+    pub tick_ns: u64,
+    /// Mean requests per tenant per tick at the diurnal baseline.
+    pub base_rate: f64,
+    /// Diurnal swing in [0, 1]: peak = base·(1+amp), trough = base·(1−amp)
+    /// on a triangle wave (integer-exact, no trig).
+    pub diurnal_amplitude: f64,
+    /// Diurnal period, ticks.
+    pub diurnal_period: usize,
+    /// Tile universe size per tenant — small universes make the
+    /// embedding cache earn its keep.
+    pub tiles: u64,
+    /// Injected worker hangs multiply batch cost by this factor.
+    pub hang_factor: u64,
+    /// Launch hedged duplicates for straggling batches.
+    pub hedge: bool,
+    /// After the last tick: `true` keeps serving until the queues drain,
+    /// `false` shuts down immediately, shedding whatever is queued
+    /// (the "shutdown mid-burst" chaos posture).
+    pub drain: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            tenants: vec![TenantConfig::standard(f64::INFINITY); 3],
+            serve: ServeConfig::default(),
+            ticks: 200,
+            tick_ns: 1_000_000,
+            base_rate: 2.0,
+            diurnal_amplitude: 0.5,
+            diurnal_period: 64,
+            tiles: 256,
+            hang_factor: 20,
+            hedge: true,
+            drain: true,
+        }
+    }
+}
+
+/// Embedding width of the sim backbone used by [`run_sim`].
+pub const SIM_EMBED_DIM: usize = 8;
+/// Fixed per-batch cost of the sim backbone, nanoseconds.
+pub const SIM_BASE_COST_NS: u64 = 400_000;
+/// Per-request marginal cost of the sim backbone, nanoseconds.
+pub const SIM_PER_ITEM_COST_NS: u64 = 150_000;
+/// Mean of the multiplicative service jitter applied in [`run_sim`]
+/// (uniform in [1.0, 1.1]) — capacity planners must divide it out.
+pub const SIM_JITTER_MEAN: f64 = 1.05;
+
+/// Deterministic LCG (same constants as the resilience crate's sampler).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Triangle diurnal multiplier in [1−amp, 1+amp].
+fn diurnal(tick: usize, period: usize, amp: f64) -> f64 {
+    if period == 0 {
+        return 1.0;
+    }
+    let phase = tick % period;
+    let half = period / 2;
+    let frac = if half == 0 {
+        0.0
+    } else if phase < half {
+        phase as f64 / half as f64
+    } else {
+        (period - phase) as f64 / half as f64
+    };
+    1.0 - amp + 2.0 * amp * frac
+}
+
+/// Run one simulated session (see module docs). Deterministic in
+/// `(cfg, plan, seed)`.
+pub fn run_sim(cfg: &SimConfig, plan: &FaultPlan, seed: u64) -> ServeReport {
+    let backbone =
+        Arc::new(SimBackbone::new(SIM_EMBED_DIM, SIM_BASE_COST_NS, SIM_PER_ITEM_COST_NS));
+    let mut core = ServeCore::new(
+        cfg.serve.clone(),
+        &cfg.tenants,
+        Arc::clone(&backbone) as Arc<dyn Backbone>,
+        0,
+    );
+    let mut rng = Lcg::new(seed ^ 0x5e5e_5e5e_5e5e_5e5e);
+    let mut hedge_timer = AdaptiveTimeout::new(AdaptiveTimeoutConfig {
+        floor: Duration::from_micros(100),
+        multiplier: 3.0,
+        warmup: 4,
+    });
+    // prime the estimator from the backbone's own cost model: the server
+    // knows what a full batch should cost, so even the very first
+    // straggler is hedgeable instead of getting a free ride through
+    // warmup
+    for _ in 0..4 {
+        hedge_timer
+            .observe(Duration::from_nanos(backbone.batch_cost_ns(cfg.serve.max_batch.max(1))));
+    }
+    let mut worker_free_at: u64 = 0;
+
+    let work = |core: &mut ServeCore,
+                    worker_free_at: &mut u64,
+                    hedge_timer: &mut AdaptiveTimeout,
+                    rng: &mut Lcg,
+                    window_end: u64| {
+        // keep launching batches while the single worker frees up inside
+        // this virtual window
+        while *worker_free_at < window_end {
+            let start = *worker_free_at;
+            let Some(batch) = core.form_batch(start) else {
+                // nothing ready now; jump to the next actionable instant
+                match core.next_event_ns(start) {
+                    Some(at) if at < window_end => {
+                        *worker_free_at = at.max(start + 1);
+                        continue;
+                    }
+                    _ => break,
+                }
+            };
+            let n = batch.requests.len();
+            let jitter = 1.0 + 0.1 * rng.next_f64();
+            let base_cost = (backbone.batch_cost_ns(n) as f64 * jitter) as u64;
+            let hang = plan.take_worker_hang(batch.id as usize);
+            let straggle_cost =
+                if hang { base_cost.saturating_mul(cfg.hang_factor) } else { base_cost };
+            let mut done = start + straggle_cost;
+            let mut compute = straggle_cost;
+            // as in the real plane, the timer learns from the *winner's*
+            // encode duration: a winning duplicate ran clean, so a hang
+            // must not poison the EWMA and blind every later hedge
+            let mut observed = straggle_cost;
+            if cfg.hedge {
+                if let Some(timeout) = hedge_timer.current() {
+                    let timeout_ns = timeout.as_nanos() as u64;
+                    if straggle_cost > timeout_ns {
+                        core.note_hedge_launched();
+                        let hedge_done = start + timeout_ns + base_cost;
+                        if hedge_done < done {
+                            core.note_hedge_win();
+                            done = hedge_done;
+                            compute = timeout_ns + base_cost;
+                            observed = base_cost;
+                        }
+                    }
+                }
+            }
+            // robust estimator: clamp the sample to the current bound so
+            // an unhedged straggler cannot poison the EWMA and raise the
+            // bar for every later hedge
+            if let Some(t) = hedge_timer.current() {
+                observed = observed.min(t.as_nanos() as u64);
+            }
+            hedge_timer.observe(Duration::from_nanos(observed));
+            let results = backbone.encode(&batch.entries());
+            core.complete_batch(&batch, &results, compute, done);
+            *worker_free_at = done;
+        }
+        if *worker_free_at < window_end {
+            *worker_free_at = window_end;
+        }
+    };
+
+    for tick in 0..cfg.ticks {
+        let tick_start = tick as u64 * cfg.tick_ns;
+        let tick_end = tick_start + cfg.tick_ns;
+        for tenant in 0..cfg.tenants.len() {
+            let mean = cfg.base_rate * diurnal(tick, cfg.diurnal_period, cfg.diurnal_amplitude);
+            let mut n = mean.floor() as usize;
+            if rng.next_f64() < mean.fract() {
+                n += 1;
+            }
+            n += plan.burst_extra(tenant, tick);
+            let delay = plan
+                .client_delay(tenant, tick)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0)
+                .min(cfg.tick_ns.saturating_sub(1));
+            for _ in 0..n {
+                let offset = delay + rng.below(cfg.tick_ns.saturating_sub(delay).max(1));
+                let tile = rng.below(cfg.tiles.max(1));
+                core.submit(tenant, tile, tick_start + offset);
+            }
+        }
+        work(&mut core, &mut worker_free_at, &mut hedge_timer, &mut rng, tick_end);
+    }
+
+    let end = cfg.ticks as u64 * cfg.tick_ns;
+    if cfg.drain {
+        // bounded post-traffic drain: at most 4× the run length
+        let mut horizon = end;
+        let limit = end.saturating_mul(4).max(end + cfg.tick_ns);
+        while core.queued_total() > 0 && horizon < limit {
+            horizon += cfg.tick_ns;
+            work(&mut core, &mut worker_free_at, &mut hedge_timer, &mut rng, horizon);
+        }
+        core.drain_shutdown(horizon);
+    } else {
+        core.drain_shutdown(end);
+    }
+    core.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geofm_resilience::FaultMix;
+
+    fn plan(seed: u64, mix: &FaultMix, ticks: usize) -> FaultPlan {
+        FaultPlan::seeded_with_serve(seed, 4, 8, 4, 16, 3, ticks, mix)
+    }
+
+    #[test]
+    fn clean_run_completes_everything_in_deadline() {
+        let cfg = SimConfig { base_rate: 1.0, ticks: 100, ..SimConfig::default() };
+        let r = run_sim(&cfg, &plan(1, &FaultMix::crashes_only(0.0), 100), 1);
+        r.assert_conservation();
+        assert!(r.submitted() > 0);
+        assert_eq!(r.rejected(), 0, "clean light load rejects nothing");
+        assert!(
+            r.goodput() as f64 >= 0.99 * r.admitted() as f64,
+            "light load serves essentially everything in deadline: {}/{}",
+            r.goodput(),
+            r.admitted()
+        );
+    }
+
+    #[test]
+    fn identical_seed_replays_byte_identical() {
+        let cfg = SimConfig::default();
+        let mix = FaultMix::serve_only(0.3, 0.1);
+        let a = run_sim(&cfg, &plan(7, &mix, cfg.ticks), 7);
+        let b = run_sim(&cfg, &plan(7, &mix, cfg.ticks), 7);
+        assert_eq!(a, b, "same (config, plan, seed) must replay identically");
+        let c = run_sim(&cfg, &plan(8, &mix, cfg.ticks), 8);
+        assert_ne!(a, c, "different seed must actually change the run");
+    }
+
+    #[test]
+    fn bursts_trigger_defenses_not_collapse() {
+        let mut cfg = SimConfig { base_rate: 4.0, ..SimConfig::default() };
+        for t in &mut cfg.tenants {
+            t.queue_capacity = 16;
+        }
+        let mix = FaultMix { serve_burst_prob: 0.5, serve_burst_extra: (16, 48), ..FaultMix::crashes_only(0.0) };
+        let r = run_sim(&cfg, &plan(3, &mix, cfg.ticks), 3);
+        r.assert_conservation();
+        assert!(r.rejected() + r.shed() > 0, "storms must hit the defenses");
+        for t in r.tenants.values() {
+            assert!(
+                t.queue_depth_max <= 16,
+                "bounded queue held under burst: {}",
+                t.queue_depth_max
+            );
+        }
+    }
+
+    #[test]
+    fn hangs_are_absorbed_by_hedging() {
+        let cfg = SimConfig { base_rate: 2.0, ..SimConfig::default() };
+        let mix = FaultMix { serve_hang_prob: 0.2, ..FaultMix::crashes_only(0.0) };
+        let r = run_sim(&cfg, &plan(11, &mix, cfg.ticks), 11);
+        r.assert_conservation();
+        assert!(r.hedges_launched > 0, "straggling batches must trigger hedges");
+        assert!(r.hedge_wins > 0, "duplicates must win against 20x stragglers");
+    }
+
+    #[test]
+    fn shutdown_mid_burst_accounts_every_request() {
+        let cfg = SimConfig { base_rate: 8.0, drain: false, ticks: 50, ..SimConfig::default() };
+        let mix = FaultMix::serve_only(0.4, 0.1);
+        let r = run_sim(&cfg, &plan(5, &mix, cfg.ticks), 5);
+        r.assert_conservation();
+        assert!(r.submitted() > 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Per-tenant overload defenses: bounded queues, token buckets, circuit
+//! breakers.
+//!
+//! Each tenant owns a **bounded** request queue (admission control turns
+//! overflow into `Rejected { QueueFull, retry_after }`, never unbounded
+//! growth), a token bucket capping its sustained request rate, and a
+//! circuit breaker that fast-fails a tenant whose requests keep dying at
+//! their deadlines — queueing doomed work behind a breaker would only
+//! steal capacity from tenants whose deadlines are still winnable.
+//!
+//! Everything here is driven by explicit `now_ns` timestamps, so the same
+//! state machines run identically under the real-threaded plane
+//! ([`crate::plane`]) and the deterministic virtual-time harness
+//! ([`crate::sim`]).
+
+use crate::request::{Priority, Request};
+use std::collections::VecDeque;
+
+/// Static per-tenant policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantConfig {
+    /// Service class.
+    pub priority: Priority,
+    /// Bounded queue capacity; a submit beyond it is rejected.
+    pub queue_capacity: usize,
+    /// Token-bucket sustained rate, requests per second. `f64::INFINITY`
+    /// disables rate limiting (the undefended negative control).
+    pub rate_per_s: f64,
+    /// Token-bucket burst size (bucket capacity).
+    pub burst: f64,
+    /// Per-request latency budget: deadline = arrival + budget.
+    pub deadline_ns: u64,
+}
+
+impl TenantConfig {
+    /// A standard-class tenant with `rate_per_s` sustained rate.
+    pub fn standard(rate_per_s: f64) -> Self {
+        Self {
+            priority: Priority::Standard,
+            queue_capacity: 64,
+            rate_per_s,
+            burst: 2.0 * rate_per_s.max(1.0),
+            deadline_ns: 50_000_000,
+        }
+    }
+
+    /// Same tenant at a different service class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Classic token bucket in nanosecond time: `level` refills at
+/// `rate_per_s` up to `burst`; a request takes one token or is limited.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_ns: f64,
+    burst: f64,
+    level: f64,
+    last_refill_ns: u64,
+}
+
+impl TokenBucket {
+    /// Full bucket at time zero.
+    pub fn new(rate_per_s: f64, burst: f64) -> Self {
+        Self { rate_per_ns: rate_per_s / 1e9, burst, level: burst, last_refill_ns: 0 }
+    }
+
+    fn refill(&mut self, now_ns: u64) {
+        if self.rate_per_ns.is_infinite() {
+            self.level = self.burst;
+            self.last_refill_ns = now_ns;
+            return;
+        }
+        let dt = now_ns.saturating_sub(self.last_refill_ns) as f64;
+        self.level = (self.level + dt * self.rate_per_ns).min(self.burst);
+        self.last_refill_ns = now_ns;
+    }
+
+    /// Take one token if available. Infinite rate always succeeds.
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        if self.rate_per_ns.is_infinite() {
+            return true;
+        }
+        self.refill(now_ns);
+        if self.level >= 1.0 {
+            self.level -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Nanoseconds until one token will be available (0 if one already is).
+    pub fn ns_until_token(&self, now_ns: u64) -> u64 {
+        if self.rate_per_ns.is_infinite() {
+            return 0;
+        }
+        let dt = now_ns.saturating_sub(self.last_refill_ns) as f64;
+        let level = (self.level + dt * self.rate_per_ns).min(self.burst);
+        if level >= 1.0 {
+            0
+        } else {
+            (((1.0 - level) / self.rate_per_ns).ceil()) as u64
+        }
+    }
+}
+
+/// Circuit-breaker state (see [`CircuitBreaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests fast-fail until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next requests probe; one more failure
+    /// re-opens, a success closes.
+    HalfOpen,
+}
+
+/// Counts consecutive *deadline failures* (sheds and late completions)
+/// per tenant; `threshold` of them in a row open the breaker for
+/// `cooldown_ns`. An open breaker converts queueing into fast-fail: the
+/// tenant's clients get an honest retry-after instead of burying more
+/// doomed requests in the queue.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_ns: u64,
+    consecutive_failures: u32,
+    state: BreakerState,
+    open_until_ns: u64,
+    /// Times the breaker tripped (for the report).
+    pub trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Closed breaker. `threshold == u32::MAX` effectively disables it.
+    pub fn new(threshold: u32, cooldown_ns: u64) -> Self {
+        Self {
+            threshold,
+            cooldown_ns,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            open_until_ns: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen when the cooldown expired.
+    pub fn state(&mut self, now_ns: u64) -> BreakerState {
+        if self.state == BreakerState::Open && now_ns >= self.open_until_ns {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether a request may pass right now.
+    pub fn allow(&mut self, now_ns: u64) -> bool {
+        self.state(now_ns) != BreakerState::Open
+    }
+
+    /// Nanoseconds until the breaker re-probes (0 when not open).
+    pub fn ns_until_probe(&self, now_ns: u64) -> u64 {
+        if self.state == BreakerState::Open {
+            self.open_until_ns.saturating_sub(now_ns)
+        } else {
+            0
+        }
+    }
+
+    /// Feed one terminal outcome for this tenant. `deadline_met == false`
+    /// counts toward tripping; a success resets the streak and closes a
+    /// half-open breaker.
+    pub fn record(&mut self, deadline_met: bool, now_ns: u64) {
+        let state = self.state(now_ns);
+        if deadline_met {
+            self.consecutive_failures = 0;
+            if state == BreakerState::HalfOpen {
+                self.state = BreakerState::Closed;
+            }
+            return;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = match state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.open_until_ns = now_ns + self.cooldown_ns;
+            self.consecutive_failures = 0;
+            self.trips += 1;
+        }
+    }
+}
+
+/// Live per-tenant serving state: policy + bounded queue + defenses.
+#[derive(Debug)]
+pub struct TenantState {
+    /// Static policy.
+    pub cfg: TenantConfig,
+    /// Admitted requests waiting to be batched (bounded by
+    /// `cfg.queue_capacity`).
+    pub queue: VecDeque<Request>,
+    /// Rate limiter.
+    pub bucket: TokenBucket,
+    /// Deadline-failure circuit breaker.
+    pub breaker: CircuitBreaker,
+    /// Deepest the queue has ever been (bounded-ness witness).
+    pub queue_depth_max: usize,
+}
+
+impl TenantState {
+    /// Fresh state for `cfg`; breaker thresholds come from the server
+    /// config (see `ServeConfig`).
+    pub fn new(cfg: TenantConfig, breaker_threshold: u32, breaker_cooldown_ns: u64) -> Self {
+        Self {
+            cfg,
+            queue: VecDeque::new(),
+            bucket: TokenBucket::new(cfg.rate_per_s, cfg.burst),
+            breaker: CircuitBreaker::new(breaker_threshold, breaker_cooldown_ns),
+            queue_depth_max: 0,
+        }
+    }
+
+    /// Push an admitted request (caller already checked capacity).
+    pub fn enqueue(&mut self, req: Request) {
+        self.queue.push_back(req);
+        self.queue_depth_max = self.queue_depth_max.max(self.queue.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn token_bucket_enforces_rate_and_burst() {
+        // 10 rps, burst 2: two immediate takes pass, the third is limited
+        let mut b = TokenBucket::new(10.0, 2.0);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0));
+        let wait = b.ns_until_token(0);
+        assert!(wait > 0 && wait <= 100 * MS, "one token at 10 rps is 100 ms away: {wait}");
+        // after 100 ms a token is back
+        assert!(b.try_take(100 * MS));
+        assert!(!b.try_take(100 * MS));
+    }
+
+    #[test]
+    fn token_bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(1000.0, 3.0);
+        // a long idle period must not accumulate more than `burst`
+        assert!(b.try_take(10_000 * MS));
+        assert!(b.try_take(10_000 * MS));
+        assert!(b.try_take(10_000 * MS));
+        assert!(!b.try_take(10_000 * MS));
+    }
+
+    #[test]
+    fn infinite_rate_never_limits() {
+        let mut b = TokenBucket::new(f64::INFINITY, 1.0);
+        for _ in 0..1000 {
+            assert!(b.try_take(0));
+        }
+        assert_eq!(b.ns_until_token(0), 0);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_reprobes() {
+        let mut br = CircuitBreaker::new(3, 500 * MS);
+        assert!(br.allow(0));
+        br.record(false, 0);
+        br.record(false, 0);
+        assert!(br.allow(0), "under threshold stays closed");
+        br.record(false, 0);
+        assert!(!br.allow(1), "third consecutive failure trips");
+        assert_eq!(br.trips, 1);
+        assert!(br.ns_until_probe(1) > 0);
+        // cooldown elapses -> half-open probe allowed
+        assert!(br.allow(501 * MS));
+        assert_eq!(br.state(501 * MS), BreakerState::HalfOpen);
+        // a failing probe re-opens immediately
+        br.record(false, 501 * MS);
+        assert!(!br.allow(502 * MS));
+        assert_eq!(br.trips, 2);
+        // next probe succeeds -> closed, streak reset
+        br.record(true, 1002 * MS);
+        assert_eq!(br.state(1002 * MS), BreakerState::Closed);
+        br.record(false, 1002 * MS);
+        br.record(false, 1002 * MS);
+        assert!(br.allow(1002 * MS), "streak restarted after success");
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut br = CircuitBreaker::new(3, MS);
+        br.record(false, 0);
+        br.record(false, 0);
+        br.record(true, 0);
+        br.record(false, 0);
+        br.record(false, 0);
+        assert!(br.allow(0), "interleaved successes must keep the breaker closed");
+        assert_eq!(br.trips, 0);
+    }
+
+    #[test]
+    fn tenant_queue_tracks_watermark() {
+        let cfg = TenantConfig::standard(100.0);
+        let mut t = TenantState::new(cfg, 8, MS);
+        for i in 0..5 {
+            t.enqueue(Request {
+                id: i,
+                tenant: 0,
+                tile: i,
+                priority: cfg.priority,
+                arrival_ns: 0,
+                deadline_ns: cfg.deadline_ns,
+            });
+        }
+        t.queue.pop_front();
+        assert_eq!(t.queue.len(), 4);
+        assert_eq!(t.queue_depth_max, 5, "watermark survives drain");
+    }
+}

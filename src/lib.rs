@@ -52,6 +52,7 @@ pub use geofm_frontier as frontier;
 pub use geofm_mae as mae;
 pub use geofm_nn as nn;
 pub use geofm_resilience as resilience;
+pub use geofm_serve as serve;
 pub use geofm_tensor as tensor;
 pub use geofm_telemetry as telemetry;
 pub use geofm_vit as vit;

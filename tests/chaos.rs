@@ -10,9 +10,13 @@
 //! writes, silent gradient bit flips, poisoned losses, permanent rank
 //! departures, spare rejoins — and, since the streaming ingest plane,
 //! I/O faults too: corrupt records, flaky reads, stalled reads, missing
-//! / truncated / slow shards — via `FaultPlan::seeded_with_io`
-//! (deterministic per seed — a failing seed replays exactly), and
-//! rotates through the sharding strategies. Batches come through
+//! / truncated / slow shards — and, since the serving plane, serve-side
+//! faults as well: tenant request storms, slow clients, hung inference
+//! batches — via `FaultPlan::seeded_with_serve` (deterministic per seed
+//! — a failing seed replays exactly; the serve draws are appended
+//! strictly after the training streams, so training outcomes are
+//! byte-identical to the `seeded_with_io` era), and rotates through the
+//! sharding strategies. Batches come through
 //! `try_run_streaming` over a fault-injectable `SimShardStore` sharing
 //! the same plan; records the plane quarantines extend the comparator
 //! the same way guard-skipped steps do — the clean run gets the
@@ -35,6 +39,15 @@
 //! *blocking* baseline, so this doubles as an equivalence check for the
 //! pooled lock-free path under fault injection.
 //!
+//! Each schedule also runs a serving-plane DES session off the same
+//! plan (the serve-side draws are consumed only here): whatever the
+//! overload and fault climate, the serving run must terminate in a
+//! conserved, structured `ServeReport` — the serving twin of the
+//! trainer's invariant. A third of the schedules shut the server down
+//! mid-burst instead of draining. Deeper serving chaos (100+ schedules,
+//! replay determinism, the real threaded plane) lives in
+//! `tests/serve_chaos.rs`.
+//!
 //! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED` pinned,
 //! so a regression that reintroduces a deadlock fails fast instead of
 //! stalling the pipeline.
@@ -49,6 +62,7 @@ use geofm_fsdp::{
 };
 use geofm_nn::{Linear, Module, ParamVisitor};
 use geofm_resilience::{FaultMix, FaultPlan, RecordId};
+use geofm_serve::{run_sim, SimConfig as ServeSimConfig};
 use geofm_tensor::{Tensor, TensorRng};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -111,6 +125,10 @@ const RECORD_LEN: usize = CHANNELS * IMG * IMG;
 const GLOBAL_BATCH: usize = 12;
 const DATA_SEED: u64 = 7;
 const SHUFFLE_SEED: u64 = 21;
+// serving-leg dimensions baked into every plan (serve draws are appended
+// after the training streams, so they do not perturb training outcomes)
+const SERVE_TENANTS: usize = 3;
+const SERVE_TICKS: usize = 60;
 const STRATEGIES: [ShardingStrategy; 4] = [
     ShardingStrategy::FullShard,
     ShardingStrategy::ShardGradOp,
@@ -150,6 +168,14 @@ fn chaos_mix() -> FaultMix {
         io_truncate_prob: 0.015,
         io_slow_prob: 0.03,
         io_slow_ms: (1, 3),
+        // serve-side faults ride the same schedules (consumed only by
+        // the serving DES leg): request storms, slow clients, hung
+        // inference batches
+        serve_burst_prob: 0.05,
+        serve_burst_extra: (8, 32),
+        serve_slow_client_prob: 0.05,
+        serve_slow_ms: (1, 10),
+        serve_hang_prob: 0.05,
     }
 }
 
@@ -221,12 +247,14 @@ fn chaos_schedule(seed: u64) {
     let strategy = STRATEGIES[strategy_idx];
     // odd seeds exercise the overlap engine (comm thread + prefetch in flight)
     let overlap = seed % 2 == 1;
-    let plan = Arc::new(FaultPlan::seeded_with_io(
+    let plan = Arc::new(FaultPlan::seeded_with_serve(
         seed,
         WORLD,
         STEPS,
         SHARDS,
         PER_SHARD,
+        SERVE_TENANTS,
+        SERVE_TICKS,
         &chaos_mix(),
     ));
     let dir = ckpt_dir(seed);
@@ -265,6 +293,26 @@ fn chaos_schedule(seed: u64) {
         strategy.name(),
         plan.events()
     );
+
+    // the serving plane rides the same schedule: the serve-side draws in
+    // the shared plan (bursts, slow clients, hung batches) are consumed
+    // only here. Whatever the climate, the run must terminate in a
+    // conserved, structured report — never hang. A third of the
+    // schedules kill the server mid-burst instead of draining.
+    let serve_cfg = ServeSimConfig {
+        ticks: SERVE_TICKS,
+        base_rate: 1.0 + (seed % 5) as f64,
+        drain: !seed.is_multiple_of(3),
+        ..ServeSimConfig::default()
+    };
+    let serve_started = Instant::now();
+    let serve_report = run_sim(&serve_cfg, &plan, seed);
+    assert!(
+        serve_started.elapsed() < Duration::from_secs(30),
+        "seed {seed}: serving DES leg exceeded its wall-clock bound — hang regression"
+    );
+    serve_report.assert_conservation();
+    assert!(serve_report.submitted() > 0, "seed {seed}: serving leg generated no traffic");
 
     match outcome {
         Ok(report) => {

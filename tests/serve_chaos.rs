@@ -1,0 +1,278 @@
+//! Seeded chaos harness for the inference serving plane: 125 randomized
+//! overload/fault schedules against the deterministic DES, ~20 against
+//! the real threaded plane, plus a concurrent-producer admission-control
+//! stress. Every schedule holds the serving invariant:
+//!
+//! > the run terminates in a **conserved, structured `ServeReport`** —
+//! > per tenant `submitted = admitted + rejected` and
+//! > `admitted = completed + shed` — it never hangs, and under a pinned
+//! > seed it replays **byte-identically**.
+//!
+//! Each DES seed samples a traffic regime (idle → 2×-capacity storm), a
+//! defense posture (queue caps, rate limits, defended vs naive), a
+//! shutdown posture (drain vs kill-mid-burst), and a serve-side
+//! [`FaultMix`] of tenant request storms, slow clients, and hung
+//! inference batches. Every schedule is run **twice** with fresh but
+//! identical plans and the whole reports compared for equality — the
+//! replay-determinism property that makes a failing seed debuggable.
+//!
+//! The threaded-plane schedules hold the same conservation law under
+//! real concurrency (dispatcher + worker pool + hedge monitor), with a
+//! hard wall-clock bound standing in for "never hangs". The
+//! concurrent-producer stress drives admission from several submitter
+//! threads at once against a tiny bounded queue and a slow backbone,
+//! counting verdicts client-side: the server's books must agree with the
+//! clients' exactly, queues must respect their bound, and a shutdown
+//! with work still pending must neither deadlock nor lose a request.
+//!
+//! CI runs this suite under a hard timeout with `GEOFM_CHAOS_SEED`
+//! pinned, like `tests/chaos.rs`.
+
+use geofm_resilience::{FaultMix, FaultPlan};
+use geofm_serve::{
+    run_sim, Priority, ServeConfig, ServePlane, SimBackbone, SimConfig, TenantConfig,
+};
+use geofm_serve::{Backbone, PlaneConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Base offset added to every seed, pinned in CI via `GEOFM_CHAOS_SEED`.
+fn seed_base() -> u64 {
+    std::env::var("GEOFM_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+const TENANTS: usize = 3;
+const TICKS: usize = 80;
+
+/// Serve-side fault cocktail, scaled per seed from calm to hostile.
+fn serve_mix(seed: u64) -> FaultMix {
+    let severity = (seed % 4) as f64; // 0 = calm, 3 = hostile
+    FaultMix {
+        serve_burst_prob: 0.03 * severity,
+        serve_burst_extra: (8, 40),
+        serve_slow_client_prob: 0.03 * severity,
+        serve_slow_ms: (1, 12),
+        serve_hang_prob: 0.04 * severity,
+        ..FaultMix::crashes_only(0.0)
+    }
+}
+
+fn serve_plan(seed: u64) -> FaultPlan {
+    // zero training dimensions: these plans carry only serve events
+    FaultPlan::seeded_with_serve(seed, 0, 0, 0, 0, TENANTS, TICKS, &serve_mix(seed))
+}
+
+/// Traffic regime + defense + shutdown posture for one schedule, all
+/// derived deterministically from the seed.
+fn schedule_cfg(seed: u64) -> SimConfig {
+    let tenants: Vec<TenantConfig> = (0..TENANTS)
+        .map(|i| {
+            let class = match (i + seed as usize) % 3 {
+                0 => Priority::Premium,
+                1 => Priority::Standard,
+                _ => Priority::Low,
+            };
+            // every 5th schedule rate-limits its tenants (sim time runs
+            // at 1000 ticks/s, so 3000 req/s = 3 req/tick)
+            let rate = if seed.is_multiple_of(5) { 3000.0 } else { f64::INFINITY };
+            let mut cfg = TenantConfig::standard(rate).with_priority(class);
+            cfg.queue_capacity = [8, 16, 32, 64][(seed % 4) as usize];
+            cfg
+        })
+        .collect();
+    // every 7th schedule runs the naive server: no defenses, unbounded
+    // queues — it must still conserve and terminate
+    let serve =
+        if seed % 7 == 3 { ServeConfig::undefended() } else { ServeConfig::default() };
+    SimConfig {
+        tenants,
+        serve,
+        ticks: TICKS,
+        tick_ns: 1_000_000,
+        // 0.5..4.0 requests per tenant per tick: idle to ~2.2x capacity
+        base_rate: 0.5 + 0.5 * (seed % 8) as f64,
+        diurnal_amplitude: 0.5,
+        diurnal_period: TICKS / 2,
+        tiles: [32u64, 256, 4096][(seed % 3) as usize],
+        hang_factor: 20,
+        hedge: seed % 6 != 5,
+        drain: !seed.is_multiple_of(3),
+    }
+}
+
+/// One DES schedule: run twice, demand byte-identical replay plus the
+/// conservation law, inside a wall-clock bound.
+fn des_schedule(seed: u64) {
+    let cfg = schedule_cfg(seed);
+    let started = Instant::now();
+    // fresh plans per run: one-shot fault draws are consumed by firing
+    let a = run_sim(&cfg, &serve_plan(seed), seed);
+    let b = run_sim(&cfg, &serve_plan(seed), seed);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "seed {seed}: DES schedule exceeded its wall-clock bound — hang regression"
+    );
+    assert_eq!(a, b, "seed {seed}: same (config, plan, seed) must replay byte-identically");
+    a.assert_conservation();
+    assert!(a.submitted() > 0, "seed {seed}: schedule generated no traffic");
+    // bounded queues must hold their bound even mid-chaos (naive
+    // schedules are exactly the ones allowed to blow past it)
+    if a.tenants.values().next().is_some() && cfg.serve.defended {
+        let cap = cfg.tenants.iter().map(|t| t.queue_capacity).max().unwrap_or(0);
+        for (id, t) in &a.tenants {
+            assert!(
+                t.queue_depth_max <= cap,
+                "seed {seed}: tenant {id} queue hit {} > bound {cap}",
+                t.queue_depth_max
+            );
+        }
+    }
+}
+
+fn des_range(lo: u64, hi: u64) {
+    let base = seed_base();
+    for seed in lo..hi {
+        des_schedule(base + seed);
+    }
+}
+
+// 125 DES schedules, split so the test runner parallelises the batches.
+
+#[test]
+fn serve_des_seeds_000_049() {
+    des_range(0, 50);
+}
+
+#[test]
+fn serve_des_seeds_050_099() {
+    des_range(50, 100);
+}
+
+#[test]
+fn serve_des_seeds_100_124() {
+    des_range(100, 125);
+}
+
+/// One real threaded-plane schedule: submit a burst, optionally drain,
+/// then shut down; the books must balance under real concurrency.
+fn plane_schedule(seed: u64) {
+    let backbone = Arc::new(SimBackbone::new(8, 50_000, 10_000));
+    let tenant_cfgs: Vec<TenantConfig> = (0..TENANTS)
+        .map(|i| {
+            let mut cfg = TenantConfig::standard(f64::INFINITY);
+            cfg.queue_capacity = [16, 64][(seed % 2) as usize];
+            cfg.priority = if i == 0 { Priority::Premium } else { Priority::Standard };
+            cfg
+        })
+        .collect();
+    let serve_cfg = ServeConfig { linger_ns: 300_000, ..ServeConfig::default() };
+    let plan = seed.is_multiple_of(2).then(|| Arc::new(serve_plan(seed)));
+    let plane_cfg = PlaneConfig {
+        workers: 1 + (seed % 3) as usize,
+        hang: Duration::from_millis(40),
+        ..PlaneConfig::default()
+    };
+    let started = Instant::now();
+    let plane = ServePlane::start(serve_cfg, &tenant_cfgs, backbone, plan, plane_cfg);
+    let n = 120 + (seed % 5) * 40;
+    let mut admitted_client = 0u64;
+    for i in 0..n {
+        let (_, v) = plane.submit((i % TENANTS as u64) as usize, i % 64);
+        if v.admitted() {
+            admitted_client += 1;
+        }
+    }
+    if !seed.is_multiple_of(3) {
+        plane.drain(Duration::from_secs(15));
+    } // else: kill mid-burst
+    let report = plane.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "seed {seed}: threaded plane exceeded its wall-clock bound — hang regression"
+    );
+    report.assert_conservation();
+    assert_eq!(report.submitted(), n, "seed {seed}: submitted count drifted");
+    assert_eq!(
+        report.admitted(),
+        admitted_client,
+        "seed {seed}: server admitted-books disagree with client-side verdict count"
+    );
+}
+
+#[test]
+fn serve_plane_seeds_run_bounded_and_conserve() {
+    let base = seed_base();
+    for seed in 0..20 {
+        plane_schedule(base + seed);
+    }
+}
+
+/// Admission-control stress: concurrent producers against a tiny bounded
+/// queue and a deliberately slow backbone. Queue depth stays bounded,
+/// no response is lost (client verdict counts equal the server's books
+/// exactly), and a shutdown with work still pending does not deadlock.
+#[test]
+fn concurrent_producers_bounded_queue_zero_lost_responses() {
+    const PRODUCERS: usize = 8;
+    const PER_PRODUCER: u64 = 250;
+    const QUEUE_CAP: usize = 8;
+    // slow backbone: 2 ms + 200 µs/item keeps the queue saturated so
+    // admission control actually has to reject
+    let backbone = Arc::new(SimBackbone::new(8, 2_000_000, 200_000));
+    let mut tenant = TenantConfig::standard(f64::INFINITY);
+    tenant.queue_capacity = QUEUE_CAP;
+    let tenant_cfgs = vec![tenant; TENANTS];
+    let plane = ServePlane::start(
+        ServeConfig::default(),
+        &tenant_cfgs,
+        backbone as Arc<dyn Backbone>,
+        None,
+        PlaneConfig::default(),
+    );
+
+    let started = Instant::now();
+    let admitted_client: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let plane = &plane;
+                s.spawn(move || {
+                    let mut admitted = 0u64;
+                    for i in 0..PER_PRODUCER {
+                        let tenant = (p + i as usize) % TENANTS;
+                        let (_, v) = plane.submit(tenant, i % 32);
+                        if v.admitted() {
+                            admitted += 1;
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("producer panicked")).sum()
+    });
+    // shutdown mid-burst: the queue is still full of unexecuted work
+    let report = plane.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "concurrent admission stress exceeded its wall-clock bound — deadlock regression"
+    );
+    report.assert_conservation();
+    assert_eq!(
+        report.submitted(),
+        (PRODUCERS as u64) * PER_PRODUCER,
+        "every submit must be booked exactly once"
+    );
+    assert_eq!(
+        report.admitted(),
+        admitted_client,
+        "zero lost responses: server books must equal client-side verdict counts"
+    );
+    assert!(report.rejected() > 0, "a saturated 8-slot queue must reject");
+    for (id, t) in &report.tenants {
+        assert!(
+            t.queue_depth_max <= QUEUE_CAP,
+            "tenant {id}: queue depth {} broke the bound {QUEUE_CAP} under concurrency",
+            t.queue_depth_max
+        );
+    }
+}
