@@ -41,8 +41,10 @@ pub mod hierarchy;
 pub mod nonblocking;
 pub mod pool;
 pub mod ring;
+pub mod simnet;
 pub mod spsc;
 pub mod traffic;
+pub mod transport;
 
 pub use adaptive::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 pub use barrier::{RankLost, SenseBarrier};
@@ -54,4 +56,8 @@ pub use nonblocking::{
     AsyncOp, CellPoolStats, CollectiveHandle, CommGroup, CommThread, OwnedAsyncOp,
 };
 pub use pool::{BufferPool, PoolStats};
+pub use simnet::{SimNetConfig, SimNetTransport};
 pub use traffic::{CollectiveKind, TrafficCounter, TrafficSnapshot};
+pub use transport::{
+    LoopbackTransport, SharedMemTransport, Ticket, Transport, TransportOp,
+};

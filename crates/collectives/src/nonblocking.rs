@@ -59,6 +59,18 @@
 //! the rank's barrier schedule aligned with its peers) before exiting; a
 //! worker that dies abnormally fails its pending jobs with
 //! `Lost(Poisoned)` instead of stranding their waiters.
+//!
+//! ## Relationship to the `Transport` abstraction
+//!
+//! This engine is the backing of [`crate::transport::SharedMemTransport`],
+//! the in-process backend of the [`crate::transport::Transport`] trait.
+//! The transport laws (FIFO completion, poison propagation, bounded
+//! quiesce, checksum-verdict agreement, pooled-buffer steady state) are
+//! pinned against this module — alongside the SimNet and loopback
+//! backends — by the conformance battery in
+//! `tests/transport_conformance.rs`; a behavioural change here that
+//! breaks a law fails that battery before it can reach the training
+//! suites.
 
 use crate::barrier::RankLost;
 use crate::group::RankHandle;

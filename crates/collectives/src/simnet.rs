@@ -1,0 +1,262 @@
+//! Seeded lossy/delayed network transport.
+//!
+//! [`SimNetTransport`] puts the production shared-memory data plane
+//! behind a misbehaving wire model: each collective an endpoint issues
+//! consults a [`FaultPlan`] — the same link kinds the chaos harness
+//! injects into training (stragglers, degraded links, hangs-as-crashes,
+//! in-flight bit flips) — plus a small seeded per-op jitter, all
+//! deterministic in `(seed, rank, op_index)`. The op index plays the
+//! role the step index plays in training, so one plan drives both.
+//!
+//! Because the data plane underneath is the real group machinery, the
+//! transport laws (DESIGN.md §17) must hold *unchanged*: delays may
+//! stretch wall-clock but never reorder FIFO completion; an injected
+//! crash must surface as [`RankLost`] on every peer within a timeout;
+//! an injected bit flip must yield the unanimous checksum verdict. The
+//! conformance battery instantiates the same assertions against this
+//! transport as against the clean ones — the point of the exercise.
+
+use crate::barrier::RankLost;
+use crate::group::{Group, RankHandle};
+use crate::guard::CollectiveError;
+use crate::transport::{SharedMemTransport, Ticket, Transport, TransportOp};
+use geofm_resilience::FaultPlan;
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wire-model knobs. The defaults keep jitter small enough for CI while
+/// still exercising the reordering-adjacent timing paths.
+#[derive(Debug, Clone)]
+pub struct SimNetConfig {
+    /// Base per-op propagation delay.
+    pub base_latency: Duration,
+    /// Upper bound on the seeded uniform jitter added per op.
+    pub jitter: Duration,
+    /// Bound on any single collective wait (law 3); `None` disables.
+    pub timeout: Option<Duration>,
+    /// Verify reduce checksums (law 4).
+    pub checksums: bool,
+}
+
+impl Default for SimNetConfig {
+    fn default() -> Self {
+        Self {
+            base_latency: Duration::from_micros(20),
+            jitter: Duration::from_micros(80),
+            timeout: Some(Duration::from_secs(20)),
+            checksums: true,
+        }
+    }
+}
+
+/// splitmix64 — the repo-standard seeded generator for deterministic
+/// schedules.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One endpoint of the lossy/delayed simulated network: the production
+/// shared-memory transport behind a [`FaultPlan`]-driven wire model.
+pub struct SimNetTransport {
+    inner: SharedMemTransport,
+    plan: Option<Arc<FaultPlan>>,
+    cfg: SimNetConfig,
+    seed: u64,
+    /// Monotone per-endpoint op counter — the "step" axis of the plan.
+    op_index: Cell<usize>,
+}
+
+impl SimNetTransport {
+    /// Build one endpoint per rank of a fresh `world`-rank group, all
+    /// sharing `plan` as the wire-fault schedule.
+    pub fn create(
+        world: usize,
+        seed: u64,
+        plan: Option<Arc<FaultPlan>>,
+        cfg: SimNetConfig,
+    ) -> Vec<SimNetTransport> {
+        Group::create(world)
+            .into_iter()
+            .map(|h| {
+                let h = h.with_checksums(cfg.checksums).with_timeout(cfg.timeout);
+                Self::from_handle(h, seed, plan.clone(), cfg.clone())
+            })
+            .collect()
+    }
+
+    /// Wrap one configured [`RankHandle`].
+    pub fn from_handle(
+        handle: RankHandle,
+        seed: u64,
+        plan: Option<Arc<FaultPlan>>,
+        cfg: SimNetConfig,
+    ) -> Self {
+        Self {
+            inner: SharedMemTransport::from_handle(handle),
+            plan,
+            cfg,
+            seed,
+            op_index: Cell::new(0),
+        }
+    }
+
+    /// The wire model, applied before an op touches the data plane.
+    /// Returns `Err` when the plan says this endpoint dies here (the
+    /// group is poisoned first, so peers observe law 3, not a hang).
+    fn traverse_wire(&self) -> Result<(), RankLost> {
+        let op = self.op_index.get();
+        self.op_index.set(op + 1);
+        let rank = self.inner.rank();
+
+        // deterministic jitter in (seed, rank, op)
+        let mut s = self
+            .seed
+            .wrapping_mul(0x2545f4914f6cdd1d)
+            .wrapping_add((rank as u64) << 32)
+            .wrapping_add(op as u64);
+        let jitter_ns = self.cfg.jitter.as_nanos() as u64;
+        let delay = self.cfg.base_latency
+            + if jitter_ns == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(splitmix(&mut s) % jitter_ns)
+            };
+
+        if let Some(plan) = &self.plan {
+            // straggler link: extra one-shot propagation delay
+            if let Some(d) = plan.slow_delay(rank, op) {
+                // scaled down: plan delays are sized for training steps
+                std::thread::sleep(d / 50);
+            }
+            // persistently degraded link: stretch every barrier crossing
+            if let Some(f) = plan.link_slowdown(rank, op) {
+                self.inner.handle().set_link_slowdown(f);
+            }
+            // dead endpoint: poison first so peers get RankLost, then
+            // report the loss locally (a hang draw dies the same way —
+            // the wire model has no way to "hang politely" under law 3)
+            if plan.take_crash(rank, op) || plan.take_hang(rank, op) {
+                self.inner.poison();
+                return Err(RankLost::Poisoned);
+            }
+            // in-flight corruption: arm the one-shot flip; the checksum
+            // guard underneath turns it into the unanimous verdict
+            if let Some(bit) = plan.take_bitflip(rank, op) {
+                self.inner.arm_bitflip(bit);
+            }
+        }
+
+        std::thread::sleep(delay);
+        Ok(())
+    }
+}
+
+impl Transport for SimNetTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn try_barrier(&self) -> Result<(), RankLost> {
+        self.traverse_wire()?;
+        self.inner.try_barrier()
+    }
+
+    fn try_all_reduce(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
+        self.traverse_wire()?;
+        self.inner.try_all_reduce(buf)
+    }
+
+    fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
+        self.traverse_wire()?;
+        self.inner.try_all_gather(local, out)
+    }
+
+    fn try_reduce_scatter(
+        &self,
+        buf: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), CollectiveError> {
+        self.traverse_wire()?;
+        self.inner.try_reduce_scatter(buf, out)
+    }
+
+    fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), RankLost> {
+        self.traverse_wire()?;
+        self.inner.try_broadcast(buf, root)
+    }
+
+    fn submit(&mut self, ops: Vec<TransportOp>) -> Vec<Ticket> {
+        // the wire is traversed per op at submission; a crash draw
+        // poisons before the batch reaches the data plane, so the
+        // tickets come back but redeem as RankLost (law 3)
+        for _ in 0..ops.len() {
+            let _ = self.traverse_wire();
+        }
+        self.inner.submit(ops)
+    }
+
+    fn wait(&mut self, ticket: Ticket) -> Result<Vec<f32>, CollectiveError> {
+        self.inner.wait(ticket)
+    }
+
+    fn poison(&self) {
+        self.inner.poison();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    fn quiesce(&mut self) {
+        self.inner.quiesce();
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        self.inner.timeout()
+    }
+
+    fn arm_bitflip(&self, bit: u32) {
+        self.inner.arm_bitflip(bit);
+    }
+
+    fn pool_stats(&self) -> Option<crate::nonblocking::CellPoolStats> {
+        self.inner.pool_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_simnet_matches_reference_despite_jitter() {
+        let cfg = SimNetConfig {
+            base_latency: Duration::from_micros(1),
+            jitter: Duration::from_micros(10),
+            ..SimNetConfig::default()
+        };
+        let mut endpoints = SimNetTransport::create(2, 7, None, cfg);
+        std::thread::scope(|s| {
+            for t in endpoints.iter_mut() {
+                s.spawn(move || {
+                    let r = t.rank() as f32;
+                    let mut buf = vec![r + 1.0; 4];
+                    t.try_all_reduce(&mut buf).unwrap();
+                    assert_eq!(buf, vec![3.0; 4]);
+                    let tickets = t.submit(vec![TransportOp::AllGather(vec![r])]);
+                    assert_eq!(t.wait(tickets[0]).unwrap(), vec![0.0, 1.0]);
+                    t.quiesce();
+                });
+            }
+        });
+    }
+}

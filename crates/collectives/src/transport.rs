@@ -1,0 +1,503 @@
+//! Pluggable communication transports.
+//!
+//! Everything above this crate — the FSDP engine, the elastic trainer, the
+//! guard exchange — speaks to its peers through a small set of collective
+//! verbs plus a failure surface (poison / quiesce / bounded timeout). The
+//! [`Transport`] trait names that contract explicitly so backends are
+//! interchangeable:
+//!
+//! * [`SharedMemTransport`] — the production backend: the existing
+//!   shared-memory group machinery (sense-reversing barrier, mailbox
+//!   exchange, checksum guard) with the lock-free SPSC [`CommThread`] as
+//!   the nonblocking submission path.
+//! * [`crate::simnet::SimNetTransport`] — the same data plane behind a
+//!   seeded lossy/delayed link model driven by a
+//!   [`geofm_resilience::FaultPlan`], for chaos testing a transport whose
+//!   wire misbehaves.
+//! * [`LoopbackTransport`] — a single-rank pure-function reference
+//!   implementation: the executable spec of the trait's semantics with no
+//!   threads, no barriers and no sharing.
+//!
+//! The **conformance battery** in `tests/transport_conformance.rs` is the
+//! normative statement of the trait's laws (DESIGN.md §17): FIFO
+//! completion of submitted work, barrier termination under poison,
+//! `RankLost` propagation to every peer, checksum-verdict agreement, and
+//! pooled-buffer steady state. A new backend is wired into the engine only
+//! after it passes the battery unmodified.
+//!
+//! ## Contract (the transport laws)
+//!
+//! 1. **SPMD symmetry.** All ranks of a group call the same collectives in
+//!    the same order with equal-length buffers. Results are bit-identical
+//!    to the reference semantics: element-wise sum for reduces, rank-order
+//!    concatenation for gathers.
+//! 2. **FIFO submission.** [`Transport::submit`] returns tickets in issue
+//!    order; [`Transport::wait`] observes results equivalent to executing
+//!    the ops sequentially in that order (per rank).
+//! 3. **Poison terminates, never wedges.** After [`Transport::poison`] on
+//!    any rank, every blocked or future collective on every rank of the
+//!    group returns [`RankLost`] within one timeout period. Poison is
+//!    permanent for the group's lifetime.
+//! 4. **Corruption is unanimous and non-poisoning.** With checksums on, a
+//!    corrupted reduce contribution surfaces as the *identical*
+//!    [`CorruptPayload`] on every rank, all barriers still crossed — the
+//!    group stays usable. A single-rank group has no wire, so nothing to
+//!    corrupt: reduces on `size() == 1` always succeed.
+//! 5. **Quiesce drains.** After [`Transport::quiesce`] returns, no
+//!    submitted op is still running; every ticket's result is claimable
+//!    without further progress from peers.
+
+use crate::barrier::RankLost;
+use crate::group::{chunk_bounds, Group, RankHandle};
+use crate::guard::CollectiveError;
+use crate::nonblocking::{CellPoolStats, CollectiveHandle, CommGroup, CommThread, OwnedAsyncOp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A nonblocking collective staged for [`Transport::submit`]. The buffer
+/// is owned by the op (taken from the transport's pool when it has one).
+#[derive(Debug)]
+pub enum TransportOp {
+    /// All-reduce `buf` across the group (element-wise sum).
+    AllReduce(Vec<f32>),
+    /// Gather equal-length shards in rank order.
+    AllGather(Vec<f32>),
+    /// Reduce `buf` and keep this rank's chunk (see [`chunk_bounds`]).
+    ReduceScatter(Vec<f32>),
+}
+
+/// Claim check for a submitted op, redeemed with [`Transport::wait`].
+/// Tickets are per-transport and single-use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(pub u64);
+
+/// One rank's endpoint of a pluggable communication backend. See the
+/// module docs for the laws; see `tests/transport_conformance.rs` for the
+/// executable version of them.
+pub trait Transport: Send {
+    /// This rank's id within the group.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the group.
+    fn size(&self) -> usize;
+
+    /// Synchronise all ranks (law 3 bounds the failure mode).
+    fn try_barrier(&self) -> Result<(), RankLost>;
+
+    /// Blocking element-wise sum across the group.
+    fn try_all_reduce(&self, buf: &mut [f32]) -> Result<(), CollectiveError>;
+
+    /// Blocking rank-order gather of equal-length shards.
+    fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost>;
+
+    /// Blocking reduce-scatter: `out` receives this rank's chunk of the
+    /// sum, chunked per [`chunk_bounds`].
+    fn try_reduce_scatter(&self, buf: &[f32], out: &mut Vec<f32>)
+        -> Result<(), CollectiveError>;
+
+    /// Blocking broadcast from `root`.
+    fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), RankLost>;
+
+    /// Stage a batch of nonblocking collectives. Tickets come back in
+    /// issue order; peers must submit compatible ops in the same order.
+    fn submit(&mut self, ops: Vec<TransportOp>) -> Vec<Ticket>;
+
+    /// Redeem a ticket: block until that op completes and return its
+    /// output buffer (reduced buffer, gathered concatenation, or owned
+    /// chunk). Waiting out of issue order is allowed; completion still
+    /// respects issue order per rank.
+    fn wait(&mut self, ticket: Ticket) -> Result<Vec<f32>, CollectiveError>;
+
+    /// Poison the group: every current and future collective on every
+    /// rank fails with [`RankLost`] within one timeout period.
+    fn poison(&self);
+
+    /// Whether the group has been poisoned.
+    fn is_poisoned(&self) -> bool;
+
+    /// Drain: block until every submitted op has completed (successfully
+    /// or with a structured error). Never hangs — termination is bounded
+    /// by the collectives' own timeout/poison machinery.
+    fn quiesce(&mut self);
+
+    /// The bound on any single collective wait, if one is configured.
+    fn timeout(&self) -> Option<Duration>;
+
+    /// Arm a one-shot bit flip in this rank's next reduce contribution
+    /// (in-flight corruption; law 4 governs what peers observe). A
+    /// transport may ignore this when it has no wire to corrupt — armed
+    /// state on a single-rank group is simply never consumed.
+    fn arm_bitflip(&self, bit: u32);
+
+    /// Job-cell pool counters for backends with a pooled nonblocking
+    /// path; `None` when the backend does not pool.
+    fn pool_stats(&self) -> Option<CellPoolStats> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory backend
+// ---------------------------------------------------------------------------
+
+/// The production backend: one rank's [`RankHandle`] plus its lock-free
+/// [`CommThread`] submission path, presented through the [`Transport`]
+/// contract. Collective semantics, checksum guard, poison and adaptive
+/// timeouts are exactly the existing group machinery's.
+pub struct SharedMemTransport {
+    handle: RankHandle,
+    comm: CommThread,
+    group: CommGroup,
+    pending: HashMap<u64, CollectiveHandle>,
+    next_ticket: u64,
+}
+
+impl SharedMemTransport {
+    /// Build one endpoint per rank for a fresh `world`-rank group.
+    /// `checksums` enables reduce verification (law 4); `timeout` bounds
+    /// every barrier wait (law 3).
+    pub fn create(
+        world: usize,
+        checksums: bool,
+        timeout: Option<Duration>,
+    ) -> Vec<SharedMemTransport> {
+        Group::create(world)
+            .into_iter()
+            .map(|h| Self::from_handle(h.with_checksums(checksums).with_timeout(timeout)))
+            .collect()
+    }
+
+    /// Wrap an existing configured [`RankHandle`].
+    pub fn from_handle(handle: RankHandle) -> Self {
+        let comm = CommThread::spawn();
+        let group = comm.register(&handle);
+        Self { handle, comm, group, pending: HashMap::new(), next_ticket: 0 }
+    }
+
+    /// The underlying handle (e.g. to attach adaptive timeouts).
+    pub fn handle(&self) -> &RankHandle {
+        &self.handle
+    }
+}
+
+impl Transport for SharedMemTransport {
+    fn rank(&self) -> usize {
+        self.handle.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.handle.size()
+    }
+
+    fn try_barrier(&self) -> Result<(), RankLost> {
+        self.handle.try_barrier()
+    }
+
+    fn try_all_reduce(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
+        self.handle.try_all_reduce(buf)
+    }
+
+    fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
+        self.handle.try_all_gather(local, out)
+    }
+
+    fn try_reduce_scatter(
+        &self,
+        buf: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), CollectiveError> {
+        self.handle.try_reduce_scatter(buf, out)
+    }
+
+    fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), RankLost> {
+        self.handle.try_broadcast(buf, root)
+    }
+
+    fn submit(&mut self, ops: Vec<TransportOp>) -> Vec<Ticket> {
+        let owned: Vec<OwnedAsyncOp> = ops
+            .into_iter()
+            .map(|op| match op {
+                TransportOp::AllReduce(b) => OwnedAsyncOp::AllReduce(b),
+                TransportOp::AllGather(b) => OwnedAsyncOp::AllGather(b),
+                TransportOp::ReduceScatter(b) => OwnedAsyncOp::ReduceScatter(b),
+            })
+            .collect();
+        let handles = self.comm.submit_batch_owned(&self.group, owned);
+        handles
+            .into_iter()
+            .map(|h| {
+                let t = Ticket(self.next_ticket);
+                self.next_ticket += 1;
+                self.pending.insert(t.0, h);
+                t
+            })
+            .collect()
+    }
+
+    fn wait(&mut self, ticket: Ticket) -> Result<Vec<f32>, CollectiveError> {
+        self.pending
+            .remove(&ticket.0)
+            .map(CollectiveHandle::wait)
+            .unwrap_or(Err(CollectiveError::Lost(RankLost::Poisoned)))
+    }
+
+    fn poison(&self) {
+        self.handle.poison();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.handle.is_poisoned()
+    }
+
+    fn quiesce(&mut self) {
+        self.comm.quiesce();
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        self.handle.effective_timeout()
+    }
+
+    fn arm_bitflip(&self, bit: u32) {
+        self.handle.arm_bitflip(bit);
+    }
+
+    fn pool_stats(&self) -> Option<CellPoolStats> {
+        Some(self.comm.cell_stats())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback reference backend
+// ---------------------------------------------------------------------------
+
+/// The executable reference semantics: a single-rank group where every
+/// collective is a pure function evaluated inline. No threads, no
+/// blocking, no sharing — the simplest implementation that satisfies every
+/// law, used by the conformance battery as the oracle for degenerate
+/// world sizes and by unit tests that need a [`Transport`] without
+/// spinning up rank threads.
+pub struct LoopbackTransport {
+    poisoned: Arc<AtomicBool>,
+    timeout: Option<Duration>,
+    /// Completed-but-unclaimed nonblocking results, keyed by ticket.
+    done: HashMap<u64, Result<Vec<f32>, CollectiveError>>,
+    next_ticket: u64,
+    armed_bit: Arc<AtomicBool>,
+}
+
+impl Default for LoopbackTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoopbackTransport {
+    /// A fresh single-rank endpoint.
+    pub fn new() -> Self {
+        Self {
+            poisoned: Arc::new(AtomicBool::new(false)),
+            timeout: None,
+            done: HashMap::new(),
+            next_ticket: 0,
+            armed_bit: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Bound collective waits (observed only through [`Transport::timeout`];
+    /// loopback ops complete inline and never actually wait).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn check(&self) -> Result<(), RankLost> {
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(RankLost::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn run_op(&self, op: TransportOp) -> Result<Vec<f32>, CollectiveError> {
+        self.check()?;
+        // single-rank reference semantics: reduce = identity, gather =
+        // identity, reduce-scatter = the whole (sole) chunk
+        Ok(match op {
+            TransportOp::AllReduce(b) | TransportOp::AllGather(b) => b,
+            TransportOp::ReduceScatter(b) => {
+                let (lo, hi) = chunk_bounds(b.len(), 1, 0);
+                b[lo..hi].to_vec()
+            }
+        })
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn try_barrier(&self) -> Result<(), RankLost> {
+        self.check()
+    }
+
+    fn try_all_reduce(&self, _buf: &mut [f32]) -> Result<(), CollectiveError> {
+        // mirrors the shared-memory contract: a size-1 reduce is the
+        // identity and succeeds without touching the (nonexistent) wire,
+        // so an armed bit flip is not consumed (law 4)
+        self.check()?;
+        Ok(())
+    }
+
+    fn try_all_gather(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), RankLost> {
+        self.check()?;
+        out.clear();
+        out.extend_from_slice(local);
+        Ok(())
+    }
+
+    fn try_reduce_scatter(
+        &self,
+        buf: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), CollectiveError> {
+        self.check()?;
+        let (lo, hi) = chunk_bounds(buf.len(), 1, 0);
+        out.clear();
+        out.extend_from_slice(&buf[lo..hi]);
+        Ok(())
+    }
+
+    fn try_broadcast(&self, _buf: &mut [f32], root: usize) -> Result<(), RankLost> {
+        assert_eq!(root, 0, "loopback has exactly one rank");
+        self.check()
+    }
+
+    fn submit(&mut self, ops: Vec<TransportOp>) -> Vec<Ticket> {
+        // inline execution in issue order is trivially FIFO (law 2)
+        ops.into_iter()
+            .map(|op| {
+                let t = Ticket(self.next_ticket);
+                self.next_ticket += 1;
+                let result = self.run_op(op);
+                self.done.insert(t.0, result);
+                t
+            })
+            .collect()
+    }
+
+    fn wait(&mut self, ticket: Ticket) -> Result<Vec<f32>, CollectiveError> {
+        self.done
+            .remove(&ticket.0)
+            .unwrap_or(Err(CollectiveError::Lost(RankLost::Poisoned)))
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn quiesce(&mut self) {
+        // everything completed at submit time; nothing to drain
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    fn arm_bitflip(&self, _bit: u32) {
+        // armed but never consumed: a single-rank group has no wire (the
+        // shared-memory backend behaves identically at size 1)
+        self.armed_bit.store(true, Ordering::Release);
+    }
+}
+
+/// Compute the blocking reference result for an op the way
+/// [`LoopbackTransport`] would at an arbitrary world size — the oracle the
+/// conformance battery compares every backend against.
+pub fn reference_result(op: &TransportOp, inputs: &[Vec<f32>], rank: usize) -> Vec<f32> {
+    let world = inputs.len();
+    match op {
+        TransportOp::AllReduce(_) => {
+            let len = inputs[0].len();
+            (0..len).map(|i| inputs.iter().map(|b| b[i]).sum()).collect()
+        }
+        TransportOp::AllGather(_) => inputs.iter().flatten().copied().collect(),
+        TransportOp::ReduceScatter(_) => {
+            let len = inputs[0].len();
+            let (lo, hi) = chunk_bounds(len, world, rank);
+            (lo..hi).map(|i| inputs.iter().map(|b| b[i]).sum()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_matches_reference_semantics() {
+        let t = LoopbackTransport::new();
+        let mut buf = vec![1.0, 2.0, 3.0];
+        t.try_all_reduce(&mut buf).unwrap();
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        let mut out = Vec::new();
+        t.try_all_gather(&[4.0, 5.0], &mut out).unwrap();
+        assert_eq!(out, vec![4.0, 5.0]);
+        t.try_reduce_scatter(&[7.0, 8.0], &mut out).unwrap();
+        assert_eq!(out, vec![7.0, 8.0]);
+        t.try_barrier().unwrap();
+    }
+
+    #[test]
+    fn loopback_poison_is_permanent_and_structured() {
+        let mut t = LoopbackTransport::new();
+        t.poison();
+        assert!(t.is_poisoned());
+        assert_eq!(t.try_barrier(), Err(RankLost::Poisoned));
+        let tickets = t.submit(vec![TransportOp::AllReduce(vec![1.0])]);
+        assert!(matches!(t.wait(tickets[0]), Err(CollectiveError::Lost(_))));
+    }
+
+    #[test]
+    fn loopback_tickets_are_single_use_and_fifo() {
+        let mut t = LoopbackTransport::new();
+        let tickets = t.submit(vec![
+            TransportOp::AllGather(vec![1.0]),
+            TransportOp::AllGather(vec![2.0]),
+        ]);
+        assert_eq!(tickets, vec![Ticket(0), Ticket(1)]);
+        assert_eq!(t.wait(tickets[1]).unwrap(), vec![2.0]);
+        assert_eq!(t.wait(tickets[0]).unwrap(), vec![1.0]);
+        assert!(t.wait(tickets[0]).is_err(), "a ticket redeems exactly once");
+    }
+
+    #[test]
+    fn shared_mem_transport_round_trips_all_verbs() {
+        let mut endpoints: Vec<SharedMemTransport> =
+            SharedMemTransport::create(2, false, Some(Duration::from_secs(20)));
+        std::thread::scope(|s| {
+            for t in endpoints.iter_mut() {
+                s.spawn(move || {
+                    let r = t.rank() as f32;
+                    let mut buf = vec![r, r + 1.0];
+                    t.try_all_reduce(&mut buf).unwrap();
+                    assert_eq!(buf, vec![1.0, 3.0]);
+                    let tickets = t.submit(vec![TransportOp::AllGather(vec![r])]);
+                    assert_eq!(t.wait(tickets[0]).unwrap(), vec![0.0, 1.0]);
+                    t.quiesce();
+                    t.try_barrier().unwrap();
+                });
+            }
+        });
+    }
+}

@@ -18,11 +18,15 @@
 use crate::flat::FlatLayout;
 use crate::health::HealthMonitor;
 use crate::rank::{FsdpRank, StepError};
-use crate::reshard::{global_to_shard, shards_to_global};
-use crate::sentinel::{Sentinel, SentinelConfig};
+use crate::reshard::global_to_shard;
+use crate::runtime::{
+    self, CheckpointMw, Control, DrainMw, DrainPolicy, GuardMw, HealthMw, InjectMw, ProbeMw,
+    RankMiddleware, RuntimeStack, StepCx,
+};
+use crate::sentinel::SentinelConfig;
 use crate::strategy::{FsdpConfig, ShardingStrategy};
 use geofm_collectives::{
-    AdaptiveTimeout, AdaptiveTimeoutConfig, ConsensusError, CorruptPayload, HierarchyLayout,
+    AdaptiveTimeout, AdaptiveTimeoutConfig, ConsensusError, HierarchyLayout,
     ProcessGroups, SurvivorConsensus, TrafficCounter, TrafficSnapshot,
 };
 use geofm_nn::{AdamWState, Module};
@@ -42,10 +46,10 @@ use std::time::{Duration, Instant};
 /// Failure cause recorded by a rank that departs permanently
 /// ([`geofm_resilience::FaultKind::RankLeave`]) — the elastic restart loop
 /// keys its shrink decision off this exact string.
-const CAUSE_LEAVE: &str = "rank left permanently";
+pub(crate) const CAUSE_LEAVE: &str = "rank left permanently";
 /// Failure cause recorded by the rank that observes a spare arriving
 /// ([`geofm_resilience::FaultKind::SpareRejoin`]) — keys the grow decision.
-const CAUSE_REJOIN: &str = "spare rank rejoined";
+pub(crate) const CAUSE_REJOIN: &str = "spare rank rejoined";
 
 /// The outcome of a distributed run.
 #[derive(Debug, Clone)]
@@ -917,365 +921,184 @@ where
                         }
                     }
 
-                    // ---- integrity-guard state (all deterministic and
-                    // identical across ranks: the sentinel sees only
-                    // globally-agreed statistics, the skip set only changes
-                    // on globally-agreed trips) ----
-                    let guard_cfg = resilience.guard.as_ref();
-                    let mut sentinel = guard_cfg.map(|gc| Sentinel::new(gc.sentinel));
-                    let mut skip: BTreeSet<usize> =
-                        guard_cfg.map(|gc| gc.skip_steps.clone()).unwrap_or_default();
-                    let mut gr = GuardReport::default();
-                    // in-memory rollback snapshot: exact f32 params + AdamW
-                    // moments + how much of the loss series was committed
-                    let (mut snap_params, mut snap_adam) = fr.export_state();
-                    let mut snap_step = start_step;
-                    let mut snap_losses_len = local_losses.len();
+                    // ---- middleware stack (built post-restore so the
+                    // guard's first rollback snapshot captures the
+                    // restored state; see runtime.rs for the ordering
+                    // contract each policy rides on) ----
+                    let guard_on = resilience.guard.is_some();
+                    let probe = runtime::probe();
+                    let mut mws: Vec<Box<dyn RankMiddleware<M> + '_>> = Vec::new();
+                    macro_rules! observe {
+                        () => {
+                            if let Some(p) = &probe {
+                                mws.push(Box::new(ProbeMw::new(Arc::clone(p))));
+                            }
+                        };
+                    }
+                    observe!();
+                    mws.push(Box::new(HealthMw::new(health)));
+                    observe!();
+                    if let Some(gc) = resilience.guard.as_ref() {
+                        mws.push(Box::new(GuardMw::new(
+                            gc,
+                            &fr,
+                            start_step,
+                            local_losses.len(),
+                            guard_slot,
+                            telemetry.clone(),
+                        )));
+                        observe!();
+                    }
+                    mws.push(Box::new(InjectMw::new(
+                        &plan,
+                        guard.clone(),
+                        resilience.collective_timeout,
+                        elastic.on,
+                        elastic.can_grow,
+                        telemetry.clone(),
+                    )));
+                    observe!();
+                    mws.push(Box::new(CheckpointMw::new(
+                        resilience,
+                        elastic.on,
+                        elastic.disk,
+                        elastic.snapshot,
+                        slots,
+                        loss_prefix,
+                        units.clone(),
+                        shard_size,
+                        telemetry.clone(),
+                    )));
+                    observe!();
+                    mws.push(Box::new(DrainMw::new(elastic.on)));
+                    observe!();
+                    let mut stack = RuntimeStack::new(mws)
+                        .expect("the canonical middleware stack is well-ordered");
 
                     let mut step = start_step;
                     while step < steps {
                         current_step.store(step, Ordering::Relaxed);
-                        if skip.contains(&step) {
-                            // deterministic skip: canonical NaN loss, no
-                            // collectives, no faults, no update — every rank
-                            // passes over the step in lockstep
-                            local_losses.push(f32::NAN);
-                            step += 1;
-                            continue;
-                        }
-                        // rank-local work this step (injected delays +
-                        // compute, no barrier waits) — what the health
-                        // monitor compares across ranks
-                        let mut local_work = Duration::ZERO;
-                        if let Some(delay) = plan.slow_delay(rank, step) {
-                            count("fault.straggler");
-                            std::thread::sleep(delay);
-                            local_work += delay;
-                        }
-                        if plan.take_crash(rank, step) {
-                            count("fault.injected_crash");
-                            fr.poison_groups();
-                            return Err(fail(step, "injected rank crash".into()));
-                        }
-                        if plan.take_hang(rank, step) {
-                            // A hung rank never enters the step's
-                            // collectives. Peers detect the silence via the
-                            // (adaptive) timeout, get Err(RankLost) and
-                            // poison their groups; once that happens — or
-                            // after a hard cap, if nobody is waiting with a
-                            // timeout — this rank folds into the normal
-                            // elastic restart path. The hang is one-shot,
-                            // so the restarted world runs through.
-                            count("fault.injected_hang");
-                            let cap = resilience
-                                .collective_timeout
-                                .map(|t| t * 4)
-                                .unwrap_or(Duration::from_secs(30));
-                            let hung_at = Instant::now();
-                            while !guard.any_poisoned() && hung_at.elapsed() < cap {
-                                std::thread::sleep(Duration::from_millis(1));
+                        let mut cx = StepCx {
+                            rank,
+                            world,
+                            steps,
+                            start_step,
+                            step,
+                            local_losses: &mut local_losses,
+                            local_work: Duration::ZERO,
+                            degraded: None,
+                            poison_loss: false,
+                            report: None,
+                            corrupt: None,
+                            drain: DrainPolicy::Never,
+                        };
+                        match stack.before_forward(&mut fr, &mut cx) {
+                            Ok(Control::Continue) => {}
+                            Ok(Control::SkipStep) => {
+                                step += 1;
+                                continue;
                             }
-                            fr.poison_groups();
-                            return Err(fail(step, "rank hung in collective".into()));
-                        }
-                        if plan.take_leave(rank, step) {
-                            // permanent departure: poison first so every
-                            // in-flight collective terminates fast, then
-                            // drain this rank's comm thread (the elastic
-                            // drain protocol) before the thread exits
-                            count("fault.rank_leave");
-                            fr.poison_groups();
-                            fr.quiesce_comm();
-                            return Err(fail(step, CAUSE_LEAVE.into()));
-                        }
-                        if elastic.on && elastic.can_grow && plan.take_rejoin(step) {
-                            // a spare arrived: the observing rank tears the
-                            // attempt down so the restart loop can re-grow
-                            // the world and redistribute shards
-                            count("fault.spare_rejoin");
-                            fr.poison_groups();
-                            fr.quiesce_comm();
-                            return Err(fail(step, CAUSE_REJOIN.into()));
-                        }
-                        let degraded = plan.degraded_slowdown(rank, step);
-                        if degraded.is_some() {
-                            count("fault.degraded_rank");
-                        }
-                        let link = plan.link_slowdown(rank, step);
-                        if link.is_some() {
-                            count("fault.degraded_link");
-                        }
-                        guard.set_link_slowdown(link.unwrap_or(1.0));
-                        // SDC injection: a one-shot bit flip lands in this
-                        // rank's next reduce contribution; a one-shot loss
-                        // poison turns the reported local loss into NaN
-                        // (well-formed bits, wrong number — only the
-                        // sentinel can catch it)
-                        if let Some(bit) = plan.take_bitflip(rank, step) {
-                            count("fault.injected_bitflip");
-                            fr.arm_bitflip(bit);
-                        }
-                        let poison = plan.take_poison(rank, step);
-                        if poison {
-                            count("fault.injected_poison");
-                        }
-                        let compute_time = &mut local_work;
-                        let outcome = fr.try_step(lr_at(step), |m| {
-                            let t0 = Instant::now();
-                            let loss = compute(m, rank, world, step);
-                            // a degraded GCD takes `slowdown ×` as long for
-                            // the same (bit-identical) result
-                            if let Some(s) = degraded {
-                                std::thread::sleep(t0.elapsed().mul_f64(s - 1.0));
+                            Ok(Control::Rollback { to_step }) => {
+                                step = to_step;
+                                continue;
                             }
-                            *compute_time += t0.elapsed();
-                            if poison { f32::NAN } else { loss }
-                        });
-                        let (report, corrupt) = match outcome {
-                            Ok(r) => (Some(r), None),
-                            Err(StepError::Corrupt(c)) if guard_cfg.is_some() => {
+                            Err(f) => {
+                                stack.on_failure(&mut fr, &cx, &f);
+                                return Err(f);
+                            }
+                        }
+                        let (degraded, poison) = (cx.degraded, cx.poison_loss);
+                        let mut compute_time = Duration::ZERO;
+                        let outcome = {
+                            let compute_time = &mut compute_time;
+                            stack.around("step", || {
+                                fr.try_step(lr_at(step), |m| {
+                                    let t0 = Instant::now();
+                                    let loss = compute(m, rank, world, step);
+                                    // a degraded GCD takes `slowdown ×` as
+                                    // long for the same (bit-identical) result
+                                    if let Some(s) = degraded {
+                                        std::thread::sleep(t0.elapsed().mul_f64(s - 1.0));
+                                    }
+                                    *compute_time += t0.elapsed();
+                                    if poison { f32::NAN } else { loss }
+                                })
+                            })
+                        };
+                        cx.local_work += compute_time;
+                        match outcome {
+                            Ok(r) => cx.report = Some(r),
+                            Err(StepError::Corrupt(c)) if guard_on => {
                                 // the checksum layer flagged this step's
                                 // reduce; the step completed its collective
                                 // schedule (keeping all ranks aligned) but
                                 // applied no update — the guard exchange
-                                // below spreads the verdict world-wide
-                                (None, Some(c))
+                                // spreads the verdict world-wide
+                                cx.corrupt = Some(c);
                             }
                             Err(e) => {
                                 count("fault.rank_lost");
                                 fr.poison_groups();
-                                if elastic.on {
-                                    // survivor half of the drain protocol:
-                                    // groups are poisoned, so every queued
-                                    // async op terminates promptly and no
-                                    // job can touch state after this point
-                                    fr.quiesce_comm();
-                                }
-                                return Err(fail(step, e.to_string()));
-                            }
-                        };
-
-                        // ---- guard exchange + screening (guard on only) ----
-                        let trip_cause: Option<String> = if guard_cfg.is_some() {
-                            let mut exchange_corrupt: Option<CorruptPayload> = None;
-                            let mut ex = [
-                                report.as_ref().map_or(0.0, |r| r.loss),
-                                if corrupt.is_some() { 1.0 } else { 0.0 },
-                            ];
-                            match fr.try_world_all_reduce(&mut ex) {
-                                Ok(()) => {}
-                                Err(StepError::Corrupt(c)) => exchange_corrupt = Some(c),
-                                Err(e) => {
-                                    count("fault.rank_lost");
-                                    fr.poison_groups();
-                                    return Err(fail(step, e.to_string()));
-                                }
-                            }
-                            if ex[1] > 0.0 || exchange_corrupt.is_some() {
-                                gr.checksum_trips += 1;
-                                Some(match corrupt.or(exchange_corrupt) {
-                                    Some(c) => format!(
-                                        "corrupt reduce payload (rank {}, chunk {})",
-                                        c.rank, c.chunk
-                                    ),
-                                    None => {
-                                        "corrupt reduce payload detected by a peer group".into()
-                                    }
-                                })
-                            } else {
-                                let mean_loss = ex[0] / world as f32;
-                                let r = report
-                                    .as_ref()
-                                    .expect("no corruption implies a completed step");
-                                sentinel
-                                    .as_mut()
-                                    .expect("sentinel exists whenever the guard is on")
-                                    .screen(step, mean_loss, r.grad_norm)
-                                    .map(|t| {
-                                        gr.sentinel_trips += 1;
-                                        t.to_string()
-                                    })
-                            }
-                        } else {
-                            None
-                        };
-
-                        if let Some(cause) = trip_cause {
-                            // every rank reached this identical verdict at
-                            // this identical step — roll back and skip in
-                            // lockstep, no extra agreement round needed
-                            let gc = guard_cfg.expect("a trip implies the guard is on");
-                            gr.trips += 1;
-                            count("guard.trip");
-                            if gr.rollbacks >= gc.max_rollbacks {
-                                *lock(guard_slot) = Some(gr.clone());
-                                fr.poison_groups();
-                                return Err(fail(
-                                    step,
-                                    format!("guard rollback budget exhausted: {cause}"),
-                                ));
-                            }
-                            gr.rollbacks += 1;
-                            gr.skipped_steps.push(step);
-                            gr.wasted_steps += step - snap_step;
-                            count("guard.rollbacks");
-                            if let Some(t) = telemetry.as_deref() {
-                                t.metrics
-                                    .histogram("guard.rollback.steps")
-                                    .record((step - snap_step) as u64);
-                            }
-                            fr.restore_state(&snap_params, snap_adam.clone());
-                            local_losses.truncate(snap_losses_len);
-                            if let Some(s) = sentinel.as_mut() {
-                                s.truncate(snap_step);
-                            }
-                            skip.insert(step);
-                            step = snap_step;
-                            continue;
-                        }
-
-                        let report = report.expect("an accepted step always has a report");
-                        health.record(rank, local_work);
-                        local_losses.push(report.loss);
-
-                        let done = step + 1;
-                        if let Some(gc) = guard_cfg {
-                            if gc.snapshot_every > 0 && done.is_multiple_of(gc.snapshot_every) {
-                                let (p, a) = fr.export_state();
-                                snap_params = p;
-                                snap_adam = a;
-                                snap_step = done;
-                                snap_losses_len = local_losses.len();
+                                // survivor half of the drain protocol: under
+                                // elastic resharding the drain middleware
+                                // empties the comm thread once groups are
+                                // poisoned, so no queued job touches state
+                                cx.drain = DrainPolicy::IfElastic;
+                                let f = fail(step, e.to_string());
+                                stack.on_failure(&mut fr, &cx, &f);
+                                return Err(f);
                             }
                         }
-                        if resilience.checkpoint_every > 0
-                            && done.is_multiple_of(resilience.checkpoint_every)
-                            && (resilience.checkpoint_path.is_some() || elastic.on)
-                        {
-                            let (params, adam) = fr.export_state();
-                            *lock(&slots[rank]) = Some(RankSlot {
-                                params,
-                                adam_m: adam.m,
-                                adam_v: adam.v,
-                                adam_t: adam.t,
-                                losses: local_losses.clone(),
-                            });
-                            if let Err(lost) = fr.try_world_barrier() {
-                                fr.poison_groups();
-                                return Err(fail(step, lost.to_string()));
+                        match stack.after_backward(&mut fr, &mut cx) {
+                            Ok(Control::Continue) => {}
+                            Ok(Control::SkipStep) => {
+                                step += 1;
+                                continue;
                             }
-                            if rank == 0 {
-                                let ranks: Vec<RankSlot> = slots
-                                    .iter()
-                                    .map(|m| {
-                                        lock(m)
-                                            .take()
-                                            .expect("every rank deposits a slot pre-barrier")
-                                    })
-                                    .collect();
-                                if plan.take_checkpoint_crash(step) {
-                                    // writer dies before any durable or
-                                    // in-memory image commits; with a legacy
-                                    // path, half the buffer lands in the
-                                    // .tmp sibling (torn write) — the
-                                    // previous durable checkpoint survives
-                                    count("fault.injected_ckpt_crash");
-                                    if let Some(path) = resilience.checkpoint_path.as_ref() {
-                                        let ck = StepCheckpoint { step: done as u64, ranks };
-                                        let bytes = ck.to_bytes();
-                                        if let Some(parent) = path.parent() {
-                                            let _ = std::fs::create_dir_all(parent);
-                                        }
-                                        let _ = std::fs::write(
-                                            path.with_extension("tmp"),
-                                            &bytes[..bytes.len() / 2],
-                                        );
-                                    }
-                                    fr.poison_groups();
-                                    return Err(fail(
-                                        step,
-                                        "injected checkpoint-writer crash".into(),
-                                    ));
-                                }
-                                if elastic.on {
-                                    // assemble the world-size-independent
-                                    // GEOFMCK3 image: state is replicated
-                                    // across shard groups, so the first
-                                    // group's shards carry everything
-                                    let layout = FlatLayout::new(&units, shard_size);
-                                    let take = |f: fn(&RankSlot) -> &Vec<f32>| -> Vec<Vec<f32>> {
-                                        ranks[..shard_size].iter().map(|s| f(s).clone()).collect()
-                                    };
-                                    let mut mean_losses = loss_prefix.clone();
-                                    for i in 0..ranks[0].losses.len() {
-                                        mean_losses.push(
-                                            ranks.iter().map(|s| s.losses[i]).sum::<f32>()
-                                                / world as f32,
-                                        );
-                                    }
-                                    let eck = ElasticCheckpoint {
-                                        step: done as u64,
-                                        world_written: world as u64,
-                                        shard_n_written: shard_size as u64,
-                                        adam_t: ranks[0].adam_t,
-                                        unit_sizes: units.clone(),
-                                        params: shards_to_global(&layout, &take(|s| &s.params)),
-                                        adam_m: shards_to_global(&layout, &take(|s| &s.adam_m)),
-                                        adam_v: shards_to_global(&layout, &take(|s| &s.adam_v)),
-                                        mean_losses,
-                                    };
-                                    if let Some(path) = elastic.disk {
-                                        let span = telemetry
-                                            .as_deref()
-                                            .map(|t| t.phase("reshard.ckpt.write", rank as u64));
-                                        let saved = eck.save(path);
-                                        drop(span);
-                                        if let Err(e) = saved {
-                                            fr.poison_groups();
-                                            return Err(fail(
-                                                step,
-                                                format!("elastic checkpoint write failed: {e}"),
-                                            ));
-                                        }
-                                    }
-                                    *lock(elastic.snapshot) = Some(eck);
-                                }
-                                if let Some(path) = resilience.checkpoint_path.as_ref() {
-                                    let ck = StepCheckpoint { step: done as u64, ranks };
-                                    let span = telemetry
-                                        .as_deref()
-                                        .map(|t| t.phase("ckpt.write", rank as u64));
-                                    let saved = ck.save(path);
-                                    drop(span);
-                                    if let Err(e) = saved {
-                                        fr.poison_groups();
-                                        return Err(fail(
-                                            step,
-                                            format!("checkpoint write failed: {e}"),
-                                        ));
-                                    }
-                                }
-                                count("fault.checkpoints");
+                            Ok(Control::Rollback { to_step }) => {
+                                step = to_step;
+                                continue;
                             }
-                            if let Err(lost) = fr.try_world_barrier() {
-                                fr.poison_groups();
-                                return Err(fail(step, lost.to_string()));
+                            Err(f) => {
+                                stack.on_failure(&mut fr, &cx, &f);
+                                return Err(f);
                             }
+                        }
+                        let report = cx.report.expect("an accepted step always has a report");
+                        cx.local_losses.push(report.loss);
+                        if let Err(f) = stack.on_step(&mut fr, &mut cx) {
+                            stack.on_failure(&mut fr, &cx, &f);
+                            return Err(f);
                         }
                         step += 1;
                     }
 
+                    let mut cx = StepCx {
+                        rank,
+                        world,
+                        steps,
+                        start_step,
+                        step: steps,
+                        local_losses: &mut local_losses,
+                        local_work: Duration::ZERO,
+                        degraded: None,
+                        poison_loss: false,
+                        report: None,
+                        corrupt: None,
+                        drain: DrainPolicy::Never,
+                    };
                     if let Err(lost) = fr.try_materialize() {
                         count("fault.rank_lost");
                         fr.poison_groups();
-                        return Err(fail(steps, lost.to_string()));
+                        let f = fail(steps, lost.to_string());
+                        stack.on_failure(&mut fr, &cx, &f);
+                        return Err(f);
                     }
+                    stack.on_finish(&mut fr, &mut cx)?;
+                    drop(stack);
                     *lock(&losses[rank]) = local_losses;
                     if rank == 0 {
                         *lock(params_out) = Some(fr.packed_params());
-                        if guard_cfg.is_some() {
-                            *lock(guard_slot) = Some(gr.clone());
-                        }
                     }
                     Ok(())
                 }));

@@ -1,5 +1,6 @@
 //! Property tests for the flat-parameter layout and the distributed engine.
 
+use geofm_fsdp::strategy::ShardingStrategy;
 use geofm_fsdp::FlatLayout;
 use proptest::prelude::*;
 
@@ -66,4 +67,65 @@ proptest! {
         }
         prop_assert_eq!(rebuilt, flat);
     }
+}
+
+/// Exhaustive property over the elastic remap: for every hybrid group
+/// size k and world in 1..=64, the remapped group size (a) divides the
+/// new world, (b) never exceeds min(k, world) — a reshard must not grow
+/// a group past the original memory budget — and (c) is the LARGEST
+/// such divisor: no admissible group size between it and the cap also
+/// divides the world. Non-hybrid strategies are world-size-agnostic and
+/// must come back unchanged.
+#[test]
+fn remap_for_world_is_largest_admissible_divisor_for_all_worlds() {
+    for k in 1usize..=64 {
+        for world in 1usize..=64 {
+            let remapped = ShardingStrategy::Hybrid { shard_size: k }.remap_for_world(world);
+            let ShardingStrategy::Hybrid { shard_size: s } = remapped else {
+                panic!("hybrid must remap to hybrid, got {remapped:?}");
+            };
+            let cap = k.min(world);
+            assert!(
+                world.is_multiple_of(s),
+                "k={k} world={world}: remapped group {s} does not divide the world"
+            );
+            assert!(s <= cap, "k={k} world={world}: remapped group {s} exceeds cap {cap}");
+            assert!(
+                !((s + 1)..=cap).any(|bigger| world.is_multiple_of(bigger)),
+                "k={k} world={world}: {s} is not the largest admissible divisor"
+            );
+        }
+    }
+    for world in 1usize..=64 {
+        for strategy in [
+            ShardingStrategy::NoShard,
+            ShardingStrategy::ddp_default(),
+            ShardingStrategy::FullShard,
+            ShardingStrategy::ShardGradOp,
+        ] {
+            assert_eq!(
+                strategy.remap_for_world(world),
+                strategy,
+                "non-hybrid strategies are world-size-agnostic"
+            );
+        }
+    }
+}
+
+/// Negative control: remapping to an empty world is a documented panic,
+/// not a silent degenerate strategy.
+#[test]
+#[should_panic(expected = "cannot remap to an empty world")]
+fn remap_to_empty_world_panics_as_documented() {
+    let _ = ShardingStrategy::Hybrid { shard_size: 4 }.remap_for_world(0);
+}
+
+/// Negative control: a hybrid group size that does not divide the world
+/// is rejected loudly at group construction — the invariant
+/// `remap_for_world` exists to maintain.
+#[test]
+#[should_panic(expected = "must divide")]
+fn non_divisor_shard_group_panics_as_documented() {
+    use geofm_collectives::{HierarchyLayout, ProcessGroups};
+    let _ = ProcessGroups::hierarchy(HierarchyLayout { world: 6, shard_size: 4 });
 }

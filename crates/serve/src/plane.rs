@@ -24,6 +24,7 @@ use crate::request::{TenantId, TileId, Verdict};
 use crate::tenant::TenantConfig;
 use geofm_collectives::{AdaptiveTimeout, AdaptiveTimeoutConfig};
 use geofm_resilience::FaultPlan;
+use geofm_telemetry::MetricsRegistry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -147,7 +148,35 @@ impl ServePlane {
         plan: Option<Arc<FaultPlan>>,
         cfg: PlaneConfig,
     ) -> Self {
-        let core = ServeCore::new(serve_cfg, tenant_cfgs, Arc::clone(&backbone), 0);
+        Self::start_inner(serve_cfg, tenant_cfgs, backbone, plan, cfg, None)
+    }
+
+    /// [`ServePlane::start`] with `serve.*` metrics wired into `registry`
+    /// (admissions, rejections, sheds, completions, queue depth, latency
+    /// histograms — everything [`ServeCore::with_metrics`] registers).
+    pub fn start_with_metrics(
+        serve_cfg: ServeConfig,
+        tenant_cfgs: &[TenantConfig],
+        backbone: Arc<dyn Backbone>,
+        plan: Option<Arc<FaultPlan>>,
+        cfg: PlaneConfig,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        Self::start_inner(serve_cfg, tenant_cfgs, backbone, plan, cfg, Some(registry))
+    }
+
+    fn start_inner(
+        serve_cfg: ServeConfig,
+        tenant_cfgs: &[TenantConfig],
+        backbone: Arc<dyn Backbone>,
+        plan: Option<Arc<FaultPlan>>,
+        cfg: PlaneConfig,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
+        let mut core = ServeCore::new(serve_cfg, tenant_cfgs, Arc::clone(&backbone), 0);
+        if let Some(reg) = registry {
+            core = core.with_metrics(reg);
+        }
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
             work: WorkQueue { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() },

@@ -1,0 +1,453 @@
+//! Transport-conformance battery: the executable specification of the
+//! [`Transport`] laws (DESIGN.md §17), instantiated identically against
+//! all three backends — the production shared-memory engine, the seeded
+//! lossy/delayed `SimNetTransport`, and the single-rank loopback
+//! reference. A backend is wired into the FSDP engine only after it
+//! passes this battery unmodified.
+//!
+//! The legs, one per law:
+//!
+//! 1. **Reference semantics** — every blocking verb returns the
+//!    bit-exact reference result (sums and rank-order concatenations of
+//!    f32 values chosen to be exactly representable).
+//! 2. **FIFO submission** — a 32-op mixed nonblocking batch redeems in
+//!    issue order with reference results; a second leg redeems tickets
+//!    out of issue order and must see the same values.
+//! 3. **Poison terminates, never wedges** — one rank poisons instead of
+//!    entering the barrier; every peer's blocked and future collective
+//!    returns `RankLost` inside a hard wall-clock bound, including
+//!    already-submitted nonblocking work.
+//! 4. **Checksum verdict agreement** — an armed bit flip surfaces as the
+//!    *identical* `CorruptPayload` on every rank, the group stays
+//!    barrier-usable, and a single-rank group (no wire) never consumes
+//!    the armed flip.
+//! 5. **Pooled-buffer steady state** — for backends that pool
+//!    (`pool_stats() -> Some`), fresh cell allocations stop growing once
+//!    the pool warms up.
+//! 6. **Quiesce drains** — after `quiesce`, every outstanding ticket
+//!    redeems without further peer progress and blocking verbs still
+//!    work.
+//!
+//! A final cross-backend leg runs one pinned op schedule through all
+//! three transports and demands numerically identical outputs — the
+//! "passes identically" acceptance criterion, literally.
+
+use geofm_collectives::transport::reference_result;
+use geofm_collectives::{
+    CollectiveError, LoopbackTransport, RankLost, SharedMemTransport, SimNetConfig,
+    SimNetTransport, Transport, TransportOp,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+/// Hard bound for "never wedges" legs: comfortably above TIMEOUT plus
+/// scheduling noise, far below a hang.
+const WEDGE_BOUND: Duration = Duration::from_secs(25);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    SharedMem,
+    SimNet,
+    Loopback,
+}
+
+impl Flavor {
+    /// World sizes this backend supports (loopback is the single-rank
+    /// reference by construction).
+    fn worlds(self) -> &'static [usize] {
+        match self {
+            Flavor::Loopback => &[1],
+            _ => &[1, 2, 4],
+        }
+    }
+
+    /// One endpoint per rank of a fresh group.
+    fn make(self, world: usize, checksums: bool) -> Vec<Box<dyn Transport>> {
+        match self {
+            Flavor::SharedMem => SharedMemTransport::create(world, checksums, Some(TIMEOUT))
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect(),
+            Flavor::SimNet => {
+                let cfg = SimNetConfig {
+                    base_latency: Duration::from_micros(5),
+                    jitter: Duration::from_micros(40),
+                    timeout: Some(TIMEOUT),
+                    checksums,
+                };
+                SimNetTransport::create(world, 0xC0FFEE, None, cfg)
+                    .into_iter()
+                    .map(|t| Box::new(t) as Box<dyn Transport>)
+                    .collect()
+            }
+            Flavor::Loopback => {
+                assert_eq!(world, 1, "loopback is the single-rank reference");
+                vec![Box::new(LoopbackTransport::new().with_timeout(Some(TIMEOUT)))]
+            }
+        }
+    }
+}
+
+/// Run `f` on every endpoint concurrently (each rank on its own thread,
+/// like the FSDP engine drives the production transport).
+fn run_world(
+    mut endpoints: Vec<Box<dyn Transport>>,
+    f: impl Fn(&mut dyn Transport) + Sync,
+) {
+    std::thread::scope(|s| {
+        for t in endpoints.iter_mut() {
+            let f = &f;
+            s.spawn(move || f(t.as_mut()));
+        }
+    });
+}
+
+/// The pinned mixed op schedule every FIFO/identity leg runs: `n` ops,
+/// kinds rotating, exactly-representable values derived from (rank, op).
+fn schedule(world: usize, rank: usize, n: usize) -> (Vec<TransportOp>, Vec<Vec<f32>>) {
+    let buf = |r: usize, i: usize, len: usize| -> Vec<f32> {
+        (0..len).map(|j| (r * 100 + i * 7 + j) as f32).collect()
+    };
+    let mut ops = Vec::with_capacity(n);
+    let mut expected = Vec::with_capacity(n);
+    for i in 0..n {
+        let len = 4 + (i % 3) * 2;
+        let inputs: Vec<Vec<f32>> = (0..world).map(|r| buf(r, i, len)).collect();
+        let op = match i % 3 {
+            0 => TransportOp::AllReduce(buf(rank, i, len)),
+            1 => TransportOp::AllGather(buf(rank, i, len)),
+            _ => TransportOp::ReduceScatter(buf(rank, i, len)),
+        };
+        expected.push(reference_result(&op, &inputs, rank));
+        ops.push(op);
+    }
+    (ops, expected)
+}
+
+// --- law 1: blocking verbs match reference semantics -----------------------
+
+fn leg_blocking_reference(flavor: Flavor, world: usize) {
+    run_world(flavor.make(world, false), |t| {
+        let (rank, world) = (t.rank(), t.size());
+        let inputs: Vec<Vec<f32>> =
+            (0..world).map(|r| vec![(r * 3 + 1) as f32, (r * 3 + 2) as f32]).collect();
+
+        let mut buf = inputs[rank].clone();
+        t.try_all_reduce(&mut buf).expect("clean all_reduce");
+        assert_eq!(buf, reference_result(&TransportOp::AllReduce(vec![]), &inputs, rank));
+
+        let mut out = Vec::new();
+        t.try_all_gather(&inputs[rank], &mut out).expect("clean all_gather");
+        assert_eq!(out, reference_result(&TransportOp::AllGather(vec![]), &inputs, rank));
+
+        t.try_reduce_scatter(&inputs[rank].clone(), &mut out).expect("clean reduce_scatter");
+        assert_eq!(out, reference_result(&TransportOp::ReduceScatter(vec![]), &inputs, rank));
+
+        let mut bc = if rank == 0 { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+        t.try_broadcast(&mut bc, 0).expect("clean broadcast");
+        assert_eq!(bc, vec![42.0, 7.0]);
+
+        t.try_barrier().expect("clean barrier");
+    });
+}
+
+// --- law 2: FIFO submission, in-order and out-of-order redemption ----------
+
+fn leg_fifo(flavor: Flavor, world: usize) {
+    const OPS: usize = 32;
+    run_world(flavor.make(world, false), |t| {
+        let (ops, expected) = schedule(t.size(), t.rank(), OPS);
+        let tickets = t.submit(ops);
+        assert_eq!(tickets.len(), OPS, "one ticket per submitted op, in issue order");
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            let got = t.wait(ticket).expect("clean submitted op");
+            assert_eq!(got, want, "FIFO completion must match sequential reference");
+        }
+    });
+}
+
+fn leg_out_of_order_redeem(flavor: Flavor, world: usize) {
+    const OPS: usize = 9;
+    run_world(flavor.make(world, false), |t| {
+        let (ops, expected) = schedule(t.size(), t.rank(), OPS);
+        let tickets = t.submit(ops);
+        // redeem back-to-front: completion order is still issue order
+        // under the hood, so every value must be unchanged
+        for i in (0..OPS).rev() {
+            let got = t.wait(tickets[i]).expect("clean submitted op");
+            assert_eq!(got, expected[i], "out-of-order redemption changed a result");
+        }
+    });
+}
+
+// --- law 3: poison terminates, never wedges --------------------------------
+
+fn leg_barrier_under_poison(flavor: Flavor, world: usize) {
+    let started = Instant::now();
+    run_world(flavor.make(world, false), |t| {
+        if t.rank() == 0 {
+            // rank 0 dies instead of entering the barrier
+            t.poison();
+            assert!(t.is_poisoned());
+            assert_eq!(t.try_barrier(), Err(RankLost::Poisoned));
+        } else {
+            // peers must unblock with a structured loss, not hang
+            assert!(t.try_barrier().is_err(), "a poisoned group's barrier cannot succeed");
+            // poison is permanent: future collectives fail fast
+            let mut buf = vec![1.0];
+            assert!(t.try_all_reduce(&mut buf).is_err());
+        }
+    });
+    assert!(
+        started.elapsed() < WEDGE_BOUND,
+        "{flavor:?} world {world}: barrier-under-poison exceeded the wedge bound"
+    );
+}
+
+fn leg_rank_lost_propagates_to_submitted_work(flavor: Flavor, world: usize) {
+    let started = Instant::now();
+    run_world(flavor.make(world, false), |t| {
+        if t.rank() == 0 {
+            t.poison();
+        } else {
+            let tickets = t.submit(vec![
+                TransportOp::AllReduce(vec![1.0, 2.0]),
+                TransportOp::AllGather(vec![3.0]),
+            ]);
+            for ticket in tickets {
+                assert!(
+                    matches!(t.wait(ticket), Err(CollectiveError::Lost(_))),
+                    "submitted work on a poisoned group must redeem as RankLost"
+                );
+            }
+            // quiesce on a poisoned group must also terminate
+            t.quiesce();
+        }
+    });
+    assert!(
+        started.elapsed() < WEDGE_BOUND,
+        "{flavor:?} world {world}: RankLost propagation exceeded the wedge bound"
+    );
+}
+
+// --- law 4: checksum verdict agreement -------------------------------------
+
+fn leg_checksum_verdict_agreement(flavor: Flavor, world: usize) {
+    if world == 1 {
+        // a single-rank group has no wire: the armed flip is never
+        // consumed and the reduce succeeds (the size-1 contract)
+        run_world(flavor.make(1, true), |t| {
+            t.arm_bitflip(12);
+            let mut buf = vec![1.0, 2.0, 3.0];
+            t.try_all_reduce(&mut buf).expect("size-1 reduce has nothing to corrupt");
+            assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        });
+        return;
+    }
+    let verdicts: Mutex<Vec<(usize, CollectiveError)>> = Mutex::new(Vec::new());
+    run_world(flavor.make(world, true), |t| {
+        if t.rank() == 1 {
+            t.arm_bitflip(19);
+        }
+        let mut buf = vec![t.rank() as f32 + 1.0; 8];
+        let verdict = t.try_all_reduce(&mut buf).expect_err("an armed flip must be detected");
+        verdicts.lock().unwrap().push((t.rank(), verdict));
+        // the verdict is non-poisoning: all barriers were crossed and
+        // the group stays usable
+        t.try_barrier().expect("a corrupt verdict must not poison the group");
+        let mut clean = vec![1.0; 4];
+        t.try_all_reduce(&mut clean).expect("the group must stay usable after a verdict");
+        assert_eq!(clean, vec![world as f32; 4]);
+    });
+    let verdicts = verdicts.into_inner().unwrap();
+    assert_eq!(verdicts.len(), world, "every rank must observe the verdict");
+    let reference = verdicts[0].1;
+    assert!(
+        matches!(reference, CollectiveError::Corrupt(c) if c.rank == 1),
+        "verdict must name the corrupting rank: {reference:?}"
+    );
+    for (rank, v) in &verdicts {
+        assert_eq!(*v, reference, "rank {rank} disagrees on the corruption verdict");
+    }
+}
+
+// --- law 5: pooled-buffer steady state -------------------------------------
+
+fn leg_pooled_buffer_steady_state(flavor: Flavor, world: usize) {
+    // The cell pool only reaches sustained reuse once it has grown past
+    // ~2× the reclaim backlog window (the LRU front must have been
+    // drained before it comes up for reuse), so the warmup must be a few
+    // hundred ops — mirroring the spsc_queue.rs steady-state test.
+    const WARMUP_WAVES: usize = 160;
+    const WAVES: usize = 40;
+    const WAVE: usize = 4;
+    run_world(flavor.make(world, false), |t| {
+        let Some(_) = t.pool_stats() else { return }; // backend does not pool
+        let warm = |t: &mut dyn Transport, waves: usize| {
+            for w in 0..waves {
+                let ops = (0..WAVE)
+                    .map(|i| TransportOp::AllReduce(vec![(w * WAVE + i) as f32; 16]))
+                    .collect();
+                for ticket in t.submit(ops) {
+                    t.wait(ticket).expect("clean pooled op");
+                }
+            }
+        };
+        warm(t, WARMUP_WAVES);
+        let mid = t.pool_stats().expect("pooling backend keeps reporting");
+        warm(t, WAVES);
+        let end = t.pool_stats().expect("pooling backend keeps reporting");
+        assert_eq!(
+            end.takes - mid.takes,
+            (WAVES * WAVE) as u64,
+            "every op takes exactly one cell"
+        );
+        // the heart of the invariant: once warmed, fresh allocations stop
+        // scaling with ops (wait-before-next-wave keeps the pool hot)
+        let fresh = end.allocs - mid.allocs;
+        assert!(
+            fresh <= (WAVES * WAVE / 20) as u64,
+            "pool failed to reach steady state: {fresh} fresh allocs in {} ops",
+            WAVES * WAVE
+        );
+    });
+}
+
+// --- law 6: quiesce drains -------------------------------------------------
+
+fn leg_quiesce_then_functional(flavor: Flavor, world: usize) {
+    run_world(flavor.make(world, false), |t| {
+        let (ops, expected) = schedule(t.size(), t.rank(), 6);
+        let tickets = t.submit(ops);
+        t.quiesce();
+        // post-quiesce, every ticket redeems without peer progress
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            assert_eq!(t.wait(ticket).expect("drained op"), want);
+        }
+        // and the group is still fully functional
+        let mut buf = vec![2.0; 4];
+        t.try_all_reduce(&mut buf).expect("post-quiesce collective");
+        assert_eq!(buf, vec![2.0 * t.size() as f32; 4]);
+        t.try_barrier().expect("post-quiesce barrier");
+    });
+}
+
+/// The one battery, instantiated per flavor.
+fn battery(flavor: Flavor) {
+    for &world in flavor.worlds() {
+        leg_blocking_reference(flavor, world);
+        leg_fifo(flavor, world);
+        leg_out_of_order_redeem(flavor, world);
+        leg_barrier_under_poison(flavor, world);
+        leg_rank_lost_propagates_to_submitted_work(flavor, world);
+        leg_checksum_verdict_agreement(flavor, world);
+        leg_pooled_buffer_steady_state(flavor, world);
+        leg_quiesce_then_functional(flavor, world);
+    }
+}
+
+#[test]
+fn conformance_shared_mem() {
+    battery(Flavor::SharedMem);
+}
+
+#[test]
+fn conformance_simnet() {
+    battery(Flavor::SimNet);
+}
+
+#[test]
+fn conformance_loopback() {
+    battery(Flavor::Loopback);
+}
+
+/// Acceptance criterion, literally: one pinned op schedule through all
+/// three transports produces numerically identical per-rank outputs.
+#[test]
+fn all_three_transports_agree_on_a_pinned_schedule() {
+    const OPS: usize = 12;
+    let collect = |flavor: Flavor, world: usize| -> Vec<(usize, Vec<Vec<f32>>)> {
+        let results: Mutex<Vec<(usize, Vec<Vec<f32>>)>> = Mutex::new(Vec::new());
+        run_world(flavor.make(world, false), |t| {
+            let (ops, _) = schedule(t.size(), t.rank(), OPS);
+            let got: Vec<Vec<f32>> = t
+                .submit(ops)
+                .into_iter()
+                .map(|k| t.wait(k).expect("clean pinned schedule"))
+                .collect();
+            results.lock().unwrap().push((t.rank(), got));
+        });
+        let mut r = results.into_inner().unwrap();
+        r.sort_by_key(|(rank, _)| *rank);
+        r
+    };
+    // world 1: all three backends must agree bit-for-bit
+    let shared1 = collect(Flavor::SharedMem, 1);
+    assert_eq!(shared1, collect(Flavor::SimNet, 1), "simnet diverged from shared-mem");
+    assert_eq!(shared1, collect(Flavor::Loopback, 1), "loopback diverged from shared-mem");
+    // world 4: the two multi-rank backends must agree bit-for-bit
+    let shared4 = collect(Flavor::SharedMem, 4);
+    assert_eq!(shared4, collect(Flavor::SimNet, 4), "simnet diverged at world 4");
+}
+
+/// SimNet-specific: plan-driven wire faults surface through the same
+/// structured error surface the laws demand — a crash draw propagates as
+/// `RankLost` to every peer inside the wedge bound, and a bit-flip draw
+/// yields the unanimous checksum verdict.
+#[test]
+fn simnet_plan_faults_keep_the_laws() {
+    use geofm_resilience::{FaultMix, FaultPlan};
+    use std::sync::Arc;
+
+    // a plan whose only event is: rank 0 crashes at its first op
+    let plan = Arc::new(FaultPlan::none().with_rank_crash(0, 0));
+    let cfg = SimNetConfig { timeout: Some(TIMEOUT), ..SimNetConfig::default() };
+    let started = Instant::now();
+    let mut endpoints = SimNetTransport::create(4, 3, Some(plan), cfg.clone());
+    std::thread::scope(|s| {
+        for t in endpoints.iter_mut() {
+            s.spawn(move || {
+                let r = t.rank();
+                let mut buf = vec![r as f32; 4];
+                let out = t.try_all_reduce(&mut buf);
+                if r == 0 {
+                    assert!(out.is_err(), "the crashing endpoint must observe its own loss");
+                    assert!(t.is_poisoned());
+                } else {
+                    assert!(
+                        matches!(out, Err(CollectiveError::Lost(_))),
+                        "peers of a crashed endpoint must observe RankLost, got {out:?}"
+                    );
+                }
+            });
+        }
+    });
+    assert!(started.elapsed() < WEDGE_BOUND, "simnet crash leg exceeded the wedge bound");
+
+    // a seeded corruption-only mix must reproduce the unanimous verdict
+    let plan = Arc::new(FaultPlan::seeded(11, 2, 16, &FaultMix::corruption_only(1.0)));
+    let mut endpoints = SimNetTransport::create(2, 11, Some(plan), cfg);
+    let verdicts: Mutex<Vec<CollectiveError>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in endpoints.iter_mut() {
+            let verdicts = &verdicts;
+            s.spawn(move || {
+                // drive ops until the armed flip lands or the horizon ends
+                for i in 0..16 {
+                    let mut buf = vec![i as f32 + 1.0; 8];
+                    if let Err(e) = t.try_all_reduce(&mut buf) {
+                        verdicts.lock().unwrap().push(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    let verdicts = verdicts.into_inner().unwrap();
+    if !verdicts.is_empty() {
+        assert_eq!(verdicts.len(), 2, "a verdict must be unanimous, not one-sided");
+        assert_eq!(verdicts[0], verdicts[1], "ranks disagree on the corruption verdict");
+        assert!(matches!(verdicts[0], CollectiveError::Corrupt(_)));
+    }
+}
